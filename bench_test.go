@@ -1,0 +1,510 @@
+// Benchmark harness regenerating the paper's evaluation artifacts (see
+// EXPERIMENTS.md for the experiment index):
+//
+//	BenchmarkTable1SafeConfigSet      Table 1  — safe configuration set
+//	BenchmarkTable2ActionApply        Table 2  — adaptive action application
+//	BenchmarkFigure4SAGBuild          Fig. 4   — SAG construction
+//	BenchmarkMAPDijkstra              Sec. 5.1 — minimum adaptation path
+//	BenchmarkMAPKShortest             Sec. 4.4 — alternative paths (Yen)
+//	BenchmarkMAPLazy                  Sec. 7   — lazy partial-SAG planning
+//	BenchmarkPaperScenarioRealization Sec. 5.2 — protocol execution of the MAP
+//	BenchmarkRealizationOverTCP       Sec. 5.2 — same, on real TCP connections
+//	BenchmarkAdaptationStrategies     claim    — safe vs unsafe under live video
+//	BenchmarkAblationCompoundOnly     Table 2  — compound-only planning cost
+//	BenchmarkScalabilitySAG           Sec. 7   — eager vs lazy vs decomposed growth
+//	Benchmark{Cipher,MetaSocket,VideoPipeline} — substrate throughput
+package safeadapt_test
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	safeadapt "repro"
+	"repro/internal/action"
+	"repro/internal/agent"
+	"repro/internal/baseline"
+	"repro/internal/cipherkit"
+	"repro/internal/invariant"
+	"repro/internal/manager"
+	"repro/internal/metasocket"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/paper"
+	"repro/internal/planner"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// BenchmarkTable1SafeConfigSet regenerates Table 1: enumerating the safe
+// configuration set from the invariants.
+func BenchmarkTable1SafeConfigSet(b *testing.B) {
+	reg := paper.NewRegistry()
+	invs := paper.MustInvariants(reg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		safe := invs.SafeConfigs()
+		if len(safe) != 8 {
+			b.Fatalf("safe set = %d", len(safe))
+		}
+	}
+}
+
+// BenchmarkTable2ActionApply regenerates Table 2's semantics: applying
+// all seventeen actions across the whole safe set.
+func BenchmarkTable2ActionApply(b *testing.B) {
+	reg := paper.NewRegistry()
+	invs := paper.MustInvariants(reg)
+	safe := invs.SafeConfigs()
+	actions := paper.Actions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	applied := 0
+	for i := 0; i < b.N; i++ {
+		for _, c := range safe {
+			for _, a := range actions {
+				if _, ok := a.Apply(reg, c); ok {
+					applied++
+				}
+			}
+		}
+	}
+	if applied == 0 {
+		b.Fatal("no action ever applied")
+	}
+}
+
+// BenchmarkFigure4SAGBuild regenerates Fig. 4: building the SAG from the
+// safe set and the action table.
+func BenchmarkFigure4SAGBuild(b *testing.B) {
+	scenario := paper.MustScenario()
+	safe := scenario.Invariants.SafeConfigs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := planner.New(scenario.Invariants, scenario.Actions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = safe
+		g, err := p.Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumNodes() != 8 || g.NumEdges() != 16 {
+			b.Fatalf("SAG = %d/%d", g.NumNodes(), g.NumEdges())
+		}
+	}
+}
+
+// BenchmarkMAPDijkstra regenerates the planning result of Sec. 5.1: the
+// 50 ms five-step minimum adaptation path.
+func BenchmarkMAPDijkstra(b *testing.B) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Graph(); err != nil { // pre-build
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, err := sys.Plan(sys.Source(), sys.Target())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if path.Cost() != 50*time.Millisecond {
+			b.Fatalf("MAP cost %v", path.Cost())
+		}
+	}
+}
+
+// BenchmarkMAPKShortest measures the failure-recovery ladder's
+// alternative-path computation (Yen's algorithm, k=4).
+func BenchmarkMAPKShortest(b *testing.B) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Graph(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths, err := sys.Alternatives(sys.Source(), sys.Target(), 4)
+		if err != nil || len(paths) != 4 {
+			b.Fatalf("alternatives: %v (%d)", err, len(paths))
+		}
+	}
+}
+
+// BenchmarkMAPLazy measures the partial-exploration planner (Sec. 7) on
+// the case study.
+func BenchmarkMAPLazy(b *testing.B) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, err := sys.PlanLazy(sys.Source(), sys.Target())
+		if err != nil || path.Cost() != 50*time.Millisecond {
+			b.Fatalf("lazy: %v %v", path.Cost(), err)
+		}
+	}
+}
+
+// BenchmarkPaperScenarioRealization executes the five-step MAP through
+// the full manager/agent protocol (in-memory transport, hook-level
+// processes) — the coordination cost of Sec. 5.2 without the video
+// payload.
+func BenchmarkPaperScenarioRealization(b *testing.B) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		procs := map[string]safeadapt.LocalProcess{
+			paper.ProcessServer:   nopProc{},
+			paper.ProcessHandheld: nopProc{},
+			paper.ProcessLaptop:   nopProc{},
+		}
+		dep, err := sys.Deploy(procs, safeadapt.DeployOptions{StepTimeout: 5 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dep.Adapt(sys.Source(), sys.Target())
+		dep.Close()
+		if err != nil || !res.Completed {
+			b.Fatalf("adapt: %v %+v", err, res)
+		}
+	}
+}
+
+type nopProc struct{}
+
+func (nopProc) PreAction(protocol.Step, []action.Op) error      { return nil }
+func (nopProc) Reset(context.Context, protocol.Step) error      { return nil }
+func (nopProc) InAction(protocol.Step, []action.Op) error       { return nil }
+func (nopProc) Resume(protocol.Step) error                      { return nil }
+func (nopProc) PostAction(protocol.Step, []action.Op) error     { return nil }
+func (nopProc) Rollback(protocol.Step, []action.Op, bool) error { return nil }
+
+// BenchmarkRealizationOverTCP is BenchmarkPaperScenarioRealization with
+// the real control plane: manager and agents on TCP connections. The
+// delta against the in-memory number is the coordination cost of real
+// sockets.
+func BenchmarkRealizationOverTCP(b *testing.B) {
+	scenario := paper.MustScenario()
+	plan, err := planner.New(scenario.Invariants, scenario.Actions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	processOf := func(c string) string {
+		p, _ := scenario.Registry.ProcessOf(c)
+		return p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgrEP, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var agents []*agent.Agent
+		for _, name := range scenario.Registry.Processes() {
+			ep, err := transport.DialTCP(name, mgrEP.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ag, err := agent.New(name, ep, nopProc{}, agent.Options{
+				ResetTimeout: 5 * time.Second,
+				ProcessOf:    processOf,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agents = append(agents, ag)
+			go ag.Run()
+		}
+		if err := mgrEP.WaitForAgents(5*time.Second, scenario.Registry.Processes()...); err != nil {
+			b.Fatal(err)
+		}
+		mgr, err := manager.New(mgrEP, plan, manager.Options{StepTimeout: 5 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mgr.Execute(scenario.Source, scenario.Target)
+		if err != nil || !res.Completed {
+			b.Fatalf("execute: %v %+v", err, res)
+		}
+		for _, ag := range agents {
+			ag.Close()
+		}
+		_ = mgrEP.Close()
+	}
+}
+
+// BenchmarkAdaptationStrategies compares the four strategies on the live
+// video workload; per-iteration it streams the whole experiment. The
+// relative shape is the claim: safe-map and drained-compound show zero
+// corruption, the others do not; extra metrics report corruption counts.
+func BenchmarkAdaptationStrategies(b *testing.B) {
+	strategies := []baseline.Strategy{
+		baseline.SafeMAP{},
+		baseline.DrainedCompound{},
+		baseline.LocalQuiescence{},
+		baseline.UnsafeDirect{},
+	}
+	for _, s := range strategies {
+		b.Run(s.Name(), func(b *testing.B) {
+			var corruption, frames int
+			for i := 0; i < b.N; i++ {
+				res, err := baseline.Run(s, baseline.ExperimentOptions{
+					Frames:     90,
+					BodySize:   1024,
+					Interval:   200 * time.Microsecond,
+					AdaptAfter: 30,
+					Seed:       int64(1000 + i),
+					Handheld:   netsim.LinkProfile{Latency: 3 * time.Millisecond},
+					Laptop:     netsim.LinkProfile{Latency: 2 * time.Millisecond},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				corruption += res.Corruption()
+				frames += res.Handheld.FramesOK + res.Laptop.FramesOK
+			}
+			b.ReportMetric(float64(corruption)/float64(b.N), "corruption/op")
+			b.ReportMetric(float64(frames)/float64(b.N), "framesOK/op")
+		})
+	}
+}
+
+// BenchmarkAblationCompoundOnly removes the cheap single actions from
+// Table 2 and re-plans: the forced compound path costs 150 ms versus the
+// MAP's 50 ms — the quantitative argument for fine-grained actions plus
+// planning (DESIGN.md ablation 1).
+func BenchmarkAblationCompoundOnly(b *testing.B) {
+	scenario := paper.MustScenario()
+	var compound []action.Action
+	for _, a := range scenario.Actions {
+		if len(a.Ops) > 1 {
+			compound = append(compound, a)
+		}
+	}
+	p, err := planner.New(scenario.Invariants, compound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := planner.New(scenario.Invariants, scenario.Actions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullPath, err := full.Plan(scenario.Source, scenario.Target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cost time.Duration
+	for i := 0; i < b.N; i++ {
+		path, err := p.PlanLazy(scenario.Source, scenario.Target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = path.Cost()
+	}
+	b.ReportMetric(float64(cost.Milliseconds()), "compound-cost-ms")
+	b.ReportMetric(float64(fullPath.Cost().Milliseconds()), "map-cost-ms")
+}
+
+// syntheticSystem builds a chain-free system of `pairs` oneof pairs with
+// replace actions both ways — safe set size 2^pairs — for scalability
+// sweeps.
+func syntheticSystem(b *testing.B, pairs int) (*invariant.Set, []action.Action, model.Config, model.Config) {
+	b.Helper()
+	comps := make([]model.Component, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		comps = append(comps,
+			model.Component{Name: fmt.Sprintf("A%d", i), Process: fmt.Sprintf("p%d", i)},
+			model.Component{Name: fmt.Sprintf("B%d", i), Process: fmt.Sprintf("p%d", i)},
+		)
+	}
+	reg, err := model.NewRegistry(comps...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	invs := make([]invariant.Invariant, 0, pairs)
+	actions := make([]action.Action, 0, 2*pairs)
+	var srcNames, tgtNames []string
+	for i := 0; i < pairs; i++ {
+		an, bn := fmt.Sprintf("A%d", i), fmt.Sprintf("B%d", i)
+		inv, err := invariant.NewStructural(fmt.Sprintf("pair%d", i), fmt.Sprintf("oneof(%s, %s)", an, bn))
+		if err != nil {
+			b.Fatal(err)
+		}
+		invs = append(invs, inv)
+		actions = append(actions,
+			action.MustNew(fmt.Sprintf("F%d", i), an+" -> "+bn, 10*time.Millisecond, ""),
+			action.MustNew(fmt.Sprintf("R%d", i), bn+" -> "+an, 10*time.Millisecond, ""),
+		)
+		srcNames = append(srcNames, an)
+		tgtNames = append(tgtNames, bn)
+	}
+	set, err := invariant.NewSet(reg, invs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set, actions, reg.MustConfigOf(srcNames...), reg.MustConfigOf(tgtNames...)
+}
+
+// BenchmarkScalabilitySAG sweeps system size and compares the eager
+// SAG+Dijkstra pipeline against lazy search and collaborative-set
+// decomposition. The eager pipeline's cost grows with the 2^pairs safe
+// set; lazy and decomposed stay tractable (Sec. 7).
+func BenchmarkScalabilitySAG(b *testing.B) {
+	for _, pairs := range []int{4, 6, 8, 10, 12} {
+		set, actions, src, tgt := syntheticSystem(b, pairs)
+		want := time.Duration(pairs) * 10 * time.Millisecond
+
+		b.Run("eager/pairs="+strconv.Itoa(pairs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := planner.New(set, actions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				path, err := p.Plan(src, tgt)
+				if err != nil || path.Cost() != want {
+					b.Fatalf("eager: %v %v", path.Cost(), err)
+				}
+			}
+		})
+		b.Run("lazy/pairs="+strconv.Itoa(pairs), func(b *testing.B) {
+			p, err := planner.New(set, actions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path, err := p.PlanLazy(src, tgt)
+				if err != nil || path.Cost() != want {
+					b.Fatalf("lazy: %v %v", path.Cost(), err)
+				}
+			}
+		})
+		b.Run("astar/pairs="+strconv.Itoa(pairs), func(b *testing.B) {
+			p, err := planner.New(set, actions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path, err := p.PlanAStar(src, tgt)
+				if err != nil || path.Cost() != want {
+					b.Fatalf("astar: %v %v", path.Cost(), err)
+				}
+			}
+		})
+		b.Run("decomposed/pairs="+strconv.Itoa(pairs), func(b *testing.B) {
+			p, err := planner.New(set, actions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := p.PlanDecomposed(src, tgt)
+				if err != nil || plan.Cost() != want {
+					b.Fatalf("decomposed: %v %v", plan.Cost(), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCipher64 and BenchmarkCipher128 measure the encryption
+// substrate's throughput on 1 KiB payloads.
+func BenchmarkCipher64(b *testing.B) {
+	c := cipherkit.MustDefault64()
+	payload := make([]byte, 1024)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ct := c.Encrypt(payload)
+		if _, err := c.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCipher128 is the 128-bit variant.
+func BenchmarkCipher128(b *testing.B) {
+	c := cipherkit.MustDefault128()
+	payload := make([]byte, 1024)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ct := c.Encrypt(payload)
+		if _, err := c.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetaSocketSend measures the send-side MetaSocket pipeline
+// (encode chain + marshal) on 1 KiB packets.
+func BenchmarkMetaSocketSend(b *testing.B) {
+	sock, err := metasocket.NewSendSocket(func([]byte) error { return nil },
+		metasocket.NewEncoder("E1", cipherkit.MustDefault64()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sock.Close()
+	payload := make([]byte, 1024)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sock.Send(metasocket.Packet{Frame: uint32(i), Count: 1, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVideoPipeline measures whole frames through the Fig. 3 system
+// (packetize, encode, multicast to two clients, decode, reassemble,
+// verify).
+func BenchmarkVideoPipeline(b *testing.B) {
+	sys, err := video.NewSystem(video.SystemOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	b.SetBytes(2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Server.SendFrame(video.GenerateFrame(uint32(i), 2048)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := sys.Drain(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	stats := sys.Handheld.Player().Snapshot()
+	if stats.FramesCorrupted > 0 {
+		b.Fatalf("pipeline corrupted frames: %+v", stats)
+	}
+}

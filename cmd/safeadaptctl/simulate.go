@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	safeadapt "repro"
+	"repro/internal/action"
+	"repro/internal/protocol"
+)
+
+// simulate deploys the system with no-op per-process hooks and executes
+// the declared adaptation request through the real coordination protocol
+// — a dry run that shows the exact step sequence, message choreography
+// outcome, and per-step timing a live deployment would see.
+func simulate(sys *safeadapt.System, out io.Writer) error {
+	reg := sys.Registry()
+	procs := make(map[string]safeadapt.LocalProcess)
+	for _, p := range reg.Processes() {
+		procs[p] = narratedProc{name: p, out: out}
+	}
+	dep, err := sys.Deploy(procs, safeadapt.DeployOptions{StepTimeout: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+
+	path, err := sys.PlanRequest()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "source: %s\n", sys.FormatConfig(sys.Source()))
+	fmt.Fprintf(out, "target: %s\n", sys.FormatConfig(sys.Target()))
+	fmt.Fprintf(out, "MAP:    %s\n\n", path)
+
+	start := time.Now()
+	res, err := dep.Adapt(sys.Source(), sys.Target())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nadaptation completed=%v in %v\n", res.Completed, time.Since(start).Round(100*time.Microsecond))
+	for _, sr := range res.Steps {
+		fmt.Fprintf(out, "  step %-6s %s -> %s  outcome=%s\n", sr.ActionID, sr.From, sr.To, sr.Outcome)
+	}
+	fmt.Fprintf(out, "final: %s\n", sys.FormatConfig(res.Final))
+	return nil
+}
+
+// narratedProc is a LocalProcess that narrates the protocol hooks to the
+// output — the simulation's visible choreography.
+type narratedProc struct {
+	name string
+	out  io.Writer
+}
+
+func (p narratedProc) PreAction(step protocol.Step, ops []action.Op) error {
+	if len(ops) > 0 {
+		fmt.Fprintf(p.out, "  [%s] pre-action %s: %v\n", p.name, step.ActionID, ops)
+	}
+	return nil
+}
+
+func (p narratedProc) Reset(_ context.Context, step protocol.Step) error {
+	fmt.Fprintf(p.out, "  [%s] reset: safe state reached for %s\n", p.name, step.ActionID)
+	return nil
+}
+
+func (p narratedProc) InAction(step protocol.Step, ops []action.Op) error {
+	if len(ops) > 0 {
+		fmt.Fprintf(p.out, "  [%s] in-action %s: apply %v\n", p.name, step.ActionID, ops)
+	}
+	return nil
+}
+
+func (p narratedProc) Resume(step protocol.Step) error {
+	fmt.Fprintf(p.out, "  [%s] resume after %s\n", p.name, step.ActionID)
+	return nil
+}
+
+func (p narratedProc) PostAction(protocol.Step, []action.Op) error { return nil }
+
+func (p narratedProc) Rollback(step protocol.Step, _ []action.Op, applied bool) error {
+	fmt.Fprintf(p.out, "  [%s] rollback %s (in-action applied: %v)\n", p.name, step.ActionID, applied)
+	return nil
+}

@@ -1,0 +1,226 @@
+// Command videonode runs ONE node of the case study as its own OS
+// process, so the paper's deployment can be spread across real process
+// boundaries: a manager process, a video-server process, and one process
+// per client, with the stream on UDP and the coordination protocol on
+// TCP. cmd/videodemo runs everything in one process; this binary is the
+// fully distributed variant (see the integration test in this package,
+// which spawns all four).
+//
+// Roles:
+//
+//	videonode -role manager -listen 127.0.0.1:0
+//	    Prints "MANAGER_ADDR=<addr>", waits for the three agents, plans
+//	    and executes the DES-64 → DES-128 hardening, prints
+//	    "RESULT completed=<bool> steps=<n>", and exits.
+//
+//	videonode -role handheld|laptop -manager <addr> -duration 3s
+//	    Prints "DATA_ADDR=<udp addr>", receives and decodes the stream,
+//	    serves its adaptation agent, and at the end prints
+//	    "STATS ok=<n> corrupted=<n> incomplete=<n> leaked=<n>".
+//
+//	videonode -role server -manager <addr> -peers <udp1,udp2> -frames N
+//	    Streams N frames over UDP to the peers while serving its agent,
+//	    then prints "SENT frames=<n>" and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/adapters"
+	"repro/internal/agent"
+	"repro/internal/manager"
+	"repro/internal/metasocket"
+	"repro/internal/paper"
+	"repro/internal/planner"
+	"repro/internal/rtnet"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "videonode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	role := flag.String("role", "", "manager | server | handheld | laptop")
+	listen := flag.String("listen", "127.0.0.1:0", "manager TCP listen address")
+	managerAddr := flag.String("manager", "", "manager TCP address (agents)")
+	peers := flag.String("peers", "", "comma-separated client UDP addresses (server)")
+	frames := flag.Int("frames", 200, "frames to stream (server)")
+	duration := flag.Duration("duration", 3*time.Second, "how long to serve (clients)")
+	adaptAfter := flag.Int("adapt-after", 0, "frames before the manager adapts (manager; 0 = immediately after agents connect)")
+	flag.Parse()
+
+	switch *role {
+	case "manager":
+		return runManager(*listen, *adaptAfter)
+	case "server":
+		return runServer(*managerAddr, *peers, *frames)
+	case "handheld", "laptop":
+		return runClient(*role, *managerAddr, *duration)
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}
+
+func processOf(c string) string {
+	p, _ := paper.NewRegistry().ProcessOf(c)
+	return p
+}
+
+func runManager(listen string, adaptAfter int) error {
+	scenario, err := paper.NewScenario()
+	if err != nil {
+		return err
+	}
+	plan, err := planner.New(scenario.Invariants, scenario.Actions)
+	if err != nil {
+		return err
+	}
+	ep, err := transport.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+	fmt.Printf("MANAGER_ADDR=%s\n", ep.Addr())
+
+	if err := ep.WaitForAgents(30*time.Second,
+		paper.ProcessServer, paper.ProcessHandheld, paper.ProcessLaptop); err != nil {
+		return err
+	}
+	// Give the stream a head start so the adaptation happens mid-flight.
+	time.Sleep(300 * time.Millisecond)
+	_ = adaptAfter // the head-start delay stands in for a frame count
+
+	mgr, err := manager.New(ep, plan, manager.Options{
+		StepTimeout: 10 * time.Second,
+		ResetPhases: func(_ action.Action, participants []string) [][]string {
+			return video.SenderFirstPhases(participants)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := mgr.Execute(scenario.Source, scenario.Target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("RESULT completed=%v steps=%d\n", res.Completed, len(res.Steps))
+	return nil
+}
+
+func runServer(managerAddr, peerList string, frames int) error {
+	if managerAddr == "" || peerList == "" {
+		return fmt.Errorf("server needs -manager and -peers")
+	}
+	peers := strings.Split(peerList, ",")
+	tx, err := rtnet.NewTransmitter(peers...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = tx.Close() }()
+
+	factory := video.FilterFactory()
+	e1, err := factory("E1")
+	if err != nil {
+		return err
+	}
+	sendSock, err := metasocket.NewSendSocket(tx.Send, e1)
+	if err != nil {
+		return err
+	}
+	server, err := video.NewServer(sendSock, 256)
+	if err != nil {
+		return err
+	}
+
+	ag, closeAgent, err := startAgent(paper.ProcessServer, managerAddr,
+		adapters.NewSendProcess(paper.ProcessServer, sendSock, factory))
+	if err != nil {
+		return err
+	}
+	defer closeAgent()
+	_ = ag
+
+	if err := server.Stream(context.Background(), frames, 1024, 500*time.Microsecond); err != nil {
+		return err
+	}
+	// Linger so late protocol messages (post-stream steps) are served.
+	time.Sleep(500 * time.Millisecond)
+	fmt.Printf("SENT frames=%d\n", server.FramesSent())
+	sendSock.Close()
+	return nil
+}
+
+func runClient(role, managerAddr string, duration time.Duration) error {
+	if managerAddr == "" {
+		return fmt.Errorf("client needs -manager")
+	}
+	recv, err := rtnet.NewReceiver("127.0.0.1:0", 8192)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DATA_ADDR=%s\n", recv.Addr())
+
+	factory := video.FilterFactory()
+	initial := map[string]string{paper.ProcessHandheld: "D1", paper.ProcessLaptop: "D4"}[role]
+	dec, err := factory(initial)
+	if err != nil {
+		return err
+	}
+	client, err := video.BuildClient(role, dec)
+	if err != nil {
+		return err
+	}
+	client.Socket().SetPendingFunc(recv.Pending)
+	if err := client.Socket().Start(recv.Recv()); err != nil {
+		return err
+	}
+
+	_, closeAgent, err := startAgent(role, managerAddr,
+		adapters.NewRecvProcess(role, client.Socket(), factory))
+	if err != nil {
+		return err
+	}
+	defer closeAgent()
+
+	time.Sleep(duration)
+	_ = recv.Close()
+	client.Socket().Wait()
+	stats := client.Player().Finalize()
+	fmt.Printf("STATS ok=%d corrupted=%d incomplete=%d leaked=%d chain=%s\n",
+		stats.FramesOK, stats.FramesCorrupted, stats.FramesIncomplete,
+		stats.PacketsUndecoded, strings.Join(client.Socket().Filters(), "+"))
+	return nil
+}
+
+// startAgent dials the manager and runs the adaptation agent in the
+// background, returning a closer.
+func startAgent(name, managerAddr string, proc agent.LocalProcess) (*agent.Agent, func(), error) {
+	ep, err := transport.DialTCP(name, managerAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	ag, err := agent.New(name, ep, proc, agent.Options{
+		ResetTimeout: 10 * time.Second,
+		ProcessOf:    processOf,
+	})
+	if err != nil {
+		_ = ep.Close()
+		return nil, nil, err
+	}
+	go ag.Run()
+	return ag, func() {
+		ag.Close()
+		_ = ep.Close()
+	}, nil
+}

@@ -1,0 +1,86 @@
+package safeadapt_test
+
+import (
+	"strings"
+	"testing"
+
+	safeadapt "repro"
+	"repro/internal/spec"
+)
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := safeadapt.LoadFile("/nonexistent/system.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestNewRejectsBrokenSpec(t *testing.T) {
+	broken := spec.PaperSystem()
+	broken.Invariants[0].Predicate = "&&&"
+	if _, err := safeadapt.New(broken); err == nil {
+		t.Error("broken predicate should fail")
+	}
+}
+
+func TestPlanRejectsUnsafeEndpoints(t *testing.T) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsafe, err := sys.Registry().ConfigOf("E1", "E2", "D1", "D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Plan(unsafe, sys.Target()); err == nil {
+		t.Error("unsafe source should fail")
+	}
+	if _, err := sys.PlanAStar(unsafe, sys.Target()); err == nil {
+		t.Error("unsafe source should fail A* too")
+	}
+}
+
+func TestFormatConfigAndName(t *testing.T) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.FormatConfig(sys.Target()); !strings.Contains(got, "1010010") || !strings.Contains(got, "{D5,D3,E2}") {
+		t.Errorf("FormatConfig = %q", got)
+	}
+	if len(sys.Actions()) != 17 {
+		t.Errorf("Actions = %d", len(sys.Actions()))
+	}
+}
+
+func TestPlanDecomposedViaFacade(t *testing.T) {
+	sys, err := safeadapt.FromJSON([]byte(`{
+		"name": "two",
+		"components": [
+			{"name": "A1", "process": "p"}, {"name": "A2", "process": "p"},
+			{"name": "B1", "process": "q"}, {"name": "B2", "process": "q"}
+		],
+		"invariants": [
+			{"name": "a", "kind": "structural", "predicate": "oneof(A1, A2)"},
+			{"name": "b", "kind": "structural", "predicate": "oneof(B1, B2)"}
+		],
+		"actions": [
+			{"id": "SA", "operation": "A1 -> A2", "costMillis": 3},
+			{"id": "SB", "operation": "B1 -> B2", "costMillis": 4}
+		],
+		"source": ["A1", "B1"],
+		"target": ["A2", "B2"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.PlanDecomposed(sys.Source(), sys.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost().Milliseconds() != 7 {
+		t.Errorf("decomposed cost = %v", plan.Cost())
+	}
+	if len(plan.Steps()) != 2 {
+		t.Errorf("flattened steps = %d", len(plan.Steps()))
+	}
+}

@@ -1,0 +1,80 @@
+package safeadapt_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	safeadapt "repro"
+	"repro/internal/netsim"
+	"repro/internal/paper"
+	"repro/internal/video"
+)
+
+// TestFacadeEndToEndVideoAdaptation is the downstream-user path in one
+// test: load the case study through the public API (spec with declared
+// dataflow), wire the running video application's MetaSockets in as
+// LocalProcesses, deploy, and adapt mid-stream. The spec's dataflow —
+// not hand-written code — derives the reset-phase ordering that realizes
+// the global safe condition.
+func TestFacadeEndToEndVideoAdaptation(t *testing.T) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := video.NewSystem(video.SystemOptions{
+		Seed:     9,
+		Handheld: netsim.LinkProfile{Latency: 3 * time.Millisecond},
+		Laptop:   netsim.LinkProfile{Latency: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	procs := make(map[string]safeadapt.LocalProcess, 3)
+	for name, sp := range app.Processes() {
+		procs[name] = sp
+	}
+	dep, err := sys.Deploy(procs, safeadapt.DeployOptions{StepTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- app.Server.Stream(context.Background(), 120, 1024, 300*time.Microsecond)
+	}()
+	for app.Server.FramesSent() < 40 {
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err := dep.Adapt(sys.Source(), sys.Target())
+	if err != nil || !res.Completed {
+		t.Fatalf("adapt via facade: %v %+v", err, res)
+	}
+
+	if err := <-streamErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hh := app.Handheld.Player().Finalize()
+	lp := app.Laptop.Player().Finalize()
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if hh.FramesCorrupted+hh.PacketsUndecoded+lp.FramesCorrupted+lp.PacketsUndecoded != 0 {
+		t.Errorf("corruption: handheld %+v laptop %+v", hh, lp)
+	}
+	if hh.FramesOK != 120 || lp.FramesOK != 120 {
+		t.Errorf("frames OK: handheld %d laptop %d, want 120", hh.FramesOK, lp.FramesOK)
+	}
+	cfg := app.ConfigurationOf()
+	if cfg[paper.ProcessServer][0] != "E2" || cfg[paper.ProcessHandheld][0] != "D3" || cfg[paper.ProcessLaptop][0] != "D5" {
+		t.Errorf("final chains = %v", cfg)
+	}
+}

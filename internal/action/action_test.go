@@ -1,0 +1,315 @@
+package action
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+)
+
+func reg(t *testing.T) *model.Registry {
+	t.Helper()
+	return model.MustRegistry(
+		model.Component{Name: "E1", Process: "server"},
+		model.Component{Name: "E2", Process: "server"},
+		model.Component{Name: "D1", Process: "handheld"},
+		model.Component{Name: "D2", Process: "handheld"},
+		model.Component{Name: "D3", Process: "handheld"},
+		model.Component{Name: "D4", Process: "laptop"},
+		model.Component{Name: "D5", Process: "laptop"},
+	)
+}
+
+func TestParseOpsReplace(t *testing.T) {
+	ops, err := ParseOps("E1 -> E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Kind != Replace || ops[0].Old != "E1" || ops[0].New != "E2" {
+		t.Errorf("ParseOps = %+v", ops)
+	}
+}
+
+func TestParseOpsInsertRemove(t *testing.T) {
+	ops, err := ParseOps("+D5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Kind != Insert || ops[0].New != "D5" {
+		t.Errorf("insert = %+v", ops)
+	}
+	ops, err = ParseOps("-D4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Kind != Remove || ops[0].Old != "D4" {
+		t.Errorf("remove = %+v", ops)
+	}
+}
+
+func TestParseOpsTuple(t *testing.T) {
+	ops, err := ParseOps("(D1, D4, E1) -> (D2, D5, E2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("tuple ops = %+v", ops)
+	}
+	want := []Op{
+		{Kind: Replace, Old: "D1", New: "D2"},
+		{Kind: Replace, Old: "D4", New: "D5"},
+		{Kind: Replace, Old: "E1", New: "E2"},
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseOpsMixedList(t *testing.T) {
+	ops, err := ParseOps("+D5, -D4, D1 -> D2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 || ops[0].Kind != Insert || ops[1].Kind != Remove || ops[2].Kind != Replace {
+		t.Errorf("mixed ops = %+v", ops)
+	}
+}
+
+func TestParseOpsErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"+",
+		"-",
+		"->",
+		"E1 ->",
+		"-> E2",
+		"(A, B) -> (C)",
+		"(A, ) -> (C, D)",
+		"E1 ? E2",
+		"E1 -> E2,",
+	}
+	for _, s := range bad {
+		if _, err := ParseOps(s); err == nil {
+			t.Errorf("ParseOps(%q) should fail", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := reg(t)
+	good := MustNew("A1", "E1 -> E2", time.Millisecond, "")
+	if err := good.Validate(r); err != nil {
+		t.Errorf("valid action rejected: %v", err)
+	}
+	cases := []Action{
+		{ID: "", Ops: []Op{{Kind: Insert, New: "E1"}}},
+		{ID: "X", Ops: nil},
+		{ID: "X", Ops: []Op{{Kind: Insert, New: "E1"}}, Cost: -1},
+		{ID: "X", Ops: []Op{{Kind: Insert, New: "ZZ"}}},
+		{ID: "X", Ops: []Op{{Kind: Insert, Old: "E1", New: "E2"}}},
+		{ID: "X", Ops: []Op{{Kind: Remove, New: "E1"}}},
+		{ID: "X", Ops: []Op{{Kind: Replace, Old: "E1"}}},
+		{ID: "X", Ops: []Op{{Kind: OpKind(9), Old: "E1", New: "E2"}}},
+	}
+	for i, a := range cases {
+		if err := a.Validate(r); err == nil {
+			t.Errorf("case %d (%+v) should fail validation", i, a)
+		}
+	}
+}
+
+func TestApplyReplace(t *testing.T) {
+	r := reg(t)
+	a := MustNew("A1", "E1 -> E2", 10*time.Millisecond, "")
+	src := r.MustConfigOf("E1", "D1", "D4")
+	got, ok := a.Apply(r, src)
+	if !ok {
+		t.Fatal("apply should succeed")
+	}
+	want := r.MustConfigOf("E2", "D1", "D4")
+	if got != want {
+		t.Errorf("Apply = %s, want %s", r.BitVector(got), r.BitVector(want))
+	}
+	// Precondition failures:
+	if _, ok := a.Apply(r, r.MustConfigOf("E2", "D1")); ok {
+		t.Error("replace with absent Old should fail")
+	}
+	if _, ok := a.Apply(r, r.MustConfigOf("E1", "E2")); ok {
+		t.Error("replace with present New should fail")
+	}
+}
+
+func TestApplyInsertRemove(t *testing.T) {
+	r := reg(t)
+	ins := MustNew("A17", "+D5", 10*time.Millisecond, "")
+	rem := MustNew("A16", "-D4", 10*time.Millisecond, "")
+
+	src := r.MustConfigOf("D4")
+	c, ok := ins.Apply(r, src)
+	if !ok || !r.Contains(c, "D5") {
+		t.Error("insert D5 failed")
+	}
+	if _, ok := ins.Apply(r, c); ok {
+		t.Error("inserting present component should fail")
+	}
+	c2, ok := rem.Apply(r, c)
+	if !ok || r.Contains(c2, "D4") {
+		t.Error("remove D4 failed")
+	}
+	if _, ok := rem.Apply(r, c2); ok {
+		t.Error("removing absent component should fail")
+	}
+}
+
+func TestApplyCompoundAtomicity(t *testing.T) {
+	r := reg(t)
+	a := MustNew("A13", "(D1, D4, E1) -> (D2, D5, E2)", 150*time.Millisecond, "")
+	// Missing D4: the compound must fail as a whole and leave the input
+	// configuration unchanged.
+	src := r.MustConfigOf("D1", "E1")
+	got, ok := a.Apply(r, src)
+	if ok {
+		t.Error("compound with missing component should fail")
+	}
+	if got != src {
+		t.Error("failed apply must return the original configuration")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := reg(t)
+	cases := []string{"E1 -> E2", "+D5", "-D4", "(D1, D4, E1) -> (D2, D5, E2)", "+D5, -D4"}
+	for _, notation := range cases {
+		a := MustNew("X", notation, 5*time.Millisecond, "")
+		src := r.MustConfigOf("E1", "D1", "D4")
+		mid, ok := a.Apply(r, src)
+		if !ok {
+			continue // precondition doesn't hold for this fixture; skip
+		}
+		back, ok := a.Inverse().Apply(r, mid)
+		if !ok {
+			t.Errorf("%q: inverse not applicable", notation)
+			continue
+		}
+		if back != src {
+			t.Errorf("%q: inverse(%s) = %s, want %s", notation, r.BitVector(mid), r.BitVector(back), r.BitVector(src))
+		}
+	}
+}
+
+func TestComponentsAndProcesses(t *testing.T) {
+	r := reg(t)
+	a := MustNew("A13", "(D1, D4, E1) -> (D2, D5, E2)", 0, "")
+	comps := a.Components()
+	if len(comps) != 6 {
+		t.Errorf("Components = %v", comps)
+	}
+	ps, err := a.Processes(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"handheld", "laptop", "server"}
+	if len(ps) != 3 {
+		t.Fatalf("Processes = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("Processes = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestOperationRendering(t *testing.T) {
+	tests := []struct {
+		notation string
+		want     string
+	}{
+		{"E1 -> E2", "E1 -> E2"},
+		{"+D5", "+D5"},
+		{"-D4", "-D4"},
+		{"(D1, E1) -> (D2, E2)", "(D1, E1) -> (D2, E2)"},
+	}
+	for _, tt := range tests {
+		a := MustNew("X", tt.notation, 0, "")
+		if got := a.Operation(); got != tt.want {
+			t.Errorf("Operation(%q) = %q, want %q", tt.notation, got, tt.want)
+		}
+	}
+}
+
+// TestPaperTable2 verifies all seventeen actions of Table 2 parse,
+// validate, and carry the paper's costs.
+func TestPaperTable2(t *testing.T) {
+	r := reg(t)
+	rows := []struct {
+		id       string
+		notation string
+		costMS   int
+	}{
+		{"A1", "E1 -> E2", 10},
+		{"A2", "D1 -> D2", 10},
+		{"A3", "D1 -> D3", 10},
+		{"A4", "D2 -> D3", 10},
+		{"A5", "D4 -> D5", 10},
+		{"A6", "(D1, E1) -> (D2, E2)", 100},
+		{"A7", "(D1, E1) -> (D3, E2)", 100},
+		{"A8", "(D2, E1) -> (D3, E2)", 100},
+		{"A9", "(D4, E1) -> (D5, E2)", 100},
+		{"A10", "(D1, D4) -> (D2, D5)", 50},
+		{"A11", "(D1, D4) -> (D3, D5)", 50},
+		{"A12", "(D2, D4) -> (D3, D5)", 50},
+		{"A13", "(D1, D4, E1) -> (D2, D5, E2)", 150},
+		{"A14", "(D1, D4, E1) -> (D3, D5, E2)", 150},
+		{"A15", "(D2, D4, E1) -> (D3, D5, E2)", 150},
+		{"A16", "-D4", 10},
+		{"A17", "+D5", 10},
+	}
+	for _, row := range rows {
+		a, err := New(row.id, row.notation, time.Duration(row.costMS)*time.Millisecond, "")
+		if err != nil {
+			t.Errorf("%s: %v", row.id, err)
+			continue
+		}
+		if err := a.Validate(r); err != nil {
+			t.Errorf("%s: %v", row.id, err)
+		}
+		if a.Cost != time.Duration(row.costMS)*time.Millisecond {
+			t.Errorf("%s cost = %v", row.id, a.Cost)
+		}
+	}
+}
+
+// TestPropertyInverseRoundTrip: for random applicable single-replace
+// actions, inverse(apply(c)) == c.
+func TestPropertyInverseRoundTrip(t *testing.T) {
+	r := reg(t)
+	names := r.Names()
+	f := func(rawCfg uint8, oldIdx, newIdx uint8) bool {
+		c := model.Config(rawCfg) & r.FullConfig()
+		old := names[int(oldIdx)%len(names)]
+		new_ := names[int(newIdx)%len(names)]
+		if old == new_ {
+			return true
+		}
+		a := Action{ID: "p", Ops: []Op{{Kind: Replace, Old: old, New: new_}}}
+		mid, ok := a.Apply(r, c)
+		if !ok {
+			return mid == c // failed apply must not mutate
+		}
+		back, ok2 := a.Inverse().Apply(r, mid)
+		return ok2 && back == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	a := MustNew("A2", "D1 -> D2", 10*time.Millisecond, "replace D1 with D2")
+	if got := a.String(); got != "A2: D1 -> D2 (cost 10ms)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,142 @@
+package action
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseOps parses Table 2's operation notation into primitive operations.
+// Accepted forms (comma-separable, whitespace-insensitive):
+//
+//	E1 -> E2               replace E1 with E2
+//	(D1, E1) -> (D2, E2)   compound replace, positionally paired
+//	+D5                    insert D5
+//	-D4                    remove D4
+//
+// Compound replaces require old and new tuples of equal length.
+func ParseOps(notation string) ([]Op, error) {
+	s := strings.TrimSpace(notation)
+	if s == "" {
+		return nil, fmt.Errorf("action: empty operation notation")
+	}
+
+	// Tuple replace: "(a, b) -> (c, d)".
+	if strings.HasPrefix(s, "(") {
+		return parseTupleReplace(s)
+	}
+
+	var ops []Op
+	for _, part := range splitTopLevel(s) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("action: empty operation in %q", notation)
+		}
+		switch {
+		case strings.HasPrefix(part, "+"):
+			name := strings.TrimSpace(part[1:])
+			if name == "" {
+				return nil, fmt.Errorf("action: insert with empty component in %q", notation)
+			}
+			ops = append(ops, Op{Kind: Insert, New: name})
+		case strings.HasPrefix(part, "-") && !strings.Contains(part, "->"):
+			name := strings.TrimSpace(part[1:])
+			if name == "" {
+				return nil, fmt.Errorf("action: remove with empty component in %q", notation)
+			}
+			ops = append(ops, Op{Kind: Remove, Old: name})
+		case strings.Contains(part, "->"):
+			halves := strings.SplitN(part, "->", 2)
+			old := strings.TrimSpace(halves[0])
+			new_ := strings.TrimSpace(halves[1])
+			if old == "" || new_ == "" {
+				return nil, fmt.Errorf("action: malformed replace %q", part)
+			}
+			ops = append(ops, Op{Kind: Replace, Old: old, New: new_})
+		default:
+			return nil, fmt.Errorf("action: unrecognized operation %q", part)
+		}
+	}
+	return ops, nil
+}
+
+// parseTupleReplace parses "(a, b, ...) -> (c, d, ...)".
+func parseTupleReplace(s string) ([]Op, error) {
+	halves := strings.SplitN(s, "->", 2)
+	if len(halves) != 2 {
+		return nil, fmt.Errorf("action: tuple notation %q missing \"->\"", s)
+	}
+	olds, err := parseTuple(halves[0])
+	if err != nil {
+		return nil, fmt.Errorf("action: %q: %w", s, err)
+	}
+	news, err := parseTuple(halves[1])
+	if err != nil {
+		return nil, fmt.Errorf("action: %q: %w", s, err)
+	}
+	if len(olds) != len(news) {
+		return nil, fmt.Errorf("action: %q: tuple lengths differ (%d vs %d)", s, len(olds), len(news))
+	}
+	ops := make([]Op, len(olds))
+	for i := range olds {
+		ops[i] = Op{Kind: Replace, Old: olds[i], New: news[i]}
+	}
+	return ops, nil
+}
+
+func parseTuple(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("malformed tuple %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty element in tuple %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// splitTopLevel splits on commas that are not inside parentheses.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// New parses the operation notation and builds an Action.
+func New(id, notation string, cost time.Duration, description string) (Action, error) {
+	ops, err := ParseOps(notation)
+	if err != nil {
+		return Action{}, fmt.Errorf("action %s: %w", id, err)
+	}
+	return Action{ID: id, Ops: ops, Cost: cost, Description: description}, nil
+}
+
+// MustNew is New that panics on error, for statically known action tables.
+func MustNew(id, notation string, cost time.Duration, description string) Action {
+	a, err := New(id, notation, cost, description)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,56 @@
+package adapters
+
+import (
+	"context"
+
+	"repro/internal/metasocket"
+	"repro/internal/tlogic"
+)
+
+// NewMonitoredRecvProcess adapts a receiving MetaSocket whose safe state
+// is *derived* from a temporal specification instead of hand-identified —
+// the paper's future-work proposal (Sec. 7). The monitor's obligations
+// define when the process may be blocked: Reset waits for the link to
+// drain (the global safe condition, as usual) and then for every
+// outstanding obligation of the specification to be fulfilled before
+// blocking at a packet boundary.
+//
+// Feeding the monitor is the application's job (wire socket observers to
+// Monitor.Observe); typical specifications correlate per packet
+// ("after recv expect deliver") or per frame ("after frame-begin expect
+// frame-end"), giving segment- or frame-granular safe states without
+// writing detection code.
+func NewMonitoredRecvProcess(process string, sock *metasocket.RecvSocket, factory FilterFactory, mon *tlogic.Monitor) *SocketProcess {
+	return &SocketProcess{
+		process: process,
+		host:    sock,
+		factory: factory,
+		drain: func(ctx context.Context) error {
+			if err := sock.WaitDrained(ctx); err != nil {
+				return err
+			}
+			return mon.WaitSafe(ctx)
+		},
+	}
+}
+
+// MonitorFrames wires frame-granularity obligations onto a receive
+// socket: the first fragment of a frame opens an obligation that the last
+// fragment discharges, so the derived safe state never splits a frame
+// across an adaptation. Call before traffic starts; the returned monitor
+// is ready to pass to NewMonitoredRecvProcess.
+func MonitorFrames(sock *metasocket.RecvSocket) *tlogic.Monitor {
+	mon := tlogic.MustMonitor("after frame-begin expect frame-end")
+	sock.SetDeliveryObserver(func(p metasocket.Packet) {
+		if p.Count <= 1 {
+			return // single-fragment frames are atomic already
+		}
+		switch p.Index {
+		case 0:
+			mon.Observe("frame-begin", uint64(p.Frame))
+		case p.Count - 1:
+			mon.Observe("frame-end", uint64(p.Frame))
+		}
+	})
+	return mon
+}

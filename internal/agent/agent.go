@@ -1,0 +1,457 @@
+// Package agent implements the per-process adaptation agent of the safe
+// adaptation protocol (paper Sec. 4.3, Fig. 1).
+//
+// An agent attaches to one process. It receives adaptive commands from
+// the adaptation manager, drives the local process through the state
+// sequence
+//
+//	running → resetting → safe → adapted → resuming → running
+//
+// and reports status back. Rollback commands return the process to
+// running with the step undone (the dashed failure-handling transitions of
+// Fig. 1).
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// State is an agent state from Fig. 1.
+type State int
+
+// Agent states. Names in String() match the figure.
+const (
+	StateRunning State = iota + 1
+	StateResetting
+	StateSafe
+	StateAdapted
+	StateResuming
+)
+
+// String returns the figure's name for the state.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateResetting:
+		return "resetting"
+	case StateSafe:
+		return "safe"
+	case StateAdapted:
+		return "adapted"
+	case StateResuming:
+		return "resuming"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// LocalProcess is the hook interface connecting an agent to the process it
+// manages. Implementations adapt the actual application (a MetaSocket
+// pipeline, a service, ...). All methods are called from the agent's
+// single run goroutine, never concurrently.
+type LocalProcess interface {
+	// PreAction prepares the step without disturbing functional behavior,
+	// e.g. instantiating and initializing new components (paper: the
+	// pre-action).
+	PreAction(step protocol.Step, ops []action.Op) error
+
+	// Reset drives the process to its local safe state — and any local
+	// share of the step's global safe condition — and blocks it there.
+	// Reset returns once the process is held safely blocked. It must
+	// honor ctx: when ctx is cancelled (fail-to-reset timeout), Reset
+	// must abandon the attempt, restore full operation, and return
+	// ctx.Err().
+	Reset(ctx context.Context, step protocol.Step) error
+
+	// InAction atomically alters the process structure (paper: the
+	// in-action). It runs only while the process is safely blocked.
+	InAction(step protocol.Step, ops []action.Op) error
+
+	// Resume restores the process' full operation after the in-action.
+	Resume(step protocol.Step) error
+
+	// PostAction performs cleanup after resumption, e.g. destroying old
+	// components (paper: the post-action).
+	PostAction(step protocol.Step, ops []action.Op) error
+
+	// Rollback undoes the step and restores full operation in the
+	// pre-step structure. inActionApplied reports whether InAction had
+	// completed; when false only the pre-action and blocking need
+	// undoing.
+	Rollback(step protocol.Step, ops []action.Op, inActionApplied bool) error
+}
+
+// Transition is one recorded state transition, for protocol-conformance
+// tests against Fig. 1.
+type Transition struct {
+	From, To State
+	// Cause is the triggering event, e.g. `receive "reset"` or
+	// `send "adapt done"`.
+	Cause string
+	// Step identifies the adaptation step, as "pathIndex/attempt".
+	Step string
+	At   time.Time
+}
+
+// Options configures an agent.
+type Options struct {
+	// ResetTimeout bounds how long the local process may take to reach
+	// its safe state before the agent reports a fail-to-reset failure
+	// (Sec. 4.4). Zero means 2s.
+	ResetTimeout time.Duration
+	// ProcessOf maps a component name to its hosting process name; the
+	// agent uses it to select its share of a step's operations.
+	ProcessOf func(component string) string
+}
+
+// Agent is one adaptation agent. Create with New, start with Run (usually
+// in a goroutine), stop with Close.
+type Agent struct {
+	name string
+	ep   transport.Endpoint
+	proc LocalProcess
+	opts Options
+
+	mu    sync.Mutex
+	state State
+	trace []Transition
+
+	// current step bookkeeping (guarded by the run loop, mirrored under
+	// mu for observers)
+	curStep   protocol.Step
+	haveStep  bool
+	inActDone bool
+
+	// lastDone remembers the most recently completed step so that a late
+	// rollback command — e.g. the manager timed out on replies that were
+	// lost after a single-participant step had already resumed — can be
+	// honored by genuinely undoing the step rather than acknowledging
+	// vacuously.
+	lastDone protocol.Step
+	haveDone bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates an agent for the named process. ep must be registered under
+// the same name on the transport.
+func New(name string, ep transport.Endpoint, proc LocalProcess, opts Options) (*Agent, error) {
+	if name == "" {
+		return nil, fmt.Errorf("agent: empty name")
+	}
+	if ep == nil || proc == nil {
+		return nil, fmt.Errorf("agent %q: nil endpoint or process", name)
+	}
+	if opts.ResetTimeout <= 0 {
+		opts.ResetTimeout = 2 * time.Second
+	}
+	if opts.ProcessOf == nil {
+		return nil, fmt.Errorf("agent %q: ProcessOf mapping is required", name)
+	}
+	return &Agent{
+		name:  name,
+		ep:    ep,
+		proc:  proc,
+		opts:  opts,
+		state: StateRunning,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Name returns the agent's process name.
+func (a *Agent) Name() string { return a.name }
+
+// State returns the agent's current state.
+func (a *Agent) State() State {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state
+}
+
+// Trace returns a copy of the recorded state transitions.
+func (a *Agent) Trace() []Transition {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Transition, len(a.trace))
+	copy(out, a.trace)
+	return out
+}
+
+// Run processes manager commands until Close is called or the endpoint's
+// inbox closes. Call it in a dedicated goroutine.
+func (a *Agent) Run() {
+	defer close(a.done)
+	for {
+		select {
+		case <-a.stop:
+			return
+		case msg, ok := <-a.ep.Inbox():
+			if !ok {
+				return
+			}
+			a.handle(msg)
+		}
+	}
+}
+
+// Close stops the agent and waits for Run to return.
+func (a *Agent) Close() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+}
+
+func (a *Agent) transition(to State, cause string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.trace = append(a.trace, Transition{
+		From:  a.state,
+		To:    to,
+		Cause: cause,
+		Step:  fmt.Sprintf("%d/%d", a.curStep.PathIndex, a.curStep.Attempt),
+		At:    time.Now(),
+	})
+	a.state = to
+}
+
+func (a *Agent) send(t protocol.MsgType, step protocol.Step, errText string) {
+	msg := protocol.Message{
+		Type:  t,
+		To:    protocol.ManagerName,
+		Step:  step,
+		Error: errText,
+	}
+	// Transport loss is a modeled failure; nothing useful to do locally.
+	_ = a.ep.Send(msg)
+}
+
+func (a *Agent) handle(msg protocol.Message) {
+	switch msg.Type {
+	case protocol.MsgReset:
+		a.handleReset(msg.Step)
+	case protocol.MsgResume:
+		a.handleResume(msg.Step)
+	case protocol.MsgRollback:
+		a.handleRollback(msg.Step)
+	default:
+		// Agents ignore anything else (e.g. stray replies).
+	}
+}
+
+func sameStep(a, b protocol.Step) bool {
+	return a.PathIndex == b.PathIndex && a.Attempt == b.Attempt && a.ActionID == b.ActionID
+}
+
+// localOps returns the agent's share of the step's operations.
+func (a *Agent) localOps(step protocol.Step) []action.Op {
+	return step.OpsFor(a.name, a.opts.ProcessOf)
+}
+
+func (a *Agent) handleReset(step protocol.Step) {
+	a.mu.Lock()
+	state := a.state
+	cur := a.curStep
+	have := a.haveStep
+	a.mu.Unlock()
+
+	if have && sameStep(cur, step) {
+		// Duplicate reset (a retry after a lost reply): re-announce the
+		// current status instead of redoing work.
+		switch state {
+		case StateSafe:
+			a.send(protocol.MsgResetDone, step, "")
+			return
+		case StateAdapted:
+			a.send(protocol.MsgAdaptDone, step, "")
+			return
+		}
+	}
+	if state != StateRunning {
+		// A reset for a different step while mid-step is a protocol
+		// violation; report failure so the manager can recover.
+		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("agent %s busy in state %s", a.name, state))
+		return
+	}
+
+	a.mu.Lock()
+	a.curStep = step
+	a.haveStep = true
+	a.inActDone = false
+	// A fresh reset means the manager accepted the previous step's
+	// outcome; its undo window is over.
+	a.haveDone = false
+	a.mu.Unlock()
+
+	ops := a.localOps(step)
+
+	// Pre-action: does not interfere with functional behavior.
+	if err := a.proc.PreAction(step, ops); err != nil {
+		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("pre-action: %v", err))
+		return
+	}
+
+	// Resetting: drive to local safe state (Fig. 1 "resetting do: reset").
+	a.transition(StateResetting, `receive "reset"`)
+	ctx, cancel := context.WithTimeout(context.Background(), a.opts.ResetTimeout)
+	err := a.proc.Reset(ctx, step)
+	cancel()
+	if err != nil {
+		// Fail-to-reset failure (Sec. 4.4): undo the pre-action and
+		// return to running.
+		_ = a.proc.Rollback(step, ops, false)
+		a.transition(StateRunning, "[fail to reset] / rollback")
+		a.clearStep()
+		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("reset: %v", err))
+		return
+	}
+	a.transition(StateSafe, `[reset complete] / send "reset done"`)
+	a.send(protocol.MsgResetDone, step, "")
+
+	// In-action: performed while safely blocked.
+	if err := a.proc.InAction(step, ops); err != nil {
+		a.send(protocol.MsgAdaptFailed, step, fmt.Sprintf("in-action: %v", err))
+		return // await rollback command
+	}
+	a.mu.Lock()
+	a.inActDone = true
+	a.mu.Unlock()
+	a.transition(StateAdapted, `[adaptive action complete] / send "adapt done"`)
+	a.send(protocol.MsgAdaptDone, step, "")
+
+	// Single-participant shortcut (Fig. 1): no need to stay blocked.
+	if len(step.Participants) == 1 && step.Participants[0] == a.name {
+		a.doResume(step, "single process: proceed to resume")
+	}
+}
+
+func (a *Agent) handleResume(step protocol.Step) {
+	a.mu.Lock()
+	state := a.state
+	cur := a.curStep
+	have := a.haveStep
+	a.mu.Unlock()
+
+	if !have || !sameStep(cur, step) {
+		// Possibly a duplicate resume after we already finished: confirm
+		// again so the manager can make progress.
+		if state == StateRunning {
+			a.send(protocol.MsgResumeDone, step, "")
+		}
+		return
+	}
+	if state != StateAdapted {
+		if state == StateRunning {
+			// Already resumed (duplicate message); re-acknowledge.
+			a.send(protocol.MsgResumeDone, step, "")
+		}
+		return
+	}
+	a.doResume(step, `receive "resume"`)
+}
+
+func (a *Agent) doResume(step protocol.Step, cause string) {
+	ops := a.localOps(step)
+	a.transition(StateResuming, cause)
+	if err := a.proc.Resume(step); err != nil {
+		// Resumption failures are reported as adapt failures; the
+		// adaptation has passed the point of no return, so the manager
+		// will keep retrying resume (run to completion).
+		a.transition(StateAdapted, "resume failed; re-blocking")
+		a.send(protocol.MsgAdaptFailed, step, fmt.Sprintf("resume: %v", err))
+		return
+	}
+	a.transition(StateRunning, `[resumption complete] / send "resume done"`)
+	a.send(protocol.MsgResumeDone, step, "")
+	// Post-action after reporting, per Fig. 1: "sends the manager a
+	// resume done message and performs the local post-action".
+	if err := a.proc.PostAction(step, ops); err != nil {
+		// Post-actions are cleanup; failure does not endanger safety.
+		_ = err
+	}
+	a.mu.Lock()
+	a.lastDone = step
+	a.haveDone = true
+	a.mu.Unlock()
+	a.clearStep()
+}
+
+func (a *Agent) handleRollback(step protocol.Step) {
+	a.mu.Lock()
+	state := a.state
+	cur := a.curStep
+	have := a.haveStep
+	applied := a.inActDone
+	done := a.lastDone
+	haveDone := a.haveDone
+	a.mu.Unlock()
+
+	if !have || !sameStep(cur, step) {
+		if haveDone && sameStep(done, step) {
+			// The step already ran to completion here (e.g. a
+			// single-participant step whose replies were lost), but the
+			// manager decided to roll it back: genuinely undo it —
+			// re-enter the safe state, apply the inverse, resume.
+			a.undoCompletedStep(step)
+			return
+		}
+		// Nothing in flight for that step; acknowledge so the manager
+		// can proceed (idempotent rollback).
+		a.send(protocol.MsgRollbackDone, step, "")
+		return
+	}
+	switch state {
+	case StateResetting, StateSafe, StateAdapted, StateResuming:
+		ops := a.localOps(step)
+		if err := a.proc.Rollback(step, ops, applied); err != nil {
+			a.send(protocol.MsgResetFailed, step, fmt.Sprintf("rollback: %v", err))
+			return
+		}
+		a.transition(StateRunning, `receive "rollback"`)
+		a.clearStep()
+		a.send(protocol.MsgRollbackDone, step, "")
+	case StateRunning:
+		a.send(protocol.MsgRollbackDone, step, "")
+	}
+}
+
+// undoCompletedStep reverses a step that had fully completed locally: the
+// process is driven back to its safe state, the inverse operations are
+// applied (via LocalProcess.Rollback with inActionApplied=true), and full
+// operation resumes in the pre-step structure.
+func (a *Agent) undoCompletedStep(step protocol.Step) {
+	ops := a.localOps(step)
+	ctx, cancel := context.WithTimeout(context.Background(), a.opts.ResetTimeout)
+	defer cancel()
+	if err := a.proc.Reset(ctx, step); err != nil {
+		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("undo: reset: %v", err))
+		return
+	}
+	if err := a.proc.Rollback(step, ops, true); err != nil {
+		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("undo: %v", err))
+		return
+	}
+	a.mu.Lock()
+	a.haveDone = false
+	a.mu.Unlock()
+	a.send(protocol.MsgRollbackDone, step, "")
+}
+
+func (a *Agent) clearStep() {
+	a.mu.Lock()
+	a.haveStep = false
+	a.inActDone = false
+	a.mu.Unlock()
+}

@@ -1,0 +1,171 @@
+package agent_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/protocol"
+)
+
+// TestAgentBusyRejectsDifferentStep: a reset for a *different* step while
+// the agent is mid-step is a protocol violation the agent must refuse
+// with a reset-failed report, leaving the current step undisturbed.
+func TestAgentBusyRejectsDifferentStep(t *testing.T) {
+	proc := &fakeProc{}
+	h := newHarness(t, proc)
+
+	first := multiStep()
+	h.send(t, protocol.MsgReset, first)
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone) // parked in adapted
+
+	second := multiStep()
+	second.PathIndex = 9
+	second.Attempt = 9
+	second.ActionID = "A4"
+	h.send(t, protocol.MsgReset, second)
+	msg := h.expect(t, protocol.MsgResetFailed)
+	if msg.Step.ActionID != "A4" {
+		t.Errorf("failure must reference the rejected step, got %+v", msg.Step)
+	}
+	if s := h.agent.State(); s != agent.StateAdapted {
+		t.Errorf("current step must be undisturbed; state = %v", s)
+	}
+
+	// The original step can still finish.
+	h.send(t, protocol.MsgResume, first)
+	h.expect(t, protocol.MsgResumeDone)
+}
+
+// TestAgentPostActionFailureTolerated: post-actions are cleanup; their
+// failure must not affect the protocol outcome (the step already
+// reported resume done).
+func TestAgentPostActionFailureTolerated(t *testing.T) {
+	proc := &fakeProc{postErr: errors.New("cleanup failed")}
+	h := newHarness(t, proc)
+
+	h.send(t, protocol.MsgReset, singleStep())
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone)
+	h.expect(t, protocol.MsgResumeDone)
+	if s := h.agent.State(); s != agent.StateRunning {
+		t.Errorf("state = %v", s)
+	}
+}
+
+// TestAgentResumeFailureReblocks: a failing Resume re-parks the agent in
+// adapted (Fig. 1 has no other legal place) and reports adapt-failed so
+// the manager's resume retry loop can drive it again.
+func TestAgentResumeFailureReblocks(t *testing.T) {
+	proc := &fakeProc{resumeErrs: 1}
+	h := newHarness(t, proc)
+	step := multiStep()
+
+	h.send(t, protocol.MsgReset, step)
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone)
+
+	h.send(t, protocol.MsgResume, step)
+	h.expect(t, protocol.MsgAdaptFailed)
+	if s := h.agent.State(); s != agent.StateAdapted {
+		t.Fatalf("state = %v, want adapted (re-blocked)", s)
+	}
+
+	// Second resume succeeds.
+	h.send(t, protocol.MsgResume, step)
+	h.expect(t, protocol.MsgResumeDone)
+	if s := h.agent.State(); s != agent.StateRunning {
+		t.Errorf("state = %v", s)
+	}
+}
+
+// TestAgentIgnoresUnknownMessageTypes: stray protocol messages must not
+// disturb the agent.
+func TestAgentIgnoresUnknownMessageTypes(t *testing.T) {
+	proc := &fakeProc{}
+	h := newHarness(t, proc)
+	h.send(t, protocol.MsgResetDone, singleStep()) // agents never receive this
+	h.send(t, protocol.MsgHello, singleStep())
+	time.Sleep(30 * time.Millisecond)
+	if s := h.agent.State(); s != agent.StateRunning {
+		t.Errorf("state = %v", s)
+	}
+	if got := len(proc.Calls()); got != 0 {
+		t.Errorf("process hooks invoked: %v", proc.Calls())
+	}
+}
+
+// TestAgentLateRollbackUndoesCompletedStep: a single-participant step
+// completes locally (reset, in-action, self-resume), but the manager —
+// whose copies of the replies were lost — commands a rollback. The agent
+// must genuinely undo the step (safe state, inverse ops, resume), not
+// acknowledge vacuously, or its chain would diverge from the manager's
+// configuration model.
+func TestAgentLateRollbackUndoesCompletedStep(t *testing.T) {
+	proc := &fakeProc{}
+	h := newHarness(t, proc)
+	step := singleStep() // single participant: agent resumes on its own
+
+	h.send(t, protocol.MsgReset, step)
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone)
+	h.expect(t, protocol.MsgResumeDone) // completed locally
+
+	h.send(t, protocol.MsgRollback, step)
+	h.expect(t, protocol.MsgRollbackDone)
+	if proc.rolledBack != 1 {
+		t.Errorf("rollbacks = %d, want 1 (the completed step must be undone)", proc.rolledBack)
+	}
+	calls := proc.Calls()
+	// The undo re-enters the safe state before applying the inverse:
+	// ... resume post reset rollback.
+	if len(calls) < 2 || calls[len(calls)-2] != "reset" || calls[len(calls)-1] != "rollback" {
+		t.Errorf("undo call order = %v", calls)
+	}
+
+	// A second rollback for the same step is now vacuous.
+	h.send(t, protocol.MsgRollback, step)
+	h.expect(t, protocol.MsgRollbackDone)
+	if proc.rolledBack != 1 {
+		t.Errorf("repeat rollback must be idempotent; rollbacks = %d", proc.rolledBack)
+	}
+}
+
+// TestAgentNewStepCommitsPreviousOne: once a fresh reset arrives, the
+// previous step's undo window closes — a stale rollback for it is then
+// acknowledged without undoing.
+func TestAgentNewStepCommitsPreviousOne(t *testing.T) {
+	proc := &fakeProc{}
+	h := newHarness(t, proc)
+
+	first := singleStep()
+	h.send(t, protocol.MsgReset, first)
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone)
+	h.expect(t, protocol.MsgResumeDone)
+
+	second := singleStep()
+	second.PathIndex = 1
+	second.Attempt = 2
+	second.ActionID = "A4"
+	h.send(t, protocol.MsgReset, second)
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone)
+	h.expect(t, protocol.MsgResumeDone)
+
+	h.send(t, protocol.MsgRollback, first) // stale: undo window closed
+	h.expect(t, protocol.MsgRollbackDone)
+	if proc.rolledBack != 0 {
+		t.Errorf("stale rollback must not undo; rollbacks = %d", proc.rolledBack)
+	}
+}
+
+// TestAgentCloseIsIdempotent and joins Run.
+func TestAgentCloseIsIdempotent(t *testing.T) {
+	proc := &fakeProc{}
+	h := newHarness(t, proc)
+	h.agent.Close()
+	h.agent.Close() // second close must not panic or hang
+}

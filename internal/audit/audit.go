@@ -1,0 +1,194 @@
+// Package audit verifies protocol conformance against the paper's state
+// diagrams: it checks that recorded agent traces walk only transitions
+// drawn in Fig. 1, that manager traces walk only transitions drawn in
+// Fig. 2, and that a manager execution result satisfies the structural
+// invariants of the safe adaptation process (contiguous steps, valid
+// outcomes, no rollback after the point of no return).
+//
+// The test suites run these audits over every protocol scenario —
+// including the failure-injection ones — turning the paper's informal
+// figures into enforced machine-checked specifications.
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/manager"
+	"repro/internal/model"
+)
+
+// Issue is one conformance violation found by an audit.
+type Issue struct {
+	// Where locates the issue ("agent trace[3]", "result step 2", ...).
+	Where string
+	// Detail describes the violation.
+	Detail string
+}
+
+// String renders the issue.
+func (i Issue) String() string { return i.Where + ": " + i.Detail }
+
+// agentEdge and managerEdge key the legal-transition relations.
+type agentEdge struct{ from, to agent.State }
+
+type managerEdge struct{ from, to manager.State }
+
+// legalAgentEdges is Fig. 1's transition relation: solid adaptation
+// transitions plus dashed failure-handling transitions.
+var legalAgentEdges = map[agentEdge]bool{
+	// Adaptation transitions.
+	{agent.StateRunning, agent.StateResetting}: true, // receive "reset"
+	{agent.StateResetting, agent.StateSafe}:    true, // [reset complete] / send "reset done"
+	{agent.StateSafe, agent.StateAdapted}:      true, // [adaptive action complete] / send "adapt done"
+	{agent.StateAdapted, agent.StateResuming}:  true, // receive "resume" (or single-process shortcut)
+	{agent.StateResuming, agent.StateRunning}:  true, // [resumption complete] / send "resume done"
+	// Failure-handling transitions (dashed).
+	{agent.StateResetting, agent.StateRunning}: true, // fail-to-reset rollback
+	{agent.StateSafe, agent.StateRunning}:      true, // rollback before in-action done
+	{agent.StateAdapted, agent.StateRunning}:   true, // rollback after in-action
+	{agent.StateResuming, agent.StateAdapted}:  true, // resume failed; re-block
+}
+
+// legalManagerEdges is Fig. 2's transition relation.
+var legalManagerEdges = map[managerEdge]bool{
+	{manager.StateRunning, manager.StatePreparing}:  true, // receive adaptation request / retry prep
+	{manager.StatePreparing, manager.StateAdapting}: true, // [creating MAP complete] / send reset
+	{manager.StatePreparing, manager.StateRunning}:  true, // [failure] (planning)
+	{manager.StateAdapting, manager.StateAdapted}:   true, // receive all "adapt done"
+	{manager.StateAdapting, manager.StateRunning}:   true, // [failure] / rollback
+	{manager.StateAdapted, manager.StateResuming}:   true, // send "resume"
+	{manager.StateResuming, manager.StateResumed}:   true, // receive all "resume done"
+	{manager.StateResuming, manager.StateResuming}:  true, // [failure] / retry
+	{manager.StateResuming, manager.StateRunning}:   true, // failure past the point of no return surfaces
+	{manager.StateResumed, manager.StatePreparing}:  true, // [more adaptation steps remaining]
+	{manager.StateResumed, manager.StateRunning}:    true, // [adaptation complete]
+	{manager.StateRunning, manager.StateRunning}:    true, // terminal notes (user intervention, return-to-source)
+}
+
+// AgentTrace audits a recorded agent trace against Fig. 1. The trace
+// must start from running and each transition must be a drawn arc.
+func AgentTrace(trace []agent.Transition) []Issue {
+	var issues []Issue
+	for i, tr := range trace {
+		if i == 0 && tr.From != agent.StateRunning {
+			issues = append(issues, Issue{
+				Where:  fmt.Sprintf("agent trace[%d]", i),
+				Detail: fmt.Sprintf("trace starts in %v, agents start in running", tr.From),
+			})
+		}
+		if i > 0 && trace[i-1].To != tr.From {
+			issues = append(issues, Issue{
+				Where:  fmt.Sprintf("agent trace[%d]", i),
+				Detail: fmt.Sprintf("discontinuous: previous ended in %v, this starts in %v", trace[i-1].To, tr.From),
+			})
+		}
+		if !legalAgentEdges[agentEdge{tr.From, tr.To}] {
+			issues = append(issues, Issue{
+				Where:  fmt.Sprintf("agent trace[%d]", i),
+				Detail: fmt.Sprintf("transition %v -> %v (cause %q) is not drawn in Fig. 1", tr.From, tr.To, tr.Cause),
+			})
+		}
+	}
+	return issues
+}
+
+// ManagerTrace audits a recorded manager trace against Fig. 2.
+func ManagerTrace(trace []manager.Transition) []Issue {
+	var issues []Issue
+	for i, tr := range trace {
+		if i == 0 && tr.From != manager.StateRunning {
+			issues = append(issues, Issue{
+				Where:  fmt.Sprintf("manager trace[%d]", i),
+				Detail: fmt.Sprintf("trace starts in %v, the manager starts in running", tr.From),
+			})
+		}
+		if i > 0 && trace[i-1].To != tr.From {
+			issues = append(issues, Issue{
+				Where:  fmt.Sprintf("manager trace[%d]", i),
+				Detail: fmt.Sprintf("discontinuous: previous ended in %v, this starts in %v", trace[i-1].To, tr.From),
+			})
+		}
+		if !legalManagerEdges[managerEdge{tr.From, tr.To}] {
+			issues = append(issues, Issue{
+				Where:  fmt.Sprintf("manager trace[%d]", i),
+				Detail: fmt.Sprintf("transition %v -> %v (cause %q) is not drawn in Fig. 2", tr.From, tr.To, tr.Cause),
+			})
+		}
+	}
+	return issues
+}
+
+// Result audits a manager execution result for the structural invariants
+// of the safe adaptation process:
+//
+//   - every step report has a valid outcome and parseable configuration
+//     vectors;
+//   - attempts are strictly increasing;
+//   - step reports chain: after a completed step the next starts at its
+//     target; after a rolled-back step the next starts at its source
+//     (the rollback guarantee);
+//   - a "failed" outcome (past the point of no return) is terminal;
+//   - a completed adaptation ends at the declared target.
+func Result(reg *model.Registry, res manager.Result, target model.Config) []Issue {
+	var issues []Issue
+	valid := map[string]bool{"completed": true, "rolled back": true, "failed": true}
+
+	lastAttempt := 0
+	var current string // bit vector the system is at, per the reports
+	for i, sr := range res.Steps {
+		where := fmt.Sprintf("result step %d (%s)", i, sr.ActionID)
+		if !valid[sr.Outcome] {
+			issues = append(issues, Issue{Where: where, Detail: fmt.Sprintf("invalid outcome %q", sr.Outcome)})
+			continue
+		}
+		if _, err := reg.ParseBitVector(sr.From); err != nil {
+			issues = append(issues, Issue{Where: where, Detail: fmt.Sprintf("bad From vector: %v", err)})
+		}
+		if _, err := reg.ParseBitVector(sr.To); err != nil {
+			issues = append(issues, Issue{Where: where, Detail: fmt.Sprintf("bad To vector: %v", err)})
+		}
+		if sr.Attempt <= lastAttempt {
+			issues = append(issues, Issue{Where: where, Detail: fmt.Sprintf("attempt %d not increasing (previous %d)", sr.Attempt, lastAttempt)})
+		}
+		lastAttempt = sr.Attempt
+		if current != "" && sr.From != current {
+			issues = append(issues, Issue{Where: where, Detail: fmt.Sprintf("starts at %s but system is at %s", sr.From, current)})
+		}
+		switch sr.Outcome {
+		case "completed":
+			current = sr.To
+		case "rolled back":
+			current = sr.From
+			if sr.Err == "" {
+				issues = append(issues, Issue{Where: where, Detail: "rolled back without an error description"})
+			}
+		case "failed":
+			if i != len(res.Steps)-1 {
+				issues = append(issues, Issue{Where: where, Detail: "a failure past the point of no return must be terminal"})
+			}
+		}
+	}
+
+	if res.Completed {
+		if res.Final != target {
+			issues = append(issues, Issue{
+				Where:  "result",
+				Detail: fmt.Sprintf("completed but final %s != target %s", reg.BitVector(res.Final), reg.BitVector(target)),
+			})
+		}
+		if current != "" && current != reg.BitVector(target) {
+			issues = append(issues, Issue{
+				Where:  "result",
+				Detail: fmt.Sprintf("step reports end at %s, not the target %s", current, reg.BitVector(target)),
+			})
+		}
+	}
+	if current != "" && reg.BitVector(res.Final) != current {
+		issues = append(issues, Issue{
+			Where:  "result",
+			Detail: fmt.Sprintf("Final %s disagrees with step reports' %s", reg.BitVector(res.Final), current),
+		})
+	}
+	return issues
+}

@@ -1,0 +1,212 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/manager"
+	"repro/internal/model"
+)
+
+func ag(from, to agent.State) agent.Transition {
+	return agent.Transition{From: from, To: to}
+}
+
+func mg(from, to manager.State) manager.Transition {
+	return manager.Transition{From: from, To: to}
+}
+
+func TestAgentTraceCleanRun(t *testing.T) {
+	trace := []agent.Transition{
+		ag(agent.StateRunning, agent.StateResetting),
+		ag(agent.StateResetting, agent.StateSafe),
+		ag(agent.StateSafe, agent.StateAdapted),
+		ag(agent.StateAdapted, agent.StateResuming),
+		ag(agent.StateResuming, agent.StateRunning),
+	}
+	if issues := AgentTrace(trace); issues != nil {
+		t.Errorf("clean trace has issues: %v", issues)
+	}
+}
+
+func TestAgentTraceIllegalEdge(t *testing.T) {
+	trace := []agent.Transition{
+		ag(agent.StateRunning, agent.StateAdapted), // skips resetting/safe
+	}
+	issues := AgentTrace(trace)
+	if len(issues) != 1 || !strings.Contains(issues[0].String(), "not drawn in Fig. 1") {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func TestAgentTraceDiscontinuity(t *testing.T) {
+	trace := []agent.Transition{
+		ag(agent.StateRunning, agent.StateResetting),
+		ag(agent.StateSafe, agent.StateAdapted), // previous ended in resetting
+	}
+	issues := AgentTrace(trace)
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Detail, "discontinuous") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func TestAgentTraceBadStart(t *testing.T) {
+	trace := []agent.Transition{ag(agent.StateSafe, agent.StateAdapted)}
+	if issues := AgentTrace(trace); len(issues) == 0 {
+		t.Error("trace not starting in running must be flagged")
+	}
+}
+
+func TestManagerTraceCleanRun(t *testing.T) {
+	trace := []manager.Transition{
+		mg(manager.StateRunning, manager.StatePreparing),
+		mg(manager.StatePreparing, manager.StateAdapting),
+		mg(manager.StateAdapting, manager.StateAdapted),
+		mg(manager.StateAdapted, manager.StateResuming),
+		mg(manager.StateResuming, manager.StateResumed),
+		mg(manager.StateResumed, manager.StatePreparing),
+		mg(manager.StatePreparing, manager.StateAdapting),
+		mg(manager.StateAdapting, manager.StateAdapted),
+		mg(manager.StateAdapted, manager.StateResuming),
+		mg(manager.StateResuming, manager.StateResumed),
+		mg(manager.StateResumed, manager.StateRunning),
+	}
+	if issues := ManagerTrace(trace); issues != nil {
+		t.Errorf("clean trace has issues: %v", issues)
+	}
+}
+
+func TestManagerTraceIllegalEdge(t *testing.T) {
+	trace := []manager.Transition{
+		mg(manager.StateRunning, manager.StateResumed),
+	}
+	if issues := ManagerTrace(trace); len(issues) != 1 {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func reg(t *testing.T) *model.Registry {
+	t.Helper()
+	return model.MustRegistry(
+		model.Component{Name: "A", Process: "p"},
+		model.Component{Name: "B", Process: "p"},
+	)
+}
+
+func TestResultCleanRun(t *testing.T) {
+	r := reg(t)
+	target := r.MustConfigOf("B")
+	res := manager.Result{
+		Completed: true,
+		Final:     target,
+		Steps: []manager.StepReport{
+			{ActionID: "S", From: "01", To: "10", Attempt: 1, Outcome: "completed"},
+		},
+	}
+	if issues := Result(r, res, target); issues != nil {
+		t.Errorf("clean result has issues: %v", issues)
+	}
+}
+
+func TestResultRollbackChain(t *testing.T) {
+	r := reg(t)
+	target := r.MustConfigOf("B")
+	res := manager.Result{
+		Completed: true,
+		Final:     target,
+		Steps: []manager.StepReport{
+			{ActionID: "S", From: "01", To: "10", Attempt: 1, Outcome: "rolled back", Err: "timeout"},
+			{ActionID: "S", From: "01", To: "10", Attempt: 2, Outcome: "completed"},
+		},
+	}
+	if issues := Result(r, res, target); issues != nil {
+		t.Errorf("rollback chain has issues: %v", issues)
+	}
+}
+
+func TestResultDetectsViolations(t *testing.T) {
+	r := reg(t)
+	target := r.MustConfigOf("B")
+	cases := []struct {
+		name string
+		res  manager.Result
+		want string
+	}{
+		{
+			name: "bad outcome",
+			res: manager.Result{Steps: []manager.StepReport{
+				{ActionID: "S", From: "01", To: "10", Attempt: 1, Outcome: "exploded"},
+			}},
+			want: "invalid outcome",
+		},
+		{
+			name: "non-increasing attempts",
+			res: manager.Result{Steps: []manager.StepReport{
+				{ActionID: "S", From: "01", To: "10", Attempt: 2, Outcome: "rolled back", Err: "x"},
+				{ActionID: "S", From: "01", To: "10", Attempt: 2, Outcome: "completed"},
+			}},
+			want: "not increasing",
+		},
+		{
+			name: "discontinuous after completion",
+			res: manager.Result{Steps: []manager.StepReport{
+				{ActionID: "S", From: "01", To: "10", Attempt: 1, Outcome: "completed"},
+				{ActionID: "T", From: "01", To: "10", Attempt: 2, Outcome: "completed"},
+			}},
+			want: "starts at",
+		},
+		{
+			name: "rollback not restoring source",
+			res: manager.Result{Steps: []manager.StepReport{
+				{ActionID: "S", From: "01", To: "10", Attempt: 1, Outcome: "rolled back", Err: "x"},
+				{ActionID: "S", From: "10", To: "01", Attempt: 2, Outcome: "completed"},
+			}},
+			want: "starts at",
+		},
+		{
+			name: "non-terminal past-no-return failure",
+			res: manager.Result{Steps: []manager.StepReport{
+				{ActionID: "S", From: "01", To: "10", Attempt: 1, Outcome: "failed"},
+				{ActionID: "S", From: "01", To: "10", Attempt: 2, Outcome: "completed"},
+			}},
+			want: "must be terminal",
+		},
+		{
+			name: "completed but wrong final",
+			res: manager.Result{
+				Completed: true,
+				Final:     r.MustConfigOf("A"),
+				Steps: []manager.StepReport{
+					{ActionID: "S", From: "01", To: "01", Attempt: 1, Outcome: "completed"},
+				},
+			},
+			want: "final",
+		},
+		{
+			name: "bad vector",
+			res: manager.Result{Steps: []manager.StepReport{
+				{ActionID: "S", From: "zz", To: "10", Attempt: 1, Outcome: "completed"},
+			}},
+			want: "bad From vector",
+		},
+	}
+	for _, tc := range cases {
+		issues := Result(r, tc.res, target)
+		found := false
+		for _, i := range issues {
+			if strings.Contains(i.Detail, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: issues %v do not mention %q", tc.name, issues, tc.want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package baseline implements comparison adaptation strategies over the
+// running video system, so the evaluation can demonstrate the paper's
+// central claim — that undisciplined recomposition corrupts the
+// application while the safe adaptation process does not — and quantify
+// the cost differences:
+//
+//   - UnsafeDirect: swap components immediately, no blocking at all (what
+//     a naive hot-swap does).
+//   - LocalQuiescence: block each affected socket at a packet boundary
+//     (Kramer & Magee-style local quiescence / Appavoo-style hot swap),
+//     swap, unblock — but no global safe condition, so packets already in
+//     flight hit mismatched decoders.
+//   - DrainedCompound: block the sender, drain every link, swap
+//     everything at once, resume — safe, but with one long global
+//     blocking window (the shape of the paper's compound actions A13–A15).
+//   - SafeMAP (in safemap.go): the paper's full protocol along the
+//     minimum adaptation path.
+//
+// All strategies perform the same logical reconfiguration: the case
+// study's DES-64 → DES-128 hardening.
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/paper"
+	"repro/internal/video"
+)
+
+// Report summarizes one strategy run.
+type Report struct {
+	// Strategy is the strategy name.
+	Strategy string
+	// Duration is the wall time of the reconfiguration itself.
+	Duration time.Duration
+	// BlockedWindows records, per process, how long its socket was held
+	// blocked.
+	BlockedWindows map[string]time.Duration
+}
+
+// Strategy reconfigures the running system from (D4,D1,E1) to (D5,D3,E2)
+// while traffic flows.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Adapt performs the reconfiguration on the live system.
+	Adapt(sys *video.System) (Report, error)
+}
+
+// UnsafeDirect swaps components in the naive direct order with no
+// synchronization whatsoever.
+type UnsafeDirect struct{}
+
+// Name implements Strategy.
+func (UnsafeDirect) Name() string { return "unsafe-direct" }
+
+// Adapt implements Strategy.
+func (UnsafeDirect) Adapt(sys *video.System) (Report, error) {
+	start := time.Now()
+	factory := video.FilterFactory()
+	e2, err := factory("E2")
+	if err != nil {
+		return Report{}, err
+	}
+	d3, err := factory("D3")
+	if err != nil {
+		return Report{}, err
+	}
+	d5, err := factory("D5")
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Naive direct order: encoder first, then the decoders — exactly what
+	// an administrator "hardening security" without a protocol would do.
+	if err := sys.Server.Socket().UnsafeReplaceFilter("E1", e2); err != nil {
+		return Report{}, err
+	}
+	if err := sys.Handheld.Socket().UnsafeReplaceFilter("D1", d3); err != nil {
+		return Report{}, err
+	}
+	if err := sys.Laptop.Socket().UnsafeInsertFilter(d5, -1); err != nil {
+		return Report{}, err
+	}
+	if err := sys.Laptop.Socket().UnsafeRemoveFilter("D4"); err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Strategy:       "unsafe-direct",
+		Duration:       time.Since(start),
+		BlockedWindows: map[string]time.Duration{},
+	}, nil
+}
+
+// LocalQuiescence performs the same direct-order swaps, but each one at a
+// locally quiescent packet boundary of the affected socket. Local safety
+// alone does not protect packets already in flight between hosts — the
+// paper's argument for the *global* safe condition.
+type LocalQuiescence struct {
+	// BlockTimeout bounds each local block request. Zero means 2s.
+	BlockTimeout time.Duration
+}
+
+// Name implements Strategy.
+func (LocalQuiescence) Name() string { return "local-quiescence" }
+
+// Adapt implements Strategy.
+func (s LocalQuiescence) Adapt(sys *video.System) (Report, error) {
+	timeout := s.BlockTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	start := time.Now()
+	factory := video.FilterFactory()
+	rep := Report{Strategy: s.Name(), BlockedWindows: make(map[string]time.Duration, 3)}
+
+	e2, err := factory("E2")
+	if err != nil {
+		return rep, err
+	}
+	d3, err := factory("D3")
+	if err != nil {
+		return rep, err
+	}
+	d5, err := factory("D5")
+	if err != nil {
+		return rep, err
+	}
+
+	// Server: block → swap → resume.
+	t0 := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	err = sys.Server.Socket().RequestBlock(ctx)
+	cancel()
+	if err != nil {
+		return rep, fmt.Errorf("baseline: block server: %w", err)
+	}
+	if err := sys.Server.Socket().ReplaceFilter("E1", e2); err != nil {
+		return rep, err
+	}
+	sys.Server.Socket().Unblock()
+	rep.BlockedWindows[paper.ProcessServer] = time.Since(t0)
+
+	// Handheld: block → swap → resume (no drain!).
+	t0 = time.Now()
+	ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	err = sys.Handheld.Socket().RequestBlock(ctx)
+	cancel()
+	if err != nil {
+		return rep, fmt.Errorf("baseline: block handheld: %w", err)
+	}
+	if err := sys.Handheld.Socket().ReplaceFilter("D1", d3); err != nil {
+		return rep, err
+	}
+	sys.Handheld.Socket().Unblock()
+	rep.BlockedWindows[paper.ProcessHandheld] = time.Since(t0)
+
+	// Laptop: block → insert D5, remove D4 → resume.
+	t0 = time.Now()
+	ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	err = sys.Laptop.Socket().RequestBlock(ctx)
+	cancel()
+	if err != nil {
+		return rep, fmt.Errorf("baseline: block laptop: %w", err)
+	}
+	if err := sys.Laptop.Socket().InsertFilter(d5, -1); err != nil {
+		return rep, err
+	}
+	if err := sys.Laptop.Socket().RemoveFilter("D4"); err != nil {
+		return rep, err
+	}
+	sys.Laptop.Socket().Unblock()
+	rep.BlockedWindows[paper.ProcessLaptop] = time.Since(t0)
+
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// DrainedCompound blocks the sender first, waits until both client links
+// drain (the global safe condition), swaps every component while the
+// whole system is frozen, and resumes. This is safe, like the paper's
+// compound actions, at the price of one long global blocking window.
+type DrainedCompound struct {
+	// BlockTimeout bounds the block and drain waits. Zero means 5s.
+	BlockTimeout time.Duration
+}
+
+// Name implements Strategy.
+func (DrainedCompound) Name() string { return "drained-compound" }
+
+// Adapt implements Strategy.
+func (s DrainedCompound) Adapt(sys *video.System) (Report, error) {
+	timeout := s.BlockTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	start := time.Now()
+	factory := video.FilterFactory()
+	rep := Report{Strategy: s.Name(), BlockedWindows: make(map[string]time.Duration, 3)}
+
+	e2, err := factory("E2")
+	if err != nil {
+		return rep, err
+	}
+	d3, err := factory("D3")
+	if err != nil {
+		return rep, err
+	}
+	d5, err := factory("D5")
+	if err != nil {
+		return rep, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Freeze upstream first.
+	tServer := time.Now()
+	if err := sys.Server.Socket().RequestBlock(ctx); err != nil {
+		return rep, fmt.Errorf("baseline: block server: %w", err)
+	}
+	// Drain and freeze both receivers.
+	tHH := time.Now()
+	if err := sys.Handheld.Socket().WaitDrained(ctx); err != nil {
+		sys.Server.Socket().Unblock()
+		return rep, err
+	}
+	if err := sys.Handheld.Socket().RequestBlock(ctx); err != nil {
+		sys.Server.Socket().Unblock()
+		return rep, err
+	}
+	tLP := time.Now()
+	if err := sys.Laptop.Socket().WaitDrained(ctx); err != nil {
+		sys.Server.Socket().Unblock()
+		sys.Handheld.Socket().Unblock()
+		return rep, err
+	}
+	if err := sys.Laptop.Socket().RequestBlock(ctx); err != nil {
+		sys.Server.Socket().Unblock()
+		sys.Handheld.Socket().Unblock()
+		return rep, err
+	}
+
+	// Swap everything while frozen.
+	if err := sys.Server.Socket().ReplaceFilter("E1", e2); err != nil {
+		return rep, err
+	}
+	if err := sys.Handheld.Socket().ReplaceFilter("D1", d3); err != nil {
+		return rep, err
+	}
+	if err := sys.Laptop.Socket().InsertFilter(d5, -1); err != nil {
+		return rep, err
+	}
+	if err := sys.Laptop.Socket().RemoveFilter("D4"); err != nil {
+		return rep, err
+	}
+
+	// Resume downstream first, then the sender.
+	sys.Laptop.Socket().Unblock()
+	rep.BlockedWindows[paper.ProcessLaptop] = time.Since(tLP)
+	sys.Handheld.Socket().Unblock()
+	rep.BlockedWindows[paper.ProcessHandheld] = time.Since(tHH)
+	sys.Server.Socket().Unblock()
+	rep.BlockedWindows[paper.ProcessServer] = time.Since(tServer)
+
+	rep.Duration = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/video"
+)
+
+// failingStrategy always errors, to exercise Run's cleanup path.
+type failingStrategy struct{}
+
+func (failingStrategy) Name() string { return "failing" }
+
+func (failingStrategy) Adapt(*video.System) (Report, error) {
+	return Report{}, errors.New("scripted strategy failure")
+}
+
+func TestRunPropagatesStrategyError(t *testing.T) {
+	_, err := Run(failingStrategy{}, ExperimentOptions{
+		Frames:     30,
+		AdaptAfter: 5,
+		Interval:   100 * time.Microsecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "scripted strategy failure") {
+		t.Errorf("Run = %v", err)
+	}
+}
+
+func TestExperimentOptionsDefaults(t *testing.T) {
+	var o ExperimentOptions
+	o.fill()
+	if o.Frames != 200 || o.BodySize != 2048 || o.Interval != 500*time.Microsecond {
+		t.Errorf("defaults: %+v", o)
+	}
+	if o.AdaptAfter != o.Frames/3 {
+		t.Errorf("AdaptAfter default = %d", o.AdaptAfter)
+	}
+}
+
+func TestCorruptionAccounting(t *testing.T) {
+	res := ExperimentResult{
+		Handheld: video.Stats{FramesCorrupted: 2, PacketsUndecoded: 3},
+		Laptop:   video.Stats{FramesCorrupted: 1, PacketsUndecoded: 4},
+	}
+	if got := res.Corruption(); got != 10 {
+		t.Errorf("Corruption = %d, want 10", got)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := map[string]Strategy{
+		"unsafe-direct":    UnsafeDirect{},
+		"local-quiescence": LocalQuiescence{},
+		"drained-compound": DrainedCompound{},
+		"safe-map":         SafeMAP{},
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", s, s.Name(), want)
+		}
+	}
+}

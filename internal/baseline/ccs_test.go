@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/ccs"
+	"repro/internal/metasocket"
+	"repro/internal/netsim"
+	"repro/internal/video"
+)
+
+// packetCCS is the critical-communication-segment set of a video client:
+// each packet's segment is its arrival followed by a clean delivery
+// (paper Sec. 3.2, with one CID per packet). A delivery still carrying
+// encoding tags is not an atomic action of any segment, so leaked
+// ciphertext registers as an "invalid" projection; a packet whose
+// processing was cut short registers as "interrupted".
+func packetCCS(t *testing.T) *ccs.Segments {
+	t.Helper()
+	segs, err := ccs.NewSegments([]string{"recv", "deliver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
+
+// instrument attaches a CCS checker to a client's receive socket.
+func instrument(t *testing.T, c *video.Client, segs *ccs.Segments) *ccs.Checker {
+	t.Helper()
+	checker := ccs.NewChecker(segs)
+	c.Socket().SetArrivalObserver(func(p metasocket.Packet) {
+		checker.Record(ccs.Event{CID: ccs.CID(p.Seq), Action: "recv"})
+	})
+	c.Socket().SetDeliveryObserver(func(p metasocket.Packet) {
+		act := "deliver"
+		if len(p.Enc) > 0 {
+			act = "deliver-leaked" // ciphertext reached the player
+		}
+		checker.Record(ccs.Event{CID: ccs.CID(p.Seq), Action: act})
+	})
+	return checker
+}
+
+// runInstrumented streams traffic, adapts with the strategy, and returns
+// the per-client CCS checkers.
+func runInstrumented(t *testing.T, strategy Strategy, seed int64) (hh, lp *ccs.Checker) {
+	t.Helper()
+	segs := packetCCS(t)
+
+	sys, err := video.NewSystem(video.SystemOptions{
+		Seed:     seed,
+		Handheld: netsim.LinkProfile{Latency: 4 * time.Millisecond},
+		Laptop:   netsim.LinkProfile{Latency: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh = instrument(t, sys.Handheld, segs)
+	lp = instrument(t, sys.Laptop, segs)
+
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- sys.Server.Stream(context.Background(), 150, 1024, 300*time.Microsecond)
+	}()
+	for sys.Server.FramesSent() < 50 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := strategy.Adapt(sys); err != nil {
+		t.Fatalf("%s: %v", strategy.Name(), err)
+	}
+	if err := <-streamErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return hh, lp
+}
+
+// TestSafeAdaptationSatisfiesCCS checks the paper's formal
+// non-interruption condition (Sec. 3): for a run adapted by the safe
+// process, every critical communication identifier's projection is a
+// member of CCS — no packet's processing was interrupted or corrupted.
+func TestSafeAdaptationSatisfiesCCS(t *testing.T) {
+	hh, lp := runInstrumented(t, SafeMAP{}, 21)
+	for name, checker := range map[string]*ccs.Checker{"handheld": hh, "laptop": lp} {
+		if checker.Events() == 0 {
+			t.Fatalf("%s recorded no events; instrumentation broken", name)
+		}
+		if v := checker.Check(); len(v) != 0 {
+			t.Errorf("%s: %d CCS violations under safe adaptation, e.g. %v", name, len(v), v[0])
+		}
+	}
+}
+
+// TestUnsafeAdaptationViolatesCCS: the same formal check refutes the
+// unsafe strategy — mis-decoded packets yield projections outside CCS.
+func TestUnsafeAdaptationViolatesCCS(t *testing.T) {
+	hh, lp := runInstrumented(t, UnsafeDirect{}, 22)
+	total := len(hh.Check()) + len(lp.Check())
+	if total == 0 {
+		t.Error("unsafe adaptation produced no CCS violations; expected interrupted/invalid segments")
+	}
+}
+
+// TestLocalQuiescenceViolatesCCS: local safe states alone still violate
+// the formal condition (the global-safe-condition ablation, DESIGN.md
+// ablation 3).
+func TestLocalQuiescenceViolatesCCS(t *testing.T) {
+	hh, lp := runInstrumented(t, LocalQuiescence{}, 23)
+	total := len(hh.Check()) + len(lp.Check())
+	if total == 0 {
+		t.Error("local quiescence produced no CCS violations; expected in-flight mismatches")
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/video"
+)
+
+// ExperimentOptions configures one strategy-comparison run.
+type ExperimentOptions struct {
+	// Frames is the total number of frames streamed. Zero means 200.
+	Frames int
+	// BodySize is the frame body size in bytes. Zero means 2048.
+	BodySize int
+	// Interval is the inter-frame pacing. Zero means 500µs.
+	Interval time.Duration
+	// AdaptAfter is how many frames to stream before adapting. Zero
+	// means Frames/3.
+	AdaptAfter int
+	// Seed drives the network simulator.
+	Seed int64
+	// Handheld and Laptop link profiles; zero values give an ideal
+	// deterministic network.
+	Handheld netsim.LinkProfile
+	Laptop   netsim.LinkProfile
+}
+
+func (o *ExperimentOptions) fill() {
+	if o.Frames <= 0 {
+		o.Frames = 200
+	}
+	if o.BodySize <= 0 {
+		o.BodySize = 2048
+	}
+	if o.Interval <= 0 {
+		o.Interval = 500 * time.Microsecond
+	}
+	if o.AdaptAfter <= 0 {
+		o.AdaptAfter = o.Frames / 3
+	}
+}
+
+// ExperimentResult is the outcome of one strategy run under traffic.
+type ExperimentResult struct {
+	Report Report
+	// Handheld and Laptop are the clients' final player statistics.
+	Handheld video.Stats
+	Laptop   video.Stats
+	// FramesSent is how many frames the server emitted.
+	FramesSent uint32
+	// FinalConfig is the component composition after the run.
+	FinalConfig map[string][]string
+}
+
+// Corruption returns the total corrupted + undecoded evidence across both
+// clients — the headline safety metric.
+func (r ExperimentResult) Corruption() int {
+	return r.Handheld.FramesCorrupted + r.Laptop.FramesCorrupted +
+		r.Handheld.PacketsUndecoded + r.Laptop.PacketsUndecoded
+}
+
+// Run streams video through a fresh system, applies the strategy
+// mid-stream, finishes the stream, drains, and reports per-client
+// integrity statistics.
+func Run(strategy Strategy, opts ExperimentOptions) (ExperimentResult, error) {
+	opts.fill()
+	var res ExperimentResult
+
+	sys, err := video.NewSystem(video.SystemOptions{
+		Seed:     opts.Seed,
+		Handheld: opts.Handheld,
+		Laptop:   opts.Laptop,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	streamErr := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		streamErr <- sys.Server.Stream(ctx, opts.Frames, opts.BodySize, opts.Interval)
+	}()
+
+	// Wait until the warm-up portion of the stream has been sent.
+	for int(sys.Server.FramesSent()) < opts.AdaptAfter {
+		select {
+		case err := <-streamErr:
+			_ = sys.Close()
+			if err != nil {
+				return res, fmt.Errorf("baseline: stream ended before adaptation: %w", err)
+			}
+			return res, fmt.Errorf("baseline: stream ended before adaptation")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	rep, err := strategy.Adapt(sys)
+	if err != nil {
+		cancel()
+		<-streamErr
+		_ = sys.Close()
+		return res, fmt.Errorf("baseline: %s: %w", strategy.Name(), err)
+	}
+	res.Report = rep
+
+	if err := <-streamErr; err != nil && err != context.Canceled {
+		_ = sys.Close()
+		return res, fmt.Errorf("baseline: stream: %w", err)
+	}
+	if err := sys.Drain(5 * time.Second); err != nil {
+		_ = sys.Close()
+		return res, err
+	}
+
+	res.FramesSent = sys.Server.FramesSent()
+	res.FinalConfig = sys.ConfigurationOf()
+	res.Handheld = sys.Handheld.Player().Finalize()
+	res.Laptop = sys.Laptop.Player().Finalize()
+	if err := sys.Close(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/agent"
+	"repro/internal/manager"
+	"repro/internal/paper"
+	"repro/internal/planner"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// SafeMAP runs the paper's full safe adaptation process: plan the minimum
+// adaptation path over the SAG and realize it with the manager/agent
+// protocol, every action in its global safe state.
+type SafeMAP struct {
+	// StepTimeout bounds each protocol wait. Zero means 5s.
+	StepTimeout time.Duration
+	// Logf, when non-nil, receives manager progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Name implements Strategy.
+func (SafeMAP) Name() string { return "safe-map" }
+
+// Adapt implements Strategy.
+func (s SafeMAP) Adapt(sys *video.System) (Report, error) {
+	rep := Report{Strategy: s.Name(), BlockedWindows: make(map[string]time.Duration)}
+	stepTimeout := s.StepTimeout
+	if stepTimeout <= 0 {
+		stepTimeout = 5 * time.Second
+	}
+
+	scenario, err := paper.NewScenario()
+	if err != nil {
+		return rep, err
+	}
+	plan, err := planner.New(scenario.Invariants, scenario.Actions)
+	if err != nil {
+		return rep, err
+	}
+
+	bus := transport.NewBus()
+	defer func() { _ = bus.Close() }()
+
+	mgrEP, err := bus.Endpoint(protocol.ManagerName)
+	if err != nil {
+		return rep, err
+	}
+	procs := sys.Processes()
+	processOf := func(component string) string {
+		p, perr := scenario.Registry.ProcessOf(component)
+		if perr != nil {
+			return ""
+		}
+		return p
+	}
+	var agents []*agent.Agent
+	for name, proc := range procs {
+		ep, err := bus.Endpoint(name)
+		if err != nil {
+			return rep, err
+		}
+		ag, err := agent.New(name, ep, proc, agent.Options{
+			ResetTimeout: stepTimeout,
+			ProcessOf:    processOf,
+		})
+		if err != nil {
+			return rep, err
+		}
+		agents = append(agents, ag)
+		go ag.Run()
+	}
+	defer func() {
+		for _, ag := range agents {
+			ag.Close()
+		}
+	}()
+
+	mgr, err := manager.New(mgrEP, plan, manager.Options{
+		StepTimeout: stepTimeout,
+		ResetPhases: func(_ action.Action, participants []string) [][]string {
+			return video.SenderFirstPhases(participants)
+		},
+		Logf: s.Logf,
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	start := time.Now()
+	res, err := mgr.Execute(scenario.Source, scenario.Target)
+	rep.Duration = time.Since(start)
+	if err != nil {
+		return rep, fmt.Errorf("baseline: safe-map: %w", err)
+	}
+	if !res.Completed {
+		return rep, fmt.Errorf("baseline: safe-map did not reach the target configuration")
+	}
+	for _, sr := range res.Steps {
+		// Attribute each step's blocking window to the processes its
+		// action touched.
+		a, aerr := plan.ActionByID(sr.ActionID)
+		if aerr != nil {
+			continue
+		}
+		parts, perr := a.Processes(scenario.Registry)
+		if perr != nil {
+			continue
+		}
+		for _, p := range parts {
+			rep.BlockedWindows[p] += sr.BlockedFor
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,211 @@
+// Package ccs implements the paper's formal model of critical
+// communication segments (Sec. 3): communication is a sequence of
+// (critical-communication identifier, atomic action) pairs; the set CCS of
+// critical communication segments is a set of finite atomic-action
+// sequences; and an adaptive system does not interrupt critical
+// communication segments iff for every identifier CID, the projection
+// S_CID of the system's communication sequence S is a member of CCS.
+//
+// Tests use this package as an oracle: instrumented components log events,
+// and the checker proves (or refutes) that an adaptation run interrupted
+// no critical segment.
+package ccs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CID is a critical communication identifier — the paper models it as a
+// natural number (e.g. one per packet or per session).
+type CID uint64
+
+// Event is one (CID, atomic action) pair of a communication sequence.
+type Event struct {
+	CID    CID
+	Action string
+}
+
+// Segments is the set CCS: the finite atomic-action sequences that
+// constitute complete, uninterrupted critical communication segments. It
+// is stored as a trie so prefix (in-flight) and membership (complete)
+// queries are O(length).
+type Segments struct {
+	root *trieNode
+}
+
+type trieNode struct {
+	children map[string]*trieNode
+	terminal bool
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[string]*trieNode)}
+}
+
+// NewSegments builds the CCS set from the given allowed segments.
+func NewSegments(segments ...[]string) (*Segments, error) {
+	s := &Segments{root: newTrieNode()}
+	for i, seg := range segments {
+		if len(seg) == 0 {
+			return nil, fmt.Errorf("ccs: segment %d is empty; segments are finite non-empty action sequences", i)
+		}
+		s.add(seg)
+	}
+	return s, nil
+}
+
+func (s *Segments) add(seg []string) {
+	node := s.root
+	for _, a := range seg {
+		next, ok := node.children[a]
+		if !ok {
+			next = newTrieNode()
+			node.children[a] = next
+		}
+		node = next
+	}
+	node.terminal = true
+}
+
+// Contains reports whether seq is a complete critical communication
+// segment (a member of CCS).
+func (s *Segments) Contains(seq []string) bool {
+	node := s.walk(seq)
+	return node != nil && node.terminal
+}
+
+// IsPrefix reports whether seq is a (possibly complete) prefix of some
+// member of CCS — i.e. a segment legally in flight.
+func (s *Segments) IsPrefix(seq []string) bool {
+	return s.walk(seq) != nil
+}
+
+func (s *Segments) walk(seq []string) *trieNode {
+	node := s.root
+	for _, a := range seq {
+		next, ok := node.children[a]
+		if !ok {
+			return nil
+		}
+		node = next
+	}
+	return node
+}
+
+// Violation describes one CID whose projection is not a member of CCS.
+type Violation struct {
+	CID CID
+	// Projection is the observed atomic-action sequence for the CID.
+	Projection []string
+	// Reason is "interrupted" when the projection is a proper prefix of a
+	// segment (the segment never completed) and "invalid" when it is not
+	// even a prefix (actions out of order or corrupted).
+	Reason string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("CID %d %s: [%s]", v.CID, v.Reason, strings.Join(v.Projection, " "))
+}
+
+// Checker accumulates a communication sequence and verifies the paper's
+// non-interruption condition. It is safe for concurrent Record calls.
+type Checker struct {
+	segs *Segments
+
+	mu     sync.Mutex
+	byCID  map[CID][]string
+	order  []CID // first-appearance order, for deterministic reports
+	events int
+}
+
+// NewChecker returns a checker against the given CCS set.
+func NewChecker(segs *Segments) *Checker {
+	return &Checker{segs: segs, byCID: make(map[CID][]string)}
+}
+
+// Record appends one event to the communication sequence.
+func (c *Checker) Record(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, seen := c.byCID[e.CID]; !seen {
+		c.order = append(c.order, e.CID)
+	}
+	c.byCID[e.CID] = append(c.byCID[e.CID], e.Action)
+	c.events++
+}
+
+// RecordAll appends several events.
+func (c *Checker) RecordAll(events ...Event) {
+	for _, e := range events {
+		c.Record(e)
+	}
+}
+
+// Events returns the number of recorded events.
+func (c *Checker) Events() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
+// Projection returns the recorded atomic-action sequence for the CID.
+func (c *Checker) Projection(cid CID) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.byCID[cid]))
+	copy(out, c.byCID[cid])
+	return out
+}
+
+// Check verifies S_CID ∈ CCS for every recorded CID, treating the
+// recorded sequence as complete (the run has ended). It returns the
+// violations in first-appearance order; nil means the run interrupted no
+// critical communication segment.
+func (c *Checker) Check() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Violation
+	for _, cid := range c.order {
+		proj := c.byCID[cid]
+		if c.segs.Contains(proj) {
+			continue
+		}
+		reason := "invalid"
+		if c.segs.IsPrefix(proj) {
+			reason = "interrupted"
+		}
+		out = append(out, Violation{CID: cid, Projection: append([]string(nil), proj...), Reason: reason})
+	}
+	return out
+}
+
+// CheckInFlight verifies the weaker running-system condition: every
+// projection must be a member of CCS or a prefix of one (segments may
+// still be in flight). It returns only "invalid" violations.
+func (c *Checker) CheckInFlight() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Violation
+	for _, cid := range c.order {
+		proj := c.byCID[cid]
+		if c.segs.IsPrefix(proj) {
+			continue
+		}
+		out = append(out, Violation{CID: cid, Projection: append([]string(nil), proj...), Reason: "invalid"})
+	}
+	return out
+}
+
+// CIDs returns the recorded identifiers in ascending order.
+func (c *Checker) CIDs() []CID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CID, len(c.order))
+	copy(out, c.order)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,181 @@
+package ccs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func packetSegment() *Segments {
+	s, err := NewSegments(
+		[]string{"recv", "decode", "deliver"},
+		[]string{"recv", "bypass", "deliver"},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestContainsAndPrefix(t *testing.T) {
+	s := packetSegment()
+	if !s.Contains([]string{"recv", "decode", "deliver"}) {
+		t.Error("complete segment should be contained")
+	}
+	if s.Contains([]string{"recv", "decode"}) {
+		t.Error("proper prefix is not a complete segment")
+	}
+	if !s.IsPrefix([]string{"recv", "decode"}) {
+		t.Error("proper prefix should be a prefix")
+	}
+	if !s.IsPrefix(nil) {
+		t.Error("empty sequence is a prefix of everything")
+	}
+	if s.IsPrefix([]string{"decode"}) {
+		t.Error("out-of-order action is not a prefix")
+	}
+	if s.Contains([]string{"recv", "decode", "deliver", "extra"}) {
+		t.Error("overlong sequence is not a segment")
+	}
+}
+
+func TestNewSegmentsRejectsEmpty(t *testing.T) {
+	if _, err := NewSegments([]string{}); err == nil {
+		t.Error("empty segment should be rejected")
+	}
+}
+
+func TestCheckerCleanRun(t *testing.T) {
+	c := NewChecker(packetSegment())
+	for cid := CID(1); cid <= 3; cid++ {
+		c.RecordAll(
+			Event{CID: cid, Action: "recv"},
+			Event{CID: cid, Action: "decode"},
+			Event{CID: cid, Action: "deliver"},
+		)
+	}
+	if v := c.Check(); v != nil {
+		t.Errorf("clean run has violations: %v", v)
+	}
+	if c.Events() != 9 {
+		t.Errorf("Events = %d", c.Events())
+	}
+}
+
+func TestCheckerInterleavedCIDs(t *testing.T) {
+	// The projection must be per-CID even when events interleave.
+	c := NewChecker(packetSegment())
+	c.RecordAll(
+		Event{CID: 1, Action: "recv"},
+		Event{CID: 2, Action: "recv"},
+		Event{CID: 1, Action: "decode"},
+		Event{CID: 2, Action: "bypass"},
+		Event{CID: 2, Action: "deliver"},
+		Event{CID: 1, Action: "deliver"},
+	)
+	if v := c.Check(); v != nil {
+		t.Errorf("interleaved clean run has violations: %v", v)
+	}
+}
+
+func TestCheckerDetectsInterruption(t *testing.T) {
+	c := NewChecker(packetSegment())
+	c.RecordAll(
+		Event{CID: 7, Action: "recv"},
+		Event{CID: 7, Action: "decode"},
+		// deliver never happens: adaptation interrupted the segment
+	)
+	v := c.Check()
+	if len(v) != 1 || v[0].CID != 7 || v[0].Reason != "interrupted" {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestCheckerDetectsInvalid(t *testing.T) {
+	c := NewChecker(packetSegment())
+	c.RecordAll(
+		Event{CID: 9, Action: "decode"}, // decode without recv
+	)
+	v := c.Check()
+	if len(v) != 1 || v[0].Reason != "invalid" {
+		t.Errorf("violations = %v", v)
+	}
+	if v[0].String() == "" {
+		t.Error("violation must render")
+	}
+}
+
+func TestCheckInFlight(t *testing.T) {
+	c := NewChecker(packetSegment())
+	c.RecordAll(
+		Event{CID: 1, Action: "recv"},    // legally in flight
+		Event{CID: 2, Action: "deliver"}, // invalid
+	)
+	v := c.CheckInFlight()
+	if len(v) != 1 || v[0].CID != 2 {
+		t.Errorf("in-flight violations = %v", v)
+	}
+}
+
+func TestProjectionAndCIDs(t *testing.T) {
+	c := NewChecker(packetSegment())
+	c.Record(Event{CID: 5, Action: "recv"})
+	c.Record(Event{CID: 3, Action: "recv"})
+	c.Record(Event{CID: 5, Action: "decode"})
+	proj := c.Projection(5)
+	if len(proj) != 2 || proj[0] != "recv" || proj[1] != "decode" {
+		t.Errorf("Projection(5) = %v", proj)
+	}
+	cids := c.CIDs()
+	if len(cids) != 2 || cids[0] != 3 || cids[1] != 5 {
+		t.Errorf("CIDs = %v", cids)
+	}
+}
+
+// TestPropertyCompleteSegmentsNeverViolate: recording any number of
+// complete segments (in any CID interleaving) yields no violations.
+func TestPropertyCompleteSegmentsNeverViolate(t *testing.T) {
+	segs := packetSegment()
+	f := func(cidSeeds []uint8, useBypass []bool) bool {
+		c := NewChecker(segs)
+		for i, seed := range cidSeeds {
+			cid := CID(seed)
+			mid := "decode"
+			if i < len(useBypass) && useBypass[i] {
+				mid = "bypass"
+			}
+			// Same CID may appear twice: the second occurrence appends
+			// to the projection and would break it, so dedupe.
+			if len(c.Projection(cid)) > 0 {
+				continue
+			}
+			c.RecordAll(
+				Event{CID: cid, Action: "recv"},
+				Event{CID: cid, Action: mid},
+				Event{CID: cid, Action: "deliver"},
+			)
+		}
+		return c.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTruncationAlwaysViolates: dropping the tail of any segment
+// produces exactly one interruption violation.
+func TestPropertyTruncationAlwaysViolates(t *testing.T) {
+	segs := packetSegment()
+	f := func(cut uint8) bool {
+		c := NewChecker(segs)
+		full := []string{"recv", "decode", "deliver"}
+		n := 1 + int(cut)%2 // keep 1 or 2 of 3 actions
+		for _, a := range full[:n] {
+			c.Record(Event{CID: 1, Action: a})
+		}
+		v := c.Check()
+		return len(v) == 1 && v[0].Reason == "interrupted"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

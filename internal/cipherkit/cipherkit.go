@@ -1,0 +1,200 @@
+// Package cipherkit implements the encryption substrate of the case
+// study: the paper's filters perform "DES 64-bit" and "DES 128-bit"
+// encoding/decoding. We implement two from-scratch Feistel block ciphers
+// with 64- and 128-bit keys. Cryptographic strength is irrelevant to the
+// reproduction — what matters is that a packet encoded with one cipher is
+// not decodable by the other, that mis-decoding is *detected* (so unsafe
+// adaptations measurably corrupt data), and that decoders can recognize
+// foreign packets and bypass them (the paper's bypass functionality, which
+// works off the packet tag carried outside the ciphertext).
+package cipherkit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// BlockSize is the Feistel block size in bytes.
+const BlockSize = 8
+
+// Standard key sizes.
+const (
+	KeySize64  = 8  // "DES 64-bit"
+	KeySize128 = 16 // "DES 128-bit"
+)
+
+// ErrIntegrity is returned by Decrypt when the embedded checksum does not
+// match — the ciphertext was produced by a different cipher or key, or was
+// tampered with.
+var ErrIntegrity = errors.New("cipherkit: integrity check failed")
+
+// Cipher is a Feistel block cipher with a fixed round-key schedule.
+// Ciphers are immutable and safe for concurrent use.
+type Cipher struct {
+	name     string
+	rounds   int
+	roundKey []uint32
+}
+
+// New64 builds the 64-bit-key cipher ("DES 64-bit" in the paper).
+func New64(key []byte) (*Cipher, error) {
+	if len(key) != KeySize64 {
+		return nil, fmt.Errorf("cipherkit: 64-bit cipher requires %d-byte key, got %d", KeySize64, len(key))
+	}
+	return newCipher("des64", key, 16), nil
+}
+
+// New128 builds the 128-bit-key cipher ("DES 128-bit" in the paper).
+func New128(key []byte) (*Cipher, error) {
+	if len(key) != KeySize128 {
+		return nil, fmt.Errorf("cipherkit: 128-bit cipher requires %d-byte key, got %d", KeySize128, len(key))
+	}
+	return newCipher("des128", key, 20), nil
+}
+
+func newCipher(name string, key []byte, rounds int) *Cipher {
+	c := &Cipher{name: name, rounds: rounds, roundKey: make([]uint32, rounds)}
+	// Key schedule: a xorshift generator seeded from the key material
+	// expands into one 32-bit subkey per round.
+	var seed uint64 = 0x9e3779b97f4a7c15
+	for i, b := range key {
+		seed ^= uint64(b) << (uint(i%8) * 8)
+		seed = xorshift(seed)
+	}
+	for r := 0; r < rounds; r++ {
+		seed = xorshift(seed)
+		c.roundKey[r] = uint32(seed >> 16)
+	}
+	return c
+}
+
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// Name returns "des64" or "des128"; packets carry it as their encoding
+// tag, which is what decoder bypass keys on.
+func (c *Cipher) Name() string { return c.name }
+
+// feistelF is the round function.
+func feistelF(r, k uint32) uint32 {
+	x := r ^ k
+	x = x*0x85ebca6b + 0xc2b2ae35
+	x ^= x >> 13
+	x = x * 0x27d4eb2f
+	x ^= x >> 15
+	return x
+}
+
+func (c *Cipher) encryptBlock(dst, src []byte) {
+	l := binary.BigEndian.Uint32(src[0:4])
+	r := binary.BigEndian.Uint32(src[4:8])
+	for i := 0; i < c.rounds; i++ {
+		l, r = r, l^feistelF(r, c.roundKey[i])
+	}
+	// Final swap undone, per standard Feistel construction.
+	binary.BigEndian.PutUint32(dst[0:4], r)
+	binary.BigEndian.PutUint32(dst[4:8], l)
+}
+
+func (c *Cipher) decryptBlock(dst, src []byte) {
+	r := binary.BigEndian.Uint32(src[0:4])
+	l := binary.BigEndian.Uint32(src[4:8])
+	for i := c.rounds - 1; i >= 0; i-- {
+		l, r = r^feistelF(l, c.roundKey[i]), l
+	}
+	binary.BigEndian.PutUint32(dst[0:4], l)
+	binary.BigEndian.PutUint32(dst[4:8], r)
+}
+
+// Encrypt encrypts the plaintext. The output embeds the plaintext length
+// and an FNV-1a checksum so Decrypt detects decoding with the wrong
+// cipher. Layout before block encryption:
+//
+//	[4-byte length][4-byte fnv32a(plaintext)][plaintext][zero padding]
+func (c *Cipher) Encrypt(plaintext []byte) []byte {
+	h := fnv.New32a()
+	_, _ = h.Write(plaintext)
+	sum := h.Sum32()
+
+	inner := 8 + len(plaintext)
+	padded := (inner + BlockSize - 1) / BlockSize * BlockSize
+	buf := make([]byte, padded)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(plaintext)))
+	binary.BigEndian.PutUint32(buf[4:8], sum)
+	copy(buf[8:], plaintext)
+
+	out := make([]byte, padded)
+	// CBC-style chaining with a fixed zero IV keeps identical plaintext
+	// blocks from producing identical ciphertext blocks.
+	var prev [BlockSize]byte
+	for off := 0; off < padded; off += BlockSize {
+		var x [BlockSize]byte
+		for i := 0; i < BlockSize; i++ {
+			x[i] = buf[off+i] ^ prev[i]
+		}
+		c.encryptBlock(out[off:off+BlockSize], x[:])
+		copy(prev[:], out[off:off+BlockSize])
+	}
+	return out
+}
+
+// Decrypt reverses Encrypt, verifying the embedded length and checksum.
+func (c *Cipher) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) == 0 || len(ciphertext)%BlockSize != 0 {
+		return nil, fmt.Errorf("cipherkit: ciphertext length %d is not a positive multiple of %d", len(ciphertext), BlockSize)
+	}
+	buf := make([]byte, len(ciphertext))
+	var prev [BlockSize]byte
+	for off := 0; off < len(ciphertext); off += BlockSize {
+		var x [BlockSize]byte
+		c.decryptBlock(x[:], ciphertext[off:off+BlockSize])
+		for i := 0; i < BlockSize; i++ {
+			buf[off+i] = x[i] ^ prev[i]
+		}
+		copy(prev[:], ciphertext[off:off+BlockSize])
+	}
+	n := binary.BigEndian.Uint32(buf[0:4])
+	if int(n) > len(buf)-8 {
+		return nil, ErrIntegrity
+	}
+	plaintext := buf[8 : 8+n]
+	h := fnv.New32a()
+	_, _ = h.Write(plaintext)
+	if h.Sum32() != binary.BigEndian.Uint32(buf[4:8]) {
+		return nil, ErrIntegrity
+	}
+	out := make([]byte, n)
+	copy(out, plaintext)
+	return out, nil
+}
+
+// DefaultKey64 and DefaultKey128 are the fixed demo keys used by the case
+// study binaries and tests. Real deployments would provision their own.
+var (
+	DefaultKey64  = []byte("RAPIDwre")
+	DefaultKey128 = []byte("RAPIDware-DSN04!")
+)
+
+// MustDefault64 returns the 64-bit cipher under the default demo key.
+func MustDefault64() *Cipher {
+	c, err := New64(DefaultKey64)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustDefault128 returns the 128-bit cipher under the default demo key.
+func MustDefault128() *Cipher {
+	c, err := New128(DefaultKey128)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,139 @@
+package cipherkit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip64(t *testing.T) {
+	c := MustDefault64()
+	for _, size := range []int{0, 1, 7, 8, 9, 255, 256, 4096} {
+		pt := make([]byte, size)
+		for i := range pt {
+			pt[i] = byte(i * 31)
+		}
+		ct := c.Encrypt(pt)
+		got, err := c.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestRoundTrip128(t *testing.T) {
+	c := MustDefault128()
+	pt := []byte("the quick brown fox jumps over the lazy dog")
+	got, err := c.Decrypt(c.Encrypt(pt))
+	if err != nil || !bytes.Equal(got, pt) {
+		t.Errorf("round trip failed: %v", err)
+	}
+}
+
+func TestCrossCipherDetected(t *testing.T) {
+	c64 := MustDefault64()
+	c128 := MustDefault128()
+	ct := c64.Encrypt([]byte("secret payload"))
+	if _, err := c128.Decrypt(ct); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("decrypting des64 ciphertext with des128 should fail integrity, got %v", err)
+	}
+	ct2 := c128.Encrypt([]byte("secret payload"))
+	if _, err := c64.Decrypt(ct2); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("decrypting des128 ciphertext with des64 should fail integrity, got %v", err)
+	}
+}
+
+func TestWrongKeyDetected(t *testing.T) {
+	a, err := New64([]byte("key-AAAA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New64([]byte("key-BBBB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := a.Encrypt([]byte("hello world, this is a test"))
+	if _, err := b.Decrypt(ct); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("wrong key should fail integrity, got %v", err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	c := MustDefault64()
+	ct := c.Encrypt([]byte("some data to protect against tampering"))
+	ct[len(ct)/2] ^= 0x40
+	if _, err := c.Decrypt(ct); err == nil {
+		t.Error("tampered ciphertext should fail")
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	c := MustDefault64()
+	pt := bytes.Repeat([]byte{0xAA}, 64)
+	ct := c.Encrypt(pt)
+	if bytes.Contains(ct, pt[:16]) {
+		t.Error("ciphertext leaks plaintext")
+	}
+	// CBC chaining: identical plaintext blocks must yield distinct
+	// ciphertext blocks.
+	if bytes.Equal(ct[8:16], ct[16:24]) {
+		t.Error("identical plaintext blocks encrypt identically (no chaining)")
+	}
+}
+
+func TestKeySizeValidation(t *testing.T) {
+	if _, err := New64([]byte("short")); err == nil {
+		t.Error("wrong 64-bit key size should fail")
+	}
+	if _, err := New128([]byte("short")); err == nil {
+		t.Error("wrong 128-bit key size should fail")
+	}
+}
+
+func TestDecryptMalformed(t *testing.T) {
+	c := MustDefault64()
+	for _, ct := range [][]byte{nil, {}, {1, 2, 3}, make([]byte, 12)} {
+		if _, err := c.Decrypt(ct); err == nil {
+			t.Errorf("Decrypt(%d bytes) should fail", len(ct))
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if MustDefault64().Name() != "des64" {
+		t.Error("64-bit cipher name")
+	}
+	if MustDefault128().Name() != "des128" {
+		t.Error("128-bit cipher name")
+	}
+}
+
+// TestPropertyRoundTrip round-trips random payloads through both ciphers.
+func TestPropertyRoundTrip(t *testing.T) {
+	c64 := MustDefault64()
+	c128 := MustDefault128()
+	f := func(pt []byte) bool {
+		g64, err64 := c64.Decrypt(c64.Encrypt(pt))
+		g128, err128 := c128.Decrypt(c128.Encrypt(pt))
+		return err64 == nil && err128 == nil && bytes.Equal(g64, pt) && bytes.Equal(g128, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministic: encryption is deterministic for a fixed key
+// (no nonce), which the tests and CCS accounting rely on.
+func TestPropertyDeterministic(t *testing.T) {
+	c := MustDefault64()
+	f := func(pt []byte) bool {
+		return bytes.Equal(c.Encrypt(pt), c.Encrypt(pt))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

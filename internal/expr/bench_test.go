@@ -1,0 +1,41 @@
+package expr
+
+import "testing"
+
+// BenchmarkParse measures parsing the case study's most complex invariant.
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("E1 -> (D1 | D2) & D4"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEval measures evaluating a parsed invariant; this sits on the
+// safe-set enumeration hot path (2^n evaluations).
+func BenchmarkEval(b *testing.B) {
+	e := MustParse("E1 -> (D1 | D2) & D4")
+	assign := func(name string) bool { return name == "E1" || name == "D2" || name == "D4" }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Eval(assign) {
+			b.Fatal("expected true")
+		}
+	}
+}
+
+// BenchmarkEvalOneOf measures the one-of operator, the other enumeration
+// hot spot.
+func BenchmarkEvalOneOf(b *testing.B) {
+	e := ExactlyOne("D1", "D2", "D3", "D4", "D5")
+	assign := func(name string) bool { return name == "D3" }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Eval(assign) {
+			b.Fatal("expected true")
+		}
+	}
+}

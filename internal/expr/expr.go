@@ -1,0 +1,295 @@
+// Package expr implements the dependency-relationship expression language
+// used to specify invariants among adaptive components.
+//
+// The paper ("Enabling Safe Dynamic Component-Based Software Adaptation",
+// Zhang et al., DSN 2004) writes dependency relationships as boolean
+// expressions over component names:
+//
+//	A -> (B1 ^ B2) & C     // A depends on exactly one of B1,B2, and on C
+//	oneof(D1, D2, D3)      // structural invariant: exactly one decoder
+//	E1 -> (D1 | D2) & D4   // dependency invariant
+//
+// Supported operators, in increasing binding strength:
+//
+//	->            implication (right associative)
+//	| or ∨        logical or
+//	^ xor ⊕       logical xor
+//	& and · *     logical and
+//	! not ¬       negation
+//	oneof(x,...)  "exclusively select one" (the paper's ⊗ / big-⊗ operator)
+//	( ... )       grouping
+//	true, false   literals
+//
+// Identifiers are component names: a letter followed by letters, digits,
+// '_' , '-' or '.'.
+//
+// Expressions are immutable after construction and safe for concurrent use.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a boolean expression over component names. An Expr is evaluated
+// against an assignment that maps each component name to presence (true)
+// or absence (false).
+type Expr interface {
+	// Eval evaluates the expression under the given assignment. Names
+	// missing from the assignment evaluate to false, matching the paper's
+	// convention that components absent from a configuration are false.
+	Eval(assign func(name string) bool) bool
+
+	// String renders the expression in canonical ASCII syntax that Parse
+	// accepts, so String and Parse round-trip.
+	String() string
+
+	// appendVars appends the free variables of the expression.
+	appendVars(dst []string) []string
+}
+
+// Op identifies a binary boolean operator.
+type Op int
+
+// Binary operators. The zero value is invalid so that accidentally
+// zero-initialized nodes are caught early.
+const (
+	OpAnd Op = iota + 1
+	OpOr
+	OpXor
+	OpImplies
+)
+
+// String returns the canonical token for the operator.
+func (o Op) String() string {
+	switch o {
+	case OpAnd:
+		return "&"
+	case OpOr:
+		return "|"
+	case OpXor:
+		return "^"
+	case OpImplies:
+		return "->"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// precedence returns the binding strength of the operator; higher binds
+// tighter.
+func (o Op) precedence() int {
+	switch o {
+	case OpImplies:
+		return 1
+	case OpOr:
+		return 2
+	case OpXor:
+		return 3
+	case OpAnd:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Var is a reference to a component by name.
+type Var struct {
+	Name string
+}
+
+// Eval implements Expr.
+func (v Var) Eval(assign func(string) bool) bool { return assign(v.Name) }
+
+// String implements Expr.
+func (v Var) String() string { return v.Name }
+
+func (v Var) appendVars(dst []string) []string { return append(dst, v.Name) }
+
+// Lit is a boolean constant.
+type Lit struct {
+	Value bool
+}
+
+// Eval implements Expr.
+func (l Lit) Eval(func(string) bool) bool { return l.Value }
+
+// String implements Expr.
+func (l Lit) String() string {
+	if l.Value {
+		return "true"
+	}
+	return "false"
+}
+
+func (l Lit) appendVars(dst []string) []string { return dst }
+
+// Not negates its operand.
+type Not struct {
+	X Expr
+}
+
+// Eval implements Expr.
+func (n Not) Eval(assign func(string) bool) bool { return !n.X.Eval(assign) }
+
+// String implements Expr.
+func (n Not) String() string { return "!" + parenthesize(n.X, 5) }
+
+func (n Not) appendVars(dst []string) []string { return n.X.appendVars(dst) }
+
+// Bin is a binary boolean operation.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b Bin) Eval(assign func(string) bool) bool {
+	switch b.Op {
+	case OpAnd:
+		return b.L.Eval(assign) && b.R.Eval(assign)
+	case OpOr:
+		return b.L.Eval(assign) || b.R.Eval(assign)
+	case OpXor:
+		return b.L.Eval(assign) != b.R.Eval(assign)
+	case OpImplies:
+		return !b.L.Eval(assign) || b.R.Eval(assign)
+	default:
+		return false
+	}
+}
+
+// String implements Expr.
+func (b Bin) String() string {
+	p := b.Op.precedence()
+	l := parenthesize(b.L, p)
+	// Binary operators here are left associative except implication; give
+	// the right operand a strictly higher threshold for non-associative
+	// rendering so "a -> (b -> c)" keeps its parentheses ... actually
+	// implication is right associative, so the right side may share the
+	// precedence level.
+	rp := p + 1
+	if b.Op == OpImplies {
+		rp = p
+	}
+	r := parenthesize(b.R, rp)
+	return l + " " + b.Op.String() + " " + r
+}
+
+func (b Bin) appendVars(dst []string) []string {
+	dst = b.L.appendVars(dst)
+	return b.R.appendVars(dst)
+}
+
+// OneOf is the paper's "exclusively select one from a given set" operator
+// (written as a big ⊗ over a component set). It is true iff exactly one
+// operand is true.
+type OneOf struct {
+	Xs []Expr
+}
+
+// Eval implements Expr.
+func (o OneOf) Eval(assign func(string) bool) bool {
+	count := 0
+	for _, x := range o.Xs {
+		if x.Eval(assign) {
+			count++
+			if count > 1 {
+				return false
+			}
+		}
+	}
+	return count == 1
+}
+
+// String implements Expr.
+func (o OneOf) String() string {
+	parts := make([]string, len(o.Xs))
+	for i, x := range o.Xs {
+		parts[i] = x.String()
+	}
+	return "oneof(" + strings.Join(parts, ", ") + ")"
+}
+
+func (o OneOf) appendVars(dst []string) []string {
+	for _, x := range o.Xs {
+		dst = x.appendVars(dst)
+	}
+	return dst
+}
+
+// parenthesize renders x, wrapping it in parentheses when its top-level
+// operator binds less tightly than the surrounding context.
+func parenthesize(x Expr, contextPrec int) string {
+	if b, ok := x.(Bin); ok && b.Op.precedence() < contextPrec {
+		return "(" + x.String() + ")"
+	}
+	return x.String()
+}
+
+// Vars returns the sorted, de-duplicated free variables (component names)
+// of the expression.
+func Vars(e Expr) []string {
+	raw := e.appendVars(nil)
+	if len(raw) == 0 {
+		return nil
+	}
+	sort.Strings(raw)
+	out := raw[:1]
+	for _, v := range raw[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EvalSet evaluates e treating the given set as the complete configuration:
+// names in the set are true, everything else false. This matches the
+// paper's definition of a configuration satisfying a dependency
+// relationship ("associate true to all components in a configuration, and
+// false to all components not in the configuration").
+func EvalSet(e Expr, present map[string]bool) bool {
+	return e.Eval(func(name string) bool { return present[name] })
+}
+
+// Convenience constructors for building expressions programmatically.
+
+// And returns the conjunction of xs (true when xs is empty).
+func And(xs ...Expr) Expr { return fold(OpAnd, Lit{Value: true}, xs) }
+
+// Or returns the disjunction of xs (false when xs is empty).
+func Or(xs ...Expr) Expr { return fold(OpOr, Lit{Value: false}, xs) }
+
+// Xor returns the exclusive-or chain of xs (false when xs is empty).
+func Xor(xs ...Expr) Expr { return fold(OpXor, Lit{Value: false}, xs) }
+
+// Implies returns l -> r.
+func Implies(l, r Expr) Expr { return Bin{Op: OpImplies, L: l, R: r} }
+
+// V returns a variable reference.
+func V(name string) Expr { return Var{Name: name} }
+
+// ExactlyOne returns the one-of constraint over the named components.
+func ExactlyOne(names ...string) Expr {
+	xs := make([]Expr, len(names))
+	for i, n := range names {
+		xs[i] = Var{Name: n}
+	}
+	return OneOf{Xs: xs}
+}
+
+func fold(op Op, empty Expr, xs []Expr) Expr {
+	switch len(xs) {
+	case 0:
+		return empty
+	case 1:
+		return xs[0]
+	}
+	acc := xs[0]
+	for _, x := range xs[1:] {
+		acc = Bin{Op: op, L: acc, R: x}
+	}
+	return acc
+}

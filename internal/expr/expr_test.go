@@ -1,0 +1,360 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e
+}
+
+func evalWith(e Expr, present ...string) bool {
+	set := make(map[string]bool, len(present))
+	for _, p := range present {
+		set[p] = true
+	}
+	return EvalSet(e, set)
+}
+
+func TestParseVariable(t *testing.T) {
+	e := mustParse(t, "E1")
+	if !evalWith(e, "E1") {
+		t.Error("E1 should be true when present")
+	}
+	if evalWith(e) {
+		t.Error("E1 should be false when absent")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	if !evalWith(mustParse(t, "true")) {
+		t.Error("true should evaluate true")
+	}
+	if evalWith(mustParse(t, "false")) {
+		t.Error("false should evaluate false")
+	}
+}
+
+func TestAndOrXorNot(t *testing.T) {
+	tests := []struct {
+		src     string
+		present []string
+		want    bool
+	}{
+		{"A & B", []string{"A", "B"}, true},
+		{"A & B", []string{"A"}, false},
+		{"A | B", []string{"B"}, true},
+		{"A | B", nil, false},
+		{"A ^ B", []string{"A"}, true},
+		{"A ^ B", []string{"A", "B"}, false},
+		{"A ^ B", nil, false},
+		{"!A", nil, true},
+		{"!A", []string{"A"}, false},
+		{"!!A", []string{"A"}, true},
+	}
+	for _, tt := range tests {
+		if got := evalWith(mustParse(t, tt.src), tt.present...); got != tt.want {
+			t.Errorf("%q with %v = %v, want %v", tt.src, tt.present, got, tt.want)
+		}
+	}
+}
+
+func TestOperatorAliases(t *testing.T) {
+	pairs := [][2]string{
+		{"A & B", "A and B"},
+		{"A & B", "A && B"},
+		{"A & B", "A · B"},
+		{"A & B", "A * B"},
+		{"A & B", "A ∧ B"},
+		{"A | B", "A or B"},
+		{"A | B", "A || B"},
+		{"A | B", "A ∨ B"},
+		{"A ^ B", "A xor B"},
+		{"A ^ B", "A ⊕ B"},
+		{"!A", "not A"},
+		{"!A", "¬A"},
+		{"A -> B", "A → B"},
+		{"A -> B", "A implies B"},
+		{"oneof(A, B)", "⊗(A, B)"},
+	}
+	for _, p := range pairs {
+		a, b := mustParse(t, p[0]), mustParse(t, p[1])
+		if a.String() != b.String() {
+			t.Errorf("%q parsed as %q, alias %q parsed as %q", p[0], a, p[1], b)
+		}
+	}
+}
+
+func TestImplication(t *testing.T) {
+	e := mustParse(t, "E1 -> (D1 | D2) & D4")
+	tests := []struct {
+		present []string
+		want    bool
+	}{
+		{nil, true}, // vacuous
+		{[]string{"E1"}, false},
+		{[]string{"E1", "D1"}, false},
+		{[]string{"E1", "D1", "D4"}, true},
+		{[]string{"E1", "D2", "D4"}, true},
+		{[]string{"E1", "D4"}, false},
+		{[]string{"D1", "D4"}, true}, // vacuous
+	}
+	for _, tt := range tests {
+		if got := evalWith(e, tt.present...); got != tt.want {
+			t.Errorf("%v => %v, want %v", tt.present, got, tt.want)
+		}
+	}
+}
+
+func TestImplicationRightAssociative(t *testing.T) {
+	// A -> B -> C must parse as A -> (B -> C): with A true, B false it is
+	// vacuously true at the inner level.
+	e := mustParse(t, "A -> B -> C")
+	if !evalWith(e, "A") {
+		t.Error("A -> (B -> C) with only A should be true (inner vacuous)")
+	}
+	// (A -> B) -> C with only A: inner false, so the whole is true only
+	// if C... (false -> C) is true regardless of C; so grouping matters
+	// for a different assignment:
+	left := mustParse(t, "(A -> B) -> C")
+	// with nothing present: A->B true, C false => false
+	if evalWith(left) {
+		t.Error("(A -> B) -> C with nothing present should be false")
+	}
+	if !evalWith(e) {
+		t.Error("A -> (B -> C) with nothing present should be true")
+	}
+}
+
+func TestOneOf(t *testing.T) {
+	e := mustParse(t, "oneof(D1, D2, D3)")
+	tests := []struct {
+		present []string
+		want    bool
+	}{
+		{nil, false},
+		{[]string{"D1"}, true},
+		{[]string{"D2"}, true},
+		{[]string{"D1", "D2"}, false},
+		{[]string{"D1", "D2", "D3"}, false},
+	}
+	for _, tt := range tests {
+		if got := evalWith(e, tt.present...); got != tt.want {
+			t.Errorf("oneof with %v = %v, want %v", tt.present, got, tt.want)
+		}
+	}
+}
+
+func TestOneOfNested(t *testing.T) {
+	e := mustParse(t, "oneof(A & B, C)")
+	if !evalWith(e, "A", "B") {
+		t.Error("oneof(A&B, C) with A,B should be true")
+	}
+	if evalWith(e, "A", "B", "C") {
+		t.Error("oneof(A&B, C) with all should be false")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// not > and > xor > or > implies
+	e := mustParse(t, "A | B ^ C & D")
+	want := mustParse(t, "A | (B ^ (C & D))")
+	if e.String() != want.String() {
+		t.Errorf("precedence: got %q, want %q", e, want)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	sources := []string{
+		"E1 -> (D1 | D2) & D4",
+		"oneof(D1, D2, D3)",
+		"!A & (B | C)",
+		"A ^ B ^ C",
+		"A -> B -> C",
+		"(A -> B) -> C",
+		"true & !false",
+		"oneof(A & B, C | D)",
+	}
+	for _, src := range sources {
+		e1 := mustParse(t, src)
+		e2 := mustParse(t, e1.String())
+		if e1.String() != e2.String() {
+			t.Errorf("round trip of %q: %q != %q", src, e1, e2)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := mustParse(t, "E2 -> (D3 | D2) & D5")
+	got := Vars(e)
+	want := []string{"D2", "D3", "D5", "E2"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"A &",
+		"& A",
+		"(A",
+		"A)",
+		"oneof",
+		"oneof(",
+		"oneof()",
+		"A -",
+		"A # B",
+		"oneof(A,)",
+		"A B",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Parse("A & $")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Pos != 4 {
+		t.Errorf("error position = %d, want 4", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "offset 4") {
+		t.Errorf("error text should mention offset: %s", se)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	e := Implies(V("E1"), And(Or(V("D1"), V("D2")), V("D4")))
+	parsed := mustParse(t, "E1 -> (D1 | D2) & D4")
+	if e.String() != parsed.String() {
+		t.Errorf("constructor built %q, parser built %q", e, parsed)
+	}
+	if ExactlyOne("A", "B").String() != "oneof(A, B)" {
+		t.Errorf("ExactlyOne rendering: %q", ExactlyOne("A", "B"))
+	}
+	if And().String() != "true" || Or().String() != "false" {
+		t.Error("empty And/Or should be identity literals")
+	}
+	if And(V("A")).String() != "A" {
+		t.Error("single-element And should be the element")
+	}
+}
+
+// TestPropertyXorEquivalence checks A ^ B == (A | B) & !(A & B) on random
+// assignments.
+func TestPropertyXorEquivalence(t *testing.T) {
+	xor := mustParse(t, "A ^ B")
+	equiv := mustParse(t, "(A | B) & !(A & B)")
+	f := func(a, b bool) bool {
+		assign := func(name string) bool {
+			if name == "A" {
+				return a
+			}
+			return b
+		}
+		return xor.Eval(assign) == equiv.Eval(assign)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyImplicationEquivalence checks A -> B == !A | B.
+func TestPropertyImplicationEquivalence(t *testing.T) {
+	imp := mustParse(t, "A -> B")
+	equiv := mustParse(t, "!A | B")
+	f := func(a, b bool) bool {
+		assign := func(name string) bool {
+			if name == "A" {
+				return a
+			}
+			return b
+		}
+		return imp.Eval(assign) == equiv.Eval(assign)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOneOfCount checks oneof over 5 variables is true iff
+// exactly one is set.
+func TestPropertyOneOfCount(t *testing.T) {
+	e := ExactlyOne("V0", "V1", "V2", "V3", "V4")
+	f := func(bits uint8) bool {
+		n := 0
+		assign := func(name string) bool {
+			i := int(name[1] - '0')
+			return bits&(1<<uint(i)) != 0
+		}
+		for i := 0; i < 5; i++ {
+			if bits&(1<<uint(i)) != 0 {
+				n++
+			}
+		}
+		return e.Eval(assign) == (n == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStringRoundTrip checks that rendering and re-parsing random
+// expressions preserves semantics on random assignments.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	exprs := []Expr{
+		mustParse(t, "A & B | C"),
+		mustParse(t, "A ^ (B -> C)"),
+		mustParse(t, "!(A | B) & C"),
+		mustParse(t, "oneof(A, B, C) -> A | C"),
+	}
+	for _, e := range exprs {
+		reparsed, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e, err)
+		}
+		f := func(a, b, c bool) bool {
+			assign := func(name string) bool {
+				switch name {
+				case "A":
+					return a
+				case "B":
+					return b
+				default:
+					return c
+				}
+			}
+			return e.Eval(assign) == reparsed.Eval(assign)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%q: %v", e, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input should panic")
+		}
+	}()
+	MustParse("&&&")
+}

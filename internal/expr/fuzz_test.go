@@ -1,0 +1,38 @@
+package expr
+
+import "testing"
+
+// FuzzParse hardens the expression parser: arbitrary input must never
+// panic, and any expression that parses must render to a string that
+// re-parses to a semantically identical expression.
+func FuzzParse(f *testing.F) {
+	f.Add("E1 -> (D1 | D2) & D4")
+	f.Add("oneof(D1, D2, D3)")
+	f.Add("!A ^ B -> true")
+	f.Add("((")
+	f.Add("⊗(∧, ∨)")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered form %q does not re-parse: %v", rendered, err)
+		}
+		// Spot-check semantic equivalence on a few assignments.
+		for mask := 0; mask < 8; mask++ {
+			assign := func(name string) bool {
+				if len(name) == 0 {
+					return false
+				}
+				return mask&(1<<(uint(name[0])%3)) != 0
+			}
+			if e.Eval(assign) != e2.Eval(assign) {
+				t.Fatalf("round trip of %q changed semantics (rendered %q)", input, rendered)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package expr
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexical tokens of the expression language.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokAnd     // & && and · * ∧
+	tokOr      // | || or ∨
+	tokXor     // ^ xor ⊕
+	tokNot     // ! not ¬
+	tokImplies // -> → implies
+	tokOneOf   // oneof ⊗
+	tokLParen
+	tokRParen
+	tokComma
+	tokTrue
+	tokFalse
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokAnd:
+		return `"&"`
+	case tokOr:
+		return `"|"`
+	case tokXor:
+		return `"^"`
+	case tokNot:
+		return `"!"`
+	case tokImplies:
+		return `"->"`
+	case tokOneOf:
+		return `"oneof"`
+	case tokLParen:
+		return `"("`
+	case tokRParen:
+		return `")"`
+	case tokComma:
+		return `","`
+	case tokTrue:
+		return `"true"`
+	case tokFalse:
+		return `"false"`
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is a lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a lexical or grammatical error in an expression,
+// with the byte offset at which it was detected.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: syntax error at offset %d in %q: %s", e.Pos, e.Input, e.Msg)
+}
+
+// lexer splits an expression string into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+// next returns the next token, or an error for unrecognized input.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+		if unicode.IsSpace(r) {
+			l.pos += size
+			continue
+		}
+		start := l.pos
+		switch r {
+		case '(':
+			l.pos += size
+			return token{kind: tokLParen, text: "(", pos: start}, nil
+		case ')':
+			l.pos += size
+			return token{kind: tokRParen, text: ")", pos: start}, nil
+		case ',':
+			l.pos += size
+			return token{kind: tokComma, text: ",", pos: start}, nil
+		case '&', '·', '*', '∧':
+			l.pos += size
+			if r == '&' && l.pos < len(l.input) && l.input[l.pos] == '&' {
+				l.pos++
+			}
+			return token{kind: tokAnd, text: "&", pos: start}, nil
+		case '|', '∨':
+			l.pos += size
+			if r == '|' && l.pos < len(l.input) && l.input[l.pos] == '|' {
+				l.pos++
+			}
+			return token{kind: tokOr, text: "|", pos: start}, nil
+		case '^', '⊕':
+			l.pos += size
+			return token{kind: tokXor, text: "^", pos: start}, nil
+		case '!', '¬':
+			l.pos += size
+			return token{kind: tokNot, text: "!", pos: start}, nil
+		case '⊗':
+			l.pos += size
+			return token{kind: tokOneOf, text: "oneof", pos: start}, nil
+		case '→':
+			l.pos += size
+			return token{kind: tokImplies, text: "->", pos: start}, nil
+		case '-':
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '>' {
+				l.pos += 2
+				return token{kind: tokImplies, text: "->", pos: start}, nil
+			}
+			return token{}, &SyntaxError{Input: l.input, Pos: start, Msg: `"-" must begin "->"`}
+		}
+		if isIdentStart(r) {
+			end := l.pos
+			for end < len(l.input) {
+				rr, sz := utf8.DecodeRuneInString(l.input[end:])
+				if !isIdentPart(rr) {
+					break
+				}
+				end += sz
+			}
+			word := l.input[l.pos:end]
+			l.pos = end
+			switch word {
+			case "and", "AND":
+				return token{kind: tokAnd, text: "&", pos: start}, nil
+			case "or", "OR":
+				return token{kind: tokOr, text: "|", pos: start}, nil
+			case "xor", "XOR":
+				return token{kind: tokXor, text: "^", pos: start}, nil
+			case "not", "NOT":
+				return token{kind: tokNot, text: "!", pos: start}, nil
+			case "implies", "IMPLIES":
+				return token{kind: tokImplies, text: "->", pos: start}, nil
+			case "oneof", "ONEOF":
+				return token{kind: tokOneOf, text: "oneof", pos: start}, nil
+			case "true", "TRUE":
+				return token{kind: tokTrue, text: word, pos: start}, nil
+			case "false", "FALSE":
+				return token{kind: tokFalse, text: word, pos: start}, nil
+			}
+			return token{kind: tokIdent, text: word, pos: start}, nil
+		}
+		return token{}, &SyntaxError{Input: l.input, Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+}

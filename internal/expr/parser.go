@@ -1,0 +1,194 @@
+package expr
+
+import "fmt"
+
+// Grammar (operators listed from loosest to tightest binding):
+//
+//	expr    := or ( "->" expr )?          // implication, right associative
+//	or      := xor ( "|" xor )*
+//	xor     := and ( "^" and )*
+//	and     := unary ( "&" unary )*
+//	unary   := "!" unary | primary
+//	primary := IDENT | "true" | "false" | "(" expr ")"
+//	         | "oneof" "(" expr ( "," expr )* ")"
+
+// Parse parses an expression in the dependency-relationship language.
+// It returns a *SyntaxError on malformed input.
+func Parse(input string) (Expr, error) {
+	p := &parser{lex: lexer{input: input}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s", p.tok.kind)
+	}
+	return e, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// expressions that are compile-time constants of the calling program.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Input: p.lex.input, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokImplies {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Bin{Op: OpImplies, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.parseBinChain(tokOr, OpOr, p.parseXor)
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	return p.parseBinChain(tokXor, OpXor, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.parseBinChain(tokAnd, OpAnd, p.parseUnary)
+}
+
+func (p *parser) parseBinChain(kind tokenKind, op Op, sub func() (Expr, error)) (Expr, error) {
+	left, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == kind {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		left = Bin{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokNot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Var{Name: name}, nil
+	case tokTrue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Lit{Value: true}, nil
+	case tokFalse:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Lit{Value: false}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected %s, found %s", tokRParen, p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokOneOf:
+		return p.parseOneOf()
+	default:
+		return nil, p.errorf("expected expression, found %s", p.tok.kind)
+	}
+}
+
+func (p *parser) parseOneOf() (Expr, error) {
+	if err := p.advance(); err != nil { // consume "oneof"
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, p.errorf("expected %s after oneof, found %s", tokLParen, p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var xs []Expr
+	for {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, x)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected %s or %s in oneof, found %s", tokComma, tokRParen, p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return OneOf{Xs: xs}, nil
+}

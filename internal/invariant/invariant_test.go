@@ -1,0 +1,266 @@
+package invariant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+func paperSet(t *testing.T) *Set {
+	t.Helper()
+	reg := model.MustRegistry(
+		model.Component{Name: "E1", Process: "server"},
+		model.Component{Name: "E2", Process: "server"},
+		model.Component{Name: "D1", Process: "handheld"},
+		model.Component{Name: "D2", Process: "handheld"},
+		model.Component{Name: "D3", Process: "handheld"},
+		model.Component{Name: "D4", Process: "laptop"},
+		model.Component{Name: "D5", Process: "laptop"},
+	)
+	inv := func(name, kind, src string) Invariant {
+		var i Invariant
+		var err error
+		if kind == "s" {
+			i, err = NewStructural(name, src)
+		} else {
+			i, err = NewDependency(name, src)
+		}
+		if err != nil {
+			t.Fatalf("invariant %s: %v", name, err)
+		}
+		return i
+	}
+	s, err := NewSet(reg,
+		inv("resource", "s", "oneof(D1, D2, D3)"),
+		inv("security", "s", "oneof(E1, E2)"),
+		inv("E1-deps", "d", "E1 -> (D1 | D2) & D4"),
+		inv("E2-deps", "d", "E2 -> (D3 | D2) & D5"),
+	)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	return s
+}
+
+// TestPaperTable1 reproduces Table 1: the safe configuration set of the
+// case study must be exactly the paper's eight configurations.
+func TestPaperTable1(t *testing.T) {
+	s := paperSet(t)
+	reg := s.Registry()
+	got := s.SafeConfigs()
+
+	want := map[string]bool{
+		"0100101": true, // D4,D1,E1
+		"1100101": true, // D5,D4,D1,E1
+		"1101001": true, // D5,D4,D2,E1
+		"1101010": true, // D5,D4,D2,E2
+		"1110010": true, // D5,D4,D3,E2
+		"0101001": true, // D4,D2,E1
+		"1001010": true, // D5,D2,E2
+		"1010010": true, // D5,D3,E2
+	}
+	if len(got) != len(want) {
+		vecs := make([]string, len(got))
+		for i, c := range got {
+			vecs[i] = reg.BitVector(c)
+		}
+		t.Fatalf("safe set has %d configurations %v, want %d", len(got), vecs, len(want))
+	}
+	for _, c := range got {
+		if !want[reg.BitVector(c)] {
+			t.Errorf("unexpected safe configuration %s %s", reg.BitVector(c), reg.Format(c))
+		}
+	}
+}
+
+func TestSatisfiedAndViolations(t *testing.T) {
+	s := paperSet(t)
+	reg := s.Registry()
+
+	safe, _ := reg.ParseBitVector("0100101")
+	if !s.Satisfied(safe) {
+		t.Error("paper source configuration should be safe")
+	}
+	if v := s.Violations(safe); v != nil {
+		t.Errorf("safe configuration has violations: %v", v)
+	}
+
+	// Two decoders on the handheld: violates the resource constraint.
+	unsafe := reg.MustConfigOf("E1", "D1", "D2", "D4")
+	if s.Satisfied(unsafe) {
+		t.Error("configuration with D1 and D2 should be unsafe")
+	}
+	v := s.Violations(unsafe)
+	if len(v) == 0 || v[0].Name != "resource" {
+		t.Errorf("expected resource violation, got %v", v)
+	}
+
+	// E2 without D5: violates E2's dependency.
+	unsafe2 := reg.MustConfigOf("E2", "D2", "D4")
+	v2 := s.Violations(unsafe2)
+	found := false
+	for _, inv := range v2 {
+		if inv.Name == "E2-deps" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected E2-deps violation, got %v", v2)
+	}
+}
+
+// TestSafeConfigsMatchesBruteForce cross-checks the pruned enumeration
+// against a plain 2^n scan.
+func TestSafeConfigsMatchesBruteForce(t *testing.T) {
+	s := paperSet(t)
+	reg := s.Registry()
+	pruned := s.SafeConfigs()
+	var brute []model.Config
+	for raw := model.Config(0); raw <= reg.FullConfig(); raw++ {
+		if s.Satisfied(raw) {
+			brute = append(brute, raw)
+		}
+	}
+	if len(pruned) != len(brute) {
+		t.Fatalf("pruned %d vs brute-force %d", len(pruned), len(brute))
+	}
+	for i := range brute {
+		if pruned[i] != brute[i] {
+			t.Fatalf("mismatch at %d: %s vs %s", i, reg.BitVector(pruned[i]), reg.BitVector(brute[i]))
+		}
+	}
+}
+
+func TestNewSetRejectsUnknownComponents(t *testing.T) {
+	reg := model.MustRegistry(model.Component{Name: "A"})
+	inv, err := NewStructural("bad", "A & Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSet(reg, inv); err == nil {
+		t.Error("invariant referencing unknown component should be rejected")
+	}
+}
+
+func TestCollaborativeSets(t *testing.T) {
+	// Two independent subsystems plus an unconstrained component.
+	reg := model.MustRegistry(
+		model.Component{Name: "A1"}, model.Component{Name: "A2"},
+		model.Component{Name: "B1"}, model.Component{Name: "B2"},
+		model.Component{Name: "C"},
+	)
+	ia, _ := NewStructural("a", "oneof(A1, A2)")
+	ib, _ := NewDependency("b", "B1 -> B2")
+	s, err := NewSet(reg, ia, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := s.CollaborativeSets()
+	if len(sets) != 3 {
+		t.Fatalf("CollaborativeSets = %v, want 3 sets", sets)
+	}
+	byFirst := map[string][]string{}
+	for _, set := range sets {
+		byFirst[set[0]] = set
+	}
+	if len(byFirst["A1"]) != 2 || len(byFirst["B1"]) != 2 || len(byFirst["C"]) != 1 {
+		t.Errorf("unexpected partition %v", sets)
+	}
+}
+
+func TestCollaborativeSetsPaperIsOneSet(t *testing.T) {
+	// The case study's invariants connect every component transitively —
+	// E1 links D1,D2,D4; E2 links D3,D2,D5 — so decomposition yields one
+	// collaborative set of all seven.
+	s := paperSet(t)
+	sets := s.CollaborativeSets()
+	if len(sets) != 1 || len(sets[0]) != 7 {
+		t.Errorf("paper system should be a single collaborative set, got %v", sets)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	s := paperSet(t)
+	edges, maxDeg := s.Degrees()
+	if edges == 0 || maxDeg == 0 {
+		t.Errorf("Degrees = %d, %d; expected non-zero", edges, maxDeg)
+	}
+	// D2 co-occurs with D1,D3 (resource), E1,D4 (E1-deps), E2,D5
+	// (E2-deps): degree 6, the maximum.
+	if maxDeg != 6 {
+		t.Errorf("max degree = %d, want 6 (D2)", maxDeg)
+	}
+}
+
+// TestPropertySafeConfigsAreSatisfied: every enumerated configuration
+// satisfies all invariants, and mutating one component of a safe
+// configuration is correctly re-evaluated.
+func TestPropertySafeConfigsAreSatisfied(t *testing.T) {
+	s := paperSet(t)
+	reg := s.Registry()
+	safe := s.SafeConfigs()
+	safeSet := make(map[model.Config]bool, len(safe))
+	for _, c := range safe {
+		if !s.Satisfied(c) {
+			t.Fatalf("enumerated configuration %s is not satisfied", reg.BitVector(c))
+		}
+		safeSet[c] = true
+	}
+	f := func(raw uint8) bool {
+		c := model.Config(raw) & reg.FullConfig()
+		return s.Satisfied(c) == safeSet[c]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOneOfPruningWithNonPureGroups ensures enumeration stays correct
+// when a oneof invariant has non-variable operands (no pruning applies).
+func TestOneOfPruningWithNonPureGroups(t *testing.T) {
+	reg := model.MustRegistry(
+		model.Component{Name: "A"}, model.Component{Name: "B"}, model.Component{Name: "C"},
+	)
+	p, err := expr.Parse("oneof(A & B, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSet(reg, Invariant{Name: "mixed", Kind: Structural, Pred: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.SafeConfigs()
+	var want []model.Config
+	for raw := model.Config(0); raw <= reg.FullConfig(); raw++ {
+		if s.Satisfied(raw) {
+			want = append(want, raw)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d safe configs, want %d", len(got), len(want))
+	}
+}
+
+// TestOverlappingOneOfGroups ensures only disjoint groups prune.
+func TestOverlappingOneOfGroups(t *testing.T) {
+	reg := model.MustRegistry(
+		model.Component{Name: "A"}, model.Component{Name: "B"}, model.Component{Name: "C"},
+	)
+	i1, _ := NewStructural("g1", "oneof(A, B)")
+	i2, _ := NewStructural("g2", "oneof(B, C)")
+	s, err := NewSet(reg, i1, i2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.SafeConfigs()
+	// Valid: {A,C} and {B}.
+	if len(got) != 2 {
+		vecs := make([]string, len(got))
+		for i, c := range got {
+			vecs[i] = reg.BitVector(c)
+		}
+		t.Fatalf("safe configs = %v, want 2", vecs)
+	}
+}

@@ -1,0 +1,96 @@
+package manager_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/manager"
+	"repro/internal/paper"
+	"repro/internal/protocol"
+)
+
+// TestCancelBeforeFirstResumeAborts: a cancellation that lands while a
+// step is still collecting reset/adapt acknowledgements rolls that step
+// back and aborts, leaving the system at a safe configuration.
+func TestCancelBeforeFirstResumeAborts(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStackCustom(t, plan, manager.Options{StepTimeout: time.Second}, map[string]agentProc{
+		paper.ProcessHandheld: &slowResetProc{scriptedProc: newScriptedProc(), delay: 300 * time.Millisecond},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond) // mid reset wave of the first step (A2, handheld)
+		cancel()
+	}()
+	res, err := s.mgr.ExecuteContext(ctx, src, tgt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute = %v, want context.Canceled (res %+v)", err, res)
+	}
+	if res.Completed {
+		t.Error("aborted adaptation must not complete")
+	}
+	if !plan.Invariants().Satisfied(res.Final) {
+		t.Errorf("aborted at unsafe configuration %s", plan.Registry().BitVector(res.Final))
+	}
+	// The protocol walk must stay conformant through the abort.
+	for _, issue := range audit.ManagerTrace(s.mgr.Trace()) {
+		t.Errorf("manager conformance: %s", issue)
+	}
+	for name, ag := range s.agents {
+		for _, issue := range audit.AgentTrace(ag.Trace()) {
+			t.Errorf("agent %s conformance: %s", name, issue)
+		}
+	}
+}
+
+// TestCancelBetweenStepsAborts: cancellation between completed steps
+// aborts without touching the in-progress configuration.
+func TestCancelBetweenStepsAborts(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStack(t, plan, manager.Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel when the manager opens the second step (its reset for path
+	// index 1), which guarantees the first step fully completed.
+	s.bus.SetFault(func(msg protocol.Message) (bool, time.Duration) {
+		if msg.Type == protocol.MsgReset && msg.Step.PathIndex == 1 {
+			cancel()
+		}
+		return false, 0
+	})
+	res, err := s.mgr.ExecuteContext(ctx, src, tgt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute = %v (res %+v)", err, res)
+	}
+	// At least the first step completed; nothing was rolled back after
+	// its completion.
+	if len(res.Steps) == 0 || res.Steps[0].Outcome != "completed" {
+		t.Fatalf("steps: %+v", res.Steps)
+	}
+	if !plan.Invariants().Satisfied(res.Final) {
+		t.Error("aborted at an unsafe configuration")
+	}
+	if res.Final == src || res.Final == tgt {
+		t.Errorf("expected an intermediate configuration, got %s", plan.Registry().BitVector(res.Final))
+	}
+}
+
+// TestCancelAlreadyExpiredFailsFast: an already-cancelled context aborts
+// before any protocol traffic.
+func TestCancelAlreadyExpiredFailsFast(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStack(t, plan, manager.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := s.mgr.ExecuteContext(ctx, src, tgt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute = %v", err)
+	}
+	if len(res.Steps) != 0 || res.Final != src {
+		t.Errorf("no step should have run: %+v", res)
+	}
+}

@@ -1,0 +1,66 @@
+package manager_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/paper"
+	"repro/internal/protocol"
+)
+
+// TestAgentManagerConsistencyUnderReplyBlackout: every reply from the
+// handheld is lost during an initial blackout window, so the manager
+// rolls back steps the handheld may have already completed locally. When
+// the network heals the run must converge, and — the property this test
+// pins — the number of in-actions each process has applied and not
+// undone must equal the number of steps the manager recorded as
+// completed for that process. A vacuous rollback acknowledgement would
+// break this equality.
+func TestAgentManagerConsistencyUnderReplyBlackout(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStack(t, plan, manager.Options{StepTimeout: 150 * time.Millisecond})
+
+	var mu sync.Mutex
+	blackout := true
+	s.bus.SetFault(func(msg protocol.Message) (bool, time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		return blackout && msg.From == paper.ProcessHandheld, 0
+	})
+	go func() {
+		time.Sleep(400 * time.Millisecond) // spans the first step's retries
+		mu.Lock()
+		blackout = false
+		mu.Unlock()
+	}()
+
+	res, err := s.mgr.Execute(src, tgt)
+	if err != nil || !res.Completed {
+		t.Fatalf("Execute: %v %+v", err, res)
+	}
+
+	completedPer := map[string]int{}
+	for _, sr := range res.Steps {
+		if sr.Outcome != "completed" {
+			continue
+		}
+		a, aerr := plan.ActionByID(sr.ActionID)
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		parts, perr := a.Processes(plan.Registry())
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		for _, p := range parts {
+			completedPer[p]++
+		}
+	}
+	for _, p := range plan.Registry().Processes() {
+		if got, want := s.scripted(t, p).netInActions(), completedPer[p]; got != want {
+			t.Errorf("process %s: net in-actions %d, manager believes %d completed steps", p, got, want)
+		}
+	}
+}

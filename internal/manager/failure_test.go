@@ -1,0 +1,150 @@
+package manager_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/manager"
+	"repro/internal/paper"
+	"repro/internal/protocol"
+)
+
+// resumeFlakyProc fails Resume a configured number of times.
+type resumeFlakyProc struct {
+	scriptedProc
+	mu        sync.Mutex
+	failTimes int
+}
+
+func (p *resumeFlakyProc) Resume(protocol.Step) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failTimes != 0 {
+		if p.failTimes > 0 {
+			p.failTimes--
+		}
+		return errors.New("scripted resume failure")
+	}
+	return nil
+}
+
+// TestResumeTransientFailureRunsToCompletion: a Resume that fails once is
+// retried by the manager's resume wave (run-to-completion rule) and the
+// adaptation still completes without rollback.
+func TestResumeTransientFailureRunsToCompletion(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStackCustom(t, plan, manager.Options{}, map[string]agentProc{
+		paper.ProcessHandheld: &resumeFlakyProc{failTimes: 1},
+	})
+	res, err := s.mgr.Execute(src, tgt)
+	if err != nil || !res.Completed {
+		t.Fatalf("Execute: %v %+v", err, res)
+	}
+	for _, sr := range res.Steps {
+		if sr.Outcome == "rolled back" {
+			t.Errorf("no step may roll back after the point of no return: %+v", sr)
+		}
+	}
+}
+
+// TestResumePersistentFailureSurfacesInconsistency: when resumption can
+// never be confirmed, the manager must NOT roll back (the paper forbids
+// it after the first resume); it surfaces the failure instead.
+func TestResumePersistentFailureSurfacesInconsistency(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStackCustom(t, plan, manager.Options{ResumeRetries: 2}, map[string]agentProc{
+		paper.ProcessHandheld: &resumeFlakyProc{failTimes: -1},
+	})
+	res, err := s.mgr.Execute(src, tgt)
+	if err == nil {
+		t.Fatalf("expected failure, got %+v", res)
+	}
+	if res.Completed {
+		t.Error("result must not be completed")
+	}
+	// The handheld process was never rolled back: the step is past the
+	// point of no return.
+	if hh, ok := s.procs[paper.ProcessHandheld].(*resumeFlakyProc); ok {
+		if hh.rollbacks != 0 {
+			t.Errorf("rollbacks after point of no return: %d", hh.rollbacks)
+		}
+	}
+}
+
+// TestConcurrentExecuteRejected: the manager serializes adaptations.
+func TestConcurrentExecuteRejected(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	// Slow the first Execute down with a sluggish reset.
+	slow := newScriptedProc()
+	s := newStackCustom(t, plan, manager.Options{}, map[string]agentProc{
+		paper.ProcessHandheld: &slowResetProc{scriptedProc: slow, delay: 150 * time.Millisecond},
+	})
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := s.mgr.Execute(src, tgt)
+		firstDone <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the first Execute get going
+	if _, err := s.mgr.Execute(src, tgt); !errors.Is(err, manager.ErrBusy) {
+		t.Errorf("concurrent Execute = %v, want ErrBusy", err)
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first Execute: %v", err)
+	}
+}
+
+type slowResetProc struct {
+	*scriptedProc
+	delay time.Duration
+}
+
+func (p *slowResetProc) Reset(ctx context.Context, step protocol.Step) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(p.delay):
+	}
+	return p.scriptedProc.Reset(ctx, step)
+}
+
+// TestDelayedStaleRepliesIgnored: replies delayed past their step's
+// lifetime (stale attempts) must not confuse later steps.
+func TestDelayedStaleRepliesIgnored(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStack(t, plan, manager.Options{StepTimeout: 400 * time.Millisecond})
+	// Delay every third agent->manager reply by ~120ms so some replies
+	// from attempt N arrive during attempt N+1 or the next step.
+	var mu sync.Mutex
+	count := 0
+	s.bus.SetFault(func(msg protocol.Message) (bool, time.Duration) {
+		if msg.To != protocol.ManagerName {
+			return false, 0
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		if count%3 == 0 {
+			return false, 120 * time.Millisecond
+		}
+		return false, 0
+	})
+	res, err := s.mgr.Execute(src, tgt)
+	if err != nil || !res.Completed || res.Final != tgt {
+		t.Fatalf("Execute with delays: %v %+v", err, res)
+	}
+}
+
+// agentProc is the LocalProcess contract used by newStackCustom.
+type agentProc interface {
+	PreAction(protocol.Step, []action.Op) error
+	Reset(context.Context, protocol.Step) error
+	InAction(protocol.Step, []action.Op) error
+	Resume(protocol.Step) error
+	PostAction(protocol.Step, []action.Op) error
+	Rollback(protocol.Step, []action.Op, bool) error
+}

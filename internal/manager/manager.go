@@ -1,0 +1,413 @@
+// Package manager implements the centralized adaptation manager of the
+// safe adaptation protocol (paper Secs. 4.3–4.4, Fig. 2).
+//
+// The manager owns the whole adaptation process: it plans a minimum
+// adaptation path (via the planner), then coordinates the per-process
+// agents through each adaptation step, ensuring every adaptive action is
+// performed in a global safe state. Timeouts detect loss-of-message and
+// fail-to-reset failures; recovery follows the paper's ladder: retry the
+// step once, try alternative paths, return to the source configuration,
+// and finally give up and wait for user intervention.
+package manager
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/protocol"
+	"repro/internal/sag"
+	"repro/internal/transport"
+)
+
+// State is a manager state from Fig. 2.
+type State int
+
+// Manager states. Names in String() match the figure.
+const (
+	StateRunning State = iota + 1
+	StatePreparing
+	StateAdapting
+	StateAdapted
+	StateResuming
+	StateResumed
+)
+
+// String returns the figure's name for the state.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StatePreparing:
+		return "preparing"
+	case StateAdapting:
+		return "adapting"
+	case StateAdapted:
+		return "adapted"
+	case StateResuming:
+		return "resuming"
+	case StateResumed:
+		return "resumed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Transition is one recorded manager state transition, for
+// protocol-conformance tests against Fig. 2.
+type Transition struct {
+	From, To State
+	Cause    string
+	At       time.Time
+}
+
+// StepReport summarizes the execution of one adaptation step.
+type StepReport struct {
+	ActionID string
+	From, To string // bit vectors
+	Attempt  int
+	// Outcome is "completed", "rolled back", or "failed".
+	Outcome string
+	// BlockedFor is the wall time between the first reset send and the
+	// last resume done — the window in which the system ran in partial
+	// operation.
+	BlockedFor time.Duration
+	Err        string
+}
+
+// Result is the outcome of an Execute call.
+type Result struct {
+	// Completed reports whether the system reached the target
+	// configuration.
+	Completed bool
+	// ReturnedToSource reports that, after failures, the manager drove
+	// the system back to the source configuration (ladder option 3).
+	ReturnedToSource bool
+	// Final is the configuration the system ended in.
+	Final model.Config
+	// Path is the path that completed, when Completed is true.
+	Path sag.Path
+	// Steps are per-step execution reports, in execution order,
+	// including failed attempts.
+	Steps []StepReport
+}
+
+// ErrUserIntervention is returned when every recovery option failed and
+// the system is parked at a safe but unintended configuration (ladder
+// option 4).
+type ErrUserIntervention struct {
+	Current model.Config
+	Vector  string
+	Reason  string
+}
+
+// Error implements error.
+func (e *ErrUserIntervention) Error() string {
+	return fmt.Sprintf("manager: user intervention required at configuration %s: %s", e.Vector, e.Reason)
+}
+
+// errStepFailed is the internal signal that one step attempt failed and
+// the system was rolled back to the step's source configuration.
+type errStepFailed struct {
+	edge sag.Edge
+	why  string
+}
+
+func (e *errStepFailed) Error() string {
+	return fmt.Sprintf("step %s failed: %s", e.edge.Action.ID, e.why)
+}
+
+// Options configures a Manager.
+type Options struct {
+	// StepTimeout bounds each protocol wait (reset done, adapt done,
+	// resume done per attempt). Zero means 2s.
+	StepTimeout time.Duration
+	// ResumeRetries is how many times a resume round is re-sent after
+	// the point of no return before giving up (the paper lets the
+	// adaptation "run to completion"; a bound keeps tests finite). Zero
+	// means 10.
+	ResumeRetries int
+	// MaxAlternatives bounds how many alternative paths the recovery
+	// ladder explores before falling back to return-to-source. Zero
+	// means 4.
+	MaxAlternatives int
+	// ResetPhases, when non-nil, orders each step's reset wave to
+	// realize global safe conditions (e.g. quiesce data-flow upstream
+	// processes before downstream ones). It receives the step's action
+	// and its participant processes and returns orderly phases; nil or
+	// an empty result means a single simultaneous phase.
+	ResetPhases func(a action.Action, participants []string) [][]string
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Manager is the adaptation manager. It is not safe for concurrent
+// Execute calls.
+type Manager struct {
+	ep   transport.Endpoint
+	plan *planner.Planner
+	opts Options
+
+	mu    sync.Mutex
+	state State
+	trace []Transition
+	busy  bool
+
+	// stash buffers out-of-order agent replies for the current step; see
+	// await in step.go. Accessed only from the Execute goroutine.
+	stash []protocol.Message
+}
+
+// ErrBusy is returned by Execute when an adaptation is already in
+// progress: the manager serializes adaptation requests, which is what
+// makes the centralized global optimization of the paper sound.
+var ErrBusy = errors.New("manager: an adaptation is already in progress")
+
+// New creates a manager over the given endpoint and planner.
+func New(ep transport.Endpoint, plan *planner.Planner, opts Options) (*Manager, error) {
+	if ep == nil {
+		return nil, errors.New("manager: nil endpoint")
+	}
+	if plan == nil {
+		return nil, errors.New("manager: nil planner")
+	}
+	if opts.StepTimeout <= 0 {
+		opts.StepTimeout = 2 * time.Second
+	}
+	if opts.ResumeRetries <= 0 {
+		opts.ResumeRetries = 10
+	}
+	if opts.MaxAlternatives <= 0 {
+		opts.MaxAlternatives = 4
+	}
+	return &Manager{ep: ep, plan: plan, opts: opts, state: StateRunning}, nil
+}
+
+// State returns the manager's current state.
+func (m *Manager) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Trace returns a copy of the recorded state transitions.
+func (m *Manager) Trace() []Transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Transition, len(m.trace))
+	copy(out, m.trace)
+	return out
+}
+
+func (m *Manager) transition(to State, cause string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trace = append(m.trace, Transition{From: m.state, To: to, Cause: cause, At: time.Now()})
+	m.state = to
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}
+
+// Execute carries out an adaptation request from source to target: it
+// plans the MAP and realizes it step by step, each adaptive action in its
+// global safe state, with the full failure-recovery ladder. On success
+// the returned Result has Completed == true. An *ErrUserIntervention
+// error means the system is parked at Result.Final awaiting the user.
+func (m *Manager) Execute(source, target model.Config) (Result, error) {
+	return m.ExecuteContext(context.Background(), source, target)
+}
+
+// ExecuteContext is Execute with cancellation. Cancellation honors the
+// paper's abort semantics: between steps, and during a step before the
+// first resume message, the adaptation aborts and the in-progress step is
+// rolled back, leaving the system at a safe configuration; once a step is
+// past its point of no return it runs to completion before the abort
+// takes effect. The returned error wraps ctx.Err() on abort.
+func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Config) (Result, error) {
+	m.mu.Lock()
+	if m.busy {
+		m.mu.Unlock()
+		return Result{Final: source}, ErrBusy
+	}
+	m.busy = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.busy = false
+		m.mu.Unlock()
+	}()
+
+	reg := m.plan.Registry()
+	res := Result{Final: source}
+
+	m.transition(StatePreparing, `receive "adaptation request"`)
+	path, err := m.plan.Plan(source, target)
+	if err != nil {
+		m.transition(StateRunning, "[planning failed]")
+		return res, fmt.Errorf("manager: plan: %w", err)
+	}
+	m.logf("MAP: %s", path)
+
+	current := source
+	var failedEdges []sag.Edge
+	attempt := 0
+
+	for {
+		completed, reached, reports, stepErr := m.executePath(ctx, path, current, &attempt)
+		res.Steps = append(res.Steps, reports...)
+		current = reached
+		res.Final = current
+		if completed {
+			m.transition(StateRunning, "[adaptation complete]")
+			res.Completed = true
+			res.Path = path
+			return res, nil
+		}
+
+		// Cancellation aborts cleanly: the failed step (if any) was
+		// rolled back, so the system rests at a safe configuration.
+		if errors.Is(stepErr, context.Canceled) || errors.Is(stepErr, context.DeadlineExceeded) {
+			m.transition(StateRunning, "[aborted]")
+			return res, fmt.Errorf("manager: adaptation aborted at %s: %w", reg.BitVector(current), stepErr)
+		}
+
+		// A step failed (system is at `current`, a safe configuration).
+		var sf *errStepFailed
+		if !errors.As(stepErr, &sf) {
+			m.transition(StateRunning, "[failure]")
+			return res, stepErr
+		}
+		failedEdges = append(failedEdges, sf.edge)
+
+		// Ladder option 2: alternative paths from the current
+		// configuration that avoid every failed edge.
+		alt, altErr := m.alternative(current, target, failedEdges)
+		if altErr == nil {
+			m.logf("switching to alternative path: %s", alt)
+			path = alt
+			continue
+		}
+
+		// Ladder option 3: return to the source configuration.
+		m.logf("no alternative path; attempting return to source")
+		back, backErr := m.plan.Plan(current, source)
+		if backErr == nil {
+			completed, reached, reports, _ := m.executePath(ctx, back, current, &attempt)
+			res.Steps = append(res.Steps, reports...)
+			current = reached
+			res.Final = current
+			if completed {
+				m.transition(StateRunning, "[returned to source]")
+				res.ReturnedToSource = true
+				return res, nil
+			}
+		}
+
+		// Ladder option 4: park and wait for the user.
+		m.transition(StateRunning, "[user intervention]")
+		return res, &ErrUserIntervention{
+			Current: current,
+			Vector:  reg.BitVector(current),
+			Reason:  sf.why,
+		}
+	}
+}
+
+// alternative finds the cheapest path from current to target that avoids
+// all failed edges. It returns an error when none exists within the
+// configured bound.
+func (m *Manager) alternative(current, target model.Config, failed []sag.Edge) (sag.Path, error) {
+	paths, err := m.plan.Alternatives(current, target, m.opts.MaxAlternatives+1)
+	if err != nil {
+		return sag.Path{}, err
+	}
+	for _, p := range paths {
+		uses := false
+		for _, e := range p.Steps {
+			for _, f := range failed {
+				if e.From == f.From && e.To == f.To && e.Action.ID == f.Action.ID {
+					uses = true
+					break
+				}
+			}
+			if uses {
+				break
+			}
+		}
+		if !uses && len(p.Steps) > 0 {
+			return p, nil
+		}
+	}
+	return sag.Path{}, fmt.Errorf("manager: no alternative path avoids the failed steps")
+}
+
+// executePath runs the steps of path starting from `from`. Each step is
+// attempted twice (the ladder's "retry the same step once more") before
+// the path is abandoned. It returns whether the whole path completed, the
+// configuration the system is currently in, the per-step reports, and the
+// failure (an *errStepFailed, or a context error on abort) when not
+// completed.
+func (m *Manager) executePath(ctx context.Context, path sag.Path, from model.Config, attempt *int) (bool, model.Config, []StepReport, error) {
+	current := from
+	var reports []StepReport
+	for i, step := range path.Steps {
+		if err := ctx.Err(); err != nil {
+			return false, current, reports, err
+		}
+		if step.From != current {
+			// Defensive: the path must be contiguous from `current`.
+			return false, current, reports, fmt.Errorf("manager: path step %d starts at %s but system is at %s",
+				i, m.plan.Registry().BitVector(step.From), m.plan.Registry().BitVector(current))
+		}
+		var lastErr error
+		succeeded := false
+		for try := 0; try < 2; try++ { // initial attempt + one retry
+			*attempt++
+			rep, err := m.executeStep(ctx, step, i, *attempt)
+			reports = append(reports, rep)
+			if err == nil {
+				succeeded = true
+				break
+			}
+			lastErr = err
+			m.logf("step %s attempt %d failed: %v", step.Action.ID, try+1, err)
+			// executeStep guarantees the system is back at step.From
+			// when it returns an error (rollback before first resume) —
+			// except for pastPointOfNoReturn errors, which propagate.
+			var pnr *errPastNoReturn
+			if errors.As(err, &pnr) {
+				return false, step.From, reports, err
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return false, current, reports, err
+			}
+		}
+		if !succeeded {
+			return false, current, reports, &errStepFailed{edge: step, why: lastErr.Error()}
+		}
+		current = step.To
+		if i < len(path.Steps)-1 {
+			m.transition(StatePreparing, "[more adaptation steps remaining] / prepare for the next step")
+		}
+	}
+	return true, current, reports, nil
+}
+
+// errPastNoReturn signals that a failure happened after the first resume
+// message was sent but resumption could not be confirmed within the retry
+// budget: the paper requires the adaptation to run to completion, so the
+// manager cannot roll back; it surfaces the inconsistency instead.
+type errPastNoReturn struct{ why string }
+
+func (e *errPastNoReturn) Error() string {
+	return "manager: failure past the point of no return: " + e.why
+}

@@ -1,0 +1,257 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/sag"
+)
+
+// executeStep coordinates one adaptation step: the reset wave (phase by
+// phase), the adapt-done barrier, and the resume wave. On a failure
+// before the first resume message it rolls every participant back and
+// returns a non-nil error with the system at step.From; cancellation via
+// ctx counts as such a failure (rollback, then the context error
+// propagates). A failure after the first resume returns *errPastNoReturn
+// — from that point the step ignores ctx and runs to completion.
+func (m *Manager) executeStep(ctx context.Context, step sag.Edge, pathIndex, attempt int) (rep StepReport, err error) {
+	reg := m.plan.Registry()
+	rep = StepReport{
+		ActionID: step.Action.ID,
+		From:     reg.BitVector(step.From),
+		To:       reg.BitVector(step.To),
+		Attempt:  attempt,
+	}
+	m.stash = m.stash[:0] // drop replies from earlier steps
+
+	participants, perr := step.Action.Processes(reg)
+	if perr != nil {
+		rep.Outcome = "failed"
+		rep.Err = perr.Error()
+		return rep, perr
+	}
+	if len(participants) == 0 {
+		rep.Outcome = "completed"
+		return rep, nil
+	}
+
+	var phases [][]string
+	if m.opts.ResetPhases != nil {
+		phases = m.opts.ResetPhases(step.Action, participants)
+	}
+	if len(phases) == 0 {
+		phases = [][]string{participants}
+	}
+	// The phase policy may conscript processes beyond the action's own
+	// participants — e.g. quiescing a data-flow upstream sender so that a
+	// downstream decoder swap happens on a drained link (the global safe
+	// condition). Conscripted processes join the step fully: they block,
+	// acknowledge, and resume with everyone else.
+	seen := make(map[string]bool, len(participants))
+	for _, p := range participants {
+		seen[p] = true
+	}
+	for _, phase := range phases {
+		for _, p := range phase {
+			if !seen[p] {
+				seen[p] = true
+				participants = append(participants, p)
+			}
+		}
+	}
+	sort.Strings(participants)
+
+	pstep := protocol.Step{
+		PathIndex:    pathIndex,
+		Attempt:      attempt,
+		ActionID:     step.Action.ID,
+		Ops:          step.Action.Ops,
+		Participants: participants,
+		ResetPhases:  phases,
+		FromVector:   rep.From,
+		ToVector:     rep.To,
+	}
+
+	start := time.Now()
+	defer func() { rep.BlockedFor = time.Since(start) }()
+
+	fail := func(why string) (StepReport, error) {
+		m.rollbackAll(participants, pstep)
+		m.transition(StateRunning, "[failure] / rollback")
+		rep.Outcome = "rolled back"
+		rep.Err = why
+		if cerr := ctx.Err(); cerr != nil {
+			return rep, fmt.Errorf("manager: step %s aborted: %w", step.Action.ID, cerr)
+		}
+		return rep, &errStepFailed{edge: step, why: why}
+	}
+
+	// Reset wave, phase by phase (Fig. 2: "[creating MAP complete] /
+	// send reset" puts the manager in "adapting"). A retry after a
+	// rollback re-enters through "preparing", matching the figure's
+	// running → preparing → adapting walk.
+	if m.State() == StateRunning {
+		m.transition(StatePreparing, "[failure handled] / prepare retry")
+	}
+	m.transition(StateAdapting, `send "reset"`)
+	for _, phase := range phases {
+		for _, p := range phase {
+			if err := m.ep.Send(protocol.Message{Type: protocol.MsgReset, To: p, Step: pstep}); err != nil {
+				return fail(fmt.Sprintf("send reset to %s: %v", p, err))
+			}
+		}
+		got, bad := m.await(ctx, phase, pstep, protocol.MsgResetDone, protocol.MsgResetFailed, m.opts.StepTimeout)
+		if bad != "" {
+			return fail(bad)
+		}
+		if len(got) < len(phase) {
+			return fail(fmt.Sprintf("timeout waiting for reset done (got %d of %d)", len(got), len(phase)))
+		}
+	}
+
+	// Adapt-done barrier: agents perform their in-actions once safely
+	// blocked and report.
+	got, bad := m.await(ctx, participants, pstep, protocol.MsgAdaptDone, protocol.MsgAdaptFailed, m.opts.StepTimeout)
+	if bad != "" {
+		return fail(bad)
+	}
+	if len(got) < len(participants) {
+		return fail(fmt.Sprintf("timeout waiting for adapt done (got %d of %d)", len(got), len(participants)))
+	}
+	m.transition(StateAdapted, `receive all "adapt done"`)
+
+	// Resume wave. Sending the first resume is the point of no return
+	// (Sec. 4.4): from here the adaptation runs to completion.
+	m.transition(StateResuming, `send "resume"`)
+	pending := make(map[string]bool, len(participants))
+	for _, p := range participants {
+		pending[p] = true
+	}
+	for retry := 0; retry <= m.opts.ResumeRetries; retry++ {
+		for p := range pending {
+			if err := m.ep.Send(protocol.Message{Type: protocol.MsgResume, To: p, Step: pstep}); err != nil {
+				// Connection-level failure: keep retrying; the agent may
+				// reconnect. Treat like a lost message.
+				continue
+			}
+		}
+		names := make([]string, 0, len(pending))
+		for p := range pending {
+			names = append(names, p)
+		}
+		// Past the point of no return: resume waits ignore cancellation
+		// (context.Background) so the step runs to completion.
+		got, _ := m.await(context.Background(), names, pstep, protocol.MsgResumeDone, 0, m.opts.StepTimeout)
+		for p := range got {
+			delete(pending, p)
+		}
+		if len(pending) == 0 {
+			m.transition(StateResumed, `receive all "resume done"`)
+			rep.Outcome = "completed"
+			return rep, nil
+		}
+		m.transition(StateResuming, "[failure] / retry")
+	}
+	rep.Outcome = "failed"
+	rep.Err = fmt.Sprintf("resume not confirmed by %d agent(s)", len(pending))
+	return rep, &errPastNoReturn{why: rep.Err}
+}
+
+// await waits until every process in `from` has sent a message of type
+// `want` for the given step, a failure message of type `failType` arrives
+// (failType 0 disables failure detection), or the timeout expires. It
+// returns the set of processes heard from and a non-empty failure
+// description if a failure message arrived.
+//
+// Agents report asynchronously — a fast agent's "adapt done" may arrive
+// while the manager is still collecting "reset done" from slower agents —
+// so messages of the current step that are not the awaited type are
+// stashed and replayed by the next await rather than dropped.
+func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, want, failType protocol.MsgType, timeout time.Duration) (map[string]bool, string) {
+	wanted := make(map[string]bool, len(from))
+	for _, p := range from {
+		wanted[p] = true
+	}
+	got := make(map[string]bool, len(from))
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+
+	// classify inspects one message; it returns a failure description or
+	// "" and reports whether the message was consumed.
+	classify := func(msg protocol.Message) (failure string, consumed bool) {
+		if msg.Step.PathIndex != step.PathIndex || msg.Step.Attempt != step.Attempt {
+			return "", true // stale reply from an earlier attempt
+		}
+		switch {
+		case msg.Type == want && wanted[msg.From]:
+			got[msg.From] = true
+			return "", true
+		case failType != 0 && msg.Type == failType:
+			return fmt.Sprintf("%s from %s: %s", msg.Type, msg.From, msg.Error), true
+		default:
+			return "", false
+		}
+	}
+
+	// Replay stashed messages first.
+	var stashFail string
+	remaining := make([]protocol.Message, 0, len(m.stash))
+	for _, msg := range m.stash {
+		if stashFail != "" {
+			remaining = append(remaining, msg)
+			continue
+		}
+		fail, consumed := classify(msg)
+		if fail != "" {
+			stashFail = fail
+			continue
+		}
+		if !consumed {
+			remaining = append(remaining, msg)
+		}
+	}
+	m.stash = remaining
+	if stashFail != "" {
+		return got, stashFail
+	}
+
+	for len(got) < len(wanted) {
+		select {
+		case msg, ok := <-m.ep.Inbox():
+			if !ok {
+				return got, "transport closed"
+			}
+			fail, consumed := classify(msg)
+			if fail != "" {
+				return got, fail
+			}
+			if !consumed && len(m.stash) < maxStash {
+				m.stash = append(m.stash, msg)
+			}
+		case <-ctx.Done():
+			return got, "aborted: " + ctx.Err().Error()
+		case <-deadline.C:
+			return got, ""
+		}
+	}
+	return got, ""
+}
+
+// maxStash bounds the out-of-order reply buffer.
+const maxStash = 64
+
+// rollbackAll commands every participant to roll the step back and waits
+// briefly for acknowledgements. Rollback is idempotent on the agents, so
+// best effort suffices: an agent that never received reset acknowledges
+// trivially.
+func (m *Manager) rollbackAll(participants []string, step protocol.Step) {
+	for _, p := range participants {
+		_ = m.ep.Send(protocol.Message{Type: protocol.MsgRollback, To: p, Step: step})
+	}
+	// Rollback acknowledgements are awaited even during an abort: the
+	// whole point of cancelling cleanly is leaving the system safe.
+	m.await(context.Background(), participants, step, protocol.MsgRollbackDone, 0, m.opts.StepTimeout)
+}

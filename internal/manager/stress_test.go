@@ -1,0 +1,90 @@
+package manager_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/manager"
+	"repro/internal/protocol"
+)
+
+// TestProtocolRobustnessUnderRandomFaults throws seeded random message
+// loss and delay at the full protocol and checks the safety contract the
+// paper claims for *every* outcome: whatever happens — completion,
+// return-to-source, or parking for the user — the system ends at a safe
+// configuration, every state machine walks only drawn transitions, and
+// the step reports satisfy the structural invariants.
+func TestProtocolRobustnessUnderRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	outcomes := map[string]int{}
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan, src, tgt := paperPlanner(t)
+			s := newStack(t, plan, manager.Options{
+				StepTimeout:     120 * time.Millisecond,
+				MaxAlternatives: 4,
+			})
+			rng := rand.New(rand.NewSource(seed))
+			var mu sync.Mutex
+			s.bus.SetFault(func(msg protocol.Message) (bool, time.Duration) {
+				mu.Lock()
+				defer mu.Unlock()
+				switch r := rng.Float64(); {
+				case r < 0.10:
+					return true, 0 // lose the message
+				case r < 0.25:
+					return false, time.Duration(rng.Intn(40)) * time.Millisecond // delay it
+				default:
+					return false, 0
+				}
+			})
+
+			res, err := s.mgr.Execute(src, tgt)
+			switch {
+			case err == nil && res.Completed:
+				outcomes["completed"]++
+				if res.Final != tgt {
+					t.Errorf("completed at %s", plan.Registry().BitVector(res.Final))
+				}
+			case err == nil && res.ReturnedToSource:
+				outcomes["returned"]++
+				if res.Final != src {
+					t.Errorf("returned to %s", plan.Registry().BitVector(res.Final))
+				}
+			default:
+				var ui *manager.ErrUserIntervention
+				if !errors.As(err, &ui) {
+					t.Fatalf("unexpected failure mode: %v (res %+v)", err, res)
+				}
+				outcomes["parked"]++
+			}
+
+			// The universal contract: safe final configuration,
+			// conformant traces, consistent reports.
+			if !plan.Invariants().Satisfied(res.Final) {
+				t.Errorf("final configuration %s is unsafe", plan.Registry().BitVector(res.Final))
+			}
+			s.bus.SetFault(nil)
+			for _, issue := range audit.ManagerTrace(s.mgr.Trace()) {
+				t.Errorf("manager conformance: %s", issue)
+			}
+			for name, ag := range s.agents {
+				for _, issue := range audit.AgentTrace(ag.Trace()) {
+					t.Errorf("agent %s conformance: %s", name, issue)
+				}
+			}
+			for _, issue := range audit.Result(plan.Registry(), res, tgt) {
+				t.Errorf("result conformance: %s", issue)
+			}
+		})
+	}
+	t.Logf("outcomes across seeds: %v", outcomes)
+}

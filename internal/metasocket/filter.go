@@ -1,0 +1,165 @@
+package metasocket
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"repro/internal/cipherkit"
+)
+
+// Filter is one stage of a MetaSocket chain. Process consumes one packet
+// and emits zero or more packets (encryption and compression are 1:1; FEC
+// emits extra parity packets and may reconstruct lost ones).
+//
+// A filter's methods are called from a single socket goroutine at a time;
+// stateful filters need no internal locking.
+type Filter interface {
+	// Name identifies the filter instance within its chain; chain
+	// recomposition operations address filters by name. By convention it
+	// is the adaptive component name ("E1", "D3", ...).
+	Name() string
+	// Process transforms one packet.
+	Process(p Packet) ([]Packet, error)
+}
+
+// EncoderFilter encrypts packet payloads with a cipher, implementing the
+// paper's DES encoder components (E1, E2).
+type EncoderFilter struct {
+	name   string
+	cipher *cipherkit.Cipher
+}
+
+// NewEncoder builds an encoder filter with the given component name.
+func NewEncoder(name string, c *cipherkit.Cipher) *EncoderFilter {
+	return &EncoderFilter{name: name, cipher: c}
+}
+
+// Name implements Filter.
+func (f *EncoderFilter) Name() string { return f.name }
+
+// Process implements Filter: it encrypts the payload and pushes the
+// cipher's tag.
+func (f *EncoderFilter) Process(p Packet) ([]Packet, error) {
+	ct := f.cipher.Encrypt(p.Payload)
+	return []Packet{p.PushEnc(f.cipher.Name(), ct)}, nil
+}
+
+// DecoderFilter decrypts packet payloads, implementing the paper's DES
+// decoder components (D1–D5). Each decoder implements the paper's bypass
+// functionality: "when it receives a packet not encoded by the
+// corresponding encoder, it simply forwards the packet to the next filter
+// in the chain."
+type DecoderFilter struct {
+	name    string
+	ciphers map[string]*cipherkit.Cipher // by tag
+}
+
+// NewDecoder builds a decoder accepting the given ciphers. A single
+// cipher gives an ordinary decoder (D1, D3, D4, D5); two give the paper's
+// 128/64-compatible decoder (D2).
+func NewDecoder(name string, ciphers ...*cipherkit.Cipher) *DecoderFilter {
+	m := make(map[string]*cipherkit.Cipher, len(ciphers))
+	for _, c := range ciphers {
+		m[c.Name()] = c
+	}
+	return &DecoderFilter{name: name, ciphers: m}
+}
+
+// Name implements Filter.
+func (f *DecoderFilter) Name() string { return f.name }
+
+// Accepts reports whether the decoder can decode the given encoding tag.
+func (f *DecoderFilter) Accepts(tag string) bool {
+	_, ok := f.ciphers[tag]
+	return ok
+}
+
+// Process implements Filter: packets whose outermost encoding matches one
+// of the decoder's ciphers are decrypted; others bypass unchanged.
+func (f *DecoderFilter) Process(p Packet) ([]Packet, error) {
+	c, ok := f.ciphers[p.TopEnc()]
+	if !ok {
+		return []Packet{p}, nil // bypass
+	}
+	pt, err := c.Decrypt(p.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("decoder %s: %w", f.name, err)
+	}
+	return []Packet{p.PopEnc(pt)}, nil
+}
+
+// CompressFilter deflate-compresses payloads — one of the additional
+// filter kinds the paper lists ("filters can perform encryption,
+// decryption, forward error correction, compression, and so forth").
+type CompressFilter struct {
+	name string
+}
+
+// NewCompress builds a compression filter.
+func NewCompress(name string) *CompressFilter { return &CompressFilter{name: name} }
+
+// Name implements Filter.
+func (f *CompressFilter) Name() string { return f.name }
+
+// Process implements Filter.
+func (f *CompressFilter) Process(p Packet) ([]Packet, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("compress %s: %w", f.name, err)
+	}
+	if _, err := w.Write(p.Payload); err != nil {
+		return nil, fmt.Errorf("compress %s: %w", f.name, err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("compress %s: %w", f.name, err)
+	}
+	return []Packet{p.PushEnc("flate", buf.Bytes())}, nil
+}
+
+// DecompressFilter reverses CompressFilter, with bypass for uncompressed
+// packets.
+type DecompressFilter struct {
+	name string
+}
+
+// NewDecompress builds a decompression filter.
+func NewDecompress(name string) *DecompressFilter { return &DecompressFilter{name: name} }
+
+// Name implements Filter.
+func (f *DecompressFilter) Name() string { return f.name }
+
+// Process implements Filter.
+func (f *DecompressFilter) Process(p Packet) ([]Packet, error) {
+	if p.TopEnc() != "flate" {
+		return []Packet{p}, nil // bypass
+	}
+	r := flate.NewReader(bytes.NewReader(p.Payload))
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("decompress %s: %w", f.name, err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("decompress %s: %w", f.name, err)
+	}
+	return []Packet{p.PopEnc(out)}, nil
+}
+
+// PassthroughFilter forwards packets unchanged; useful as a placeholder in
+// tests and ablations.
+type PassthroughFilter struct {
+	name string
+}
+
+// NewPassthrough builds a passthrough filter.
+func NewPassthrough(name string) *PassthroughFilter { return &PassthroughFilter{name: name} }
+
+// Name implements Filter.
+func (f *PassthroughFilter) Name() string { return f.name }
+
+// Process implements Filter.
+func (f *PassthroughFilter) Process(p Packet) ([]Packet, error) {
+	return []Packet{p}, nil
+}

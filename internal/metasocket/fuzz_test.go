@@ -1,0 +1,32 @@
+package metasocket
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the wire codec: arbitrary bytes must never panic,
+// and anything that unmarshals must re-marshal to an equivalent packet.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Packet{Payload: []byte("x")}.Marshal())
+	f.Add(Packet{Seq: 1, Frame: 2, Index: 3, Count: 4, Enc: []string{"des64", "fec"}, Payload: []byte("data")}.Marshal())
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Round trip: marshal and unmarshal again must be stable.
+		again, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if again.Seq != p.Seq || again.Frame != p.Frame ||
+			again.Index != p.Index || again.Count != p.Count ||
+			!bytes.Equal(again.Payload, p.Payload) || len(again.Enc) != len(p.Enc) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", p, again)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Package metasocket reimplements the paper's MetaSocket abstraction: a
+// socket whose internal structure — a chain of filters manipulating the
+// passing data stream — can be recomposed at run time (insertion, removal
+// and replacement of filters), with the blocking and resetting machinery
+// the safe adaptation protocol relies on (Sec. 2 and Sec. 5.2: the
+// "resetting" flag checked at packet boundaries, blocking in the local
+// safe state, and resumption).
+package metasocket
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet is one unit of the application data stream. Filters transform
+// packets; the encoding-tag stack records which transformations are
+// currently applied to the payload (innermost transformation last), which
+// is what the paper's bypass decoders key on.
+type Packet struct {
+	// Seq is the send-socket sequence number, stamped at transmission;
+	// it doubles as the packet's critical-communication identifier.
+	Seq uint64
+	// Frame is the application frame this packet belongs to.
+	Frame uint32
+	// Index and Count fragment a frame into Count packets.
+	Index uint16
+	Count uint16
+	// Enc is the stack of encoding tags applied to Payload, outermost
+	// last (e.g. ["flate","des64"] means compressed then encrypted).
+	Enc []string
+	// Payload is the (possibly transformed) packet body.
+	Payload []byte
+}
+
+// PushEnc returns p with the tag pushed and the new payload.
+func (p Packet) PushEnc(tag string, payload []byte) Packet {
+	enc := make([]string, len(p.Enc)+1)
+	copy(enc, p.Enc)
+	enc[len(p.Enc)] = tag
+	p.Enc = enc
+	p.Payload = payload
+	return p
+}
+
+// TopEnc returns the outermost encoding tag, or "" when the payload is
+// plain.
+func (p Packet) TopEnc() string {
+	if len(p.Enc) == 0 {
+		return ""
+	}
+	return p.Enc[len(p.Enc)-1]
+}
+
+// PopEnc returns p with the outermost tag removed and the new payload.
+func (p Packet) PopEnc(payload []byte) Packet {
+	enc := make([]string, len(p.Enc)-1)
+	copy(enc, p.Enc[:len(p.Enc)-1])
+	p.Enc = enc
+	p.Payload = payload
+	return p
+}
+
+// Marshal encodes the packet for network transmission.
+func (p Packet) Marshal() []byte {
+	size := 8 + 4 + 2 + 2 + 1
+	for _, t := range p.Enc {
+		size += 1 + len(t)
+	}
+	size += 4 + len(p.Payload)
+	buf := make([]byte, 0, size)
+
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], p.Seq)
+	buf = append(buf, scratch[:8]...)
+	binary.BigEndian.PutUint32(scratch[:4], p.Frame)
+	buf = append(buf, scratch[:4]...)
+	binary.BigEndian.PutUint16(scratch[:2], p.Index)
+	buf = append(buf, scratch[:2]...)
+	binary.BigEndian.PutUint16(scratch[:2], p.Count)
+	buf = append(buf, scratch[:2]...)
+
+	buf = append(buf, byte(len(p.Enc)))
+	for _, t := range p.Enc {
+		buf = append(buf, byte(len(t)))
+		buf = append(buf, t...)
+	}
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(p.Payload)))
+	buf = append(buf, scratch[:4]...)
+	buf = append(buf, p.Payload...)
+	return buf
+}
+
+// Unmarshal decodes a packet from its wire form.
+func Unmarshal(data []byte) (Packet, error) {
+	var p Packet
+	if len(data) < 17 {
+		return p, fmt.Errorf("metasocket: packet too short (%d bytes)", len(data))
+	}
+	p.Seq = binary.BigEndian.Uint64(data[0:8])
+	p.Frame = binary.BigEndian.Uint32(data[8:12])
+	p.Index = binary.BigEndian.Uint16(data[12:14])
+	p.Count = binary.BigEndian.Uint16(data[14:16])
+	n := int(data[16])
+	off := 17
+	if n > 0 {
+		p.Enc = make([]string, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if off >= len(data) {
+			return p, fmt.Errorf("metasocket: truncated encoding tags")
+		}
+		tl := int(data[off])
+		off++
+		if off+tl > len(data) {
+			return p, fmt.Errorf("metasocket: truncated encoding tag %d", i)
+		}
+		p.Enc = append(p.Enc, string(data[off:off+tl]))
+		off += tl
+	}
+	if off+4 > len(data) {
+		return p, fmt.Errorf("metasocket: truncated payload length")
+	}
+	pl := int(binary.BigEndian.Uint32(data[off : off+4]))
+	off += 4
+	if off+pl != len(data) {
+		return p, fmt.Errorf("metasocket: payload length %d does not match remaining %d bytes", pl, len(data)-off)
+	}
+	p.Payload = make([]byte, pl)
+	copy(p.Payload, data[off:])
+	return p, nil
+}

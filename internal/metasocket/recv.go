@@ -1,0 +1,212 @@
+package metasocket
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SinkFunc receives packets after decoder-chain processing; the video
+// client wires it to the depacketizer/player.
+type SinkFunc func(Packet) error
+
+// RecvSocket is the receiving half of a MetaSocket: datagrams from the
+// network traverse the decoder filter chain and are delivered to the
+// sink. Like SendSocket, its chain is recomposable while blocked.
+type RecvSocket struct {
+	*blocker
+	chain chain
+	sink  SinkFunc
+
+	processed atomic.Uint64
+	decodeErr atomic.Uint64
+
+	// pendingFn, when set, reports datagrams queued or in flight toward
+	// this socket (wired to the netsim subscription); Drained uses it.
+	pendingFn func() int
+
+	// observeArrival, when set, sees every packet after unmarshalling and
+	// before chain processing; the CCS instrumentation hooks in here.
+	observeArrival func(Packet)
+	// observeDelivery, when set, sees every packet emitted to the sink.
+	observeDelivery func(Packet)
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewRecvSocket builds a receive socket with the given initial decoder
+// chain.
+func NewRecvSocket(sink SinkFunc, filters ...Filter) (*RecvSocket, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("metasocket: nil sink function")
+	}
+	r := &RecvSocket{blocker: newBlocker(), sink: sink}
+	for _, f := range filters {
+		if err := r.chain.insert(f, -1); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// SetPendingFunc installs the function reporting how many datagrams are
+// queued or in flight toward this socket; Drained consults it. Set it
+// before traffic starts.
+func (r *RecvSocket) SetPendingFunc(fn func() int) { r.pendingFn = fn }
+
+// SetArrivalObserver installs a hook that sees every packet after
+// unmarshalling, before the decoder chain runs. Set it before traffic
+// starts.
+func (r *RecvSocket) SetArrivalObserver(fn func(Packet)) { r.observeArrival = fn }
+
+// SetDeliveryObserver installs a hook that sees every packet the chain
+// emits to the sink. Set it before traffic starts.
+func (r *RecvSocket) SetDeliveryObserver(fn func(Packet)) { r.observeDelivery = fn }
+
+// Start consumes datagrams from the channel until it closes. It may be
+// called once; Wait (or Close-like teardown by closing the channel)
+// joins the consumer goroutine.
+func (r *RecvSocket) Start(datagrams <-chan []byte) error {
+	if r.started {
+		return fmt.Errorf("metasocket: recv socket already started")
+	}
+	r.started = true
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for d := range datagrams {
+			r.deliver(d)
+		}
+	}()
+	return nil
+}
+
+// Wait blocks until the consumer goroutine exits (after the datagram
+// channel closes).
+func (r *RecvSocket) Wait() {
+	r.wg.Wait()
+	r.blocker.close()
+}
+
+// deliver runs one datagram through the decoder chain.
+func (r *RecvSocket) deliver(datagram []byte) {
+	if !r.enter() {
+		return
+	}
+	defer r.exit()
+	defer r.processed.Add(1)
+
+	p, err := Unmarshal(datagram)
+	if err != nil {
+		r.decodeErr.Add(1)
+		return
+	}
+	if r.observeArrival != nil {
+		r.observeArrival(p)
+	}
+	outs, err := r.chain.run(p)
+	if err != nil {
+		r.decodeErr.Add(1)
+		return
+	}
+	for _, out := range outs {
+		if r.observeDelivery != nil {
+			r.observeDelivery(out)
+		}
+		if err := r.sink(out); err != nil {
+			r.decodeErr.Add(1)
+		}
+	}
+}
+
+// Processed returns the number of datagrams fully processed.
+func (r *RecvSocket) Processed() uint64 { return r.processed.Load() }
+
+// DecodeErrors returns the number of datagrams that failed unmarshalling,
+// chain processing, or sink delivery.
+func (r *RecvSocket) DecodeErrors() uint64 { return r.decodeErr.Load() }
+
+// Drained reports the socket's share of the paper's global safe
+// condition: no datagram is queued on, in flight toward, or being
+// processed by this socket. It is meaningful once the upstream sender is
+// blocked (the manager's reset phases guarantee that ordering).
+func (r *RecvSocket) Drained() bool {
+	if r.pendingFn != nil && r.pendingFn() > 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.busy
+}
+
+// WaitDrained polls Drained until it holds (with a short stability
+// window, so a datagram between queue and processing isn't missed) or ctx
+// expires.
+func (r *RecvSocket) WaitDrained(ctx context.Context) error {
+	const poll = 2 * time.Millisecond
+	stableNeed := 3
+	stable := 0
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		if r.Drained() {
+			stable++
+			if stable >= stableNeed {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("metasocket: drain: %w", ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
+
+// Filters returns the chain's filter names in order.
+func (r *RecvSocket) Filters() []string { return r.chain.names() }
+
+// InsertFilter appends (at == -1) or inserts the filter. The socket must
+// be blocked.
+func (r *RecvSocket) InsertFilter(f Filter, at int) error {
+	if !r.Blocked() {
+		return ErrNotBlocked
+	}
+	return r.chain.insert(f, at)
+}
+
+// RemoveFilter removes the named filter. The socket must be blocked.
+func (r *RecvSocket) RemoveFilter(name string) error {
+	if !r.Blocked() {
+		return ErrNotBlocked
+	}
+	return r.chain.remove(name)
+}
+
+// ReplaceFilter swaps the named filter for f in place. The socket must be
+// blocked.
+func (r *RecvSocket) ReplaceFilter(oldName string, f Filter) error {
+	if !r.Blocked() {
+		return ErrNotBlocked
+	}
+	return r.chain.replace(oldName, f)
+}
+
+// UnsafeInsertFilter, UnsafeRemoveFilter and UnsafeReplaceFilter mutate
+// the chain without requiring the safe state. They exist solely for the
+// baseline comparison (internal/baseline): the paper's claim is exactly
+// that adapting this way corrupts the stream.
+func (r *RecvSocket) UnsafeInsertFilter(f Filter, at int) error { return r.chain.insert(f, at) }
+
+// UnsafeRemoveFilter removes without blocking; see UnsafeInsertFilter.
+func (r *RecvSocket) UnsafeRemoveFilter(name string) error { return r.chain.remove(name) }
+
+// UnsafeReplaceFilter replaces without blocking; see UnsafeInsertFilter.
+func (r *RecvSocket) UnsafeReplaceFilter(oldName string, f Filter) error {
+	return r.chain.replace(oldName, f)
+}

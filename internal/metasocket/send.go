@@ -1,0 +1,156 @@
+package metasocket
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// TransmitFunc delivers one marshalled packet to the network; the video
+// server wires it to a netsim multicast group, tests to whatever they
+// need.
+type TransmitFunc func(datagram []byte) error
+
+// SendSocket is the sending half of a MetaSocket: application packets
+// traverse the encoder filter chain and are transmitted. The chain is
+// recomposable at run time while the socket is blocked in its local safe
+// state (a packet boundary).
+type SendSocket struct {
+	*blocker
+	chain    chain
+	transmit TransmitFunc
+
+	nextSeq atomic.Uint64
+	sent    atomic.Uint64
+
+	// observe, when set, sees every packet after chain processing, just
+	// before transmission; the CCS instrumentation hooks in here.
+	observe func(Packet)
+}
+
+// NewSendSocket builds a send socket with the given initial encoder chain.
+func NewSendSocket(transmit TransmitFunc, filters ...Filter) (*SendSocket, error) {
+	if transmit == nil {
+		return nil, fmt.Errorf("metasocket: nil transmit function")
+	}
+	s := &SendSocket{blocker: newBlocker(), transmit: transmit}
+	for _, f := range filters {
+		if err := s.chain.insert(f, -1); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SetObserver installs a hook that sees every packet immediately before
+// transmission. Set it before traffic starts.
+func (s *SendSocket) SetObserver(fn func(Packet)) { s.observe = fn }
+
+// Send pushes one packet through the filter chain and transmits the
+// results. It blocks while the socket is held in its safe state and
+// returns an error when the socket closed.
+func (s *SendSocket) Send(p Packet) error {
+	if !s.enter() {
+		return fmt.Errorf("metasocket: send socket closed")
+	}
+	defer s.exit()
+	return s.sendLocked(p)
+}
+
+// SendBatch transmits several packets as ONE critical section: a
+// RequestBlock issued while the batch is in progress takes effect only
+// after the whole batch has been transmitted. Applications use it to
+// coarsen the socket's local safe state from packet boundaries to
+// application-unit boundaries — e.g. a video server sending each frame's
+// fragments as a batch guarantees adaptations never split a frame, which
+// frame-granular safe-state specifications (internal/tlogic) rely on.
+func (s *SendSocket) SendBatch(ps []Packet) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	if !s.enter() {
+		return fmt.Errorf("metasocket: send socket closed")
+	}
+	defer s.exit()
+	for _, p := range ps {
+		if err := s.sendLocked(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendLocked runs one packet through the chain and transmits it; the
+// caller holds the processing section.
+func (s *SendSocket) sendLocked(p Packet) error {
+	outs, err := s.chain.run(p)
+	if err != nil {
+		return fmt.Errorf("metasocket: send chain: %w", err)
+	}
+	for _, out := range outs {
+		out.Seq = s.nextSeq.Add(1)
+		if s.observe != nil {
+			s.observe(out)
+		}
+		if err := s.transmit(out.Marshal()); err != nil {
+			return fmt.Errorf("metasocket: transmit: %w", err)
+		}
+		s.sent.Add(1)
+	}
+	return nil
+}
+
+// Sent returns the number of packets transmitted so far.
+func (s *SendSocket) Sent() uint64 { return s.sent.Load() }
+
+// Filters returns the chain's filter names in order.
+func (s *SendSocket) Filters() []string { return s.chain.names() }
+
+// InsertFilter appends (at == -1) or inserts the filter. The socket must
+// be blocked.
+func (s *SendSocket) InsertFilter(f Filter, at int) error {
+	if !s.Blocked() {
+		return ErrNotBlocked
+	}
+	return s.chain.insert(f, at)
+}
+
+// RemoveFilter removes the named filter. The socket must be blocked.
+func (s *SendSocket) RemoveFilter(name string) error {
+	if !s.Blocked() {
+		return ErrNotBlocked
+	}
+	return s.chain.remove(name)
+}
+
+// ReplaceFilter swaps the named filter for f in place. The socket must be
+// blocked.
+func (s *SendSocket) ReplaceFilter(oldName string, f Filter) error {
+	if !s.Blocked() {
+		return ErrNotBlocked
+	}
+	return s.chain.replace(oldName, f)
+}
+
+// UnsafeInsertFilter, UnsafeRemoveFilter and UnsafeReplaceFilter mutate
+// the chain without requiring the safe state; they exist solely for the
+// baseline comparison (internal/baseline).
+func (s *SendSocket) UnsafeInsertFilter(f Filter, at int) error { return s.chain.insert(f, at) }
+
+// UnsafeRemoveFilter removes without blocking; see UnsafeInsertFilter.
+func (s *SendSocket) UnsafeRemoveFilter(name string) error { return s.chain.remove(name) }
+
+// UnsafeReplaceFilter replaces without blocking; see UnsafeInsertFilter.
+func (s *SendSocket) UnsafeReplaceFilter(oldName string, f Filter) error {
+	return s.chain.replace(oldName, f)
+}
+
+// Close shuts the socket down; pending Send calls return an error.
+func (s *SendSocket) Close() { s.blocker.close() }
+
+// RequestBlock drives the socket to its local safe state; see blocker.
+// (Promoted here for documentation: the send socket's local safe state is
+// "no packet is being encoded or transmitted".)
+func (s *SendSocket) RequestBlock(ctx context.Context) error {
+	return s.blocker.RequestBlock(ctx)
+}

@@ -1,0 +1,208 @@
+package metasocket
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotBlocked is returned by chain recomposition operations invoked
+// while the socket is not blocked: the in-action may only run in the
+// local safe state.
+var ErrNotBlocked = errors.New("metasocket: socket is not blocked; recomposition requires the local safe state")
+
+// ErrBlockedSend is returned by TrySend when the socket is blocked.
+var ErrBlockedSend = errors.New("metasocket: socket is blocked")
+
+// blocker implements the paper's resetting/blocking handshake shared by
+// both socket directions: processing happens packet-at-a-time inside a
+// critical section; RequestBlock waits for the current packet to finish
+// (the packet boundary is the local safe state) and then holds the socket
+// blocked until Unblock.
+type blocker struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	blocked bool
+	busy    bool
+	closed  bool
+}
+
+func newBlocker() *blocker {
+	b := &blocker{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// enter begins processing one packet, waiting while the socket is
+// blocked. It returns false when the socket closed.
+func (b *blocker) enter() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for (b.blocked || b.busy) && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return false
+	}
+	b.busy = true
+	return true
+}
+
+// exit ends the current packet's processing.
+func (b *blocker) exit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.busy = false
+	b.cond.Broadcast()
+}
+
+// RequestBlock sets the resetting flag and waits until the in-progress
+// packet (if any) completes, leaving the socket blocked at a packet
+// boundary — the local safe state. It honors ctx: on cancellation the
+// flag is cleared and the socket resumes.
+func (b *blocker) RequestBlock(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.cond.Broadcast()
+	})
+	defer stop()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errors.New("metasocket: socket closed")
+	}
+	b.blocked = true
+	for b.busy && ctx.Err() == nil && !b.closed {
+		b.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		b.blocked = false
+		b.cond.Broadcast()
+		return fmt.Errorf("metasocket: fail to reach safe state: %w", err)
+	}
+	if b.closed {
+		b.blocked = false
+		return errors.New("metasocket: socket closed")
+	}
+	return nil
+}
+
+// Unblock resumes packet processing.
+func (b *blocker) Unblock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.blocked = false
+	b.cond.Broadcast()
+}
+
+// Blocked reports whether the socket is currently held blocked.
+func (b *blocker) Blocked() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.blocked && !b.busy
+}
+
+func (b *blocker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// chain is a recomposable filter chain; mutations require the owner to be
+// blocked, enforced by the sockets.
+type chain struct {
+	mu      sync.Mutex
+	filters []Filter
+}
+
+func (c *chain) snapshot() []Filter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Filter, len(c.filters))
+	copy(out, c.filters)
+	return out
+}
+
+func (c *chain) names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.filters))
+	for i, f := range c.filters {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+func (c *chain) indexOf(name string) int {
+	for i, f := range c.filters {
+		if f.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *chain) insert(f Filter, at int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.indexOf(f.Name()) >= 0 {
+		return fmt.Errorf("metasocket: filter %q already in chain", f.Name())
+	}
+	if at < 0 || at > len(c.filters) {
+		at = len(c.filters)
+	}
+	c.filters = append(c.filters, nil)
+	copy(c.filters[at+1:], c.filters[at:])
+	c.filters[at] = f
+	return nil
+}
+
+func (c *chain) remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.indexOf(name)
+	if i < 0 {
+		return fmt.Errorf("metasocket: filter %q not in chain", name)
+	}
+	c.filters = append(c.filters[:i], c.filters[i+1:]...)
+	return nil
+}
+
+func (c *chain) replace(oldName string, f Filter) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.indexOf(oldName)
+	if i < 0 {
+		return fmt.Errorf("metasocket: filter %q not in chain", oldName)
+	}
+	if j := c.indexOf(f.Name()); j >= 0 && j != i {
+		return fmt.Errorf("metasocket: filter %q already in chain", f.Name())
+	}
+	c.filters[i] = f
+	return nil
+}
+
+// run pushes one packet through the chain.
+func (c *chain) run(p Packet) ([]Packet, error) {
+	filters := c.snapshot()
+	in := []Packet{p}
+	for _, f := range filters {
+		var out []Packet
+		for _, q := range in {
+			res, err := f.Process(q)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res...)
+		}
+		in = out
+		if len(in) == 0 {
+			return nil, nil
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,288 @@
+// Package model defines the component and configuration model of the safe
+// adaptation system.
+//
+// A component-based system is a set of named components hosted on named
+// processes. A Config (the paper's "system configuration") is the subset of
+// components currently composed into the system, represented as a bit
+// vector over a Registry, exactly like the paper's 7-bit vectors
+// (D5,D4,D3,D2,D1,E2,E1).
+package model
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Component describes one adaptive component.
+type Component struct {
+	// Name is the unique component identifier, e.g. "E1" or "D3".
+	Name string `json:"name"`
+	// Process is the name of the process hosting the component, e.g.
+	// "server", "handheld", "laptop". Components on the same process share
+	// an adaptation agent.
+	Process string `json:"process"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+}
+
+// Registry assigns each component a stable bit position. Bit 0 is the
+// first component registered, matching the paper's convention of writing
+// vectors with the last-registered component as the most significant bit:
+// registering E1,E2,D1,D2,D3,D4,D5 yields vector (D5,D4,D3,D2,D1,E2,E1).
+//
+// A Registry is immutable after construction and safe for concurrent use.
+type Registry struct {
+	byName     map[string]int
+	components []Component
+}
+
+// NewRegistry builds a registry from the given components, assigning bit
+// positions in argument order. Component names must be unique and
+// non-empty.
+func NewRegistry(components ...Component) (*Registry, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("model: registry requires at least one component")
+	}
+	if len(components) > 64 {
+		return nil, fmt.Errorf("model: registry supports at most 64 components, got %d", len(components))
+	}
+	r := &Registry{
+		byName:     make(map[string]int, len(components)),
+		components: make([]Component, len(components)),
+	}
+	copy(r.components, components)
+	for i, c := range components {
+		if c.Name == "" {
+			return nil, fmt.Errorf("model: component %d has empty name", i)
+		}
+		if _, dup := r.byName[c.Name]; dup {
+			return nil, fmt.Errorf("model: duplicate component name %q", c.Name)
+		}
+		r.byName[c.Name] = i
+	}
+	return r, nil
+}
+
+// MustRegistry is NewRegistry that panics on error, for statically known
+// component lists.
+func MustRegistry(components ...Component) *Registry {
+	r, err := NewRegistry(components...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Len returns the number of registered components.
+func (r *Registry) Len() int { return len(r.components) }
+
+// Components returns a copy of the registered components in bit order.
+func (r *Registry) Components() []Component {
+	out := make([]Component, len(r.components))
+	copy(out, r.components)
+	return out
+}
+
+// Component returns the component at the given bit index.
+func (r *Registry) Component(bit int) (Component, error) {
+	if bit < 0 || bit >= len(r.components) {
+		return Component{}, fmt.Errorf("model: bit index %d out of range [0,%d)", bit, len(r.components))
+	}
+	return r.components[bit], nil
+}
+
+// Index returns the bit position for the named component.
+func (r *Registry) Index(name string) (int, error) {
+	i, ok := r.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("model: unknown component %q", name)
+	}
+	return i, nil
+}
+
+// Has reports whether the named component is registered.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.byName[name]
+	return ok
+}
+
+// Names returns the component names in bit order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.components))
+	for i, c := range r.components {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Processes returns the sorted set of distinct process names.
+func (r *Registry) Processes() []string {
+	seen := make(map[string]bool, len(r.components))
+	var out []string
+	for _, c := range r.components {
+		if c.Process != "" && !seen[c.Process] {
+			seen[c.Process] = true
+			out = append(out, c.Process)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProcessOf returns the hosting process of the named component.
+func (r *Registry) ProcessOf(name string) (string, error) {
+	i, err := r.Index(name)
+	if err != nil {
+		return "", err
+	}
+	return r.components[i].Process, nil
+}
+
+// Config is a system configuration: the set of components currently
+// composed into the system, as a bit vector over a Registry. The zero
+// Config is the empty configuration.
+type Config uint64
+
+// ConfigOf builds a Config containing the named components.
+func (r *Registry) ConfigOf(names ...string) (Config, error) {
+	var c Config
+	for _, n := range names {
+		i, err := r.Index(n)
+		if err != nil {
+			return 0, err
+		}
+		c |= 1 << uint(i)
+	}
+	return c, nil
+}
+
+// MustConfigOf is ConfigOf that panics on unknown names.
+func (r *Registry) MustConfigOf(names ...string) Config {
+	c, err := r.ConfigOf(names...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FullConfig returns the configuration containing every registered
+// component.
+func (r *Registry) FullConfig() Config {
+	if len(r.components) == 64 {
+		return Config(^uint64(0))
+	}
+	return Config(1)<<uint(len(r.components)) - 1
+}
+
+// Contains reports whether the named component is present in c.
+func (r *Registry) Contains(c Config, name string) bool {
+	i, ok := r.byName[name]
+	return ok && c&(1<<uint(i)) != 0
+}
+
+// With returns c with the named component added.
+func (r *Registry) With(c Config, name string) (Config, error) {
+	i, err := r.Index(name)
+	if err != nil {
+		return c, err
+	}
+	return c | 1<<uint(i), nil
+}
+
+// Without returns c with the named component removed.
+func (r *Registry) Without(c Config, name string) (Config, error) {
+	i, err := r.Index(name)
+	if err != nil {
+		return c, err
+	}
+	return c &^ (1 << uint(i)), nil
+}
+
+// NamesOf returns the names of the components present in c, in bit order.
+func (r *Registry) NamesOf(c Config) []string {
+	out := make([]string, 0, bits.OnesCount64(uint64(c)))
+	for i, comp := range r.components {
+		if c&(1<<uint(i)) != 0 {
+			out = append(out, comp.Name)
+		}
+	}
+	return out
+}
+
+// Size returns the number of components present in c.
+func (c Config) Size() int { return bits.OnesCount64(uint64(c)) }
+
+// Diff returns the components to add and to remove to go from c to target.
+func (r *Registry) Diff(c, target Config) (add, remove []string) {
+	for i, comp := range r.components {
+		mask := Config(1) << uint(i)
+		switch {
+		case target&mask != 0 && c&mask == 0:
+			add = append(add, comp.Name)
+		case target&mask == 0 && c&mask != 0:
+			remove = append(remove, comp.Name)
+		}
+	}
+	return add, remove
+}
+
+// BitVector renders c in the paper's bit-vector notation: most significant
+// (last registered) component first, e.g. "0100101" for (D4,D1,E1) under
+// the registry E1,E2,D1,D2,D3,D4,D5.
+func (r *Registry) BitVector(c Config) string {
+	n := len(r.components)
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if c&(1<<uint(n-1-i)) != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// ParseBitVector parses the paper's bit-vector notation (most significant
+// component first) back into a Config.
+func (r *Registry) ParseBitVector(s string) (Config, error) {
+	n := len(r.components)
+	if len(s) != n {
+		return 0, fmt.Errorf("model: bit vector %q has %d bits, registry has %d components", s, len(s), n)
+	}
+	var c Config
+	for i := 0; i < n; i++ {
+		switch s[i] {
+		case '1':
+			c |= 1 << uint(n-1-i)
+		case '0':
+		default:
+			return 0, fmt.Errorf("model: bit vector %q contains invalid character %q", s, s[i])
+		}
+	}
+	return c, nil
+}
+
+// Format renders c as a human-readable component list such as
+// "{D4,D1,E1}". Components print in registration bit order, most
+// significant first, matching the paper's "(D4,D1,E1)" style.
+func (r *Registry) Format(c Config) string {
+	n := len(r.components)
+	parts := make([]string, 0, c.Size())
+	for i := n - 1; i >= 0; i-- {
+		if c&(1<<uint(i)) != 0 {
+			parts = append(parts, r.components[i].Name)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// AssignFunc returns an assignment function suitable for expr.Expr.Eval:
+// registered components present in c evaluate true, everything else false.
+func (r *Registry) AssignFunc(c Config) func(name string) bool {
+	return func(name string) bool {
+		i, ok := r.byName[name]
+		return ok && c&(1<<uint(i)) != 0
+	}
+}

@@ -1,0 +1,233 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paperRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := NewRegistry(
+		Component{Name: "E1", Process: "server"},
+		Component{Name: "E2", Process: "server"},
+		Component{Name: "D1", Process: "handheld"},
+		Component{Name: "D2", Process: "handheld"},
+		Component{Name: "D3", Process: "handheld"},
+		Component{Name: "D4", Process: "laptop"},
+		Component{Name: "D5", Process: "laptop"},
+	)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	return r
+}
+
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(); err == nil {
+		t.Error("empty registry should fail")
+	}
+	if _, err := NewRegistry(Component{Name: ""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewRegistry(Component{Name: "A"}, Component{Name: "A"}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	many := make([]Component, 65)
+	for i := range many {
+		many[i] = Component{Name: string(rune('A'+i%26)) + string(rune('0'+i/26))}
+	}
+	if _, err := NewRegistry(many...); err == nil {
+		t.Error("more than 64 components should fail")
+	}
+}
+
+func TestIndexAndContains(t *testing.T) {
+	r := paperRegistry(t)
+	if i, err := r.Index("E1"); err != nil || i != 0 {
+		t.Errorf("Index(E1) = %d, %v; want 0", i, err)
+	}
+	if i, err := r.Index("D5"); err != nil || i != 6 {
+		t.Errorf("Index(D5) = %d, %v; want 6", i, err)
+	}
+	if _, err := r.Index("X9"); err == nil {
+		t.Error("unknown component should fail")
+	}
+	c := r.MustConfigOf("E1", "D4")
+	if !r.Contains(c, "E1") || !r.Contains(c, "D4") || r.Contains(c, "E2") {
+		t.Errorf("Contains misreports for %s", r.Format(c))
+	}
+}
+
+func TestPaperBitVector(t *testing.T) {
+	r := paperRegistry(t)
+	// Paper: source (D4,D1,E1) = 0100101, target (D5,D3,E2) = 1010010.
+	src := r.MustConfigOf("D4", "D1", "E1")
+	if got := r.BitVector(src); got != "0100101" {
+		t.Errorf("source bit vector = %s, want 0100101", got)
+	}
+	tgt := r.MustConfigOf("D5", "D3", "E2")
+	if got := r.BitVector(tgt); got != "1010010" {
+		t.Errorf("target bit vector = %s, want 1010010", got)
+	}
+	if got := r.Format(src); got != "{D4,D1,E1}" {
+		t.Errorf("Format(source) = %s, want {D4,D1,E1}", got)
+	}
+}
+
+func TestParseBitVectorRoundTrip(t *testing.T) {
+	r := paperRegistry(t)
+	for _, v := range []string{"0000000", "1111111", "0100101", "1010010", "1101001"} {
+		c, err := r.ParseBitVector(v)
+		if err != nil {
+			t.Fatalf("ParseBitVector(%s): %v", v, err)
+		}
+		if got := r.BitVector(c); got != v {
+			t.Errorf("round trip %s -> %s", v, got)
+		}
+	}
+	if _, err := r.ParseBitVector("101"); err == nil {
+		t.Error("wrong-length vector should fail")
+	}
+	if _, err := r.ParseBitVector("10a0101"); err == nil {
+		t.Error("invalid character should fail")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	r := paperRegistry(t)
+	c := r.MustConfigOf("E1")
+	c2, err := r.With(c, "D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(c2, "D1") || !r.Contains(c2, "E1") {
+		t.Error("With should add without removing")
+	}
+	c3, err := r.Without(c2, "E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(c3, "E1") || !r.Contains(c3, "D1") {
+		t.Error("Without should remove only the named component")
+	}
+	if _, err := r.With(c, "nope"); err == nil {
+		t.Error("unknown component should fail")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := paperRegistry(t)
+	src := r.MustConfigOf("D4", "D1", "E1")
+	tgt := r.MustConfigOf("D5", "D3", "E2")
+	add, remove := r.Diff(src, tgt)
+	wantAdd := map[string]bool{"E2": true, "D3": true, "D5": true}
+	wantRemove := map[string]bool{"E1": true, "D1": true, "D4": true}
+	if len(add) != 3 || len(remove) != 3 {
+		t.Fatalf("Diff = +%v -%v", add, remove)
+	}
+	for _, a := range add {
+		if !wantAdd[a] {
+			t.Errorf("unexpected add %s", a)
+		}
+	}
+	for _, x := range remove {
+		if !wantRemove[x] {
+			t.Errorf("unexpected remove %s", x)
+		}
+	}
+}
+
+func TestProcesses(t *testing.T) {
+	r := paperRegistry(t)
+	ps := r.Processes()
+	want := []string{"handheld", "laptop", "server"}
+	if len(ps) != 3 {
+		t.Fatalf("Processes = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("Processes = %v, want %v", ps, want)
+		}
+	}
+	if p, err := r.ProcessOf("D3"); err != nil || p != "handheld" {
+		t.Errorf("ProcessOf(D3) = %s, %v", p, err)
+	}
+}
+
+func TestFullConfigAndSize(t *testing.T) {
+	r := paperRegistry(t)
+	full := r.FullConfig()
+	if full.Size() != 7 {
+		t.Errorf("full config size = %d, want 7", full.Size())
+	}
+	if r.BitVector(full) != "1111111" {
+		t.Errorf("full config vector = %s", r.BitVector(full))
+	}
+	var empty Config
+	if empty.Size() != 0 {
+		t.Error("empty config should have size 0")
+	}
+}
+
+func TestNamesOf(t *testing.T) {
+	r := paperRegistry(t)
+	c := r.MustConfigOf("D4", "D1", "E1")
+	names := r.NamesOf(c)
+	want := []string{"E1", "D1", "D4"} // bit order
+	if len(names) != len(want) {
+		t.Fatalf("NamesOf = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("NamesOf = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestAssignFunc(t *testing.T) {
+	r := paperRegistry(t)
+	c := r.MustConfigOf("E2", "D2")
+	assign := r.AssignFunc(c)
+	if !assign("E2") || !assign("D2") {
+		t.Error("present components should assign true")
+	}
+	if assign("E1") || assign("unknown") {
+		t.Error("absent/unknown components should assign false")
+	}
+}
+
+// TestPropertyBitVectorRoundTrip exercises ParseBitVector/BitVector over
+// random configurations.
+func TestPropertyBitVectorRoundTrip(t *testing.T) {
+	r := paperRegistry(t)
+	f := func(raw uint8) bool {
+		c := Config(raw) & r.FullConfig()
+		parsed, err := r.ParseBitVector(r.BitVector(c))
+		return err == nil && parsed == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDiffReconstructs checks that applying Diff's adds/removes to
+// the source yields the target.
+func TestPropertyDiffReconstructs(t *testing.T) {
+	r := paperRegistry(t)
+	f := func(a, b uint8) bool {
+		src := Config(a) & r.FullConfig()
+		tgt := Config(b) & r.FullConfig()
+		add, remove := r.Diff(src, tgt)
+		c := src
+		for _, n := range add {
+			c, _ = r.With(c, n)
+		}
+		for _, n := range remove {
+			c, _ = r.Without(c, n)
+		}
+		return c == tgt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

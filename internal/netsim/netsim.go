@@ -1,0 +1,291 @@
+// Package netsim simulates the network substrate of the case study: the
+// paper evaluated on a physical wireless testbed (a server multicasting
+// video to an iPAQ handheld and a Toughbook laptop over 802.11); this
+// package provides the equivalent in-process substrate — multicast groups
+// with per-subscriber links exhibiting configurable latency, jitter and
+// loss, driven by a seeded PRNG for reproducibility.
+//
+// Links are FIFO: datagrams that survive loss are delivered to a
+// subscriber in the order they were sent, each after its own latency (a
+// later datagram never overtakes an earlier one). The protocol and
+// safety machinery only depend on ordering, loss and delay, all of which
+// the simulator reproduces; see DESIGN.md for the substitution rationale.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned when operating on a closed group or subscription.
+var ErrClosed = errors.New("netsim: closed")
+
+// LinkProfile describes delivery characteristics of one subscriber link.
+type LinkProfile struct {
+	// Latency is the base one-way delay.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossRate is the probability in [0,1] that a datagram is dropped.
+	LossRate float64
+}
+
+// Validate checks the profile's ranges.
+func (p LinkProfile) Validate() error {
+	if p.Latency < 0 || p.Jitter < 0 {
+		return fmt.Errorf("netsim: negative latency or jitter")
+	}
+	if p.LossRate < 0 || p.LossRate > 1 {
+		return fmt.Errorf("netsim: loss rate %v outside [0,1]", p.LossRate)
+	}
+	return nil
+}
+
+// Datagram is one unit of network transmission: an opaque payload, like a
+// UDP datagram.
+type Datagram []byte
+
+// Group is a multicast group: datagrams sent to the group are delivered
+// to every subscriber, independently per link.
+type Group struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	subs   map[string]*Subscription
+	closed bool
+}
+
+// NewGroup creates a multicast group with the given PRNG seed. Identical
+// seeds and send sequences yield identical loss/jitter decisions.
+func NewGroup(seed int64) *Group {
+	return &Group{
+		rng:  rand.New(rand.NewSource(seed)),
+		subs: make(map[string]*Subscription),
+	}
+}
+
+// Subscription is one receiver's membership in a group. Each
+// subscription runs a single delivery worker, which is what makes the
+// link FIFO.
+type Subscription struct {
+	group   *Group
+	name    string
+	profile LinkProfile
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []timedDatagram
+	ch      chan Datagram
+	closed  bool
+	workerD chan struct{}
+
+	delivered int
+	dropped   int
+	inFlight  int
+}
+
+type timedDatagram struct {
+	payload   Datagram
+	deliverAt time.Time
+}
+
+// Subscribe adds a named subscriber with the given link profile. The
+// returned subscription's Recv channel yields delivered datagrams.
+func (g *Group) Subscribe(name string, profile LinkProfile, buffer int) (*Subscription, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if buffer <= 0 {
+		buffer = 256
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrClosed
+	}
+	if name == "" {
+		return nil, fmt.Errorf("netsim: empty subscriber name")
+	}
+	if _, dup := g.subs[name]; dup {
+		return nil, fmt.Errorf("netsim: subscriber %q already exists", name)
+	}
+	s := &Subscription{
+		group:   g,
+		name:    name,
+		profile: profile,
+		ch:      make(chan Datagram, buffer),
+		workerD: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	g.subs[name] = s
+	go s.deliverLoop()
+	return s, nil
+}
+
+// Send multicasts the datagram to every current subscriber. The payload
+// is copied once, so senders may reuse their buffer.
+func (g *Group) Send(d Datagram) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	payload := make(Datagram, len(d))
+	copy(payload, d)
+
+	now := time.Now()
+	type plan struct {
+		sub  *Subscription
+		drop bool
+		at   time.Time
+	}
+	plans := make([]plan, 0, len(g.subs))
+	for _, sub := range g.subs {
+		p := plan{sub: sub, at: now.Add(sub.profile.Latency)}
+		if sub.profile.LossRate > 0 && g.rng.Float64() < sub.profile.LossRate {
+			p.drop = true
+		}
+		if sub.profile.Jitter > 0 {
+			p.at = p.at.Add(time.Duration(g.rng.Int63n(int64(sub.profile.Jitter))))
+		}
+		plans = append(plans, p)
+	}
+	g.mu.Unlock()
+
+	for _, p := range plans {
+		if p.drop {
+			p.sub.noteDropped()
+			continue
+		}
+		p.sub.enqueue(payload, p.at)
+	}
+	return nil
+}
+
+// Close shuts the group down; in-flight datagrams are delivered by the
+// subscription workers before their channels close.
+func (g *Group) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	subs := make([]*Subscription, 0, len(g.subs))
+	for _, s := range g.subs {
+		subs = append(subs, s)
+	}
+	g.mu.Unlock()
+
+	for _, s := range subs {
+		s.close()
+	}
+	return nil
+}
+
+// Recv returns the channel of delivered datagrams. The channel closes
+// when the subscription or group closes.
+func (s *Subscription) Recv() <-chan Datagram { return s.ch }
+
+// Name returns the subscriber name.
+func (s *Subscription) Name() string { return s.name }
+
+// Stats returns how many datagrams were delivered to and dropped on this
+// link so far.
+func (s *Subscription) Stats() (delivered, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered, s.dropped
+}
+
+// InFlight returns the number of datagrams currently traversing the link
+// (enqueued but not yet delivered). A drained link has zero in flight;
+// receivers use this for the paper's global safe condition ("the receiver
+// has received all the datagram packets that the sender has sent").
+func (s *Subscription) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inFlight
+}
+
+// Unsubscribe removes the subscriber from the group and closes its
+// channel after pending deliveries flush.
+func (s *Subscription) Unsubscribe() {
+	s.group.mu.Lock()
+	delete(s.group.subs, s.name)
+	s.group.mu.Unlock()
+	s.close()
+}
+
+func (s *Subscription) enqueue(d Datagram, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.queue = append(s.queue, timedDatagram{payload: d, deliverAt: at})
+	s.inFlight++
+	s.cond.Broadcast()
+}
+
+func (s *Subscription) noteDropped() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropped++
+}
+
+// deliverLoop is the per-link worker: it delivers queued datagrams in
+// send order, waiting out each datagram's remaining delay. FIFO is
+// inherent — a datagram is only considered after all its predecessors.
+func (s *Subscription) deliverLoop() {
+	defer close(s.workerD)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			close(s.ch)
+			return
+		}
+		item := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		if wait := time.Until(item.deliverAt); wait > 0 {
+			time.Sleep(wait)
+		}
+
+		s.mu.Lock()
+		s.inFlight--
+		select {
+		case s.ch <- item.payload:
+			s.delivered++
+		default:
+			// Receiver buffer overflow: the datagram is lost, as on a
+			// real congested link.
+			s.dropped++
+		}
+		closedNow := s.closed && len(s.queue) == 0
+		s.mu.Unlock()
+		if closedNow {
+			close(s.ch)
+			return
+		}
+	}
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.workerD // worker flushes the queue and closes the channel
+}

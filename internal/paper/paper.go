@@ -1,0 +1,190 @@
+// Package paper encodes the DSN 2004 case study (Sec. 5): the video
+// multicast system's components, invariants, adaptive actions (Table 2),
+// and the expected evaluation artifacts (Table 1 safe set, Fig. 4 SAG,
+// and the minimum adaptation path). Tests, benchmarks, examples and the
+// CLI all derive the paper's tables and figures from this single source.
+package paper
+
+import (
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/invariant"
+	"repro/internal/model"
+)
+
+// Process names of the case study (Fig. 3).
+const (
+	ProcessServer   = "server"
+	ProcessHandheld = "handheld"
+	ProcessLaptop   = "laptop"
+)
+
+// NewRegistry returns the case study's component registry. Registration
+// order E1,E2,D1,D2,D3,D4,D5 yields the paper's 7-bit vector notation
+// (D5,D4,D3,D2,D1,E2,E1).
+func NewRegistry() *model.Registry {
+	return model.MustRegistry(
+		model.Component{Name: "E1", Process: ProcessServer, Description: "DES 64-bit encoder"},
+		model.Component{Name: "E2", Process: ProcessServer, Description: "DES 128-bit encoder"},
+		model.Component{Name: "D1", Process: ProcessHandheld, Description: "DES 64-bit decoder"},
+		model.Component{Name: "D2", Process: ProcessHandheld, Description: "DES 128/64-bit compatible decoder"},
+		model.Component{Name: "D3", Process: ProcessHandheld, Description: "DES 128-bit decoder"},
+		model.Component{Name: "D4", Process: ProcessLaptop, Description: "DES 64-bit decoder"},
+		model.Component{Name: "D5", Process: ProcessLaptop, Description: "DES 128-bit decoder"},
+	)
+}
+
+// NewInvariants returns the case study's invariant set (Sec. 5.1):
+//
+//	resource  constraint: oneof(D1, D2, D3)   — handheld runs one decoder
+//	security  constraint: oneof(E1, E2)       — sender always encodes
+//	E1 dependency:        E1 -> (D1 | D2) & D4
+//	E2 dependency:        E2 -> (D3 | D2) & D5
+func NewInvariants(reg *model.Registry) (*invariant.Set, error) {
+	resource, err := invariant.NewStructural("resource", "oneof(D1, D2, D3)")
+	if err != nil {
+		return nil, err
+	}
+	security, err := invariant.NewStructural("security", "oneof(E1, E2)")
+	if err != nil {
+		return nil, err
+	}
+	e1dep, err := invariant.NewDependency("E1-deps", "E1 -> (D1 | D2) & D4")
+	if err != nil {
+		return nil, err
+	}
+	e2dep, err := invariant.NewDependency("E2-deps", "E2 -> (D3 | D2) & D5")
+	if err != nil {
+		return nil, err
+	}
+	return invariant.NewSet(reg, resource, security, e1dep, e2dep)
+}
+
+// MustInvariants is NewInvariants that panics on error.
+func MustInvariants(reg *model.Registry) *invariant.Set {
+	s, err := NewInvariants(reg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Actions returns Table 2: the seventeen adaptive actions with their
+// operations, costs (packet-delay milliseconds) and descriptions.
+func Actions() []action.Action {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []action.Action{
+		action.MustNew("A1", "E1 -> E2", ms(10), "replace E1 with E2"),
+		action.MustNew("A2", "D1 -> D2", ms(10), "replace D1 with D2"),
+		action.MustNew("A3", "D1 -> D3", ms(10), "replace D1 with D3"),
+		action.MustNew("A4", "D2 -> D3", ms(10), "replace D2 with D3"),
+		action.MustNew("A5", "D4 -> D5", ms(10), "replace D4 with D5"),
+		action.MustNew("A6", "(D1, E1) -> (D2, E2)", ms(100), "A1 and A2"),
+		action.MustNew("A7", "(D1, E1) -> (D3, E2)", ms(100), "A1 and A3"),
+		action.MustNew("A8", "(D2, E1) -> (D3, E2)", ms(100), "A1 and A4"),
+		action.MustNew("A9", "(D4, E1) -> (D5, E2)", ms(100), "A1 and A5"),
+		action.MustNew("A10", "(D1, D4) -> (D2, D5)", ms(50), "A2 and A5"),
+		action.MustNew("A11", "(D1, D4) -> (D3, D5)", ms(50), "A3 and A5"),
+		action.MustNew("A12", "(D2, D4) -> (D3, D5)", ms(50), "A4 and A5"),
+		action.MustNew("A13", "(D1, D4, E1) -> (D2, D5, E2)", ms(150), "A1 and A10"),
+		action.MustNew("A14", "(D1, D4, E1) -> (D3, D5, E2)", ms(150), "A1 and A11"),
+		action.MustNew("A15", "(D2, D4, E1) -> (D3, D5, E2)", ms(150), "A1 and A12"),
+		action.MustNew("A16", "-D4", ms(10), "remove D4"),
+		action.MustNew("A17", "+D5", ms(10), "insert D5"),
+	}
+}
+
+// SourceVector and TargetVector are the case study's source and target
+// configurations in the paper's bit-vector notation (D5,D4,D3,D2,D1,E2,E1).
+const (
+	SourceVector = "0100101" // (D4, D1, E1)
+	TargetVector = "1010010" // (D5, D3, E2)
+)
+
+// Table1Vectors is the expected safe configuration set of Table 1, in the
+// paper's row order (left column top-to-bottom, then right column).
+var Table1Vectors = []string{
+	"0100101", // D4, D1, E1
+	"1101001", // D5, D4, D2, E1
+	"1110010", // D5, D4, D3, E2
+	"1001010", // D5, D2, E2
+	"1100101", // D5, D4, D1, E1
+	"1101010", // D5, D4, D2, E2
+	"0101001", // D4, D2, E1
+	"1010010", // D5, D3, E2
+}
+
+// MAPActionIDs is the paper's reported minimum adaptation path (Sec. 5.1).
+var MAPActionIDs = []string{"A2", "A17", "A1", "A16", "A4"}
+
+// MAPCost is the paper's reported MAP cost.
+const MAPCost = 50 * time.Millisecond
+
+// Figure4Edges lists the arcs of the SAG derived from Table 1 × Table 2,
+// as "fromVector --Ax--> toVector" strings, sorted lexicographically.
+// Fig. 4 as printed shows fourteen of these sixteen arcs; the two extra
+// arcs (A6 and A8, both compound replacements) map safe configurations to
+// safe configurations under the paper's own rules but are cost-dominated
+// and never appear on a minimum path, so the figure omits them.
+// EXPERIMENTS.md records the discrepancy.
+var Figure4Edges = []string{
+	"0100101 --A13--> 1001010", // (D1,D4,E1)->(D2,D5,E2)
+	"0100101 --A14--> 1010010", // (D1,D4,E1)->(D3,D5,E2): direct source->target
+	"0100101 --A17--> 1100101", // +D5
+	"0100101 --A2--> 0101001",  // D1->D2
+	"0101001 --A15--> 1010010", // (D2,D4,E1)->(D3,D5,E2)
+	"0101001 --A17--> 1101001", // +D5
+	"0101001 --A9--> 1001010",  // (D4,E1)->(D5,E2)
+	"1001010 --A4--> 1010010",  // D2->D3
+	"1100101 --A2--> 1101001",  // D1->D2
+	"1100101 --A6--> 1101010",  // (D1,E1)->(D2,E2)  [not drawn in Fig. 4]
+	"1100101 --A7--> 1110010",  // (D1,E1)->(D3,E2)
+	"1101001 --A1--> 1101010",  // E1->E2
+	"1101001 --A8--> 1110010",  // (D2,E1)->(D3,E2)  [not drawn in Fig. 4]
+	"1101010 --A16--> 1001010", // -D4
+	"1101010 --A4--> 1110010",  // D2->D3
+	"1110010 --A16--> 1010010", // -D4
+}
+
+// Scenario bundles everything needed to reproduce the case study.
+type Scenario struct {
+	Registry   *model.Registry
+	Invariants *invariant.Set
+	Actions    []action.Action
+	Source     model.Config
+	Target     model.Config
+}
+
+// NewScenario constructs the full case study.
+func NewScenario() (*Scenario, error) {
+	reg := NewRegistry()
+	invs, err := NewInvariants(reg)
+	if err != nil {
+		return nil, err
+	}
+	src, err := reg.ParseBitVector(SourceVector)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := reg.ParseBitVector(TargetVector)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Registry:   reg,
+		Invariants: invs,
+		Actions:    Actions(),
+		Source:     src,
+		Target:     tgt,
+	}, nil
+}
+
+// MustScenario is NewScenario that panics on error.
+func MustScenario() *Scenario {
+	s, err := NewScenario()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

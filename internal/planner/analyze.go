@@ -1,0 +1,116 @@
+package planner
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Analysis is a static diagnosis of an adaptive system description —
+// the design-time sanity checks a developer runs after the paper's
+// analysis phase, before shipping the invariants and action table.
+type Analysis struct {
+	// SafeCount is the number of safe configurations.
+	SafeCount int
+	// DeadComponents appear in no safe configuration: they can never be
+	// composed into the system, suggesting an over-constrained invariant
+	// or a typo.
+	DeadComponents []string
+	// UniversalComponents appear in every safe configuration: they can
+	// never be removed or replaced.
+	UniversalComponents []string
+	// UnusableActions have no edge in the SAG: they never map a safe
+	// configuration to a safe configuration, so planning can never use
+	// them.
+	UnusableActions []string
+	// UnreachableFromSource counts safe configurations (other than the
+	// source) that no action sequence can reach from the source; a large
+	// number suggests missing actions.
+	UnreachableFromSource int
+	// TargetReachable reports whether the declared target is reachable
+	// from the declared source.
+	TargetReachable bool
+	// MAPCost is the minimum adaptation cost when TargetReachable.
+	MAPCost time.Duration
+	// CollaborativeSets is the independent-concern partition (Sec. 7).
+	CollaborativeSets [][]string
+}
+
+// OK reports whether the analysis found no blocking problems: the target
+// is reachable and no component is dead.
+func (a Analysis) OK() bool {
+	return a.TargetReachable && len(a.DeadComponents) == 0
+}
+
+// Analyze runs the static diagnosis for an adaptation request.
+func (p *Planner) Analyze(source, target model.Config) (Analysis, error) {
+	var a Analysis
+	safe := p.SafeConfigs()
+	a.SafeCount = len(safe)
+	a.CollaborativeSets = p.invs.CollaborativeSets()
+
+	// Component liveness across the safe set.
+	reg := p.reg
+	var everPresent, alwaysPresent model.Config
+	alwaysPresent = reg.FullConfig()
+	for _, c := range safe {
+		everPresent |= c
+		alwaysPresent &= c
+	}
+	for _, name := range reg.Names() {
+		if !reg.Contains(everPresent, name) {
+			a.DeadComponents = append(a.DeadComponents, name)
+		}
+		if reg.Contains(alwaysPresent, name) {
+			a.UniversalComponents = append(a.UniversalComponents, name)
+		}
+	}
+	sort.Strings(a.DeadComponents)
+	sort.Strings(a.UniversalComponents)
+
+	// Action usability over the SAG.
+	g, err := p.Graph()
+	if err != nil {
+		return a, err
+	}
+	used := make(map[string]bool, len(p.actions))
+	for _, n := range g.Nodes() {
+		for _, e := range g.OutEdges(n) {
+			used[e.Action.ID] = true
+		}
+	}
+	for _, act := range p.actions {
+		if !used[act.ID] {
+			a.UnusableActions = append(a.UnusableActions, act.ID)
+		}
+	}
+	sort.Strings(a.UnusableActions)
+
+	// Reachability from the source (BFS over the SAG).
+	reachable := map[model.Config]bool{source: true}
+	queue := []model.Config{source}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.OutEdges(cur) {
+			if !reachable[e.To] {
+				reachable[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	for _, c := range safe {
+		if !reachable[c] {
+			a.UnreachableFromSource++
+		}
+	}
+	if reachable[target] {
+		a.TargetReachable = true
+		path, err := g.ShortestPath(source, target)
+		if err == nil {
+			a.MAPCost = path.Cost()
+		}
+	}
+	return a, nil
+}

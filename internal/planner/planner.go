@@ -1,0 +1,262 @@
+// Package planner implements the detection-and-setup phase of the safe
+// adaptation process (paper Sec. 4.2): constructing the safe configuration
+// set, building the safe adaptation graph, and finding minimum adaptation
+// paths — plus replanning for the failure-recovery ladder (Sec. 4.4) and
+// the scalability extensions sketched in Sec. 7 (lazy partial SAG
+// exploration and collaborative-set decomposition).
+package planner
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/invariant"
+	"repro/internal/model"
+	"repro/internal/sag"
+)
+
+// Planner performs the detection-and-setup phase for one system. It is
+// the data structure P = (S, I, T, R, A) of Sec. 4.1, with S implicit
+// (all configurations), I the invariant set, T the actions, and A the
+// per-action costs carried on the actions themselves. (R, the mapping to
+// implementation code, lives in the realization layer.)
+type Planner struct {
+	reg     *model.Registry
+	invs    *invariant.Set
+	actions []action.Action
+
+	// Cached results of the eager pipeline. Populated lazily.
+	safe  []model.Config
+	graph *sag.Graph
+}
+
+// New validates the actions against the registry and returns a planner.
+func New(invs *invariant.Set, actions []action.Action) (*Planner, error) {
+	if invs == nil {
+		return nil, fmt.Errorf("planner: nil invariant set")
+	}
+	reg := invs.Registry()
+	ids := make(map[string]bool, len(actions))
+	for _, a := range actions {
+		if err := a.Validate(reg); err != nil {
+			return nil, fmt.Errorf("planner: %w", err)
+		}
+		if ids[a.ID] {
+			return nil, fmt.Errorf("planner: duplicate action ID %q", a.ID)
+		}
+		ids[a.ID] = true
+	}
+	p := &Planner{
+		reg:     reg,
+		invs:    invs,
+		actions: make([]action.Action, len(actions)),
+	}
+	copy(p.actions, actions)
+	return p, nil
+}
+
+// Registry returns the component registry.
+func (p *Planner) Registry() *model.Registry { return p.reg }
+
+// Invariants returns the invariant set.
+func (p *Planner) Invariants() *invariant.Set { return p.invs }
+
+// Actions returns a copy of the adaptive actions.
+func (p *Planner) Actions() []action.Action {
+	out := make([]action.Action, len(p.actions))
+	copy(out, p.actions)
+	return out
+}
+
+// ActionByID returns the action with the given identifier.
+func (p *Planner) ActionByID(id string) (action.Action, error) {
+	for _, a := range p.actions {
+		if a.ID == id {
+			return a, nil
+		}
+	}
+	return action.Action{}, fmt.Errorf("planner: unknown action %q", id)
+}
+
+// SafeConfigs returns the safe configuration set (Sec. 4.2 step 1),
+// computing and caching it on first use.
+func (p *Planner) SafeConfigs() []model.Config {
+	if p.safe == nil {
+		p.safe = p.invs.SafeConfigs()
+	}
+	out := make([]model.Config, len(p.safe))
+	copy(out, p.safe)
+	return out
+}
+
+// Graph returns the safe adaptation graph (Sec. 4.2 step 2), computing
+// and caching it on first use.
+func (p *Planner) Graph() (*sag.Graph, error) {
+	if p.graph == nil {
+		g, err := sag.Build(p.reg, p.SafeConfigs(), p.actions)
+		if err != nil {
+			return nil, err
+		}
+		p.graph = g
+	}
+	return p.graph, nil
+}
+
+// Plan finds the minimum adaptation path from source to target (Sec. 4.2
+// step 3). Both configurations must be safe.
+func (p *Planner) Plan(source, target model.Config) (sag.Path, error) {
+	if err := p.checkSafe("source", source); err != nil {
+		return sag.Path{}, err
+	}
+	if err := p.checkSafe("target", target); err != nil {
+		return sag.Path{}, err
+	}
+	g, err := p.Graph()
+	if err != nil {
+		return sag.Path{}, err
+	}
+	return g.ShortestPath(source, target)
+}
+
+// Alternatives returns up to k minimum-cost-ordered paths from source to
+// target; index 0 is the MAP, index 1 the "second minimum adaptation
+// path" the failure-recovery ladder falls back to.
+func (p *Planner) Alternatives(source, target model.Config, k int) ([]sag.Path, error) {
+	g, err := p.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return g.KShortestPaths(source, target, k)
+}
+
+// Replan plans from an intermediate configuration (where a failed
+// adaptation left the system) to the target, excluding the adaptation step
+// that just failed so the planner proposes a genuinely different route
+// first. If no route avoids the failed step, the failed step's path is
+// returned anyway (the ladder then retries it or gives up).
+func (p *Planner) Replan(current, target model.Config, failed *sag.Edge) (sag.Path, error) {
+	if failed == nil {
+		return p.Plan(current, target)
+	}
+	paths, err := p.Alternatives(current, target, 8)
+	if err != nil {
+		return sag.Path{}, err
+	}
+	for _, path := range paths {
+		uses := false
+		for _, e := range path.Steps {
+			if e.From == failed.From && e.To == failed.To && e.Action.ID == failed.Action.ID {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			return path, nil
+		}
+	}
+	return paths[0], nil
+}
+
+func (p *Planner) checkSafe(role string, c model.Config) error {
+	if viol := p.invs.Violations(c); len(viol) > 0 {
+		return fmt.Errorf("planner: %s configuration %s is unsafe (violates %q)",
+			role, p.reg.BitVector(c), viol[0].Name)
+	}
+	return nil
+}
+
+// PlanLazy finds the minimum adaptation path without materializing the
+// full safe configuration set or SAG: it runs uniform-cost search from the
+// source, generating successors by applying actions and testing invariant
+// satisfaction on the fly. This is the partial-exploration strategy the
+// paper proposes for scalability (Sec. 7); it explores only configurations
+// whose path cost does not exceed the MAP cost.
+func (p *Planner) PlanLazy(source, target model.Config) (sag.Path, error) {
+	if err := p.checkSafe("source", source); err != nil {
+		return sag.Path{}, err
+	}
+	if err := p.checkSafe("target", target); err != nil {
+		return sag.Path{}, err
+	}
+	if source == target {
+		return sag.Path{}, nil
+	}
+
+	type visit struct {
+		dist time.Duration
+		prev model.Config
+		via  sag.Edge
+		ok   bool
+	}
+	seen := map[model.Config]visit{source: {ok: true}}
+	done := map[model.Config]bool{}
+	pq := &configHeap{{cfg: source, dist: 0}}
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(configDist)
+		if done[cur.cfg] {
+			continue
+		}
+		done[cur.cfg] = true
+		if cur.cfg == target {
+			break
+		}
+		for _, a := range p.actions {
+			next, ok := a.Apply(p.reg, cur.cfg)
+			if !ok || next == cur.cfg || done[next] {
+				continue
+			}
+			if !p.invs.Satisfied(next) {
+				continue
+			}
+			nd := cur.dist + a.Cost
+			if v, had := seen[next]; !had || nd < v.dist {
+				seen[next] = visit{
+					dist: nd,
+					prev: cur.cfg,
+					via:  sag.Edge{From: cur.cfg, To: next, Action: a},
+					ok:   true,
+				}
+				heap.Push(pq, configDist{cfg: next, dist: nd})
+			}
+		}
+	}
+	if !done[target] {
+		return sag.Path{}, &sag.ErrNoPath{
+			Source: p.reg.BitVector(source),
+			Target: p.reg.BitVector(target),
+		}
+	}
+	var rev []sag.Edge
+	for at := target; at != source; {
+		v := seen[at]
+		rev = append(rev, v.via)
+		at = v.prev
+	}
+	steps := make([]sag.Edge, len(rev))
+	for i := range rev {
+		steps[i] = rev[len(rev)-1-i]
+	}
+	return sag.Path{Steps: steps}, nil
+}
+
+type configDist struct {
+	cfg  model.Config
+	dist time.Duration
+}
+
+type configHeap []configDist
+
+func (h configHeap) Len() int           { return len(h) }
+func (h configHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h configHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *configHeap) Push(x any)        { *h = append(*h, x.(configDist)) }
+func (h *configHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,303 @@
+package planner
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/invariant"
+	"repro/internal/model"
+	"repro/internal/paper"
+	"repro/internal/sag"
+)
+
+func paperPlanner(t *testing.T) (*Planner, model.Config, model.Config) {
+	t.Helper()
+	scenario, err := paper.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(scenario.Invariants, scenario.Actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, scenario.Source, scenario.Target
+}
+
+func TestPlanPaperScenario(t *testing.T) {
+	p, src, tgt := paperPlanner(t)
+	path, err := p.Plan(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Cost() != paper.MAPCost || len(path.Steps) != 5 {
+		t.Errorf("Plan = %s", path)
+	}
+}
+
+func TestPlanRejectsUnsafeEndpoints(t *testing.T) {
+	p, src, _ := paperPlanner(t)
+	unsafe := p.Registry().MustConfigOf("E1", "E2", "D1", "D4")
+	if _, err := p.Plan(unsafe, src); err == nil {
+		t.Error("unsafe source should be rejected")
+	}
+	if _, err := p.Plan(src, unsafe); err == nil {
+		t.Error("unsafe target should be rejected")
+	}
+}
+
+// TestPlanLazyMatchesEager: the lazy uniform-cost search and the eager
+// SAG+Dijkstra pipeline agree on cost for every safe source/target pair.
+func TestPlanLazyMatchesEager(t *testing.T) {
+	p, _, _ := paperPlanner(t)
+	safe := p.SafeConfigs()
+	g, err := p.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range safe {
+		for _, d := range safe {
+			eager, errE := g.ShortestPath(s, d)
+			lazy, errL := p.PlanLazy(s, d)
+			if (errE == nil) != (errL == nil) {
+				t.Fatalf("%s->%s: eager err %v, lazy err %v",
+					p.Registry().BitVector(s), p.Registry().BitVector(d), errE, errL)
+			}
+			if errE != nil {
+				continue
+			}
+			if eager.Cost() != lazy.Cost() {
+				t.Errorf("%s->%s: eager cost %v, lazy cost %v",
+					p.Registry().BitVector(s), p.Registry().BitVector(d), eager.Cost(), lazy.Cost())
+			}
+		}
+	}
+}
+
+func TestPlanLazyPathIsValid(t *testing.T) {
+	p, src, tgt := paperPlanner(t)
+	path, err := p.PlanLazy(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := src
+	for _, e := range path.Steps {
+		next, ok := e.Action.Apply(p.Registry(), cur)
+		if !ok {
+			t.Fatalf("lazy step %s not applicable", e.Action.ID)
+		}
+		if !p.Invariants().Satisfied(next) {
+			t.Fatalf("lazy path passes through unsafe configuration %s", p.Registry().BitVector(next))
+		}
+		cur = next
+	}
+	if cur != tgt {
+		t.Error("lazy path does not reach target")
+	}
+}
+
+func TestAlternatives(t *testing.T) {
+	p, src, tgt := paperPlanner(t)
+	paths, err := p.Alternatives(src, tgt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("Alternatives returned %d paths", len(paths))
+	}
+	if paths[0].Cost() > paths[1].Cost() || paths[1].Cost() > paths[2].Cost() {
+		t.Error("alternatives not cost-ordered")
+	}
+}
+
+func TestReplanAvoidsFailedEdge(t *testing.T) {
+	p, src, tgt := paperPlanner(t)
+	first, err := p.Plan(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := first.Steps[0]
+	re, err := p.Replan(src, tgt, &failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range re.Steps {
+		if e.From == failed.From && e.To == failed.To && e.Action.ID == failed.Action.ID {
+			t.Errorf("replanned path still uses failed step %s", failed.Action.ID)
+		}
+	}
+	// Replanning with no failed edge is just Plan.
+	re2, err := p.Replan(src, tgt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Cost() != first.Cost() {
+		t.Error("Replan(nil) should equal Plan")
+	}
+}
+
+func TestActionByID(t *testing.T) {
+	p, _, _ := paperPlanner(t)
+	a, err := p.ActionByID("A16")
+	if err != nil || a.ID != "A16" {
+		t.Errorf("ActionByID = %v, %v", a, err)
+	}
+	if _, err := p.ActionByID("A99"); err == nil {
+		t.Error("unknown action should fail")
+	}
+}
+
+func TestNewRejectsDuplicateActionIDs(t *testing.T) {
+	scenario, err := paper.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append(scenario.Actions, scenario.Actions[0])
+	if _, err := New(scenario.Invariants, dup); err == nil {
+		t.Error("duplicate action IDs should be rejected")
+	}
+}
+
+// twoSubsystems builds a decomposable system: two independent pairs with
+// their own oneof invariants and replace actions.
+func twoSubsystems(t *testing.T) (*Planner, model.Config, model.Config) {
+	t.Helper()
+	reg := model.MustRegistry(
+		model.Component{Name: "A1", Process: "p1"},
+		model.Component{Name: "A2", Process: "p1"},
+		model.Component{Name: "B1", Process: "p2"},
+		model.Component{Name: "B2", Process: "p2"},
+	)
+	ia, err := invariant.NewStructural("a", "oneof(A1, A2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := invariant.NewStructural("b", "oneof(B1, B2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := invariant.NewSet(reg, ia, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := []action.Action{
+		action.MustNew("SA", "A1 -> A2", 10*time.Millisecond, ""),
+		action.MustNew("SArev", "A2 -> A1", 10*time.Millisecond, ""),
+		action.MustNew("SB", "B1 -> B2", 20*time.Millisecond, ""),
+		action.MustNew("SBrev", "B2 -> B1", 20*time.Millisecond, ""),
+	}
+	p, err := New(set, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, reg.MustConfigOf("A1", "B1"), reg.MustConfigOf("A2", "B2")
+}
+
+func TestPlanDecomposed(t *testing.T) {
+	p, src, tgt := twoSubsystems(t)
+	plan, err := p.PlanDecomposed(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Sets) != 2 {
+		t.Fatalf("decomposed into %d sets, want 2", len(plan.Sets))
+	}
+	if plan.Cost() != 30*time.Millisecond {
+		t.Errorf("decomposed cost = %v, want 30ms", plan.Cost())
+	}
+	// The flattened steps must be executable in order on the whole system
+	// and end at the target.
+	cur := src
+	for _, e := range plan.Steps() {
+		next, ok := e.Action.Apply(p.Registry(), cur)
+		if !ok {
+			t.Fatalf("decomposed step %s not applicable", e.Action.ID)
+		}
+		if !p.Invariants().Satisfied(next) {
+			t.Fatalf("decomposed path hits unsafe configuration")
+		}
+		cur = next
+	}
+	if cur != tgt {
+		t.Error("decomposed plan does not reach target")
+	}
+}
+
+func TestPlanDecomposedMatchesFlatCost(t *testing.T) {
+	p, src, tgt := twoSubsystems(t)
+	flat, err := p.PlanLazy(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := p.PlanDecomposed(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Cost() != dec.Cost() {
+		t.Errorf("flat cost %v != decomposed cost %v", flat.Cost(), dec.Cost())
+	}
+}
+
+func TestPlanDecomposedRejectsCrossSetActions(t *testing.T) {
+	reg := model.MustRegistry(
+		model.Component{Name: "A1", Process: "p1"},
+		model.Component{Name: "A2", Process: "p1"},
+		model.Component{Name: "B1", Process: "p2"},
+		model.Component{Name: "B2", Process: "p2"},
+	)
+	ia, _ := invariant.NewStructural("a", "oneof(A1, A2)")
+	ib, _ := invariant.NewStructural("b", "oneof(B1, B2)")
+	set, err := invariant.NewSet(reg, ia, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := action.MustNew("X", "(A1, B1) -> (A2, B2)", time.Millisecond, "")
+	p, err := New(set, []action.Action{cross})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := reg.MustConfigOf("A1", "B1")
+	tgt := reg.MustConfigOf("A2", "B2")
+	if _, err := p.PlanDecomposed(src, tgt); err == nil {
+		t.Error("cross-set action must make decomposition fail")
+	} else if !strings.Contains(err.Error(), "spans collaborative sets") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestPlanLazyNoPath(t *testing.T) {
+	reg := model.MustRegistry(
+		model.Component{Name: "A", Process: "p"},
+		model.Component{Name: "B", Process: "p"},
+	)
+	inv, _ := invariant.NewStructural("any", "A | B")
+	set, err := invariant.NewSet(reg, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.PlanLazy(reg.MustConfigOf("A"), reg.MustConfigOf("B"))
+	var noPath *sag.ErrNoPath
+	if !errors.As(err, &noPath) {
+		t.Errorf("expected *sag.ErrNoPath, got %v", err)
+	}
+}
+
+func TestSafeConfigsCached(t *testing.T) {
+	p, _, _ := paperPlanner(t)
+	a := p.SafeConfigs()
+	b := p.SafeConfigs()
+	if len(a) != len(b) || len(a) != 8 {
+		t.Errorf("SafeConfigs lengths %d, %d", len(a), len(b))
+	}
+	// Returned slices must be independent copies.
+	a[0] = 0
+	if p.SafeConfigs()[0] == 0 && b[0] != 0 {
+		t.Error("SafeConfigs must return copies")
+	}
+}

@@ -1,0 +1,184 @@
+// Package protocol defines the message vocabulary exchanged between the
+// adaptation manager and the per-process adaptation agents (paper Sec. 4.3,
+// Figs. 1–2), and a length-prefixed JSON wire codec for transports that
+// need one.
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/action"
+)
+
+// MsgType enumerates the protocol messages. The Courier-font names in the
+// paper's figures map 1:1 onto these values.
+type MsgType int
+
+const (
+	// MsgReset instructs an agent to drive its process to a (locally and
+	// globally) safe state and block it. Carries the Step.
+	MsgReset MsgType = iota + 1
+	// MsgResetDone reports that the agent's process is held in a safe
+	// state ("reset done").
+	MsgResetDone
+	// MsgResetFailed reports a fail-to-reset failure: the process could
+	// not reach a safe state in time (Sec. 4.4).
+	MsgResetFailed
+	// MsgAdaptDone reports that the agent's local in-action completed
+	// ("adapt done").
+	MsgAdaptDone
+	// MsgAdaptFailed reports that the local in-action could not be
+	// performed.
+	MsgAdaptFailed
+	// MsgResume instructs an agent to resume its process' full operation.
+	MsgResume
+	// MsgResumeDone reports that full operation is restored
+	// ("resume done").
+	MsgResumeDone
+	// MsgRollback instructs an agent to undo the step (inverse in-action
+	// if it was applied) and resume the process in its pre-step state.
+	MsgRollback
+	// MsgRollbackDone acknowledges a completed rollback.
+	MsgRollbackDone
+	// MsgHello registers an agent with the manager on connection-oriented
+	// transports.
+	MsgHello
+)
+
+// String returns the paper's name for the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgReset:
+		return "reset"
+	case MsgResetDone:
+		return "reset done"
+	case MsgResetFailed:
+		return "reset failed"
+	case MsgAdaptDone:
+		return "adapt done"
+	case MsgAdaptFailed:
+		return "adapt failed"
+	case MsgResume:
+		return "resume"
+	case MsgResumeDone:
+		return "resume done"
+	case MsgRollback:
+		return "rollback"
+	case MsgRollbackDone:
+		return "rollback done"
+	case MsgHello:
+		return "hello"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Step describes one adaptation step (one edge of the safe adaptation
+// path) to the participating agents.
+type Step struct {
+	// PathIndex is the zero-based position of the step on the adaptation
+	// path.
+	PathIndex int `json:"pathIndex"`
+	// Attempt distinguishes retries of the same step; agents deduplicate
+	// on (PathIndex, Attempt).
+	Attempt int `json:"attempt"`
+	// ActionID identifies the adaptive action, e.g. "A2".
+	ActionID string `json:"actionID"`
+	// Ops are the primitive operations of the action. Each agent executes
+	// the subset whose components it hosts.
+	Ops []action.Op `json:"ops"`
+	// Participants are the process names involved in the step. An agent
+	// that sees itself as the only participant may resume directly after
+	// its in-action (Fig. 1's single-process shortcut).
+	Participants []string `json:"participants"`
+	// ResetPhases orders the reset wave: agents in phase k+1 receive
+	// reset only after every agent in phase k reported reset done. This
+	// realizes global safe conditions such as "the receiver has received
+	// all the datagram packets that the sender has sent" by quiescing
+	// upstream processes first.
+	ResetPhases [][]string `json:"resetPhases,omitempty"`
+	// FromVector and ToVector are the step's source and target
+	// configurations in bit-vector notation, for diagnostics.
+	FromVector string `json:"fromVector"`
+	ToVector   string `json:"toVector"`
+}
+
+// OpsFor returns the operations whose components are hosted on the named
+// process, according to the component→process table supplied.
+func (s Step) OpsFor(process string, processOf func(component string) string) []action.Op {
+	var out []action.Op
+	for _, op := range s.Ops {
+		name := op.Old
+		if name == "" {
+			name = op.New
+		}
+		if processOf(name) == process {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Message is one manager↔agent protocol message.
+type Message struct {
+	// Type is the message type.
+	Type MsgType `json:"type"`
+	// From and To are endpoint names ("manager" or a process name).
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Step is present on MsgReset and echoed (PathIndex/Attempt/ActionID)
+	// on agent replies so the manager can discard stale responses.
+	Step Step `json:"step"`
+	// Error carries failure detail on MsgResetFailed / MsgAdaptFailed.
+	Error string `json:"error,omitempty"`
+}
+
+// ManagerName is the conventional endpoint name of the adaptation manager.
+const ManagerName = "manager"
+
+// WriteFrame writes msg to w as a 4-byte big-endian length followed by the
+// JSON encoding.
+func WriteFrame(w io.Writer, msg Message) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("protocol: encode: %w", err)
+	}
+	if len(body) > 1<<24 {
+		return fmt.Errorf("protocol: message too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	hdr[0] = byte(len(body) >> 24)
+	hdr[1] = byte(len(body) >> 16)
+	hdr[2] = byte(len(body) >> 8)
+	hdr[3] = byte(len(body))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("protocol: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("protocol: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed JSON message from r.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err // io.EOF passes through for clean shutdown
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n <= 0 || n > 1<<24 {
+		return Message{}, fmt.Errorf("protocol: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("protocol: read body: %w", err)
+	}
+	var msg Message
+	if err := json.Unmarshal(body, &msg); err != nil {
+		return Message{}, fmt.Errorf("protocol: decode: %w", err)
+	}
+	return msg, nil
+}

@@ -1,0 +1,181 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/action"
+)
+
+func sampleMessage() Message {
+	return Message{
+		Type: MsgReset,
+		From: ManagerName,
+		To:   "handheld",
+		Step: Step{
+			PathIndex:    2,
+			Attempt:      5,
+			ActionID:     "A2",
+			Ops:          []action.Op{{Kind: action.Replace, Old: "D1", New: "D2"}},
+			Participants: []string{"handheld"},
+			ResetPhases:  [][]string{{"server"}, {"handheld"}},
+			FromVector:   "0100101",
+			ToVector:     "0101001",
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := sampleMessage()
+	if err := WriteFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != msg.Type || got.To != msg.To || got.Step.ActionID != msg.Step.ActionID {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if len(got.Step.Ops) != 1 || got.Step.Ops[0] != msg.Step.Ops[0] {
+		t.Errorf("ops mismatch: %+v", got.Step.Ops)
+	}
+	if len(got.Step.ResetPhases) != 2 {
+		t.Errorf("phases mismatch: %+v", got.Step.ResetPhases)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		msg := sampleMessage()
+		msg.Step.PathIndex = i
+		if err := WriteFrame(&buf, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Step.PathIndex != i {
+			t.Errorf("frame %d out of order: %d", i, got.Step.PathIndex)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, sampleMessage()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{1, 3, 4, len(raw) - 1} {
+		if _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncated at %d should fail", cut)
+		}
+	}
+}
+
+func TestReadFrameInvalidLength(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-length frame should fail")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})); err == nil {
+		t.Error("oversized frame should fail")
+	}
+}
+
+func TestReadFrameBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 3})
+	buf.WriteString("{{{")
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("bad JSON should fail with decode error, got %v", err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	names := map[MsgType]string{
+		MsgReset:        "reset",
+		MsgResetDone:    "reset done",
+		MsgResetFailed:  "reset failed",
+		MsgAdaptDone:    "adapt done",
+		MsgAdaptFailed:  "adapt failed",
+		MsgResume:       "resume",
+		MsgResumeDone:   "resume done",
+		MsgRollback:     "rollback",
+		MsgRollbackDone: "rollback done",
+		MsgHello:        "hello",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(typ), typ, want)
+		}
+	}
+	if !strings.Contains(MsgType(99).String(), "99") {
+		t.Error("unknown type should render its number")
+	}
+}
+
+func TestStepOpsFor(t *testing.T) {
+	step := Step{
+		Ops: []action.Op{
+			{Kind: action.Replace, Old: "D1", New: "D2"},
+			{Kind: action.Replace, Old: "E1", New: "E2"},
+			{Kind: action.Insert, New: "D5"},
+		},
+	}
+	processOf := func(c string) string {
+		switch c {
+		case "D1", "D2":
+			return "handheld"
+		case "E1", "E2":
+			return "server"
+		default:
+			return "laptop"
+		}
+	}
+	hh := step.OpsFor("handheld", processOf)
+	if len(hh) != 1 || hh[0].Old != "D1" {
+		t.Errorf("handheld ops = %+v", hh)
+	}
+	lp := step.OpsFor("laptop", processOf)
+	if len(lp) != 1 || lp[0].New != "D5" {
+		t.Errorf("laptop ops = %+v", lp)
+	}
+	if none := step.OpsFor("nowhere", processOf); len(none) != 0 {
+		t.Errorf("unexpected ops %+v", none)
+	}
+}
+
+// TestPropertyFrameRoundTrip fuzzes the codec with random field values.
+func TestPropertyFrameRoundTrip(t *testing.T) {
+	f := func(typ uint8, from, to, actionID string, pathIndex, attempt int) bool {
+		msg := Message{
+			Type: MsgType(int(typ)%10 + 1),
+			From: from, To: to,
+			Step: Step{PathIndex: pathIndex, Attempt: attempt, ActionID: actionID},
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msg); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		return err == nil &&
+			got.Type == msg.Type && got.From == from && got.To == to &&
+			got.Step.PathIndex == pathIndex && got.Step.Attempt == attempt &&
+			got.Step.ActionID == actionID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package rtnet is the real-network data plane: UDP transport for the
+// video stream, standing in for the paper's multicast sockets when the
+// system runs over an actual network stack rather than the deterministic
+// simulator (internal/netsim). The control plane (manager↔agent) already
+// has its real-network implementation in internal/transport's TCP types;
+// together they give the paper's full deployment shape — UDP data, TCP
+// control — on real sockets.
+//
+// Multicast proper is often unavailable in sandboxes and containers, so
+// the transmitter fans a datagram out to a fixed set of unicast
+// addresses, which preserves the delivery semantics the safety machinery
+// depends on (per-receiver independent delivery, possible loss, FIFO per
+// flow on loopback).
+package rtnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxDatagram bounds receive buffers; fragments are far smaller.
+const maxDatagram = 64 * 1024
+
+// Transmitter sends each datagram to every configured receiver address.
+type Transmitter struct {
+	conn  *net.UDPConn
+	addrs []*net.UDPAddr
+
+	sent atomic.Uint64
+}
+
+// NewTransmitter opens a UDP socket and resolves the receiver addresses.
+func NewTransmitter(addrs ...string) (*Transmitter, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rtnet: transmitter needs at least one receiver address")
+	}
+	resolved := make([]*net.UDPAddr, len(addrs))
+	for i, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return nil, fmt.Errorf("rtnet: resolve %q: %w", a, err)
+		}
+		resolved[i] = ua
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("rtnet: open transmit socket: %w", err)
+	}
+	return &Transmitter{conn: conn, addrs: resolved}, nil
+}
+
+// Send fans the datagram out to every receiver. Partial write errors are
+// returned but do not stop the fan-out (UDP loss is a modeled condition).
+func (t *Transmitter) Send(d []byte) error {
+	var firstErr error
+	for _, addr := range t.addrs {
+		if _, err := t.conn.WriteToUDP(d, addr); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rtnet: send to %s: %w", addr, err)
+		}
+	}
+	t.sent.Add(1)
+	return firstErr
+}
+
+// Sent returns the number of datagrams transmitted.
+func (t *Transmitter) Sent() uint64 { return t.sent.Load() }
+
+// Close releases the socket.
+func (t *Transmitter) Close() error { return t.conn.Close() }
+
+// Receiver listens on a UDP port and delivers datagrams on a channel.
+type Receiver struct {
+	conn *net.UDPConn
+	ch   chan []byte
+
+	received atomic.Uint64
+	dropped  atomic.Uint64
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewReceiver listens on addr (use "127.0.0.1:0" for an ephemeral port).
+func NewReceiver(addr string, buffer int) (*Receiver, error) {
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rtnet: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("rtnet: listen %q: %w", addr, err)
+	}
+	// A generous kernel buffer absorbs bursts between reads.
+	_ = conn.SetReadBuffer(4 * 1024 * 1024)
+	r := &Receiver{
+		conn: conn,
+		ch:   make(chan []byte, buffer),
+		done: make(chan struct{}),
+	}
+	go r.readLoop()
+	return r, nil
+}
+
+// Addr returns the bound address, for transmitters to target.
+func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// Recv returns the delivery channel; it closes when the receiver closes.
+func (r *Receiver) Recv() <-chan []byte { return r.ch }
+
+// Pending reports datagrams delivered to the channel but not yet taken
+// off it — the receiver's share of a drain condition. Datagrams still in
+// kernel buffers are invisible, so drain checks must pair Pending with a
+// short quiet window, which metasocket.RecvSocket.WaitDrained already
+// does.
+func (r *Receiver) Pending() int { return len(r.ch) }
+
+// Stats returns how many datagrams were received and how many were
+// dropped on channel overflow.
+func (r *Receiver) Stats() (received, dropped uint64) {
+	return r.received.Load(), r.dropped.Load()
+}
+
+// Close shuts the receiver down and closes the delivery channel.
+func (r *Receiver) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		err = r.conn.Close()
+		<-r.done // readLoop exits and closes ch
+	})
+	return err
+}
+
+func (r *Receiver) readLoop() {
+	defer close(r.done)
+	defer close(r.ch)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		d := make([]byte, n)
+		copy(d, buf[:n])
+		r.received.Add(1)
+		select {
+		case r.ch <- d:
+		default:
+			r.dropped.Add(1) // receiver overrun, like real UDP
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format, reproducing Fig. 4 of the
+// paper. Nodes are labelled with the paper's component-tuple notation,
+// edges with "actionID: operation". Output is deterministic.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+	for _, c := range g.nodes {
+		fmt.Fprintf(&b, "  %q [label=%q];\n", g.reg.BitVector(c), g.reg.Format(c))
+	}
+	type arc struct {
+		from, to, label string
+	}
+	var arcs []arc
+	for i, from := range g.nodes {
+		for _, e := range g.out[i] {
+			arcs = append(arcs, arc{
+				from:  g.reg.BitVector(from),
+				to:    g.reg.BitVector(e.To),
+				label: e.Action.ID + ": " + e.Action.Operation(),
+			})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].from != arcs[j].from {
+			return arcs[i].from < arcs[j].from
+		}
+		if arcs[i].to != arcs[j].to {
+			return arcs[i].to < arcs[j].to
+		}
+		return arcs[i].label < arcs[j].label
+	})
+	for _, a := range arcs {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", a.from, a.to, a.label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// EdgeList returns a deterministic textual edge list "from --actionID-->
+// to" useful for golden tests against Fig. 4.
+func (g *Graph) EdgeList() []string {
+	var out []string
+	for i, from := range g.nodes {
+		for _, e := range g.out[i] {
+			out = append(out, fmt.Sprintf("%s --%s--> %s",
+				g.reg.BitVector(from), e.Action.ID, g.reg.BitVector(e.To)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

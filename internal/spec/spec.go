@@ -1,0 +1,317 @@
+// Package spec defines a declarative JSON description of an adaptive
+// system — components, dependency invariants, adaptive actions, and the
+// adaptation request — and compiles it into the analysis objects
+// (registry, invariant set, actions). This is the file format consumed by
+// the safeadaptctl CLI and the programmatic entry point for downstream
+// users who prefer configuration over code.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/invariant"
+	"repro/internal/model"
+)
+
+// ComponentSpec declares one adaptive component.
+type ComponentSpec struct {
+	Name        string `json:"name"`
+	Process     string `json:"process"`
+	Description string `json:"description,omitempty"`
+}
+
+// InvariantSpec declares one dependency relationship.
+type InvariantSpec struct {
+	Name string `json:"name"`
+	// Kind is "structural" or "dependency" (default "dependency").
+	Kind string `json:"kind,omitempty"`
+	// Predicate is an expression in the internal/expr language, e.g.
+	// "E1 -> (D1 | D2) & D4" or "oneof(D1, D2, D3)".
+	Predicate string `json:"predicate"`
+}
+
+// ActionSpec declares one adaptive action.
+type ActionSpec struct {
+	ID string `json:"id"`
+	// Operation uses Table 2 notation: "E1 -> E2", "+D5", "-D4",
+	// "(D1, E1) -> (D2, E2)".
+	Operation string `json:"operation"`
+	// CostMillis is the fixed action cost in milliseconds.
+	CostMillis  int    `json:"costMillis"`
+	Description string `json:"description,omitempty"`
+}
+
+// System is the complete declarative description.
+type System struct {
+	Name       string          `json:"name"`
+	Components []ComponentSpec `json:"components"`
+	Invariants []InvariantSpec `json:"invariants"`
+	Actions    []ActionSpec    `json:"actions"`
+	// Source and Target are configurations given either as bit vectors
+	// ("0100101") or component lists (["D4","D1","E1"]).
+	Source ConfigSpec `json:"source"`
+	Target ConfigSpec `json:"target"`
+	// Dataflow optionally orders the processes upstream → downstream
+	// (e.g. ["server", "handheld", "laptop"], with equal-rank processes
+	// simply listed in any order after their upstream). When set, the
+	// runtime quiesces upstream processes first on every adaptation step
+	// — conscripting them if needed — so downstream processes swap
+	// components on drained links (the paper's global safe condition).
+	Dataflow []string `json:"dataflow,omitempty"`
+}
+
+// ConfigSpec is a configuration written either as a bit-vector string or
+// a component-name list.
+type ConfigSpec struct {
+	Vector     string   `json:"vector,omitempty"`
+	Components []string `json:"components,omitempty"`
+}
+
+// UnmarshalJSON accepts a bare string (bit vector), a bare array
+// (component list), or the object form.
+func (c *ConfigSpec) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		c.Vector = s
+		return nil
+	}
+	var list []string
+	if err := json.Unmarshal(data, &list); err == nil {
+		c.Components = list
+		return nil
+	}
+	type raw ConfigSpec
+	var r raw
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("spec: configuration must be a bit-vector string, a component list, or an object: %w", err)
+	}
+	*c = ConfigSpec(r)
+	return nil
+}
+
+// MarshalJSON renders the most compact form.
+func (c ConfigSpec) MarshalJSON() ([]byte, error) {
+	if c.Vector != "" {
+		return json.Marshal(c.Vector)
+	}
+	return json.Marshal(c.Components)
+}
+
+// Resolve compiles the configuration against a registry.
+func (c ConfigSpec) Resolve(reg *model.Registry) (model.Config, error) {
+	switch {
+	case c.Vector != "" && len(c.Components) > 0:
+		return 0, fmt.Errorf("spec: configuration has both vector and component list")
+	case c.Vector != "":
+		return reg.ParseBitVector(c.Vector)
+	case len(c.Components) > 0:
+		return reg.ConfigOf(c.Components...)
+	default:
+		return 0, fmt.Errorf("spec: empty configuration")
+	}
+}
+
+// Compiled is the analysis-ready form of a System.
+type Compiled struct {
+	Name       string
+	Registry   *model.Registry
+	Invariants *invariant.Set
+	Actions    []action.Action
+	Source     model.Config
+	Target     model.Config
+	Dataflow   []string
+}
+
+// ResetPhases derives the step reset-phase policy from the declared
+// dataflow. The dataflow names the upstream processes in order;
+// processes not named are downstream leaves. For a step touching a
+// downstream process, every named upstream process is conscripted, in
+// order, before the downstream participants — so downstream swaps always
+// happen on drained links (the paper's global safe condition). For a
+// step touching only the upstream-most process, no ordering is needed
+// and nil is returned (single simultaneous phase).
+func (c *Compiled) ResetPhases(participants []string) [][]string {
+	if len(c.Dataflow) == 0 {
+		return nil
+	}
+	rank := make(map[string]int, len(c.Dataflow))
+	for i, p := range c.Dataflow {
+		rank[p] = i
+	}
+	maxRank := -1
+	var unranked []string
+	for _, p := range participants {
+		if r, ok := rank[p]; ok {
+			if r > maxRank {
+				maxRank = r
+			}
+		} else {
+			unranked = append(unranked, p)
+		}
+	}
+	if len(unranked) > 0 {
+		// Downstream leaves involved: quiesce the full upstream chain.
+		maxRank = len(c.Dataflow) - 1
+	}
+	if maxRank <= 0 && len(unranked) == 0 {
+		return nil
+	}
+	var phases [][]string
+	for i := 0; i <= maxRank; i++ {
+		phases = append(phases, []string{c.Dataflow[i]})
+	}
+	if len(unranked) > 0 {
+		phases = append(phases, unranked)
+	}
+	return phases
+}
+
+// Compile validates the description and builds the analysis objects.
+func (s *System) Compile() (*Compiled, error) {
+	if len(s.Components) == 0 {
+		return nil, fmt.Errorf("spec: no components")
+	}
+	comps := make([]model.Component, len(s.Components))
+	for i, cs := range s.Components {
+		comps[i] = model.Component{Name: cs.Name, Process: cs.Process, Description: cs.Description}
+	}
+	reg, err := model.NewRegistry(comps...)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+
+	invs := make([]invariant.Invariant, 0, len(s.Invariants))
+	for _, is := range s.Invariants {
+		var inv invariant.Invariant
+		var ierr error
+		switch is.Kind {
+		case "structural":
+			inv, ierr = invariant.NewStructural(is.Name, is.Predicate)
+		case "", "dependency":
+			inv, ierr = invariant.NewDependency(is.Name, is.Predicate)
+		default:
+			return nil, fmt.Errorf("spec: invariant %q has unknown kind %q", is.Name, is.Kind)
+		}
+		if ierr != nil {
+			return nil, fmt.Errorf("spec: %w", ierr)
+		}
+		invs = append(invs, inv)
+	}
+	set, err := invariant.NewSet(reg, invs...)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+
+	actions := make([]action.Action, 0, len(s.Actions))
+	for _, as := range s.Actions {
+		if as.CostMillis < 0 {
+			return nil, fmt.Errorf("spec: action %q has negative cost", as.ID)
+		}
+		a, aerr := action.New(as.ID, as.Operation, time.Duration(as.CostMillis)*time.Millisecond, as.Description)
+		if aerr != nil {
+			return nil, fmt.Errorf("spec: %w", aerr)
+		}
+		if aerr := a.Validate(reg); aerr != nil {
+			return nil, fmt.Errorf("spec: %w", aerr)
+		}
+		actions = append(actions, a)
+	}
+
+	src, err := s.Source.Resolve(reg)
+	if err != nil {
+		return nil, fmt.Errorf("spec: source: %w", err)
+	}
+	tgt, err := s.Target.Resolve(reg)
+	if err != nil {
+		return nil, fmt.Errorf("spec: target: %w", err)
+	}
+	processes := make(map[string]bool, len(comps))
+	for _, c := range comps {
+		processes[c.Process] = true
+	}
+	for _, p := range s.Dataflow {
+		if !processes[p] {
+			return nil, fmt.Errorf("spec: dataflow names unknown process %q", p)
+		}
+	}
+
+	return &Compiled{
+		Name:       s.Name,
+		Registry:   reg,
+		Invariants: set,
+		Actions:    actions,
+		Source:     src,
+		Target:     tgt,
+		Dataflow:   append([]string(nil), s.Dataflow...),
+	}, nil
+}
+
+// Parse decodes a System from JSON.
+func Parse(data []byte) (*System, error) {
+	var s System
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	return &s, nil
+}
+
+// Load reads and decodes a System from a file.
+func Load(path string) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// PaperSystem returns the case study as a declarative System — the same
+// content as internal/paper, in the file format. Useful as a template.
+func PaperSystem() *System {
+	ms := func(id, op string, cost int, desc string) ActionSpec {
+		return ActionSpec{ID: id, Operation: op, CostMillis: cost, Description: desc}
+	}
+	return &System{
+		Name: "dsn04-video-multicast",
+		Components: []ComponentSpec{
+			{Name: "E1", Process: "server", Description: "DES 64-bit encoder"},
+			{Name: "E2", Process: "server", Description: "DES 128-bit encoder"},
+			{Name: "D1", Process: "handheld", Description: "DES 64-bit decoder"},
+			{Name: "D2", Process: "handheld", Description: "DES 128/64-bit compatible decoder"},
+			{Name: "D3", Process: "handheld", Description: "DES 128-bit decoder"},
+			{Name: "D4", Process: "laptop", Description: "DES 64-bit decoder"},
+			{Name: "D5", Process: "laptop", Description: "DES 128-bit decoder"},
+		},
+		Invariants: []InvariantSpec{
+			{Name: "resource", Kind: "structural", Predicate: "oneof(D1, D2, D3)"},
+			{Name: "security", Kind: "structural", Predicate: "oneof(E1, E2)"},
+			{Name: "E1-deps", Kind: "dependency", Predicate: "E1 -> (D1 | D2) & D4"},
+			{Name: "E2-deps", Kind: "dependency", Predicate: "E2 -> (D3 | D2) & D5"},
+		},
+		Actions: []ActionSpec{
+			ms("A1", "E1 -> E2", 10, "replace E1 with E2"),
+			ms("A2", "D1 -> D2", 10, "replace D1 with D2"),
+			ms("A3", "D1 -> D3", 10, "replace D1 with D3"),
+			ms("A4", "D2 -> D3", 10, "replace D2 with D3"),
+			ms("A5", "D4 -> D5", 10, "replace D4 with D5"),
+			ms("A6", "(D1, E1) -> (D2, E2)", 100, "A1 and A2"),
+			ms("A7", "(D1, E1) -> (D3, E2)", 100, "A1 and A3"),
+			ms("A8", "(D2, E1) -> (D3, E2)", 100, "A1 and A4"),
+			ms("A9", "(D4, E1) -> (D5, E2)", 100, "A1 and A5"),
+			ms("A10", "(D1, D4) -> (D2, D5)", 50, "A2 and A5"),
+			ms("A11", "(D1, D4) -> (D3, D5)", 50, "A3 and A5"),
+			ms("A12", "(D2, D4) -> (D3, D5)", 50, "A4 and A5"),
+			ms("A13", "(D1, D4, E1) -> (D2, D5, E2)", 150, "A1 and A10"),
+			ms("A14", "(D1, D4, E1) -> (D3, D5, E2)", 150, "A1 and A11"),
+			ms("A15", "(D2, D4, E1) -> (D3, D5, E2)", 150, "A1 and A12"),
+			ms("A16", "-D4", 10, "remove D4"),
+			ms("A17", "+D5", 10, "insert D5"),
+		},
+		Source:   ConfigSpec{Vector: "0100101"},
+		Target:   ConfigSpec{Vector: "1010010"},
+		Dataflow: []string{"server"},
+	}
+}

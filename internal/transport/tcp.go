@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// TCPManager is the manager-side TCP endpoint. It listens for agent
+// connections; each agent identifies itself with a hello frame, after
+// which frames flow in both directions. This matches the paper's
+// deployment: "the adaptation manager uses a direct TCP connection to
+// communicate with the agents".
+type TCPManager struct {
+	ln    net.Listener
+	inbox chan protocol.Message
+
+	mu     sync.Mutex
+	conns  map[string]net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP starts a manager endpoint on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (*TCPManager, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	m := &TCPManager{
+		ln:    ln,
+		inbox: make(chan protocol.Message, 64),
+		conns: make(map[string]net.Conn),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the listening address, for agents to dial.
+func (m *TCPManager) Addr() string { return m.ln.Addr().String() }
+
+// Name implements Endpoint.
+func (m *TCPManager) Name() string { return protocol.ManagerName }
+
+// Inbox implements Endpoint.
+func (m *TCPManager) Inbox() <-chan protocol.Message { return m.inbox }
+
+// Send implements Endpoint: it writes the message to the connection of the
+// agent named msg.To. Unknown or disconnected agents yield an error
+// (connection-level loss is the transport's own failure mode).
+func (m *TCPManager) Send(msg protocol.Message) error {
+	msg.From = protocol.ManagerName
+	m.mu.Lock()
+	conn, ok := m.conns[msg.To]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no connection to agent %q", msg.To)
+	}
+	return protocol.WriteFrame(conn, msg)
+}
+
+// WaitForAgents blocks until the named agents have all connected, the
+// manager closes, or the timeout elapses. It consumes no inbox messages.
+func (m *TCPManager) WaitForAgents(timeout time.Duration, names ...string) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return ErrClosed
+		}
+		missing := ""
+		for _, n := range names {
+			if _, ok := m.conns[n]; !ok {
+				missing = n
+				break
+			}
+		}
+		m.mu.Unlock()
+		if missing == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: agent %q did not connect within %v", missing, timeout)
+		}
+		time.Sleep(5 * time.Millisecond) // connections register asynchronously
+	}
+}
+
+// Close implements Endpoint.
+func (m *TCPManager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]net.Conn, 0, len(m.conns))
+	for _, c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+
+	_ = m.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	m.wg.Wait()
+	close(m.inbox)
+	return nil
+}
+
+func (m *TCPManager) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go m.serveConn(conn)
+	}
+}
+
+func (m *TCPManager) serveConn(conn net.Conn) {
+	defer m.wg.Done()
+	hello, err := protocol.ReadFrame(conn)
+	if err != nil || hello.Type != protocol.MsgHello || hello.From == "" {
+		_ = conn.Close()
+		return
+	}
+	name := hello.From
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if old, dup := m.conns[name]; dup {
+		_ = old.Close()
+	}
+	m.conns[name] = conn
+	m.mu.Unlock()
+
+	for {
+		msg, err := protocol.ReadFrame(conn)
+		if err != nil {
+			break
+		}
+		msg.From = name // trust the connection, not the frame
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			break
+		}
+		select {
+		case m.inbox <- msg:
+		default:
+			// Overflow behaves like loss; the protocol tolerates it.
+		}
+	}
+
+	m.mu.Lock()
+	if m.conns[name] == conn {
+		delete(m.conns, name)
+	}
+	m.mu.Unlock()
+	_ = conn.Close()
+}
+
+// TCPAgent is the agent-side TCP endpoint: a single connection to the
+// manager.
+type TCPAgent struct {
+	name  string
+	conn  net.Conn
+	inbox chan protocol.Message
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// DialTCP connects the named agent to the manager at addr and registers
+// with a hello frame.
+func DialTCP(name, addr string) (*TCPAgent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	hello := protocol.Message{Type: protocol.MsgHello, From: name, To: protocol.ManagerName}
+	if err := protocol.WriteFrame(conn, hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	a := &TCPAgent{
+		name:  name,
+		conn:  conn,
+		inbox: make(chan protocol.Message, 64),
+	}
+	a.wg.Add(1)
+	go a.readLoop()
+	return a, nil
+}
+
+// Name implements Endpoint.
+func (a *TCPAgent) Name() string { return a.name }
+
+// Inbox implements Endpoint.
+func (a *TCPAgent) Inbox() <-chan protocol.Message { return a.inbox }
+
+// Send implements Endpoint; agents can only talk to the manager.
+func (a *TCPAgent) Send(msg protocol.Message) error {
+	msg.From = a.name
+	if msg.To != protocol.ManagerName {
+		return fmt.Errorf("transport: agent %q can only send to the manager, not %q", a.name, msg.To)
+	}
+	return protocol.WriteFrame(a.conn, msg)
+}
+
+// Close implements Endpoint.
+func (a *TCPAgent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	err := a.conn.Close()
+	a.wg.Wait()
+	close(a.inbox)
+	return err
+}
+
+func (a *TCPAgent) readLoop() {
+	defer a.wg.Done()
+	for {
+		msg, err := protocol.ReadFrame(a.conn)
+		if err != nil {
+			return
+		}
+		select {
+		case a.inbox <- msg:
+		default:
+		}
+	}
+}
+
+var (
+	_ Endpoint = (*TCPManager)(nil)
+	_ Endpoint = (*TCPAgent)(nil)
+)

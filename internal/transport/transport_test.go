@@ -1,0 +1,256 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func recvOne(t *testing.T, ep Endpoint) protocol.Message {
+	t.Helper()
+	select {
+	case msg, ok := <-ep.Inbox():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return msg
+	case <-time.After(time.Second):
+		t.Fatal("timed out receiving")
+		return protocol.Message{}
+	}
+}
+
+func TestBusDelivery(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(protocol.Message{Type: protocol.MsgReset, To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, b)
+	if msg.From != "a" || msg.Type != protocol.MsgReset {
+		t.Errorf("got %+v", msg)
+	}
+}
+
+func TestBusUnknownEndpoint(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a, _ := bus.Endpoint("a")
+	if err := a.Send(protocol.Message{To: "ghost"}); err == nil {
+		t.Error("send to unknown endpoint should fail")
+	}
+}
+
+func TestBusDuplicateName(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	if _, err := bus.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Endpoint("a"); err == nil {
+		t.Error("duplicate endpoint should fail")
+	}
+	if _, err := bus.Endpoint(""); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestBusFIFOPerSender(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a, _ := bus.Endpoint("a")
+	b, _ := bus.Endpoint("b")
+	for i := 0; i < 20; i++ {
+		if err := a.Send(protocol.Message{Type: protocol.MsgReset, To: "b", Step: protocol.Step{PathIndex: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if msg := recvOne(t, b); msg.Step.PathIndex != i {
+			t.Fatalf("message %d arrived out of order: %d", i, msg.Step.PathIndex)
+		}
+	}
+}
+
+func TestDropSequence(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a, _ := bus.Endpoint("a")
+	b, _ := bus.Endpoint("b")
+	bus.SetFault(DropSequence(2, MatchType(protocol.MsgResetDone)))
+
+	// Send three reset-done messages; the second must vanish.
+	for i := 0; i < 3; i++ {
+		_ = a.Send(protocol.Message{Type: protocol.MsgResetDone, To: "b", Step: protocol.Step{PathIndex: i}})
+	}
+	first := recvOne(t, b)
+	second := recvOne(t, b)
+	if first.Step.PathIndex != 0 || second.Step.PathIndex != 2 {
+		t.Errorf("got indices %d, %d; want 0, 2", first.Step.PathIndex, second.Step.PathIndex)
+	}
+}
+
+func TestDropAllAndMatchers(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a, _ := bus.Endpoint("a")
+	b, _ := bus.Endpoint("b")
+	c, _ := bus.Endpoint("c")
+	bus.SetFault(DropAll(MatchTypeTo(protocol.MsgResume, "b")))
+
+	_ = a.Send(protocol.Message{Type: protocol.MsgResume, To: "b"})
+	_ = a.Send(protocol.Message{Type: protocol.MsgResume, To: "c"})
+	if msg := recvOne(t, c); msg.Type != protocol.MsgResume {
+		t.Errorf("c got %+v", msg)
+	}
+	select {
+	case msg := <-b.Inbox():
+		t.Errorf("b should receive nothing, got %+v", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestDelayedDelivery(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a, _ := bus.Endpoint("a")
+	b, _ := bus.Endpoint("b")
+	bus.SetFault(func(protocol.Message) (bool, time.Duration) { return false, 30 * time.Millisecond })
+
+	start := time.Now()
+	_ = a.Send(protocol.Message{Type: protocol.MsgReset, To: "b"})
+	recvOne(t, b)
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("delay fault not applied")
+	}
+}
+
+func TestEndpointClose(t *testing.T) {
+	bus := NewBus()
+	defer func() { _ = bus.Close() }()
+	a, _ := bus.Endpoint("a")
+	b, _ := bus.Endpoint("b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-b.Inbox(); ok {
+		t.Error("closed endpoint inbox should be closed")
+	}
+	if err := a.Send(protocol.Message{To: "b"}); err == nil {
+		t.Error("send to closed endpoint should fail")
+	}
+	// Name can be reused after close.
+	if _, err := bus.Endpoint("b"); err != nil {
+		t.Errorf("reuse name after close: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	mgr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+
+	ag, err := DialTCP("handheld", mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ag.Close() }()
+
+	if err := mgr.WaitForAgents(2*time.Second, "handheld"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manager -> agent.
+	if err := mgr.Send(protocol.Message{Type: protocol.MsgReset, To: "handheld", Step: protocol.Step{ActionID: "A2"}}); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, ag)
+	if msg.Type != protocol.MsgReset || msg.Step.ActionID != "A2" {
+		t.Errorf("agent got %+v", msg)
+	}
+
+	// Agent -> manager.
+	if err := ag.Send(protocol.Message{Type: protocol.MsgResetDone, To: protocol.ManagerName, Step: protocol.Step{ActionID: "A2"}}); err != nil {
+		t.Fatal(err)
+	}
+	reply := recvOne(t, mgr)
+	if reply.Type != protocol.MsgResetDone || reply.From != "handheld" {
+		t.Errorf("manager got %+v", reply)
+	}
+}
+
+func TestTCPSendToUnknownAgent(t *testing.T) {
+	mgr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+	if err := mgr.Send(protocol.Message{To: "ghost"}); err == nil {
+		t.Error("send to unconnected agent should fail")
+	}
+}
+
+func TestTCPAgentOnlyTalksToManager(t *testing.T) {
+	mgr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+	ag, err := DialTCP("a", mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ag.Close() }()
+	if err := ag.Send(protocol.Message{To: "b"}); err == nil {
+		t.Error("agent sending to non-manager should fail")
+	}
+}
+
+func TestTCPWaitForAgentsTimeout(t *testing.T) {
+	mgr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+	if err := mgr.WaitForAgents(50*time.Millisecond, "never"); err == nil {
+		t.Error("waiting for a missing agent should time out")
+	}
+}
+
+func TestTCPFromFieldTrusted(t *testing.T) {
+	// The manager must stamp From with the connection identity, not the
+	// frame contents.
+	mgr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+	ag, err := DialTCP("honest", mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ag.Close() }()
+	if err := mgr.WaitForAgents(2*time.Second, "honest"); err != nil {
+		t.Fatal(err)
+	}
+	// Send claims to be from someone else; agent Send overwrites From
+	// with its own name, and the manager overwrites again on receipt.
+	if err := ag.Send(protocol.Message{Type: protocol.MsgResetDone, From: "liar", To: protocol.ManagerName}); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, mgr)
+	if msg.From != "honest" {
+		t.Errorf("From = %q, want %q", msg.From, "honest")
+	}
+}

@@ -1,0 +1,107 @@
+package video
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metasocket"
+)
+
+// Server is the video server of Fig. 3: it packetizes frames and pushes
+// them through a sending MetaSocket onto the multicast network.
+type Server struct {
+	sock     *metasocket.SendSocket
+	fragSize int
+
+	mu         sync.Mutex
+	framesSent uint32
+}
+
+// NewServer builds a server over the given send socket. fragSize is the
+// fragment payload size in bytes (the packetization granularity).
+func NewServer(sock *metasocket.SendSocket, fragSize int) (*Server, error) {
+	if sock == nil {
+		return nil, fmt.Errorf("video: nil send socket")
+	}
+	if fragSize < 16 {
+		return nil, fmt.Errorf("video: fragment size %d too small", fragSize)
+	}
+	return &Server{sock: sock, fragSize: fragSize}, nil
+}
+
+// Socket returns the server's send MetaSocket (the adaptation target).
+func (s *Server) Socket() *metasocket.SendSocket { return s.sock }
+
+// FramesSent returns how many frames the server has emitted.
+func (s *Server) FramesSent() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.framesSent
+}
+
+// SendFrame packetizes and transmits one frame. Packets of a frame carry
+// the frame id and Index/Count fragmentation metadata. The whole frame
+// goes out as one batch, so the socket's local safe state falls on frame
+// boundaries — an adaptation can never split a frame mid-transmission.
+func (s *Server) SendFrame(f Frame) error {
+	n := (len(f.Payload) + s.fragSize - 1) / s.fragSize
+	if n == 0 {
+		n = 1
+	}
+	if n > 1<<16-1 {
+		return fmt.Errorf("video: frame %d needs %d fragments (max %d)", f.ID, n, 1<<16-1)
+	}
+	packets := make([]metasocket.Packet, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * s.fragSize
+		hi := lo + s.fragSize
+		if hi > len(f.Payload) {
+			hi = len(f.Payload)
+		}
+		frag := make([]byte, hi-lo)
+		copy(frag, f.Payload[lo:hi])
+		packets = append(packets, metasocket.Packet{
+			Frame:   f.ID,
+			Index:   uint16(i),
+			Count:   uint16(n),
+			Payload: frag,
+		})
+	}
+	if err := s.sock.SendBatch(packets); err != nil {
+		return fmt.Errorf("video: frame %d: %w", f.ID, err)
+	}
+	s.mu.Lock()
+	s.framesSent++
+	s.mu.Unlock()
+	return nil
+}
+
+// Stream generates and sends frames until ctx is cancelled or count
+// frames have been sent (count <= 0 streams until cancellation). A zero
+// interval streams back-to-back.
+func (s *Server) Stream(ctx context.Context, count int, bodySize int, interval time.Duration) error {
+	var id uint32
+	for count <= 0 || int(id) < count {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := s.SendFrame(GenerateFrame(id, bodySize)); err != nil {
+			return err
+		}
+		id++
+		if interval > 0 {
+			timer := time.NewTimer(interval)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+	return nil
+}

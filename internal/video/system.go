@@ -1,0 +1,246 @@
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adapters"
+	"repro/internal/cipherkit"
+	"repro/internal/metasocket"
+	"repro/internal/netsim"
+	"repro/internal/paper"
+)
+
+// SystemOptions configures the Fig. 3 system.
+type SystemOptions struct {
+	// Seed drives the network simulator's PRNG.
+	Seed int64
+	// Handheld and Laptop are the clients' link profiles (the paper's
+	// iPAQ on a weak wireless link and Toughbook on a better one).
+	Handheld netsim.LinkProfile
+	Laptop   netsim.LinkProfile
+	// FragSize is the packetization granularity. Zero means 256.
+	FragSize int
+}
+
+// System is the running video multicast application of Fig. 3: a server
+// with a sending MetaSocket, and handheld + laptop clients with receiving
+// MetaSockets, all over a simulated multicast group.
+type System struct {
+	Group    *netsim.Group
+	Server   *Server
+	Handheld *Client
+	Laptop   *Client
+
+	HandheldSub *netsim.Subscription
+	LaptopSub   *netsim.Subscription
+
+	handheldDone chan struct{}
+	laptopDone   chan struct{}
+}
+
+// FilterFactory returns the case study's component factory: component
+// names E1,E2 map to encoders and D1–D5 to decoders, built over the demo
+// keys. The factory is shared by the server and both clients.
+func FilterFactory() adapters.FilterFactory {
+	c64 := cipherkit.MustDefault64()
+	c128 := cipherkit.MustDefault128()
+	return func(name string) (metasocket.Filter, error) {
+		switch name {
+		case "E1":
+			return metasocket.NewEncoder("E1", c64), nil
+		case "E2":
+			return metasocket.NewEncoder("E2", c128), nil
+		case "D1":
+			return metasocket.NewDecoder("D1", c64), nil
+		case "D2":
+			return metasocket.NewDecoder("D2", c64, c128), nil
+		case "D3":
+			return metasocket.NewDecoder("D3", c128), nil
+		case "D4":
+			return metasocket.NewDecoder("D4", c64), nil
+		case "D5":
+			return metasocket.NewDecoder("D5", c128), nil
+		default:
+			return nil, fmt.Errorf("video: unknown component %q", name)
+		}
+	}
+}
+
+// NewSystem builds and starts the Fig. 3 system in its source
+// configuration (D4, D1, E1): the server encodes with DES-64, the
+// handheld decodes with D1 and the laptop with D4.
+func NewSystem(opts SystemOptions) (*System, error) {
+	if opts.FragSize == 0 {
+		opts.FragSize = 256
+	}
+	factory := FilterFactory()
+	group := netsim.NewGroup(opts.Seed)
+
+	hhSub, err := group.Subscribe(paper.ProcessHandheld, opts.Handheld, 1024)
+	if err != nil {
+		return nil, err
+	}
+	lpSub, err := group.Subscribe(paper.ProcessLaptop, opts.Laptop, 1024)
+	if err != nil {
+		return nil, err
+	}
+
+	e1, err := factory("E1")
+	if err != nil {
+		return nil, err
+	}
+	sendSock, err := metasocket.NewSendSocket(func(d []byte) error { return group.Send(d) }, e1)
+	if err != nil {
+		return nil, err
+	}
+	server, err := NewServer(sendSock, opts.FragSize)
+	if err != nil {
+		return nil, err
+	}
+
+	d1, err := factory("D1")
+	if err != nil {
+		return nil, err
+	}
+	handheld, err := BuildClient(paper.ProcessHandheld, d1)
+	if err != nil {
+		return nil, err
+	}
+	d4, err := factory("D4")
+	if err != nil {
+		return nil, err
+	}
+	laptop, err := BuildClient(paper.ProcessLaptop, d4)
+	if err != nil {
+		return nil, err
+	}
+
+	handheld.Socket().SetPendingFunc(func() int { return hhSub.InFlight() })
+	laptop.Socket().SetPendingFunc(func() int { return lpSub.InFlight() })
+
+	sys := &System{
+		Group:        group,
+		Server:       server,
+		Handheld:     handheld,
+		Laptop:       laptop,
+		HandheldSub:  hhSub,
+		LaptopSub:    lpSub,
+		handheldDone: make(chan struct{}),
+		laptopDone:   make(chan struct{}),
+	}
+
+	hhCh := make(chan []byte, 1024)
+	lpCh := make(chan []byte, 1024)
+	go pump(hhSub, hhCh, sys.handheldDone)
+	go pump(lpSub, lpCh, sys.laptopDone)
+	if err := handheld.Socket().Start(hhCh); err != nil {
+		return nil, err
+	}
+	if err := laptop.Socket().Start(lpCh); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// pump forwards datagrams from a subscription to a socket channel,
+// closing the channel when the subscription closes.
+func pump(sub *netsim.Subscription, out chan<- []byte, done chan<- struct{}) {
+	defer close(done)
+	defer close(out)
+	for d := range sub.Recv() {
+		out <- d
+	}
+}
+
+// Client returns the client running on the named process.
+func (s *System) Client(process string) (*Client, error) {
+	switch process {
+	case paper.ProcessHandheld:
+		return s.Handheld, nil
+	case paper.ProcessLaptop:
+		return s.Laptop, nil
+	default:
+		return nil, fmt.Errorf("video: no client on process %q", process)
+	}
+}
+
+// Processes returns the SocketProcess adapters for all three processes,
+// keyed by process name — ready to attach adaptation agents to.
+func (s *System) Processes() map[string]*adapters.SocketProcess {
+	factory := FilterFactory()
+	return map[string]*adapters.SocketProcess{
+		paper.ProcessServer:   adapters.NewSendProcess(paper.ProcessServer, s.Server.Socket(), factory),
+		paper.ProcessHandheld: adapters.NewRecvProcess(paper.ProcessHandheld, s.Handheld.Socket(), factory),
+		paper.ProcessLaptop:   adapters.NewRecvProcess(paper.ProcessLaptop, s.Laptop.Socket(), factory),
+	}
+}
+
+// Drain waits until both client links are drained and all received
+// packets processed, bounded by timeout. Call it after the stream stops
+// and before reading final statistics.
+func (s *System) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		hhDel, _ := s.HandheldSub.Stats()
+		lpDel, _ := s.LaptopSub.Stats()
+		hhDone := s.HandheldSub.InFlight() == 0 && uint64(hhDel) <= s.Handheld.Socket().Processed()
+		lpDone := s.LaptopSub.InFlight() == 0 && uint64(lpDel) <= s.Laptop.Socket().Processed()
+		if hhDone && lpDone {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("video: drain timed out")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close tears the system down: the group closes, the pumps finish, and
+// the sockets drain their channels.
+func (s *System) Close() error {
+	err := s.Group.Close()
+	<-s.handheldDone
+	<-s.laptopDone
+	s.Handheld.Socket().Wait()
+	s.Laptop.Socket().Wait()
+	s.Server.Socket().Close()
+	return err
+}
+
+// ConfigurationOf reports the current component composition as filter
+// names, e.g. server ["E1"], handheld ["D1"], laptop ["D4"], useful for
+// asserting that an adaptation really recomposed the chains.
+func (s *System) ConfigurationOf() map[string][]string {
+	return map[string][]string{
+		paper.ProcessServer:   s.Server.Socket().Filters(),
+		paper.ProcessHandheld: s.Handheld.Socket().Filters(),
+		paper.ProcessLaptop:   s.Laptop.Socket().Filters(),
+	}
+}
+
+// SenderFirstPhases is the reset-phase policy for the video system:
+// quiesce the data-flow upstream process (the server) before the
+// downstream clients, so that by the time a client drains its link the
+// sender has stopped producing — together they realize the paper's global
+// safe condition ("the receiver has received all the datagram packets
+// that the sender has sent").
+//
+// When a step touches only clients (e.g. A16, remove D4), the server is
+// conscripted anyway: packets already in flight were encoded under the
+// pre-step chain, and swapping a decoder before they land would strand
+// them. The manager adds conscripted processes to the step's
+// participants.
+func SenderFirstPhases(participants []string) [][]string {
+	receivers := make([]string, 0, len(participants))
+	for _, p := range participants {
+		if p != paper.ProcessServer {
+			receivers = append(receivers, p)
+		}
+	}
+	phases := [][]string{{paper.ProcessServer}}
+	if len(receivers) > 0 {
+		phases = append(phases, receivers)
+	}
+	return phases
+}

@@ -1,0 +1,263 @@
+package video
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/metasocket"
+	"repro/internal/netsim"
+	"repro/internal/paper"
+)
+
+func TestGenerateFrameDeterministic(t *testing.T) {
+	a := GenerateFrame(7, 512)
+	b := GenerateFrame(7, 512)
+	if !bytes.Equal(a.Payload, b.Payload) {
+		t.Error("frame generation must be deterministic")
+	}
+	c := GenerateFrame(8, 512)
+	if bytes.Equal(a.Payload, c.Payload) {
+		t.Error("different ids must differ")
+	}
+	if err := a.Verify(); err != nil {
+		t.Errorf("generated frame fails verification: %v", err)
+	}
+}
+
+func TestFrameVerifyDetectsCorruption(t *testing.T) {
+	f := GenerateFrame(3, 256)
+	f.Payload[100] ^= 1
+	if err := f.Verify(); err == nil {
+		t.Error("corrupted frame must fail verification")
+	}
+	short := Frame{ID: 1, Payload: []byte{1, 2}}
+	if err := short.Verify(); err == nil {
+		t.Error("short frame must fail verification")
+	}
+}
+
+// TestPropertyFrameVerify: any single-byte flip in the body is caught.
+func TestPropertyFrameVerify(t *testing.T) {
+	f := func(id uint32, pos uint16, flip byte) bool {
+		fr := GenerateFrame(id, 300)
+		if flip == 0 {
+			return fr.Verify() == nil
+		}
+		fr.Payload[8+int(pos)%300] ^= flip
+		return fr.Verify() != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlayerReassembly(t *testing.T) {
+	pl := NewPlayer()
+	f := GenerateFrame(1, 1000)
+	// Fragment manually into 256-byte chunks, deliver out of order.
+	var frags []metasocket.Packet
+	frag := 256
+	n := (len(f.Payload) + frag - 1) / frag
+	for i := 0; i < n; i++ {
+		lo, hi := i*frag, (i+1)*frag
+		if hi > len(f.Payload) {
+			hi = len(f.Payload)
+		}
+		frags = append(frags, metasocket.Packet{
+			Frame: f.ID, Index: uint16(i), Count: uint16(n), Payload: f.Payload[lo:hi],
+		})
+	}
+	for i := len(frags) - 1; i >= 0; i-- { // reverse order
+		if err := pl.Deliver(frags[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := pl.Finalize()
+	if stats.FramesOK != 1 || stats.FramesCorrupted != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPlayerCountsUndecodedPackets(t *testing.T) {
+	pl := NewPlayer()
+	_ = pl.Deliver(metasocket.Packet{
+		Frame: 1, Index: 0, Count: 1,
+		Enc:     []string{"des128"}, // ciphertext leaked to the player
+		Payload: []byte("garbage"),
+	})
+	stats := pl.Finalize()
+	if stats.PacketsUndecoded != 1 || stats.FramesCorrupted != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPlayerCountsIncompleteFrames(t *testing.T) {
+	pl := NewPlayer()
+	_ = pl.Deliver(metasocket.Packet{Frame: 1, Index: 0, Count: 3, Payload: []byte("x")})
+	stats := pl.Finalize()
+	if stats.FramesIncomplete != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestVideoPipelineEndToEnd reproduces Fig. 3's steady state: frames
+// stream from the server through DES-64 encode, the multicast network,
+// and per-client decode, arriving intact at both players.
+func TestVideoPipelineEndToEnd(t *testing.T) {
+	sys, err := NewSystem(SystemOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 50
+	ctx := context.Background()
+	if err := sys.Server.Stream(ctx, frames, 2048, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hh := sys.Handheld.Player().Finalize()
+	lp := sys.Laptop.Player().Finalize()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, st := range map[string]Stats{"handheld": hh, "laptop": lp} {
+		if st.FramesOK != frames {
+			t.Errorf("%s frames OK = %d, want %d (stats %+v)", name, st.FramesOK, frames, st)
+		}
+		if st.FramesCorrupted != 0 || st.PacketsUndecoded != 0 {
+			t.Errorf("%s corruption in steady state: %+v", name, st)
+		}
+	}
+}
+
+// TestVideoPipelineWithLatencyAndJitter: a non-ideal network still
+// delivers intact frames (no loss configured, so only reordering by
+// jitter is possible — which per-link ordered delivery prevents for equal
+// latencies; this exercises the in-flight accounting).
+func TestVideoPipelineWithLatency(t *testing.T) {
+	sys, err := NewSystem(SystemOptions{
+		Seed:     2,
+		Handheld: netsim.LinkProfile{Latency: 2 * time.Millisecond},
+		Laptop:   netsim.LinkProfile{Latency: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Server.Stream(context.Background(), 20, 1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hh := sys.Handheld.Player().Finalize()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hh.FramesOK != 20 || hh.FramesCorrupted != 0 {
+		t.Errorf("handheld stats: %+v", hh)
+	}
+}
+
+func TestSenderFirstPhases(t *testing.T) {
+	phases := SenderFirstPhases([]string{paper.ProcessHandheld, paper.ProcessServer, paper.ProcessLaptop})
+	if len(phases) != 2 {
+		t.Fatalf("phases = %v", phases)
+	}
+	if len(phases[0]) != 1 || phases[0][0] != paper.ProcessServer {
+		t.Errorf("first phase = %v, want [server]", phases[0])
+	}
+	if len(phases[1]) != 2 {
+		t.Errorf("second phase = %v", phases[1])
+	}
+	// Client-only step: the server is conscripted as phase 0 so the
+	// client swaps on a drained link.
+	only := SenderFirstPhases([]string{paper.ProcessHandheld})
+	if len(only) != 2 || only[0][0] != paper.ProcessServer || only[1][0] != paper.ProcessHandheld {
+		t.Errorf("client-only phases = %v", only)
+	}
+	// Server-only step: one phase, no conscription needed.
+	srvOnly := SenderFirstPhases([]string{paper.ProcessServer})
+	if len(srvOnly) != 1 {
+		t.Errorf("server-only phases = %v", srvOnly)
+	}
+}
+
+func TestConfigurationOf(t *testing.T) {
+	sys, err := NewSystem(SystemOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	cfg := sys.ConfigurationOf()
+	if got := cfg[paper.ProcessServer]; len(got) != 1 || got[0] != "E1" {
+		t.Errorf("server chain = %v", got)
+	}
+	if got := cfg[paper.ProcessHandheld]; len(got) != 1 || got[0] != "D1" {
+		t.Errorf("handheld chain = %v", got)
+	}
+	if got := cfg[paper.ProcessLaptop]; len(got) != 1 || got[0] != "D4" {
+		t.Errorf("laptop chain = %v", got)
+	}
+	if _, err := sys.Client(paper.ProcessHandheld); err != nil {
+		t.Error(err)
+	}
+	if _, err := sys.Client("server"); err == nil {
+		t.Error("no client runs on the server")
+	}
+}
+
+func TestFilterFactoryUnknown(t *testing.T) {
+	if _, err := FilterFactory()("Z9"); err == nil {
+		t.Error("unknown component must fail")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, 256); err == nil {
+		t.Error("nil socket should fail")
+	}
+	sock, err := metasocket.NewSendSocket(func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	if _, err := NewServer(sock, 4); err == nil {
+		t.Error("tiny fragment size should fail")
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	sock, err := metasocket.NewSendSocket(func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	srv, err := NewServer(sock, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		errCh <- srv.Stream(ctx, 0 /* unbounded */, 512, time.Millisecond)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if err := <-errCh; err != context.Canceled {
+		t.Errorf("Stream = %v, want context.Canceled", err)
+	}
+	if srv.FramesSent() == 0 {
+		t.Error("some frames should have been sent before cancellation")
+	}
+}
