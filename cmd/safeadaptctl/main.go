@@ -11,6 +11,7 @@
 //	safeadaptctl sets [-f sys.json]          # collaborative sets
 //	safeadaptctl validate [-f sys.json]      # static diagnosis of the description
 //	safeadaptctl simulate [-f sys.json]      # dry-run the adaptation through the protocol
+//	safeadaptctl trace [-f sys.json]         # run the adaptation and print its span tree + metrics
 //	safeadaptctl template                    # emit the case study as JSON (a spec template)
 //
 // Without -f, every command analyzes the built-in DSN 2004 case study.
@@ -38,7 +39,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|template> [flags]")
+		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|template> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -88,6 +89,8 @@ func run(args []string, out io.Writer) error {
 		return printValidation(sys, out)
 	case "simulate":
 		return simulate(sys, out)
+	case "trace":
+		return trace(sys, out)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	safeadapt "repro"
@@ -16,6 +17,8 @@ import (
 // — a dry run that shows the exact step sequence, message choreography
 // outcome, and per-step timing a live deployment would see.
 func simulate(sys *safeadapt.System, out io.Writer) error {
+	// Agents narrate from their own goroutines; serialize their writes.
+	out = &lockedWriter{w: out}
 	reg := sys.Registry()
 	procs := make(map[string]safeadapt.LocalProcess)
 	for _, p := range reg.Processes() {
@@ -84,4 +87,16 @@ func (p narratedProc) PostAction(protocol.Step, []action.Op) error { return nil 
 func (p narratedProc) Rollback(step protocol.Step, _ []action.Op, applied bool) error {
 	fmt.Fprintf(p.out, "  [%s] rollback %s (in-action applied: %v)\n", p.name, step.ActionID, applied)
 	return nil
+}
+
+// lockedWriter serializes concurrent writes to the simulation output.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	safeadapt "repro"
+	"repro/internal/action"
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// trace deploys the system with no-op per-process hooks, executes the
+// declared adaptation request with a telemetry registry attached, and
+// prints the resulting span tree plus a metric digest — the per-step
+// timing breakdown of the paper's evaluation (Sec. 5), for any system
+// description.
+func trace(sys *safeadapt.System, out io.Writer) error {
+	tel := safeadapt.NewTelemetry()
+	procs := make(map[string]safeadapt.LocalProcess)
+	for _, p := range sys.Registry().Processes() {
+		procs[p] = quietProc{}
+	}
+	dep, err := sys.Deploy(procs, safeadapt.DeployOptions{
+		StepTimeout: 5 * time.Second,
+		Telemetry:   tel,
+	})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+
+	path, err := sys.PlanRequest()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "source: %s\n", sys.FormatConfig(sys.Source()))
+	fmt.Fprintf(out, "target: %s\n", sys.FormatConfig(sys.Target()))
+	fmt.Fprintf(out, "MAP:    %s\n", path)
+
+	res, err := dep.Adapt(sys.Source(), sys.Target())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "final:  %s (completed=%v, %d steps)\n\n", sys.FormatConfig(res.Final), res.Completed, len(res.Steps))
+
+	fmt.Fprintln(out, "== span tree ==")
+	telemetry.RenderTree(out, tel.Spans())
+
+	snap := tel.Snapshot()
+	fmt.Fprintln(out, "\n== counters ==")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	for _, name := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(w, "%s\t%d\n", name, snap.Counters[name])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "\n== latencies ==")
+	w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "histogram\tcount\tmean\tp50\tp95\tp99\tmax")
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\t%v\n",
+			name, h.Count, round(h.Mean), round(h.P50), round(h.P95), round(h.P99), round(h.Max))
+	}
+	return w.Flush()
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// quietProc is a LocalProcess whose hooks all succeed silently; trace
+// wants the timing structure, not the simulate command's narration.
+type quietProc struct{}
+
+func (quietProc) PreAction(protocol.Step, []action.Op) error      { return nil }
+func (quietProc) Reset(context.Context, protocol.Step) error      { return nil }
+func (quietProc) InAction(protocol.Step, []action.Op) error       { return nil }
+func (quietProc) Resume(protocol.Step) error                      { return nil }
+func (quietProc) PostAction(protocol.Step, []action.Op) error     { return nil }
+func (quietProc) Rollback(protocol.Step, []action.Op, bool) error { return nil }

@@ -14,6 +14,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/paper"
 	"repro/internal/planner"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/video"
 )
@@ -41,7 +44,19 @@ func run() error {
 	strategy := flag.String("strategy", "safe", "adaptation strategy: safe, unsafe, quiesce, compound")
 	loss := flag.Float64("loss", 0, "per-link datagram loss rate in [0,1]")
 	latency := flag.Duration("latency", 4*time.Millisecond, "handheld link latency (laptop gets half)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/adaptation on this address (empty = disabled)")
 	flag.Parse()
+
+	var tel *telemetry.Registry
+	if *metricsAddr != "" {
+		tel = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics on http://%s/metrics and http://%s/debug/adaptation\n", ln.Addr(), ln.Addr())
+		go func() { _ = http.Serve(ln, tel.Handler()) }()
+	}
 
 	opts := baseline.ExperimentOptions{
 		Frames:     *frames,
@@ -55,7 +70,7 @@ func run() error {
 
 	switch *strategy {
 	case "safe":
-		return runSafeOverTCP(opts)
+		return runSafeOverTCP(opts, tel)
 	case "unsafe":
 		return report(baseline.Run(baseline.UnsafeDirect{}, opts))
 	case "quiesce":
@@ -70,7 +85,7 @@ func run() error {
 // runSafeOverTCP is the full deployment shape of the paper: a TCP
 // listener for the manager, one TCP connection per agent, live video in
 // the background, and the MAP executed step by step.
-func runSafeOverTCP(opts baseline.ExperimentOptions) error {
+func runSafeOverTCP(opts baseline.ExperimentOptions, tel *telemetry.Registry) error {
 	scenario, err := paper.NewScenario()
 	if err != nil {
 		return err
@@ -79,11 +94,13 @@ func runSafeOverTCP(opts baseline.ExperimentOptions) error {
 	if err != nil {
 		return err
 	}
+	plan.SetTelemetry(tel)
 
 	sys, err := video.NewSystem(video.SystemOptions{
-		Seed:     opts.Seed,
-		Handheld: opts.Handheld,
-		Laptop:   opts.Laptop,
+		Seed:      opts.Seed,
+		Handheld:  opts.Handheld,
+		Laptop:    opts.Laptop,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
@@ -94,6 +111,7 @@ func runSafeOverTCP(opts baseline.ExperimentOptions) error {
 	if err != nil {
 		return err
 	}
+	mgrEP.SetTelemetry(tel)
 	defer func() { _ = mgrEP.Close() }()
 	fmt.Printf("adaptation manager listening on %s\n", mgrEP.Addr())
 
@@ -111,9 +129,11 @@ func runSafeOverTCP(opts baseline.ExperimentOptions) error {
 		if err != nil {
 			return err
 		}
+		ep.SetTelemetry(tel)
 		ag, err := agent.New(name, ep, proc, agent.Options{
 			ResetTimeout: 5 * time.Second,
 			ProcessOf:    processOf,
+			Telemetry:    tel,
 		})
 		if err != nil {
 			return err
@@ -139,6 +159,7 @@ func runSafeOverTCP(opts baseline.ExperimentOptions) error {
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  manager: "+format+"\n", args...)
 		},
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err

@@ -21,12 +21,19 @@
 //	videonode -role server -manager <addr> -peers <udp1,udp2> -frames N
 //	    Streams N frames over UDP to the peers while serving its agent,
 //	    then prints "SENT frames=<n>" and exits.
+//
+// Every role accepts -metrics <addr>: the node then prints
+// "METRICS_ADDR=<addr>" and serves its telemetry registry there —
+// /metrics (JSON counters, gauges, latency histograms) and
+// /debug/adaptation (recent spans and events; ?tree=1 for text).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -39,6 +46,7 @@ import (
 	"repro/internal/paper"
 	"repro/internal/planner"
 	"repro/internal/rtnet"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/video"
 )
@@ -58,18 +66,41 @@ func run() error {
 	frames := flag.Int("frames", 200, "frames to stream (server)")
 	duration := flag.Duration("duration", 3*time.Second, "how long to serve (clients)")
 	adaptAfter := flag.Int("adapt-after", 0, "frames before the manager adapts (manager; 0 = immediately after agents connect)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/adaptation on this address (empty = disabled)")
 	flag.Parse()
+
+	tel, err := serveMetrics(*metricsAddr)
+	if err != nil {
+		return err
+	}
 
 	switch *role {
 	case "manager":
-		return runManager(*listen, *adaptAfter)
+		return runManager(*listen, *adaptAfter, tel)
 	case "server":
-		return runServer(*managerAddr, *peers, *frames)
+		return runServer(*managerAddr, *peers, *frames, tel)
 	case "handheld", "laptop":
-		return runClient(*role, *managerAddr, *duration)
+		return runClient(*role, *managerAddr, *duration, tel)
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
+}
+
+// serveMetrics starts the observability HTTP endpoint when addr is
+// non-empty and returns the registry to instrument the node with. A nil
+// registry (metrics disabled) makes every instrumentation site a no-op.
+func serveMetrics(addr string) (*telemetry.Registry, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	tel := telemetry.NewRegistry()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("METRICS_ADDR=%s\n", ln.Addr())
+	go func() { _ = http.Serve(ln, tel.Handler()) }()
+	return tel, nil
 }
 
 func processOf(c string) string {
@@ -77,7 +108,7 @@ func processOf(c string) string {
 	return p
 }
 
-func runManager(listen string, adaptAfter int) error {
+func runManager(listen string, adaptAfter int, tel *telemetry.Registry) error {
 	scenario, err := paper.NewScenario()
 	if err != nil {
 		return err
@@ -86,10 +117,12 @@ func runManager(listen string, adaptAfter int) error {
 	if err != nil {
 		return err
 	}
+	plan.SetTelemetry(tel)
 	ep, err := transport.ListenTCP(listen)
 	if err != nil {
 		return err
 	}
+	ep.SetTelemetry(tel)
 	defer func() { _ = ep.Close() }()
 	fmt.Printf("MANAGER_ADDR=%s\n", ep.Addr())
 
@@ -106,6 +139,7 @@ func runManager(listen string, adaptAfter int) error {
 		ResetPhases: func(_ action.Action, participants []string) [][]string {
 			return video.SenderFirstPhases(participants)
 		},
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
@@ -118,7 +152,7 @@ func runManager(listen string, adaptAfter int) error {
 	return nil
 }
 
-func runServer(managerAddr, peerList string, frames int) error {
+func runServer(managerAddr, peerList string, frames int, tel *telemetry.Registry) error {
 	if managerAddr == "" || peerList == "" {
 		return fmt.Errorf("server needs -manager and -peers")
 	}
@@ -138,13 +172,14 @@ func runServer(managerAddr, peerList string, frames int) error {
 	if err != nil {
 		return err
 	}
+	sendSock.SetTelemetry(tel)
 	server, err := video.NewServer(sendSock, 256)
 	if err != nil {
 		return err
 	}
 
 	ag, closeAgent, err := startAgent(paper.ProcessServer, managerAddr,
-		adapters.NewSendProcess(paper.ProcessServer, sendSock, factory))
+		adapters.NewSendProcess(paper.ProcessServer, sendSock, factory), tel)
 	if err != nil {
 		return err
 	}
@@ -161,7 +196,7 @@ func runServer(managerAddr, peerList string, frames int) error {
 	return nil
 }
 
-func runClient(role, managerAddr string, duration time.Duration) error {
+func runClient(role, managerAddr string, duration time.Duration, tel *telemetry.Registry) error {
 	if managerAddr == "" {
 		return fmt.Errorf("client needs -manager")
 	}
@@ -182,12 +217,13 @@ func runClient(role, managerAddr string, duration time.Duration) error {
 		return err
 	}
 	client.Socket().SetPendingFunc(recv.Pending)
+	client.Socket().SetTelemetry(tel)
 	if err := client.Socket().Start(recv.Recv()); err != nil {
 		return err
 	}
 
 	_, closeAgent, err := startAgent(role, managerAddr,
-		adapters.NewRecvProcess(role, client.Socket(), factory))
+		adapters.NewRecvProcess(role, client.Socket(), factory), tel)
 	if err != nil {
 		return err
 	}
@@ -205,14 +241,16 @@ func runClient(role, managerAddr string, duration time.Duration) error {
 
 // startAgent dials the manager and runs the adaptation agent in the
 // background, returning a closer.
-func startAgent(name, managerAddr string, proc agent.LocalProcess) (*agent.Agent, func(), error) {
+func startAgent(name, managerAddr string, proc agent.LocalProcess, tel *telemetry.Registry) (*agent.Agent, func(), error) {
 	ep, err := transport.DialTCP(name, managerAddr)
 	if err != nil {
 		return nil, nil, err
 	}
+	ep.SetTelemetry(tel)
 	ag, err := agent.New(name, ep, proc, agent.Options{
 		ResetTimeout: 10 * time.Second,
 		ProcessOf:    processOf,
+		Telemetry:    tel,
 	})
 	if err != nil {
 		_ = ep.Close()

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/action"
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -110,6 +111,12 @@ type Options struct {
 	// ProcessOf maps a component name to its hosting process name; the
 	// agent uses it to select its share of a step's operations.
 	ProcessOf func(component string) string
+	// Telemetry, when non-nil, records per-agent durations — reset
+	// (time to the local safe state), in-action, resume, and the blocked
+	// dwell between "reset done" and resumption (the CCS blocking window
+	// of the paper) — plus failure counters. Nil disables instrumentation
+	// at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // Agent is one adaptation agent. Create with New, start with Run (usually
@@ -119,6 +126,7 @@ type Agent struct {
 	ep   transport.Endpoint
 	proc LocalProcess
 	opts Options
+	tel  *telemetry.Registry // nil-safe; mirrors opts.Telemetry
 
 	mu    sync.Mutex
 	state State
@@ -129,6 +137,10 @@ type Agent struct {
 	curStep   protocol.Step
 	haveStep  bool
 	inActDone bool
+	// safeSince is when the process entered its safe state for the
+	// current step; the blocked-dwell histogram measures from here.
+	// Accessed only from the run goroutine.
+	safeSince time.Time
 
 	// lastDone remembers the most recently completed step so that a late
 	// rollback command — e.g. the manager timed out on replies that were
@@ -162,6 +174,7 @@ func New(name string, ep transport.Endpoint, proc LocalProcess, opts Options) (*
 		ep:    ep,
 		proc:  proc,
 		opts:  opts,
+		tel:   opts.Telemetry,
 		state: StateRunning,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -305,26 +318,33 @@ func (a *Agent) handleReset(step protocol.Step) {
 
 	// Resetting: drive to local safe state (Fig. 1 "resetting do: reset").
 	a.transition(StateResetting, `receive "reset"`)
+	resetStart := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), a.opts.ResetTimeout)
 	err := a.proc.Reset(ctx, step)
 	cancel()
 	if err != nil {
 		// Fail-to-reset failure (Sec. 4.4): undo the pre-action and
 		// return to running.
+		a.tel.Counter("agent.reset.failures").Inc()
 		_ = a.proc.Rollback(step, ops, false)
 		a.transition(StateRunning, "[fail to reset] / rollback")
 		a.clearStep()
 		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("reset: %v", err))
 		return
 	}
+	a.tel.Histogram("agent.reset.latency").ObserveSince(resetStart)
+	a.safeSince = time.Now()
 	a.transition(StateSafe, `[reset complete] / send "reset done"`)
 	a.send(protocol.MsgResetDone, step, "")
 
 	// In-action: performed while safely blocked.
+	inActStart := time.Now()
 	if err := a.proc.InAction(step, ops); err != nil {
+		a.tel.Counter("agent.inaction.failures").Inc()
 		a.send(protocol.MsgAdaptFailed, step, fmt.Sprintf("in-action: %v", err))
 		return // await rollback command
 	}
+	a.tel.Histogram("agent.inaction.latency").ObserveSince(inActStart)
 	a.mu.Lock()
 	a.inActDone = true
 	a.mu.Unlock()
@@ -365,13 +385,22 @@ func (a *Agent) handleResume(step protocol.Step) {
 func (a *Agent) doResume(step protocol.Step, cause string) {
 	ops := a.localOps(step)
 	a.transition(StateResuming, cause)
+	resumeStart := time.Now()
 	if err := a.proc.Resume(step); err != nil {
 		// Resumption failures are reported as adapt failures; the
 		// adaptation has passed the point of no return, so the manager
 		// will keep retrying resume (run to completion).
+		a.tel.Counter("agent.resume.failures").Inc()
 		a.transition(StateAdapted, "resume failed; re-blocking")
 		a.send(protocol.MsgAdaptFailed, step, fmt.Sprintf("resume: %v", err))
 		return
+	}
+	a.tel.Histogram("agent.resume.latency").ObserveSince(resumeStart)
+	if !a.safeSince.IsZero() {
+		// The CCS blocking window: how long the process was held out of
+		// full operation for this step.
+		a.tel.Histogram("agent.blocked.dwell").ObserveSince(a.safeSince)
+		a.safeSince = time.Time{}
 	}
 	a.transition(StateRunning, `[resumption complete] / send "resume done"`)
 	a.send(protocol.MsgResumeDone, step, "")
@@ -419,6 +448,8 @@ func (a *Agent) handleRollback(step protocol.Step) {
 			a.send(protocol.MsgResetFailed, step, fmt.Sprintf("rollback: %v", err))
 			return
 		}
+		a.tel.Counter("agent.rollbacks").Inc()
+		a.safeSince = time.Time{}
 		a.transition(StateRunning, `receive "rollback"`)
 		a.clearStep()
 		a.send(protocol.MsgRollbackDone, step, "")

@@ -19,6 +19,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/protocol"
 	"repro/internal/sag"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -46,6 +47,10 @@ type Options struct {
 	ResetPhases func(a action.Action, participants []string) [][]string
 	// Logf receives progress lines when non-nil.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, instruments the whole deployment: planner
+	// timings, manager spans and counters, agent latencies, and transport
+	// traffic all land in this registry.
+	Telemetry *telemetry.Registry
 }
 
 // NewDeployment validates the system description, builds the planner, and
@@ -56,6 +61,7 @@ func NewDeployment(invs *invariant.Set, actions []action.Action, procs map[strin
 	if err != nil {
 		return nil, err
 	}
+	plan.SetTelemetry(opts.Telemetry)
 	reg := invs.Registry()
 	for _, p := range reg.Processes() {
 		if _, ok := procs[p]; !ok {
@@ -70,6 +76,7 @@ func NewDeployment(invs *invariant.Set, actions []action.Action, procs map[strin
 	}
 
 	bus := transport.NewBus()
+	bus.SetTelemetry(opts.Telemetry)
 	mgrEP, err := bus.Endpoint(protocol.ManagerName)
 	if err != nil {
 		_ = bus.Close()
@@ -79,6 +86,7 @@ func NewDeployment(invs *invariant.Set, actions []action.Action, procs map[strin
 		StepTimeout: opts.StepTimeout,
 		ResetPhases: opts.ResetPhases,
 		Logf:        opts.Logf,
+		Telemetry:   opts.Telemetry,
 	})
 	if err != nil {
 		_ = bus.Close()
@@ -107,6 +115,7 @@ func NewDeployment(invs *invariant.Set, actions []action.Action, procs map[strin
 		ag, err := agent.New(name, ep, proc, agent.Options{
 			ResetTimeout: opts.ResetTimeout,
 			ProcessOf:    processOf,
+			Telemetry:    opts.Telemetry,
 		})
 		if err != nil {
 			d.Close()

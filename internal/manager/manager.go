@@ -22,6 +22,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/protocol"
 	"repro/internal/sag"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -142,8 +143,15 @@ type Options struct {
 	// and its participant processes and returns orderly phases; nil or
 	// an empty result means a single simultaneous phase.
 	ResetPhases func(a action.Action, participants []string) [][]string
-	// Logf, when non-nil, receives progress lines.
+	// Logf, when non-nil, receives progress lines. The same lines also
+	// flow into Telemetry's event stream (scope "manager"), so logs and
+	// spans share one timeline.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, receives spans (adaptation → plan/step →
+	// reset/adapt/resume waves), latency histograms, and the protocol's
+	// failure/recovery counters. Nil disables instrumentation at zero
+	// cost.
+	Telemetry *telemetry.Registry
 }
 
 // Manager is the adaptation manager. It is not safe for concurrent
@@ -152,6 +160,7 @@ type Manager struct {
 	ep   transport.Endpoint
 	plan *planner.Planner
 	opts Options
+	tel  *telemetry.Registry // nil-safe; mirrors opts.Telemetry
 
 	mu    sync.Mutex
 	state State
@@ -185,7 +194,7 @@ func New(ep transport.Endpoint, plan *planner.Planner, opts Options) (*Manager, 
 	if opts.MaxAlternatives <= 0 {
 		opts.MaxAlternatives = 4
 	}
-	return &Manager{ep: ep, plan: plan, opts: opts, state: StateRunning}, nil
+	return &Manager{ep: ep, plan: plan, opts: opts, tel: opts.Telemetry, state: StateRunning}, nil
 }
 
 // State returns the manager's current state.
@@ -206,15 +215,25 @@ func (m *Manager) Trace() []Transition {
 
 func (m *Manager) transition(to State, cause string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.trace = append(m.trace, Transition{From: m.state, To: to, Cause: cause, At: time.Now()})
+	from := m.state
+	m.trace = append(m.trace, Transition{From: from, To: to, Cause: cause, At: time.Now()})
 	m.state = to
+	m.mu.Unlock()
+	m.tel.Counter("manager.transitions").Inc()
+	if m.tel.Enabled() {
+		// Concatenation instead of Eventf: transitions fire several times
+		// per step and fmt dominated the live-registry overhead profile.
+		m.tel.Event("manager.state", from.String()+" -> "+to.String()+": "+cause)
+	}
 }
 
+// logf emits a progress line to the Logf callback and, in the same call,
+// to the telemetry event stream — one timeline for logs and traces.
 func (m *Manager) logf(format string, args ...any) {
 	if m.opts.Logf != nil {
 		m.opts.Logf(format, args...)
 	}
+	m.tel.Eventf("manager", format, args...)
 }
 
 // Execute carries out an adaptation request from source to target: it
@@ -249,12 +268,31 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 	reg := m.plan.Registry()
 	res := Result{Final: source}
 
+	m.tel.Counter("manager.adaptations").Inc()
+	adaptStart := time.Now()
+	span := m.tel.StartSpan("adaptation",
+		telemetry.String("source", reg.BitVector(source)),
+		telemetry.String("target", reg.BitVector(target)))
+	defer func() {
+		m.tel.Histogram("manager.adaptation.latency").ObserveSince(adaptStart)
+		span.End()
+	}()
+
 	m.transition(StatePreparing, `receive "adaptation request"`)
+	planSpan := span.Child("plan")
+	planStart := time.Now()
 	path, err := m.plan.Plan(source, target)
+	m.tel.Histogram("manager.plan.latency").ObserveSince(planStart)
 	if err != nil {
+		planSpan.SetError(err)
+		planSpan.End()
+		span.SetError(err)
+		m.tel.Counter("manager.plan.failures").Inc()
 		m.transition(StateRunning, "[planning failed]")
 		return res, fmt.Errorf("manager: plan: %w", err)
 	}
+	planSpan.SetAttr("map", path.String())
+	planSpan.End()
 	m.logf("MAP: %s", path)
 
 	current := source
@@ -262,12 +300,13 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 	attempt := 0
 
 	for {
-		completed, reached, reports, stepErr := m.executePath(ctx, path, current, &attempt)
+		completed, reached, reports, stepErr := m.executePath(ctx, span, path, current, &attempt)
 		res.Steps = append(res.Steps, reports...)
 		current = reached
 		res.Final = current
 		if completed {
 			m.transition(StateRunning, "[adaptation complete]")
+			m.tel.Counter("manager.adaptations.completed").Inc()
 			res.Completed = true
 			res.Path = path
 			return res, nil
@@ -277,6 +316,8 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		// rolled back, so the system rests at a safe configuration.
 		if errors.Is(stepErr, context.Canceled) || errors.Is(stepErr, context.DeadlineExceeded) {
 			m.transition(StateRunning, "[aborted]")
+			m.tel.Counter("manager.adaptations.aborted").Inc()
+			span.SetErrorText("aborted")
 			return res, fmt.Errorf("manager: adaptation aborted at %s: %w", reg.BitVector(current), stepErr)
 		}
 
@@ -284,6 +325,7 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		var sf *errStepFailed
 		if !errors.As(stepErr, &sf) {
 			m.transition(StateRunning, "[failure]")
+			span.SetError(stepErr)
 			return res, stepErr
 		}
 		failedEdges = append(failedEdges, sf.edge)
@@ -293,6 +335,7 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		alt, altErr := m.alternative(current, target, failedEdges)
 		if altErr == nil {
 			m.logf("switching to alternative path: %s", alt)
+			m.tel.Counter("manager.alternative_paths").Inc()
 			path = alt
 			continue
 		}
@@ -301,12 +344,13 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		m.logf("no alternative path; attempting return to source")
 		back, backErr := m.plan.Plan(current, source)
 		if backErr == nil {
-			completed, reached, reports, _ := m.executePath(ctx, back, current, &attempt)
+			completed, reached, reports, _ := m.executePath(ctx, span, back, current, &attempt)
 			res.Steps = append(res.Steps, reports...)
 			current = reached
 			res.Final = current
 			if completed {
 				m.transition(StateRunning, "[returned to source]")
+				m.tel.Counter("manager.adaptations.returned_to_source").Inc()
 				res.ReturnedToSource = true
 				return res, nil
 			}
@@ -314,6 +358,8 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 
 		// Ladder option 4: park and wait for the user.
 		m.transition(StateRunning, "[user intervention]")
+		m.tel.Counter("manager.adaptations.user_intervention").Inc()
+		span.SetErrorText(sf.why)
 		return res, &ErrUserIntervention{
 			Current: current,
 			Vector:  reg.BitVector(current),
@@ -356,7 +402,7 @@ func (m *Manager) alternative(current, target model.Config, failed []sag.Edge) (
 // configuration the system is currently in, the per-step reports, and the
 // failure (an *errStepFailed, or a context error on abort) when not
 // completed.
-func (m *Manager) executePath(ctx context.Context, path sag.Path, from model.Config, attempt *int) (bool, model.Config, []StepReport, error) {
+func (m *Manager) executePath(ctx context.Context, parent *telemetry.Span, path sag.Path, from model.Config, attempt *int) (bool, model.Config, []StepReport, error) {
 	current := from
 	var reports []StepReport
 	for i, step := range path.Steps {
@@ -372,7 +418,10 @@ func (m *Manager) executePath(ctx context.Context, path sag.Path, from model.Con
 		succeeded := false
 		for try := 0; try < 2; try++ { // initial attempt + one retry
 			*attempt++
-			rep, err := m.executeStep(ctx, step, i, *attempt)
+			if try > 0 {
+				m.tel.Counter("manager.step.retries").Inc()
+			}
+			rep, err := m.executeStep(ctx, parent, step, i, *attempt)
 			reports = append(reports, rep)
 			if err == nil {
 				succeeded = true

@@ -122,6 +122,7 @@ func newStack(t *testing.T, plan *planner.Planner, opts manager.Options) *stack 
 func newStackCustom(t *testing.T, plan *planner.Planner, opts manager.Options, overrides map[string]agentProc) *stack {
 	t.Helper()
 	bus := transport.NewBus()
+	bus.SetTelemetry(opts.Telemetry) // one registry for the whole stack
 	mgrEP, err := bus.Endpoint(protocol.ManagerName)
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +158,7 @@ func newStackCustom(t *testing.T, plan *planner.Planner, opts manager.Options, o
 		ag, err := agent.New(proc, ep, sp, agent.Options{
 			ResetTimeout: 250 * time.Millisecond,
 			ProcessOf:    processOf,
+			Telemetry:    opts.Telemetry,
 		})
 		if err != nil {
 			t.Fatal(err)

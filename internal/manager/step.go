@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/sag"
+	"repro/internal/telemetry"
 )
 
 // executeStep coordinates one adaptation step: the reset wave (phase by
@@ -17,7 +19,7 @@ import (
 // ctx counts as such a failure (rollback, then the context error
 // propagates). A failure after the first resume returns *errPastNoReturn
 // — from that point the step ignores ctx and runs to completion.
-func (m *Manager) executeStep(ctx context.Context, step sag.Edge, pathIndex, attempt int) (rep StepReport, err error) {
+func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step sag.Edge, pathIndex, attempt int) (rep StepReport, err error) {
 	reg := m.plan.Registry()
 	rep = StepReport{
 		ActionID: step.Action.ID,
@@ -26,6 +28,25 @@ func (m *Manager) executeStep(ctx context.Context, step sag.Edge, pathIndex, att
 		Attempt:  attempt,
 	}
 	m.stash = m.stash[:0] // drop replies from earlier steps
+
+	m.tel.Counter("manager.steps").Inc()
+	stepStart := time.Now()
+	stepSpan := parent.Child("step "+step.Action.ID,
+		telemetry.String("from", rep.From),
+		telemetry.String("to", rep.To),
+		telemetry.String("attempt", strconv.Itoa(attempt)))
+	defer func() {
+		m.tel.Histogram("manager.step.latency").ObserveSince(stepStart)
+		if rep.BlockedFor > 0 {
+			// Safe-state dwell: the partial-operation window of this step.
+			m.tel.Histogram("manager.step.dwell").Observe(rep.BlockedFor)
+		}
+		stepSpan.SetAttr("outcome", rep.Outcome)
+		if err != nil {
+			stepSpan.SetError(err)
+		}
+		stepSpan.End()
+	}()
 
 	participants, perr := step.Action.Processes(reg)
 	if perr != nil {
@@ -79,7 +100,10 @@ func (m *Manager) executeStep(ctx context.Context, step sag.Edge, pathIndex, att
 	defer func() { rep.BlockedFor = time.Since(start) }()
 
 	fail := func(why string) (StepReport, error) {
+		m.tel.Counter("manager.step.rollbacks").Inc()
+		rbSpan := stepSpan.Child("rollback")
 		m.rollbackAll(participants, pstep)
+		rbSpan.End()
 		m.transition(StateRunning, "[failure] / rollback")
 		rep.Outcome = "rolled back"
 		rep.Err = why
@@ -97,40 +121,61 @@ func (m *Manager) executeStep(ctx context.Context, step sag.Edge, pathIndex, att
 		m.transition(StatePreparing, "[failure handled] / prepare retry")
 	}
 	m.transition(StateAdapting, `send "reset"`)
+	resetSpan := stepSpan.Child("reset", telemetry.String("phases", strconv.Itoa(len(phases))))
 	for _, phase := range phases {
 		for _, p := range phase {
 			if err := m.ep.Send(protocol.Message{Type: protocol.MsgReset, To: p, Step: pstep}); err != nil {
+				resetSpan.SetErrorText("send failed")
+				resetSpan.End()
 				return fail(fmt.Sprintf("send reset to %s: %v", p, err))
 			}
 		}
 		got, bad := m.await(ctx, phase, pstep, protocol.MsgResetDone, protocol.MsgResetFailed, m.opts.StepTimeout)
 		if bad != "" {
+			resetSpan.SetErrorText(bad)
+			resetSpan.End()
 			return fail(bad)
 		}
 		if len(got) < len(phase) {
+			m.tel.Counter("manager.step.timeouts").Inc()
+			resetSpan.SetErrorText("timeout")
+			resetSpan.End()
 			return fail(fmt.Sprintf("timeout waiting for reset done (got %d of %d)", len(got), len(phase)))
 		}
 	}
+	resetSpan.End()
 
 	// Adapt-done barrier: agents perform their in-actions once safely
 	// blocked and report.
+	adaptSpan := stepSpan.Child("adapt")
 	got, bad := m.await(ctx, participants, pstep, protocol.MsgAdaptDone, protocol.MsgAdaptFailed, m.opts.StepTimeout)
 	if bad != "" {
+		adaptSpan.SetErrorText(bad)
+		adaptSpan.End()
 		return fail(bad)
 	}
 	if len(got) < len(participants) {
+		m.tel.Counter("manager.step.timeouts").Inc()
+		adaptSpan.SetErrorText("timeout")
+		adaptSpan.End()
 		return fail(fmt.Sprintf("timeout waiting for adapt done (got %d of %d)", len(got), len(participants)))
 	}
+	adaptSpan.End()
 	m.transition(StateAdapted, `receive all "adapt done"`)
 
 	// Resume wave. Sending the first resume is the point of no return
 	// (Sec. 4.4): from here the adaptation runs to completion.
 	m.transition(StateResuming, `send "resume"`)
+	resumeSpan := stepSpan.Child("resume")
+	defer resumeSpan.End()
 	pending := make(map[string]bool, len(participants))
 	for _, p := range participants {
 		pending[p] = true
 	}
 	for retry := 0; retry <= m.opts.ResumeRetries; retry++ {
+		if retry > 0 {
+			m.tel.Counter("manager.resume.retries").Inc()
+		}
 		for p := range pending {
 			if err := m.ep.Send(protocol.Message{Type: protocol.MsgResume, To: p, Step: pstep}); err != nil {
 				// Connection-level failure: keep retrying; the agent may
@@ -155,6 +200,8 @@ func (m *Manager) executeStep(ctx context.Context, step sag.Edge, pathIndex, att
 		}
 		m.transition(StateResuming, "[failure] / retry")
 	}
+	m.tel.Counter("manager.step.past_no_return").Inc()
+	resumeSpan.SetErrorText("resume not confirmed")
 	rep.Outcome = "failed"
 	rep.Err = fmt.Sprintf("resume not confirmed by %d agent(s)", len(pending))
 	return rep, &errPastNoReturn{why: rep.Err}

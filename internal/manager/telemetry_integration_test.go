@@ -1,0 +1,168 @@
+package manager_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/manager"
+	"repro/internal/paper"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryCleanRunSpans: a clean five-step MAP run records one
+// "adaptation" root span, one "plan" span, and one "step" span per
+// executed protocol step, each with the reset/adapt/resume children.
+func TestTelemetryCleanRunSpans(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	tel := telemetry.NewRegistry()
+	s := newStack(t, plan, manager.Options{Telemetry: tel})
+
+	res, err := s.mgr.Execute(src, tgt)
+	if err != nil || !res.Completed {
+		t.Fatalf("Execute: %v, %+v", err, res)
+	}
+
+	spans := tel.Spans()
+	byName := map[string]int{}
+	children := map[uint64][]telemetry.SpanRecord{}
+	var root telemetry.SpanRecord
+	for _, sp := range spans {
+		switch {
+		case sp.Name == "adaptation":
+			byName["adaptation"]++
+			root = sp
+		case strings.HasPrefix(sp.Name, "step "):
+			byName["step"]++
+		default:
+			byName[sp.Name]++
+		}
+		children[sp.ParentID] = append(children[sp.ParentID], sp)
+	}
+	if byName["adaptation"] != 1 || byName["plan"] != 1 {
+		t.Fatalf("root spans: %v", byName)
+	}
+	// One step span per executed protocol step — the invariant the trace
+	// subcommand's tree relies on.
+	if byName["step"] != len(res.Steps) {
+		t.Fatalf("step spans = %d, want %d (one per StepReport)", byName["step"], len(res.Steps))
+	}
+	for _, sp := range spans {
+		if !strings.HasPrefix(sp.Name, "step ") {
+			continue
+		}
+		if sp.ParentID != root.ID {
+			t.Errorf("step span %q not parented to the adaptation span", sp.Name)
+		}
+		phases := map[string]bool{}
+		for _, c := range children[sp.ID] {
+			phases[c.Name] = true
+		}
+		for _, want := range []string{"reset", "adapt", "resume"} {
+			if !phases[want] {
+				t.Errorf("step span %q missing %q child (has %v)", sp.Name, want, phases)
+			}
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("step span %q has non-positive duration", sp.Name)
+		}
+	}
+
+	snap := tel.Snapshot()
+	if got := snap.Counters["manager.steps"]; got != int64(len(res.Steps)) {
+		t.Errorf("manager.steps = %d, want %d", got, len(res.Steps))
+	}
+	if got := snap.Counters["manager.adaptations.completed"]; got != 1 {
+		t.Errorf("manager.adaptations.completed = %d", got)
+	}
+	if snap.Counters["manager.step.rollbacks"] != 0 {
+		t.Errorf("clean run recorded rollbacks: %d", snap.Counters["manager.step.rollbacks"])
+	}
+	if snap.Histograms["manager.step.latency"].Count != int64(len(res.Steps)) {
+		t.Errorf("step latency count = %d", snap.Histograms["manager.step.latency"].Count)
+	}
+	if snap.Counters["transport.messages.sent"] == 0 {
+		t.Error("bus traffic not counted")
+	}
+}
+
+// TestTelemetryFailureInjection: a transient in-action failure on the
+// first step records the expected rollback and retry counters on both
+// sides of the protocol, and the rolled-back attempt still gets its own
+// step span with a rollback child. (An in-action failure — rather than a
+// reset failure — leaves the agent blocked awaiting the manager's
+// rollback command, so the agent-side rollback counter fires too.)
+func TestTelemetryFailureInjection(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	tel := telemetry.NewRegistry()
+	s := newStack(t, plan, manager.Options{Telemetry: tel})
+	s.scripted(t, paper.ProcessHandheld).failInAction["A2"] = 1 // fail once, then work
+
+	res, err := s.mgr.Execute(src, tgt)
+	if err != nil || !res.Completed {
+		t.Fatalf("Execute: %v, %+v", err, res)
+	}
+	if res.Steps[0].Outcome != "rolled back" {
+		t.Fatalf("expected first attempt rolled back: %+v", res.Steps[0])
+	}
+
+	snap := tel.Snapshot()
+	for name, want := range map[string]int64{
+		"manager.step.rollbacks":  1, // the failed A2 attempt
+		"manager.step.retries":    1, // ladder rung 1: retry the same step
+		"agent.inaction.failures": 1, // the scripted failure itself
+		"agent.rollbacks":         1, // the handheld mid-step rollback
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Every executed attempt (including the rolled-back one) has a span.
+	steps, rollbacks := 0, 0
+	for _, sp := range tel.Spans() {
+		switch {
+		case strings.HasPrefix(sp.Name, "step "):
+			steps++
+		case sp.Name == "rollback":
+			rollbacks++
+		}
+	}
+	if steps != len(res.Steps) {
+		t.Errorf("step spans = %d, want %d", steps, len(res.Steps))
+	}
+	if rollbacks != 1 {
+		t.Errorf("rollback spans = %d, want 1", rollbacks)
+	}
+	if snap.Counters["manager.adaptations.completed"] != 1 {
+		t.Errorf("adaptation should still complete: %v", snap.Counters)
+	}
+}
+
+// TestTelemetryLogfEventsBridged: Manager.Logf lines are mirrored into
+// the telemetry event stream (and Logf itself keeps working).
+func TestTelemetryLogfEventsBridged(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	tel := telemetry.NewRegistry()
+	var logged []string
+	s := newStack(t, plan, manager.Options{
+		Telemetry: tel,
+		Logf:      func(format string, args ...any) { logged = append(logged, format) },
+	})
+
+	if _, err := s.mgr.Execute(src, tgt); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(logged) == 0 {
+		t.Fatal("Logf no longer receives lines")
+	}
+	managerEvents := 0
+	for _, ev := range tel.Events() {
+		if ev.Scope == "manager" {
+			managerEvents++
+		}
+	}
+	// Manager.Execute runs on the caller's goroutine; Logf lines and
+	// mirrored events are recorded synchronously before Execute returns.
+	if managerEvents < len(logged) {
+		t.Errorf("manager events = %d, want >= %d Logf lines", managerEvents, len(logged))
+	}
+}

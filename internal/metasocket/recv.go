@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SinkFunc receives packets after decoder-chain processing; the video
@@ -22,6 +24,7 @@ type RecvSocket struct {
 
 	processed atomic.Uint64
 	decodeErr atomic.Uint64
+	tel       atomic.Pointer[telemetry.Registry]
 
 	// pendingFn, when set, reports datagrams queued or in flight toward
 	// this socket (wired to the netsim subscription); Drained uses it.
@@ -51,6 +54,10 @@ func NewRecvSocket(sink SinkFunc, filters ...Filter) (*RecvSocket, error) {
 	}
 	return r, nil
 }
+
+// SetTelemetry installs the telemetry registry the socket reports packet
+// counts and blocking latency to. Nil disables instrumentation.
+func (r *RecvSocket) SetTelemetry(tel *telemetry.Registry) { r.tel.Store(tel) }
 
 // SetPendingFunc installs the function reporting how many datagrams are
 // queued or in flight toward this socket; Drained consults it. Set it
@@ -102,6 +109,7 @@ func (r *RecvSocket) deliver(datagram []byte) {
 	p, err := Unmarshal(datagram)
 	if err != nil {
 		r.decodeErr.Add(1)
+		r.tel.Load().Counter("metasocket.recv.decode_errors").Inc()
 		return
 	}
 	if r.observeArrival != nil {
@@ -110,14 +118,17 @@ func (r *RecvSocket) deliver(datagram []byte) {
 	outs, err := r.chain.run(p)
 	if err != nil {
 		r.decodeErr.Add(1)
+		r.tel.Load().Counter("metasocket.recv.decode_errors").Inc()
 		return
 	}
+	r.tel.Load().Counter("metasocket.recv.packets").Inc()
 	for _, out := range outs {
 		if r.observeDelivery != nil {
 			r.observeDelivery(out)
 		}
 		if err := r.sink(out); err != nil {
 			r.decodeErr.Add(1)
+			r.tel.Load().Counter("metasocket.recv.sink_errors").Inc()
 		}
 	}
 }
@@ -166,6 +177,26 @@ func (r *RecvSocket) WaitDrained(ctx context.Context) error {
 		case <-ticker.C:
 		}
 	}
+}
+
+// RequestBlock drives the socket to its local safe state; see blocker.
+// (The receive socket's local safe state is "no datagram is being
+// decoded or delivered".)
+func (r *RecvSocket) RequestBlock(ctx context.Context) error {
+	start := time.Now()
+	err := r.blocker.RequestBlock(ctx)
+	tel := r.tel.Load()
+	if err != nil {
+		tel.Counter("metasocket.recv.block_failures").Inc()
+		return err
+	}
+	tel.Histogram("metasocket.recv.block.latency").ObserveSince(start)
+	// Datagrams still queued or in flight toward the blocked socket: the
+	// frames the swap must wait out before the link is drained.
+	if r.pendingFn != nil {
+		tel.Gauge("metasocket.recv.pending_at_block").Set(int64(r.pendingFn()))
+	}
+	return nil
 }
 
 // Filters returns the chain's filter names in order.

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // TransmitFunc delivers one marshalled packet to the network; the video
@@ -22,11 +25,16 @@ type SendSocket struct {
 
 	nextSeq atomic.Uint64
 	sent    atomic.Uint64
+	tel     atomic.Pointer[telemetry.Registry]
 
 	// observe, when set, sees every packet after chain processing, just
 	// before transmission; the CCS instrumentation hooks in here.
 	observe func(Packet)
 }
+
+// SetTelemetry installs the telemetry registry the socket reports packet
+// counts and blocking latency to. Nil disables instrumentation.
+func (s *SendSocket) SetTelemetry(tel *telemetry.Registry) { s.tel.Store(tel) }
 
 // NewSendSocket builds a send socket with the given initial encoder chain.
 func NewSendSocket(transmit TransmitFunc, filters ...Filter) (*SendSocket, error) {
@@ -93,9 +101,11 @@ func (s *SendSocket) sendLocked(p Packet) error {
 			s.observe(out)
 		}
 		if err := s.transmit(out.Marshal()); err != nil {
+			s.tel.Load().Counter("metasocket.send.transmit_errors").Inc()
 			return fmt.Errorf("metasocket: transmit: %w", err)
 		}
 		s.sent.Add(1)
+		s.tel.Load().Counter("metasocket.send.packets").Inc()
 	}
 	return nil
 }
@@ -152,5 +162,15 @@ func (s *SendSocket) Close() { s.blocker.close() }
 // (Promoted here for documentation: the send socket's local safe state is
 // "no packet is being encoded or transmitted".)
 func (s *SendSocket) RequestBlock(ctx context.Context) error {
-	return s.blocker.RequestBlock(ctx)
+	start := time.Now()
+	err := s.blocker.RequestBlock(ctx)
+	tel := s.tel.Load()
+	if err != nil {
+		tel.Counter("metasocket.send.block_failures").Inc()
+		return err
+	}
+	// Time to reach the local safe state: how long the in-progress packet
+	// (or batch) made the reset wait.
+	tel.Histogram("metasocket.send.block.latency").ObserveSince(start)
+	return nil
 }

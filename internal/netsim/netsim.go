@@ -17,7 +17,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned when operating on a closed group or subscription.
@@ -55,7 +58,13 @@ type Group struct {
 	rng    *rand.Rand
 	subs   map[string]*Subscription
 	closed bool
+	tel    atomic.Pointer[telemetry.Registry] // lock-free: workers read it under s.mu
 }
+
+// SetTelemetry installs the telemetry registry the group counts datagram
+// traffic on (sent, delivered, dropped, and the in-flight gauge the safe
+// condition watches). Nil disables instrumentation.
+func (g *Group) SetTelemetry(tel *telemetry.Registry) { g.tel.Store(tel) }
 
 // NewGroup creates a multicast group with the given PRNG seed. Identical
 // seeds and send sequences yield identical loss/jitter decisions.
@@ -154,6 +163,7 @@ func (g *Group) Send(d Datagram) error {
 	}
 	g.mu.Unlock()
 
+	g.tel.Load().Counter("netsim.datagrams.sent").Inc()
 	for _, p := range plans {
 		if p.drop {
 			p.sub.noteDropped()
@@ -227,6 +237,7 @@ func (s *Subscription) enqueue(d Datagram, at time.Time) {
 	}
 	s.queue = append(s.queue, timedDatagram{payload: d, deliverAt: at})
 	s.inFlight++
+	s.group.tel.Load().Gauge("netsim.datagrams.in_flight").Add(1)
 	s.cond.Broadcast()
 }
 
@@ -234,6 +245,7 @@ func (s *Subscription) noteDropped() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dropped++
+	s.group.tel.Load().Counter("netsim.datagrams.dropped").Inc()
 }
 
 // deliverLoop is the per-link worker: it delivers queued datagrams in
@@ -261,13 +273,17 @@ func (s *Subscription) deliverLoop() {
 
 		s.mu.Lock()
 		s.inFlight--
+		tel := s.group.tel.Load()
+		tel.Gauge("netsim.datagrams.in_flight").Add(-1)
 		select {
 		case s.ch <- item.payload:
 			s.delivered++
+			tel.Counter("netsim.datagrams.delivered").Inc()
 		default:
 			// Receiver buffer overflow: the datagram is lost, as on a
 			// real congested link.
 			s.dropped++
+			tel.Counter("netsim.datagrams.dropped").Inc()
 		}
 		closedNow := s.closed && len(s.queue) == 0
 		s.mu.Unlock()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/model"
 	"repro/internal/sag"
+	"repro/internal/telemetry"
 )
 
 // Planner performs the detection-and-setup phase for one system. It is
@@ -26,6 +27,11 @@ type Planner struct {
 	reg     *model.Registry
 	invs    *invariant.Set
 	actions []action.Action
+
+	// tel, when non-nil, records the detection-and-setup timings the
+	// paper reports (Sec. 5.1): safe-set enumeration, SAG construction,
+	// Dijkstra/lazy/k-shortest search, and cache effectiveness.
+	tel *telemetry.Registry
 
 	// Cached results of the eager pipeline. Populated lazily.
 	safe  []model.Config
@@ -60,6 +66,11 @@ func New(invs *invariant.Set, actions []action.Action) (*Planner, error) {
 // Registry returns the component registry.
 func (p *Planner) Registry() *model.Registry { return p.reg }
 
+// SetTelemetry installs the telemetry registry the planner reports its
+// timings and cache statistics to. Nil disables instrumentation. Call it
+// before planning starts.
+func (p *Planner) SetTelemetry(tel *telemetry.Registry) { p.tel = tel }
+
 // Invariants returns the invariant set.
 func (p *Planner) Invariants() *invariant.Set { return p.invs }
 
@@ -84,7 +95,12 @@ func (p *Planner) ActionByID(id string) (action.Action, error) {
 // computing and caching it on first use.
 func (p *Planner) SafeConfigs() []model.Config {
 	if p.safe == nil {
+		start := time.Now()
 		p.safe = p.invs.SafeConfigs()
+		p.tel.Histogram("planner.safe_enum.latency").ObserveSince(start)
+		p.tel.Gauge("planner.safe_configs").Set(int64(len(p.safe)))
+	} else {
+		p.tel.Counter("planner.safe_enum.cache_hits").Inc()
 	}
 	out := make([]model.Config, len(p.safe))
 	copy(out, p.safe)
@@ -95,11 +111,17 @@ func (p *Planner) SafeConfigs() []model.Config {
 // and caching it on first use.
 func (p *Planner) Graph() (*sag.Graph, error) {
 	if p.graph == nil {
+		start := time.Now()
 		g, err := sag.Build(p.reg, p.SafeConfigs(), p.actions)
 		if err != nil {
 			return nil, err
 		}
+		p.tel.Histogram("planner.graph_build.latency").ObserveSince(start)
+		p.tel.Gauge("planner.sag.nodes").Set(int64(g.NumNodes()))
+		p.tel.Gauge("planner.sag.edges").Set(int64(g.NumEdges()))
 		p.graph = g
+	} else {
+		p.tel.Counter("planner.graph.cache_hits").Inc()
 	}
 	return p.graph, nil
 }
@@ -117,7 +139,11 @@ func (p *Planner) Plan(source, target model.Config) (sag.Path, error) {
 	if err != nil {
 		return sag.Path{}, err
 	}
-	return g.ShortestPath(source, target)
+	p.tel.Counter("planner.plans").Inc()
+	start := time.Now()
+	path, err := g.ShortestPath(source, target)
+	p.tel.Histogram("planner.dijkstra.latency").ObserveSince(start)
+	return path, err
 }
 
 // Alternatives returns up to k minimum-cost-ordered paths from source to
@@ -128,7 +154,11 @@ func (p *Planner) Alternatives(source, target model.Config, k int) ([]sag.Path, 
 	if err != nil {
 		return nil, err
 	}
-	return g.KShortestPaths(source, target, k)
+	p.tel.Counter("planner.kshortest.plans").Inc()
+	start := time.Now()
+	paths, err := g.KShortestPaths(source, target, k)
+	p.tel.Histogram("planner.kshortest.latency").ObserveSince(start)
+	return paths, err
 }
 
 // Replan plans from an intermediate configuration (where a failed
@@ -183,6 +213,9 @@ func (p *Planner) PlanLazy(source, target model.Config) (sag.Path, error) {
 	if source == target {
 		return sag.Path{}, nil
 	}
+	p.tel.Counter("planner.lazy.plans").Inc()
+	start := time.Now()
+	defer func() { p.tel.Histogram("planner.lazy.latency").ObserveSince(start) }()
 
 	type visit struct {
 		dist time.Duration
@@ -223,6 +256,9 @@ func (p *Planner) PlanLazy(source, target model.Config) (sag.Path, error) {
 			}
 		}
 	}
+	// The partial-exploration claim of Sec. 7 is exactly this number:
+	// how few configurations the lazy search had to enumerate.
+	p.tel.Counter("planner.lazy.configs_explored").Add(int64(len(seen)))
 	if !done[target] {
 		return sag.Path{}, &sag.ErrNoPath{
 			Source: p.reg.BitVector(source),

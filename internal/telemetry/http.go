@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	GET /metrics           — the Snapshot (counters, gauges, histogram
+//	                         summaries) as JSON
+//	GET /debug/adaptation  — the retained spans and events as JSON,
+//	                         oldest first
+//	GET /debug/adaptation?tree=1
+//	                       — the spans as a plain-text indented tree
+//
+// Mount it on an opt-in listener, e.g.:
+//
+//	go http.ListenAndServe(addr, reg.Handler())
+//
+// Handler works on a nil registry (it serves empty documents), so
+// callers can wire it unconditionally.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/adaptation", func(w http.ResponseWriter, req *http.Request) {
+		spans := r.Spans()
+		if req.URL.Query().Get("tree") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			RenderTree(w, spans)
+			return
+		}
+		writeJSON(w, struct {
+			Spans  []SpanRecord  `json:"spans"`
+			Events []EventRecord `json:"events"`
+		}{Spans: spans, Events: r.Events()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

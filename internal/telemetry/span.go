@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds an Attr. The variadic span APIs take Attrs so that the
+// nil fast path allocates nothing beyond the argument slice.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// SpanRecord is one finished span, as retained by the registry and
+// exported over /debug/adaptation. Start is a monotonic offset from the
+// registry epoch, so records order and subtract correctly even across
+// wall-clock adjustments.
+type SpanRecord struct {
+	ID       uint64        `json:"id"`
+	ParentID uint64        `json:"parentId,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"startNanos"`
+	Duration time.Duration `json:"durationNanos"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// EventRecord is one timestamped event — a progress line from the
+// manager's Logf stream, or an explicit Eventf call — on the same
+// monotonic timeline as the spans.
+type EventRecord struct {
+	At     time.Duration `json:"atNanos"`
+	SpanID uint64        `json:"spanId,omitempty"`
+	Scope  string        `json:"scope"`
+	Msg    string        `json:"msg"`
+}
+
+// Span is an in-progress traced operation. Create with
+// Registry.StartSpan or Span.Child; finish with End, which records the
+// span in the registry. All methods are nil-safe.
+type Span struct {
+	reg      *Registry
+	id       uint64
+	parentID uint64
+	name     string
+	start    time.Time
+	attrs    []Attr
+	errText  string
+	ended    bool
+}
+
+// StartSpan begins a root span. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{
+		reg:   r,
+		id:    r.nextSpanID.Add(1),
+		name:  name,
+		start: time.Now(),
+		attrs: attrs,
+	}
+}
+
+// Child begins a span nested under s. Returns nil on a nil span.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.reg.StartSpan(name, attrs...)
+	c.parentID = s.id
+	return c
+}
+
+// SetAttr adds or replaces an annotation on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetError marks the span failed. A nil error leaves the span unchanged.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errText = err.Error()
+}
+
+// SetErrorText marks the span failed with a plain description. An empty
+// text leaves the span unchanged.
+func (s *Span) SetErrorText(text string) {
+	if s == nil || text == "" {
+		return
+	}
+	s.errText = text
+}
+
+// End finishes the span and records it in the registry. End is
+// idempotent; only the first call records.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		ID:       s.id,
+		ParentID: s.parentID,
+		Name:     s.name,
+		Start:    s.reg.since(s.start),
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+		Err:      s.errText,
+	}
+	s.reg.traceMu.Lock()
+	s.reg.spans.push(rec)
+	s.reg.traceMu.Unlock()
+}
+
+// ID returns the span's identifier (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Eventf records an event attributed to this span. On a nil span the
+// event is dropped (there is no registry to hold it).
+func (s *Span) Eventf(scope, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.reg.eventf(s.id, scope, format, args...)
+}
+
+// Eventf records a registry-level event (not tied to a span). No-op on a
+// nil registry.
+func (r *Registry) Eventf(scope, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.eventf(0, scope, format, args...)
+}
+
+// Event records a pre-formatted registry-level event. Hot paths that fire
+// on every protocol message use this (with string concatenation guarded
+// by an Enabled check) to skip fmt's formatting machinery.
+func (r *Registry) Event(scope, msg string) {
+	if r == nil {
+		return
+	}
+	r.event(0, scope, msg)
+}
+
+// Enabled reports whether the registry records anything — false exactly
+// when the receiver is nil. Call sites use it to avoid building event
+// strings that would be dropped.
+func (r *Registry) Enabled() bool { return r != nil }
+
+func (r *Registry) eventf(spanID uint64, scope, format string, args ...any) {
+	r.event(spanID, scope, fmt.Sprintf(format, args...))
+}
+
+func (r *Registry) event(spanID uint64, scope, msg string) {
+	rec := EventRecord{
+		At:     r.since(time.Now()),
+		SpanID: spanID,
+		Scope:  scope,
+		Msg:    msg,
+	}
+	r.traceMu.Lock()
+	r.events.push(rec)
+	r.traceMu.Unlock()
+}
+
+// Spans returns the retained finished spans, oldest first. Empty on a
+// nil registry.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	return r.spans.snapshot()
+}
+
+// Events returns the retained events, oldest first. Empty on a nil
+// registry.
+func (r *Registry) Events() []EventRecord {
+	if r == nil {
+		return nil
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	return r.events.snapshot()
+}
+
+// RenderTree writes the spans as an indented tree, children under their
+// parents ordered by start time, one line per span with its duration:
+//
+//	adaptation (12.3ms) source=0100101 target=1110010
+//	  plan (180µs)
+//	  step A2 (2.1ms) attempt=1
+//	    reset (1.2ms)
+//	    ...
+//
+// Spans whose parent is not among the records (e.g. evicted from the
+// ring) are rendered as roots.
+func RenderTree(w io.Writer, spans []SpanRecord) {
+	byID := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	children := make(map[uint64][]SpanRecord, len(spans))
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.ParentID != 0 && byID[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []SpanRecord) {
+		sort.Slice(list, func(i, j int) bool { return list[i].Start < list[j].Start })
+	}
+	byStart(roots)
+	var render func(s SpanRecord, depth int)
+	render = func(s SpanRecord, depth int) {
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.Name)
+		fmt.Fprintf(&b, " (%v)", s.Duration.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&b, " ERROR=%q", s.Err)
+		}
+		fmt.Fprintln(w, b.String())
+		kids := children[s.ID]
+		byStart(kids)
+		for _, c := range kids {
+			render(c, depth+1)
+		}
+	}
+	for _, root := range roots {
+		render(root, 0)
+	}
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("adaptation", String("source", "0100101"))
+	plan := root.Child("plan")
+	plan.End()
+	step := root.Child("step A2", String("attempt", "1"))
+	reset := step.Child("reset")
+	reset.End()
+	resume := step.Child("resume")
+	resume.SetErrorText("timeout")
+	resume.End()
+	step.End()
+	root.End()
+
+	spans := r.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("recorded %d spans, want 5", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	rootRec := byName["adaptation"]
+	if rootRec.ParentID != 0 {
+		t.Fatalf("root has parent %d", rootRec.ParentID)
+	}
+	if byName["plan"].ParentID != rootRec.ID || byName["step A2"].ParentID != rootRec.ID {
+		t.Fatal("plan/step not parented to root")
+	}
+	if byName["reset"].ParentID != byName["step A2"].ID {
+		t.Fatal("reset not parented to step")
+	}
+	if byName["resume"].Err != "timeout" {
+		t.Fatalf("resume err = %q", byName["resume"].Err)
+	}
+	// Children end before parents: child start >= parent start, and the
+	// child's interval fits inside the parent's.
+	if byName["reset"].Start < byName["step A2"].Start {
+		t.Fatal("child started before parent")
+	}
+	end := func(s SpanRecord) time.Duration { return s.Start + s.Duration }
+	if end(byName["reset"]) > end(byName["step A2"]) || end(byName["step A2"]) > end(rootRec) {
+		t.Fatal("child interval escapes parent interval")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("once")
+	s.End()
+	s.End()
+	if got := len(r.Spans()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestSpanAttrsAndEvents(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("op")
+	s.SetAttr("k", "v1")
+	s.SetAttr("k", "v2") // replaces
+	s.Eventf("agent", "reset done on %s", "handheld")
+	s.End()
+	spans := r.Spans()
+	if len(spans) != 1 || len(spans[0].Attrs) != 1 || spans[0].Attrs[0].Value != "v2" {
+		t.Fatalf("attrs = %+v", spans)
+	}
+	events := r.Events()
+	if len(events) != 1 || events[0].SpanID != spans[0].ID || !strings.Contains(events[0].Msg, "handheld") {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestSpanRingBound(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxSpans+10; i++ {
+		r.StartSpan("s").End()
+	}
+	spans := r.Spans()
+	if len(spans) != maxSpans {
+		t.Fatalf("retained %d spans, want %d", len(spans), maxSpans)
+	}
+	// Oldest evicted: the first retained span is ID 11.
+	if spans[0].ID != 11 {
+		t.Fatalf("oldest retained span ID = %d, want 11", spans[0].ID)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("adaptation")
+	s1 := root.Child("step A2")
+	s1.Child("reset").End()
+	s1.End()
+	s2 := root.Child("step A17")
+	s2.End()
+	root.End()
+
+	var buf bytes.Buffer
+	RenderTree(&buf, r.Spans())
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("tree has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "adaptation") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  step A2") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    reset") {
+		t.Fatalf("line 2 = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "  step A17") {
+		t.Fatalf("line 3 = %q", lines[3])
+	}
+}
+
+func TestRenderTreeOrphanSpans(t *testing.T) {
+	// A span whose parent was evicted renders as a root, not silently
+	// dropped.
+	recs := []SpanRecord{{ID: 5, ParentID: 3, Name: "orphan", Start: 10, Duration: 1}}
+	var buf bytes.Buffer
+	RenderTree(&buf, recs)
+	if !strings.HasPrefix(buf.String(), "orphan") {
+		t.Fatalf("orphan not rendered as root: %q", buf.String())
+	}
+}

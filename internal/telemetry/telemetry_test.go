@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("x").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("y")
+	g.Set(10)
+	g.Add(-3)
+	if got := r.Gauge("y").Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Same name returns the same metric.
+	if r.Counter("x") != c || r.Gauge("y") != g {
+		t.Fatal("metric lookup is not stable by name")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 1..100 ms in shuffled order: nearest-rank quantiles are exact.
+	perm := rand.New(rand.NewSource(1)).Perm(100)
+	for _, i := range perm {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+	if s.P50 != 50*time.Millisecond || s.P95 != 95*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Fatalf("summary quantiles = %v/%v/%v", s.P50, s.P95, s.P99)
+	}
+	if wantMean := 50*time.Millisecond + 500*time.Microsecond; s.Mean != wantMean {
+		t.Fatalf("mean = %v, want %v", s.Mean, wantMean)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(7 * time.Millisecond)
+	s := h.Summary()
+	if s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond {
+		t.Fatalf("single-sample quantiles = %v/%v", s.P50, s.P99)
+	}
+}
+
+func TestHistogramBoundedSamples(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 3*maxHistogramSamples; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got := h.Count(); got != int64(3*maxHistogramSamples) {
+		t.Fatalf("count = %d", got)
+	}
+	h.mu.Lock()
+	n := len(h.samples)
+	h.mu.Unlock()
+	if n != maxHistogramSamples {
+		t.Fatalf("retained samples = %d, want %d", n, maxHistogramSamples)
+	}
+	// Exact stats survive sample eviction.
+	s := h.Summary()
+	if s.Min != 0 || s.Max != time.Duration(3*maxHistogramSamples-1) {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// None of these may panic, and all must be no-ops.
+	r.Counter("a").Inc()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1)
+	r.Gauge("b").Add(1)
+	r.Histogram("c").Observe(time.Second)
+	r.Histogram("c").ObserveSince(time.Now())
+	r.Eventf("scope", "msg %d", 1)
+	if got := r.Counter("a").Value(); got != 0 {
+		t.Fatalf("nil counter = %d", got)
+	}
+	if got := r.Histogram("c").Quantile(0.5); got != 0 {
+		t.Fatalf("nil quantile = %v", got)
+	}
+	sp := r.StartSpan("root", String("k", "v"))
+	if sp != nil {
+		t.Fatal("StartSpan on nil registry must return nil")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetError(fmt.Errorf("x"))
+	sp.SetErrorText("x")
+	sp.Eventf("s", "m")
+	child := sp.Child("c")
+	child.End()
+	sp.End()
+	if sp.ID() != 0 || len(r.Spans()) != 0 || len(r.Events()) != 0 {
+		t.Fatal("nil span/registry leaked state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps").Add(3)
+	r.Gauge("in_flight").Set(2)
+	r.Histogram("lat").Observe(time.Millisecond)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["steps"] != 3 || back.Gauges["in_flight"] != 2 {
+		t.Fatalf("round-trip lost metrics: %s", data)
+	}
+	if back.Histograms["lat"].Count != 1 {
+		t.Fatalf("round-trip lost histogram: %s", data)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	sp := r.StartSpan("adaptation")
+	sp.Child("step").End()
+	sp.End()
+	r.Eventf("manager", "MAP: A2, A17")
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	var snap Snapshot
+	getJSON(t, srv.URL+"/metrics", &snap)
+	if snap.Counters["hits"] != 1 {
+		t.Fatalf("metrics endpoint lost counter: %+v", snap)
+	}
+	var dbg struct {
+		Spans  []SpanRecord  `json:"spans"`
+		Events []EventRecord `json:"events"`
+	}
+	getJSON(t, srv.URL+"/debug/adaptation", &dbg)
+	if len(dbg.Spans) != 2 || len(dbg.Events) != 1 {
+		t.Fatalf("debug endpoint spans=%d events=%d", len(dbg.Spans), len(dbg.Events))
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/adaptation?tree=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(body); !strings.Contains(got, "adaptation") || !strings.Contains(got, "  step") {
+		t.Fatalf("tree output missing spans:\n%s", got)
+	}
+}
+
+func TestHTTPHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	var snap Snapshot
+	getJSON(t, srv.URL+"/metrics", &snap)
+	if len(snap.Counters) != 0 {
+		t.Fatalf("nil registry served metrics: %+v", snap)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
 )
 
 // TCPManager is the manager-side TCP endpoint. It listens for agent
@@ -17,12 +19,17 @@ import (
 type TCPManager struct {
 	ln    net.Listener
 	inbox chan protocol.Message
+	tel   atomic.Pointer[telemetry.Registry]
 
 	mu     sync.Mutex
 	conns  map[string]net.Conn
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// SetTelemetry installs the telemetry registry the endpoint counts frame
+// traffic on. Nil disables instrumentation.
+func (m *TCPManager) SetTelemetry(tel *telemetry.Registry) { m.tel.Store(tel) }
 
 // ListenTCP starts a manager endpoint on addr (e.g. "127.0.0.1:0").
 func ListenTCP(addr string) (*TCPManager, error) {
@@ -58,8 +65,10 @@ func (m *TCPManager) Send(msg protocol.Message) error {
 	conn, ok := m.conns[msg.To]
 	m.mu.Unlock()
 	if !ok {
+		m.tel.Load().Counter("transport.tcp.send_errors").Inc()
 		return fmt.Errorf("transport: no connection to agent %q", msg.To)
 	}
+	m.tel.Load().Counter("transport.tcp.frames_sent").Inc()
 	return protocol.WriteFrame(conn, msg)
 }
 
@@ -159,10 +168,12 @@ func (m *TCPManager) serveConn(conn net.Conn) {
 		if closed {
 			break
 		}
+		m.tel.Load().Counter("transport.tcp.frames_received").Inc()
 		select {
 		case m.inbox <- msg:
 		default:
 			// Overflow behaves like loss; the protocol tolerates it.
+			m.tel.Load().Counter("transport.messages.overflowed").Inc()
 		}
 	}
 
@@ -180,11 +191,16 @@ type TCPAgent struct {
 	name  string
 	conn  net.Conn
 	inbox chan protocol.Message
+	tel   atomic.Pointer[telemetry.Registry]
 
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// SetTelemetry installs the telemetry registry the endpoint counts frame
+// traffic on. Nil disables instrumentation.
+func (a *TCPAgent) SetTelemetry(tel *telemetry.Registry) { a.tel.Store(tel) }
 
 // DialTCP connects the named agent to the manager at addr and registers
 // with a hello frame.
@@ -220,6 +236,7 @@ func (a *TCPAgent) Send(msg protocol.Message) error {
 	if msg.To != protocol.ManagerName {
 		return fmt.Errorf("transport: agent %q can only send to the manager, not %q", a.name, msg.To)
 	}
+	a.tel.Load().Counter("transport.tcp.frames_sent").Inc()
 	return protocol.WriteFrame(a.conn, msg)
 }
 
@@ -245,9 +262,11 @@ func (a *TCPAgent) readLoop() {
 		if err != nil {
 			return
 		}
+		a.tel.Load().Counter("transport.tcp.frames_received").Inc()
 		select {
 		case a.inbox <- msg:
 		default:
+			a.tel.Load().Counter("transport.messages.overflowed").Inc()
 		}
 	}
 }

@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
@@ -46,6 +48,7 @@ type Bus struct {
 	mu        sync.Mutex
 	endpoints map[string]*busEndpoint
 	fault     FaultFunc
+	tel       atomic.Pointer[telemetry.Registry] // nil-safe; lock-free for push()
 	wg        sync.WaitGroup
 	closed    bool
 }
@@ -61,6 +64,13 @@ func (b *Bus) SetFault(f FaultFunc) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.fault = f
+}
+
+// SetTelemetry installs the telemetry registry the bus counts message
+// traffic on (sent, dropped by fault injection, delayed, overflowed).
+// Nil disables instrumentation.
+func (b *Bus) SetTelemetry(tel *telemetry.Registry) {
+	b.tel.Store(tel)
 }
 
 // Endpoint registers and returns the endpoint with the given name.
@@ -117,14 +127,17 @@ func (b *Bus) deliver(msg protocol.Message) error {
 	dst, ok := b.endpoints[msg.To]
 	fault := b.fault
 	b.mu.Unlock()
+	tel := b.tel.Load()
 	if !ok {
 		return fmt.Errorf("transport: unknown endpoint %q", msg.To)
 	}
 
+	tel.Counter("transport.messages.sent").Inc()
 	var delay time.Duration
 	if fault != nil {
 		drop, d := fault(msg)
 		if drop {
+			tel.Counter("transport.messages.dropped").Inc()
 			return nil // silently lost, like a dropped datagram
 		}
 		delay = d
@@ -133,6 +146,7 @@ func (b *Bus) deliver(msg protocol.Message) error {
 		dst.push(msg)
 		return nil
 	}
+	tel.Counter("transport.messages.delayed").Inc()
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
@@ -176,6 +190,7 @@ func (e *busEndpoint) push(msg protocol.Message) {
 	case e.inbox <- msg:
 	default:
 		// Inbox overflow behaves like loss; protocols must tolerate it.
+		e.bus.tel.Load().Counter("transport.messages.overflowed").Inc()
 	}
 }
 

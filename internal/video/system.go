@@ -9,6 +9,7 @@ import (
 	"repro/internal/metasocket"
 	"repro/internal/netsim"
 	"repro/internal/paper"
+	"repro/internal/telemetry"
 )
 
 // SystemOptions configures the Fig. 3 system.
@@ -21,6 +22,10 @@ type SystemOptions struct {
 	Laptop   netsim.LinkProfile
 	// FragSize is the packetization granularity. Zero means 256.
 	FragSize int
+	// Telemetry, when non-nil, instruments the multicast group and all
+	// three MetaSockets (datagram counters, in-flight gauge, blocking
+	// latency during filter swaps).
+	Telemetry *telemetry.Registry
 }
 
 // System is the running video multicast application of Fig. 3: a server
@@ -76,6 +81,7 @@ func NewSystem(opts SystemOptions) (*System, error) {
 	}
 	factory := FilterFactory()
 	group := netsim.NewGroup(opts.Seed)
+	group.SetTelemetry(opts.Telemetry)
 
 	hhSub, err := group.Subscribe(paper.ProcessHandheld, opts.Handheld, 1024)
 	if err != nil {
@@ -118,6 +124,9 @@ func NewSystem(opts SystemOptions) (*System, error) {
 
 	handheld.Socket().SetPendingFunc(func() int { return hhSub.InFlight() })
 	laptop.Socket().SetPendingFunc(func() int { return lpSub.InFlight() })
+	sendSock.SetTelemetry(opts.Telemetry)
+	handheld.Socket().SetTelemetry(opts.Telemetry)
+	laptop.Socket().SetTelemetry(opts.Telemetry)
 
 	sys := &System{
 		Group:        group,

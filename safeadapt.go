@@ -35,6 +35,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/sag"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 // Re-exported types. The facade keeps downstream code to one import.
@@ -68,7 +69,18 @@ type (
 	DecomposedPlan = planner.DecomposedPlan
 	// Analysis is a static diagnosis of a system description.
 	Analysis = planner.Analysis
+	// Telemetry is a metrics-and-tracing registry. Create one with
+	// NewTelemetry, pass it in DeployOptions.Telemetry, and read it back
+	// via Snapshot/Spans or serve it over HTTP with Handler.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time export of all metrics.
+	TelemetrySnapshot = telemetry.Snapshot
 )
+
+// NewTelemetry returns an empty telemetry registry. All instrumentation
+// throughout the library is nil-safe, so a nil registry (the default)
+// costs nothing.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
 // System is an analyzable adaptive system: components, invariants,
 // actions, and the adaptation request endpoints.
