@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckCommand(t *testing.T) {
+	out := runCmd(t, "check", "-depth", "3")
+	for _, want := range []string{
+		"built-in case study",
+		"exhaustive: depth 3",
+		"states explored:",
+		"distinct schedules:",
+		"no safety violations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckFuzz(t *testing.T) {
+	out := runCmd(t, "check", "-depth", "2", "-fuzz", "25", "-seed", "7")
+	if !strings.Contains(out, "fuzz: 25 schedules from seed 7") {
+		t.Errorf("check -fuzz output missing fuzz header:\n%s", out)
+	}
+	if !strings.Contains(out, "no safety violations") {
+		t.Errorf("check -fuzz found violations:\n%s", out)
+	}
+}
+
+func TestCheckSelfTest(t *testing.T) {
+	out := runCmd(t, "check", "-selftest", "-depth", "4", "-faults", "-1")
+	if !strings.Contains(out, "self-test passed: violation found and replayed") {
+		t.Errorf("self-test did not pass:\n%s", out)
+	}
+	if !strings.Contains(out, "[ccs]") {
+		t.Errorf("self-test violation should be a ccs cut:\n%s", out)
+	}
+}
+
+func TestCheckReplay(t *testing.T) {
+	out := runCmd(t, "check", "-replay", "0")
+	if !strings.Contains(out, "replay [0]:") {
+		t.Errorf("replay output missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "no safety violations") {
+		t.Errorf("replay of the happy path should be clean:\n%s", out)
+	}
+}
+
+func TestCheckBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"check", "-replay", "1,x"}, &sb); err == nil {
+		t.Error("malformed -replay schedule should fail")
+	}
+	if err := run([]string{"check", "-f", "/nonexistent.json"}, &sb); err == nil {
+		t.Error("missing spec file should fail")
+	}
+}
+
+func TestCheckUsageMentionsCheck(t *testing.T) {
+	var sb strings.Builder
+	err := run(nil, &sb)
+	if err == nil || !strings.Contains(err.Error(), "check") {
+		t.Errorf("usage should mention check: %v", err)
+	}
+}

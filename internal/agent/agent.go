@@ -117,6 +117,10 @@ type Options struct {
 	// of the paper) — plus failure counters. Nil disables instrumentation
 	// at zero cost.
 	Telemetry *telemetry.Registry
+	// Clock supplies the timestamps recorded in the transition trace. Nil
+	// means the wall clock; the deterministic explorer injects a logical
+	// clock.
+	Clock transport.Clock
 }
 
 // Agent is one adaptation agent. Create with New, start with Run (usually
@@ -169,6 +173,9 @@ func New(name string, ep transport.Endpoint, proc LocalProcess, opts Options) (*
 	if opts.ProcessOf == nil {
 		return nil, fmt.Errorf("agent %q: ProcessOf mapping is required", name)
 	}
+	if opts.Clock == nil {
+		opts.Clock = transport.SystemClock
+	}
 	return &Agent{
 		name:  name,
 		ep:    ep,
@@ -217,6 +224,15 @@ func (a *Agent) Run() {
 	}
 }
 
+// Deliver hands one manager command directly to the agent's handler on
+// the caller's goroutine. It is the deterministic explorer's injection
+// point: the virtual scheduler steps each agent synchronously instead of
+// racing goroutines over inbox channels. Deliver must not be used
+// concurrently with Run.
+func (a *Agent) Deliver(msg protocol.Message) {
+	a.handle(msg)
+}
+
 // Close stops the agent and waits for Run to return.
 func (a *Agent) Close() {
 	select {
@@ -235,7 +251,7 @@ func (a *Agent) transition(to State, cause string) {
 		To:    to,
 		Cause: cause,
 		Step:  fmt.Sprintf("%d/%d", a.curStep.PathIndex, a.curStep.Attempt),
-		At:    time.Now(),
+		At:    a.opts.Clock.Now(),
 	})
 	a.state = to
 }
@@ -266,6 +282,16 @@ func (a *Agent) handle(msg protocol.Message) {
 
 func sameStep(a, b protocol.Step) bool {
 	return a.PathIndex == b.PathIndex && a.Attempt == b.Attempt && a.ActionID == b.ActionID
+}
+
+// sameStepAnyAttempt matches steps ignoring the attempt counter. Rollback
+// commands use it: after a manager timeout the manager's attempt counter
+// may be ahead of a step still in flight here (e.g. a delayed reset
+// landed after the manager gave up on that attempt), and every attempt of
+// a step returns to the same pre-step structure, so a rollback for any
+// attempt legitimately undoes whichever attempt this agent holds.
+func sameStepAnyAttempt(a, b protocol.Step) bool {
+	return a.PathIndex == b.PathIndex && a.ActionID == b.ActionID
 }
 
 // localOps returns the agent's share of the step's operations.
@@ -427,7 +453,7 @@ func (a *Agent) handleRollback(step protocol.Step) {
 	haveDone := a.haveDone
 	a.mu.Unlock()
 
-	if !have || !sameStep(cur, step) {
+	if !have || !sameStepAnyAttempt(cur, step) {
 		if haveDone && sameStep(done, step) {
 			// The step already ran to completion here (e.g. a
 			// single-participant step whose replies were lost), but the

@@ -169,3 +169,34 @@ func TestAgentCloseIsIdempotent(t *testing.T) {
 	h.agent.Close()
 	h.agent.Close() // second close must not panic or hang
 }
+
+// TestAgentCrossAttemptRollback: a rollback whose attempt counter is
+// ahead of the step the agent holds (the manager timed out, bumped its
+// attempt, then rolled back) must still undo the in-flight step — every
+// attempt of a step returns to the same pre-step structure — rather than
+// acknowledge vacuously and leave the agent parked in adapted forever.
+func TestAgentCrossAttemptRollback(t *testing.T) {
+	proc := &fakeProc{}
+	h := newHarness(t, proc)
+
+	first := multiStep() // attempt 1; multi-participant, so the agent parks in adapted
+	h.send(t, protocol.MsgReset, first)
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone)
+
+	rb := first
+	rb.Attempt = 2
+	h.send(t, protocol.MsgRollback, rb)
+	h.expect(t, protocol.MsgRollbackDone)
+	if got := proc.rolledBackCount(); got != 1 {
+		t.Fatalf("rollbacks = %d, want 1", got)
+	}
+
+	// The agent must be free again: a fresh attempt of the same step
+	// succeeds instead of being refused as busy.
+	retry := first
+	retry.Attempt = 2
+	h.send(t, protocol.MsgReset, retry)
+	h.expect(t, protocol.MsgResetDone)
+	h.expect(t, protocol.MsgAdaptDone)
+}

@@ -377,3 +377,9 @@ func TestAgentOptionsValidation(t *testing.T) {
 		t.Error("missing ProcessOf should fail")
 	}
 }
+
+func (f *fakeProc) rolledBackCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rolledBack
+}

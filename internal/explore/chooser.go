@@ -1,0 +1,75 @@
+package explore
+
+import "math/rand"
+
+// chooser decides, at each scheduling decision point, which of the n
+// enumerated alternatives the execution takes. Alternative 0 is always a
+// non-fault choice (deliveries before emissions before faults), so the
+// all-zeros sequence is the deterministic happy path.
+type chooser interface {
+	// choose picks an alternative in [0, n).
+	choose(n int) int
+	// taken returns the choice sequence made so far.
+	taken() []int
+}
+
+// dfsChooser replays a forced prefix and then follows the happy path;
+// it records the alternative count at every decision point so the DFS
+// driver can backtrack.
+type dfsChooser struct {
+	prefix []int
+	seq    []int
+	counts []int
+}
+
+func (c *dfsChooser) choose(n int) int {
+	pick := 0
+	if d := len(c.seq); d < len(c.prefix) {
+		pick = c.prefix[d]
+	}
+	if pick >= n {
+		// Defensive: a shorter branch than the prefix promised would mean
+		// lost determinism; degrade to the happy path rather than panic.
+		pick = 0
+	}
+	c.seq = append(c.seq, pick)
+	c.counts = append(c.counts, n)
+	return pick
+}
+
+func (c *dfsChooser) taken() []int { return c.seq }
+
+// randChooser samples uniformly from the alternatives; the recorded
+// sequence makes every fuzzed schedule exactly replayable.
+type randChooser struct {
+	rng *rand.Rand
+	seq []int
+}
+
+func (c *randChooser) choose(n int) int {
+	pick := c.rng.Intn(n)
+	c.seq = append(c.seq, pick)
+	return pick
+}
+
+func (c *randChooser) taken() []int { return c.seq }
+
+// replayChooser replays a recorded schedule, happy path beyond it.
+type replayChooser struct {
+	prefix []int
+	seq    []int
+}
+
+func (c *replayChooser) choose(n int) int {
+	pick := 0
+	if d := len(c.seq); d < len(c.prefix) {
+		pick = c.prefix[d]
+	}
+	if pick >= n {
+		pick = 0
+	}
+	c.seq = append(c.seq, pick)
+	return pick
+}
+
+func (c *replayChooser) taken() []int { return c.seq }

@@ -1,0 +1,306 @@
+// Package explore model-checks the safe adaptation protocol by
+// deterministic simulation: the manager and every agent run on a single
+// goroutine against a virtual transport with a logical clock, and a
+// scheduler enumerates message-delivery interleavings and injected
+// failures (message loss, manager timeouts, fail-to-reset, agent
+// crashes) as explicit choice points.
+//
+// Two drivers walk the choice tree. Explore performs exhaustive bounded
+// DFS: every alternative within the first Depth choice points is tried,
+// and choices beyond the bound follow the deterministic happy path.
+// Fuzz samples random schedules from a seed; any schedule — found by
+// either driver — replays exactly via Replay.
+//
+// At every explored state the safety properties of the paper are
+// checked:
+//
+//   - whenever all processes run unblocked, the ground-truth
+//     configuration satisfies every dependency invariant;
+//   - no critical communication segment is cut: every emitted packet is
+//     decodable by its receiver (internal/ccs is the oracle);
+//   - the manager never sends a rollback for a step attempt after that
+//     attempt's first resume (the point of no return);
+//   - no deadlock: a successful adaptation leaves every process
+//     unblocked and every agent running;
+//   - every terminal state passes the internal/audit conformance checks
+//     against the paper's Figs. 1–2, and the manager's belief about the
+//     final configuration matches the ground truth.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/invariant"
+	"repro/internal/model"
+	"repro/internal/paper"
+	"repro/internal/planner"
+	"repro/internal/spec"
+	"repro/internal/telemetry"
+)
+
+// Flow is one application-level data-flow link between processes.
+type Flow struct {
+	From, To string
+}
+
+// Model describes the adaptive system under exploration: the structural
+// model the planner needs plus the application-level communication model
+// the CCS check needs.
+type Model struct {
+	// Invariants carries the registry and the dependency invariants.
+	Invariants *invariant.Set
+	// Actions are the adaptive actions available to the planner.
+	Actions []action.Action
+	// Source and Target bound the adaptation request to explore.
+	Source, Target model.Config
+	// Flows are the application data-flow links packets travel on.
+	Flows []Flow
+	// Encodes maps an encoder component to the key its packets carry.
+	Encodes map[string]string
+	// Decodes maps a decoder component to the keys it can decode.
+	Decodes map[string][]string
+	// ResetPhases is the step reset-phase policy handed to the manager
+	// (the global safe condition). Nil means one simultaneous phase.
+	ResetPhases func(a action.Action, participants []string) [][]string
+}
+
+// PaperModel returns the paper's DES-64 → DES-128 video multicast case
+// study as an exploration model.
+func PaperModel() (*Model, error) {
+	c, err := spec.PaperSystem().Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Invariants: c.Invariants,
+		Actions:    c.Actions,
+		Source:     c.Source,
+		Target:     c.Target,
+		Flows: []Flow{
+			{From: paper.ProcessServer, To: paper.ProcessHandheld},
+			{From: paper.ProcessServer, To: paper.ProcessLaptop},
+		},
+		Encodes: map[string]string{"E1": "64", "E2": "128"},
+		Decodes: map[string][]string{
+			"D1": {"64"}, "D2": {"64", "128"}, "D3": {"128"},
+			"D4": {"64"}, "D5": {"128"},
+		},
+		ResetPhases: func(_ action.Action, participants []string) [][]string {
+			return c.ResetPhases(participants)
+		},
+	}, nil
+}
+
+// Options configures an Explorer.
+type Options struct {
+	// Depth bounds the DFS: alternatives are explored only at the first
+	// Depth choice points; beyond it every choice takes the deterministic
+	// happy path. Zero means 8.
+	Depth int
+	// MaxFaults is the failure-injection budget per execution. Zero means
+	// 1; negative disables fault injection.
+	MaxFaults int
+	// MaxPackets is the application-packet emission budget per execution.
+	// Zero means 2; negative disables app traffic.
+	MaxPackets int
+	// MaxSchedules caps the number of executions per driver run. Zero
+	// means 300000.
+	MaxSchedules int
+	// MaxEvents is the per-execution livelock guard. Zero means 20000.
+	MaxEvents int
+	// MaxViolations stops a driver after this many violations. Zero
+	// means 10.
+	MaxViolations int
+	// StepTimeout is the manager's (logical) per-wait timeout. Zero
+	// means 1s of virtual time.
+	StepTimeout time.Duration
+	// ResumeRetries bounds the manager's post-point-of-no-return resume
+	// rounds. Zero means 2.
+	ResumeRetries int
+	// DisableDrain disables the virtual processes' reset-time drain of
+	// in-flight packets — the mutation hook: it breaks the global safe
+	// condition, and the explorer must then find a CCS violation.
+	DisableDrain bool
+	// Telemetry, when non-nil, receives explore.states,
+	// explore.schedules and explore.violations counters.
+	Telemetry *telemetry.Registry
+}
+
+// Violation is one safety-property violation, with the schedule that
+// reproduces it.
+type Violation struct {
+	// Kind classifies the violated property: "invariant", "ccs",
+	// "rollback-after-resume", "deadlock", "belief", "audit",
+	// "livelock".
+	Kind string
+	// Detail describes the violation.
+	Detail string
+	// Schedule is the minimal choice sequence reproducing the violation
+	// (trailing happy-path zeros stripped); feed it to Replay.
+	Schedule []int
+	// Trace is the scheduler's event log up to the violation.
+	Trace []string
+}
+
+// String renders the violation with its reproducing schedule.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s (schedule %v)", v.Kind, v.Detail, v.Schedule)
+}
+
+// Report summarizes a driver run.
+type Report struct {
+	// States is the number of scheduling decisions explored.
+	States int
+	// Schedules is the number of distinct executions run.
+	Schedules int
+	// Violations are the safety violations found.
+	Violations []Violation
+	// Truncated reports that MaxSchedules or MaxViolations cut the run
+	// short.
+	Truncated bool
+}
+
+// Explorer explores one adaptation request of one model.
+type Explorer struct {
+	m    *Model
+	opts Options
+	plan *planner.Planner
+	tel  *telemetry.Registry
+}
+
+// New builds an explorer, validating the model by constructing one
+// virtual execution.
+func New(m *Model, opts Options) (*Explorer, error) {
+	if m == nil || m.Invariants == nil {
+		return nil, fmt.Errorf("explore: nil model")
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = 8
+	}
+	if opts.MaxFaults == 0 {
+		opts.MaxFaults = 1
+	}
+	if opts.MaxPackets == 0 {
+		opts.MaxPackets = 2
+	}
+	if opts.MaxSchedules <= 0 {
+		opts.MaxSchedules = 300000
+	}
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 20000
+	}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 10
+	}
+	if opts.StepTimeout <= 0 {
+		opts.StepTimeout = time.Second
+	}
+	if opts.ResumeRetries <= 0 {
+		opts.ResumeRetries = 2
+	}
+	plan, err := planner.New(m.Invariants, m.Actions)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	x := &Explorer{m: m, opts: opts, plan: plan, tel: opts.Telemetry}
+	if _, err := newExecution(x, &dfsChooser{}); err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	return x, nil
+}
+
+// Explore runs the exhaustive bounded DFS over the choice tree and
+// returns the exploration report.
+func (x *Explorer) Explore() (*Report, error) {
+	rep := &Report{}
+	var prefix []int
+	for {
+		ch := &dfsChooser{prefix: prefix}
+		if err := x.runOne(ch, rep); err != nil {
+			return rep, err
+		}
+		if len(rep.Violations) >= x.opts.MaxViolations {
+			rep.Truncated = true
+			return rep, nil
+		}
+		// Backtrack: bump the deepest in-bound choice point that still
+		// has an untried alternative.
+		d := len(ch.seq)
+		if d > x.opts.Depth {
+			d = x.opts.Depth
+		}
+		for d--; d >= 0; d-- {
+			if ch.seq[d]+1 < ch.counts[d] {
+				break
+			}
+		}
+		if d < 0 {
+			return rep, nil
+		}
+		prefix = append(append([]int(nil), ch.seq[:d]...), ch.seq[d]+1)
+		if rep.Schedules >= x.opts.MaxSchedules {
+			rep.Truncated = true
+			return rep, nil
+		}
+	}
+}
+
+// Fuzz runs n random schedules derived from seed. The same seed always
+// produces the same schedules, and every violation carries its exact
+// choice sequence for Replay.
+func (x *Explorer) Fuzz(seed int64, n int) (*Report, error) {
+	rep := &Report{}
+	for i := 0; i < n && i < x.opts.MaxSchedules; i++ {
+		ch := &randChooser{rng: rand.New(rand.NewSource(seed + int64(i)))}
+		if err := x.runOne(ch, rep); err != nil {
+			return rep, err
+		}
+		if len(rep.Violations) >= x.opts.MaxViolations {
+			rep.Truncated = true
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
+// Replay runs the single execution identified by the given choice
+// sequence (choices beyond it take the happy path) and returns its
+// report — the way to confirm and inspect a reported violation.
+func (x *Explorer) Replay(schedule []int) (*Report, error) {
+	rep := &Report{}
+	ch := &replayChooser{prefix: schedule}
+	if err := x.runOne(ch, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// ReplayTrace replays a schedule and returns the full scheduler event
+// log of the execution, for human inspection.
+func (x *Explorer) ReplayTrace(schedule []int) ([]string, error) {
+	ch := &replayChooser{prefix: schedule}
+	e, err := newExecution(x, ch)
+	if err != nil {
+		return nil, err
+	}
+	e.run()
+	return e.trace, nil
+}
+
+func (x *Explorer) runOne(ch chooser, rep *Report) error {
+	e, err := newExecution(x, ch)
+	if err != nil {
+		return err
+	}
+	e.run()
+	rep.Schedules++
+	rep.States += len(ch.taken())
+	rep.Violations = append(rep.Violations, e.violations...)
+	x.tel.Counter("explore.schedules").Inc()
+	x.tel.Counter("explore.states").Add(int64(len(ch.taken())))
+	x.tel.Counter("explore.violations").Add(int64(len(e.violations)))
+	return nil
+}

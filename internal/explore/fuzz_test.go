@@ -1,0 +1,53 @@
+package explore
+
+import "testing"
+
+// byteChooser drives the scheduler from raw fuzz bytes, mapping each
+// byte onto the available alternatives; exhausted input follows the
+// happy path.
+type byteChooser struct {
+	data []byte
+	seq  []int
+}
+
+func (c *byteChooser) choose(n int) int {
+	pick := 0
+	if d := len(c.seq); d < len(c.data) {
+		pick = int(c.data[d]) % n
+	}
+	c.seq = append(c.seq, pick)
+	return pick
+}
+
+func (c *byteChooser) taken() []int { return c.seq }
+
+// FuzzSchedule feeds arbitrary byte strings to the scheduler as choice
+// sequences: whatever interleaving and fault pattern the fuzzer
+// invents, no safety property may break.
+func FuzzSchedule(f *testing.F) {
+	m, err := PaperModel()
+	if err != nil {
+		f.Fatal(err)
+	}
+	x, err := New(m, Options{MaxFaults: 2, MaxPackets: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 3, 2})
+	f.Add([]byte{5, 5, 5, 5, 5, 5})
+	f.Add([]byte{0, 7, 1, 4, 2, 9, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		rep := &Report{}
+		ch := &byteChooser{data: data}
+		if err := x.runOne(ch, rep); err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) > 0 {
+			t.Fatalf("schedule %v violates safety: %v", ch.taken(), rep.Violations[0])
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/action"
+	"repro/internal/protocol"
+)
+
+// vproc is a virtual process: the ground truth of which components
+// actually run where, plus the application-level behavior the agent's
+// LocalProcess hooks drive. All methods run on the scheduler goroutine.
+type vproc struct {
+	e    *execution
+	name string
+	// comps is the set of components actually instantiated here — the
+	// ground truth the explorer checks the manager's belief against.
+	comps map[string]bool
+	// blocked marks the process held in its safe state.
+	blocked bool
+	// failNextReset makes the next Reset fail (injected fail-to-reset).
+	failNextReset bool
+}
+
+func (p *vproc) PreAction(protocol.Step, []action.Op) error { return nil }
+
+// Reset drives the process to its safe state: it stops emitting, and —
+// its share of the global safe condition — drains every packet already
+// in flight toward it while its pre-step decoders still run. The
+// DisableDrain mutation hook skips the drain, which must make the
+// explorer catch a cut CCS.
+func (p *vproc) Reset(_ context.Context, protoStep protocol.Step) error {
+	if p.failNextReset {
+		p.failNextReset = false
+		return fmt.Errorf("injected fail-to-reset at %s", p.name)
+	}
+	p.blocked = true
+	p.e.logf("%s blocked in safe state (step %s)", p.name, protoStep.ActionID)
+	if !p.e.x.opts.DisableDrain {
+		p.drainInbound()
+	}
+	return nil
+}
+
+// drainInbound consumes every in-flight packet addressed to this
+// process, decoding with the current (pre-in-action) components.
+func (p *vproc) drainInbound() {
+	for i, f := range p.e.m.Flows {
+		if f.To != p.name {
+			continue
+		}
+		for _, pk := range p.e.flows[i] {
+			p.e.deliverPacket(i, pk)
+		}
+		p.e.flows[i] = nil
+	}
+}
+
+func (p *vproc) InAction(step protocol.Step, ops []action.Op) error {
+	p.apply(ops)
+	p.e.logf("%s applies in-action %s: now {%s}", p.name, step.ActionID, joinComps(p.e.componentsOf(p.name)))
+	return nil
+}
+
+func (p *vproc) Resume(step protocol.Step) error {
+	p.blocked = false
+	p.e.logf("%s resumes after %s", p.name, step.ActionID)
+	return nil
+}
+
+func (p *vproc) PostAction(protocol.Step, []action.Op) error { return nil }
+
+func (p *vproc) Rollback(step protocol.Step, ops []action.Op, inActionApplied bool) error {
+	if inActionApplied {
+		p.applyInverse(ops)
+	}
+	p.blocked = false
+	p.e.logf("%s rolls back %s (in-action applied: %v)", p.name, step.ActionID, inActionApplied)
+	return nil
+}
+
+func (p *vproc) apply(ops []action.Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case action.Insert:
+			p.comps[op.New] = true
+		case action.Remove:
+			delete(p.comps, op.Old)
+		case action.Replace:
+			delete(p.comps, op.Old)
+			p.comps[op.New] = true
+		}
+	}
+}
+
+func (p *vproc) applyInverse(ops []action.Op) {
+	for i := len(ops) - 1; i >= 0; i-- {
+		switch op := ops[i]; op.Kind {
+		case action.Insert:
+			delete(p.comps, op.New)
+		case action.Remove:
+			p.comps[op.Old] = true
+		case action.Replace:
+			delete(p.comps, op.New)
+			p.comps[op.Old] = true
+		}
+	}
+}
+
+func joinComps(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}

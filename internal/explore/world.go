@@ -1,0 +1,571 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/audit"
+	"repro/internal/ccs"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// logicalClock is the virtual time source shared by the manager, the
+// agents and the scheduler. It advances only when the scheduler applies
+// an event, so identical schedules yield identical timestamps.
+type logicalClock struct {
+	now time.Time
+}
+
+func (c *logicalClock) Now() time.Time { return c.now }
+
+func (c *logicalClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func (c *logicalClock) advanceTo(t time.Time) {
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+// packet is one in-flight application packet.
+type packet struct {
+	cid ccs.CID
+	key string
+}
+
+type choiceKind int
+
+const (
+	chMgrRecv choiceKind = iota // deliver an agent reply to the manager
+	chAgentRecv                 // deliver a manager command to an agent
+	chAppDeliver                // deliver the oldest packet on a flow
+	chEmit                      // a sender emits one packet per outgoing flow
+	chTimeout                   // fault: the manager's current wait times out
+	chDrop                      // fault: drop a pending protocol message
+	chFailReset                 // fault: deliver a reset that fails to quiesce
+	chCrash                     // fault: crash an agent instead of delivering
+)
+
+// choice is one enumerated scheduling alternative.
+type choice struct {
+	kind     choiceKind
+	from, to string // protocol queue key (chMgrRecv/chAgentRecv/chDrop)
+	flow     int    // flow index (chAppDeliver)
+	sender   string // emitting process (chEmit)
+}
+
+// execution is one deterministic run of the full adaptation: the
+// manager, the agents, the virtual transport and the application model,
+// all driven from the scheduler on a single goroutine.
+type execution struct {
+	x  *Explorer
+	m  *Model
+	ch chooser
+
+	reg       *model.Registry
+	clock     *logicalClock
+	procs     map[string]*vproc
+	procNames []string
+	agents    map[string]*agent.Agent
+	mgr       *manager.Manager
+
+	pending     []protocol.Message // in-flight protocol messages, send order
+	flows       [][]packet         // in-flight packets per model flow
+	nextCID     ccs.CID
+	packetsLeft int
+	faultsLeft  int
+	events      int
+	livelocked  bool
+
+	crashed  map[string]bool
+	anyCrash bool
+	// ponr marks (pathIndex, attempt) step attempts whose first resume
+	// was sent — the point of no return.
+	ponr map[[2]int]bool
+
+	checker   *ccs.Checker
+	ccsExempt map[ccs.CID]bool
+
+	violations []Violation
+	trace      []string
+}
+
+func newExecution(x *Explorer, ch chooser) (*execution, error) {
+	reg := x.m.Invariants.Registry()
+	e := &execution{
+		x:           x,
+		m:           x.m,
+		ch:          ch,
+		reg:         reg,
+		clock:       &logicalClock{now: time.Unix(0, 0).UTC()},
+		procs:       make(map[string]*vproc),
+		procNames:   reg.Processes(),
+		agents:      make(map[string]*agent.Agent),
+		flows:       make([][]packet, len(x.m.Flows)),
+		packetsLeft: x.opts.MaxPackets,
+		faultsLeft:  x.opts.MaxFaults,
+		crashed:     make(map[string]bool),
+		ponr:        make(map[[2]int]bool),
+		ccsExempt:   make(map[ccs.CID]bool),
+	}
+	segs, err := ccs.NewSegments([]string{"send", "recv"})
+	if err != nil {
+		return nil, err
+	}
+	e.checker = ccs.NewChecker(segs)
+
+	for _, pn := range e.procNames {
+		comps := make(map[string]bool)
+		for _, c := range reg.Components() {
+			if c.Process == pn && reg.Contains(x.m.Source, c.Name) {
+				comps[c.Name] = true
+			}
+		}
+		e.procs[pn] = &vproc{e: e, name: pn, comps: comps}
+	}
+	procOf := func(component string) string {
+		p, _ := reg.ProcessOf(component)
+		return p
+	}
+	for _, pn := range e.procNames {
+		ag, err := agent.New(pn, &agentEndpoint{e: e, name: pn}, e.procs[pn], agent.Options{
+			ResetTimeout: x.opts.StepTimeout,
+			ProcessOf:    procOf,
+			Clock:        e.clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.agents[pn] = ag
+	}
+	e.mgr, err = manager.New(&mgrEndpoint{e: e}, x.plan, manager.Options{
+		StepTimeout:   x.opts.StepTimeout,
+		ResumeRetries: x.opts.ResumeRetries,
+		ResetPhases:   x.m.ResetPhases,
+		Clock:         e.clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// run executes the adaptation to its terminal state and performs the
+// terminal checks.
+func (e *execution) run() {
+	res, err := e.mgr.Execute(e.m.Source, e.m.Target)
+	e.finish(res, err)
+}
+
+func (e *execution) logf(format string, args ...any) {
+	e.trace = append(e.trace, fmt.Sprintf(format, args...))
+}
+
+func (e *execution) violate(kind, detail string) {
+	sched := append([]int(nil), e.ch.taken()...)
+	for len(sched) > 0 && sched[len(sched)-1] == 0 {
+		sched = sched[:len(sched)-1]
+	}
+	e.violations = append(e.violations, Violation{
+		Kind:     kind,
+		Detail:   detail,
+		Schedule: sched,
+		Trace:    append([]string(nil), e.trace...),
+	})
+}
+
+// mgrEndpoint is the manager's virtual transport endpoint. Its Recv is
+// the scheduler: while the manager blocks in a protocol wait, the
+// explorer delivers messages, steps agents and injects faults, all on
+// the manager's own goroutine.
+type mgrEndpoint struct {
+	e *execution
+}
+
+func (ep *mgrEndpoint) Name() string { return protocol.ManagerName }
+
+func (ep *mgrEndpoint) Send(msg protocol.Message) error {
+	e := ep.e
+	msg.From = protocol.ManagerName
+	key := [2]int{msg.Step.PathIndex, msg.Step.Attempt}
+	switch msg.Type {
+	case protocol.MsgResume:
+		e.ponr[key] = true
+	case protocol.MsgRollback:
+		if e.ponr[key] {
+			e.violate("rollback-after-resume", fmt.Sprintf(
+				"rollback for step %s (path %d attempt %d) sent after that attempt's first resume",
+				msg.Step.ActionID, msg.Step.PathIndex, msg.Step.Attempt))
+		}
+	}
+	if e.crashed[msg.To] {
+		e.logf("send %s -> %s: receiver crashed, dropped", msg.Type, msg.To)
+		return nil
+	}
+	e.pending = append(e.pending, msg)
+	return nil
+}
+
+func (ep *mgrEndpoint) Inbox() <-chan protocol.Message { return nil }
+
+func (ep *mgrEndpoint) Close() error { return nil }
+
+func (ep *mgrEndpoint) Recv(ctx context.Context, deadline time.Time) (protocol.Message, transport.RecvStatus) {
+	return ep.e.schedule(ctx, deadline)
+}
+
+// agentEndpoint carries agent replies back into the virtual network.
+type agentEndpoint struct {
+	e    *execution
+	name string
+}
+
+func (ep *agentEndpoint) Name() string { return ep.name }
+
+func (ep *agentEndpoint) Send(msg protocol.Message) error {
+	msg.From = ep.name
+	ep.e.pending = append(ep.e.pending, msg)
+	return nil
+}
+
+func (ep *agentEndpoint) Inbox() <-chan protocol.Message { return nil }
+
+func (ep *agentEndpoint) Close() error { return nil }
+
+// schedule is the scheduler loop, entered whenever the manager blocks in
+// a protocol wait. It applies chosen events until one resolves the wait:
+// a manager-bound delivery (RecvOK) or a timeout (forced when nothing is
+// deliverable, injected as a fault otherwise).
+func (e *execution) schedule(ctx context.Context, deadline time.Time) (protocol.Message, transport.RecvStatus) {
+	for {
+		if ctx.Err() != nil {
+			return protocol.Message{}, transport.RecvAborted
+		}
+		if e.livelocked {
+			return protocol.Message{}, transport.RecvClosed
+		}
+		cs := e.choicesNow()
+		if len(cs) == 0 {
+			e.clock.advanceTo(deadline)
+			e.logf("timeout: nothing deliverable")
+			return protocol.Message{}, transport.RecvTimeout
+		}
+		e.events++
+		if e.events > e.x.opts.MaxEvents {
+			e.livelocked = true
+			e.violate("livelock", fmt.Sprintf("execution exceeded %d events without terminating", e.x.opts.MaxEvents))
+			return protocol.Message{}, transport.RecvClosed
+		}
+		c := cs[e.ch.choose(len(cs))]
+		e.clock.advance(time.Millisecond)
+		switch c.kind {
+		case chMgrRecv:
+			msg := e.takePending(c.from, protocol.ManagerName)
+			e.logf("deliver %q %s -> manager", msg.Type.String(), c.from)
+			return msg, transport.RecvOK
+		case chAgentRecv:
+			msg := e.takePending(protocol.ManagerName, c.to)
+			e.logf("deliver %q -> %s", msg.Type.String(), c.to)
+			e.agents[c.to].Deliver(msg)
+		case chAppDeliver:
+			pk := e.flows[c.flow][0]
+			e.flows[c.flow] = e.flows[c.flow][1:]
+			e.deliverPacket(c.flow, pk)
+		case chEmit:
+			e.emit(c.sender)
+		case chTimeout:
+			e.faultsLeft--
+			e.clock.advanceTo(deadline)
+			e.logf("fault: manager wait times out")
+			return protocol.Message{}, transport.RecvTimeout
+		case chDrop:
+			msg := e.takePending(c.from, c.to)
+			e.faultsLeft--
+			e.logf("fault: drop %q %s -> %s", msg.Type.String(), c.from, c.to)
+		case chFailReset:
+			msg := e.takePending(protocol.ManagerName, c.to)
+			e.faultsLeft--
+			e.procs[c.to].failNextReset = true
+			e.logf("fault: %s fails to reset", c.to)
+			e.agents[c.to].Deliver(msg)
+		case chCrash:
+			msg := e.takePending(protocol.ManagerName, c.to)
+			e.faultsLeft--
+			e.crashed[c.to] = true
+			e.anyCrash = true
+			e.purgePendingTo(c.to)
+			e.logf("fault: %s crashes on receipt of %q", c.to, msg.Type.String())
+		}
+		e.checkRunningState()
+	}
+}
+
+// choicesNow enumerates the scheduling alternatives in canonical order:
+// protocol deliveries to the manager, protocol deliveries to agents,
+// application deliveries, emission, then faults. Alternative 0 is
+// therefore always a fault-free choice.
+func (e *execution) choicesNow() []choice {
+	var cs []choice
+
+	// Head-of-queue protocol message per (from, to) pair — the virtual
+	// network is FIFO per pair, like the real transports.
+	type pair struct{ from, to string }
+	seen := make(map[pair]bool)
+	var mgrHeads, agHeads []choice
+	var dropHeads, failHeads, crashHeads []choice
+	for _, msg := range e.pending {
+		p := pair{msg.From, msg.To}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if msg.To == protocol.ManagerName {
+			mgrHeads = append(mgrHeads, choice{kind: chMgrRecv, from: msg.From, to: msg.To})
+		} else {
+			agHeads = append(agHeads, choice{kind: chAgentRecv, from: msg.From, to: msg.To})
+			if msg.Type == protocol.MsgReset {
+				failHeads = append(failHeads, choice{kind: chFailReset, to: msg.To})
+			}
+			crashHeads = append(crashHeads, choice{kind: chCrash, to: msg.To})
+		}
+		dropHeads = append(dropHeads, choice{kind: chDrop, from: msg.From, to: msg.To})
+	}
+	cs = append(cs, mgrHeads...)
+	cs = append(cs, agHeads...)
+
+	for i, f := range e.m.Flows {
+		if len(e.flows[i]) == 0 {
+			continue
+		}
+		r := e.procs[f.To]
+		if r.blocked || e.crashed[f.To] {
+			continue
+		}
+		cs = append(cs, choice{kind: chAppDeliver, flow: i})
+	}
+
+	if e.packetsLeft > 0 {
+		emitted := make(map[string]bool)
+		for _, f := range e.m.Flows {
+			if emitted[f.From] {
+				continue
+			}
+			emitted[f.From] = true
+			s := e.procs[f.From]
+			if s.blocked || e.crashed[f.From] {
+				continue
+			}
+			if _, ok := e.encoderKey(s); ok {
+				cs = append(cs, choice{kind: chEmit, sender: f.From})
+			}
+		}
+	}
+
+	if e.faultsLeft > 0 {
+		if len(cs) > 0 {
+			// An injected timeout only makes sense while something else
+			// could have happened; the bare-queue case is forced anyway.
+			cs = append(cs, choice{kind: chTimeout})
+		}
+		cs = append(cs, dropHeads...)
+		cs = append(cs, failHeads...)
+		cs = append(cs, crashHeads...)
+	}
+	return cs
+}
+
+// takePending removes and returns the oldest pending message from→to.
+func (e *execution) takePending(from, to string) protocol.Message {
+	for i, msg := range e.pending {
+		if msg.From == from && msg.To == to {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return msg
+		}
+	}
+	// Unreachable while enumeration and application agree.
+	panic(fmt.Sprintf("explore: no pending message %s -> %s", from, to))
+}
+
+func (e *execution) purgePendingTo(to string) {
+	kept := e.pending[:0]
+	for _, msg := range e.pending {
+		if msg.To != to {
+			kept = append(kept, msg)
+		}
+	}
+	e.pending = kept
+}
+
+// encoderKey returns the key the process would emit with, requiring
+// exactly one encoder component (the security invariant's oneof).
+// Component iteration follows registry order for determinism.
+func (e *execution) encoderKey(p *vproc) (string, bool) {
+	var key string
+	n := 0
+	for _, c := range e.reg.Components() {
+		if p.comps[c.Name] {
+			if k, ok := e.m.Encodes[c.Name]; ok {
+				key = k
+				n++
+			}
+		}
+	}
+	return key, n == 1
+}
+
+func (e *execution) emit(sender string) {
+	key, ok := e.encoderKey(e.procs[sender])
+	if !ok {
+		return
+	}
+	e.packetsLeft--
+	for i, f := range e.m.Flows {
+		if f.From != sender {
+			continue
+		}
+		e.nextCID++
+		cid := e.nextCID
+		e.flows[i] = append(e.flows[i], packet{cid: cid, key: key})
+		e.checker.Record(ccs.Event{CID: cid, Action: "send"})
+		e.logf("%s emits packet %d (key %s) -> %s", sender, cid, key, f.To)
+	}
+}
+
+// deliverPacket decodes one packet at its flow's receiver; an
+// undecodable packet is a cut critical communication segment.
+func (e *execution) deliverPacket(flow int, pk packet) {
+	r := e.m.Flows[flow].To
+	if comp, ok := e.decoderFor(r, pk.key); ok {
+		e.checker.Record(ccs.Event{CID: pk.cid, Action: "recv"})
+		e.logf("%s decodes packet %d (key %s) with %s", r, pk.cid, pk.key, comp)
+		return
+	}
+	e.ccsExempt[pk.cid] = true // already reported; skip the terminal re-check
+	e.violate("ccs", fmt.Sprintf(
+		"packet %d (key %s) undecodable at %s (components %s): critical communication segment cut",
+		pk.cid, pk.key, r, strings.Join(e.componentsOf(r), ",")))
+}
+
+func (e *execution) decoderFor(process, key string) (string, bool) {
+	p := e.procs[process]
+	for _, c := range e.reg.Components() {
+		if !p.comps[c.Name] {
+			continue
+		}
+		for _, k := range e.m.Decodes[c.Name] {
+			if k == key {
+				return c.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (e *execution) componentsOf(process string) []string {
+	var out []string
+	for _, c := range e.reg.Components() {
+		if e.procs[process].comps[c.Name] {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// groundTruth assembles the actual running configuration from the
+// virtual processes' component sets.
+func (e *execution) groundTruth() model.Config {
+	var names []string
+	for _, pn := range e.procNames {
+		names = append(names, e.componentsOf(pn)...)
+	}
+	cfg, err := e.reg.ConfigOf(names...)
+	if err != nil {
+		// Components only move via registry-validated ops; unreachable.
+		panic(fmt.Sprintf("explore: ground truth: %v", err))
+	}
+	return cfg
+}
+
+// checkRunningState verifies the paper's central safety claim after
+// every event: whenever every process runs unblocked, the configuration
+// they form satisfies all dependency invariants. Crashed executions are
+// exempt — the paper's failure model does not cover process crashes.
+func (e *execution) checkRunningState() {
+	if e.anyCrash {
+		return
+	}
+	for _, pn := range e.procNames {
+		if e.procs[pn].blocked {
+			return
+		}
+	}
+	cfg := e.groundTruth()
+	if !e.m.Invariants.Satisfied(cfg) {
+		var broken []string
+		for _, inv := range e.m.Invariants.Violations(cfg) {
+			broken = append(broken, inv.String())
+		}
+		e.violate("invariant", fmt.Sprintf(
+			"all processes running but configuration %s violates: %s",
+			e.reg.BitVector(cfg), strings.Join(broken, "; ")))
+	}
+}
+
+// finish performs the terminal checks once the manager's Execute
+// returned: flush in-flight packets, close the CCS ledger, check for
+// deadlock and belief divergence, and audit all recorded traces.
+func (e *execution) finish(res manager.Result, err error) {
+	for i := range e.m.Flows {
+		r := e.m.Flows[i].To
+		for _, pk := range e.flows[i] {
+			if e.crashed[r] || e.procs[r].blocked {
+				// Undeliverable: exempt from the CCS check unless the run
+				// claimed success — then the deadlock check below reports
+				// the stuck process itself.
+				e.ccsExempt[pk.cid] = true
+				continue
+			}
+			e.deliverPacket(i, pk)
+		}
+		e.flows[i] = nil
+	}
+	for _, v := range e.checker.Check() {
+		if e.ccsExempt[v.CID] {
+			continue
+		}
+		e.violate("ccs", v.String())
+	}
+
+	if err == nil && !e.anyCrash {
+		for _, pn := range e.procNames {
+			if e.procs[pn].blocked {
+				e.violate("deadlock", fmt.Sprintf("process %s left blocked after a successful adaptation", pn))
+			}
+			if st := e.agents[pn].State(); st != agent.StateRunning {
+				e.violate("deadlock", fmt.Sprintf("agent %s left in state %s after a successful adaptation", pn, st))
+			}
+		}
+		if gt := e.groundTruth(); gt != res.Final {
+			e.violate("belief", fmt.Sprintf(
+				"manager believes the system is at %s but the ground truth is %s",
+				e.reg.BitVector(res.Final), e.reg.BitVector(gt)))
+		}
+	}
+
+	for _, issue := range audit.ManagerTrace(e.mgr.Trace()) {
+		e.violate("audit", issue.String())
+	}
+	for _, pn := range e.procNames {
+		for _, issue := range audit.AgentTrace(e.agents[pn].Trace()) {
+			e.violate("audit", fmt.Sprintf("%s: %s", pn, issue.String()))
+		}
+	}
+	for _, issue := range audit.Result(e.reg, res, e.m.Target) {
+		e.violate("audit", issue.String())
+	}
+}

@@ -152,6 +152,12 @@ type Options struct {
 	// failure/recovery counters. Nil disables instrumentation at zero
 	// cost.
 	Telemetry *telemetry.Registry
+	// Clock supplies the timestamps recorded in the transition trace and
+	// step reports, and the deadlines of protocol waits on SyncEndpoint
+	// transports. Nil means the wall clock. The deterministic explorer
+	// injects a logical clock so identical schedules yield identical
+	// traces.
+	Clock transport.Clock
 }
 
 // Manager is the adaptation manager. It is not safe for concurrent
@@ -194,6 +200,9 @@ func New(ep transport.Endpoint, plan *planner.Planner, opts Options) (*Manager, 
 	if opts.MaxAlternatives <= 0 {
 		opts.MaxAlternatives = 4
 	}
+	if opts.Clock == nil {
+		opts.Clock = transport.SystemClock
+	}
 	return &Manager{ep: ep, plan: plan, opts: opts, tel: opts.Telemetry, state: StateRunning}, nil
 }
 
@@ -216,7 +225,7 @@ func (m *Manager) Trace() []Transition {
 func (m *Manager) transition(to State, cause string) {
 	m.mu.Lock()
 	from := m.state
-	m.trace = append(m.trace, Transition{From: from, To: to, Cause: cause, At: time.Now()})
+	m.trace = append(m.trace, Transition{From: from, To: to, Cause: cause, At: m.opts.Clock.Now()})
 	m.state = to
 	m.mu.Unlock()
 	m.tel.Counter("manager.transitions").Inc()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sag"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // executeStep coordinates one adaptation step: the reset wave (phase by
@@ -96,8 +97,8 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		ToVector:     rep.To,
 	}
 
-	start := time.Now()
-	defer func() { rep.BlockedFor = time.Since(start) }()
+	start := m.opts.Clock.Now()
+	defer func() { rep.BlockedFor = m.opts.Clock.Now().Sub(start) }()
 
 	fail := func(why string) (StepReport, error) {
 		m.tel.Counter("manager.step.rollbacks").Inc()
@@ -176,16 +177,19 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		if retry > 0 {
 			m.tel.Counter("manager.resume.retries").Inc()
 		}
-		for p := range pending {
+		// Iterate the sorted participants slice, not the pending map:
+		// send order must be deterministic for replayable exploration.
+		names := make([]string, 0, len(pending))
+		for _, p := range participants {
+			if !pending[p] {
+				continue
+			}
+			names = append(names, p)
 			if err := m.ep.Send(protocol.Message{Type: protocol.MsgResume, To: p, Step: pstep}); err != nil {
 				// Connection-level failure: keep retrying; the agent may
 				// reconnect. Treat like a lost message.
 				continue
 			}
-		}
-		names := make([]string, 0, len(pending))
-		for p := range pending {
-			names = append(names, p)
 		}
 		// Past the point of no return: resume waits ignore cancellation
 		// (context.Background) so the step runs to completion.
@@ -223,8 +227,6 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 		wanted[p] = true
 	}
 	got := make(map[string]bool, len(from))
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
 
 	// classify inspects one message; it returns a failure description or
 	// "" and reports whether the message was consumed.
@@ -265,6 +267,34 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 		return got, stashFail
 	}
 
+	// Scheduler-mediated transports (the deterministic explorer) receive
+	// through SyncEndpoint.Recv; real transports through the inbox channel
+	// with a wall-clock timer. Both paths share classify and the stash.
+	if se, ok := m.ep.(transport.SyncEndpoint); ok {
+		deadline := m.opts.Clock.Now().Add(timeout)
+		for len(got) < len(wanted) {
+			msg, status := se.Recv(ctx, deadline)
+			switch status {
+			case transport.RecvTimeout:
+				return got, ""
+			case transport.RecvClosed:
+				return got, "transport closed"
+			case transport.RecvAborted:
+				return got, "aborted: " + ctx.Err().Error()
+			}
+			fail, consumed := classify(msg)
+			if fail != "" {
+				return got, fail
+			}
+			if !consumed && len(m.stash) < maxStash {
+				m.stash = append(m.stash, msg)
+			}
+		}
+		return got, ""
+	}
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for len(got) < len(wanted) {
 		select {
 		case msg, ok := <-m.ep.Inbox():

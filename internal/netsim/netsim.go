@@ -26,6 +26,24 @@ import (
 // ErrClosed is returned when operating on a closed group or subscription.
 var ErrClosed = errors.New("netsim: closed")
 
+// Clock abstracts time for the simulator. The default SystemClock uses
+// real time; tests inject a virtual clock so delivery delays advance
+// logical time instead of blocking, making whole runs deterministic.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time        { return time.Now() }
+func (systemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SystemClock is the wall-clock Clock used when none is injected.
+var SystemClock Clock = systemClock{}
+
 // LinkProfile describes delivery characteristics of one subscriber link.
 type LinkProfile struct {
 	// Latency is the base one-way delay.
@@ -56,7 +74,9 @@ type Datagram []byte
 type Group struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
+	clock  Clock
 	subs   map[string]*Subscription
+	order  []*Subscription // insertion order: PRNG draws must not depend on map iteration
 	closed bool
 	tel    atomic.Pointer[telemetry.Registry] // lock-free: workers read it under s.mu
 }
@@ -69,9 +89,21 @@ func (g *Group) SetTelemetry(tel *telemetry.Registry) { g.tel.Store(tel) }
 // NewGroup creates a multicast group with the given PRNG seed. Identical
 // seeds and send sequences yield identical loss/jitter decisions.
 func NewGroup(seed int64) *Group {
+	return NewGroupWithClock(seed, SystemClock)
+}
+
+// NewGroupWithClock creates a multicast group whose delivery timing runs
+// on the given clock. With a virtual clock, identical seeds and send
+// sequences yield bit-identical delivery traces, with no wall-clock
+// sleeps anywhere in the delivery path.
+func NewGroupWithClock(seed int64, clock Clock) *Group {
+	if clock == nil {
+		clock = SystemClock
+	}
 	return &Group{
-		rng:  rand.New(rand.NewSource(seed)),
-		subs: make(map[string]*Subscription),
+		rng:   rand.New(rand.NewSource(seed)),
+		clock: clock,
+		subs:  make(map[string]*Subscription),
 	}
 }
 
@@ -129,6 +161,7 @@ func (g *Group) Subscribe(name string, profile LinkProfile, buffer int) (*Subscr
 	}
 	s.cond = sync.NewCond(&s.mu)
 	g.subs[name] = s
+	g.order = append(g.order, s)
 	go s.deliverLoop()
 	return s, nil
 }
@@ -144,14 +177,14 @@ func (g *Group) Send(d Datagram) error {
 	payload := make(Datagram, len(d))
 	copy(payload, d)
 
-	now := time.Now()
+	now := g.clock.Now()
 	type plan struct {
 		sub  *Subscription
 		drop bool
 		at   time.Time
 	}
-	plans := make([]plan, 0, len(g.subs))
-	for _, sub := range g.subs {
+	plans := make([]plan, 0, len(g.order))
+	for _, sub := range g.order {
 		p := plan{sub: sub, at: now.Add(sub.profile.Latency)}
 		if sub.profile.LossRate > 0 && g.rng.Float64() < sub.profile.LossRate {
 			p.drop = true
@@ -223,9 +256,16 @@ func (s *Subscription) InFlight() int {
 // Unsubscribe removes the subscriber from the group and closes its
 // channel after pending deliveries flush.
 func (s *Subscription) Unsubscribe() {
-	s.group.mu.Lock()
-	delete(s.group.subs, s.name)
-	s.group.mu.Unlock()
+	g := s.group
+	g.mu.Lock()
+	delete(g.subs, s.name)
+	for i, sub := range g.order {
+		if sub == s {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	g.mu.Unlock()
 	s.close()
 }
 
@@ -267,8 +307,9 @@ func (s *Subscription) deliverLoop() {
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
 
-		if wait := time.Until(item.deliverAt); wait > 0 {
-			time.Sleep(wait)
+		clock := s.group.clock
+		if wait := item.deliverAt.Sub(clock.Now()); wait > 0 {
+			clock.Sleep(wait)
 		}
 
 		s.mu.Lock()

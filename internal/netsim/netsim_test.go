@@ -1,6 +1,9 @@
 package netsim
 
 import (
+	"fmt"
+	"reflect"
+	"sync"
 	"testing"
 	"time"
 )
@@ -190,4 +193,87 @@ func TestCloseWaitsForInFlight(t *testing.T) {
 		t.Fatal("Close hung on in-flight delivery")
 	}
 	_ = sub
+}
+
+// virtualClock advances logical time instead of blocking: Sleep jumps
+// the clock forward and returns immediately.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// runSeededTrace drives one full group lifetime on a virtual clock and
+// returns each subscriber's delivered payload sequence plus drop counts.
+func runSeededTrace(t *testing.T, seed int64) map[string][]string {
+	t.Helper()
+	g := NewGroupWithClock(seed, &virtualClock{now: time.Unix(0, 0)})
+	profiles := map[string]LinkProfile{
+		"handheld": {Latency: 20 * time.Millisecond, Jitter: 10 * time.Millisecond, LossRate: 0.3},
+		"laptop":   {Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, LossRate: 0.1},
+	}
+	subs := make(map[string]*Subscription)
+	for name, p := range profiles {
+		s, err := g.Subscribe(name, p, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[name] = s
+	}
+	for i := 0; i < 200; i++ {
+		if err := g.Send([]byte(fmt.Sprintf("frame-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trace := make(map[string][]string)
+	for name, s := range subs {
+		for d := range s.Recv() {
+			trace[name] = append(trace[name], string(d))
+		}
+		delivered, dropped := s.Stats()
+		trace[name] = append(trace[name], fmt.Sprintf("delivered=%d dropped=%d", delivered, dropped))
+	}
+	return trace
+}
+
+// TestSameSeedIdenticalTraces: with an injected virtual clock the
+// simulator has no wall-clock dependence left, so two runs from the same
+// seed must produce byte-identical delivery traces.
+func TestSameSeedIdenticalTraces(t *testing.T) {
+	tr1 := runSeededTrace(t, 1234)
+	tr2 := runSeededTrace(t, 1234)
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("same seed, different traces:\n%v\nvs\n%v", tr1, tr2)
+	}
+	// Sanity: the profile above loses packets, so drops must be recorded
+	// and deliveries must be non-trivial.
+	for name, lines := range tr1 {
+		if len(lines) < 10 {
+			t.Errorf("%s: suspiciously short trace: %v", name, lines)
+		}
+	}
+	if reflect.DeepEqual(tr1["handheld"], tr1["laptop"]) {
+		t.Error("distinct link profiles should diverge")
+	}
+}
+
+// TestDifferentSeedsDiverge guards against the PRNG being ignored.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	if reflect.DeepEqual(runSeededTrace(t, 1), runSeededTrace(t, 2)) {
+		t.Error("different seeds should produce different traces")
+	}
 }

@@ -103,7 +103,61 @@ func NewMonitor(rules []Rule) (*Monitor, error) {
 		m.byDischarge[r.Discharge] = append(m.byDischarge[r.Discharge], i)
 		m.pending[i] = make(map[uint64]int)
 	}
+	if cycle := findCycle(m.rules, m.byTrigger); cycle != nil {
+		parts := make([]string, len(cycle))
+		for i, idx := range cycle {
+			parts[i] = m.rules[idx].String()
+		}
+		return nil, fmt.Errorf("tlogic: contradictory rules: once triggered, the safe state is unreachable (every discharge re-triggers the next rule in the cycle: %s)",
+			strings.Join(parts, " -> "))
+	}
 	return m, nil
+}
+
+// findCycle detects contradictory rule sets. There is an edge i -> j when
+// rule i's discharge event is rule j's trigger: fulfilling i's obligation
+// necessarily opens j's. A cycle in that graph means that after any rule
+// in the cycle triggers, no event sequence ever returns the monitor to
+// Safe — the specification contradicts its own purpose of identifying
+// safe states. Returns the rule indices of one cycle, or nil.
+func findCycle(rules []Rule, byTrigger map[string][]int) []int {
+	const (
+		unvisited = iota
+		inStack
+		done
+	)
+	state := make([]int, len(rules))
+	var stack []int
+	var dfs func(i int) []int
+	dfs = func(i int) []int {
+		state[i] = inStack
+		stack = append(stack, i)
+		for _, j := range byTrigger[rules[i].Discharge] {
+			switch state[j] {
+			case inStack:
+				for k, idx := range stack {
+					if idx == j {
+						return append(append([]int(nil), stack[k:]...), j)
+					}
+				}
+			case unvisited:
+				if c := dfs(j); c != nil {
+					return c
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[i] = done
+		return nil
+	}
+	for i := range rules {
+		if state[i] == unvisited {
+			if c := dfs(i); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
 }
 
 // MustMonitor parses the specification text and builds the monitor,
@@ -232,6 +286,65 @@ func (m *Monitor) Reset() {
 		close(w)
 	}
 	m.waiters = nil
+}
+
+// Event is one entry of an offline trace: a named observable event with
+// its correlation key.
+type Event struct {
+	Name string
+	Key  uint64
+}
+
+// Divergence records one trace position where the specification-derived
+// safe state disagrees with a hand-identified one.
+type Divergence struct {
+	// Index is the position in the trace, after whose event the states
+	// were compared.
+	Index int
+	// Event is the trace entry at that position.
+	Event Event
+	// Derived is the monitor's verdict; Hand is the hand-identified one.
+	Derived, Hand bool
+	// Outstanding lists the open obligations when Derived is false.
+	Outstanding []string
+}
+
+// String renders the divergence for diagnostics.
+func (d Divergence) String() string {
+	s := fmt.Sprintf("after event %d (%s key %d): derived safe=%v, hand-identified safe=%v",
+		d.Index, d.Event.Name, d.Event.Key, d.Derived, d.Hand)
+	if len(d.Outstanding) > 0 {
+		s += " (outstanding: " + strings.Join(d.Outstanding, "; ") + ")"
+	}
+	return s
+}
+
+// CompareTrace replays a trace on a fresh monitor built from rules and
+// compares the derived safe state after every event against the
+// hand-identified markings (handSafe[i] is whether the state after
+// trace[i] was identified safe by hand). Every disagreement is reported —
+// a rule set whose derived safe states diverge from the hand-identified
+// ones must not be silently accepted as equivalent.
+func CompareTrace(rules []Rule, trace []Event, handSafe []bool) ([]Divergence, error) {
+	if len(trace) != len(handSafe) {
+		return nil, fmt.Errorf("tlogic: trace has %d events but %d hand-identified markings", len(trace), len(handSafe))
+	}
+	m, err := NewMonitor(rules)
+	if err != nil {
+		return nil, err
+	}
+	var out []Divergence
+	for i, ev := range trace {
+		m.Observe(ev.Name, ev.Key)
+		if derived := m.Safe(); derived != handSafe[i] {
+			out = append(out, Divergence{
+				Index: i, Event: ev,
+				Derived: derived, Hand: handSafe[i],
+				Outstanding: m.Obligations(),
+			})
+		}
+	}
+	return out, nil
 }
 
 // SafetyPoll adapts the monitor to a polling predicate with a stability

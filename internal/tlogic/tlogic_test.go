@@ -246,3 +246,113 @@ func TestPropertyPairedStreamsAlwaysSafe(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEmptySpec(t *testing.T) {
+	for _, src := range []string{"", "   \n\n", "# only a comment\n", ";;;\n# nothing"} {
+		if _, err := ParseSpec(src); err == nil {
+			t.Errorf("ParseSpec(%q) should reject an empty specification", src)
+		}
+	}
+}
+
+func TestContradictoryRulesRejected(t *testing.T) {
+	// Two rules that discharge each other: once either triggers, every
+	// discharge re-opens the other obligation and Safe is unreachable.
+	_, err := NewMonitor([]Rule{
+		{Trigger: "a", Discharge: "b"},
+		{Trigger: "b", Discharge: "a"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "contradictory") {
+		t.Fatalf("two-rule cycle not rejected: %v", err)
+	}
+
+	// A longer cycle hidden among healthy rules.
+	_, err = NewMonitor([]Rule{
+		{Trigger: "send", Discharge: "ack"}, // healthy
+		{Trigger: "x", Discharge: "y"},
+		{Trigger: "y", Discharge: "z"},
+		{Trigger: "z", Discharge: "x"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "contradictory") {
+		t.Fatalf("three-rule cycle not rejected: %v", err)
+	}
+
+	// An acyclic chain sharing events is fine: discharging one rule may
+	// trigger the next as long as the chain terminates.
+	if _, err := NewMonitor([]Rule{
+		{Trigger: "a", Discharge: "b"},
+		{Trigger: "b", Discharge: "c"},
+		{Trigger: "c", Discharge: "d"},
+	}); err != nil {
+		t.Fatalf("acyclic chain wrongly rejected: %v", err)
+	}
+}
+
+// TestContradictionIsReal documents why cycles are rejected: without the
+// check, the monitor would never return to safe after the first trigger.
+func TestContradictionIsReal(t *testing.T) {
+	m := &Monitor{
+		byTrigger:   map[string][]int{"a": {0}, "b": {1}},
+		byDischarge: map[string][]int{"b": {0}, "a": {1}},
+		rules:       []Rule{{Trigger: "a", Discharge: "b"}, {Trigger: "b", Discharge: "a"}},
+		pending:     []map[uint64]int{{}, {}},
+	}
+	m.Observe("a", 1)
+	for i := 0; i < 10; i++ {
+		m.Observe("b", 1)
+		m.Observe("a", 1)
+		if m.Safe() {
+			t.Fatal("cyclic spec unexpectedly reached safe")
+		}
+	}
+}
+
+// TestCompareTraceAgreement: the frame-transmission rule derives exactly
+// the hand-identified safe states of a clean send/recv trace.
+func TestCompareTraceAgreement(t *testing.T) {
+	rules := []Rule{{Trigger: "send", Discharge: "recv"}}
+	trace := []Event{
+		{"send", 1}, {"recv", 1},
+		{"send", 2}, {"send", 3}, {"recv", 2}, {"recv", 3},
+	}
+	// By hand: safe exactly when no packet is in flight.
+	hand := []bool{false, true, false, false, false, true}
+	div, err := CompareTrace(rules, trace, hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(div) != 0 {
+		t.Fatalf("derived and hand-identified safe states should agree, got %v", div)
+	}
+}
+
+// TestCompareTraceDisagreementReported: a plausible-looking but wrong
+// rule set (obligations keyed on the wrong discharge event) must be
+// reported as diverging from the hand-identified safe states, never
+// silently accepted.
+func TestCompareTraceDisagreementReported(t *testing.T) {
+	rules := []Rule{{Trigger: "send", Discharge: "ack"}} // trace acks nothing
+	trace := []Event{{"send", 1}, {"recv", 1}}
+	hand := []bool{false, true} // by hand, recv(1) restores safety
+	div, err := CompareTrace(rules, trace, hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(div) != 1 {
+		t.Fatalf("expected exactly one divergence, got %v", div)
+	}
+	d := div[0]
+	if d.Index != 1 || d.Derived || !d.Hand {
+		t.Fatalf("wrong divergence: %+v", d)
+	}
+	if len(d.Outstanding) == 0 || !strings.Contains(d.String(), "after send expect ack") {
+		t.Fatalf("divergence should name the outstanding obligation: %s", d)
+	}
+}
+
+func TestCompareTraceLengthMismatch(t *testing.T) {
+	_, err := CompareTrace([]Rule{{Trigger: "a", Discharge: "b"}}, []Event{{"a", 1}}, nil)
+	if err == nil {
+		t.Error("mismatched trace/marking lengths should error")
+	}
+}

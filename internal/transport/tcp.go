@@ -21,10 +21,11 @@ type TCPManager struct {
 	inbox chan protocol.Message
 	tel   atomic.Pointer[telemetry.Registry]
 
-	mu     sync.Mutex
-	conns  map[string]net.Conn
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[string]net.Conn
+	closed   bool
+	regPulse chan struct{} // closed (and replaced) on every registration change
+	wg       sync.WaitGroup
 }
 
 // SetTelemetry installs the telemetry registry the endpoint counts frame
@@ -38,9 +39,10 @@ func ListenTCP(addr string) (*TCPManager, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	m := &TCPManager{
-		ln:    ln,
-		inbox: make(chan protocol.Message, 64),
-		conns: make(map[string]net.Conn),
+		ln:       ln,
+		inbox:    make(chan protocol.Message, 64),
+		conns:    make(map[string]net.Conn),
+		regPulse: make(chan struct{}),
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -74,8 +76,10 @@ func (m *TCPManager) Send(msg protocol.Message) error {
 
 // WaitForAgents blocks until the named agents have all connected, the
 // manager closes, or the timeout elapses. It consumes no inbox messages.
+// Registration wakes waiters directly; there is no polling.
 func (m *TCPManager) WaitForAgents(timeout time.Duration, names ...string) error {
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
 		m.mu.Lock()
 		if m.closed {
@@ -89,15 +93,23 @@ func (m *TCPManager) WaitForAgents(timeout time.Duration, names ...string) error
 				break
 			}
 		}
+		pulse := m.regPulse
 		m.mu.Unlock()
 		if missing == "" {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-pulse: // a registration (or close) happened; re-check
+		case <-timer.C:
 			return fmt.Errorf("transport: agent %q did not connect within %v", missing, timeout)
 		}
-		time.Sleep(5 * time.Millisecond) // connections register asynchronously
 	}
+}
+
+// pulseLocked wakes every WaitForAgents waiter. Callers hold m.mu.
+func (m *TCPManager) pulseLocked() {
+	close(m.regPulse)
+	m.regPulse = make(chan struct{})
 }
 
 // Close implements Endpoint.
@@ -108,6 +120,7 @@ func (m *TCPManager) Close() error {
 		return nil
 	}
 	m.closed = true
+	m.pulseLocked()
 	conns := make([]net.Conn, 0, len(m.conns))
 	for _, c := range m.conns {
 		conns = append(conns, c)
@@ -154,6 +167,7 @@ func (m *TCPManager) serveConn(conn net.Conn) {
 		_ = old.Close()
 	}
 	m.conns[name] = conn
+	m.pulseLocked()
 	m.mu.Unlock()
 
 	for {

@@ -254,3 +254,52 @@ func TestTCPFromFieldTrusted(t *testing.T) {
 		t.Errorf("From = %q, want %q", msg.From, "honest")
 	}
 }
+
+func TestTCPWaitForAgentsWakesOnRegistration(t *testing.T) {
+	// A waiter that starts before the agent dials must be woken by the
+	// registration itself, not by polling.
+	mgr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+
+	done := make(chan error, 1)
+	go func() { done <- mgr.WaitForAgents(5*time.Second, "late") }()
+
+	ag, err := DialTCP("late", mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ag.Close() }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitForAgents: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken by agent registration")
+	}
+}
+
+func TestTCPWaitForAgentsWakesOnClose(t *testing.T) {
+	mgr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- mgr.WaitForAgents(5*time.Second, "never") }()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	_ = mgr.Close()
+
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("WaitForAgents after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken by close")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/action"
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/invariant"
 	"repro/internal/manager"
 	"repro/internal/model"
@@ -75,6 +76,16 @@ type (
 	Telemetry = telemetry.Registry
 	// TelemetrySnapshot is a point-in-time export of all metrics.
 	TelemetrySnapshot = telemetry.Snapshot
+	// Explorer model-checks the adaptation protocol by deterministic
+	// simulation: bounded-exhaustive DFS and seeded fuzzing over message
+	// interleavings and injected failures.
+	Explorer = explore.Explorer
+	// ExploreOptions configures an Explorer.
+	ExploreOptions = explore.Options
+	// ExploreModel describes the system under exploration.
+	ExploreModel = explore.Model
+	// ExploreReport summarizes an exploration run.
+	ExploreReport = explore.Report
 )
 
 // NewTelemetry returns an empty telemetry registry. All instrumentation
@@ -214,6 +225,35 @@ func (s *System) Deploy(procs map[string]LocalProcess, opts DeployOptions) (*Dep
 		}
 	}
 	return core.NewDeployment(s.compiled.Invariants, s.compiled.Actions, procs, opts)
+}
+
+// ExploreModel returns the system's declared adaptation request as a
+// deterministic-exploration model. The model carries no application-level
+// communication (flows and codec keys are not part of the generic spec),
+// so exploration checks the protocol-level safety properties: invariant
+// satisfaction at every all-running state, rollback discipline, deadlock
+// freedom, and audit conformance. The built-in case study's full model,
+// including the CCS packet check, is explore.PaperModel.
+func (s *System) ExploreModel() *ExploreModel {
+	m := &explore.Model{
+		Invariants: s.compiled.Invariants,
+		Actions:    s.compiled.Actions,
+		Source:     s.compiled.Source,
+		Target:     s.compiled.Target,
+	}
+	if len(s.compiled.Dataflow) > 0 {
+		compiled := s.compiled
+		m.ResetPhases = func(_ Action, participants []string) [][]string {
+			return compiled.ResetPhases(participants)
+		}
+	}
+	return m
+}
+
+// Explorer builds a deterministic protocol explorer for the system's
+// declared adaptation request.
+func (s *System) Explorer(opts ExploreOptions) (*Explorer, error) {
+	return explore.New(s.ExploreModel(), opts)
 }
 
 // FormatConfig renders a configuration in the paper's bit-vector and
