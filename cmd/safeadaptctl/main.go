@@ -13,6 +13,7 @@
 //	safeadaptctl simulate [-f sys.json]      # dry-run the adaptation through the protocol
 //	safeadaptctl trace [-f sys.json]         # run the adaptation and print its span tree + metrics
 //	safeadaptctl check [-depth N] [-fuzz N]  # model-check the protocol across interleavings and failures
+//	safeadaptctl postmortem -dir <dir>       # merge per-node flight-recorder bundles into a causal timeline
 //	safeadaptctl template                    # emit the case study as JSON (a spec template)
 //
 // Without -f, every command analyzes the built-in DSN 2004 case study.
@@ -40,13 +41,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|template> [flags]")
+		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|postmortem|template> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
 	if cmd == "check" {
 		// check has its own flag set (exploration bounds, seed, replay).
 		return check(rest, out)
+	}
+	if cmd == "postmortem" {
+		// postmortem has its own flag set (bundle dir, output shape).
+		return postmortem(rest, out)
 	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)

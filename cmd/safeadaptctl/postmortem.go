@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// postmortem reconstructs a failed (or completed) adaptation from the
+// per-node flight-recorder bundles in a directory: it merges every node's
+// black-box events into one causally ordered global timeline (Lamport
+// order, deterministic ties), splices the per-node spans into a single
+// cross-node tree, and flags causality anomalies. A non-empty anomaly set
+// yields a non-nil error so scripts can gate on the exit code.
+func postmortem(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("postmortem", flag.ContinueOnError)
+	dir := fs.String("dir", "", "directory holding the *.flightrec.json bundles (required)")
+	asJSON := fs.Bool("json", false, "machine-readable JSON output")
+	noTree := fs.Bool("no-tree", false, "skip the cross-node span tree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("postmortem: -dir is required")
+	}
+
+	bundles, err := telemetry.LoadBundleDir(*dir)
+	if err != nil {
+		return err
+	}
+	timeline := telemetry.MergeTimeline(bundles)
+	anomalies := telemetry.CheckCausality(bundles)
+
+	if *asJSON {
+		doc := struct {
+			Nodes     []string                `json:"nodes"`
+			Timeline  []telemetry.FlightEvent `json:"timeline"`
+			Anomalies []telemetry.Anomaly     `json:"anomalies"`
+		}{Timeline: timeline, Anomalies: anomalies}
+		for _, b := range bundles {
+			doc.Nodes = append(doc.Nodes, b.Node)
+		}
+		if err := writeJSON(out, doc); err != nil {
+			return err
+		}
+		if len(anomalies) > 0 {
+			return fmt.Errorf("postmortem: %d causality anomalies", len(anomalies))
+		}
+		return nil
+	}
+
+	for _, b := range bundles {
+		fmt.Fprintf(out, "bundle %-10s %4d events, %3d spans, dumped on %q\n",
+			b.Node, len(b.Events), len(b.Spans), b.Reason)
+	}
+
+	fmt.Fprintf(out, "\n== merged timeline (%d events, Lamport order) ==\n", len(timeline))
+	telemetry.RenderTimeline(out, timeline)
+
+	if !*noTree {
+		fmt.Fprintln(out, "\n== cross-node span tree ==")
+		telemetry.RenderCrossNodeTree(out, bundles)
+	}
+
+	if len(anomalies) > 0 {
+		fmt.Fprintf(out, "\n== causality anomalies (%d) ==\n", len(anomalies))
+		for _, a := range anomalies {
+			fmt.Fprintln(out, " ", a)
+		}
+		return fmt.Errorf("postmortem: %d causality anomalies", len(anomalies))
+	}
+	fmt.Fprintln(out, "\nno causality anomalies")
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// writeBundles drops a consistent two-node bundle set (manager + one
+// agent) into a temp dir and returns the dir.
+func writeBundles(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeBundle(t, dir, telemetry.Bundle{
+		Node:   "manager",
+		Reason: "rollback",
+		Events: []telemetry.FlightEvent{
+			{Seq: 1, Lamport: 1, Node: "manager", Kind: telemetry.FlightSend,
+				TraceID: "adaptation-1", MsgType: "reset", From: "manager", To: "handheld", Step: "0/1"},
+			{Seq: 2, Lamport: 4, Node: "manager", Kind: telemetry.FlightRollback,
+				TraceID: "adaptation-1", Detail: "roll back step 0/1: timeout"},
+		},
+		Spans: []telemetry.SpanRecord{
+			{ID: 1, Name: "adaptation", Node: "manager", Lamport: 1},
+			{ID: 2, ParentID: 1, Name: "reset", Node: "manager", Lamport: 1},
+		},
+	})
+	writeBundle(t, dir, telemetry.Bundle{
+		Node:   "handheld",
+		Reason: "rollback",
+		Events: []telemetry.FlightEvent{
+			{Seq: 1, Lamport: 2, Node: "handheld", Kind: telemetry.FlightRecv,
+				TraceID: "adaptation-1", MsgType: "reset", From: "manager", To: "handheld", Step: "0/1"},
+		},
+		Spans: []telemetry.SpanRecord{
+			{ID: 1, ParentID: 2, ParentNode: "manager", Name: "agent step A2", Node: "handheld", Lamport: 2},
+		},
+	})
+	return dir
+}
+
+func writeBundle(t *testing.T, dir string, b telemetry.Bundle) {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, b.Node+".flightrec.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostmortemCommand(t *testing.T) {
+	dir := writeBundles(t)
+	out := runCmd(t, "postmortem", "-dir", dir)
+	for _, want := range []string{
+		"bundle handheld",
+		"bundle manager",
+		"== merged timeline (3 events, Lamport order) ==",
+		`"reset" manager -> handheld step 0/1`,
+		"== cross-node span tree ==",
+		"[manager] adaptation",
+		"[handheld] agent step A2",
+		"roll back step 0/1: timeout",
+		"no causality anomalies",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("postmortem output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPostmortemJSON(t *testing.T) {
+	dir := writeBundles(t)
+	out := runCmd(t, "postmortem", "-dir", dir, "-json")
+	var doc struct {
+		Nodes     []string                `json:"nodes"`
+		Timeline  []telemetry.FlightEvent `json:"timeline"`
+		Anomalies []telemetry.Anomaly     `json:"anomalies"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("postmortem -json is not JSON: %v\n%s", err, out)
+	}
+	if len(doc.Nodes) != 2 || len(doc.Timeline) != 3 || len(doc.Anomalies) != 0 {
+		t.Fatalf("doc = %d nodes, %d events, %d anomalies", len(doc.Nodes), len(doc.Timeline), len(doc.Anomalies))
+	}
+	if doc.Timeline[0].Lamport != 1 || doc.Timeline[2].Lamport != 4 {
+		t.Fatalf("timeline not Lamport-ordered: %+v", doc.Timeline)
+	}
+}
+
+func TestPostmortemAnomalyExitCode(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, telemetry.Bundle{
+		Node:   "manager",
+		Reason: "failure",
+		Events: []telemetry.FlightEvent{
+			// Receive stamped AT the send's Lamport time: clock never merged.
+			{Seq: 1, Lamport: 3, Node: "manager", Kind: telemetry.FlightSend, MsgType: "reset", From: "manager", To: "a", Step: "0/1"},
+			{Seq: 2, Lamport: 3, Node: "manager", Kind: telemetry.FlightRecv, MsgType: "reset", From: "manager", To: "a", Step: "0/1"},
+		},
+	})
+	var sb strings.Builder
+	err := run([]string{"postmortem", "-dir", dir, "-no-tree"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "causality anomalies") {
+		t.Fatalf("anomalous bundles must fail the command, got err=%v", err)
+	}
+	if !strings.Contains(sb.String(), "receive-before-send") {
+		t.Errorf("output does not name the anomaly:\n%s", sb.String())
+	}
+}
+
+func TestPostmortemBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"postmortem"}, &sb); err == nil {
+		t.Error("missing -dir should fail")
+	}
+	if err := run([]string{"postmortem", "-dir", t.TempDir()}, &sb); err == nil {
+		t.Error("empty bundle dir should fail")
+	}
+}

@@ -24,8 +24,15 @@
 //
 // Every role accepts -metrics <addr>: the node then prints
 // "METRICS_ADDR=<addr>" and serves its telemetry registry there —
-// /metrics (JSON counters, gauges, latency histograms) and
-// /debug/adaptation (recent spans and events; ?tree=1 for text).
+// /metrics (JSON counters, gauges, latency histograms; ?format=prometheus
+// for text exposition) and /debug/adaptation (recent spans and events;
+// ?tree=1 for text).
+//
+// Every role also accepts -flightrec <dir> (or the SAFEADAPT_FLIGHTREC_DIR
+// environment variable): the node then keeps a black-box flight recorder
+// and dumps <dir>/<role>.flightrec.json on rollback, failure, panic, or
+// clean shutdown. Merge the per-node bundles with
+// `safeadaptctl postmortem -dir <dir>`.
 package main
 
 import (
@@ -67,23 +74,53 @@ func run() error {
 	duration := flag.Duration("duration", 3*time.Second, "how long to serve (clients)")
 	adaptAfter := flag.Int("adapt-after", 0, "frames before the manager adapts (manager; 0 = immediately after agents connect)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/adaptation on this address (empty = disabled)")
+	flightDir := flag.String("flightrec", "", "dump flight-recorder bundles to this directory (empty = $SAFEADAPT_FLIGHTREC_DIR, unset = disabled)")
 	flag.Parse()
 
 	tel, err := serveMetrics(*metricsAddr)
 	if err != nil {
 		return err
 	}
+	tel, fr := armFlightRecorder(tel, *role, *flightDir)
+	defer fr.DumpOnPanic()
 
 	switch *role {
 	case "manager":
-		return runManager(*listen, *adaptAfter, tel)
+		err = runManager(*listen, *adaptAfter, tel)
 	case "server":
-		return runServer(*managerAddr, *peers, *frames, tel)
+		err = runServer(*managerAddr, *peers, *frames, tel)
 	case "handheld", "laptop":
-		return runClient(*role, *managerAddr, *duration, tel)
+		err = runClient(*role, *managerAddr, *duration, tel)
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
+	if err == nil {
+		// Clean exit: dump anyway so a post-mortem can include the nodes
+		// that did NOT fail. Failure paths already dumped with a more
+		// specific reason inside the protocol layer.
+		fr.AutoDump("shutdown")
+	}
+	return err
+}
+
+// armFlightRecorder attaches a black-box recorder dumping to dir (flag, or
+// the SAFEADAPT_FLIGHTREC_DIR environment variable). Recording requires a
+// registry — one is created if -metrics did not already.
+func armFlightRecorder(tel *telemetry.Registry, role, dir string) (*telemetry.Registry, *telemetry.FlightRecorder) {
+	if dir == "" {
+		dir = os.Getenv("SAFEADAPT_FLIGHTREC_DIR")
+	}
+	if dir == "" {
+		return tel, nil
+	}
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	tel.SetNode(role)
+	fr := telemetry.NewFlightRecorder(role, 0)
+	fr.SetDumpDir(dir)
+	tel.AttachFlight(fr)
+	return tel, fr
 }
 
 // serveMetrics starts the observability HTTP endpoint when addr is

@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // TestDistributedProcesses spawns the case study as four real OS
@@ -78,19 +81,27 @@ func TestDistributedProcesses(t *testing.T) {
 		return ""
 	}
 
+	// Every node keeps a black box; clean exits dump too, so the run
+	// leaves a complete bundle set for post-mortem reconstruction. On CI,
+	// SAFEADAPT_FLIGHTREC_DIR persists the bundles for artifact upload.
+	flightDir := t.TempDir()
+	if base := os.Getenv("SAFEADAPT_FLIGHTREC_DIR"); base != "" {
+		flightDir = filepath.Join(base, "videonode")
+	}
+
 	// 1. Manager announces its TCP address.
-	mgr := start("manager", "-role", "manager")
+	mgr := start("manager", "-role", "manager", "-flightrec", flightDir)
 	mgrAddr := strings.TrimPrefix(readLine(mgr, "MANAGER_ADDR="), "MANAGER_ADDR=")
 
 	// 2. Clients announce their UDP data addresses and connect agents.
-	hh := start("handheld", "-role", "handheld", "-manager", mgrAddr, "-duration", "4s")
+	hh := start("handheld", "-role", "handheld", "-manager", mgrAddr, "-duration", "4s", "-flightrec", flightDir)
 	hhAddr := strings.TrimPrefix(readLine(hh, "DATA_ADDR="), "DATA_ADDR=")
-	lp := start("laptop", "-role", "laptop", "-manager", mgrAddr, "-duration", "4s")
+	lp := start("laptop", "-role", "laptop", "-manager", mgrAddr, "-duration", "4s", "-flightrec", flightDir)
 	lpAddr := strings.TrimPrefix(readLine(lp, "DATA_ADDR="), "DATA_ADDR=")
 
 	// 3. Server streams to both clients.
 	srv := start("server", "-role", "server", "-manager", mgrAddr,
-		"-peers", hhAddr+","+lpAddr, "-frames", "300")
+		"-peers", hhAddr+","+lpAddr, "-frames", "300", "-flightrec", flightDir)
 
 	// 4. Collect outcomes.
 	result := readLine(mgr, "RESULT ")
@@ -128,4 +139,27 @@ func TestDistributedProcesses(t *testing.T) {
 		}
 	}
 	procs = nil // cleanup has nothing left to kill
+
+	// 5. Post-mortem: every node dumped a bundle on shutdown, and merging
+	// them reconstructs one causally consistent cross-process timeline.
+	bundles, err := telemetry.LoadBundleDir(flightDir)
+	if err != nil {
+		t.Fatalf("load flight bundles: %v", err)
+	}
+	if len(bundles) != 4 {
+		t.Fatalf("got %d bundles, want one per process", len(bundles))
+	}
+	if anomalies := telemetry.CheckCausality(bundles); len(anomalies) != 0 {
+		t.Errorf("causality anomalies across real processes: %v", anomalies)
+	}
+	timeline := telemetry.MergeTimeline(bundles)
+	traceIDs := map[string]bool{}
+	for _, ev := range timeline {
+		if ev.TraceID != "" {
+			traceIDs[ev.TraceID] = true
+		}
+	}
+	if len(traceIDs) != 1 {
+		t.Errorf("expected one adaptation trace across 4 processes, got %v", traceIDs)
+	}
 }

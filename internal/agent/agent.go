@@ -14,6 +14,7 @@ package agent
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -245,15 +246,20 @@ func (a *Agent) Close() {
 
 func (a *Agent) transition(to State, cause string) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	from := a.state
+	stepKey := a.curStep.Key()
 	a.trace = append(a.trace, Transition{
-		From:  a.state,
+		From:  from,
 		To:    to,
 		Cause: cause,
-		Step:  fmt.Sprintf("%d/%d", a.curStep.PathIndex, a.curStep.Attempt),
+		Step:  stepKey,
 		At:    a.opts.Clock.Now(),
 	})
 	a.state = to
+	a.mu.Unlock()
+	if a.tel.Enabled() {
+		a.flightEvent(telemetry.FlightState, from.String()+" -> "+to.String()+" ("+stepKey+"): "+cause)
+	}
 }
 
 func (a *Agent) send(t protocol.MsgType, step protocol.Step, errText string) {
@@ -263,18 +269,38 @@ func (a *Agent) send(t protocol.MsgType, step protocol.Step, errText string) {
 		Step:  step,
 		Error: errText,
 	}
+	if a.tel.Enabled() {
+		msg.Trace = protocol.TraceContext{
+			TraceID: a.tel.ActiveTrace(),
+			Origin:  a.name,
+			Lamport: a.tel.LamportTick(),
+		}
+		if fr := a.tel.Flight(); fr.Enabled() {
+			fr.Record(telemetry.FlightEvent{
+				Kind:    telemetry.FlightSend,
+				Lamport: msg.Trace.Lamport,
+				TraceID: msg.Trace.TraceID,
+				Node:    a.name,
+				MsgType: t.String(),
+				From:    a.name,
+				To:      protocol.ManagerName,
+				Step:    step.Key(),
+			})
+		}
+	}
 	// Transport loss is a modeled failure; nothing useful to do locally.
 	_ = a.ep.Send(msg)
 }
 
 func (a *Agent) handle(msg protocol.Message) {
+	a.noteRecv(msg)
 	switch msg.Type {
 	case protocol.MsgReset:
-		a.handleReset(msg.Step)
+		a.handleReset(msg.Step, msg.Trace)
 	case protocol.MsgResume:
-		a.handleResume(msg.Step)
+		a.handleResume(msg.Step, msg.Trace)
 	case protocol.MsgRollback:
-		a.handleRollback(msg.Step)
+		a.handleRollback(msg.Step, msg.Trace)
 	default:
 		// Agents ignore anything else (e.g. stray replies).
 	}
@@ -299,7 +325,7 @@ func (a *Agent) localOps(step protocol.Step) []action.Op {
 	return step.OpsFor(a.name, a.opts.ProcessOf)
 }
 
-func (a *Agent) handleReset(step protocol.Step) {
+func (a *Agent) handleReset(step protocol.Step, tc protocol.TraceContext) {
 	a.mu.Lock()
 	state := a.state
 	cur := a.curStep
@@ -336,14 +362,24 @@ func (a *Agent) handleReset(step protocol.Step) {
 
 	ops := a.localOps(step)
 
+	// The agent-side step span: remote-parented under the manager span
+	// that sent the reset, so the cross-node tree splices this agent's
+	// work under the manager's wave.
+	stepSpan := a.startSpan("agent step "+step.ActionID, tc,
+		telemetry.String("agent", a.name),
+		telemetry.String("step", step.Key()))
+	defer stepSpan.End()
+
 	// Pre-action: does not interfere with functional behavior.
 	if err := a.proc.PreAction(step, ops); err != nil {
+		stepSpan.SetError(err)
 		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("pre-action: %v", err))
 		return
 	}
 
 	// Resetting: drive to local safe state (Fig. 1 "resetting do: reset").
 	a.transition(StateResetting, `receive "reset"`)
+	resetSpan := stepSpan.Child("reset")
 	resetStart := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), a.opts.ResetTimeout)
 	err := a.proc.Reset(ctx, step)
@@ -352,24 +388,38 @@ func (a *Agent) handleReset(step protocol.Step) {
 		// Fail-to-reset failure (Sec. 4.4): undo the pre-action and
 		// return to running.
 		a.tel.Counter("agent.reset.failures").Inc()
+		if errors.Is(err, context.DeadlineExceeded) {
+			a.flightEvent(telemetry.FlightTimeout, "fail to reset: "+err.Error())
+		}
+		resetSpan.SetError(err)
+		resetSpan.End()
+		stepSpan.SetErrorText("fail to reset")
 		_ = a.proc.Rollback(step, ops, false)
+		a.flightEvent(telemetry.FlightRollback, "local rollback after fail to reset, step "+step.Key())
 		a.transition(StateRunning, "[fail to reset] / rollback")
 		a.clearStep()
 		a.send(protocol.MsgResetFailed, step, fmt.Sprintf("reset: %v", err))
+		a.tel.Flight().AutoDump("failure")
 		return
 	}
+	resetSpan.End()
 	a.tel.Histogram("agent.reset.latency").ObserveSince(resetStart)
 	a.safeSince = time.Now()
 	a.transition(StateSafe, `[reset complete] / send "reset done"`)
 	a.send(protocol.MsgResetDone, step, "")
 
 	// In-action: performed while safely blocked.
+	inActSpan := stepSpan.Child("in-action")
 	inActStart := time.Now()
 	if err := a.proc.InAction(step, ops); err != nil {
 		a.tel.Counter("agent.inaction.failures").Inc()
+		inActSpan.SetError(err)
+		inActSpan.End()
+		stepSpan.SetErrorText("in-action failed")
 		a.send(protocol.MsgAdaptFailed, step, fmt.Sprintf("in-action: %v", err))
 		return // await rollback command
 	}
+	inActSpan.End()
 	a.tel.Histogram("agent.inaction.latency").ObserveSince(inActStart)
 	a.mu.Lock()
 	a.inActDone = true
@@ -379,11 +429,11 @@ func (a *Agent) handleReset(step protocol.Step) {
 
 	// Single-participant shortcut (Fig. 1): no need to stay blocked.
 	if len(step.Participants) == 1 && step.Participants[0] == a.name {
-		a.doResume(step, "single process: proceed to resume")
+		a.doResume(step, tc, "single process: proceed to resume")
 	}
 }
 
-func (a *Agent) handleResume(step protocol.Step) {
+func (a *Agent) handleResume(step protocol.Step, tc protocol.TraceContext) {
 	a.mu.Lock()
 	state := a.state
 	cur := a.curStep
@@ -405,14 +455,19 @@ func (a *Agent) handleResume(step protocol.Step) {
 		}
 		return
 	}
-	a.doResume(step, `receive "resume"`)
+	a.doResume(step, tc, `receive "resume"`)
 }
 
-func (a *Agent) doResume(step protocol.Step, cause string) {
+func (a *Agent) doResume(step protocol.Step, tc protocol.TraceContext, cause string) {
 	ops := a.localOps(step)
+	span := a.startSpan("agent resume "+step.ActionID, tc,
+		telemetry.String("agent", a.name),
+		telemetry.String("step", step.Key()))
+	defer span.End()
 	a.transition(StateResuming, cause)
 	resumeStart := time.Now()
 	if err := a.proc.Resume(step); err != nil {
+		span.SetError(err)
 		// Resumption failures are reported as adapt failures; the
 		// adaptation has passed the point of no return, so the manager
 		// will keep retrying resume (run to completion).
@@ -443,7 +498,14 @@ func (a *Agent) doResume(step protocol.Step, cause string) {
 	a.clearStep()
 }
 
-func (a *Agent) handleRollback(step protocol.Step) {
+func (a *Agent) handleRollback(step protocol.Step, tc protocol.TraceContext) {
+	// Whatever the path below, a rollback command means the adaptation
+	// failed somewhere: dump this node's black box after handling it.
+	defer a.tel.Flight().AutoDump("rollback")
+	span := a.startSpan("agent rollback", tc,
+		telemetry.String("agent", a.name),
+		telemetry.String("step", step.Key()))
+	defer span.End()
 	a.mu.Lock()
 	state := a.state
 	cur := a.curStep
@@ -471,10 +533,12 @@ func (a *Agent) handleRollback(step protocol.Step) {
 	case StateResetting, StateSafe, StateAdapted, StateResuming:
 		ops := a.localOps(step)
 		if err := a.proc.Rollback(step, ops, applied); err != nil {
+			span.SetError(err)
 			a.send(protocol.MsgResetFailed, step, fmt.Sprintf("rollback: %v", err))
 			return
 		}
 		a.tel.Counter("agent.rollbacks").Inc()
+		a.flightEvent(telemetry.FlightRollback, "rolled back step "+step.Key()+" from state "+state.String())
 		a.safeSince = time.Time{}
 		a.transition(StateRunning, `receive "rollback"`)
 		a.clearStep()

@@ -1,0 +1,61 @@
+package agent
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// Causal-tracing glue, the agent half: every incoming command merges its
+// Lamport stamp into the local clock and adopts the manager's trace ID;
+// every outgoing reply carries the agent's clock back. Both directions are
+// mirrored into the flight recorder. Disabled telemetry costs one nil
+// check per call.
+
+// noteRecv applies the Lamport receive rule to an incoming command, adopts
+// its adaptation trace, and records the receive in the flight recorder.
+// Called once per message at the top of handle.
+func (a *Agent) noteRecv(msg protocol.Message) {
+	if !a.tel.Enabled() {
+		return
+	}
+	a.tel.AdoptActiveTrace(msg.Trace.TraceID)
+	lam := a.tel.LamportMerge(msg.Trace.Lamport)
+	if fr := a.tel.Flight(); fr.Enabled() {
+		fr.Record(telemetry.FlightEvent{
+			Kind:    telemetry.FlightRecv,
+			Lamport: lam,
+			TraceID: msg.Trace.TraceID,
+			MsgType: msg.Type.String(),
+			From:    msg.From,
+			To:      a.name,
+			Step:    msg.Step.Key(),
+		})
+	}
+}
+
+// flightEvent records a local observation (state change, reset timeout,
+// rollback) in the flight recorder at the current Lamport time, attributed
+// to this agent even on a registry shared with the manager.
+func (a *Agent) flightEvent(kind, detail string) {
+	fr := a.tel.Flight()
+	if !fr.Enabled() {
+		return
+	}
+	fr.Record(telemetry.FlightEvent{
+		Kind:    kind,
+		Lamport: a.tel.LamportNow(),
+		TraceID: a.tel.ActiveTrace(),
+		Node:    a.name,
+		Detail:  detail,
+	})
+}
+
+// startSpan opens a span attributed to this agent, parented under the
+// manager-side span named by tc (the remote parent propagated in the
+// command that caused this work). A zero tc leaves the span a root.
+func (a *Agent) startSpan(name string, tc protocol.TraceContext, attrs ...telemetry.Attr) *telemetry.Span {
+	s := a.tel.StartSpan(name, attrs...)
+	s.SetNode(a.name)
+	s.SetRemoteParent(tc.Origin, tc.SpanID)
+	return s
+}

@@ -1,0 +1,85 @@
+package manager
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// Causal-tracing glue: the manager stamps every outgoing command with the
+// adaptation's trace context (trace ID, causing span, Lamport send tick),
+// merges the clock of every reply it receives, and mirrors both into the
+// flight recorder. With telemetry disabled all of this collapses to one
+// nil check per call.
+
+// nodeName is the manager's node label for trace contexts and flight
+// events ("manager" unless the registry was labeled otherwise).
+func (m *Manager) nodeName() string {
+	if n := m.tel.Node(); n != "" {
+		return n
+	}
+	return protocol.ManagerName
+}
+
+// send stamps msg with the causal trace context — cause is the span whose
+// work the message carries out; agents parent their spans under it — and
+// records the send in the flight recorder before handing it to the
+// transport.
+func (m *Manager) send(msg protocol.Message, cause *telemetry.Span) error {
+	if m.tel.Enabled() {
+		msg.Trace = protocol.TraceContext{
+			TraceID: m.tel.ActiveTrace(),
+			SpanID:  cause.ID(),
+			Origin:  m.nodeName(),
+			Lamport: m.tel.LamportTick(),
+		}
+		if fr := m.tel.Flight(); fr.Enabled() {
+			fr.Record(telemetry.FlightEvent{
+				Kind:    telemetry.FlightSend,
+				Lamport: msg.Trace.Lamport,
+				TraceID: msg.Trace.TraceID,
+				MsgType: msg.Type.String(),
+				From:    m.nodeName(),
+				To:      msg.To,
+				Step:    msg.Step.Key(),
+			})
+		}
+	}
+	return m.ep.Send(msg)
+}
+
+// noteRecv merges a received reply's Lamport stamp into the local clock
+// (the Lamport receive rule) and records the receive in the flight
+// recorder. Called exactly once per message, at the transport receive
+// sites in await — stash replays do not re-merge.
+func (m *Manager) noteRecv(msg protocol.Message) {
+	if !m.tel.Enabled() {
+		return
+	}
+	lam := m.tel.LamportMerge(msg.Trace.Lamport)
+	if fr := m.tel.Flight(); fr.Enabled() {
+		fr.Record(telemetry.FlightEvent{
+			Kind:    telemetry.FlightRecv,
+			Lamport: lam,
+			TraceID: msg.Trace.TraceID,
+			MsgType: msg.Type.String(),
+			From:    msg.From,
+			To:      m.nodeName(),
+			Step:    msg.Step.Key(),
+		})
+	}
+}
+
+// flightEvent records a local observation — state change, timeout firing,
+// rollback decision — in the flight recorder at the current Lamport time.
+func (m *Manager) flightEvent(kind, detail string) {
+	fr := m.tel.Flight()
+	if !fr.Enabled() {
+		return
+	}
+	fr.Record(telemetry.FlightEvent{
+		Kind:    kind,
+		Lamport: m.tel.LamportNow(),
+		TraceID: m.tel.ActiveTrace(),
+		Detail:  detail,
+	})
+}

@@ -173,6 +173,12 @@ type Manager struct {
 	trace []Transition
 	busy  bool
 
+	// traceSeq numbers adaptations for causal trace IDs. Deterministic (a
+	// counter, not randomness or wall time) so netsim replays of the same
+	// seed produce byte-identical traces. Guarded by the busy serialization
+	// of Execute.
+	traceSeq uint64
+
 	// stash buffers out-of-order agent replies for the current step; see
 	// await in step.go. Accessed only from the Execute goroutine.
 	stash []protocol.Message
@@ -232,7 +238,9 @@ func (m *Manager) transition(to State, cause string) {
 	if m.tel.Enabled() {
 		// Concatenation instead of Eventf: transitions fire several times
 		// per step and fmt dominated the live-registry overhead profile.
-		m.tel.Event("manager.state", from.String()+" -> "+to.String()+": "+cause)
+		detail := from.String() + " -> " + to.String() + ": " + cause
+		m.tel.Event("manager.state", detail)
+		m.flightEvent(telemetry.FlightState, detail)
 	}
 }
 
@@ -276,6 +284,16 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 
 	reg := m.plan.Registry()
 	res := Result{Final: source}
+
+	if m.tel.Enabled() {
+		// One adaptation = one trace, across every node the protocol
+		// touches: agents adopt this ID from the messages we stamp.
+		if m.tel.Node() == "" {
+			m.tel.SetNode(protocol.ManagerName)
+		}
+		m.traceSeq++
+		m.tel.SetActiveTrace(fmt.Sprintf("adaptation-%d", m.traceSeq))
+	}
 
 	m.tel.Counter("manager.adaptations").Inc()
 	adaptStart := time.Now()
@@ -335,6 +353,7 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		if !errors.As(stepErr, &sf) {
 			m.transition(StateRunning, "[failure]")
 			span.SetError(stepErr)
+			m.tel.Flight().AutoDump("failure")
 			return res, stepErr
 		}
 		failedEdges = append(failedEdges, sf.edge)
@@ -369,6 +388,7 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		m.transition(StateRunning, "[user intervention]")
 		m.tel.Counter("manager.adaptations.user_intervention").Inc()
 		span.SetErrorText(sf.why)
+		m.tel.Flight().AutoDump("user-intervention")
 		return res, &ErrUserIntervention{
 			Current: current,
 			Vector:  reg.BitVector(current),

@@ -102,9 +102,15 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 
 	fail := func(why string) (StepReport, error) {
 		m.tel.Counter("manager.step.rollbacks").Inc()
+		// The rollback decision is recorded before the rollback sends tick
+		// the clock, so in the merged timeline it sits causally downstream
+		// of the timeout/failure that triggered it and upstream of the
+		// rollback wave.
+		m.flightEvent(telemetry.FlightRollback, "roll back step "+pstep.Key()+": "+why)
 		rbSpan := stepSpan.Child("rollback")
-		m.rollbackAll(participants, pstep)
+		m.rollbackAll(rbSpan, participants, pstep)
 		rbSpan.End()
+		m.tel.Flight().AutoDump("rollback")
 		m.transition(StateRunning, "[failure] / rollback")
 		rep.Outcome = "rolled back"
 		rep.Err = why
@@ -125,7 +131,7 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	resetSpan := stepSpan.Child("reset", telemetry.String("phases", strconv.Itoa(len(phases))))
 	for _, phase := range phases {
 		for _, p := range phase {
-			if err := m.ep.Send(protocol.Message{Type: protocol.MsgReset, To: p, Step: pstep}); err != nil {
+			if err := m.send(protocol.Message{Type: protocol.MsgReset, To: p, Step: pstep}, resetSpan); err != nil {
 				resetSpan.SetErrorText("send failed")
 				resetSpan.End()
 				return fail(fmt.Sprintf("send reset to %s: %v", p, err))
@@ -139,6 +145,8 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		}
 		if len(got) < len(phase) {
 			m.tel.Counter("manager.step.timeouts").Inc()
+			m.flightEvent(telemetry.FlightTimeout,
+				fmt.Sprintf("step %s: reset done timeout (got %d of %d)", pstep.Key(), len(got), len(phase)))
 			resetSpan.SetErrorText("timeout")
 			resetSpan.End()
 			return fail(fmt.Sprintf("timeout waiting for reset done (got %d of %d)", len(got), len(phase)))
@@ -157,6 +165,8 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	}
 	if len(got) < len(participants) {
 		m.tel.Counter("manager.step.timeouts").Inc()
+		m.flightEvent(telemetry.FlightTimeout,
+			fmt.Sprintf("step %s: adapt done timeout (got %d of %d)", pstep.Key(), len(got), len(participants)))
 		adaptSpan.SetErrorText("timeout")
 		adaptSpan.End()
 		return fail(fmt.Sprintf("timeout waiting for adapt done (got %d of %d)", len(got), len(participants)))
@@ -185,7 +195,7 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 				continue
 			}
 			names = append(names, p)
-			if err := m.ep.Send(protocol.Message{Type: protocol.MsgResume, To: p, Step: pstep}); err != nil {
+			if err := m.send(protocol.Message{Type: protocol.MsgResume, To: p, Step: pstep}, resumeSpan); err != nil {
 				// Connection-level failure: keep retrying; the agent may
 				// reconnect. Treat like a lost message.
 				continue
@@ -202,6 +212,8 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 			rep.Outcome = "completed"
 			return rep, nil
 		}
+		m.flightEvent(telemetry.FlightTimeout,
+			fmt.Sprintf("step %s: resume done timeout (%d pending)", pstep.Key(), len(pending)))
 		m.transition(StateResuming, "[failure] / retry")
 	}
 	m.tel.Counter("manager.step.past_no_return").Inc()
@@ -282,6 +294,7 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 			case transport.RecvAborted:
 				return got, "aborted: " + ctx.Err().Error()
 			}
+			m.noteRecv(msg)
 			fail, consumed := classify(msg)
 			if fail != "" {
 				return got, fail
@@ -301,6 +314,7 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 			if !ok {
 				return got, "transport closed"
 			}
+			m.noteRecv(msg)
 			fail, consumed := classify(msg)
 			if fail != "" {
 				return got, fail
@@ -324,9 +338,9 @@ const maxStash = 64
 // briefly for acknowledgements. Rollback is idempotent on the agents, so
 // best effort suffices: an agent that never received reset acknowledges
 // trivially.
-func (m *Manager) rollbackAll(participants []string, step protocol.Step) {
+func (m *Manager) rollbackAll(span *telemetry.Span, participants []string, step protocol.Step) {
 	for _, p := range participants {
-		_ = m.ep.Send(protocol.Message{Type: protocol.MsgRollback, To: p, Step: step})
+		_ = m.send(protocol.Message{Type: protocol.MsgRollback, To: p, Step: step}, span)
 	}
 	// Rollback acknowledgements are awaited even during an abort: the
 	// whole point of cancelling cleanly is leaving the system safe.

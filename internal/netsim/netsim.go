@@ -285,7 +285,19 @@ func (s *Subscription) noteDropped() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dropped++
-	s.group.tel.Load().Counter("netsim.datagrams.dropped").Inc()
+	tel := s.group.tel.Load()
+	tel.Counter("netsim.datagrams.dropped").Inc()
+	// Read the Lamport clock, never advance it: telemetry must not perturb
+	// the PRNG-driven loss/jitter schedule or the protocol's clocks, so
+	// same-seed runs stay byte-identical with tracing enabled.
+	if fr := tel.Flight(); fr.Enabled() {
+		fr.Record(telemetry.FlightEvent{
+			Kind:    telemetry.FlightDrop,
+			Lamport: tel.LamportNow(),
+			TraceID: tel.ActiveTrace(),
+			Detail:  "netsim datagram loss on link to " + s.name,
+		})
+	}
 }
 
 // deliverLoop is the per-link worker: it delivers queued datagrams in
@@ -325,6 +337,14 @@ func (s *Subscription) deliverLoop() {
 			// real congested link.
 			s.dropped++
 			tel.Counter("netsim.datagrams.dropped").Inc()
+			if fr := tel.Flight(); fr.Enabled() {
+				fr.Record(telemetry.FlightEvent{
+					Kind:    telemetry.FlightDrop,
+					Lamport: tel.LamportNow(),
+					TraceID: tel.ActiveTrace(),
+					Detail:  "netsim receiver overflow on link to " + s.name,
+				})
+			}
 		}
 		closedNow := s.closed && len(s.queue) == 0
 		s.mu.Unlock()

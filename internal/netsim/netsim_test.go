@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 func TestMulticastDelivery(t *testing.T) {
@@ -216,9 +218,11 @@ func (c *virtualClock) Sleep(d time.Duration) {
 
 // runSeededTrace drives one full group lifetime on a virtual clock and
 // returns each subscriber's delivered payload sequence plus drop counts.
-func runSeededTrace(t *testing.T, seed int64) map[string][]string {
+// A non-nil registry is attached before any traffic flows.
+func runSeededTrace(t *testing.T, seed int64, tel *telemetry.Registry) map[string][]string {
 	t.Helper()
 	g := NewGroupWithClock(seed, &virtualClock{now: time.Unix(0, 0)})
+	g.SetTelemetry(tel)
 	profiles := map[string]LinkProfile{
 		"handheld": {Latency: 20 * time.Millisecond, Jitter: 10 * time.Millisecond, LossRate: 0.3},
 		"laptop":   {Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, LossRate: 0.1},
@@ -254,8 +258,8 @@ func runSeededTrace(t *testing.T, seed int64) map[string][]string {
 // simulator has no wall-clock dependence left, so two runs from the same
 // seed must produce byte-identical delivery traces.
 func TestSameSeedIdenticalTraces(t *testing.T) {
-	tr1 := runSeededTrace(t, 1234)
-	tr2 := runSeededTrace(t, 1234)
+	tr1 := runSeededTrace(t, 1234, nil)
+	tr2 := runSeededTrace(t, 1234, nil)
 	if !reflect.DeepEqual(tr1, tr2) {
 		t.Fatalf("same seed, different traces:\n%v\nvs\n%v", tr1, tr2)
 	}
@@ -273,7 +277,43 @@ func TestSameSeedIdenticalTraces(t *testing.T) {
 
 // TestDifferentSeedsDiverge guards against the PRNG being ignored.
 func TestDifferentSeedsDiverge(t *testing.T) {
-	if reflect.DeepEqual(runSeededTrace(t, 1), runSeededTrace(t, 2)) {
+	if reflect.DeepEqual(runSeededTrace(t, 1, nil), runSeededTrace(t, 2, nil)) {
 		t.Error("different seeds should produce different traces")
+	}
+}
+
+// TestSameSeedIdenticalWithTracing: attaching telemetry, causal tracing
+// and a flight recorder must not perturb the simulation — the traced
+// run's delivery sequence is byte-identical to the bare run's, because
+// the recorder only reads the Lamport clock (LamportNow) and never
+// advances it or consumes PRNG draws.
+func TestSameSeedIdenticalWithTracing(t *testing.T) {
+	bare := runSeededTrace(t, 1234, nil)
+
+	tel := telemetry.NewRegistry()
+	tel.SetNode("sim")
+	fr := telemetry.NewFlightRecorder("sim", 0)
+	tel.AttachFlight(fr)
+	tel.SetActiveTrace("adaptation-1")
+	traced := runSeededTrace(t, 1234, tel)
+
+	if !reflect.DeepEqual(bare, traced) {
+		t.Fatalf("tracing perturbed the simulation:\n%v\nvs\n%v", bare, traced)
+	}
+	// The recorder must actually have seen the drops it claims are free.
+	drops := 0
+	for _, ev := range fr.Events() {
+		if ev.Kind == telemetry.FlightDrop {
+			drops++
+			if ev.TraceID != "adaptation-1" {
+				t.Errorf("drop event missing trace ID: %+v", ev)
+			}
+		}
+	}
+	if drops == 0 {
+		t.Error("lossy profile produced no flight drop events")
+	}
+	if tel.LamportNow() != 0 {
+		t.Errorf("netsim advanced the Lamport clock to %d; it must only read it", tel.LamportNow())
 	}
 }

@@ -105,6 +105,11 @@ type Step struct {
 	ToVector   string `json:"toVector"`
 }
 
+// Key returns the step's compact identity "pathIndex/attempt" — the label
+// used by telemetry events and flight-recorder records to correlate the
+// messages of one step across nodes.
+func (s Step) Key() string { return fmt.Sprintf("%d/%d", s.PathIndex, s.Attempt) }
+
 // OpsFor returns the operations whose components are hosted on the named
 // process, according to the component→process table supplied.
 func (s Step) OpsFor(process string, processOf func(component string) string) []action.Op {
@@ -133,7 +138,31 @@ type Message struct {
 	Step Step `json:"step"`
 	// Error carries failure detail on MsgResetFailed / MsgAdaptFailed.
 	Error string `json:"error,omitempty"`
+	// Trace is the causal trace context propagated with the message; the
+	// zero value means the sender was not tracing.
+	Trace TraceContext `json:"trace"`
 }
+
+// TraceContext is the compact causal context piggybacked on every protocol
+// message when telemetry is active: which adaptation the message belongs
+// to, which span on which node caused it, and the sender's Lamport time.
+// Receivers merge Lamport into their clock (max+1), adopt TraceID, and
+// parent their spans under (Origin, SpanID) — so one adaptation forms one
+// trace across all nodes, over any transport.
+type TraceContext struct {
+	// TraceID names the adaptation (one ID per Manager.Execute call).
+	TraceID string `json:"traceID,omitempty"`
+	// SpanID is the sender-side span that caused this message; 0 if none.
+	SpanID uint64 `json:"spanID,omitempty"`
+	// Origin is the node owning SpanID (needed because span IDs are only
+	// unique per process).
+	Origin string `json:"origin,omitempty"`
+	// Lamport is the sender's Lamport clock at send time.
+	Lamport uint64 `json:"lamport,omitempty"`
+}
+
+// IsZero reports whether the context carries no information.
+func (tc TraceContext) IsZero() bool { return tc == TraceContext{} }
 
 // ManagerName is the conventional endpoint name of the adaptation manager.
 const ManagerName = "manager"

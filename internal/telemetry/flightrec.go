@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is the per-node black box of the adaptation protocol: a
+// bounded ring that continuously records enriched protocol events — state
+// transitions, message sends and receives with Lamport stamps, timeout
+// firings, rollback decisions, fault drops — at negligible cost, and on
+// failure dumps a JSON post-mortem bundle for `safeadaptctl postmortem`
+// to merge with the other nodes' bundles into one causally ordered
+// global timeline.
+//
+// All methods are nil-safe; a nil *FlightRecorder is a no-op recorder,
+// and call sites guard event construction with Enabled() so the disabled
+// path allocates nothing (see TestNilFlightRecorderZeroAlloc).
+type FlightRecorder struct {
+	node  string
+	epoch time.Time
+
+	mu      sync.Mutex
+	events  ring[FlightEvent]
+	seq     uint64
+	dumpDir string
+	reg     *Registry // back-pointer set by Registry.AttachFlight; bundles include its spans
+}
+
+// Flight event kinds.
+const (
+	// FlightSend is a protocol message handed to the transport.
+	FlightSend = "send"
+	// FlightRecv is a protocol message delivered to the node.
+	FlightRecv = "recv"
+	// FlightState is a manager or agent state-machine transition.
+	FlightState = "state"
+	// FlightTimeout is a protocol wait expiring (failure detection).
+	FlightTimeout = "timeout"
+	// FlightRollback is a rollback decision or execution.
+	FlightRollback = "rollback"
+	// FlightDrop is a message lost in the transport (fault injection,
+	// missing connection, or receiver overflow).
+	FlightDrop = "drop"
+)
+
+// FlightEvent is one black-box record. Seq is the per-recorder sequence
+// number (total order at this node); Lamport is the node's Lamport time
+// when the event happened, which is what orders events across nodes.
+type FlightEvent struct {
+	Seq     uint64        `json:"seq"`
+	At      time.Duration `json:"atNanos"`
+	Lamport uint64        `json:"lamport"`
+	TraceID string        `json:"traceID,omitempty"`
+	Node    string        `json:"node"`
+	Kind    string        `json:"kind"`
+	Detail  string        `json:"detail,omitempty"`
+
+	// Message coordinates, set on send/recv/drop events: the protocol
+	// message type name, endpoints, and the step key "pathIndex/attempt".
+	// The postmortem tool matches the k-th send and the k-th receive of
+	// one (MsgType, From, To, Step) tuple to check causal consistency.
+	MsgType string `json:"msgType,omitempty"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to,omitempty"`
+	Step    string `json:"step,omitempty"`
+}
+
+// defaultFlightCapacity bounds the ring when the caller passes 0.
+const defaultFlightCapacity = 8192
+
+// NewFlightRecorder creates a recorder for the named node. capacity <= 0
+// means 8192 events; once full, the oldest events are overwritten.
+func NewFlightRecorder(node string, capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightCapacity
+	}
+	return &FlightRecorder{
+		node:   node,
+		epoch:  time.Now(),
+		events: newRing[FlightEvent](capacity),
+	}
+}
+
+// AttachFlight installs the flight recorder on the registry so
+// instrumented code can reach it via Flight(). The recorder's bundles
+// will include the registry's retained spans.
+func (r *Registry) AttachFlight(fr *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	if fr != nil {
+		fr.mu.Lock()
+		fr.reg = r
+		fr.mu.Unlock()
+	}
+	r.flight.Store(fr)
+}
+
+// Flight returns the attached flight recorder (nil on a nil registry or
+// when none is attached).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Load()
+}
+
+// Enabled reports whether the recorder records anything — false exactly
+// when the receiver is nil. Call sites use it to skip building event
+// strings that would be dropped.
+func (fr *FlightRecorder) Enabled() bool { return fr != nil }
+
+// Node returns the node label ("" on nil).
+func (fr *FlightRecorder) Node() string {
+	if fr == nil {
+		return ""
+	}
+	return fr.node
+}
+
+// SetDumpDir arms automatic post-mortem dumps: when non-empty, AutoDump
+// writes the bundle to <dir>/<node>.flightrec.json. Manager and agents
+// call AutoDump on rollback and failure, so a failing adaptation leaves a
+// bundle behind per node with no further wiring.
+func (fr *FlightRecorder) SetDumpDir(dir string) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.dumpDir = dir
+	fr.mu.Unlock()
+}
+
+// Record appends one event, stamping its sequence number, monotonic
+// offset, and node (when the caller left Node empty).
+func (fr *FlightRecorder) Record(ev FlightEvent) {
+	if fr == nil {
+		return
+	}
+	at := time.Since(fr.epoch)
+	fr.mu.Lock()
+	fr.seq++
+	ev.Seq = fr.seq
+	ev.At = at
+	if ev.Node == "" {
+		ev.Node = fr.node
+	}
+	fr.events.push(ev)
+	fr.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first (nil on nil).
+func (fr *FlightRecorder) Events() []FlightEvent {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.events.snapshot()
+}
+
+// Bundle is the JSON post-mortem artifact one node dumps: its black-box
+// events plus the telemetry spans retained at dump time.
+type Bundle struct {
+	// Node is the dumping process.
+	Node string `json:"node"`
+	// Reason is why the bundle was dumped ("rollback", "failure",
+	// "panic", "shutdown", ...).
+	Reason string `json:"reason"`
+	// DumpedAtUnixNanos is the wall-clock dump time — only for humans;
+	// ordering across nodes uses the Lamport stamps in Events.
+	DumpedAtUnixNanos int64 `json:"dumpedAtUnixNanos"`
+	// Events are the retained flight events, oldest first.
+	Events []FlightEvent `json:"events"`
+	// Spans are the registry's retained spans (empty when the recorder
+	// is not attached to a registry).
+	Spans []SpanRecord `json:"spans,omitempty"`
+}
+
+// Snapshot assembles the bundle without writing it anywhere.
+func (fr *FlightRecorder) Snapshot(reason string) Bundle {
+	if fr == nil {
+		return Bundle{Reason: reason}
+	}
+	fr.mu.Lock()
+	reg := fr.reg
+	b := Bundle{
+		Node:              fr.node,
+		Reason:            reason,
+		DumpedAtUnixNanos: time.Now().UnixNano(),
+		Events:            fr.events.snapshot(),
+	}
+	fr.mu.Unlock()
+	b.Spans = reg.Spans() // nil-safe; outside fr.mu (Spans takes traceMu)
+	return b
+}
+
+// WriteBundle writes the bundle as indented JSON.
+func (fr *FlightRecorder) WriteBundle(w io.Writer, reason string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fr.Snapshot(reason))
+}
+
+// DumpToDir writes the bundle to <dir>/<node>.flightrec.json (creating
+// dir if needed) and returns the path. A later dump for the same node
+// overwrites the earlier one with the more complete ring.
+func (fr *FlightRecorder) DumpToDir(dir, reason string) (string, error) {
+	if fr == nil {
+		return "", fmt.Errorf("telemetry: nil flight recorder")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fr.node+".flightrec.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := fr.WriteBundle(f, reason); err != nil {
+		_ = f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// AutoDump writes the bundle to the armed dump directory, if any. It is
+// the hook the manager and agents call on rollback and failure; errors
+// are swallowed (the black box must never take the protocol down) but
+// counted on the attached registry.
+func (fr *FlightRecorder) AutoDump(reason string) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	dir := fr.dumpDir
+	reg := fr.reg
+	fr.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	if _, err := fr.DumpToDir(dir, reason); err != nil {
+		reg.Counter("flightrec.dump.errors").Inc()
+		return
+	}
+	reg.Counter("flightrec.dumps").Inc()
+}
+
+// DumpOnPanic is meant to be deferred at the top of a node's main
+// goroutine: if the goroutine is panicking, it records the panic in the
+// black box, force-dumps the bundle (reason "panic"), and re-panics.
+func (fr *FlightRecorder) DumpOnPanic() {
+	if fr == nil {
+		return
+	}
+	p := recover()
+	if p == nil {
+		return
+	}
+	fr.Record(FlightEvent{Kind: FlightState, Detail: fmt.Sprintf("panic: %v", p)})
+	fr.AutoDump("panic")
+	panic(p)
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestFlightRingWraparound(t *testing.T) {
+	fr := NewFlightRecorder("n", 4)
+	for i := 0; i < 10; i++ {
+		fr.Record(FlightEvent{Kind: FlightState})
+	}
+	events := fr.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want capacity 4", len(events))
+	}
+	// Oldest first, and the oldest six evicted: seqs 7..10 survive.
+	for i, ev := range events {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("events[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Node != "n" {
+			t.Errorf("events[%d].Node = %q, want backfilled recorder node", i, ev.Node)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent exercises the ring under concurrent
+// writers and readers; run with -race it proves Record/Events/Snapshot
+// are safe while the ring is wrapping.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder("n", 8) // tiny: every writer wraps many times
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Record(FlightEvent{Kind: FlightSend, MsgType: "reset"})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			events := fr.Events()
+			for j := 1; j < len(events); j++ {
+				if events[j].Seq <= events[j-1].Seq {
+					t.Errorf("snapshot out of order: seq %d then %d", events[j-1].Seq, events[j].Seq)
+					return
+				}
+			}
+			fr.Snapshot("test")
+		}
+	}()
+	wg.Wait()
+	if got := fr.Events(); len(got) != 8 {
+		t.Fatalf("retained %d events, want 8", len(got))
+	}
+}
+
+// TestConcurrentRegistrySnapshot hammers Registry.Snapshot while other
+// goroutines create metrics, spans and flight events; meaningful under
+// -race (the CI test step runs it that way).
+func TestConcurrentRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.SetNode("n")
+	fr := NewFlightRecorder("n", 16)
+	r.AttachFlight(fr)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(1)
+				sp := r.StartSpan("op")
+				r.LamportTick()
+				fr.Record(FlightEvent{Kind: FlightState, Lamport: r.LamportNow()})
+				sp.End()
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := r.Snapshot()
+				if snap.Counters == nil {
+					t.Error("snapshot lost counters map")
+					return
+				}
+				r.Spans()
+				fr.Snapshot("probe")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counters["c"]; got != 1200 {
+		t.Fatalf("counter = %d, want 1200", got)
+	}
+}
+
+// TestNilFlightRecorderZeroAlloc proves the disabled path is free: with
+// no recorder attached, the Enabled guard plus the nil method calls
+// allocate nothing.
+func TestNilFlightRecorderZeroAlloc(t *testing.T) {
+	var r *Registry
+	var fr *FlightRecorder
+	allocs := testing.AllocsPerRun(100, func() {
+		if fr.Enabled() {
+			fr.Record(FlightEvent{Kind: FlightSend})
+		}
+		if r.Flight().Enabled() {
+			t.Error("nil registry returned an enabled recorder")
+		}
+		fr.Record(FlightEvent{})
+		fr.AutoDump("x")
+		fr.SetDumpDir("x")
+		fr.DumpOnPanic()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil flight recorder path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestFlightAutoDump(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	fr := NewFlightRecorder("node1", 0)
+	r.AttachFlight(fr)
+	fr.Record(FlightEvent{Kind: FlightRollback, Detail: "why"})
+
+	// Not armed: no file, no counter.
+	fr.AutoDump("rollback")
+	if _, err := os.Stat(filepath.Join(dir, "node1.flightrec.json")); err == nil {
+		t.Fatal("AutoDump wrote without an armed dump dir")
+	}
+
+	fr.SetDumpDir(dir)
+	fr.AutoDump("rollback")
+	b, err := LoadBundle(filepath.Join(dir, "node1.flightrec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Node != "node1" || b.Reason != "rollback" || len(b.Events) != 1 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if got := r.Snapshot().Counters["flightrec.dumps"]; got != 1 {
+		t.Fatalf("flightrec.dumps = %d, want 1", got)
+	}
+}
+
+func TestDumpOnPanic(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder("node1", 0)
+	fr.SetDumpDir(dir)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DumpOnPanic swallowed the panic")
+			}
+		}()
+		defer fr.DumpOnPanic()
+		panic("boom")
+	}()
+	b, err := LoadBundle(filepath.Join(dir, "node1.flightrec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "panic" || len(b.Events) != 1 || b.Events[0].Detail != "panic: boom" {
+		t.Fatalf("panic bundle = %+v", b)
+	}
+}
+
+func BenchmarkNilFlightRecorder(b *testing.B) {
+	var fr *FlightRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if fr.Enabled() {
+			fr.Record(FlightEvent{Kind: FlightSend})
+		}
+	}
+}
+
+func BenchmarkLiveFlightRecord(b *testing.B) {
+	fr := NewFlightRecorder("n", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Record(FlightEvent{Kind: FlightSend, MsgType: "reset", From: "manager", To: "n"})
+	}
+}

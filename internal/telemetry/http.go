@@ -2,13 +2,22 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // Handler returns an http.Handler exposing the registry:
 //
 //	GET /metrics           — the Snapshot (counters, gauges, histogram
 //	                         summaries) as JSON
+//	GET /metrics?format=prometheus
+//	                       — the same metrics in Prometheus text
+//	                         exposition format (durations in seconds)
 //	GET /debug/adaptation  — the retained spans and events as JSON,
 //	                         oldest first
 //	GET /debug/adaptation?tree=1
@@ -22,7 +31,12 @@ import (
 // callers can wire it unconditionally.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, r.Snapshot())
+			return
+		}
 		writeJSON(w, r.Snapshot())
 	})
 	mux.HandleFunc("/debug/adaptation", func(w http.ResponseWriter, req *http.Request) {
@@ -45,4 +59,71 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// WritePrometheus renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metric names are sanitized to the Prometheus
+// charset (dots and dashes become underscores), counters gain a _total
+// suffix, and every duration is converted to seconds per the Prometheus
+// base-unit convention. Histograms are exposed as summaries: quantile
+// series plus _sum and _count. Output is sorted by metric name so equal
+// snapshots render byte-identically.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	fmt.Fprintf(w, "# TYPE safeadapt_uptime_seconds gauge\nsafeadapt_uptime_seconds %s\n",
+		promSeconds(s.Uptime))
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", pn, promSeconds(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %s\n", pn, promSeconds(h.P95))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", pn, promSeconds(h.P99))
+		fmt.Fprintf(w, "%s_sum %s\n", pn, promSeconds(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+// promName maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z0-9_:], prefixing names that would start with a digit.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeconds formats a duration as decimal seconds with enough digits
+// to keep nanosecond precision.
+func promSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Post-mortem reconstruction: merge the per-node flight-recorder bundles
+// of one failed (or completed) adaptation into a single causally ordered
+// global timeline, splice the per-node spans into one cross-node tree,
+// and flag causality anomalies. This is the library behind `safeadaptctl
+// postmortem`; tests use it directly.
+
+// ReadBundle decodes one bundle from r.
+func ReadBundle(r io.Reader) (Bundle, error) {
+	var b Bundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Bundle{}, fmt.Errorf("telemetry: decode bundle: %w", err)
+	}
+	return b, nil
+}
+
+// LoadBundle reads one bundle file.
+func LoadBundle(path string) (Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Bundle{}, err
+	}
+	defer f.Close()
+	b, err := ReadBundle(f)
+	if err != nil {
+		return Bundle{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// LoadBundleDir loads every *.flightrec.json bundle in dir, sorted by
+// node name for deterministic processing.
+func LoadBundleDir(dir string) ([]Bundle, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.flightrec.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("telemetry: no *.flightrec.json bundles in %s", dir)
+	}
+	sort.Strings(paths)
+	bundles := make([]Bundle, 0, len(paths))
+	for _, p := range paths {
+		b, err := LoadBundle(p)
+		if err != nil {
+			return nil, err
+		}
+		bundles = append(bundles, b)
+	}
+	return bundles, nil
+}
+
+// MergeTimeline splices the bundles' events into one globally ordered
+// timeline: ascending Lamport time, ties broken by node name then
+// per-node sequence — deterministic for identical inputs. Lamport order
+// extends causal order, so every effect follows its cause in the result;
+// concurrent events order arbitrarily but reproducibly.
+func MergeTimeline(bundles []Bundle) []FlightEvent {
+	var all []FlightEvent
+	for _, b := range bundles {
+		all = append(all, b.Events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Lamport != b.Lamport {
+			return a.Lamport < b.Lamport
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	return all
+}
+
+// Anomaly is one causality violation found in a set of bundles.
+type Anomaly struct {
+	// Kind classifies the violation: "lamport-regression" (a node's
+	// Lamport clock went backwards), "receive-before-send" (a message's
+	// receive stamp does not exceed its send stamp), or
+	// "protocol-order" (a node emitted protocol replies out of phase
+	// order, e.g. adapt done before its own reset done).
+	Kind   string `json:"kind"`
+	Node   string `json:"node,omitempty"`
+	Detail string `json:"detail"`
+}
+
+func (a Anomaly) String() string { return a.Kind + " @" + a.Node + ": " + a.Detail }
+
+// CheckCausality inspects the bundles for violations of the causal
+// ordering the protocol guarantees. A clean run yields an empty slice.
+// Missing counterparts (a receive whose send was evicted from the ring,
+// or genuinely lost messages) are not anomalies; only contradictions
+// between events that are both present are flagged.
+func CheckCausality(bundles []Bundle) []Anomaly {
+	var out []Anomaly
+
+	// 1. Per-node monotonicity: Lamport time never decreases as the
+	// node's own sequence advances.
+	for _, b := range bundles {
+		events := append([]FlightEvent(nil), b.Events...)
+		sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+		var prev FlightEvent
+		for i, ev := range events {
+			if i > 0 && ev.Lamport < prev.Lamport {
+				out = append(out, Anomaly{
+					Kind: "lamport-regression",
+					Node: ev.Node,
+					Detail: fmt.Sprintf("seq %d (%s %s) at Lamport %d after seq %d at Lamport %d",
+						ev.Seq, ev.Kind, ev.Detail, ev.Lamport, prev.Seq, prev.Lamport),
+				})
+			}
+			prev = ev
+		}
+	}
+
+	// 2. Receive after send: pair the k-th send with the k-th receive of
+	// each (MsgType, From, To, Step) tuple (transports are per-pair FIFO)
+	// and require the receive's Lamport stamp to exceed the send's — the
+	// Lamport receive rule. Equality or inversion means a clock was not
+	// merged, i.e. the timeline would order an effect before its cause.
+	type msgKey struct{ msgType, from, to, step string }
+	sends := map[msgKey][]FlightEvent{}
+	recvs := map[msgKey][]FlightEvent{}
+	for _, b := range bundles {
+		for _, ev := range b.Events {
+			k := msgKey{ev.MsgType, ev.From, ev.To, ev.Step}
+			switch ev.Kind {
+			case FlightSend:
+				sends[k] = append(sends[k], ev)
+			case FlightRecv:
+				recvs[k] = append(recvs[k], ev)
+			}
+		}
+	}
+	for k, rs := range recvs {
+		ss := sends[k]
+		for i, r := range rs {
+			if i >= len(ss) {
+				break // send side evicted or not recorded; not a contradiction
+			}
+			if r.Lamport <= ss[i].Lamport {
+				out = append(out, Anomaly{
+					Kind: "receive-before-send",
+					Node: r.Node,
+					Detail: fmt.Sprintf("%q %s -> %s (step %s) received at Lamport %d, sent at %d",
+						k.msgType, k.from, k.to, k.step, r.Lamport, ss[i].Lamport),
+				})
+			}
+		}
+	}
+
+	// 3. Per-node protocol phase order: within one step, a node must send
+	// "reset done" before "adapt done" before "resume done". An adapt
+	// done ahead of its own reset done means the reset wave had not
+	// completed when the in-action ran — exactly the unsafe interleaving
+	// the protocol exists to prevent.
+	phaseRank := map[string]int{"reset done": 0, "adapt done": 1, "resume done": 2}
+	for _, b := range bundles {
+		events := append([]FlightEvent(nil), b.Events...)
+		sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+		last := map[string]int{} // step key -> highest phase rank sent
+		for _, ev := range events {
+			if ev.Kind != FlightSend {
+				continue
+			}
+			rank, ok := phaseRank[ev.MsgType]
+			if !ok {
+				continue
+			}
+			if prev, seen := last[ev.Step]; seen && rank < prev {
+				out = append(out, Anomaly{
+					Kind: "protocol-order",
+					Node: ev.Node,
+					Detail: fmt.Sprintf("step %s: %q sent after a later phase (rank %d after %d)",
+						ev.Step, ev.MsgType, rank, prev),
+				})
+			}
+			if rank > last[ev.Step] {
+				last[ev.Step] = rank
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+// RenderTimeline writes the merged timeline as one line per event:
+//
+//	lamport  node      kind     detail
+//	     12  manager   send     "reset" manager -> handheld step 0/1
+func RenderTimeline(w io.Writer, events []FlightEvent) {
+	for _, ev := range events {
+		desc := ev.Detail
+		if ev.MsgType != "" {
+			arrow := fmt.Sprintf("%q %s -> %s step %s", ev.MsgType, ev.From, ev.To, ev.Step)
+			if desc == "" {
+				desc = arrow
+			} else {
+				desc = arrow + " (" + desc + ")"
+			}
+		}
+		fmt.Fprintf(w, "%7d  %-10s %-8s %s\n", ev.Lamport, ev.Node, ev.Kind, desc)
+	}
+}
+
+// RenderCrossNodeTree writes the bundles' spans as one tree spanning all
+// nodes: spans are keyed by (node, id), remote parent references —
+// propagated through protocol messages — attach an agent's spans under
+// the manager wave span that commanded them. Parents are resolved by
+// exact (node, id) key first; when the recording side did not know the
+// parent's node (shared in-process registry), a globally unique id still
+// resolves. Unresolvable spans render as roots. Roots and siblings order
+// by Lamport time then start offset — causal order, not wall time.
+func RenderCrossNodeTree(w io.Writer, bundles []Bundle) {
+	type key struct {
+		node string
+		id   uint64
+	}
+	var spans []SpanRecord
+	byKey := map[key]bool{}
+	byID := map[uint64][]SpanRecord{}
+	for _, b := range bundles {
+		for _, s := range b.Spans {
+			if s.Node == "" {
+				s.Node = b.Node
+			}
+			spans = append(spans, s)
+			byKey[key{s.Node, s.ID}] = true
+			byID[s.ID] = append(byID[s.ID], s)
+		}
+	}
+
+	// resolveParent finds the key of s's parent, or ok=false for roots.
+	resolveParent := func(s SpanRecord) (key, bool) {
+		if s.ParentID == 0 {
+			return key{}, false
+		}
+		if s.ParentNode != "" && byKey[key{s.ParentNode, s.ParentID}] {
+			return key{s.ParentNode, s.ParentID}, true
+		}
+		if byKey[key{s.Node, s.ParentID}] {
+			return key{s.Node, s.ParentID}, true
+		}
+		if cands := byID[s.ParentID]; len(cands) == 1 {
+			return key{cands[0].Node, s.ParentID}, true
+		}
+		return key{}, false
+	}
+
+	children := map[key][]SpanRecord{}
+	var roots []SpanRecord
+	for _, s := range spans {
+		if pk, ok := resolveParent(s); ok {
+			children[pk] = append(children[pk], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	causal := func(list []SpanRecord) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Lamport != list[j].Lamport {
+				return list[i].Lamport < list[j].Lamport
+			}
+			if list[i].Start != list[j].Start {
+				return list[i].Start < list[j].Start
+			}
+			return list[i].Node < list[j].Node
+		})
+	}
+	causal(roots)
+	var render func(s SpanRecord, depth int)
+	render = func(s SpanRecord, depth int) {
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "[%s] %s (%v)", s.Node, s.Name, s.Duration.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&b, " ERROR=%q", s.Err)
+		}
+		fmt.Fprintln(w, b.String())
+		kids := children[key{s.Node, s.ID}]
+		causal(kids)
+		for _, c := range kids {
+			render(c, depth+1)
+		}
+	}
+	for _, root := range roots {
+		render(root, 0)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMergeTimelineOrder(t *testing.T) {
+	bundles := []Bundle{
+		{Node: "b", Events: []FlightEvent{
+			{Seq: 1, Lamport: 2, Node: "b"},
+			{Seq: 2, Lamport: 5, Node: "b"},
+		}},
+		{Node: "a", Events: []FlightEvent{
+			{Seq: 1, Lamport: 1, Node: "a"},
+			{Seq: 2, Lamport: 2, Node: "a"},
+			{Seq: 3, Lamport: 2, Node: "a"},
+		}},
+	}
+	got := MergeTimeline(bundles)
+	type ns struct {
+		node string
+		seq  uint64
+	}
+	want := []ns{{"a", 1}, {"a", 2}, {"a", 3}, {"b", 1}, {"b", 2}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i, ev := range got {
+		if ev.Node != want[i].node || ev.Seq != want[i].seq {
+			t.Errorf("timeline[%d] = %s/%d, want %s/%d", i, ev.Node, ev.Seq, want[i].node, want[i].seq)
+		}
+	}
+}
+
+func TestCheckCausalityClean(t *testing.T) {
+	bundles := []Bundle{
+		{Node: "manager", Events: []FlightEvent{
+			{Seq: 1, Lamport: 1, Node: "manager", Kind: FlightSend, MsgType: "reset", From: "manager", To: "a", Step: "0/1"},
+		}},
+		{Node: "a", Events: []FlightEvent{
+			{Seq: 1, Lamport: 2, Node: "a", Kind: FlightRecv, MsgType: "reset", From: "manager", To: "a", Step: "0/1"},
+			{Seq: 2, Lamport: 3, Node: "a", Kind: FlightSend, MsgType: "reset done", From: "a", To: "manager", Step: "0/1"},
+			{Seq: 3, Lamport: 4, Node: "a", Kind: FlightSend, MsgType: "adapt done", From: "a", To: "manager", Step: "0/1"},
+			// A receive whose send was evicted from the ring: NOT an anomaly.
+			{Seq: 4, Lamport: 9, Node: "a", Kind: FlightRecv, MsgType: "resume", From: "manager", To: "a", Step: "0/1"},
+		}},
+	}
+	if anomalies := CheckCausality(bundles); len(anomalies) != 0 {
+		t.Fatalf("clean bundles flagged: %v", anomalies)
+	}
+}
+
+func TestCheckCausalityDetectsViolations(t *testing.T) {
+	bundles := []Bundle{
+		{Node: "manager", Events: []FlightEvent{
+			// Lamport regression: 5 then 3 at the next seq.
+			{Seq: 1, Lamport: 5, Node: "manager", Kind: FlightState},
+			{Seq: 2, Lamport: 3, Node: "manager", Kind: FlightState},
+			// Send at Lamport 7...
+			{Seq: 3, Lamport: 7, Node: "manager", Kind: FlightSend, MsgType: "reset", From: "manager", To: "a", Step: "0/1"},
+		}},
+		{Node: "a", Events: []FlightEvent{
+			// ...received at Lamport 7: receive must EXCEED the send.
+			{Seq: 1, Lamport: 7, Node: "a", Kind: FlightRecv, MsgType: "reset", From: "manager", To: "a", Step: "0/1"},
+			// Phase inversion: adapt done before reset done for one step.
+			{Seq: 2, Lamport: 8, Node: "a", Kind: FlightSend, MsgType: "adapt done", From: "a", To: "manager", Step: "0/1"},
+			{Seq: 3, Lamport: 9, Node: "a", Kind: FlightSend, MsgType: "reset done", From: "a", To: "manager", Step: "0/1"},
+		}},
+	}
+	anomalies := CheckCausality(bundles)
+	kinds := map[string]int{}
+	for _, a := range anomalies {
+		kinds[a.Kind]++
+	}
+	if kinds["lamport-regression"] != 1 || kinds["receive-before-send"] != 1 || kinds["protocol-order"] != 1 {
+		t.Fatalf("anomaly kinds = %v, want one of each: %v", kinds, anomalies)
+	}
+	// Output is sorted by kind for deterministic reports.
+	for i := 1; i < len(anomalies); i++ {
+		if anomalies[i].Kind < anomalies[i-1].Kind {
+			t.Fatalf("anomalies not sorted: %v", anomalies)
+		}
+	}
+}
+
+func TestRenderTimelineMessageLine(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTimeline(&buf, []FlightEvent{
+		{Lamport: 12, Node: "manager", Kind: FlightSend, MsgType: "reset", From: "manager", To: "handheld", Step: "0/1"},
+		{Lamport: 13, Node: "handheld", Kind: FlightState, Detail: "idle -> resetting"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, `"reset" manager -> handheld step 0/1`) {
+		t.Errorf("timeline lacks message coordinates:\n%s", out)
+	}
+	if !strings.Contains(out, "idle -> resetting") {
+		t.Errorf("timeline lacks detail line:\n%s", out)
+	}
+}
+
+func TestRenderCrossNodeTreeSplicesRemoteParents(t *testing.T) {
+	bundles := []Bundle{
+		{Node: "manager", Spans: []SpanRecord{
+			{ID: 1, Name: "adaptation", Node: "manager", Lamport: 1},
+			{ID: 2, ParentID: 1, Name: "reset", Node: "manager", Lamport: 2},
+		}},
+		{Node: "a", Spans: []SpanRecord{
+			// Remote-parented under the manager's reset wave span.
+			{ID: 1, ParentID: 2, ParentNode: "manager", Name: "agent step A2", Node: "a", Lamport: 3},
+			// Same numeric ID as the manager's adaptation span: the (node,
+			// id) keying must keep them distinct.
+			{ID: 7, ParentID: 99, Name: "orphan", Node: "a", Lamport: 4},
+		}},
+	}
+	var buf bytes.Buffer
+	RenderCrossNodeTree(&buf, bundles)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "[manager] adaptation") {
+		t.Errorf("line 0 = %q, want manager root first", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  [manager] reset") {
+		t.Errorf("line 1 = %q, want reset nested under adaptation", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    [a] agent step A2") {
+		t.Errorf("line 2 = %q, want agent span spliced under the manager wave", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "[a] orphan") {
+		t.Errorf("line 3 = %q, want unresolvable span rendered as root", lines[3])
+	}
+}

@@ -30,6 +30,18 @@ type SpanRecord struct {
 	Duration time.Duration `json:"durationNanos"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
 	Err      string        `json:"err,omitempty"`
+
+	// Causal context (when tracing is active). TraceID names the
+	// adaptation the span belongs to; Node is the process that recorded
+	// it; ParentNode is set when the parent span lives on another node
+	// (the parent reference arrived in a protocol message's trace
+	// context); Lamport is the recording node's Lamport time at span
+	// start. Together these let `safeadaptctl postmortem` splice spans
+	// from per-node bundles into one cross-node tree.
+	TraceID    string `json:"traceID,omitempty"`
+	Node       string `json:"node,omitempty"`
+	ParentNode string `json:"parentNode,omitempty"`
+	Lamport    uint64 `json:"lamport,omitempty"`
 }
 
 // EventRecord is one timestamped event — a progress line from the
@@ -40,44 +52,80 @@ type EventRecord struct {
 	SpanID uint64        `json:"spanId,omitempty"`
 	Scope  string        `json:"scope"`
 	Msg    string        `json:"msg"`
+	// TraceID and Lamport tag the event with the registry's causal
+	// context at recording time (zero when tracing is inactive).
+	TraceID string `json:"traceID,omitempty"`
+	Lamport uint64 `json:"lamport,omitempty"`
 }
 
 // Span is an in-progress traced operation. Create with
 // Registry.StartSpan or Span.Child; finish with End, which records the
 // span in the registry. All methods are nil-safe.
 type Span struct {
-	reg      *Registry
-	id       uint64
-	parentID uint64
-	name     string
-	start    time.Time
-	attrs    []Attr
-	errText  string
-	ended    bool
+	reg        *Registry
+	id         uint64
+	parentID   uint64
+	parentNode string
+	node       string
+	traceID    string
+	lamport    uint64
+	name       string
+	start      time.Time
+	attrs      []Attr
+	errText    string
+	ended      bool
 }
 
-// StartSpan begins a root span. Returns nil on a nil registry.
+// StartSpan begins a root span. Returns nil on a nil registry. The span
+// captures the registry's causal context (active trace, Lamport time) at
+// start.
 func (r *Registry) StartSpan(name string, attrs ...Attr) *Span {
 	if r == nil {
 		return nil
 	}
 	return &Span{
-		reg:   r,
-		id:    r.nextSpanID.Add(1),
-		name:  name,
-		start: time.Now(),
-		attrs: attrs,
+		reg:     r,
+		id:      r.nextSpanID.Add(1),
+		name:    name,
+		start:   time.Now(),
+		attrs:   attrs,
+		traceID: r.ActiveTrace(),
+		lamport: r.lamport.Load(),
 	}
 }
 
-// Child begins a span nested under s. Returns nil on a nil span.
+// Child begins a span nested under s. Returns nil on a nil span. The
+// child inherits s's node label.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
 	c := s.reg.StartSpan(name, attrs...)
 	c.parentID = s.id
+	c.node = s.node
 	return c
+}
+
+// SetNode overrides the node the span is attributed to; without it the
+// span records the registry's node label. Agents sharing one in-process
+// registry with the manager use this so their spans are still attributed
+// to their own process.
+func (s *Span) SetNode(node string) {
+	if s == nil {
+		return
+	}
+	s.node = node
+}
+
+// SetRemoteParent parents the span under a span on another node — the
+// (origin, spanID) pair propagated in a protocol message's trace
+// context. A zero id leaves the span a root.
+func (s *Span) SetRemoteParent(node string, id uint64) {
+	if s == nil || id == 0 {
+		return
+	}
+	s.parentID = id
+	s.parentNode = node
 }
 
 // SetAttr adds or replaces an annotation on the span.
@@ -118,14 +166,22 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
+	node := s.node
+	if node == "" {
+		node = s.reg.Node()
+	}
 	rec := SpanRecord{
-		ID:       s.id,
-		ParentID: s.parentID,
-		Name:     s.name,
-		Start:    s.reg.since(s.start),
-		Duration: time.Since(s.start),
-		Attrs:    s.attrs,
-		Err:      s.errText,
+		ID:         s.id,
+		ParentID:   s.parentID,
+		Name:       s.name,
+		Start:      s.reg.since(s.start),
+		Duration:   time.Since(s.start),
+		Attrs:      s.attrs,
+		Err:        s.errText,
+		TraceID:    s.traceID,
+		Node:       node,
+		ParentNode: s.parentNode,
+		Lamport:    s.lamport,
 	}
 	s.reg.traceMu.Lock()
 	s.reg.spans.push(rec)
@@ -179,10 +235,12 @@ func (r *Registry) eventf(spanID uint64, scope, format string, args ...any) {
 
 func (r *Registry) event(spanID uint64, scope, msg string) {
 	rec := EventRecord{
-		At:     r.since(time.Now()),
-		SpanID: spanID,
-		Scope:  scope,
-		Msg:    msg,
+		At:      r.since(time.Now()),
+		SpanID:  spanID,
+		Scope:   scope,
+		Msg:     msg,
+		TraceID: r.ActiveTrace(),
+		Lamport: r.lamport.Load(),
 	}
 	r.traceMu.Lock()
 	r.events.push(rec)

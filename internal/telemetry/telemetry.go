@@ -44,6 +44,15 @@ type Registry struct {
 	events  ring[EventRecord]
 
 	nextSpanID atomic.Uint64
+
+	// Causal context (see causal.go): Lamport clock, node label, and the
+	// adaptation trace in progress. All lock-free.
+	lamport     atomic.Uint64
+	node        atomic.Pointer[string]
+	activeTrace atomic.Pointer[string]
+
+	// flight is the optional black-box recorder (see flightrec.go).
+	flight atomic.Pointer[FlightRecorder]
 }
 
 // Capacity bounds for the span and event ring buffers.
@@ -246,31 +255,8 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	sorted := make([]time.Duration, len(h.samples))
 	copy(sorted, h.samples)
 	h.mu.Unlock()
-	return quantileOf(sorted, q)
-}
-
-// quantileOf computes the nearest-rank q-quantile of the samples,
-// sorting them in place.
-func quantileOf(samples []time.Duration, q float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	if q <= 0 {
-		return samples[0]
-	}
-	if q >= 1 {
-		return samples[len(samples)-1]
-	}
-	// Nearest rank: ceil(q*n), 1-based.
-	rank := int(q * float64(len(samples)))
-	if float64(rank) < q*float64(len(samples)) {
-		rank++
-	}
-	if rank < 1 {
-		rank = 1
-	}
-	return samples[rank-1]
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantileSorted(sorted, q)
 }
 
 // Summary returns the histogram's summary statistics.
@@ -298,7 +284,10 @@ func (h *Histogram) Summary() HistogramSummary {
 	return s
 }
 
-// quantileSorted is quantileOf over already-sorted samples.
+// quantileSorted computes the nearest-rank q-quantile (rank ceil(q*n),
+// 1-based, clamped to [1,n]) of an ascending-sorted sample slice. It is
+// the single quantile implementation in the package; Quantile and
+// Summary both route through it.
 func quantileSorted(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0

@@ -238,3 +238,115 @@ func getJSON(t *testing.T, url string, v any) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuantileSorted pins the shared nearest-rank implementation both
+// Histogram.Quantile and Summary route through.
+func TestQuantileSorted(t *testing.T) {
+	ms := func(ds ...int) []time.Duration {
+		out := make([]time.Duration, len(ds))
+		for i, d := range ds {
+			out[i] = time.Duration(d) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single-low", ms(7), 0, 7 * time.Millisecond},
+		{"single-high", ms(7), 1, 7 * time.Millisecond},
+		{"median-even", ms(1, 2, 3, 4), 0.5, 2 * time.Millisecond},
+		{"median-odd", ms(1, 2, 3), 0.5, 2 * time.Millisecond},
+		{"p99-small-sample", ms(1, 2, 3), 0.99, 3 * time.Millisecond},
+		{"q0-clamps-to-first", ms(1, 2, 3), 0, 1 * time.Millisecond},
+		{"q1-clamps-to-last", ms(1, 2, 3), 1, 3 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := quantileSorted(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: quantileSorted(%v, %v) = %v, want %v", c.name, c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("adapt.steps").Add(3)
+	r.Gauge("agents.connected").Set(2)
+	r.Histogram("step.latency").Observe(250 * time.Millisecond)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE adapt_steps_total counter\nadapt_steps_total 3\n",
+		"# TYPE agents_connected gauge\nagents_connected 2\n",
+		"# TYPE step_latency_seconds summary\n",
+		"step_latency_seconds{quantile=\"0.5\"} 0.25\n",
+		"step_latency_seconds_sum 0.25\n",
+		"step_latency_seconds_count 1\n",
+		"# TYPE safeadapt_uptime_seconds gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "adapt.steps") {
+		t.Errorf("metric name not sanitized:\n%s", out)
+	}
+}
+
+// TestPrometheusDeterministic: equal snapshots must render byte-identical
+// text (map iteration order must not leak into the output).
+func TestPrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z", "a", "m", "b", "k"} {
+		r.Counter("c." + n).Inc()
+		r.Gauge("g." + n).Set(1)
+	}
+	snap := r.Snapshot()
+	var first strings.Builder
+	WritePrometheus(&first, snap)
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		WritePrometheus(&again, snap)
+		if again.String() != first.String() {
+			t.Fatalf("run %d rendered differently:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+	// Sanity: names in sorted order.
+	za := strings.Index(first.String(), "c_a_total")
+	zz := strings.Index(first.String(), "c_z_total")
+	if za < 0 || zz < 0 || za > zz {
+		t.Fatalf("counters not sorted:\n%s", first.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"adapt.steps":        "adapt_steps",
+		"flightrec.dumps":    "flightrec_dumps",
+		"already_fine:ok":    "already_fine:ok",
+		"9starts.with.digit": "_9starts_with_digit",
+		"dash-and space":     "dash_and_space",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -67,7 +67,9 @@ func (m *TCPManager) Send(msg protocol.Message) error {
 	conn, ok := m.conns[msg.To]
 	m.mu.Unlock()
 	if !ok {
-		m.tel.Load().Counter("transport.tcp.send_errors").Inc()
+		tel := m.tel.Load()
+		tel.Counter("transport.tcp.send_errors").Inc()
+		noteDrop(tel, msg, "no connection")
 		return fmt.Errorf("transport: no connection to agent %q", msg.To)
 	}
 	m.tel.Load().Counter("transport.tcp.frames_sent").Inc()
@@ -188,6 +190,7 @@ func (m *TCPManager) serveConn(conn net.Conn) {
 		default:
 			// Overflow behaves like loss; the protocol tolerates it.
 			m.tel.Load().Counter("transport.messages.overflowed").Inc()
+			noteDrop(m.tel.Load(), msg, "inbox overflow")
 		}
 	}
 
@@ -281,6 +284,7 @@ func (a *TCPAgent) readLoop() {
 		case a.inbox <- msg:
 		default:
 			a.tel.Load().Counter("transport.messages.overflowed").Inc()
+			noteDrop(a.tel.Load(), msg, "inbox overflow")
 		}
 	}
 }

@@ -138,6 +138,7 @@ func (b *Bus) deliver(msg protocol.Message) error {
 		drop, d := fault(msg)
 		if drop {
 			tel.Counter("transport.messages.dropped").Inc()
+			noteDrop(tel, msg, "fault injection")
 			return nil // silently lost, like a dropped datagram
 		}
 		delay = d
@@ -190,8 +191,30 @@ func (e *busEndpoint) push(msg protocol.Message) {
 	case e.inbox <- msg:
 	default:
 		// Inbox overflow behaves like loss; protocols must tolerate it.
-		e.bus.tel.Load().Counter("transport.messages.overflowed").Inc()
+		tel := e.bus.tel.Load()
+		tel.Counter("transport.messages.overflowed").Inc()
+		noteDrop(tel, msg, "inbox overflow")
 	}
+}
+
+// noteDrop records a lost message in the registry's flight recorder so the
+// post-mortem timeline shows where a message disappeared, not just that a
+// reply never came.
+func noteDrop(tel *telemetry.Registry, msg protocol.Message, why string) {
+	fr := tel.Flight()
+	if !fr.Enabled() {
+		return
+	}
+	fr.Record(telemetry.FlightEvent{
+		Kind:    telemetry.FlightDrop,
+		Lamport: tel.LamportNow(),
+		TraceID: msg.Trace.TraceID,
+		Detail:  why,
+		MsgType: msg.Type.String(),
+		From:    msg.From,
+		To:      msg.To,
+		Step:    msg.Step.Key(),
+	})
 }
 
 func (e *busEndpoint) closeLocal() {

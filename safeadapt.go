@@ -76,6 +76,18 @@ type (
 	Telemetry = telemetry.Registry
 	// TelemetrySnapshot is a point-in-time export of all metrics.
 	TelemetrySnapshot = telemetry.Snapshot
+	// FlightRecorder is the per-node black box: a bounded ring of
+	// causally stamped protocol events that dumps a JSON post-mortem
+	// bundle on rollback, failure, or panic. Create with
+	// NewFlightRecorder and attach via Telemetry.AttachFlight.
+	FlightRecorder = telemetry.FlightRecorder
+	// FlightEvent is one black-box record (Lamport-stamped).
+	FlightEvent = telemetry.FlightEvent
+	// FlightBundle is the JSON post-mortem artifact one node dumps;
+	// telemetry.MergeTimeline / CheckCausality / RenderCrossNodeTree (or
+	// `safeadaptctl postmortem`) reconstruct the global timeline from the
+	// bundles of all nodes.
+	FlightBundle = telemetry.Bundle
 	// Explorer model-checks the adaptation protocol by deterministic
 	// simulation: bounded-exhaustive DFS and seeded fuzzing over message
 	// interleavings and injected failures.
@@ -92,6 +104,12 @@ type (
 // throughout the library is nil-safe, so a nil registry (the default)
 // costs nothing.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewFlightRecorder returns a black-box recorder for the named node.
+// capacity <= 0 means the default (8192 events).
+func NewFlightRecorder(node string, capacity int) *FlightRecorder {
+	return telemetry.NewFlightRecorder(node, capacity)
+}
 
 // System is an analyzable adaptive system: components, invariants,
 // actions, and the adaptation request endpoints.
