@@ -9,6 +9,7 @@
 //	BenchmarkMAPLazy                  Sec. 7   — lazy partial-SAG planning
 //	BenchmarkPaperScenarioRealization Sec. 5.2 — protocol execution of the MAP
 //	BenchmarkRealizationOverTCP       Sec. 5.2 — same, on real TCP connections
+//	BenchmarkCrashRecoveryOverTCP     Sec. 4.4 — manager failover via journal replay
 //	BenchmarkTelemetryOverhead        instrumented vs uninstrumented realization
 //	BenchmarkAdaptationStrategies     claim    — safe vs unsafe under live video
 //	BenchmarkAblationCompoundOnly     Table 2  — compound-only planning cost
@@ -18,8 +19,11 @@ package safeadapt_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,6 +33,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cipherkit"
 	"repro/internal/invariant"
+	"repro/internal/journal"
 	"repro/internal/manager"
 	"repro/internal/metasocket"
 	"repro/internal/model"
@@ -294,6 +299,142 @@ func BenchmarkRealizationOverTCP(b *testing.B) {
 		}
 		_ = mgrEP.Close()
 	}
+}
+
+// benchCrashJournal simulates the manager process dying at the first
+// resume acknowledgement hitting the write-ahead log: past the point of
+// no return, before the ack is durable — the strictest failover spot.
+type benchCrashJournal struct {
+	inner journal.Journal
+	mu    sync.Mutex
+	dead  bool
+}
+
+func (c *benchCrashJournal) Append(rec journal.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead || (rec.Kind == journal.KindAck && rec.Wave == "resume") {
+		c.dead = true
+		return errors.New("simulated crash")
+	}
+	return c.inner.Append(rec)
+}
+
+func (c *benchCrashJournal) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return errors.New("simulated crash")
+	}
+	return c.inner.Sync()
+}
+
+func (c *benchCrashJournal) Snapshot() ([]journal.Record, error) { return c.inner.Snapshot() }
+func (c *benchCrashJournal) Close() error                        { return c.inner.Close() }
+
+// BenchmarkCrashRecoveryOverTCP measures manager failover on real
+// sockets: the manager dies just past the first step's point of no
+// return, and a successor on a NEW address reopens the same write-ahead
+// log, fences a fresh epoch, probes the agents, re-drives the resume
+// wave, and completes the remaining steps. failover_ms is death-to-target
+// — agent redial, journal replay, epoch commit, probe round, and the
+// rest of the MAP included.
+func BenchmarkCrashRecoveryOverTCP(b *testing.B) {
+	scenario := paper.MustScenario()
+	plan, err := planner.New(scenario.Invariants, scenario.Actions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	processOf := func(c string) string {
+		p, _ := scenario.Registry.ProcessOf(c)
+		return p
+	}
+	var failover time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(b.TempDir(), "manager.journal")
+		ep1, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var addrMu sync.Mutex
+		addr := ep1.Addr()
+		addrOf := func() string {
+			addrMu.Lock()
+			defer addrMu.Unlock()
+			return addr
+		}
+		var agents []*agent.Agent
+		var eps []*transport.ReconnectingAgent
+		for _, name := range scenario.Registry.Processes() {
+			ep, err := transport.DialReconnectingTCP(name, addrOf, 2*time.Millisecond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ag, err := agent.New(name, ep, nopProc{}, agent.Options{
+				ResetTimeout: 5 * time.Second,
+				ProcessOf:    processOf,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eps = append(eps, ep)
+			agents = append(agents, ag)
+			go ag.Run()
+		}
+		if err := ep1.WaitForAgents(5*time.Second, scenario.Registry.Processes()...); err != nil {
+			b.Fatal(err)
+		}
+		j1, err := journal.OpenFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cj := &benchCrashJournal{inner: j1}
+		mgr1, err := manager.New(ep1, plan, manager.Options{StepTimeout: 5 * time.Second, Journal: cj})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mgr1.Execute(scenario.Source, scenario.Target); err == nil {
+			b.Fatal("manager survived its simulated crash")
+		}
+		_ = ep1.Close()
+		_ = cj.Close()
+
+		died := time.Now()
+		ep2, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrMu.Lock()
+		addr = ep2.Addr()
+		addrMu.Unlock()
+		if err := ep2.WaitForAgents(5*time.Second, scenario.Registry.Processes()...); err != nil {
+			b.Fatal(err)
+		}
+		j2, err := journal.OpenFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr2, err := manager.New(ep2, plan, manager.Options{StepTimeout: 5 * time.Second, Journal: j2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mgr2.Recover(context.Background())
+		if err != nil || !res.Completed {
+			b.Fatalf("recover: %v %+v", err, res)
+		}
+		failover += time.Since(died)
+
+		for _, ag := range agents {
+			ag.Close()
+		}
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+		_ = ep2.Close()
+		_ = j2.Close()
+	}
+	b.ReportMetric(float64(failover.Microseconds())/float64(b.N)/1000, "failover_ms/op")
 }
 
 // BenchmarkAdaptationStrategies compares the four strategies on the live

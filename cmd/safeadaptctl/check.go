@@ -22,6 +22,7 @@ func check(args []string, out io.Writer) error {
 	faults := fs.Int("faults", 1, "failure-injection budget per execution (-1 disables)")
 	packets := fs.Int("packets", 1, "application packet budget per execution (-1 disables)")
 	fuzzN := fs.Int("fuzz", 0, "additionally run N random schedules")
+	crashN := fs.Int("crash", -1, "crash sweep: kill the manager at every journal record boundary (and mid-fsync), with N extra fuzzed schedules per boundary; -1 disables")
 	seed := fs.Int64("seed", 1, "fuzz seed; a seed reproduces its schedules exactly")
 	selftest := fs.Bool("selftest", false, "mutation self-test: disable the global-safe-condition drain and demand a violation")
 	replay := fs.String("replay", "", "replay one schedule (comma-separated choice indices) and print its trace")
@@ -76,6 +77,18 @@ func check(args []string, out io.Writer) error {
 		}
 		printReport(out, frep, time.Since(start))
 		rep.Violations = append(rep.Violations, frep.Violations...)
+	}
+
+	if *crashN >= 0 {
+		fmt.Fprintf(out, "crash sweep: manager killed at every journal record boundary (+%d fuzzed schedules per boundary, seed %d)\n", *crashN, *seed)
+		start = time.Now()
+		crep, err := x.CrashSweep(*seed, *crashN)
+		if err != nil {
+			return err
+		}
+		printReport(out, crep, time.Since(start))
+		fmt.Fprintf(out, "  manager crashes:    %d (all recovered)\n", crep.Crashes)
+		rep.Violations = append(rep.Violations, crep.Violations...)
 	}
 
 	if len(rep.Violations) > 0 {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/journal"
+)
+
+// journalCmd inspects a manager write-ahead log: it dumps every durable
+// record, reports a torn tail, and replays the log into the recovery
+// state a successor manager would act on — the operator's view of "what
+// was the manager doing when it died, and what will recovery do".
+func journalCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("journal", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "machine-readable JSON output")
+	quiet := fs.Bool("summary", false, "print only the replayed recovery state, not every record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: safeadaptctl journal [-json] [-summary] <file.journal>")
+	}
+	path := fs.Arg(0)
+
+	recs, torn, err := journal.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st := journal.Replay(recs)
+
+	if *asJSON {
+		doc := struct {
+			Records       []journal.Record `json:"records"`
+			TornTailBytes int64            `json:"tornTailBytes"`
+			State         journal.State    `json:"state"`
+		}{Records: recs, TornTailBytes: torn, State: st}
+		return writeJSON(out, doc)
+	}
+
+	fmt.Fprintf(out, "journal: %s (%d records)\n", path, len(recs))
+	if torn > 0 {
+		fmt.Fprintf(out, "torn tail: %d trailing bytes failed the checksum and were ignored (crash mid-write)\n", torn)
+	}
+	if !*quiet {
+		for _, r := range recs {
+			fmt.Fprintf(out, "  %s\n", r)
+		}
+	}
+
+	fmt.Fprintf(out, "last epoch: %d (a recovering manager starts at %d)\n", st.LastEpoch, st.LastEpoch+1)
+	if !st.InFlight {
+		fmt.Fprintln(out, "no in-flight adaptation: nothing to recover")
+		return nil
+	}
+	fmt.Fprintf(out, "IN-FLIGHT adaptation: %s -> %s\n", st.Source, st.Target)
+	if st.Plan != "" {
+		fmt.Fprintf(out, "  plan: %s\n", st.Plan)
+	}
+	fmt.Fprintf(out, "  system last known at: %s\n", st.Current)
+	if st.Step == nil {
+		fmt.Fprintln(out, "  no step in flight (crashed between steps); recovery continues from there")
+		return nil
+	}
+	fmt.Fprintf(out, "  step in flight: %s %s (attempt %d, participants %s)\n",
+		st.Step.ActionID, st.Step.Key(), st.Step.Attempt, strings.Join(st.Step.Participants, ","))
+	for _, wave := range ackWaves(st) {
+		fmt.Fprintf(out, "  acked %s: %s\n", wave, strings.Join(ackedNames(st, wave), ","))
+	}
+	switch {
+	case st.PastPoNR && !st.RollbackDecided:
+		fmt.Fprintln(out, "  past the point of no return: recovery MUST re-drive the resume wave to completion")
+	case st.RollbackDecided:
+		fmt.Fprintln(out, "  rollback was decided: recovery re-sends rollback (idempotent)")
+	default:
+		fmt.Fprintln(out, "  before the point of no return: recovery rolls the step back safely")
+	}
+	return nil
+}
+
+func ackWaves(st journal.State) []string {
+	waves := make([]string, 0, len(st.Acked))
+	for w := range st.Acked {
+		waves = append(waves, w)
+	}
+	sort.Strings(waves)
+	return waves
+}
+
+func ackedNames(st journal.State, wave string) []string {
+	names := make([]string, 0, len(st.Acked[wave]))
+	for p := range st.Acked[wave] {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return names
+}

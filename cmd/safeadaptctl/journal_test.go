@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/protocol"
+)
+
+// writeTestJournal writes a WAL that stops mid-step, past the point of
+// no return — the most operationally interesting shape to inspect.
+func writeTestJournal(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "manager.journal")
+	j, err := journal.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := protocol.Step{
+		ActionID:     "A1",
+		PathIndex:    0,
+		Attempt:      1,
+		Participants: []string{"server", "laptop"},
+		FromVector:   "1100",
+		ToVector:     "0110",
+	}
+	recs := []journal.Record{
+		{Epoch: 1, Kind: journal.KindEpoch},
+		{Epoch: 1, Kind: journal.KindAdaptBegin, Source: "1100", Target: "0011"},
+		{Epoch: 1, Kind: journal.KindPlan, Detail: "A1 -> A2"},
+		{Epoch: 1, Kind: journal.KindStepBegin, Step: step},
+		{Epoch: 1, Kind: journal.KindAck, Step: step, Wave: "reset", Process: "server"},
+		{Epoch: 1, Kind: journal.KindAck, Step: step, Wave: "reset", Process: "laptop"},
+		{Epoch: 1, Kind: journal.KindPoNR, Step: step},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestJournalCommand(t *testing.T) {
+	path := writeTestJournal(t)
+	out := runCmd(t, "journal", path)
+	for _, want := range []string{
+		"7 records",
+		"last epoch: 1 (a recovering manager starts at 2)",
+		"IN-FLIGHT adaptation: 1100 -> 0011",
+		"plan: A1 -> A2",
+		"step in flight: A1",
+		"acked reset: laptop,server",
+		"past the point of no return: recovery MUST re-drive the resume wave",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("journal output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJournalCommandTornTail(t *testing.T) {
+	path := writeTestJournal(t)
+	// A crash mid-write leaves trailing garbage the frame checksum rejects.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x00, 0x30, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "journal", "-summary", path)
+	if !strings.Contains(out, "torn tail: 7 trailing bytes") {
+		t.Errorf("journal output missing torn-tail note:\n%s", out)
+	}
+	if !strings.Contains(out, "IN-FLIGHT adaptation") {
+		t.Errorf("torn tail must not hide the durable prefix:\n%s", out)
+	}
+	// -summary suppresses the per-record dump.
+	if strings.Contains(out, "#1 e1 epoch") {
+		t.Errorf("-summary should not dump records:\n%s", out)
+	}
+}
+
+func TestJournalCommandJSON(t *testing.T) {
+	path := writeTestJournal(t)
+	out := runCmd(t, "journal", "-json", path)
+	for _, want := range []string{`"records"`, `"state"`, `"ponr"`, `"InFlight": true`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("journal -json output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJournalCommandErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"journal"}, &sb); err == nil {
+		t.Error("journal without a path should fail")
+	}
+	if err := run([]string{"journal", filepath.Join(t.TempDir(), "missing.journal")}, &sb); err == nil {
+		t.Error("journal on a missing file should fail")
+	}
+}
+
+func TestCheckCrashSweep(t *testing.T) {
+	out := runCmd(t, "check", "-depth", "2", "-crash", "0")
+	if !strings.Contains(out, "crash sweep: manager killed at every journal record boundary") {
+		t.Errorf("check -crash output missing sweep header:\n%s", out)
+	}
+	if !strings.Contains(out, "(all recovered)") {
+		t.Errorf("check -crash output missing crash count:\n%s", out)
+	}
+	if !strings.Contains(out, "no safety violations") {
+		t.Errorf("check -crash found violations:\n%s", out)
+	}
+}

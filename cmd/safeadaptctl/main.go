@@ -13,6 +13,8 @@
 //	safeadaptctl simulate [-f sys.json]      # dry-run the adaptation through the protocol
 //	safeadaptctl trace [-f sys.json]         # run the adaptation and print its span tree + metrics
 //	safeadaptctl check [-depth N] [-fuzz N]  # model-check the protocol across interleavings and failures
+//	safeadaptctl check -crash N              # also kill the manager at every journal record boundary
+//	safeadaptctl journal <file.journal>      # inspect a manager write-ahead log and its recovery state
 //	safeadaptctl postmortem -dir <dir>       # merge per-node flight-recorder bundles into a causal timeline
 //	safeadaptctl template                    # emit the case study as JSON (a spec template)
 //
@@ -41,13 +43,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|postmortem|template> [flags]")
+		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|journal|postmortem|template> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
 	if cmd == "check" {
 		// check has its own flag set (exploration bounds, seed, replay).
 		return check(rest, out)
+	}
+	if cmd == "journal" {
+		// journal has its own flag set (log path, output shape).
+		return journalCmd(rest, out)
 	}
 	if cmd == "postmortem" {
 		// postmortem has its own flag set (bundle dir, output shape).

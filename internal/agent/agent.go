@@ -122,6 +122,13 @@ type Options struct {
 	// means the wall clock; the deterministic explorer injects a logical
 	// clock.
 	Clock transport.Clock
+	// LeaseTimeout, when positive, arms manager-liveness monitoring: every
+	// admitted manager message renews the lease, and if it expires while
+	// the agent is mid-step the agent applies the self-recovery rule (see
+	// ExpireLease) instead of blocking forever on a dead manager. Zero
+	// disables the monitor (the deterministic explorer triggers expiry
+	// explicitly via ExpireLease instead of racing a timer).
+	LeaseTimeout time.Duration
 }
 
 // Agent is one adaptation agent. Create with New, start with Run (usually
@@ -136,6 +143,10 @@ type Agent struct {
 	mu    sync.Mutex
 	state State
 	trace []Transition
+	// epoch is the highest manager epoch seen; messages from lower epochs
+	// are fenced (dropped). fenced counts them, for tests and diagnostics.
+	epoch  uint64
+	fenced int
 
 	// current step bookkeeping (guarded by the run loop, mirrored under
 	// mu for observers)
@@ -212,6 +223,13 @@ func (a *Agent) Trace() []Transition {
 // inbox closes. Call it in a dedicated goroutine.
 func (a *Agent) Run() {
 	defer close(a.done)
+	var leaseC <-chan time.Time
+	var lease *time.Timer
+	if a.opts.LeaseTimeout > 0 {
+		lease = time.NewTimer(a.opts.LeaseTimeout)
+		defer lease.Stop()
+		leaseC = lease.C
+	}
 	for {
 		select {
 		case <-a.stop:
@@ -220,7 +238,20 @@ func (a *Agent) Run() {
 			if !ok {
 				return
 			}
-			a.handle(msg)
+			if a.handle(msg) && lease != nil {
+				// Any admitted manager message proves the manager alive;
+				// renew the lease.
+				if !lease.Stop() {
+					select {
+					case <-lease.C:
+					default:
+					}
+				}
+				lease.Reset(a.opts.LeaseTimeout)
+			}
+		case <-leaseC:
+			a.ExpireLease()
+			lease.Reset(a.opts.LeaseTimeout)
 		}
 	}
 }
@@ -262,13 +293,36 @@ func (a *Agent) transition(to State, cause string) {
 	}
 }
 
+// Epoch returns the highest manager epoch this agent has seen.
+func (a *Agent) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// Fenced reports how many stale-epoch messages this agent has dropped.
+func (a *Agent) Fenced() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fenced
+}
+
 func (a *Agent) send(t protocol.MsgType, step protocol.Step, errText string) {
-	msg := protocol.Message{
+	a.sendMsg(protocol.Message{
 		Type:  t,
 		To:    protocol.ManagerName,
 		Step:  step,
 		Error: errText,
-	}
+	})
+}
+
+func (a *Agent) sendMsg(msg protocol.Message) {
+	t, step := msg.Type, msg.Step
+	// Replies act under — and echo — the epoch the agent is fenced to, so
+	// the manager can discard answers meant for a predecessor.
+	a.mu.Lock()
+	msg.Epoch = a.epoch
+	a.mu.Unlock()
 	if a.tel.Enabled() {
 		msg.Trace = protocol.TraceContext{
 			TraceID: a.tel.ActiveTrace(),
@@ -292,7 +346,30 @@ func (a *Agent) send(t protocol.MsgType, step protocol.Step, errText string) {
 	_ = a.ep.Send(msg)
 }
 
-func (a *Agent) handle(msg protocol.Message) {
+// handle processes one manager message and reports whether it was
+// admitted (fenced stale-epoch traffic is dropped and does not renew the
+// manager's liveness lease).
+func (a *Agent) handle(msg protocol.Message) bool {
+	if msg.Epoch != 0 {
+		// Epoch fencing: traffic from a superseded manager incarnation is
+		// dropped so a crashed manager's stragglers cannot interleave with
+		// its successor's recovery. Epoch 0 (pre-journaling managers) is
+		// always admitted.
+		a.mu.Lock()
+		if msg.Epoch < a.epoch {
+			a.fenced++
+			cur := a.epoch
+			a.mu.Unlock()
+			a.tel.Counter("agent.fenced").Inc()
+			a.flightEvent(telemetry.FlightDrop,
+				fmt.Sprintf("fenced %s from stale epoch %d (current %d)", msg.Type, msg.Epoch, cur))
+			return false
+		}
+		if msg.Epoch > a.epoch {
+			a.epoch = msg.Epoch
+		}
+		a.mu.Unlock()
+	}
 	a.noteRecv(msg)
 	switch msg.Type {
 	case protocol.MsgReset:
@@ -301,8 +378,84 @@ func (a *Agent) handle(msg protocol.Message) {
 		a.handleResume(msg.Step, msg.Trace)
 	case protocol.MsgRollback:
 		a.handleRollback(msg.Step, msg.Trace)
+	case protocol.MsgHeartbeat:
+		// Liveness only; admission alone renews the lease.
+	case protocol.MsgProbe:
+		a.handleProbe(msg.Step)
 	default:
 		// Agents ignore anything else (e.g. stray replies).
+	}
+	return true
+}
+
+// handleProbe answers a recovering manager's state probe with this agent's
+// ground truth. The probe's step is echoed so the manager can correlate.
+func (a *Agent) handleProbe(step protocol.Step) {
+	a.mu.Lock()
+	info := protocol.ProbeInfo{State: a.state.String(), AdaptDone: a.inActDone}
+	if a.haveStep {
+		s := a.curStep
+		info.Step = &s
+	}
+	if a.haveDone {
+		d := a.lastDone
+		info.LastDone = &d
+	}
+	a.mu.Unlock()
+	a.sendMsg(protocol.Message{
+		Type:  protocol.MsgProbeAck,
+		To:    protocol.ManagerName,
+		Step:  step,
+		Probe: &info,
+	})
+}
+
+// ExpireLease applies the agent self-recovery rule after the manager's
+// liveness lease lapsed mid-adaptation (the manager is presumed crashed):
+//
+//   - Before the agent has sent "adapt done" (states resetting/safe), the
+//     manager cannot have crossed the step's point of no return — the
+//     first resume requires every adapt-done — so a local rollback is
+//     provably safe: undo and return to running, exactly the paper's
+//     before-first-resume rule.
+//   - After "adapt done" (state adapted), the agent cannot know whether
+//     the manager committed the point of no return before dying; rolling
+//     back here could split the configuration. The agent stays safely
+//     blocked (the in-doubt window of the protocol) and waits for a
+//     recovering manager to resolve the step under a new epoch.
+//   - From the first resume on, the step runs to completion anyway (the
+//     resume path is synchronous), so there is nothing to recover.
+//
+// The agent's lease monitor calls this from the run goroutine; tests and
+// the deterministic explorer call it directly (never concurrently with
+// Run).
+func (a *Agent) ExpireLease() {
+	a.mu.Lock()
+	state := a.state
+	step := a.curStep
+	have := a.haveStep
+	applied := a.inActDone
+	a.mu.Unlock()
+	if !have {
+		return // not mid-step; nothing at risk
+	}
+	switch state {
+	case StateResetting, StateSafe:
+		ops := a.localOps(step)
+		if err := a.proc.Rollback(step, ops, applied); err != nil {
+			a.flightEvent(telemetry.FlightRollback,
+				"lease expired but local rollback failed: "+err.Error())
+			return
+		}
+		a.tel.Counter("agent.lease.rollbacks").Inc()
+		a.flightEvent(telemetry.FlightRollback, "manager lease expired; local rollback of step "+step.Key())
+		a.safeSince = time.Time{}
+		a.transition(StateRunning, "[manager lease expired] / rollback")
+		a.clearStep()
+	case StateAdapted:
+		a.tel.Counter("agent.lease.stranded").Inc()
+		a.flightEvent(telemetry.FlightTimeout,
+			"manager lease expired in adapted (in-doubt); holding step "+step.Key()+" for recovery")
 	}
 }
 

@@ -47,6 +47,7 @@ func (a *Agent) flightEvent(kind, detail string) {
 		TraceID: a.tel.ActiveTrace(),
 		Node:    a.name,
 		Detail:  detail,
+		Epoch:   a.Epoch(),
 	})
 }
 

@@ -5,11 +5,13 @@
 // failures (message loss, manager timeouts, fail-to-reset, agent
 // crashes) as explicit choice points.
 //
-// Two drivers walk the choice tree. Explore performs exhaustive bounded
-// DFS: every alternative within the first Depth choice points is tried,
-// and choices beyond the bound follow the deterministic happy path.
-// Fuzz samples random schedules from a seed; any schedule — found by
-// either driver — replays exactly via Replay.
+// Three drivers walk the choice tree. Explore performs exhaustive
+// bounded DFS: every alternative within the first Depth choice points is
+// tried, and choices beyond the bound follow the deterministic happy
+// path. Fuzz samples random schedules from a seed. CrashSweep kills the
+// manager process at every journal record boundary (and mid-fsync) and
+// checks that the successor's recovery preserves every safety property.
+// Any schedule — found by any driver — replays exactly via Replay.
 //
 // At every explored state the safety properties of the paper are
 // checked:
@@ -156,6 +158,9 @@ type Report struct {
 	States int
 	// Schedules is the number of distinct executions run.
 	Schedules int
+	// Crashes is the number of manager deaths injected (and recovered
+	// from) across all executions; nonzero only for CrashSweep runs.
+	Crashes int
 	// Violations are the safety violations found.
 	Violations []Violation
 	// Truncated reports that MaxSchedules or MaxViolations cut the run
@@ -266,6 +271,68 @@ func (x *Explorer) Fuzz(seed int64, n int) (*Report, error) {
 	return rep, nil
 }
 
+// crashPlan configures manager-death injection for one execution: the
+// manager process dies at the after-th journal record boundary (its next
+// append fails), or — with midSync — during the fsync that follows that
+// boundary, so the unsynced tail is lost as if it never hit the disk.
+type crashPlan struct {
+	after   int
+	midSync bool
+}
+
+// CrashSweep model-checks manager-crash recovery. It first measures how
+// many journal records the fault-free happy path writes, then for every
+// record boundary k up to that count it runs:
+//
+//   - the happy-path schedule with the manager killed at boundary k;
+//   - the same schedule with the crash falling mid-fsync instead, so the
+//     unsynced tail is torn away;
+//   - perPoint fuzzed schedules (derived from seed) with the kill at
+//     boundary k, layering message loss, timeouts, fail-to-reset and
+//     lease expiry over the crash.
+//
+// Unlike agent crashes — which the paper's failure model excludes —
+// manager crashes are exactly what the durable journal claims to
+// survive, so every safety property (dependency invariants, CCS, no
+// rollback after the point of no return, deadlock, belief, Fig. 1–2
+// conformance of every incarnation) stays armed through the crash and
+// the successor's recovery.
+func (x *Explorer) CrashSweep(seed int64, perPoint int) (*Report, error) {
+	rep := &Report{}
+	// Measure the happy path's journal length; it must itself be clean.
+	probe, err := newExecution(x, &replayChooser{})
+	if err != nil {
+		return nil, err
+	}
+	probe.run()
+	if len(probe.violations) > 0 {
+		rep.Schedules++
+		rep.Violations = append(rep.Violations, probe.violations...)
+		rep.Truncated = true
+		return rep, nil
+	}
+	boundaries := probe.journal.Appends()
+	for k := 1; k <= boundaries; k++ {
+		if err := x.runCrash(&replayChooser{}, rep, &crashPlan{after: k}); err != nil {
+			return rep, err
+		}
+		if err := x.runCrash(&replayChooser{}, rep, &crashPlan{after: k, midSync: true}); err != nil {
+			return rep, err
+		}
+		for i := 0; i < perPoint; i++ {
+			ch := &randChooser{rng: rand.New(rand.NewSource(seed + int64(k)*1009 + int64(i)))}
+			if err := x.runCrash(ch, rep, &crashPlan{after: k}); err != nil {
+				return rep, err
+			}
+		}
+		if len(rep.Violations) >= x.opts.MaxViolations || rep.Schedules >= x.opts.MaxSchedules {
+			rep.Truncated = true
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
 // Replay runs the single execution identified by the given choice
 // sequence (choices beyond it take the happy path) and returns its
 // report — the way to confirm and inspect a reported violation.
@@ -291,13 +358,21 @@ func (x *Explorer) ReplayTrace(schedule []int) ([]string, error) {
 }
 
 func (x *Explorer) runOne(ch chooser, rep *Report) error {
+	return x.runCrash(ch, rep, nil)
+}
+
+func (x *Explorer) runCrash(ch chooser, rep *Report, cp *crashPlan) error {
 	e, err := newExecution(x, ch)
 	if err != nil {
 		return err
 	}
+	if cp != nil {
+		e.armCrash(*cp)
+	}
 	e.run()
 	rep.Schedules++
 	rep.States += len(ch.taken())
+	rep.Crashes += e.mgrCrashes
 	rep.Violations = append(rep.Violations, e.violations...)
 	x.tel.Counter("explore.schedules").Inc()
 	x.tel.Counter("explore.states").Add(int64(len(ch.taken())))

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/audit"
 	"repro/internal/ccs"
+	"repro/internal/journal"
 	"repro/internal/manager"
 	"repro/internal/model"
 	"repro/internal/protocol"
@@ -88,6 +90,16 @@ type execution struct {
 	// was sent — the point of no return.
 	ponr map[[2]int]bool
 
+	// journal is the manager's write-ahead log; every incarnation of the
+	// manager in this execution appends to it. Manager crashes are injected
+	// at its record boundaries (armCrash) and survive into the successor's
+	// recovery, exactly like a real on-disk journal.
+	journal *journal.Mem
+	// mgrCrashes counts injected manager deaths; deadMgrs keeps the crashed
+	// incarnations so finish can audit their (partial) traces too.
+	mgrCrashes int
+	deadMgrs   []*manager.Manager
+
 	checker   *ccs.Checker
 	ccsExempt map[ccs.CID]bool
 
@@ -112,6 +124,7 @@ func newExecution(x *Explorer, ch chooser) (*execution, error) {
 		crashed:     make(map[string]bool),
 		ponr:        make(map[[2]int]bool),
 		ccsExempt:   make(map[ccs.CID]bool),
+		journal:     journal.NewMem(),
 	}
 	segs, err := ccs.NewSegments([]string{"send", "recv"})
 	if err != nil {
@@ -143,23 +156,109 @@ func newExecution(x *Explorer, ch chooser) (*execution, error) {
 		}
 		e.agents[pn] = ag
 	}
-	e.mgr, err = manager.New(&mgrEndpoint{e: e}, x.plan, manager.Options{
-		StepTimeout:   x.opts.StepTimeout,
-		ResumeRetries: x.opts.ResumeRetries,
-		ResetPhases:   x.m.ResetPhases,
-		Clock:         e.clock,
-	})
+	e.mgr, err = e.newManager()
 	if err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
-// run executes the adaptation to its terminal state and performs the
-// terminal checks.
+// newManager builds one manager incarnation over the execution's shared
+// journal and virtual transport. The first incarnation is built here by
+// newExecution; after an injected crash, recoverManager builds successors
+// with the same call, and the shared journal hands each the next epoch.
+func (e *execution) newManager() (*manager.Manager, error) {
+	return manager.New(&mgrEndpoint{e: e}, e.x.plan, manager.Options{
+		StepTimeout:   e.x.opts.StepTimeout,
+		ResumeRetries: e.x.opts.ResumeRetries,
+		ResetPhases:   e.m.ResetPhases,
+		Clock:         e.clock,
+		Journal:       e.journal,
+		// Retry backoff advances the logical clock instead of sleeping, so
+		// fault schedules with retries stay fast and deterministic.
+		Sleep: func(_ context.Context, d time.Duration) error {
+			e.clock.advance(d)
+			return nil
+		},
+	})
+}
+
+// armCrash arms the manager-death fault: the manager process dies at the
+// cp.after-th journal record boundary — or, with cp.midSync, during the
+// fsync following that boundary, losing the whole unsynced tail.
+func (e *execution) armCrash(cp crashPlan) {
+	if cp.midSync {
+		e.journal.AppendHook = func(journal.Record) error {
+			if e.journal.Appends() == cp.after {
+				e.journal.FailNextSync()
+			}
+			return nil
+		}
+		return
+	}
+	e.journal.CrashAfterAppends(cp.after)
+}
+
+// run executes the adaptation to its terminal state — recovering from
+// injected manager crashes along the way — and performs the terminal
+// checks.
 func (e *execution) run() {
 	res, err := e.mgr.Execute(e.m.Source, e.m.Target)
+	for errors.Is(err, journal.ErrCrashed) {
+		if e.mgrCrashes++; e.mgrCrashes > 3 {
+			// Faults are disarmed on Reopen, so repeated crashes mean the
+			// fault model leaked; surface it rather than spin.
+			e.violate("livelock", "manager crashed more than 3 times in one execution")
+			break
+		}
+		res, err = e.recoverManager()
+	}
 	e.finish(res, err)
+}
+
+// recoverManager models the death of the manager process at a journal
+// record boundary and the takeover by a successor: the predecessor's
+// unread inbox dies with its sockets, engaged agents may notice the
+// silence first (lease expiry is a scheduling choice per agent), and a
+// fresh incarnation replays the journal and recovers under the next
+// epoch. Safety checking stays fully armed throughout — unlike agent
+// crashes, manager crashes are exactly what the journal protocol claims
+// to survive.
+func (e *execution) recoverManager() (manager.Result, error) {
+	e.logf("fault: manager crashes at a journal record boundary (%d records appended)", e.journal.Appends())
+	e.deadMgrs = append(e.deadMgrs, e.mgr)
+	// Replies in flight toward the dead incarnation are lost with it; its
+	// own in-flight commands stay in the network as stragglers the agents
+	// must handle (and, across the epoch bump, fence).
+	e.purgePendingTo(protocol.ManagerName)
+	// Each agent holding a step may see its liveness lease lapse before
+	// the successor shows up — a scheduling choice, so the sweep covers
+	// both self-recovery and probe-finds-agent-mid-step interleavings.
+	for _, pn := range e.procNames {
+		if e.crashed[pn] || e.agents[pn].State() == agent.StateRunning {
+			continue
+		}
+		if e.ch.choose(2) == 1 {
+			e.logf("fault: %s's manager lease expires", pn)
+			e.agents[pn].ExpireLease()
+			e.checkRunningState()
+		}
+	}
+	e.journal.Reopen()
+	mgr, err := e.newManager()
+	if err != nil {
+		return manager.Result{}, err
+	}
+	e.mgr = mgr
+	res, err := e.mgr.Recover(context.Background())
+	if err == nil && !res.Completed && !res.ReturnedToSource {
+		// The journal showed no in-flight adaptation: the request died with
+		// the crashed manager before its first committed record, so the
+		// operator re-submits it to the successor.
+		e.logf("recovery: journal empty of in-flight work; resubmitting the request")
+		res, err = e.mgr.Execute(e.m.Source, e.m.Target)
+	}
+	return res, err
 }
 
 func (e *execution) logf(format string, args ...any) {
@@ -559,6 +658,13 @@ func (e *execution) finish(res manager.Result, err error) {
 
 	for _, issue := range audit.ManagerTrace(e.mgr.Trace()) {
 		e.violate("audit", issue.String())
+	}
+	// Crashed incarnations stopped mid-protocol, but every transition they
+	// did make must still be a drawn Fig. 2 arc.
+	for i, dm := range e.deadMgrs {
+		for _, issue := range audit.ManagerTrace(dm.Trace()) {
+			e.violate("audit", fmt.Sprintf("crashed manager %d: %s", i+1, issue.String()))
+		}
 	}
 	for _, pn := range e.procNames {
 		for _, issue := range audit.AgentTrace(e.agents[pn].Trace()) {

@@ -1,0 +1,195 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the durable journal backend: an append-only file of framed
+// records, each [4-byte big-endian length][4-byte CRC32-IEEE of body]
+// [JSON body]. A record is in the log iff its frame reads back complete
+// and its checksum verifies; a torn tail (the crash landed mid-write) is
+// truncated away on reopen, never interpreted.
+type File struct {
+	mu    sync.Mutex
+	f     *os.File
+	recs  []Record
+	seq   uint64
+	dirty bool
+	// Torn reports how many trailing bytes were discarded as a torn tail
+	// when the file was opened.
+	torn int64
+}
+
+// OpenFile opens (or creates) the journal at path, replays the existing
+// records, truncates any torn tail, and positions for append. The loaded
+// records are available via Snapshot.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	j := &File{f: f}
+	good, torn, recs, err := scan(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	j.recs = recs
+	j.torn = torn
+	if len(recs) > 0 {
+		j.seq = recs[len(recs)-1].Seq
+	}
+	if torn > 0 {
+		// Drop the torn tail so subsequent appends form a clean log.
+		if err := f.Truncate(good); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	return j, nil
+}
+
+// scan reads every complete, checksummed record from r and returns the
+// byte offset where the valid log ends, the number of trailing bytes that
+// did not form a valid record, and the records.
+func scan(r io.ReadSeeker) (good int64, torn int64, recs []Record, err error) {
+	if _, err = r.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	end, err := r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	if _, err = r.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	var off int64
+	var hdr [8]byte
+	for {
+		if _, rerr := io.ReadFull(r, hdr[:]); rerr != nil {
+			break // clean EOF or torn header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if n == 0 || n > 1<<24 {
+			break // corrupt length: treat as torn from here
+		}
+		body := make([]byte, n)
+		if _, rerr := io.ReadFull(r, body); rerr != nil {
+			break // torn body
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			break // torn or bit-rotted record
+		}
+		var rec Record
+		if jerr := json.Unmarshal(body, &rec); jerr != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + int64(n)
+	}
+	return off, end - off, recs, nil
+}
+
+// ReadFile loads the records of the journal at path without opening it
+// for append — the inspection path (`safeadaptctl journal`). torn is the
+// number of trailing bytes that did not form a valid record.
+func ReadFile(path string) (recs []Record, torn int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: open: %w", err)
+	}
+	defer f.Close()
+	_, torn, recs, err = scan(f)
+	return recs, torn, err
+}
+
+// Torn reports how many trailing bytes were discarded on open.
+func (j *File) Torn() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.torn
+}
+
+// Append implements Journal: frame, checksum, write. Not durable until
+// Sync.
+func (j *File) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	j.seq++
+	rec.Seq = j.seq
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	frame := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	j.recs = append(j.recs, rec)
+	j.dirty = true
+	return nil
+}
+
+// Sync implements Journal: fsync the file if anything was appended since
+// the last Sync.
+func (j *File) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if !j.dirty {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.dirty = false
+	return nil
+}
+
+// Snapshot implements Journal.
+func (j *File) Snapshot() ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.recs))
+	copy(out, j.recs)
+	return out, nil
+}
+
+// Close implements Journal: a final fsync, then release the file.
+func (j *File) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	var err error
+	if j.dirty {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+var _ Journal = (*File)(nil)

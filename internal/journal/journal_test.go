@@ -1,0 +1,264 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func step(idx, attempt int, id, from, to string) protocol.Step {
+	return protocol.Step{PathIndex: idx, Attempt: attempt, ActionID: id, FromVector: from, ToVector: to}
+}
+
+func TestFileAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mgr.journal")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Epoch: 1, Kind: KindEpoch},
+		{Epoch: 1, Kind: KindAdaptBegin, Source: "0100101", Target: "0011010"},
+		{Epoch: 1, Kind: KindStepBegin, Step: step(0, 1, "A2", "0100101", "0101101")},
+		{Epoch: 1, Kind: KindAck, Wave: "reset", Process: "server", Step: step(0, 1, "A2", "", "")},
+		{Epoch: 1, Kind: KindPoNR, Step: step(0, 1, "A2", "", "")},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, err := j2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("reopened %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Kind != recs[i].Kind || r.Epoch != recs[i].Epoch {
+			t.Errorf("record %d: %+v, want kind %s", i, r, recs[i].Kind)
+		}
+	}
+	// Appends continue the sequence after reopen.
+	if err := j2.Append(Record{Epoch: 2, Kind: KindEpoch}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = j2.Snapshot()
+	if got[len(got)-1].Seq != uint64(len(recs)+1) {
+		t.Errorf("post-reopen seq %d, want %d", got[len(got)-1].Seq, len(recs)+1)
+	}
+}
+
+func TestFileTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mgr.journal")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Record{Epoch: 1, Kind: KindAck, Process: "p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write: append half a frame of garbage.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x00, 0xFF, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	recs, torn, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || torn != 6 {
+		t.Fatalf("ReadFile: %d records, torn %d; want 3, 6", len(recs), torn)
+	}
+
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Torn() != 6 {
+		t.Errorf("Torn() = %d, want 6", j2.Torn())
+	}
+	// The torn tail is gone: a fresh append then reopen yields 4 clean
+	// records.
+	if err := j2.Append(Record{Epoch: 2, Kind: KindEpoch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || torn != 0 {
+		t.Fatalf("after heal: %d records, torn %d; want 4, 0", len(recs), torn)
+	}
+}
+
+func TestFileChecksumRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mgr.journal")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Append(Record{Epoch: 1, Kind: KindAdaptBegin, Source: "01", Target: "10"})
+	_ = j.Append(Record{Epoch: 1, Kind: KindAdaptEnd, Outcome: "completed"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the second record's body.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || torn == 0 {
+		t.Fatalf("corrupted record accepted: %d records, torn %d", len(recs), torn)
+	}
+}
+
+func TestMemCrashHooks(t *testing.T) {
+	j := NewMem()
+	j.CrashAfterAppends(2)
+	if err := j.Append(Record{Kind: KindEpoch, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindAdaptBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindPlan}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("third append: %v, want ErrCrashed", err)
+	}
+	// Nothing synced yet: the post-crash reader sees an empty log.
+	recs, _ := j.Snapshot()
+	if len(recs) != 0 {
+		t.Fatalf("unsynced records visible after crash: %d", len(recs))
+	}
+	j.Reopen()
+	if err := j.Append(Record{Kind: KindEpoch, Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = j.Snapshot()
+	if len(recs) != 1 || recs[0].Epoch != 2 {
+		t.Fatalf("after reopen: %+v", recs)
+	}
+}
+
+func TestMemFailNextSyncLosesTail(t *testing.T) {
+	j := NewMem()
+	_ = j.Append(Record{Kind: KindEpoch, Epoch: 1})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Append(Record{Kind: KindAdaptBegin})
+	_ = j.Append(Record{Kind: KindPlan})
+	j.FailNextSync()
+	if err := j.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: %v, want ErrCrashed", err)
+	}
+	recs, _ := j.Snapshot()
+	if len(recs) != 1 || recs[0].Kind != KindEpoch {
+		t.Fatalf("mid-fsync crash left %+v; want only the synced prefix", recs)
+	}
+	// Seq numbering restarts at the durable prefix, like a truncated file.
+	j.Reopen()
+	_ = j.Append(Record{Kind: KindEpoch, Epoch: 2})
+	_ = j.Sync()
+	recs, _ = j.Snapshot()
+	if recs[1].Seq != 2 {
+		t.Fatalf("seq after mid-fsync crash: %d, want 2", recs[1].Seq)
+	}
+}
+
+func TestReplayDistillsRecoveryState(t *testing.T) {
+	s0 := step(0, 1, "A2", "0100101", "0101101")
+	recs := []Record{
+		{Epoch: 1, Kind: KindEpoch},
+		{Epoch: 1, Kind: KindAdaptBegin, Source: "0100101", Target: "0011010"},
+		{Epoch: 1, Kind: KindPlan, Detail: "A2 A5 A7"},
+		{Epoch: 1, Kind: KindStepBegin, Step: s0},
+		{Epoch: 1, Kind: KindAck, Wave: "reset", Process: "server", Step: s0},
+		{Epoch: 1, Kind: KindAck, Wave: "adapt", Process: "server", Step: s0},
+		{Epoch: 1, Kind: KindPoNR, Step: s0},
+	}
+	st := Replay(recs)
+	if !st.InFlight || st.LastEpoch != 1 {
+		t.Fatalf("in-flight adaptation not detected: %+v", st)
+	}
+	if st.Step == nil || st.Step.ActionID != "A2" || !st.PastPoNR {
+		t.Fatalf("in-flight step/PoNR wrong: %+v", st)
+	}
+	if st.Current != "0100101" || st.Target != "0011010" {
+		t.Fatalf("current/target wrong: %+v", st)
+	}
+	if !st.Acked["adapt"]["server"] {
+		t.Fatalf("acks not replayed: %+v", st.Acked)
+	}
+
+	// Completing the step moves Current and clears the in-flight step.
+	recs = append(recs, Record{Epoch: 1, Kind: KindStepEnd, Step: s0, Outcome: "completed"})
+	st = Replay(recs)
+	if st.Step != nil || st.Current != "0101101" || st.PastPoNR {
+		t.Fatalf("after step-end: %+v", st)
+	}
+
+	// Ending the adaptation clears InFlight.
+	recs = append(recs, Record{Epoch: 1, Kind: KindAdaptEnd, Outcome: "completed"})
+	st = Replay(recs)
+	if st.InFlight {
+		t.Fatalf("adapt-end not replayed: %+v", st)
+	}
+
+	// A rolled-back step restores the source configuration.
+	s1 := step(1, 2, "A5", "0101101", "0011010")
+	st = Replay([]Record{
+		{Epoch: 1, Kind: KindAdaptBegin, Source: "0101101", Target: "0011010"},
+		{Epoch: 1, Kind: KindStepBegin, Step: s1},
+		{Epoch: 1, Kind: KindRollback, Step: s1},
+		{Epoch: 1, Kind: KindStepEnd, Step: s1, Outcome: "rolled back"},
+	})
+	if st.Current != "0101101" || st.Step != nil {
+		t.Fatalf("rollback replay: %+v", st)
+	}
+}

@@ -25,6 +25,9 @@ func (m *Manager) nodeName() string {
 // records the send in the flight recorder before handing it to the
 // transport.
 func (m *Manager) send(msg protocol.Message, cause *telemetry.Span) error {
+	// Every outgoing message carries this incarnation's fencing epoch (0
+	// when journalless, which agents always admit).
+	msg.Epoch = m.epoch
 	if m.tel.Enabled() {
 		msg.Trace = protocol.TraceContext{
 			TraceID: m.tel.ActiveTrace(),
@@ -41,6 +44,7 @@ func (m *Manager) send(msg protocol.Message, cause *telemetry.Span) error {
 				From:    m.nodeName(),
 				To:      msg.To,
 				Step:    msg.Step.Key(),
+				Epoch:   m.epoch,
 			})
 		}
 	}
@@ -81,5 +85,6 @@ func (m *Manager) flightEvent(kind, detail string) {
 		Lamport: m.tel.LamportNow(),
 		TraceID: m.tel.ActiveTrace(),
 		Detail:  detail,
+		Epoch:   m.epoch,
 	})
 }

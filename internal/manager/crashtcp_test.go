@@ -1,0 +1,253 @@
+package manager_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/journal"
+	"repro/internal/manager"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// crashingJournal wraps a real file journal and simulates the manager
+// process dying at a chosen record: from the trigger on, every append and
+// sync fails, so the fail-stop manager halts exactly there while the
+// records written before the trigger stay on disk for its successor.
+type crashingJournal struct {
+	inner   journal.Journal
+	trigger func(journal.Record) bool
+
+	mu   sync.Mutex
+	dead bool
+}
+
+var errPowerLoss = errors.New("simulated power loss")
+
+func (c *crashingJournal) Append(rec journal.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return errPowerLoss
+	}
+	if c.trigger(rec) {
+		c.dead = true
+		return errPowerLoss
+	}
+	return c.inner.Append(rec)
+}
+
+func (c *crashingJournal) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return errPowerLoss
+	}
+	return c.inner.Sync()
+}
+
+func (c *crashingJournal) Snapshot() ([]journal.Record, error) { return c.inner.Snapshot() }
+func (c *crashingJournal) Close() error                        { return c.inner.Close() }
+
+// TestTCPCrashRecoveryAfterPointOfNoReturn is the full crash-recovery
+// story over real sockets: the manager dies past the first step's point
+// of no return — after the resume wave went out, before its acks reached
+// the journal — and a successor manager on a NEW address reopens the same
+// write-ahead log, re-drives the resume wave under epoch 2, and completes
+// the remaining four steps to the target, while the reconnecting agents
+// follow the address change and fence stale epoch-1 traffic.
+func TestTCPCrashRecoveryAfterPointOfNoReturn(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	reg := plan.Registry()
+	processOf := func(c string) string {
+		p, _ := reg.ProcessOf(c)
+		return p
+	}
+	// On CI, SAFEADAPT_JOURNAL_DIR persists the write-ahead log past the
+	// test so a failing run can upload it as a workflow artifact (and
+	// inspect it with `safeadaptctl journal`).
+	dir := t.TempDir()
+	if base := os.Getenv("SAFEADAPT_JOURNAL_DIR"); base != "" {
+		dir = filepath.Join(base, "crash-recovery-tcp")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "manager.journal")
+
+	// Incarnation 1 listens; agents dial through an address function so
+	// they can be redirected to the successor later.
+	mgrEP1, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgrEP1.Close() }()
+	var addrMu sync.Mutex
+	mgrAddr := mgrEP1.Addr()
+	addrOf := func() string {
+		addrMu.Lock()
+		defer addrMu.Unlock()
+		return mgrAddr
+	}
+
+	procs := make(map[string]*scriptedProc)
+	agents := make(map[string]*agent.Agent)
+	for _, name := range reg.Processes() {
+		ep, err := transport.DialReconnectingTCP(name, addrOf, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := newScriptedProc()
+		ag, err := agent.New(name, ep, sp, agent.Options{
+			ResetTimeout: 2 * time.Second,
+			ProcessOf:    processOf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ag.Run()
+		procs[name] = sp
+		agents[name] = ag
+		t.Cleanup(func() {
+			ag.Close()
+			_ = ep.Close()
+		})
+	}
+	if err := mgrEP1.WaitForAgents(5*time.Second, reg.Processes()...); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash point: the first resume acknowledgement hitting the log.
+	// By then the point of no return is committed and every resume of the
+	// first step is on the wire — the strictest spot to die.
+	j1, err := journal.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj := &crashingJournal{
+		inner: j1,
+		trigger: func(rec journal.Record) bool {
+			return rec.Kind == journal.KindAck && rec.Wave == "resume"
+		},
+	}
+	mgr1, err := manager.New(mgrEP1, plan, manager.Options{
+		StepTimeout: 2 * time.Second,
+		Journal:     cj,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr1.Epoch() != 1 {
+		t.Fatalf("first incarnation epoch = %d, want 1", mgr1.Epoch())
+	}
+
+	if _, err := mgr1.Execute(src, tgt); !errors.Is(err, errPowerLoss) {
+		t.Fatalf("Execute should die on the simulated crash, got %v", err)
+	}
+	// Fail-stop: the dead incarnation's listener goes away; its file
+	// journal is released for the successor.
+	if err := mgrEP1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 2: new address, same log. The agents' redial loop polls
+	// the address function and re-registers with a hello frame.
+	mgrEP2, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgrEP2.Close() }()
+	addrMu.Lock()
+	mgrAddr = mgrEP2.Addr()
+	addrMu.Unlock()
+	if err := mgrEP2.WaitForAgents(5*time.Second, reg.Processes()...); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := journal.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	mgr2, err := manager.New(mgrEP2, plan, manager.Options{
+		StepTimeout: 2 * time.Second,
+		Journal:     j2,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr2.Epoch() != 2 {
+		t.Fatalf("successor epoch = %d, want 2", mgr2.Epoch())
+	}
+
+	res, err := mgr2.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !res.Completed || res.Final != tgt {
+		t.Fatalf("recovered adaptation did not reach the target: %+v", res)
+	}
+
+	// Every agent followed the recovery to epoch 2, and the re-driven
+	// resume wave was idempotent: no in-action ran twice.
+	for name, ag := range agents {
+		if got := ag.Epoch(); got != 2 {
+			t.Errorf("agent %s epoch = %d, want 2", name, got)
+		}
+		if got := ag.State(); got != agent.StateRunning {
+			t.Errorf("agent %s final state = %v", name, got)
+		}
+	}
+	for name, sp := range procs {
+		sp.mu.Lock()
+		seen := make(map[string]bool)
+		for _, id := range sp.inActions {
+			if seen[id] {
+				t.Errorf("agent %s applied in-action %s twice", name, id)
+			}
+			seen[id] = true
+		}
+		sp.mu.Unlock()
+	}
+
+	// A straggler from the dead incarnation — any epoch-1 message — must
+	// be fenced, not acted on.
+	victim := reg.Processes()[0]
+	if err := mgrEP2.Send(protocol.Message{Type: protocol.MsgHeartbeat, To: victim, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for agents[victim].Fenced() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := agents[victim].Fenced(); got < 1 {
+		t.Errorf("agent %s fenced %d stale-epoch messages, want >= 1", victim, got)
+	}
+
+	// The log tells the whole story: two epochs, nothing left in flight.
+	recs, torn, err := journal.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Errorf("torn tail of %d bytes in a cleanly-synced journal", torn)
+	}
+	st := journal.Replay(recs)
+	if st.InFlight {
+		t.Errorf("journal still shows an in-flight adaptation: %+v", st)
+	}
+	if st.LastEpoch != 2 {
+		t.Errorf("journal last epoch = %d, want 2", st.LastEpoch)
+	}
+}

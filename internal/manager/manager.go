@@ -14,10 +14,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/action"
+	"repro/internal/journal"
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/protocol"
@@ -158,6 +160,35 @@ type Options struct {
 	// injects a logical clock so identical schedules yield identical
 	// traces.
 	Clock transport.Clock
+	// Journal, when non-nil, receives the write-ahead log of every manager
+	// decision (plan, step begin, acks, point of no return, rollback). The
+	// manager is fail-stop with respect to its journal: any append or sync
+	// error aborts the adaptation immediately — a manager that cannot log
+	// its decisions must not keep making them. A manager with a journal
+	// also runs under an epoch (last journaled epoch + 1) stamped on every
+	// message, and can Recover a predecessor's interrupted adaptation.
+	Journal journal.Journal
+	// RetryBackoff is the base delay of the jittered exponential backoff
+	// inserted before each same-step retry and between resume retry
+	// rounds. Zero means 50ms.
+	RetryBackoff time.Duration
+	// Sleep, when non-nil, replaces the real timer-based sleep used for
+	// retry backoff — tests and the deterministic explorer inject a
+	// logical sleep so retries stay fast and schedules reproducible. It
+	// must return ctx.Err() if ctx is done before the duration elapses.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// BackoffSeed seeds the jitter PRNG; the default (0) yields a fixed
+	// deterministic jitter sequence per manager.
+	BackoffSeed int64
+	// HeartbeatInterval, when positive, has the manager send MsgHeartbeat
+	// to every participant of the step in flight at this period, renewing
+	// the agents' liveness leases while long waves are in progress. Only
+	// effective on asynchronous (non-SyncEndpoint) transports; the
+	// explorer models lease expiry as an explicit scheduling choice.
+	HeartbeatInterval time.Duration
+	// ProbeRetries bounds how many probe rounds Recover sends before
+	// giving up on an unreachable agent. Zero means 3.
+	ProbeRetries int
 }
 
 // Manager is the adaptation manager. It is not safe for concurrent
@@ -182,6 +213,19 @@ type Manager struct {
 	// stash buffers out-of-order agent replies for the current step; see
 	// await in step.go. Accessed only from the Execute goroutine.
 	stash []protocol.Message
+
+	// jr mirrors opts.Journal; epoch is this incarnation's fencing epoch
+	// (0 when journalless), fixed at New and stamped on every send.
+	jr    journal.Journal
+	epoch uint64
+	// attemptBase offsets step attempt numbering. Recover sets it to the
+	// journal's highest recorded attempt so the continuation's attempts
+	// never collide with the crashed predecessor's. Guarded by the busy
+	// serialization of Execute.
+	attemptBase int
+	// rng drives retry-backoff jitter; guarded by the busy serialization
+	// of Execute.
+	rng *rand.Rand
 }
 
 // ErrBusy is returned by Execute when an adaptation is already in
@@ -209,7 +253,99 @@ func New(ep transport.Endpoint, plan *planner.Planner, opts Options) (*Manager, 
 	if opts.Clock == nil {
 		opts.Clock = transport.SystemClock
 	}
-	return &Manager{ep: ep, plan: plan, opts: opts, tel: opts.Telemetry, state: StateRunning}, nil
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	if opts.ProbeRetries <= 0 {
+		opts.ProbeRetries = 3
+	}
+	seed := opts.BackoffSeed
+	if seed == 0 {
+		seed = 1
+	}
+	m := &Manager{
+		ep:    ep,
+		plan:  plan,
+		opts:  opts,
+		tel:   opts.Telemetry,
+		state: StateRunning,
+		jr:    opts.Journal,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	if m.jr != nil {
+		// Adopt the next epoch after everything already in the log — this
+		// is what fences a crashed predecessor's in-flight messages — and
+		// commit it before any message can carry it.
+		recs, err := m.jr.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("manager: journal snapshot: %w", err)
+		}
+		m.epoch = journal.Replay(recs).LastEpoch + 1
+		if err := m.journal(journal.Record{Kind: journal.KindEpoch}, true); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Epoch returns the manager's fencing epoch (0 when it has no journal).
+func (m *Manager) Epoch() uint64 { return m.epoch }
+
+// journal appends one record to the write-ahead log, stamped with the
+// manager's epoch; commit records additionally sync. A nil journal makes
+// this a no-op. Any error is fatal to the adaptation (fail-stop) and must
+// be propagated by the caller, not ignored.
+func (m *Manager) journal(rec journal.Record, commit bool) error {
+	if m.jr == nil {
+		return nil
+	}
+	rec.Epoch = m.epoch
+	if err := m.jr.Append(rec); err != nil {
+		return &errJournal{err: err}
+	}
+	if commit {
+		if err := m.jr.Sync(); err != nil {
+			return &errJournal{err: err}
+		}
+	}
+	if m.tel.Enabled() {
+		m.flightEvent(telemetry.FlightJournal, rec.String())
+	}
+	return nil
+}
+
+// errJournal marks a journal write failure: the fail-stop condition. It
+// unwraps to the backend error so errors.Is(err, journal.ErrCrashed)
+// works across the manager boundary.
+type errJournal struct{ err error }
+
+func (e *errJournal) Error() string { return "manager: journal: " + e.err.Error() }
+func (e *errJournal) Unwrap() error { return e.err }
+
+// backoff sleeps the jittered exponential delay before retry number `try`
+// (1-based): an exponentially growing window with ±50% jitter, so
+// synchronized retry storms decorrelate (the ladder's "retry the same
+// step" no longer hammers the agents back-to-back).
+func (m *Manager) backoff(ctx context.Context, try int) error {
+	shift := try - 1
+	if shift > 6 {
+		shift = 6
+	}
+	base := m.opts.RetryBackoff << uint(shift)
+	d := base/2 + time.Duration(m.rng.Int63n(int64(base)))
+	m.tel.Counter("manager.backoffs").Inc()
+	m.logf("backing off %v before retry %d", d, try)
+	if m.opts.Sleep != nil {
+		return m.opts.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // State returns the manager's current state.
@@ -306,6 +442,13 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 	}()
 
 	m.transition(StatePreparing, `receive "adaptation request"`)
+	if jerr := m.journal(journal.Record{
+		Kind:   journal.KindAdaptBegin,
+		Source: reg.BitVector(source),
+		Target: reg.BitVector(target),
+	}, true); jerr != nil {
+		return res, jerr
+	}
 	planSpan := span.Child("plan")
 	planStart := time.Now()
 	path, err := m.plan.Plan(source, target)
@@ -316,15 +459,19 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		span.SetError(err)
 		m.tel.Counter("manager.plan.failures").Inc()
 		m.transition(StateRunning, "[planning failed]")
+		_ = m.journal(journal.Record{Kind: journal.KindAdaptEnd, Outcome: "failed", Detail: "plan: " + err.Error()}, true)
 		return res, fmt.Errorf("manager: plan: %w", err)
 	}
 	planSpan.SetAttr("map", path.String())
 	planSpan.End()
 	m.logf("MAP: %s", path)
+	if jerr := m.journal(journal.Record{Kind: journal.KindPlan, Detail: path.String()}, true); jerr != nil {
+		return res, jerr
+	}
 
 	current := source
 	var failedEdges []sag.Edge
-	attempt := 0
+	attempt := m.attemptBase
 
 	for {
 		completed, reached, reports, stepErr := m.executePath(ctx, span, path, current, &attempt)
@@ -336,7 +483,19 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 			m.tel.Counter("manager.adaptations.completed").Inc()
 			res.Completed = true
 			res.Path = path
+			if jerr := m.journal(journal.Record{Kind: journal.KindAdaptEnd, Outcome: "completed"}, true); jerr != nil {
+				return res, jerr
+			}
 			return res, nil
+		}
+
+		// A journal failure is the fail-stop condition: the manager stops
+		// coordinating on the spot, exactly as if the process had died —
+		// no rollback, no transition, no further sends. Recovery is the
+		// successor manager's job.
+		var je *errJournal
+		if errors.As(stepErr, &je) {
+			return res, stepErr
 		}
 
 		// Cancellation aborts cleanly: the failed step (if any) was
@@ -345,6 +504,7 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 			m.transition(StateRunning, "[aborted]")
 			m.tel.Counter("manager.adaptations.aborted").Inc()
 			span.SetErrorText("aborted")
+			_ = m.journal(journal.Record{Kind: journal.KindAdaptEnd, Outcome: "aborted"}, true)
 			return res, fmt.Errorf("manager: adaptation aborted at %s: %w", reg.BitVector(current), stepErr)
 		}
 
@@ -354,6 +514,7 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 			m.transition(StateRunning, "[failure]")
 			span.SetError(stepErr)
 			m.tel.Flight().AutoDump("failure")
+			_ = m.journal(journal.Record{Kind: journal.KindAdaptEnd, Outcome: "failed", Detail: stepErr.Error()}, true)
 			return res, stepErr
 		}
 		failedEdges = append(failedEdges, sf.edge)
@@ -365,6 +526,9 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 			m.logf("switching to alternative path: %s", alt)
 			m.tel.Counter("manager.alternative_paths").Inc()
 			path = alt
+			if jerr := m.journal(journal.Record{Kind: journal.KindPlan, Detail: "alternative: " + alt.String()}, true); jerr != nil {
+				return res, jerr
+			}
 			continue
 		}
 
@@ -372,7 +536,10 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		m.logf("no alternative path; attempting return to source")
 		back, backErr := m.plan.Plan(current, source)
 		if backErr == nil {
-			completed, reached, reports, _ := m.executePath(ctx, span, back, current, &attempt)
+			if jerr := m.journal(journal.Record{Kind: journal.KindPlan, Detail: "return to source: " + back.String()}, true); jerr != nil {
+				return res, jerr
+			}
+			completed, reached, reports, backStepErr := m.executePath(ctx, span, back, current, &attempt)
 			res.Steps = append(res.Steps, reports...)
 			current = reached
 			res.Final = current
@@ -380,7 +547,13 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 				m.transition(StateRunning, "[returned to source]")
 				m.tel.Counter("manager.adaptations.returned_to_source").Inc()
 				res.ReturnedToSource = true
+				if jerr := m.journal(journal.Record{Kind: journal.KindAdaptEnd, Outcome: "returned to source"}, true); jerr != nil {
+					return res, jerr
+				}
 				return res, nil
+			}
+			if errors.As(backStepErr, &je) {
+				return res, backStepErr
 			}
 		}
 
@@ -389,6 +562,7 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		m.tel.Counter("manager.adaptations.user_intervention").Inc()
 		span.SetErrorText(sf.why)
 		m.tel.Flight().AutoDump("user-intervention")
+		_ = m.journal(journal.Record{Kind: journal.KindAdaptEnd, Outcome: "user intervention", Detail: sf.why}, true)
 		return res, &ErrUserIntervention{
 			Current: current,
 			Vector:  reg.BitVector(current),
@@ -449,6 +623,12 @@ func (m *Manager) executePath(ctx context.Context, parent *telemetry.Span, path 
 			*attempt++
 			if try > 0 {
 				m.tel.Counter("manager.step.retries").Inc()
+				// Jittered exponential backoff before the same-step retry:
+				// give a slow agent time to settle instead of hammering it
+				// back-to-back.
+				if err := m.backoff(ctx, try); err != nil {
+					return false, current, reports, err
+				}
 			}
 			rep, err := m.executeStep(ctx, parent, step, i, *attempt)
 			reports = append(reports, rep)
@@ -457,6 +637,11 @@ func (m *Manager) executePath(ctx context.Context, parent *telemetry.Span, path 
 				break
 			}
 			lastErr = err
+			// Journal failure = fail-stop; stop coordinating immediately.
+			var je *errJournal
+			if errors.As(err, &je) {
+				return false, current, reports, err
+			}
 			m.logf("step %s attempt %d failed: %v", step.Action.ID, try+1, err)
 			// executeStep guarantees the system is back at step.From
 			// when it returns an error (rollback before first resume) —

@@ -1,0 +1,311 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// Recover resumes the work of a crashed predecessor manager. It replays
+// the journal this manager was created over, and if the log shows an
+// adaptation that began but never ended:
+//
+//  1. probes every participant of the in-flight step for its ground-truth
+//     local state (the probes carry this manager's fresh epoch, fencing
+//     the predecessor's stragglers in the same round trip);
+//  2. resolves the in-flight step by the journal's committed decisions —
+//     a committed point of no return means the step MUST complete (the
+//     resume wave is re-driven; agents that already resumed re-ack
+//     idempotently), a committed rollback decision or no PoNR record
+//     means rollback is safe and is (re-)sent to everyone (idempotent);
+//  3. drives the remaining distance from the recovered configuration to
+//     the journaled target with a normal Execute under the new epoch.
+//
+// Recover returns the continuation's Result. When the journal shows no
+// in-flight adaptation it returns a zero Result and nil error. It must be
+// called before any Execute on this manager, on a manager created with
+// the predecessor's (reopened) journal.
+func (m *Manager) Recover(ctx context.Context) (Result, error) {
+	if m.jr == nil {
+		return Result{}, fmt.Errorf("manager: recover: no journal configured")
+	}
+	recs, err := m.jr.Snapshot()
+	if err != nil {
+		return Result{}, fmt.Errorf("manager: recover: journal snapshot: %w", err)
+	}
+	st := journal.Replay(recs)
+	if !st.InFlight {
+		// Even with nothing to recover, continue attempt numbering above
+		// the log's history so a re-submitted request can't reuse a spent
+		// attempt number.
+		m.attemptBase = st.LastAttempt
+		m.logf("recovery: journal shows no in-flight adaptation (epoch %d)", m.epoch)
+		return Result{}, nil
+	}
+	reg := m.plan.Registry()
+	current, err := reg.ParseBitVector(st.Current)
+	if err != nil {
+		return Result{}, fmt.Errorf("manager: recover: bad current vector %q: %w", st.Current, err)
+	}
+	target, err := reg.ParseBitVector(st.Target)
+	if err != nil {
+		return Result{}, fmt.Errorf("manager: recover: bad target vector %q: %w", st.Target, err)
+	}
+	m.logf("recovery: epoch %d resuming interrupted adaptation %s -> %s (at %s, step in flight: %v, past PoNR: %v, rollback decided: %v)",
+		m.epoch, st.Source, st.Target, st.Current, st.Step != nil, st.PastPoNR, st.RollbackDecided)
+
+	m.mu.Lock()
+	if m.busy {
+		m.mu.Unlock()
+		return Result{}, ErrBusy
+	}
+	m.busy = true
+	m.mu.Unlock()
+
+	if m.tel.Enabled() {
+		if m.tel.Node() == "" {
+			m.tel.SetNode(protocol.ManagerName)
+		}
+		m.traceSeq++
+		m.tel.SetActiveTrace(fmt.Sprintf("recovery-%d-%d", m.epoch, m.traceSeq))
+	}
+	m.tel.Counter("manager.recoveries").Inc()
+	recStart := time.Now()
+	span := m.tel.StartSpan("recovery",
+		telemetry.String("current", st.Current),
+		telemetry.String("target", st.Target))
+
+	resolvedVector, rerr := m.resolveInFlightStep(span, st)
+	m.tel.Histogram("manager.recovery.latency").ObserveSince(recStart)
+	span.End()
+
+	m.mu.Lock()
+	m.busy = false
+	m.mu.Unlock()
+
+	if rerr != nil {
+		return Result{}, rerr
+	}
+	if resolvedVector != "" {
+		current, err = reg.ParseBitVector(resolvedVector)
+		if err != nil {
+			return Result{}, fmt.Errorf("manager: recover: bad resolved vector %q: %w", resolvedVector, err)
+		}
+	}
+
+	// Continue attempt numbering above everything the predecessor (or any
+	// earlier incarnation) journaled, so a step attempt identifies one
+	// protocol exchange across the whole adaptation's lifetime — agents'
+	// duplicate detection and the explorer's point-of-no-return ledger both
+	// key on it.
+	m.attemptBase = st.LastAttempt
+
+	// The interrupted adaptation is closed in the journal; the remaining
+	// distance runs as a fresh adaptation under the new epoch.
+	if jerr := m.journal(journal.Record{
+		Kind:    journal.KindAdaptEnd,
+		Outcome: "recovered",
+		Detail:  fmt.Sprintf("at %s, continuing to %s under epoch %d", reg.BitVector(current), st.Target, m.epoch),
+	}, true); jerr != nil {
+		return Result{}, jerr
+	}
+	if reg.BitVector(current) == st.Target {
+		m.logf("recovery: already at target %s", st.Target)
+		return Result{Completed: true, Final: current}, nil
+	}
+	return m.ExecuteContext(ctx, current, target)
+}
+
+// resolveInFlightStep settles the step (if any) the predecessor died in
+// the middle of, and returns the configuration vector the system is at
+// afterwards ("" means st.Current is already right). The caller holds the
+// busy flag.
+func (m *Manager) resolveInFlightStep(span *telemetry.Span, st journal.State) (string, error) {
+	if st.Step == nil {
+		return "", nil // crashed between steps; nothing to settle
+	}
+	step := *st.Step
+	m.stash = m.stash[:0]
+
+	// Probe for ground truth — and to fence the old epoch everywhere.
+	probes, err := m.probeAll(span, step)
+	if err != nil {
+		m.transition(StatePreparing, "recovery: probing participants")
+		m.transition(StateRunning, "[failure] (recovery probe)")
+		cur, _ := m.plan.Registry().ParseBitVector(st.Current)
+		return "", &ErrUserIntervention{
+			Current: cur,
+			Vector:  st.Current,
+			Reason:  fmt.Sprintf("recovery: %v", err),
+		}
+	}
+	for _, p := range step.Participants {
+		info := probes[p]
+		m.logf("recovery: probe %s: state=%s adaptDone=%v", p, info.State, info.AdaptDone)
+	}
+
+	if st.PastPoNR && !st.RollbackDecided {
+		// The committed point of no return means the predecessor verified
+		// every adapt-done, so each participant is either still safely
+		// blocked in adapted (self-recovery never rolls back past
+		// adapt-done) or has already resumed. Re-drive the resume wave;
+		// re-acks are idempotent.
+		m.transition(StatePreparing, "recovery: step past point of no return")
+		m.transition(StateAdapting, "recovery: confirming in-actions")
+		m.transition(StateAdapted, "recovery: all in-actions committed")
+		m.transition(StateResuming, `recovery: send "resume"`)
+		if err := m.recoverResume(span, step); err != nil {
+			m.transition(StateRunning, "failure past the point of no return surfaces")
+			cur, _ := m.plan.Registry().ParseBitVector(step.FromVector)
+			_ = m.journal(journal.Record{Kind: journal.KindStepEnd, Step: step, Outcome: "failed", Detail: err.Error()}, true)
+			return "", &ErrUserIntervention{
+				Current: cur,
+				Vector:  step.FromVector,
+				Reason:  fmt.Sprintf("recovery: %v", err),
+			}
+		}
+		m.transition(StateResumed, `recovery: receive all "resume done"`)
+		if jerr := m.journal(journal.Record{Kind: journal.KindStepEnd, Step: step, Outcome: "completed", Detail: "completed by recovery"}, true); jerr != nil {
+			return "", jerr
+		}
+		return step.ToVector, nil
+	}
+
+	// No committed PoNR (or an explicitly committed rollback decision): no
+	// resume can have been sent, so rollback is safe — and idempotent for
+	// agents that already rolled back locally on lease expiry.
+	m.transition(StatePreparing, "recovery: rolling back in-flight step")
+	m.transition(StateAdapting, "recovery: re-issuing rollback")
+	if !st.RollbackDecided {
+		if jerr := m.journal(journal.Record{Kind: journal.KindRollback, Step: step, Detail: "decided by recovery"}, true); jerr != nil {
+			return "", jerr
+		}
+	}
+	m.tel.Counter("manager.step.rollbacks").Inc()
+	m.flightEvent(telemetry.FlightRollback, "recovery: roll back step "+step.Key())
+	rbSpan := span.Child("recovery rollback")
+	m.rollbackAll(rbSpan, step.Participants, step)
+	rbSpan.End()
+	m.transition(StateRunning, "[failure] / rollback")
+	if jerr := m.journal(journal.Record{Kind: journal.KindStepEnd, Step: step, Outcome: "rolled back", Detail: "rolled back by recovery"}, true); jerr != nil {
+		return "", jerr
+	}
+	return step.FromVector, nil
+}
+
+// recoverResume re-drives the resume wave of a step whose point of no
+// return was committed, until every participant confirms or the retry
+// budget runs out.
+func (m *Manager) recoverResume(span *telemetry.Span, step protocol.Step) error {
+	pending := make(map[string]bool, len(step.Participants))
+	for _, p := range step.Participants {
+		pending[p] = true
+	}
+	resumeSpan := span.Child("recovery resume")
+	defer resumeSpan.End()
+	for retry := 0; retry <= m.opts.ResumeRetries; retry++ {
+		if retry > 0 {
+			m.tel.Counter("manager.resume.retries").Inc()
+			_ = m.backoff(context.Background(), retry)
+		}
+		names := make([]string, 0, len(pending))
+		for _, p := range step.Participants {
+			if !pending[p] {
+				continue
+			}
+			names = append(names, p)
+			_ = m.send(protocol.Message{Type: protocol.MsgResume, To: p, Step: step}, resumeSpan)
+		}
+		got, _ := m.await(context.Background(), names, step, protocol.MsgResumeDone, 0, m.opts.StepTimeout)
+		for p := range got {
+			delete(pending, p)
+		}
+		if jerr := m.journalAcks("resume", names, got, step); jerr != nil {
+			return jerr
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("resume not confirmed by %d agent(s) after recovery", len(pending))
+}
+
+// probeAll sends MsgProbe to every participant of step and collects their
+// ProbeInfo reports, retrying up to ProbeRetries rounds. Non-probe
+// messages received meanwhile (stragglers addressed to the predecessor's
+// waits) are discarded.
+func (m *Manager) probeAll(span *telemetry.Span, step protocol.Step) (map[string]*protocol.ProbeInfo, error) {
+	probeSpan := span.Child("probe")
+	defer probeSpan.End()
+	infos := make(map[string]*protocol.ProbeInfo, len(step.Participants))
+	for round := 0; round < m.opts.ProbeRetries; round++ {
+		if round > 0 {
+			_ = m.backoff(context.Background(), round)
+		}
+		for _, p := range step.Participants {
+			if infos[p] != nil {
+				continue
+			}
+			_ = m.send(protocol.Message{Type: protocol.MsgProbe, To: p, Step: step}, probeSpan)
+		}
+		m.collectProbes(step, infos, len(step.Participants))
+		if len(infos) == len(step.Participants) {
+			return infos, nil
+		}
+	}
+	missing := make([]string, 0)
+	for _, p := range step.Participants {
+		if infos[p] == nil {
+			missing = append(missing, p)
+		}
+	}
+	return nil, fmt.Errorf("probe unanswered by %v", missing)
+}
+
+// collectProbes drains the endpoint until `want` probe acks for step have
+// arrived or the step timeout expires, filling infos keyed by sender.
+func (m *Manager) collectProbes(step protocol.Step, infos map[string]*protocol.ProbeInfo, want int) {
+	accept := func(msg protocol.Message) {
+		m.noteRecv(msg)
+		if msg.Type != protocol.MsgProbeAck || msg.Probe == nil {
+			return // straggler addressed to the crashed predecessor
+		}
+		if msg.Step.PathIndex != step.PathIndex || msg.Step.Attempt != step.Attempt {
+			return
+		}
+		if infos[msg.From] == nil {
+			infos[msg.From] = msg.Probe
+		}
+	}
+
+	if se, ok := m.ep.(transport.SyncEndpoint); ok {
+		deadline := m.opts.Clock.Now().Add(m.opts.StepTimeout)
+		for len(infos) < want {
+			msg, status := se.Recv(context.Background(), deadline)
+			if status != transport.RecvOK {
+				return
+			}
+			accept(msg)
+		}
+		return
+	}
+
+	timer := time.NewTimer(m.opts.StepTimeout)
+	defer timer.Stop()
+	for len(infos) < want {
+		select {
+		case msg, ok := <-m.ep.Inbox():
+			if !ok {
+				return
+			}
+			accept(msg)
+		case <-timer.C:
+			return
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/protocol"
 	"repro/internal/sag"
 	"repro/internal/telemetry"
@@ -100,8 +101,29 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	start := m.opts.Clock.Now()
 	defer func() { rep.BlockedFor = m.opts.Clock.Now().Sub(start) }()
 
+	// The step opens with a committed record carrying the FULL protocol
+	// step: a successor manager can re-send any in-flight command from the
+	// journal alone, without re-planning.
+	if jerr := m.journal(journal.Record{Kind: journal.KindStepBegin, Step: pstep}, true); jerr != nil {
+		rep.Outcome = "failed"
+		rep.Err = jerr.Error()
+		return rep, jerr
+	}
+
+	// Keep the participants' liveness leases warm while the waves run.
+	stopHeartbeats := m.startHeartbeats(participants, pstep)
+	defer stopHeartbeats()
+
 	fail := func(why string) (StepReport, error) {
 		m.tel.Counter("manager.step.rollbacks").Inc()
+		// The rollback decision is committed BEFORE the first rollback
+		// command is sent: if the manager dies mid-rollback-wave, its
+		// successor re-sends rollback (idempotent) rather than guessing.
+		if jerr := m.journal(journal.Record{Kind: journal.KindRollback, Step: pstep, Detail: why}, true); jerr != nil {
+			rep.Outcome = "failed"
+			rep.Err = jerr.Error()
+			return rep, jerr
+		}
 		// The rollback decision is recorded before the rollback sends tick
 		// the clock, so in the merged timeline it sits causally downstream
 		// of the timeout/failure that triggered it and upstream of the
@@ -114,6 +136,9 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		m.transition(StateRunning, "[failure] / rollback")
 		rep.Outcome = "rolled back"
 		rep.Err = why
+		if jerr := m.journal(journal.Record{Kind: journal.KindStepEnd, Step: pstep, Outcome: "rolled back", Detail: why}, true); jerr != nil {
+			return rep, jerr
+		}
 		if cerr := ctx.Err(); cerr != nil {
 			return rep, fmt.Errorf("manager: step %s aborted: %w", step.Action.ID, cerr)
 		}
@@ -128,6 +153,11 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		m.transition(StatePreparing, "[failure handled] / prepare retry")
 	}
 	m.transition(StateAdapting, `send "reset"`)
+	if jerr := m.journal(journal.Record{Kind: journal.KindWave, Wave: "reset", Step: pstep}, false); jerr != nil {
+		rep.Outcome = "failed"
+		rep.Err = jerr.Error()
+		return rep, jerr
+	}
 	resetSpan := stepSpan.Child("reset", telemetry.String("phases", strconv.Itoa(len(phases))))
 	for _, phase := range phases {
 		for _, p := range phase {
@@ -151,11 +181,21 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 			resetSpan.End()
 			return fail(fmt.Sprintf("timeout waiting for reset done (got %d of %d)", len(got), len(phase)))
 		}
+		if jerr := m.journalAcks("reset", phase, got, pstep); jerr != nil {
+			rep.Outcome = "failed"
+			rep.Err = jerr.Error()
+			return rep, jerr
+		}
 	}
 	resetSpan.End()
 
 	// Adapt-done barrier: agents perform their in-actions once safely
 	// blocked and report.
+	if jerr := m.journal(journal.Record{Kind: journal.KindWave, Wave: "adapt", Step: pstep}, false); jerr != nil {
+		rep.Outcome = "failed"
+		rep.Err = jerr.Error()
+		return rep, jerr
+	}
 	adaptSpan := stepSpan.Child("adapt")
 	got, bad := m.await(ctx, participants, pstep, protocol.MsgAdaptDone, protocol.MsgAdaptFailed, m.opts.StepTimeout)
 	if bad != "" {
@@ -172,10 +212,24 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		return fail(fmt.Sprintf("timeout waiting for adapt done (got %d of %d)", len(got), len(participants)))
 	}
 	adaptSpan.End()
+	if jerr := m.journalAcks("adapt", participants, got, pstep); jerr != nil {
+		rep.Outcome = "failed"
+		rep.Err = jerr.Error()
+		return rep, jerr
+	}
 	m.transition(StateAdapted, `receive all "adapt done"`)
 
 	// Resume wave. Sending the first resume is the point of no return
-	// (Sec. 4.4): from here the adaptation runs to completion.
+	// (Sec. 4.4): from here the adaptation runs to completion. The PoNR is
+	// committed to the journal BEFORE the first resume can reach the wire,
+	// so a successor manager always knows which side of the line the crash
+	// fell on: no committed PoNR record → no resume was ever sent →
+	// rollback is safe; committed → drive the step to completion.
+	if jerr := m.journal(journal.Record{Kind: journal.KindPoNR, Step: pstep}, true); jerr != nil {
+		rep.Outcome = "failed"
+		rep.Err = jerr.Error()
+		return rep, jerr
+	}
 	m.transition(StateResuming, `send "resume"`)
 	resumeSpan := stepSpan.Child("resume")
 	defer resumeSpan.End()
@@ -183,9 +237,18 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	for _, p := range participants {
 		pending[p] = true
 	}
+	if jerr := m.journal(journal.Record{Kind: journal.KindWave, Wave: "resume", Step: pstep}, false); jerr != nil {
+		rep.Outcome = "failed"
+		rep.Err = jerr.Error()
+		return rep, jerr
+	}
 	for retry := 0; retry <= m.opts.ResumeRetries; retry++ {
 		if retry > 0 {
 			m.tel.Counter("manager.resume.retries").Inc()
+			// Backoff between resume rounds too — past the point of no
+			// return the context is ignored (run to completion), so the
+			// sleep cannot be aborted.
+			_ = m.backoff(context.Background(), retry)
 		}
 		// Iterate the sorted participants slice, not the pending map:
 		// send order must be deterministic for replayable exploration.
@@ -207,9 +270,18 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		for p := range got {
 			delete(pending, p)
 		}
+		if jerr := m.journalAcks("resume", names, got, pstep); jerr != nil {
+			rep.Outcome = "failed"
+			rep.Err = jerr.Error()
+			return rep, jerr
+		}
 		if len(pending) == 0 {
 			m.transition(StateResumed, `receive all "resume done"`)
 			rep.Outcome = "completed"
+			if jerr := m.journal(journal.Record{Kind: journal.KindStepEnd, Step: pstep, Outcome: "completed"}, true); jerr != nil {
+				rep.Err = jerr.Error()
+				return rep, jerr
+			}
 			return rep, nil
 		}
 		m.flightEvent(telemetry.FlightTimeout,
@@ -220,7 +292,56 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	resumeSpan.SetErrorText("resume not confirmed")
 	rep.Outcome = "failed"
 	rep.Err = fmt.Sprintf("resume not confirmed by %d agent(s)", len(pending))
+	_ = m.journal(journal.Record{Kind: journal.KindStepEnd, Step: pstep, Outcome: "failed", Detail: rep.Err}, true)
 	return rep, &errPastNoReturn{why: rep.Err}
+}
+
+// journalAcks records one ack per acknowledged process, iterating `order`
+// (not the map) so the journal is deterministic under replayed schedules.
+func (m *Manager) journalAcks(wave string, order []string, got map[string]bool, step protocol.Step) error {
+	for _, p := range order {
+		if !got[p] {
+			continue
+		}
+		if err := m.journal(journal.Record{Kind: journal.KindAck, Wave: wave, Process: p, Step: step}, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startHeartbeats begins the liveness-lease pump: MsgHeartbeat to every
+// participant at the configured interval until the returned stop function
+// is called. A zero interval, or a scheduler-mediated transport (the
+// deterministic explorer owns time there), disables it.
+func (m *Manager) startHeartbeats(participants []string, step protocol.Step) func() {
+	if m.opts.HeartbeatInterval <= 0 {
+		return func() {}
+	}
+	if _, ok := m.ep.(transport.SyncEndpoint); ok {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(m.opts.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				for _, p := range participants {
+					_ = m.send(protocol.Message{Type: protocol.MsgHeartbeat, To: p, Step: step}, nil)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }
 
 // await waits until every process in `from` has sent a message of type

@@ -45,6 +45,16 @@ const (
 	// MsgHello registers an agent with the manager on connection-oriented
 	// transports.
 	MsgHello
+	// MsgHeartbeat renews an agent's liveness lease on the manager. It is
+	// sent periodically by the manager; any admitted (non-fenced) manager
+	// message also renews the lease.
+	MsgHeartbeat
+	// MsgProbe asks an agent to report its local adaptation state; sent by
+	// a recovering manager to re-establish ground truth (and, carrying the
+	// new epoch, fences the crashed manager in the same round trip).
+	MsgProbe
+	// MsgProbeAck answers a probe; Probe carries the agent's report.
+	MsgProbeAck
 )
 
 // String returns the paper's name for the message type.
@@ -70,6 +80,12 @@ func (t MsgType) String() string {
 		return "rollback done"
 	case MsgHello:
 		return "hello"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgProbe:
+		return "probe"
+	case MsgProbeAck:
+		return "probe ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -138,9 +154,38 @@ type Message struct {
 	Step Step `json:"step"`
 	// Error carries failure detail on MsgResetFailed / MsgAdaptFailed.
 	Error string `json:"error,omitempty"`
+	// Epoch is the manager incarnation that (directly or transitively)
+	// produced this message. Agents fence: a message whose epoch is below
+	// the highest they have seen is dropped, so a crashed manager's
+	// stragglers cannot interfere with its successor; agent replies echo
+	// the epoch they are acting under. Epoch 0 means "unfenced" and is
+	// always admitted, preserving compatibility with managers that predate
+	// journaling.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Trace is the causal trace context propagated with the message; the
 	// zero value means the sender was not tracing.
 	Trace TraceContext `json:"trace"`
+	// Probe is the agent state report on MsgProbeAck.
+	Probe *ProbeInfo `json:"probe,omitempty"`
+}
+
+// ProbeInfo is an agent's answer to MsgProbe: enough of its local state
+// for a recovering manager to decide whether the in-flight step must be
+// completed or rolled back, and to detect disagreement it cannot resolve.
+type ProbeInfo struct {
+	// State is the agent's current Fig. 1 state name ("running",
+	// "resetting", "safe", "adapted", "resuming").
+	State string `json:"state"`
+	// Step identifies the step the agent is holding, if any.
+	Step *Step `json:"step,omitempty"`
+	// LastDone identifies the most recent step the agent completed (resumed
+	// after), letting recovery recognize an agent that already finished the
+	// in-flight step.
+	LastDone *Step `json:"lastDone,omitempty"`
+	// AdaptDone reports that the agent performed its local in-action for
+	// Step (it has passed the adapt barrier and may no longer roll back
+	// unilaterally).
+	AdaptDone bool `json:"adaptDone,omitempty"`
 }
 
 // TraceContext is the compact causal context piggybacked on every protocol

@@ -45,8 +45,13 @@ const (
 	// FlightRollback is a rollback decision or execution.
 	FlightRollback = "rollback"
 	// FlightDrop is a message lost in the transport (fault injection,
-	// missing connection, or receiver overflow).
+	// missing connection, or receiver overflow) or fenced by an agent for
+	// carrying a stale manager epoch.
 	FlightDrop = "drop"
+	// FlightJournal is a manager write-ahead-log record (kind and outcome
+	// in Detail) mirrored into the black box, so post-mortem timelines
+	// interleave durable decisions with the protocol traffic they caused.
+	FlightJournal = "journal"
 )
 
 // FlightEvent is one black-box record. Seq is the per-recorder sequence
@@ -60,6 +65,9 @@ type FlightEvent struct {
 	Node    string        `json:"node"`
 	Kind    string        `json:"kind"`
 	Detail  string        `json:"detail,omitempty"`
+	// Epoch is the manager incarnation the event happened under; 0 when
+	// the node predates epoch fencing or no adaptation was active.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	// Message coordinates, set on send/recv/drop events: the protocol
 	// message type name, endpoints, and the step key "pathIndex/attempt".

@@ -26,6 +26,11 @@ type TCPManager struct {
 	closed   bool
 	regPulse chan struct{} // closed (and replaced) on every registration change
 	wg       sync.WaitGroup
+
+	// sendMu serializes frame writes: the manager's heartbeat goroutine
+	// sends concurrently with the protocol waves, and interleaved partial
+	// writes would corrupt the framing.
+	sendMu sync.Mutex
 }
 
 // SetTelemetry installs the telemetry registry the endpoint counts frame
@@ -73,6 +78,8 @@ func (m *TCPManager) Send(msg protocol.Message) error {
 		return fmt.Errorf("transport: no connection to agent %q", msg.To)
 	}
 	m.tel.Load().Counter("transport.tcp.frames_sent").Inc()
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
 	return protocol.WriteFrame(conn, msg)
 }
 
@@ -289,7 +296,164 @@ func (a *TCPAgent) readLoop() {
 	}
 }
 
+// ReconnectingAgent is a crash-tolerant agent-side TCP endpoint: when the
+// connection to the manager dies (a manager crash, typically), it redials
+// through an address function — so a recovered manager listening on a NEW
+// address is found as soon as the function returns it — re-registers with
+// a hello frame, and keeps one logical inbox across manager incarnations.
+// The agent on top never notices the transfer; epoch fencing in the
+// protocol layer sorts out which incarnation's messages still matter.
+type ReconnectingAgent struct {
+	name  string
+	addr  func() string
+	inbox chan protocol.Message
+	tel   atomic.Pointer[telemetry.Registry]
+
+	mu     sync.Mutex
+	conn   net.Conn // nil while disconnected
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	redial time.Duration
+}
+
+// SetTelemetry installs the telemetry registry the endpoint counts frame
+// traffic on. Nil disables instrumentation.
+func (a *ReconnectingAgent) SetTelemetry(tel *telemetry.Registry) { a.tel.Store(tel) }
+
+// DialReconnectingTCP connects the named agent to the manager address
+// returned by addr, and keeps reconnecting (polling addr each time) when
+// the connection drops. The first dial is synchronous so registration
+// errors surface immediately. redialDelay <= 0 means 50ms.
+func DialReconnectingTCP(name string, addr func() string, redialDelay time.Duration) (*ReconnectingAgent, error) {
+	if redialDelay <= 0 {
+		redialDelay = 50 * time.Millisecond
+	}
+	conn, err := dialHello(name, addr())
+	if err != nil {
+		return nil, err
+	}
+	a := &ReconnectingAgent{
+		name:   name,
+		addr:   addr,
+		inbox:  make(chan protocol.Message, 64),
+		conn:   conn,
+		stop:   make(chan struct{}),
+		redial: redialDelay,
+	}
+	a.wg.Add(1)
+	go a.run(conn)
+	return a, nil
+}
+
+// dialHello dials the manager and registers the agent.
+func dialHello(name, addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	hello := protocol.Message{Type: protocol.MsgHello, From: name, To: protocol.ManagerName}
+	if err := protocol.WriteFrame(conn, hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Name implements Endpoint.
+func (a *ReconnectingAgent) Name() string { return a.name }
+
+// Inbox implements Endpoint.
+func (a *ReconnectingAgent) Inbox() <-chan protocol.Message { return a.inbox }
+
+// Send implements Endpoint. While disconnected, sends fail — the protocol
+// treats that as message loss and recovers through its own ladder.
+func (a *ReconnectingAgent) Send(msg protocol.Message) error {
+	msg.From = a.name
+	if msg.To != protocol.ManagerName {
+		return fmt.Errorf("transport: agent %q can only send to the manager, not %q", a.name, msg.To)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conn == nil {
+		a.tel.Load().Counter("transport.tcp.send_errors").Inc()
+		return fmt.Errorf("transport: agent %q disconnected from manager", a.name)
+	}
+	a.tel.Load().Counter("transport.tcp.frames_sent").Inc()
+	return protocol.WriteFrame(a.conn, msg)
+}
+
+// Close implements Endpoint.
+func (a *ReconnectingAgent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	conn := a.conn
+	a.mu.Unlock()
+	close(a.stop)
+	if conn != nil {
+		_ = conn.Close()
+	}
+	a.wg.Wait()
+	close(a.inbox)
+	return nil
+}
+
+func (a *ReconnectingAgent) run(conn net.Conn) {
+	defer a.wg.Done()
+	for {
+		if conn == nil {
+			select {
+			case <-a.stop:
+				return
+			case <-time.After(a.redial):
+			}
+			c, err := dialHello(a.name, a.addr())
+			if err != nil {
+				continue
+			}
+			a.mu.Lock()
+			if a.closed {
+				a.mu.Unlock()
+				_ = c.Close()
+				return
+			}
+			a.conn = c
+			a.mu.Unlock()
+			conn = c
+			a.tel.Load().Counter("transport.tcp.reconnects").Inc()
+		}
+		msg, err := protocol.ReadFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			a.mu.Lock()
+			if a.conn == conn {
+				a.conn = nil
+			}
+			closed := a.closed
+			a.mu.Unlock()
+			conn = nil
+			if closed {
+				return
+			}
+			continue
+		}
+		a.tel.Load().Counter("transport.tcp.frames_received").Inc()
+		select {
+		case a.inbox <- msg:
+		default:
+			a.tel.Load().Counter("transport.messages.overflowed").Inc()
+			noteDrop(a.tel.Load(), msg, "inbox overflow")
+		}
+	}
+}
+
 var (
 	_ Endpoint = (*TCPManager)(nil)
 	_ Endpoint = (*TCPAgent)(nil)
+	_ Endpoint = (*ReconnectingAgent)(nil)
 )
