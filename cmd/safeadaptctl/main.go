@@ -16,6 +16,7 @@
 //	safeadaptctl check -crash N              # also kill the manager at every journal record boundary
 //	safeadaptctl journal <file.journal>      # inspect a manager write-ahead log and its recovery state
 //	safeadaptctl postmortem -dir <dir>       # merge per-node flight-recorder bundles into a causal timeline
+//	safeadaptctl vet [-run names] [pkgs]     # run the safeadaptvet protocol-invariant analyzers
 //	safeadaptctl template                    # emit the case study as JSON (a spec template)
 //
 // Without -f, every command analyzes the built-in DSN 2004 case study.
@@ -43,7 +44,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|journal|postmortem|template> [flags]")
+		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|journal|postmortem|vet|template> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -58,6 +59,10 @@ func run(args []string, out io.Writer) error {
 	if cmd == "postmortem" {
 		// postmortem has its own flag set (bundle dir, output shape).
 		return postmortem(rest, out)
+	}
+	if cmd == "vet" {
+		// vet has its own flag set (analyzer selection, package patterns).
+		return vetCmd(rest, out)
 	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)

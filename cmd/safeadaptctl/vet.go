@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetCmd runs the safeadaptvet protocol-invariant suite in-process: the
+// same analyzers as cmd/safeadaptvet (and the CI `go vet -vettool` step),
+// surfaced here so an operator already holding safeadaptctl can check a
+// tree without building the second binary.
+func vetCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%s\n    %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return fmt.Errorf("vet: unknown analyzer %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	pkgs, err := analysis.Load("", fs.Args()...)
+	if err != nil {
+		return err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.MalformedDirectives(pkg)...)
+	}
+	runDiags, err := analysis.RunAll(analyzers, pkgs)
+	if err != nil {
+		return err
+	}
+	diags = append(diags, runDiags...)
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("vet: %d finding(s)", len(diags))
+	}
+	fmt.Fprintf(out, "vet: %d package(s) clean\n", len(pkgs))
+	return nil
+}

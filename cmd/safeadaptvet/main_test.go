@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestVersionProbe(t *testing.T) {
+	if got := run([]string{"-V=full"}); got != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0", got)
+	}
+}
+
+func TestFlagsProbe(t *testing.T) {
+	if got := run([]string{"-flags"}); got != 0 {
+		t.Fatalf("run(-flags) = %d, want 0", got)
+	}
+}
+
+func TestList(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if got := run([]string{"-run", "nonesuch"}); got != 1 {
+		t.Fatalf("run(-run nonesuch) = %d, want 1", got)
+	}
+}
+
+func TestStandaloneSinglePackage(t *testing.T) {
+	if got := run([]string{"-run", "stampedsend", "../../internal/protocol"}); got != 0 {
+		t.Fatalf("run(stampedsend over protocol) = %d, want 0", got)
+	}
+}

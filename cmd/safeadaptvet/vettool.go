@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the configuration file `go vet` hands a -vettool for each
+// package: the file set to check plus the import-path → export-data map
+// the toolchain already built. Mirrors cmd/go's internal vetConfig (the
+// x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVettool executes one `go vet -vettool` unit of work. Diagnostics go
+// to stderr and yield exit status 2, matching go vet's convention; a
+// clean run writes the (empty) facts output go vet expects and exits 0.
+func runVettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safeadaptvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "safeadaptvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite carries no cross-package facts, so the vetx output is an
+	// empty placeholder — but go vet requires it to exist.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+
+	// Test variants re-vet the same source with _test.go files added; the
+	// rules police shipped implementation code, and test packages
+	// construct raw protocol messages on purpose, so variants are skipped
+	// wholesale (the plain package build is vetted on its own).
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	if cfg.VetxOnly || len(files) == 0 || strings.HasSuffix(importPath, ".test") ||
+		strings.HasSuffix(importPath, "_test") || len(files) < len(cfg.GoFiles) {
+		writeVetx()
+		return 0
+	}
+
+	pkg, err := analysis.LoadVetUnit(importPath, cfg.Dir, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "safeadaptvet:", err)
+		return 1
+	}
+
+	diags := analysis.MalformedDirectives(pkg)
+	runDiags, err := analysis.RunAll(analysis.All(), []*analysis.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safeadaptvet:", err)
+		return 1
+	}
+	diags = append(diags, runDiags...)
+	writeVetx()
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 2
+	}
+	return 0
+}

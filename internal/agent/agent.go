@@ -533,7 +533,7 @@ func (a *Agent) handleReset(step protocol.Step, tc protocol.TraceContext) {
 	// Resetting: drive to local safe state (Fig. 1 "resetting do: reset").
 	a.transition(StateResetting, `receive "reset"`)
 	resetSpan := stepSpan.Child("reset")
-	resetStart := time.Now()
+	resetStart := a.opts.Clock.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), a.opts.ResetTimeout)
 	err := a.proc.Reset(ctx, step)
 	cancel()
@@ -556,14 +556,14 @@ func (a *Agent) handleReset(step protocol.Step, tc protocol.TraceContext) {
 		return
 	}
 	resetSpan.End()
-	a.tel.Histogram("agent.reset.latency").ObserveSince(resetStart)
-	a.safeSince = time.Now()
+	a.tel.Histogram("agent.reset.latency").Observe(a.opts.Clock.Now().Sub(resetStart))
+	a.safeSince = a.opts.Clock.Now()
 	a.transition(StateSafe, `[reset complete] / send "reset done"`)
 	a.send(protocol.MsgResetDone, step, "")
 
 	// In-action: performed while safely blocked.
 	inActSpan := stepSpan.Child("in-action")
-	inActStart := time.Now()
+	inActStart := a.opts.Clock.Now()
 	if err := a.proc.InAction(step, ops); err != nil {
 		a.tel.Counter("agent.inaction.failures").Inc()
 		inActSpan.SetError(err)
@@ -573,7 +573,7 @@ func (a *Agent) handleReset(step protocol.Step, tc protocol.TraceContext) {
 		return // await rollback command
 	}
 	inActSpan.End()
-	a.tel.Histogram("agent.inaction.latency").ObserveSince(inActStart)
+	a.tel.Histogram("agent.inaction.latency").Observe(a.opts.Clock.Now().Sub(inActStart))
 	a.mu.Lock()
 	a.inActDone = true
 	a.mu.Unlock()
@@ -618,7 +618,7 @@ func (a *Agent) doResume(step protocol.Step, tc protocol.TraceContext, cause str
 		telemetry.String("step", step.Key()))
 	defer span.End()
 	a.transition(StateResuming, cause)
-	resumeStart := time.Now()
+	resumeStart := a.opts.Clock.Now()
 	if err := a.proc.Resume(step); err != nil {
 		span.SetError(err)
 		// Resumption failures are reported as adapt failures; the
@@ -629,11 +629,11 @@ func (a *Agent) doResume(step protocol.Step, tc protocol.TraceContext, cause str
 		a.send(protocol.MsgAdaptFailed, step, fmt.Sprintf("resume: %v", err))
 		return
 	}
-	a.tel.Histogram("agent.resume.latency").ObserveSince(resumeStart)
+	a.tel.Histogram("agent.resume.latency").Observe(a.opts.Clock.Now().Sub(resumeStart))
 	if !a.safeSince.IsZero() {
 		// The CCS blocking window: how long the process was held out of
 		// full operation for this step.
-		a.tel.Histogram("agent.blocked.dwell").ObserveSince(a.safeSince)
+		a.tel.Histogram("agent.blocked.dwell").Observe(a.opts.Clock.Now().Sub(a.safeSince))
 		a.safeSince = time.Time{}
 	}
 	a.transition(StateRunning, `[resumption complete] / send "resume done"`)

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. A justified exception to a rule is annotated at
+// the offending line (or the line above it):
+//
+//	//safeadaptvet:allow determinism -- telemetry wall-time, not protocol state
+//
+// or, for a file that is wholesale outside the rule's boundary, once near
+// the top of the file:
+//
+//	//safeadaptvet:allow-file determinism -- experiment harness measures wall time
+//
+// The analyzer name "all" suppresses every analyzer. The "--" reason is
+// mandatory: an exception without a recorded justification is itself a
+// violation, reported by the framework.
+
+const (
+	allowPrefix     = "//safeadaptvet:allow "
+	allowFilePrefix = "//safeadaptvet:allow-file "
+)
+
+// allowIndex records which (analyzer, file, line) triples are suppressed.
+type allowIndex struct {
+	// line maps "analyzer\x00file" to the set of allowed lines.
+	line map[string]map[int]bool
+	// file maps "analyzer\x00file" to a file-wide allowance.
+	file map[string]bool
+	// missing collects directives lacking a "-- reason"; they surface as
+	// framework diagnostics instead of silently suppressing.
+	missing []Diagnostic
+}
+
+func key(analyzer, filename string) string { return analyzer + "\x00" + filename }
+
+func newAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{line: map[string]map[int]bool{}, file: map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				var names string
+				fileWide := false
+				switch {
+				case strings.HasPrefix(text, allowFilePrefix):
+					names = strings.TrimPrefix(text, allowFilePrefix)
+					fileWide = true
+				case strings.HasPrefix(text, allowPrefix):
+					names = strings.TrimPrefix(text, allowPrefix)
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				reason := ""
+				if i := strings.Index(names, "--"); i >= 0 {
+					reason = strings.TrimSpace(names[i+2:])
+					names = names[:i]
+				}
+				if reason == "" {
+					idx.missing = append(idx.missing, Diagnostic{
+						Pos:      pos,
+						Analyzer: "safeadaptvet",
+						Message:  "allow directive without a `-- reason`: every suppression must record its justification",
+					})
+					continue
+				}
+				for _, name := range strings.Fields(names) {
+					k := key(name, pos.Filename)
+					if fileWide {
+						idx.file[k] = true
+						continue
+					}
+					if idx.line[k] == nil {
+						idx.line[k] = map[int]bool{}
+					}
+					// The directive covers its own line (trailing comment)
+					// and the line below it (comment-above form).
+					idx.line[k][pos.Line] = true
+					idx.line[k][pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
+	for _, name := range []string{analyzer, "all"} {
+		k := key(name, pos.Filename)
+		if idx.file[k] || idx.line[k][pos.Line] {
+			return true
+		}
+	}
+	return false
+}
+
+// MalformedDirectives returns framework diagnostics for allow directives
+// missing their justification, so a driver can surface them.
+func MalformedDirectives(pkg *Package) []Diagnostic {
+	idx := newAllowIndex(pkg.Fset, pkg.Files)
+	return idx.missing
+}

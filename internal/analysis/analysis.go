@@ -1,0 +1,192 @@
+// Package analysis is safeadaptvet: a domain-specific static-analysis
+// suite that enforces, at the source level, the safety discipline the
+// adaptation protocol's correctness argument rests on but the compiler
+// cannot see — determinism of the explorable core, journal-before-send
+// ordering, epoch/trace stamping of every protocol message, nil-tolerant
+// telemetry, and no blocking I/O under the coordination mutexes.
+//
+// The model checker in internal/explore verifies the protocol *model*;
+// this package verifies that the *implementation source* structurally
+// obeys the rules the model checker assumes. Two real bugs that shipped
+// here — the nondeterministic map-iteration send order in manager.step
+// and the cross-attempt rollback bug — were violations of exactly these
+// unwritten rules; each analyzer is motivated by a bug class this
+// codebase has hit or a rule the protocol depends on (see Analyzers).
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) but is built on the standard
+// library alone: packages are located with `go list -export -deps -json`
+// and type-checked with go/types against the toolchain's export data —
+// the same mechanism `go vet` itself uses — so the suite needs no
+// third-party dependency and runs both standalone and as a
+// `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, in the image of x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //safeadaptvet:allow directives.
+	Name string
+	// Doc is the one-paragraph description shown by `safeadaptvet -list`.
+	Doc string
+	// Packages restricts the analyzer to import paths with one of these
+	// prefixes. Empty means every analyzed package. The restriction is
+	// applied by the driver, not by Run, so fixtures under testdata can
+	// exercise an analyzer regardless of their import path.
+	Packages []string
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the driver should run the analyzer on the
+// package with the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// allow is the parsed suppression index for the package's files.
+	allow *allowIndex
+	// diags collects the pass's findings.
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an allow directive suppresses
+// it. Suppression requires a //safeadaptvet:allow <name> directive on the
+// finding's line, the line above it, or a file-scoped directive.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow != nil && p.allow.allows(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether an allow directive for this analyzer covers
+// pos. Analyzers use it to let annotations cut taint propagation at the
+// annotated site instead of merely hiding the bubbled-up report.
+func (p *Pass) allowedAt(pos token.Pos) bool {
+	return p.allow != nil && p.allow.allows(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
+// Inspect walks every file's AST in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// findings sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		allow:     newAllowIndex(pkg.Fset, pkg.Files),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(pass.diags)
+	return pass.diags, nil
+}
+
+// RunAll executes every applicable analyzer over every package and
+// returns the combined findings sorted by position.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, diags...)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// All returns the full safeadaptvet suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		JournalSendAnalyzer,
+		StampedSendAnalyzer,
+		TelemetryNilAnalyzer,
+		LockSendAnalyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func checkFixture(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	problems, err := analysis.CheckFixture(filepath.Join("testdata", "src", dir), analyzers...)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	for _, p := range problems {
+		t.Errorf("fixture %s: %s", dir, p)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "determinism", analysis.DeterminismAnalyzer)
+}
+
+func TestJournalSendFixture(t *testing.T) {
+	checkFixture(t, "journalsend", analysis.JournalSendAnalyzer)
+}
+
+func TestStampedSendFixture(t *testing.T) {
+	checkFixture(t, "stampedsend", analysis.StampedSendAnalyzer)
+}
+
+func TestTelemetryNilFixture(t *testing.T) {
+	checkFixture(t, "telemetrynil", analysis.TelemetryNilAnalyzer)
+}
+
+func TestLockSendFixture(t *testing.T) {
+	checkFixture(t, "locksend", analysis.LockSendAnalyzer)
+}
+
+// TestMapIterationBugRegression replays the shape of the historical
+// manager.step bug (nondeterministic resume-wave send order from map
+// iteration) against the determinism analyzer.
+func TestMapIterationBugRegression(t *testing.T) {
+	checkFixture(t, "mapiterbug", analysis.DeterminismAnalyzer)
+}
+
+// TestUnjournaledRollbackRegression replays the unjournaled rollback
+// wave (pre-journal manager) against the journalsend analyzer.
+func TestUnjournaledRollbackRegression(t *testing.T) {
+	checkFixture(t, "unjournaledrollback", analysis.JournalSendAnalyzer)
+}
+
+// TestAllowDirectiveRequiresReason checks both halves of the mandatory
+// justification: the bare directive is reported by the framework, and the
+// suppression it attempted does not take effect.
+func TestAllowDirectiveRequiresReason(t *testing.T) {
+	checkFixture(t, "badallow", analysis.DeterminismAnalyzer)
+
+	pkg, err := analysis.LoadDir(filepath.Join("testdata", "src", "badallow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.MalformedDirectives(pkg)
+	if len(diags) != 1 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "without a `-- reason`") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range analysis.All() {
+		if got := analysis.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v", a.Name, got)
+		}
+	}
+	if analysis.ByName("nonesuch") != nil {
+		t.Error("ByName(nonesuch) should be nil")
+	}
+}

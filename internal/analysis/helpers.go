@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callee resolves a call expression to the *types.Func it statically
+// invokes (package function, method, or interface method), or nil for
+// builtins, conversions, and calls of function-typed values.
+func (p *Pass) callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier (pkg.Func).
+		fn, _ := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isFunc reports whether fn is the package-level function pkgPath.name
+// (not a method).
+func isFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Name() != name {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}
+
+// typePkgPath returns the defining package path of (a pointer to) a named
+// type, or "".
+func typePkgPath(t types.Type) string {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// receiverOf returns the receiver type of a method, or nil for functions.
+func receiverOf(fn *types.Func) types.Type {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// litField returns the value of the named field in a (possibly keyed)
+// struct composite literal, or nil when absent. Positional literals
+// return nil: the analyzers that use this treat "cannot tell" as "not
+// set", which is the conservative direction for their rules.
+func litField(lit *ast.CompositeLit, name string) ast.Expr {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// constNameOf returns the declared name of the constant an expression
+// statically refers to (e.g. protocol.MsgRollback), or "".
+func (p *Pass) constNameOf(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := p.TypesInfo.Uses[v].(*types.Const); ok {
+			return c.Name()
+		}
+	case *ast.SelectorExpr:
+		if c, ok := p.TypesInfo.Uses[v.Sel].(*types.Const); ok {
+			return c.Name()
+		}
+	}
+	return ""
+}
+
+// eachFuncBody visits every function and method body in the package,
+// including the bodies of function literals (each literal is visited as
+// its own scope).
+func (p *Pass) eachFuncBody(fn func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Name.Name, fd, fd.Body)
+		}
+	}
+}

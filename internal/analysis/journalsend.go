@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// JournalSendAnalyzer enforces the crash-tolerance ordering rule of the
+// write-ahead log (the rule the recovery proof in internal/manager rests
+// on): a point-of-no-return wave (MsgResume) may only be sent after a
+// committed journal.KindPoNR record, and a rollback wave (MsgRollback)
+// only after a committed journal.KindRollback record. A manager that
+// sends first and logs later can crash in between, leaving its successor
+// unable to tell which side of the line the crash fell on — exactly the
+// bug class the journal exists to exclude.
+//
+// The check approximates dominance lexically: a send is satisfied when a
+// matching committed journal call precedes it in the same function body
+// (function literals are inlined at their lexical position, which handles
+// the manager's fail/rollback closure). A function whose sends are not
+// locally satisfied is treated as a wave sender, and every one of its
+// call sites must then be preceded by the matching commit; call sites
+// that are not — and raw unsatisfied sends — are reported. Recovery's
+// re-drive of a wave whose decision the crashed predecessor committed is
+// the one sanctioned exception, annotated at the call site.
+var JournalSendAnalyzer = &Analyzer{
+	Name: "journalsend",
+	Doc: "require a committed journal record (KindPoNR for resume, KindRollback " +
+		"for rollback) to dominate every transport send of that wave",
+	Packages: []string{"repro/internal/manager"},
+	Run:      runJournalSend,
+}
+
+// waveKind pairs the message constant that opens a wave with the journal
+// record kind that must be committed first.
+var waveKinds = map[string]string{
+	"MsgResume":   "KindPoNR",
+	"MsgRollback": "KindRollback",
+}
+
+// jsEvent is one ordered occurrence inside a function body.
+type jsEvent struct {
+	pos token.Pos
+	// commit names the committed record kind ("KindPoNR", ...), send the
+	// message constant ("MsgResume", ...), call the package-local callee.
+	commit, send string
+	call         string
+}
+
+func runJournalSend(pass *Pass) error {
+	type funcInfo struct {
+		name   string
+		events []jsEvent
+	}
+	var funcs []*funcInfo
+
+	pass.eachFuncBody(func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		fi := &funcInfo{name: name}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind := commitKind(pass, call); kind != "" {
+				fi.events = append(fi.events, jsEvent{pos: call.Pos(), commit: kind})
+				return true
+			}
+			if msg := sentWave(pass, call); msg != "" {
+				fi.events = append(fi.events, jsEvent{pos: call.Pos(), send: msg})
+				return true
+			}
+			if fn := pass.callee(call); fn != nil && fn.Pkg() == pass.Pkg {
+				fi.events = append(fi.events, jsEvent{pos: call.Pos(), call: fn.Name()})
+			}
+			return true
+		})
+		funcs = append(funcs, fi)
+	})
+
+	// tainted maps a function name to the wave kinds its body (or callees)
+	// send without local domination. Iterate to a fixpoint so taint flows
+	// through package-local call chains of any depth. An allow directive at
+	// the precise unsatisfied site cuts the taint at its source — annotate
+	// deep, at the send the human argument justifies, not at the entry
+	// point the taint would otherwise bubble to.
+	tainted := map[string]map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			for _, unsat := range unsatisfied(pass, fi.events, tainted) {
+				if tainted[fi.name] == nil {
+					tainted[fi.name] = map[string]bool{}
+				}
+				if !tainted[fi.name][unsat.wave] {
+					tainted[fi.name][unsat.wave] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// An unsatisfied send inside a helper is discharged when every caller
+	// dominates the call with the commit (the domination chain runs through
+	// the call); taint that survives all the way into a function nothing in
+	// the package calls has no remaining chance of domination — report it
+	// there.
+	called := map[string]bool{}
+	for _, fi := range funcs {
+		for _, ev := range fi.events {
+			if ev.call != "" {
+				called[ev.call] = true
+			}
+		}
+	}
+	for _, fi := range funcs {
+		if called[fi.name] {
+			continue
+		}
+		for _, unsat := range unsatisfied(pass, fi.events, tainted) {
+			if unsat.viaCall {
+				pass.Reportf(unsat.pos,
+					"call to %s sends a %s wave with no committed %s journal record on this path; commit the decision before the wave (crash between send and log is unrecoverable)",
+					unsat.callee, waveName(unsat.wave), unsat.wave)
+			} else {
+				pass.Reportf(unsat.pos,
+					"%s wave sent with no committed %s journal record on this path; commit the decision before the wave (crash between send and log is unrecoverable)",
+					waveName(unsat.wave), unsat.wave)
+			}
+		}
+	}
+	return nil
+}
+
+func waveName(kind string) string {
+	if kind == "KindPoNR" {
+		return "resume (point-of-no-return)"
+	}
+	return "rollback"
+}
+
+type unsatSend struct {
+	pos     token.Pos
+	wave    string // required commit kind
+	viaCall bool
+	callee  string
+}
+
+// unsatisfied returns the wave sends (direct, or via calls to tainted
+// package-local functions) not preceded by their required commit.
+// Allow-annotated sites are treated as satisfied.
+func unsatisfied(pass *Pass, events []jsEvent, tainted map[string]map[string]bool) []unsatSend {
+	var out []unsatSend
+	committed := map[string]bool{}
+	for _, ev := range events {
+		switch {
+		case ev.commit != "":
+			committed[ev.commit] = true
+		case ev.send != "":
+			need := waveKinds[ev.send]
+			if !committed[need] && !pass.allowedAt(ev.pos) {
+				out = append(out, unsatSend{pos: ev.pos, wave: need})
+			}
+		case ev.call != "":
+			for wave := range tainted[ev.call] {
+				if !committed[wave] && !pass.allowedAt(ev.pos) {
+					out = append(out, unsatSend{pos: ev.pos, wave: wave, viaCall: true, callee: ev.call})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// commitKind recognizes a committed journal append: a call carrying a
+// journal.Record literal whose Kind is KindPoNR or KindRollback together
+// with a constant-true commit flag (the manager's `m.journal(rec, true)`
+// shape), or a direct Journal.Append whose record carries those kinds
+// followed by a Sync — approximated as the Append itself.
+func commitKind(pass *Pass, call *ast.CallExpr) string {
+	kind := ""
+	for _, arg := range call.Args {
+		lit := compositeLitOf(pass, arg, "repro/internal/journal", "Record")
+		if lit == nil {
+			continue
+		}
+		switch pass.constNameOf(litField(lit, "Kind")) {
+		case "KindPoNR":
+			kind = "KindPoNR"
+		case "KindRollback":
+			kind = "KindRollback"
+		}
+	}
+	if kind == "" {
+		return ""
+	}
+	name := calleeName(pass, call)
+	if name == "Append" {
+		return kind // direct journal append; Sync ordering is the backend's contract
+	}
+	// Helper shape: require the commit flag to be constant true.
+	for _, arg := range call.Args {
+		if pass.constNameOf(arg) == "true" {
+			return kind
+		}
+	}
+	return ""
+}
+
+// sentWave recognizes a transport send of a wave-opening message: a call
+// whose arguments include a protocol.Message literal with Type MsgResume
+// or MsgRollback.
+func sentWave(pass *Pass, call *ast.CallExpr) string {
+	for _, arg := range call.Args {
+		lit := compositeLitOf(pass, arg, "repro/internal/protocol", "Message")
+		if lit == nil {
+			continue
+		}
+		if msg := pass.constNameOf(litField(lit, "Type")); waveKinds[msg] != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// compositeLitOf returns e (unwrapping & and parens) as a composite
+// literal of the named type, or nil.
+func compositeLitOf(pass *Pass, e ast.Expr, pkgPath, typeName string) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	if un, ok := e.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		e = ast.Unparen(un.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isNamed(tv.Type, pkgPath, typeName) {
+		return nil
+	}
+	return lit
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir for the given package
+// patterns and decodes the JSON stream. Export data produced by the build
+// cache is what lets the loader type-check imports without compiling
+// anything from source — the same mechanism `go vet` hands its tools.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from an import path → export data file
+// index, via the standard library's gc export-data reader.
+type exportImporter struct {
+	gc    types.Importer
+	index map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, index map[string]string) *exportImporter {
+	ei := &exportImporter{index: index}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ei.index[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.gc.Import(path)
+}
+
+// Load lists the packages matching patterns (relative to dir; dir "" means
+// the current directory), type-checks the non-dependency module packages
+// from source, and returns them sorted by import path. Test files are not
+// loaded: the rules police the shipped implementation, and test packages
+// routinely construct raw protocol messages on purpose.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			index[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, index)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := typeCheck(fset, imp, p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a
+// single package, resolving its imports through the module visible from
+// that directory. It is the fixture loader: testdata packages are not
+// listable as module packages, but their imports (repro/... and std) are.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	importSet := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+		for _, spec := range af.Imports {
+			path, _ := strconv.Unquote(spec.Path.Value)
+			if path != "" && path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+
+	index := map[string]string{}
+	if len(imports) > 0 {
+		listed, err := goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				index[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, index)
+	return typeCheckFiles(fset, imp, "fixture/"+filepath.Base(dir), dir, asts)
+}
+
+// LoadVetUnit type-checks one `go vet` unit of work from the file list and
+// export-data maps in a vet.cfg: importMap redirects source-level import
+// paths to canonical ones, packageFile maps canonical paths to export data
+// the toolchain already built.
+func LoadVetUnit(importPath, dir string, files []string, importMap, packageFile map[string]string) (*Package, error) {
+	index := make(map[string]string, len(importMap)+len(packageFile))
+	for path, file := range packageFile {
+		index[path] = file
+	}
+	for src, canonical := range importMap {
+		if file, ok := packageFile[canonical]; ok {
+			index[src] = file
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, index)
+	return typeCheck(fset, imp, importPath, dir, files)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, filenames []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range filenames {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	return typeCheckFiles(fset, imp, path, dir, asts)
+}
+
+func typeCheckFiles(fset *token.FileSet, imp types.Importer, path, dir string, asts []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type check %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// LockSendAnalyzer enforces the lock discipline that keeps the
+// coordination mutexes wait-free: no transport send, journal append/sync,
+// or protocol frame write while holding a sync.Mutex/RWMutex. Those calls
+// block on I/O (a TCP write can stall for the kernel buffer, a journal
+// Sync fsyncs), and the manager/agent mutexes guard state that the
+// protocol's receive paths also take — blocking I/O under them turns a
+// slow peer into a deadlocked coordinator. The existing code takes the
+// locks only around in-memory state (copy under lock, send outside); this
+// analyzer keeps it that way.
+//
+// The check tracks lock state linearly through each function body:
+// x.Lock() marks x held, x.Unlock() releases it, `defer x.Unlock()` holds
+// it to function end. Nested blocks see a copy of the current state, and
+// function literals start clean (they run on their own schedule). The
+// approximation deliberately under-reports (a lock taken in only one
+// branch is treated as released afterwards) — the target is the blatant
+// pattern, not a sound whole-program proof.
+var LockSendAnalyzer = &Analyzer{
+	Name: "locksend",
+	Doc: "forbid transport sends, journal appends/syncs, and protocol frame " +
+		"writes while holding a mutex (blocking I/O under the coordination " +
+		"locks deadlocks the protocol)",
+	Run: runLockSend,
+}
+
+func runLockSend(pass *Pass) error {
+	pass.eachFuncBody(func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		scanLockBlock(pass, body, map[string]bool{})
+	})
+	return nil
+}
+
+// scanLockBlock walks one block with the current held-lock set. held maps
+// the rendered receiver expression ("m.mu") to true.
+func scanLockBlock(pass *Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, st := range block.List {
+		scanLockStmt(pass, st, held)
+	}
+}
+
+func scanLockStmt(pass *Pass, st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, op := mutexOp(pass, call); recv != "" {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				return
+			}
+		}
+		scanLockExpr(pass, st.X, held)
+	case *ast.DeferStmt:
+		if recv, op := mutexOp(pass, st.Call); recv != "" && (op == "Unlock" || op == "RUnlock") {
+			// Deferred unlock: the lock stays held for the rest of the
+			// function — which is exactly when I/O calls below would block
+			// under it.
+			held[recv] = true
+			return
+		}
+		scanLockExpr(pass, st.Call, held)
+	case *ast.GoStmt:
+		// The goroutine body runs on its own schedule with its own stack;
+		// analyze it lock-free.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			scanLockBlock(pass, lit.Body, map[string]bool{})
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			scanLockExpr(pass, rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			scanLockExpr(pass, r, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			scanLockStmt(pass, st.Init, held)
+		}
+		scanLockExpr(pass, st.Cond, held)
+		scanLockBlock(pass, st.Body, copyHeld(held))
+		if st.Else != nil {
+			scanLockStmt(pass, st.Else, copyHeldStmt(held))
+		}
+	case *ast.BlockStmt:
+		scanLockBlock(pass, st, held)
+	case *ast.ForStmt:
+		scanLockBlock(pass, st.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		scanLockBlock(pass, st.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyHeld(held)
+				for _, s := range cc.Body {
+					scanLockStmt(pass, s, h)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyHeld(held)
+				for _, s := range cc.Body {
+					scanLockStmt(pass, s, h)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				h := copyHeld(held)
+				for _, s := range cc.Body {
+					scanLockStmt(pass, s, h)
+				}
+			}
+		}
+	}
+}
+
+func copyHeldStmt(held map[string]bool) map[string]bool { return copyHeld(held) }
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// scanLockExpr looks for blocking-I/O calls inside an expression while
+// any lock is held. Function literals are skipped: they execute later.
+func scanLockExpr(pass *Pass, e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why := blockingIOCall(pass, call); why != "" {
+			for lock := range held {
+				pass.Reportf(call.Pos(),
+					"%s while holding %s: blocking I/O under a coordination mutex can deadlock the protocol; copy state under the lock and perform the I/O after releasing it", why, lock)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes a Lock/Unlock-family call on a sync.Mutex or
+// sync.RWMutex and returns the rendered receiver expression and the
+// operation name.
+func mutexOp(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	if !isNamed(tv.Type, "sync", "Mutex") && !isNamed(tv.Type, "sync", "RWMutex") {
+		return "", ""
+	}
+	return exprString(pass.Fset, sel.X), op
+}
+
+// blockingIOCall classifies calls that must not run under a mutex,
+// returning a description or "".
+func blockingIOCall(pass *Pass, call *ast.CallExpr) string {
+	fn := pass.callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	recvPkg := typePkgPath(receiverOf(fn))
+	switch {
+	case fn.Name() == "Send" && recvPkg == "repro/internal/transport":
+		return "transport send"
+	case recvPkg == "repro/internal/journal" &&
+		(fn.Name() == "Append" || fn.Name() == "Sync"):
+		return "journal " + fn.Name()
+	case isFunc(fn, "repro/internal/protocol", "WriteFrame"):
+		return "protocol frame write"
+	case (fn.Name() == "send" || fn.Name() == "sendMsg" || fn.Name() == "journal") &&
+		(recvPkg == "repro/internal/manager" || recvPkg == "repro/internal/agent"):
+		// The stamping/journaling helpers end in transport or file I/O.
+		return "call to I/O helper " + fn.Name()
+	}
+	return ""
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}

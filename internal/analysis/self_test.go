@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepositoryIsClean runs the whole safeadaptvet suite over the
+// repository itself: the protocol safety invariants the analyzers encode
+// must hold on every shipped package, with any exception carried by an
+// annotated justification. A failure here is a protocol-discipline
+// regression, not a style nit — fix the code or add a justified
+// //safeadaptvet:allow, never weaken the analyzer.
+func TestRepositoryIsClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, d := range analysis.MalformedDirectives(pkg) {
+			t.Errorf("%s", d)
+		}
+	}
+	diags, err := analysis.RunAll(analysis.All(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// StampedSendAnalyzer enforces the message-stamping rule the fencing and
+// tracing layers depend on: every protocol.Message handed to a transport
+// must carry the sender's Epoch (so agents can fence a crashed manager's
+// stragglers) and its Trace context (so one adaptation forms one causal
+// trace across nodes). The sanctioned path is the stamping helpers —
+// manager.send and agent.sendMsg — which set both fields on every message;
+// a raw struct literal passed straight to Send bypasses them and produces
+// an unfenced, untraceable message.
+//
+// The check flags composite literals of protocol.Message used directly as
+// an argument of a Send (or protocol.WriteFrame) call unless the literal
+// sets both Epoch and Trace. Messages built elsewhere and stamped before
+// the send flow through variables, which the rule deliberately does not
+// chase: the helpers are the one legitimate construction site, and they
+// take the message as a parameter.
+var StampedSendAnalyzer = &Analyzer{
+	Name: "stampedsend",
+	Doc: "forbid sending a raw protocol.Message struct literal that does not " +
+		"set both Epoch and Trace; construct protocol traffic through the " +
+		"stamping helpers",
+	Run: runStampedSend,
+}
+
+func runStampedSend(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(pass, call)
+		if name != "Send" && name != "WriteFrame" {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit := compositeLitOf(pass, arg, "repro/internal/protocol", "Message")
+			if lit == nil {
+				continue
+			}
+			missing := ""
+			switch {
+			case litField(lit, "Epoch") == nil && litField(lit, "Trace") == nil:
+				missing = "Epoch and Trace"
+			case litField(lit, "Epoch") == nil:
+				missing = "Epoch"
+			case litField(lit, "Trace") == nil:
+				missing = "Trace"
+			default:
+				continue
+			}
+			pass.Reportf(lit.Pos(),
+				"protocol.Message literal sent without %s: unstamped messages break epoch fencing and causal tracing; route the send through the stamping helper (manager.send / agent.sendMsg) or set both fields",
+				missing)
+		}
+		return true
+	})
+	return nil
+}

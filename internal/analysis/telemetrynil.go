@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TelemetryNilAnalyzer enforces the zero-overhead disabled path of the
+// telemetry layer: every exported pointer-receiver method in
+// internal/telemetry must tolerate a nil receiver, because the rest of
+// the system calls telemetry unconditionally (`m.tel.Counter(...)` with a
+// nil registry is THE disabled path — benchmarked allocation-identical to
+// uninstrumented code). A method that touches a receiver field before the
+// `if r == nil` guard turns "telemetry disabled" into a panic in the
+// manager's hot path.
+var TelemetryNilAnalyzer = &Analyzer{
+	Name: "telemetrynil",
+	Doc: "require exported pointer-receiver methods of the telemetry package " +
+		"to nil-guard the receiver before any field access (the nil registry " +
+		"is the zero-overhead disabled path)",
+	Packages: []string{"repro/internal/telemetry"},
+	Run:      runTelemetryNil,
+}
+
+func runTelemetryNil(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkNilGuardedMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNilGuardedMethod(pass *Pass, fd *ast.FuncDecl) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return // unnamed receiver cannot be dereferenced
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	recvObj := pass.TypesInfo.Defs[recvIdent]
+	if recvObj == nil {
+		return
+	}
+	if _, isPtr := types.Unalias(recvObj.Type()).(*types.Pointer); !isPtr {
+		return // value receivers cannot be nil
+	}
+
+	// Find the first lexical nil comparison of the receiver, then flag
+	// every receiver field access before it (or all of them when there is
+	// no guard at all). Lexical order approximates execution order well
+	// enough here: the idiom under enforcement is a guard in the method's
+	// first statement.
+	guardPos := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if guardPos.IsValid() {
+			return false
+		}
+		if isReceiverNilComparison(pass, be, recvObj) {
+			guardPos = be.Pos()
+			return false
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recvObj {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true // method values on a nil receiver are fine — that's the pattern
+		}
+		if guardPos.IsValid() && sel.Pos() > guardPos {
+			return true
+		}
+		what := "before the nil guard"
+		if !guardPos.IsValid() {
+			what = "and the method has no nil guard"
+		}
+		pass.Reportf(sel.Pos(),
+			"exported method %s accesses receiver field %s.%s %s; a nil %s is the zero-overhead disabled path and must not panic",
+			fd.Name.Name, id.Name, sel.Sel.Name, what, recvTypeName(recvObj))
+		return true
+	})
+}
+
+func isReceiverNilComparison(pass *Pass, be *ast.BinaryExpr, recvObj types.Object) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recvObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, ok = pass.TypesInfo.Uses[id].(*types.Nil)
+		return ok
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isRecv(be.Y) && isNil(be.X))
+}
+
+func recvTypeName(recvObj types.Object) string {
+	if n := namedType(recvObj.Type()); n != nil {
+		return "*" + n.Obj().Name()
+	}
+	return "receiver"
+}

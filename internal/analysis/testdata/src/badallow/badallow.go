@@ -1,0 +1,11 @@
+// Package fixture holds an allow directive without a justification: the
+// framework reports the directive itself, and the suppression does not
+// take effect, so the underlying violation is still reported.
+package fixture
+
+import "time"
+
+func unjustified() time.Time {
+	//safeadaptvet:allow determinism
+	return time.Now() // want "wall-clock read"
+}

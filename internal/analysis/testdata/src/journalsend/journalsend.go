@@ -1,0 +1,76 @@
+// Package fixture exercises the journalsend analyzer: resume and
+// rollback waves must be dominated by their committed journal record,
+// directly or through the package-local call chain.
+package fixture
+
+import (
+	"repro/internal/journal"
+	"repro/internal/protocol"
+)
+
+type endpoint interface {
+	Send(msg protocol.Message) error
+}
+
+type mgr struct {
+	ep endpoint
+}
+
+func (m *mgr) journal(rec journal.Record, commit bool) error { return nil }
+
+// commitThenSend is the disciplined shape: decision on disk, then the wave.
+func (m *mgr) commitThenSend(p string) {
+	_ = m.journal(journal.Record{Kind: journal.KindPoNR}, true)
+	_ = m.ep.Send(protocol.Message{Type: protocol.MsgResume, To: p})
+}
+
+// sendWithoutCommit ships the wave with nothing in the log.
+func (m *mgr) sendWithoutCommit(p string) {
+	_ = m.ep.Send(protocol.Message{Type: protocol.MsgResume, To: p}) // want "resume \\(point-of-no-return\\) wave sent with no committed KindPoNR"
+}
+
+// uncommittedFlag writes the record but does not commit it.
+func (m *mgr) uncommittedFlag(p string) {
+	_ = m.journal(journal.Record{Kind: journal.KindRollback}, false)
+	_ = m.ep.Send(protocol.Message{Type: protocol.MsgRollback, To: p}) // want "rollback wave sent with no committed KindRollback"
+}
+
+// wrongKind commits the other wave's record.
+func (m *mgr) wrongKind(p string) {
+	_ = m.journal(journal.Record{Kind: journal.KindPoNR}, true)
+	_ = m.ep.Send(protocol.Message{Type: protocol.MsgRollback, To: p}) // want "rollback wave sent with no committed KindRollback"
+}
+
+// commitViaAppend uses the raw journal Append shape.
+func commitViaAppend(j journal.Journal, ep endpoint, p string) {
+	_ = j.Append(journal.Record{Kind: journal.KindPoNR})
+	_ = ep.Send(protocol.Message{Type: protocol.MsgResume, To: p})
+}
+
+// rollbackAll is a helper whose own body never commits: the obligation
+// transfers to its callers.
+func (m *mgr) rollbackAll(ps []string) {
+	for _, p := range ps {
+		_ = m.ep.Send(protocol.Message{Type: protocol.MsgRollback, To: p})
+	}
+}
+
+// goodCaller dominates the helper call with the commit: silent.
+func (m *mgr) goodCaller(ps []string) {
+	_ = m.journal(journal.Record{Kind: journal.KindRollback}, true)
+	m.rollbackAll(ps)
+}
+
+// badCaller drives the helper without the decision on disk; the taint
+// bubbles up and is reported at this entry point.
+func (m *mgr) badCaller(ps []string) {
+	m.rollbackAll(ps) // want "call to rollbackAll sends a rollback wave with no committed KindRollback"
+}
+
+// recoveryRedrive mirrors recovery's sanctioned exception: the crashed
+// predecessor committed the record, and the annotation at the send cuts
+// the taint at its source.
+func (m *mgr) recoveryRedrive(p string) {
+	//safeadaptvet:allow journalsend -- fixture mirror of recovery's re-drive: the predecessor committed KindPoNR before crashing
+	_ = m.ep.Send(protocol.Message{Type: protocol.MsgResume, To: p})
+}

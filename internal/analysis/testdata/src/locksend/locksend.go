@@ -1,0 +1,64 @@
+// Package fixture exercises the locksend analyzer: no transport send,
+// journal append/sync, or protocol frame write while holding a mutex.
+package fixture
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/journal"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+type node struct {
+	mu   sync.Mutex
+	ep   transport.Endpoint
+	seen map[string]bool
+}
+
+// sendUnderDefer holds the lock across the send via a deferred unlock.
+func (n *node) sendUnderDefer(msg protocol.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seen[msg.To] = true
+	return n.ep.Send(msg) // want "transport send while holding n\\.mu"
+}
+
+// sendUnderLock holds the lock explicitly across the send.
+func (n *node) sendUnderLock(msg protocol.Message) error {
+	n.mu.Lock()
+	err := n.ep.Send(msg) // want "transport send while holding n\\.mu"
+	n.mu.Unlock()
+	return err
+}
+
+// copyThenSend is the sanctioned shape: state under the lock, I/O after.
+func (n *node) copyThenSend(msg protocol.Message) error {
+	n.mu.Lock()
+	n.seen[msg.To] = true
+	ep := n.ep
+	n.mu.Unlock()
+	return ep.Send(msg)
+}
+
+// spawnSend hands the send to a goroutine, which runs on its own
+// schedule after the lock is gone: silent.
+func (n *node) spawnSend(msg protocol.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seen[msg.To] = true
+	go func() { _ = n.ep.Send(msg) }()
+}
+
+func (n *node) appendUnderLock(j journal.Journal, rec journal.Record) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return j.Append(rec) // want "journal Append while holding n\\.mu"
+}
+
+func (n *node) frameUnderLock(w io.Writer, msg protocol.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return protocol.WriteFrame(w, msg) // want "protocol frame write while holding n\\.mu"
+}

@@ -1,0 +1,30 @@
+// Package fixture is a regression fixture for the historical
+// manager.step bug: the resume wave iterated the pending-acks map to
+// build its send order, so runs with identical seeds produced different
+// traces. The shipped fix iterates the sorted participants slice and uses
+// the map only for membership. The determinism analyzer must catch the
+// original form and stay silent on the fix.
+package fixture
+
+type mgr struct {
+	participants []string
+}
+
+func (m *mgr) send(to string) {}
+
+// resumeWaveBuggy is the shape of the original bug.
+func (m *mgr) resumeWaveBuggy(pending map[string]bool) {
+	for p := range pending {
+		m.send(p) // want "order-sensitive call send"
+	}
+}
+
+// resumeWaveFixed is the shipped fix: the deterministic participants
+// slice drives the order, the map only answers membership.
+func (m *mgr) resumeWaveFixed(pending map[string]bool) {
+	for _, p := range m.participants {
+		if pending[p] {
+			m.send(p)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises the stampedsend analyzer: protocol.Message
+// literals handed to a transport must set both Epoch and Trace.
+package fixture
+
+import (
+	"io"
+
+	"repro/internal/protocol"
+)
+
+type endpoint interface {
+	Send(msg protocol.Message) error
+}
+
+func raw(ep endpoint, p string) {
+	_ = ep.Send(protocol.Message{Type: protocol.MsgReset, To: p}) // want "sent without Epoch and Trace"
+}
+
+func epochOnly(ep endpoint, epoch uint64, p string) {
+	_ = ep.Send(protocol.Message{Type: protocol.MsgReset, To: p, Epoch: epoch}) // want "sent without Trace"
+}
+
+func traceOnly(ep endpoint, tc protocol.TraceContext, p string) {
+	_ = ep.Send(protocol.Message{Type: protocol.MsgReset, To: p, Trace: tc}) // want "sent without Epoch"
+}
+
+// stamped sets both fields: silent.
+func stamped(ep endpoint, epoch uint64, tc protocol.TraceContext, p string) {
+	_ = ep.Send(protocol.Message{Type: protocol.MsgReset, To: p, Epoch: epoch, Trace: tc})
+}
+
+func frame(w io.Writer, p string) {
+	_ = protocol.WriteFrame(w, protocol.Message{Type: protocol.MsgReset, To: p}) // want "sent without Epoch and Trace"
+}
+
+// viaVariable is the stamping-helper pattern: the message flows through a
+// parameter and the helper stamps it before the send. The rule
+// deliberately does not chase variables.
+func viaVariable(ep endpoint, msg protocol.Message, epoch uint64) error {
+	msg.Epoch = epoch
+	return ep.Send(msg)
+}

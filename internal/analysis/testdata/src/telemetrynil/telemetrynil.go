@@ -1,0 +1,41 @@
+// Package fixture exercises the telemetrynil analyzer: exported
+// pointer-receiver methods must nil-guard the receiver before touching
+// its fields, because a nil registry is the disabled path.
+package fixture
+
+type Registry struct {
+	counters map[string]int
+	node     string
+}
+
+// GuardFirst is the required shape: silent.
+func (r *Registry) GuardFirst(name string) {
+	if r == nil {
+		return
+	}
+	r.counters[name]++
+}
+
+// GuardLate touches the receiver before the guard.
+func (r *Registry) GuardLate(name string) {
+	r.counters[name]++ // want "accesses receiver field r\\.counters before the nil guard"
+	if r == nil {
+		return
+	}
+}
+
+// NoGuard never checks at all.
+func (r *Registry) NoGuard() string {
+	return r.node // want "accesses receiver field r\\.node and the method has no nil guard"
+}
+
+// helper is unexported: the rule only covers the API the rest of the
+// system calls unconditionally.
+func (r *Registry) helper() int { return len(r.counters) }
+
+type view struct {
+	n int
+}
+
+// Len has a value receiver, which cannot be nil: silent.
+func (v view) Len() int { return v.n }

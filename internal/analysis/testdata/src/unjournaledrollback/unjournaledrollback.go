@@ -1,0 +1,44 @@
+// Package fixture is a regression fixture for the unjournaled rollback
+// send: before the write-ahead journal, the manager decided to roll back
+// and shipped the wave with nothing on disk, so a crash between the send
+// and any bookkeeping left the successor unable to tell whether agents
+// had been told to roll back. The shipped fix commits KindRollback in the
+// fail closure before the wave goes out. The journalsend analyzer must
+// catch the original form and stay silent on the fix.
+package fixture
+
+import (
+	"repro/internal/journal"
+	"repro/internal/protocol"
+)
+
+type endpoint interface {
+	Send(msg protocol.Message) error
+}
+
+type mgr struct {
+	ep endpoint
+}
+
+func (m *mgr) journal(rec journal.Record, commit bool) error { return nil }
+
+// failBuggy is the pre-journal shape: the decision exists only in memory
+// when the wave ships.
+func (m *mgr) failBuggy(ps []string) {
+	for _, p := range ps {
+		_ = m.ep.Send(protocol.Message{Type: protocol.MsgRollback, To: p}) // want "rollback wave sent with no committed KindRollback"
+	}
+}
+
+// failFixed mirrors the shipped fix: the fail closure commits the
+// decision, then the wave goes out. The analyzer inlines the closure at
+// its lexical position, so the commit dominates the sends.
+func (m *mgr) failFixed(ps []string) {
+	fail := func() {
+		_ = m.journal(journal.Record{Kind: journal.KindRollback}, true)
+	}
+	fail()
+	for _, p := range ps {
+		_ = m.ep.Send(protocol.Message{Type: protocol.MsgRollback, To: p})
+	}
+}

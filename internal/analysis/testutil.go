@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckFixture loads the fixture package in dir, runs the analyzers over
+// it, and compares the findings against the fixture's `// want "regexp"`
+// expectations (the x/tools analysistest convention): every diagnostic
+// must match a want on its line, and every want must be matched by a
+// diagnostic. It returns one human-readable problem per mismatch; an
+// empty slice means the fixture behaves exactly as annotated.
+func CheckFixture(dir string, analyzers ...*Analyzer) ([]string, error) {
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		ds, err := Run(a, pkg)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want "re" ["re" ...]` comments. The expectation
+// anchors to the line the comment sits on.
+func collectWants(pkg *Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(text[idx+len("want "):])
+				for rest != "" {
+					if rest[0] != '"' {
+						return nil, fmt.Errorf("%s: malformed want comment: %q", pos, c.Text)
+					}
+					lit, remainder, err := cutStringLit(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", pos, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(remainder)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutStringLit splits a leading Go string literal off s.
+func cutStringLit(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad want string %q: %v", s[:i+1], err)
+			}
+			return lit, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want string: %q", s)
+}

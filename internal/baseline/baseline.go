@@ -29,6 +29,17 @@ import (
 	"repro/internal/video"
 )
 
+// now and since are the package's only wall-clock reads. Measuring real
+// elapsed wall time is the harness's purpose — the reports compare
+// strategies by their actual blocking windows — so the reads are
+// sanctioned here; the single seam keeps them swappable in tests.
+//
+//safeadaptvet:allow determinism -- the experiment harness measures real elapsed wall time by design; this is its single clock seam
+var now = time.Now
+
+// since returns the elapsed time on the package clock.
+func since(t time.Time) time.Duration { return now().Sub(t) }
+
 // Report summarizes one strategy run.
 type Report struct {
 	// Strategy is the strategy name.
@@ -58,7 +69,7 @@ func (UnsafeDirect) Name() string { return "unsafe-direct" }
 
 // Adapt implements Strategy.
 func (UnsafeDirect) Adapt(sys *video.System) (Report, error) {
-	start := time.Now()
+	start := now()
 	factory := video.FilterFactory()
 	e2, err := factory("E2")
 	if err != nil {
@@ -89,7 +100,7 @@ func (UnsafeDirect) Adapt(sys *video.System) (Report, error) {
 	}
 	return Report{
 		Strategy:       "unsafe-direct",
-		Duration:       time.Since(start),
+		Duration:       since(start),
 		BlockedWindows: map[string]time.Duration{},
 	}, nil
 }
@@ -112,7 +123,7 @@ func (s LocalQuiescence) Adapt(sys *video.System) (Report, error) {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	start := time.Now()
+	start := now()
 	factory := video.FilterFactory()
 	rep := Report{Strategy: s.Name(), BlockedWindows: make(map[string]time.Duration, 3)}
 
@@ -130,7 +141,7 @@ func (s LocalQuiescence) Adapt(sys *video.System) (Report, error) {
 	}
 
 	// Server: block → swap → resume.
-	t0 := time.Now()
+	t0 := now()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	err = sys.Server.Socket().RequestBlock(ctx)
 	cancel()
@@ -141,10 +152,10 @@ func (s LocalQuiescence) Adapt(sys *video.System) (Report, error) {
 		return rep, err
 	}
 	sys.Server.Socket().Unblock()
-	rep.BlockedWindows[paper.ProcessServer] = time.Since(t0)
+	rep.BlockedWindows[paper.ProcessServer] = since(t0)
 
 	// Handheld: block → swap → resume (no drain!).
-	t0 = time.Now()
+	t0 = now()
 	ctx, cancel = context.WithTimeout(context.Background(), timeout)
 	err = sys.Handheld.Socket().RequestBlock(ctx)
 	cancel()
@@ -155,10 +166,10 @@ func (s LocalQuiescence) Adapt(sys *video.System) (Report, error) {
 		return rep, err
 	}
 	sys.Handheld.Socket().Unblock()
-	rep.BlockedWindows[paper.ProcessHandheld] = time.Since(t0)
+	rep.BlockedWindows[paper.ProcessHandheld] = since(t0)
 
 	// Laptop: block → insert D5, remove D4 → resume.
-	t0 = time.Now()
+	t0 = now()
 	ctx, cancel = context.WithTimeout(context.Background(), timeout)
 	err = sys.Laptop.Socket().RequestBlock(ctx)
 	cancel()
@@ -172,9 +183,9 @@ func (s LocalQuiescence) Adapt(sys *video.System) (Report, error) {
 		return rep, err
 	}
 	sys.Laptop.Socket().Unblock()
-	rep.BlockedWindows[paper.ProcessLaptop] = time.Since(t0)
+	rep.BlockedWindows[paper.ProcessLaptop] = since(t0)
 
-	rep.Duration = time.Since(start)
+	rep.Duration = since(start)
 	return rep, nil
 }
 
@@ -196,7 +207,7 @@ func (s DrainedCompound) Adapt(sys *video.System) (Report, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	start := time.Now()
+	start := now()
 	factory := video.FilterFactory()
 	rep := Report{Strategy: s.Name(), BlockedWindows: make(map[string]time.Duration, 3)}
 
@@ -217,12 +228,12 @@ func (s DrainedCompound) Adapt(sys *video.System) (Report, error) {
 	defer cancel()
 
 	// Freeze upstream first.
-	tServer := time.Now()
+	tServer := now()
 	if err := sys.Server.Socket().RequestBlock(ctx); err != nil {
 		return rep, fmt.Errorf("baseline: block server: %w", err)
 	}
 	// Drain and freeze both receivers.
-	tHH := time.Now()
+	tHH := now()
 	if err := sys.Handheld.Socket().WaitDrained(ctx); err != nil {
 		sys.Server.Socket().Unblock()
 		return rep, err
@@ -231,7 +242,7 @@ func (s DrainedCompound) Adapt(sys *video.System) (Report, error) {
 		sys.Server.Socket().Unblock()
 		return rep, err
 	}
-	tLP := time.Now()
+	tLP := now()
 	if err := sys.Laptop.Socket().WaitDrained(ctx); err != nil {
 		sys.Server.Socket().Unblock()
 		sys.Handheld.Socket().Unblock()
@@ -259,12 +270,12 @@ func (s DrainedCompound) Adapt(sys *video.System) (Report, error) {
 
 	// Resume downstream first, then the sender.
 	sys.Laptop.Socket().Unblock()
-	rep.BlockedWindows[paper.ProcessLaptop] = time.Since(tLP)
+	rep.BlockedWindows[paper.ProcessLaptop] = since(tLP)
 	sys.Handheld.Socket().Unblock()
-	rep.BlockedWindows[paper.ProcessHandheld] = time.Since(tHH)
+	rep.BlockedWindows[paper.ProcessHandheld] = since(tHH)
 	sys.Server.Socket().Unblock()
-	rep.BlockedWindows[paper.ProcessServer] = time.Since(tServer)
+	rep.BlockedWindows[paper.ProcessServer] = since(tServer)
 
-	rep.Duration = time.Since(start)
+	rep.Duration = since(start)
 	return rep, nil
 }

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/action"
@@ -59,8 +60,14 @@ func (s SafeMAP) Adapt(sys *video.System) (Report, error) {
 		}
 		return p
 	}
+	names := make([]string, 0, len(procs))
+	for name := range procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var agents []*agent.Agent
-	for name, proc := range procs {
+	for _, name := range names {
+		proc := procs[name]
 		ep, err := bus.Endpoint(name)
 		if err != nil {
 			return rep, err
@@ -92,9 +99,9 @@ func (s SafeMAP) Adapt(sys *video.System) (Report, error) {
 		return rep, err
 	}
 
-	start := time.Now()
+	start := now()
 	res, err := mgr.Execute(scenario.Source, scenario.Target)
-	rep.Duration = time.Since(start)
+	rep.Duration = since(start)
 	if err != nil {
 		return rep, fmt.Errorf("baseline: safe-map: %w", err)
 	}

@@ -432,12 +432,12 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 	}
 
 	m.tel.Counter("manager.adaptations").Inc()
-	adaptStart := time.Now()
+	adaptStart := m.opts.Clock.Now()
 	span := m.tel.StartSpan("adaptation",
 		telemetry.String("source", reg.BitVector(source)),
 		telemetry.String("target", reg.BitVector(target)))
 	defer func() {
-		m.tel.Histogram("manager.adaptation.latency").ObserveSince(adaptStart)
+		m.tel.Histogram("manager.adaptation.latency").Observe(m.opts.Clock.Now().Sub(adaptStart))
 		span.End()
 	}()
 
@@ -450,9 +450,9 @@ func (m *Manager) ExecuteContext(ctx context.Context, source, target model.Confi
 		return res, jerr
 	}
 	planSpan := span.Child("plan")
-	planStart := time.Now()
+	planStart := m.opts.Clock.Now()
 	path, err := m.plan.Plan(source, target)
-	m.tel.Histogram("manager.plan.latency").ObserveSince(planStart)
+	m.tel.Histogram("manager.plan.latency").Observe(m.opts.Clock.Now().Sub(planStart))
 	if err != nil {
 		planSpan.SetError(err)
 		planSpan.End()

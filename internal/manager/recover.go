@@ -75,13 +75,13 @@ func (m *Manager) Recover(ctx context.Context) (Result, error) {
 		m.tel.SetActiveTrace(fmt.Sprintf("recovery-%d-%d", m.epoch, m.traceSeq))
 	}
 	m.tel.Counter("manager.recoveries").Inc()
-	recStart := time.Now()
+	recStart := m.opts.Clock.Now()
 	span := m.tel.StartSpan("recovery",
 		telemetry.String("current", st.Current),
 		telemetry.String("target", st.Target))
 
 	resolvedVector, rerr := m.resolveInFlightStep(span, st)
-	m.tel.Histogram("manager.recovery.latency").ObserveSince(recStart)
+	m.tel.Histogram("manager.recovery.latency").Observe(m.opts.Clock.Now().Sub(recStart))
 	span.End()
 
 	m.mu.Lock()
@@ -219,6 +219,7 @@ func (m *Manager) recoverResume(span *telemetry.Span, step protocol.Step) error 
 				continue
 			}
 			names = append(names, p)
+			//safeadaptvet:allow journalsend -- re-drives a resume wave whose KindPoNR record was committed by the crashed predecessor; Recover gates this path on st.PastPoNR, which is read back from that committed record
 			_ = m.send(protocol.Message{Type: protocol.MsgResume, To: p, Step: step}, resumeSpan)
 		}
 		got, _ := m.await(context.Background(), names, step, protocol.MsgResumeDone, 0, m.opts.StepTimeout)

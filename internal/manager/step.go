@@ -32,13 +32,13 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	m.stash = m.stash[:0] // drop replies from earlier steps
 
 	m.tel.Counter("manager.steps").Inc()
-	stepStart := time.Now()
+	stepStart := m.opts.Clock.Now()
 	stepSpan := parent.Child("step "+step.Action.ID,
 		telemetry.String("from", rep.From),
 		telemetry.String("to", rep.To),
 		telemetry.String("attempt", strconv.Itoa(attempt)))
 	defer func() {
-		m.tel.Histogram("manager.step.latency").ObserveSince(stepStart)
+		m.tel.Histogram("manager.step.latency").Observe(m.opts.Clock.Now().Sub(stepStart))
 		if rep.BlockedFor > 0 {
 			// Safe-state dwell: the partial-operation window of this step.
 			m.tel.Histogram("manager.step.dwell").Observe(rep.BlockedFor)

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ type Clock interface {
 
 type systemClock struct{}
 
+//safeadaptvet:allow determinism -- SystemClock is the wall-clock default behind the injectable Clock seam; deterministic runs inject a virtual clock instead
 func (systemClock) Now() time.Time        { return time.Now() }
 func (systemClock) Sleep(d time.Duration) { time.Sleep(d) }
 
@@ -221,6 +223,7 @@ func (g *Group) Close() error {
 		subs = append(subs, s)
 	}
 	g.mu.Unlock()
+	sort.Slice(subs, func(i, j int) bool { return subs[i].name < subs[j].name })
 
 	for _, s := range subs {
 		s.close()

@@ -127,6 +127,6 @@ func (p *Planner) PlanDecomposed(source, target model.Config) (DecomposedPlan, e
 
 // planMasked is PlanLazy restricted to a subset of actions.
 func (p *Planner) planMasked(source, target model.Config, acts []action.Action) (sag.Path, error) {
-	sub := &Planner{reg: p.reg, invs: p.invs, actions: acts}
+	sub := &Planner{reg: p.reg, invs: p.invs, actions: acts, now: p.now}
 	return sub.PlanLazy(source, target)
 }

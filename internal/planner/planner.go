@@ -36,6 +36,10 @@ type Planner struct {
 	// Cached results of the eager pipeline. Populated lazily.
 	safe  []model.Config
 	graph *sag.Graph
+
+	// now supplies the timestamps feeding the latency histograms; tests
+	// swap in a virtual clock through SetNow to keep runs replayable.
+	now func() time.Time
 }
 
 // New validates the actions against the registry and returns a planner.
@@ -58,9 +62,20 @@ func New(invs *invariant.Set, actions []action.Action) (*Planner, error) {
 		reg:     reg,
 		invs:    invs,
 		actions: make([]action.Action, len(actions)),
+		//safeadaptvet:allow determinism -- the single injectable wall-clock seam; it only feeds latency histograms, never planning decisions
+		now: time.Now,
 	}
 	copy(p.actions, actions)
 	return p, nil
+}
+
+// SetNow replaces the planner's clock. Nil restores the wall clock.
+func (p *Planner) SetNow(now func() time.Time) {
+	if now == nil {
+		//safeadaptvet:allow determinism -- restoring the wall-clock default of the injectable seam
+		now = time.Now
+	}
+	p.now = now
 }
 
 // Registry returns the component registry.
@@ -95,9 +110,9 @@ func (p *Planner) ActionByID(id string) (action.Action, error) {
 // computing and caching it on first use.
 func (p *Planner) SafeConfigs() []model.Config {
 	if p.safe == nil {
-		start := time.Now()
+		start := p.now()
 		p.safe = p.invs.SafeConfigs()
-		p.tel.Histogram("planner.safe_enum.latency").ObserveSince(start)
+		p.tel.Histogram("planner.safe_enum.latency").Observe(p.now().Sub(start))
 		p.tel.Gauge("planner.safe_configs").Set(int64(len(p.safe)))
 	} else {
 		p.tel.Counter("planner.safe_enum.cache_hits").Inc()
@@ -111,12 +126,12 @@ func (p *Planner) SafeConfigs() []model.Config {
 // and caching it on first use.
 func (p *Planner) Graph() (*sag.Graph, error) {
 	if p.graph == nil {
-		start := time.Now()
+		start := p.now()
 		g, err := sag.Build(p.reg, p.SafeConfigs(), p.actions)
 		if err != nil {
 			return nil, err
 		}
-		p.tel.Histogram("planner.graph_build.latency").ObserveSince(start)
+		p.tel.Histogram("planner.graph_build.latency").Observe(p.now().Sub(start))
 		p.tel.Gauge("planner.sag.nodes").Set(int64(g.NumNodes()))
 		p.tel.Gauge("planner.sag.edges").Set(int64(g.NumEdges()))
 		p.graph = g
@@ -140,9 +155,9 @@ func (p *Planner) Plan(source, target model.Config) (sag.Path, error) {
 		return sag.Path{}, err
 	}
 	p.tel.Counter("planner.plans").Inc()
-	start := time.Now()
+	start := p.now()
 	path, err := g.ShortestPath(source, target)
-	p.tel.Histogram("planner.dijkstra.latency").ObserveSince(start)
+	p.tel.Histogram("planner.dijkstra.latency").Observe(p.now().Sub(start))
 	return path, err
 }
 
@@ -155,9 +170,9 @@ func (p *Planner) Alternatives(source, target model.Config, k int) ([]sag.Path, 
 		return nil, err
 	}
 	p.tel.Counter("planner.kshortest.plans").Inc()
-	start := time.Now()
+	start := p.now()
 	paths, err := g.KShortestPaths(source, target, k)
-	p.tel.Histogram("planner.kshortest.latency").ObserveSince(start)
+	p.tel.Histogram("planner.kshortest.latency").Observe(p.now().Sub(start))
 	return paths, err
 }
 
@@ -214,8 +229,8 @@ func (p *Planner) PlanLazy(source, target model.Config) (sag.Path, error) {
 		return sag.Path{}, nil
 	}
 	p.tel.Counter("planner.lazy.plans").Inc()
-	start := time.Now()
-	defer func() { p.tel.Histogram("planner.lazy.latency").ObserveSince(start) }()
+	start := p.now()
+	defer func() { p.tel.Histogram("planner.lazy.latency").Observe(p.now().Sub(start)) }()
 
 	type visit struct {
 		dist time.Duration

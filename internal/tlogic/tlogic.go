@@ -79,6 +79,21 @@ type Monitor struct {
 	waiters []chan struct{}
 
 	observed uint64
+
+	// now supplies timestamps for SafetyPoll's stability window; tests
+	// swap in a virtual clock through SetNow to keep runs replayable.
+	now func() time.Time
+}
+
+// SetNow replaces the monitor's clock. Nil restores the wall clock.
+func (m *Monitor) SetNow(now func() time.Time) {
+	if now == nil {
+		//safeadaptvet:allow determinism -- restoring the wall-clock default of the injectable seam
+		now = time.Now
+	}
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
 }
 
 // NewMonitor builds a monitor for the given rules.
@@ -91,6 +106,8 @@ func NewMonitor(rules []Rule) (*Monitor, error) {
 		byDischarge: make(map[string][]int),
 		rules:       append([]Rule(nil), rules...),
 		pending:     make([]map[uint64]int, len(rules)),
+		//safeadaptvet:allow determinism -- the single injectable wall-clock seam; SafetyPoll's stability window defaults to real time, tests swap it via SetNow
+		now: time.Now,
 	}
 	for i, r := range rules {
 		if r.Trigger == "" || r.Discharge == "" {
@@ -361,7 +378,7 @@ func (m *Monitor) SafetyPoll(window time.Duration) func() bool {
 			since = time.Time{}
 			return false
 		}
-		now := time.Now()
+		now := m.now()
 		if since.IsZero() {
 			since = now
 			return window <= 0

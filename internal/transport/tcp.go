@@ -80,6 +80,7 @@ func (m *TCPManager) Send(msg protocol.Message) error {
 	m.tel.Load().Counter("transport.tcp.frames_sent").Inc()
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
+	//safeadaptvet:allow locksend -- sendMu is a dedicated frame-write serializer guarding no protocol state; conn was copied out from under the state lock m.mu above
 	return protocol.WriteFrame(conn, msg)
 }
 
@@ -315,6 +316,10 @@ type ReconnectingAgent struct {
 	stop   chan struct{}
 	wg     sync.WaitGroup
 
+	// sendMu serializes frame writes so concurrent Sends cannot
+	// interleave bytes; it is never held together with mu.
+	sendMu sync.Mutex
+
 	redial time.Duration
 }
 
@@ -375,13 +380,20 @@ func (a *ReconnectingAgent) Send(msg protocol.Message) error {
 		return fmt.Errorf("transport: agent %q can only send to the manager, not %q", a.name, msg.To)
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.conn == nil {
+	conn := a.conn
+	a.mu.Unlock()
+	if conn == nil {
 		a.tel.Load().Counter("transport.tcp.send_errors").Inc()
 		return fmt.Errorf("transport: agent %q disconnected from manager", a.name)
 	}
 	a.tel.Load().Counter("transport.tcp.frames_sent").Inc()
-	return protocol.WriteFrame(a.conn, msg)
+	// If the redial loop swaps the connection after the copy, the write
+	// fails on the stale conn — indistinguishable from message loss, which
+	// the protocol already recovers from.
+	a.sendMu.Lock()
+	defer a.sendMu.Unlock()
+	//safeadaptvet:allow locksend -- sendMu is a dedicated frame-write serializer guarding no protocol state; conn was copied out from under the state lock a.mu above
+	return protocol.WriteFrame(conn, msg)
 }
 
 // Close implements Endpoint.
