@@ -11,6 +11,7 @@
 //	BenchmarkRealizationOverTCP       Sec. 5.2 — same, on real TCP connections
 //	BenchmarkCrashRecoveryOverTCP     Sec. 4.4 — manager failover via journal replay
 //	BenchmarkTelemetryOverhead        instrumented vs uninstrumented realization
+//	BenchmarkFTDCCapture              always-on capture overhead (off vs 1 Hz vs 10 Hz)
 //	BenchmarkAdaptationStrategies     claim    — safe vs unsafe under live video
 //	BenchmarkAblationCompoundOnly     Table 2  — compound-only planning cost
 //	BenchmarkScalabilitySAG           Sec. 7   — eager vs lazy vs decomposed growth
@@ -32,6 +33,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/baseline"
 	"repro/internal/cipherkit"
+	"repro/internal/ftdc"
 	"repro/internal/invariant"
 	"repro/internal/journal"
 	"repro/internal/manager"
@@ -244,6 +246,63 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("nil", func(b *testing.B) { run(b, nil) })
 	b.Run("live", func(b *testing.B) { run(b, safeadapt.NewTelemetry()) })
+}
+
+// BenchmarkFTDCCapture measures what the always-on metrics capture
+// costs the workload it observes. Each variant runs the fully
+// instrumented adaptation loop (live telemetry, like
+// BenchmarkTelemetryOverhead/live); "1Hz" and "10Hz" add a Capturer
+// sampling the registry into a real file at that rate. The sampler is a
+// background goroutine, so the cost to the workload is shared CPU and
+// the registry read locks it takes — at the default 1 Hz the delta
+// against "off" must stay under 1% (the acceptance bar for leaving
+// capture on in production); 10 Hz shows the cost scaling roughly
+// linearly with the sampling rate.
+func BenchmarkFTDCCapture(b *testing.B) {
+	sys, err := safeadapt.PaperCaseStudy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, interval time.Duration) {
+		b.Helper()
+		tel := safeadapt.NewTelemetry()
+		if interval > 0 {
+			capt, err := ftdc.StartCapture(tel, filepath.Join(b.TempDir(), "bench.ftdc"),
+				ftdc.CaptureOptions{Interval: interval})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := capt.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			procs := map[string]safeadapt.LocalProcess{
+				paper.ProcessServer:   nopProc{},
+				paper.ProcessHandheld: nopProc{},
+				paper.ProcessLaptop:   nopProc{},
+			}
+			dep, err := sys.Deploy(procs, safeadapt.DeployOptions{
+				StepTimeout: 5 * time.Second,
+				Telemetry:   tel,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := dep.Adapt(sys.Source(), sys.Target())
+			dep.Close()
+			if err != nil || !res.Completed {
+				b.Fatalf("adapt: %v %+v", err, res)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("1Hz", func(b *testing.B) { run(b, time.Second) })
+	b.Run("10Hz", func(b *testing.B) { run(b, 100*time.Millisecond) })
 }
 
 // BenchmarkRealizationOverTCP is BenchmarkPaperScenarioRealization with

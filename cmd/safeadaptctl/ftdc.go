@@ -1,0 +1,153 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/ftdc"
+)
+
+// ftdcCmd inspects always-on capture files:
+//
+//	safeadaptctl ftdc info <file.ftdc>              # chunk/sample/metric counts, time range, torn tail
+//	safeadaptctl ftdc decode [-csv] <file.ftdc>     # every recovered sample, as JSON (default) or CSV
+//	safeadaptctl ftdc summary [-json] <file.ftdc>   # per-metric min/max/first/last/rate
+//
+// All three tolerate a torn tail: a capture truncated by a crash still
+// yields every durably framed sample, and the discarded byte count is
+// reported so the reader knows the file ends at the crash, not cleanly.
+func ftdcCmd(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: safeadaptctl ftdc <info|decode|summary> [flags] <file.ftdc>")
+	}
+	sub, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("ftdc "+sub, flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "machine-readable JSON output (summary)")
+	asCSV := fs.Bool("csv", false, "CSV output, one row per sample (decode)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("ftdc %s: exactly one capture file expected", sub)
+	}
+	capt, err := ftdc.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	switch sub {
+	case "info":
+		return ftdcInfo(capt, out)
+	case "decode":
+		if *asCSV {
+			return ftdcDecodeCSV(capt, out)
+		}
+		return ftdcDecodeJSON(capt, out)
+	case "summary":
+		if *asJSON {
+			return writeJSON(out, capt.Summarize())
+		}
+		return ftdcSummaryTable(capt, out)
+	default:
+		return fmt.Errorf("ftdc: unknown subcommand %q (want info, decode or summary)", sub)
+	}
+}
+
+func ftdcInfo(capt *ftdc.Capture, out io.Writer) error {
+	first, last := capt.TimeRange()
+	fmt.Fprintf(out, "chunks:  %d\n", len(capt.Chunks))
+	fmt.Fprintf(out, "samples: %d\n", capt.NumSamples())
+	fmt.Fprintf(out, "metrics: %d\n", len(capt.MetricNames()))
+	if first != 0 {
+		fmt.Fprintf(out, "window:  %s .. %s (%v)\n",
+			time.Unix(0, first).UTC().Format(time.RFC3339Nano),
+			time.Unix(0, last).UTC().Format(time.RFC3339Nano),
+			time.Duration(last-first).Round(time.Millisecond))
+	}
+	for i, ch := range capt.Chunks {
+		fmt.Fprintf(out, "chunk %d: %d metrics, %d samples\n", i, len(ch.Schema), len(ch.Samples))
+	}
+	if capt.TornBytes > 0 {
+		fmt.Fprintf(out, "torn tail: %d bytes discarded (capture ends at a crash or in-progress write)\n", capt.TornBytes)
+	}
+	return nil
+}
+
+// ftdcDecodeJSON emits every sample as one JSON document per chunk, with
+// the schema alongside the rows so the output is self-describing.
+func ftdcDecodeJSON(capt *ftdc.Capture, out io.Writer) error {
+	type row struct {
+		AtUnixNanos int64   `json:"atUnixNanos"`
+		Values      []int64 `json:"values"`
+	}
+	type chunkDoc struct {
+		Schema  []string `json:"schema"`
+		Samples []row    `json:"samples"`
+	}
+	doc := struct {
+		Chunks    []chunkDoc `json:"chunks"`
+		TornBytes int64      `json:"tornBytes,omitempty"`
+	}{TornBytes: capt.TornBytes}
+	for _, ch := range capt.Chunks {
+		cd := chunkDoc{Schema: ch.Schema}
+		for _, s := range ch.Samples {
+			cd.Samples = append(cd.Samples, row{AtUnixNanos: s.AtUnixNanos, Values: s.Values})
+		}
+		doc.Chunks = append(doc.Chunks, cd)
+	}
+	return writeJSON(out, doc)
+}
+
+// ftdcDecodeCSV emits one CSV table over the union schema: a header of
+// metric names, then one row per sample with empty cells for metrics the
+// sample's chunk did not carry.
+func ftdcDecodeCSV(capt *ftdc.Capture, out io.Writer) error {
+	names := capt.MetricNames()
+	col := make(map[string]int, len(names))
+	for i, n := range names {
+		col[n] = i
+	}
+	header := append([]string{"atUnixNanos"}, names...)
+	if _, err := fmt.Fprintln(out, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	cells := make([]string, len(header))
+	for _, ch := range capt.Chunks {
+		for _, s := range ch.Samples {
+			cells[0] = strconv.FormatInt(s.AtUnixNanos, 10)
+			for i := 1; i < len(cells); i++ {
+				cells[i] = ""
+			}
+			for i, name := range ch.Schema {
+				cells[1+col[name]] = strconv.FormatInt(s.Values[i], 10)
+			}
+			if _, err := fmt.Fprintln(out, strings.Join(cells, ",")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func ftdcSummaryTable(capt *ftdc.Capture, out io.Writer) error {
+	sums := capt.Summarize()
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "metric\tsamples\tfirst\tlast\tmin\tmax\trate/s")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+			s.Name, s.Samples, s.First, s.Last, s.Min, s.Max, s.RatePerSec)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if capt.TornBytes > 0 {
+		fmt.Fprintf(out, "torn tail: %d bytes discarded\n", capt.TornBytes)
+	}
+	return nil
+}

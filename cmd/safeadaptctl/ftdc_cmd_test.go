@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ftdc"
+	"repro/internal/telemetry"
+)
+
+// writeTestCapture builds a small two-phase capture: a counter that
+// climbs, then a schema change adding a second metric.
+func writeTestCapture(t *testing.T, path string) {
+	t.Helper()
+	w, err := ftdc.NewWriter(path, ftdc.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.WriteSample(int64(1e9*(i+1)), []string{"counter.drops"}, []int64{int64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if err := w.WriteSample(int64(1e9*(i+1)), []string{"counter.drops", "gauge.depth"}, []int64{int64(i * 10), 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFTDCCommandInfoDecodeSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.ftdc")
+	writeTestCapture(t, path)
+
+	var out bytes.Buffer
+	if err := run([]string{"ftdc", "info", path}, &out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if !strings.Contains(out.String(), "samples: 8") || !strings.Contains(out.String(), "chunks:  2") {
+		t.Fatalf("info output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"ftdc", "summary", path}, &out); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if !strings.Contains(out.String(), "counter.drops") || !strings.Contains(out.String(), "70") {
+		t.Fatalf("summary output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"ftdc", "summary", "-json", path}, &out); err != nil {
+		t.Fatalf("summary -json: %v", err)
+	}
+	var sums []ftdc.MetricSummary
+	if err := json.Unmarshal(out.Bytes(), &sums); err != nil {
+		t.Fatalf("summary -json not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(sums) != 2 || sums[0].Name != "counter.drops" || sums[0].Last != 70 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+
+	out.Reset()
+	if err := run([]string{"ftdc", "decode", path}, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var doc struct {
+		Chunks []struct {
+			Schema  []string `json:"schema"`
+			Samples []struct {
+				AtUnixNanos int64   `json:"atUnixNanos"`
+				Values      []int64 `json:"values"`
+			} `json:"samples"`
+		} `json:"chunks"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("decode not valid JSON: %v", err)
+	}
+	if len(doc.Chunks) != 2 || len(doc.Chunks[0].Samples) != 5 || doc.Chunks[0].Samples[4].Values[0] != 40 {
+		t.Fatalf("decoded doc = %+v", doc)
+	}
+
+	out.Reset()
+	if err := run([]string{"ftdc", "decode", "-csv", path}, &out); err != nil {
+		t.Fatalf("decode -csv: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 9 { // header + 8 samples
+		t.Fatalf("CSV has %d lines, want 9:\n%s", len(lines), out.String())
+	}
+	if lines[0] != "atUnixNanos,counter.drops,gauge.depth" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	// A chunk-1 row has no gauge.depth column: empty trailing cell.
+	if !strings.HasSuffix(lines[1], ",") {
+		t.Fatalf("chunk-1 CSV row should have an empty gauge cell: %q", lines[1])
+	}
+	if lines[8] != "8000000000,70,7" {
+		t.Fatalf("last CSV row = %q", lines[8])
+	}
+}
+
+// TestFTDCCommandDecodeTornCapture: decode on a crash-truncated file
+// round-trips every durably framed sample and reports the torn tail.
+func TestFTDCCommandDecodeTornCapture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.ftdc")
+	writeTestCapture(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the final frame.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"ftdc", "info", path}, &out); err != nil {
+		t.Fatalf("info on torn capture: %v", err)
+	}
+	if !strings.Contains(out.String(), "samples: 7") || !strings.Contains(out.String(), "torn tail") {
+		t.Fatalf("torn info output:\n%s", out.String())
+	}
+}
+
+func TestFTDCCommandErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"ftdc"}, &out); err == nil {
+		t.Fatal("bare ftdc accepted")
+	}
+	if err := run([]string{"ftdc", "bogus", "x"}, &out); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"ftdc", "info"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestPostmortemSplicesCaptures: a bundle dir that also holds a *.ftdc
+// capture gets a metrics section under the timeline, in both text and
+// JSON output.
+func TestPostmortemSplicesCaptures(t *testing.T) {
+	dir := t.TempDir()
+	fr := telemetry.NewFlightRecorder("server", 16)
+	fr.Record(telemetry.FlightEvent{Kind: telemetry.FlightState, Detail: "running -> preparing"})
+	if _, err := fr.DumpToDir(dir, "failure"); err != nil {
+		t.Fatal(err)
+	}
+	writeTestCapture(t, filepath.Join(dir, "server.ftdc"))
+
+	var out bytes.Buffer
+	if err := run([]string{"postmortem", "-dir", dir}, &out); err != nil {
+		t.Fatalf("postmortem: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "metrics capture server.ftdc") {
+		t.Fatalf("no capture section in postmortem output:\n%s", text)
+	}
+	if !strings.Contains(text, "counter.drops") || !strings.Contains(text, "0 -> 70") {
+		t.Fatalf("capture metrics not rendered:\n%s", text)
+	}
+
+	out.Reset()
+	if err := run([]string{"postmortem", "-dir", dir, "-json"}, &out); err != nil {
+		t.Fatalf("postmortem -json: %v", err)
+	}
+	var doc struct {
+		Captures []captureDoc `json:"captures"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Captures) != 1 || doc.Captures[0].Samples != 8 || len(doc.Captures[0].Metrics) != 2 {
+		t.Fatalf("captures = %+v", doc.Captures)
+	}
+}

@@ -16,6 +16,9 @@
 //	safeadaptctl check -crash N              # also kill the manager at every journal record boundary
 //	safeadaptctl journal <file.journal>      # inspect a manager write-ahead log and its recovery state
 //	safeadaptctl postmortem -dir <dir>       # merge per-node flight-recorder bundles into a causal timeline
+//	safeadaptctl ftdc info <file.ftdc>       # inspect an always-on metrics capture
+//	safeadaptctl ftdc decode [-csv] <file>   # dump every recovered capture sample as JSON or CSV
+//	safeadaptctl ftdc summary [-json] <file> # per-metric min/max/first/last/rate across the capture
 //	safeadaptctl vet [-run names] [pkgs]     # run the safeadaptvet protocol-invariant analyzers
 //	safeadaptctl template                    # emit the case study as JSON (a spec template)
 //
@@ -44,7 +47,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|journal|postmortem|vet|template> [flags]")
+		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|journal|postmortem|ftdc|vet|template> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -59,6 +62,10 @@ func run(args []string, out io.Writer) error {
 	if cmd == "postmortem" {
 		// postmortem has its own flag set (bundle dir, output shape).
 		return postmortem(rest, out)
+	}
+	if cmd == "ftdc" {
+		// ftdc has its own sub-subcommands (info, decode, summary).
+		return ftdcCmd(rest, out)
 	}
 	if cmd == "vet" {
 		// vet has its own flag set (analyzer selection, package patterns).

@@ -4,7 +4,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"path/filepath"
+	"sort"
+	"time"
 
+	"repro/internal/ftdc"
 	"repro/internal/telemetry"
 )
 
@@ -12,8 +16,12 @@ import (
 // per-node flight-recorder bundles in a directory: it merges every node's
 // black-box events into one causally ordered global timeline (Lamport
 // order, deterministic ties), splices the per-node spans into a single
-// cross-node tree, and flags causality anomalies. A non-empty anomaly set
-// yields a non-nil error so scripts can gate on the exit code.
+// cross-node tree, and flags causality anomalies. Any *.ftdc capture
+// files sitting next to the bundles are decoded too, and the metrics
+// that moved over the capture window are spliced in beneath the
+// timeline — the always-on numbers that frame the causal story. A
+// non-empty anomaly set yields a non-nil error so scripts can gate on
+// the exit code.
 func postmortem(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("postmortem", flag.ContinueOnError)
 	dir := fs.String("dir", "", "directory holding the *.flightrec.json bundles (required)")
@@ -32,15 +40,25 @@ func postmortem(args []string, out io.Writer) error {
 	}
 	timeline := telemetry.MergeTimeline(bundles)
 	anomalies := telemetry.CheckCausality(bundles)
+	captures := loadCaptures(*dir)
 
 	if *asJSON {
 		doc := struct {
 			Nodes     []string                `json:"nodes"`
 			Timeline  []telemetry.FlightEvent `json:"timeline"`
 			Anomalies []telemetry.Anomaly     `json:"anomalies"`
+			Captures  []captureDoc            `json:"captures,omitempty"`
 		}{Timeline: timeline, Anomalies: anomalies}
 		for _, b := range bundles {
 			doc.Nodes = append(doc.Nodes, b.Node)
+		}
+		for _, c := range captures {
+			doc.Captures = append(doc.Captures, captureDoc{
+				File:      filepath.Base(c.path),
+				Samples:   c.capt.NumSamples(),
+				TornBytes: c.capt.TornBytes,
+				Metrics:   c.capt.Summarize(),
+			})
 		}
 		if err := writeJSON(out, doc); err != nil {
 			return err
@@ -59,6 +77,10 @@ func postmortem(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "\n== merged timeline (%d events, Lamport order) ==\n", len(timeline))
 	telemetry.RenderTimeline(out, timeline)
 
+	for _, c := range captures {
+		renderCapture(out, c)
+	}
+
 	if !*noTree {
 		fmt.Fprintln(out, "\n== cross-node span tree ==")
 		telemetry.RenderCrossNodeTree(out, bundles)
@@ -73,4 +95,64 @@ func postmortem(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "\nno causality anomalies")
 	return nil
+}
+
+// captureDoc is the JSON shape of one spliced capture file.
+type captureDoc struct {
+	File      string               `json:"file"`
+	Samples   int                  `json:"samples"`
+	TornBytes int64                `json:"tornBytes,omitempty"`
+	Metrics   []ftdc.MetricSummary `json:"metrics"`
+}
+
+// loadedCapture pairs a decoded capture with its file path.
+type loadedCapture struct {
+	path string
+	capt *ftdc.Capture
+}
+
+// loadCaptures decodes every *.ftdc file in dir, sorted by name.
+// Unreadable files are skipped — the post-mortem must still render from
+// whatever survived the incident.
+func loadCaptures(dir string) []loadedCapture {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ftdc"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(paths)
+	var out []loadedCapture
+	for _, p := range paths {
+		capt, err := ftdc.ReadFile(p)
+		if err != nil || capt.NumSamples() == 0 {
+			continue
+		}
+		out = append(out, loadedCapture{path: p, capt: capt})
+	}
+	return out
+}
+
+// renderCapture prints the metrics that actually moved over the capture
+// window (steady metrics are summarized by count only), so the reader
+// sees the numbers behind the causal timeline without a 60-row dump.
+func renderCapture(out io.Writer, c loadedCapture) {
+	first, last := c.capt.TimeRange()
+	fmt.Fprintf(out, "\n== metrics capture %s (%d samples over %v) ==\n",
+		filepath.Base(c.path), c.capt.NumSamples(),
+		time.Duration(last-first).Round(time.Millisecond))
+	sums := c.capt.Summarize()
+	moved := 0
+	for _, s := range sums {
+		if s.Min == s.Max {
+			continue
+		}
+		moved++
+		fmt.Fprintf(out, "  %-42s %d -> %d (min %d, max %d, %.2f/s)\n",
+			s.Name, s.First, s.Last, s.Min, s.Max, s.RatePerSec)
+	}
+	if steady := len(sums) - moved; steady > 0 {
+		fmt.Fprintf(out, "  (%d further metrics unchanged over the window)\n", steady)
+	}
+	if c.capt.TornBytes > 0 {
+		fmt.Fprintf(out, "  torn tail: %d bytes discarded (capture ends at the crash)\n", c.capt.TornBytes)
+	}
 }

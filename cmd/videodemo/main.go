@@ -5,9 +5,17 @@
 // path. The demo prints the plan, per-step progress, and the final
 // integrity statistics of both clients.
 //
+// The monitor strategy closes the paper's control loop instead of
+// adapting on a schedule: the stream starts healthy, the handheld link
+// degrades mid-run, a live monitor watching the link's loss rate fires,
+// and the adaptation is requested by the monitor — monitor → plan → act,
+// with no human in the loop. Combine with -ftdc to keep an always-on
+// metrics capture of the whole episode.
+//
 // Usage:
 //
-//	videodemo [-frames N] [-interval D] [-strategy safe|unsafe|quiesce|compound]
+//	videodemo [-frames N] [-interval D] [-strategy safe|unsafe|quiesce|compound|monitor]
+//	videodemo -strategy monitor [-ftdc capture.ftdc] [-ftdc-interval D]
 package main
 
 import (
@@ -19,15 +27,13 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/action"
-	"repro/internal/agent"
 	"repro/internal/baseline"
+	"repro/internal/ftdc"
 	"repro/internal/manager"
+	"repro/internal/monitor"
 	"repro/internal/netsim"
 	"repro/internal/paper"
-	"repro/internal/planner"
 	"repro/internal/telemetry"
-	"repro/internal/transport"
 	"repro/internal/video"
 )
 
@@ -41,10 +47,12 @@ func main() {
 func run() error {
 	frames := flag.Int("frames", 300, "frames to stream")
 	interval := flag.Duration("interval", 500*time.Microsecond, "inter-frame interval")
-	strategy := flag.String("strategy", "safe", "adaptation strategy: safe, unsafe, quiesce, compound")
+	strategy := flag.String("strategy", "safe", "adaptation strategy: safe, unsafe, quiesce, compound, monitor")
 	loss := flag.Float64("loss", 0, "per-link datagram loss rate in [0,1]")
 	latency := flag.Duration("latency", 4*time.Millisecond, "handheld link latency (laptop gets half)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/adaptation on this address (empty = disabled)")
+	ftdcPath := flag.String("ftdc", "", "write an always-on FTDC metrics capture to this file (empty = $SAFEADAPT_FTDC_DIR/videodemo.ftdc, unset = disabled; safe and monitor strategies)")
+	ftdcInterval := flag.Duration("ftdc-interval", 250*time.Millisecond, "FTDC sampling period")
 	flag.Parse()
 
 	var tel *telemetry.Registry
@@ -56,6 +64,12 @@ func run() error {
 		}
 		fmt.Printf("metrics on http://%s/metrics and http://%s/debug/adaptation\n", ln.Addr(), ln.Addr())
 		go func() { _ = http.Serve(ln, tel.Handler()) }()
+	}
+	capturePath := *ftdcPath
+	if capturePath == "" {
+		if dir := os.Getenv("SAFEADAPT_FTDC_DIR"); dir != "" {
+			capturePath = dir + "/videodemo.ftdc"
+		}
 	}
 
 	opts := baseline.ExperimentOptions{
@@ -70,7 +84,19 @@ func run() error {
 
 	switch *strategy {
 	case "safe":
+		tel, capt, err := armCapture(tel, capturePath, *ftdcInterval)
+		if err != nil {
+			return err
+		}
+		defer closeCapture(capt)
 		return runSafeOverTCP(opts, tel)
+	case "monitor":
+		tel, capt, err := armCapture(tel, capturePath, *ftdcInterval)
+		if err != nil {
+			return err
+		}
+		defer closeCapture(capt)
+		return runMonitorLoop(opts, tel)
 	case "unsafe":
 		return report(baseline.Run(baseline.UnsafeDirect{}, opts))
 	case "quiesce":
@@ -82,108 +108,152 @@ func run() error {
 	}
 }
 
+// armCapture starts the always-on capture when a path is configured. It
+// needs a registry (created here if -metrics did not) and a flight
+// recorder, because flight-recorder auto-dumps are what finalize the
+// capture at failure points; a dumpless recorder is attached when none
+// exists.
+func armCapture(tel *telemetry.Registry, path string, interval time.Duration) (*telemetry.Registry, *ftdc.Capturer, error) {
+	if path == "" {
+		return tel, nil, nil
+	}
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	if tel.Flight() == nil {
+		fr := telemetry.NewFlightRecorder("videodemo", 0)
+		tel.AttachFlight(fr)
+	}
+	capt, err := ftdc.StartCapture(tel, path, ftdc.CaptureOptions{Interval: interval})
+	if err != nil {
+		return tel, nil, err
+	}
+	fmt.Printf("FTDC capture -> %s (every %v)\n", path, interval)
+	return tel, capt, nil
+}
+
+func closeCapture(capt *ftdc.Capturer) {
+	if capt != nil {
+		_ = capt.Close()
+	}
+}
+
+// runMonitorLoop is the closed control loop: stream healthy, degrade the
+// handheld link mid-run, let the monitor notice and request the DES-64 →
+// DES-128 adaptation through the planner→manager pipeline, then restore
+// the link and finish the stream on the hardened configuration.
+func runMonitorLoop(opts baseline.ExperimentOptions, tel *telemetry.Registry) error {
+	if tel == nil {
+		tel = telemetry.NewRegistry() // the monitor needs live metrics
+	}
+	rig, err := wireTCP(opts, tel, func(format string, args ...any) {
+		fmt.Printf("  manager: "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer rig.cleanup()
+
+	adapted := make(chan manager.Result, 1)
+	mon, err := monitor.New(tel, monitor.Rule{
+		Name:      "handheld-loss",
+		Source:    monitor.LossRate(rig.sys.HandheldSub),
+		Threshold: 0.15, // fire when >15% of the window's datagrams die
+		Clear:     0.05, // re-arm only once the link is genuinely healthy
+		Debounce:  2,    // two consecutive bad windows, not one unlucky one
+		Trigger: func() error {
+			fmt.Println("monitor: loss threshold breached; requesting adaptation")
+			res, execErr := rig.mgr.Execute(rig.scenario.Source, rig.scenario.Target)
+			if execErr != nil {
+				return execErr
+			}
+			adapted <- res
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	mon.Start(50 * time.Millisecond)
+
+	// Stream in the background; degrade the handheld link mid-run.
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- rig.sys.Server.Stream(context.Background(), opts.Frames, opts.BodySize, opts.Interval)
+	}()
+	for int(rig.sys.Server.FramesSent()) < opts.AdaptAfter {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("\nlink event: handheld loss ramps to 35%")
+	if err := rig.sys.Group.SetLossRate(paper.ProcessHandheld, 0.35); err != nil {
+		return err
+	}
+
+	var res manager.Result
+	select {
+	case res = <-adapted:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("monitor never completed an adaptation")
+	}
+	fmt.Printf("adaptation %s, driven by the monitor:\n", outcome(res))
+	for _, sr := range res.Steps {
+		fmt.Printf("  step %-4s %s -> %s  outcome=%-11s blocked=%v\n",
+			sr.ActionID, sr.From, sr.To, sr.Outcome, sr.BlockedFor.Round(100*time.Microsecond))
+	}
+
+	fmt.Println("link event: handheld loss recovers to 1%")
+	if err := rig.sys.Group.SetLossRate(paper.ProcessHandheld, 0.01); err != nil {
+		return err
+	}
+
+	if err := <-streamErr; err != nil {
+		return err
+	}
+	if err := rig.sys.Drain(5 * time.Second); err != nil {
+		return err
+	}
+	hh := rig.sys.Handheld.Player().Finalize()
+	lp := rig.sys.Laptop.Player().Finalize()
+	fmt.Printf("\nfinal chains: %v\n", rig.sys.ConfigurationOf())
+	printStats("handheld", hh)
+	printStats("laptop", lp)
+	fmt.Printf("monitor: fires=%d triggers completed=%d\n",
+		tel.Counter("monitor.fires").Value(), tel.Counter("monitor.triggers.completed").Value())
+	return rig.sys.Close()
+}
+
 // runSafeOverTCP is the full deployment shape of the paper: a TCP
 // listener for the manager, one TCP connection per agent, live video in
 // the background, and the MAP executed step by step.
 func runSafeOverTCP(opts baseline.ExperimentOptions, tel *telemetry.Registry) error {
-	scenario, err := paper.NewScenario()
-	if err != nil {
-		return err
-	}
-	plan, err := planner.New(scenario.Invariants, scenario.Actions)
-	if err != nil {
-		return err
-	}
-	plan.SetTelemetry(tel)
-
-	sys, err := video.NewSystem(video.SystemOptions{
-		Seed:      opts.Seed,
-		Handheld:  opts.Handheld,
-		Laptop:    opts.Laptop,
-		Telemetry: tel,
+	rig, err := wireTCP(opts, tel, func(format string, args ...any) {
+		fmt.Printf("  manager: "+format+"\n", args...)
 	})
 	if err != nil {
 		return err
 	}
+	defer rig.cleanup()
 
-	// Manager endpoint on a real TCP listener.
-	mgrEP, err := transport.ListenTCP("127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	mgrEP.SetTelemetry(tel)
-	defer func() { _ = mgrEP.Close() }()
-	fmt.Printf("adaptation manager listening on %s\n", mgrEP.Addr())
-
-	// Agents dial in over TCP.
-	processOf := func(c string) string {
-		p, perr := scenario.Registry.ProcessOf(c)
-		if perr != nil {
-			return ""
-		}
-		return p
-	}
-	var agents []*agent.Agent
-	for name, proc := range sys.Processes() {
-		ep, err := transport.DialTCP(name, mgrEP.Addr())
-		if err != nil {
-			return err
-		}
-		ep.SetTelemetry(tel)
-		ag, err := agent.New(name, ep, proc, agent.Options{
-			ResetTimeout: 5 * time.Second,
-			ProcessOf:    processOf,
-			Telemetry:    tel,
-		})
-		if err != nil {
-			return err
-		}
-		agents = append(agents, ag)
-		go ag.Run()
-		fmt.Printf("agent %-9s connected\n", name)
-	}
-	defer func() {
-		for _, ag := range agents {
-			ag.Close()
-		}
-	}()
-	if err := mgrEP.WaitForAgents(5*time.Second, paper.ProcessServer, paper.ProcessHandheld, paper.ProcessLaptop); err != nil {
-		return err
-	}
-
-	mgr, err := manager.New(mgrEP, plan, manager.Options{
-		StepTimeout: 5 * time.Second,
-		ResetPhases: func(_ action.Action, participants []string) [][]string {
-			return video.SenderFirstPhases(participants)
-		},
-		Logf: func(format string, args ...any) {
-			fmt.Printf("  manager: "+format+"\n", args...)
-		},
-		Telemetry: tel,
-	})
-	if err != nil {
-		return err
-	}
-
-	path, err := plan.Plan(scenario.Source, scenario.Target)
+	path, err := rig.plan.Plan(rig.scenario.Source, rig.scenario.Target)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nsource %s  target %s\n",
-		scenario.Registry.BitVector(scenario.Source), scenario.Registry.BitVector(scenario.Target))
+		rig.scenario.Registry.BitVector(rig.scenario.Source), rig.scenario.Registry.BitVector(rig.scenario.Target))
 	fmt.Printf("MAP: %s\n\n", path)
 
 	// Stream in the background, adapt mid-stream.
 	streamErr := make(chan error, 1)
 	go func() {
-		streamErr <- sys.Server.Stream(context.Background(), opts.Frames, opts.BodySize, opts.Interval)
+		streamErr <- rig.sys.Server.Stream(context.Background(), opts.Frames, opts.BodySize, opts.Interval)
 	}()
-	for int(sys.Server.FramesSent()) < opts.AdaptAfter {
+	for int(rig.sys.Server.FramesSent()) < opts.AdaptAfter {
 		time.Sleep(time.Millisecond)
 	}
 
 	start := time.Now()
-	res, err := mgr.Execute(scenario.Source, scenario.Target)
+	res, err := rig.mgr.Execute(rig.scenario.Source, rig.scenario.Target)
 	if err != nil {
 		return err
 	}
@@ -196,15 +266,15 @@ func runSafeOverTCP(opts baseline.ExperimentOptions, tel *telemetry.Registry) er
 	if err := <-streamErr; err != nil {
 		return err
 	}
-	if err := sys.Drain(5 * time.Second); err != nil {
+	if err := rig.sys.Drain(5 * time.Second); err != nil {
 		return err
 	}
-	hh := sys.Handheld.Player().Finalize()
-	lp := sys.Laptop.Player().Finalize()
-	fmt.Printf("\nfinal chains: %v\n", sys.ConfigurationOf())
+	hh := rig.sys.Handheld.Player().Finalize()
+	lp := rig.sys.Laptop.Player().Finalize()
+	fmt.Printf("\nfinal chains: %v\n", rig.sys.ConfigurationOf())
 	printStats("handheld", hh)
 	printStats("laptop", lp)
-	return sys.Close()
+	return rig.sys.Close()
 }
 
 func outcome(res manager.Result) string {

@@ -33,6 +33,15 @@
 // and dumps <dir>/<role>.flightrec.json on rollback, failure, panic, or
 // clean shutdown. Merge the per-node bundles with
 // `safeadaptctl postmortem -dir <dir>`.
+//
+// Every role also accepts -ftdc <dir> (or the SAFEADAPT_FTDC_DIR
+// environment variable): the node then runs an always-on FTDC capture,
+// sampling its whole telemetry registry to <dir>/<role>.ftdc at
+// -ftdc-interval (default 1s). The capture is flushed and fsynced at
+// every flight-recorder auto-dump — rollback, failure, panic, shutdown —
+// so the file is current at exactly the moments that matter. Inspect it
+// with `safeadaptctl ftdc summary <file>`; `safeadaptctl postmortem`
+// splices captures found next to the bundles into its timeline.
 package main
 
 import (
@@ -42,12 +51,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/action"
 	"repro/internal/adapters"
 	"repro/internal/agent"
+	"repro/internal/ftdc"
 	"repro/internal/manager"
 	"repro/internal/metasocket"
 	"repro/internal/paper"
@@ -75,6 +86,8 @@ func run() error {
 	adaptAfter := flag.Int("adapt-after", 0, "frames before the manager adapts (manager; 0 = immediately after agents connect)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/adaptation on this address (empty = disabled)")
 	flightDir := flag.String("flightrec", "", "dump flight-recorder bundles to this directory (empty = $SAFEADAPT_FLIGHTREC_DIR, unset = disabled)")
+	ftdcDir := flag.String("ftdc", "", "write an always-on FTDC metrics capture to <dir>/<role>.ftdc (empty = $SAFEADAPT_FTDC_DIR, unset = disabled)")
+	ftdcInterval := flag.Duration("ftdc-interval", time.Second, "FTDC sampling period")
 	flag.Parse()
 
 	tel, err := serveMetrics(*metricsAddr)
@@ -82,6 +95,13 @@ func run() error {
 		return err
 	}
 	tel, fr := armFlightRecorder(tel, *role, *flightDir)
+	tel, fr, capt, err := armCapture(tel, fr, *role, *ftdcDir, *ftdcInterval)
+	if err != nil {
+		return err
+	}
+	if capt != nil {
+		defer func() { _ = capt.Close() }()
+	}
 	defer fr.DumpOnPanic()
 
 	switch *role {
@@ -121,6 +141,40 @@ func armFlightRecorder(tel *telemetry.Registry, role, dir string) (*telemetry.Re
 	fr.SetDumpDir(dir)
 	tel.AttachFlight(fr)
 	return tel, fr
+}
+
+// armCapture starts the always-on FTDC capture writing to
+// <dir>/<role>.ftdc (flag, or the SAFEADAPT_FTDC_DIR environment
+// variable). Capturing requires a registry — one is created if neither
+// -metrics nor -flightrec already did — and a flight recorder, because
+// AutoDump is the hook that finalizes the capture at rollback, failure,
+// panic and shutdown: when -flightrec is not armed, a dumpless recorder
+// is attached just so those hooks fire.
+func armCapture(tel *telemetry.Registry, fr *telemetry.FlightRecorder, role, dir string, interval time.Duration) (*telemetry.Registry, *telemetry.FlightRecorder, *ftdc.Capturer, error) {
+	if dir == "" {
+		dir = os.Getenv("SAFEADAPT_FTDC_DIR")
+	}
+	if dir == "" {
+		return tel, fr, nil, nil
+	}
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	if tel.Node() == "" {
+		tel.SetNode(role)
+	}
+	if fr == nil {
+		fr = telemetry.NewFlightRecorder(role, 0)
+		tel.AttachFlight(fr)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return tel, fr, nil, err
+	}
+	capt, err := ftdc.StartCapture(tel, filepath.Join(dir, role+".ftdc"), ftdc.CaptureOptions{Interval: interval})
+	if err != nil {
+		return tel, fr, nil, err
+	}
+	return tel, fr, capt, nil
 }
 
 // serveMetrics starts the observability HTTP endpoint when addr is

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ftdc"
 	"repro/internal/telemetry"
 )
 
@@ -88,20 +89,27 @@ func TestDistributedProcesses(t *testing.T) {
 	if base := os.Getenv("SAFEADAPT_FLIGHTREC_DIR"); base != "" {
 		flightDir = filepath.Join(base, "videonode")
 	}
+	// Every node also keeps an always-on FTDC capture; the shutdown
+	// auto-dump flushes the open chunk, so each role leaves a decodable
+	// metrics file. On CI, SAFEADAPT_FTDC_DIR persists them for upload.
+	ftdcDir := t.TempDir()
+	if base := os.Getenv("SAFEADAPT_FTDC_DIR"); base != "" {
+		ftdcDir = filepath.Join(base, "videonode")
+	}
 
 	// 1. Manager announces its TCP address.
-	mgr := start("manager", "-role", "manager", "-flightrec", flightDir)
+	mgr := start("manager", "-role", "manager", "-flightrec", flightDir, "-ftdc", ftdcDir)
 	mgrAddr := strings.TrimPrefix(readLine(mgr, "MANAGER_ADDR="), "MANAGER_ADDR=")
 
 	// 2. Clients announce their UDP data addresses and connect agents.
-	hh := start("handheld", "-role", "handheld", "-manager", mgrAddr, "-duration", "4s", "-flightrec", flightDir)
+	hh := start("handheld", "-role", "handheld", "-manager", mgrAddr, "-duration", "4s", "-flightrec", flightDir, "-ftdc", ftdcDir)
 	hhAddr := strings.TrimPrefix(readLine(hh, "DATA_ADDR="), "DATA_ADDR=")
-	lp := start("laptop", "-role", "laptop", "-manager", mgrAddr, "-duration", "4s", "-flightrec", flightDir)
+	lp := start("laptop", "-role", "laptop", "-manager", mgrAddr, "-duration", "4s", "-flightrec", flightDir, "-ftdc", ftdcDir)
 	lpAddr := strings.TrimPrefix(readLine(lp, "DATA_ADDR="), "DATA_ADDR=")
 
 	// 3. Server streams to both clients.
 	srv := start("server", "-role", "server", "-manager", mgrAddr,
-		"-peers", hhAddr+","+lpAddr, "-frames", "300", "-flightrec", flightDir)
+		"-peers", hhAddr+","+lpAddr, "-frames", "300", "-flightrec", flightDir, "-ftdc", ftdcDir)
 
 	// 4. Collect outcomes.
 	result := readLine(mgr, "RESULT ")
@@ -161,5 +169,21 @@ func TestDistributedProcesses(t *testing.T) {
 	}
 	if len(traceIDs) != 1 {
 		t.Errorf("expected one adaptation trace across 4 processes, got %v", traceIDs)
+	}
+
+	// 6. Always-on captures: every role left a cleanly finalized,
+	// decodable metrics file next to its flight bundle.
+	for _, role := range []string{"manager", "server", "handheld", "laptop"} {
+		capt, err := ftdc.ReadFile(filepath.Join(ftdcDir, role+".ftdc"))
+		if err != nil {
+			t.Errorf("%s capture: %v", role, err)
+			continue
+		}
+		if capt.TornBytes != 0 {
+			t.Errorf("%s capture torn after clean shutdown: %d bytes", role, capt.TornBytes)
+		}
+		if capt.NumSamples() < 2 {
+			t.Errorf("%s capture has only %d samples", role, capt.NumSamples())
+		}
 	}
 }

@@ -1,0 +1,63 @@
+package ftdc
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// BenchmarkWriteSample is the per-row cost of the capture format: delta
+// encoding 64 metric columns and appending the frame (fsync batched, so
+// the syscall cost amortizes across SyncEverySamples rows). This is the
+// work one sampler tick pays on top of reading the registry.
+func BenchmarkWriteSample(b *testing.B) {
+	w, err := NewWriter(filepath.Join(b.TempDir(), "bench.ftdc"), WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	const cols = 64
+	names := make([]string, cols)
+	values := make([]int64, cols)
+	for i := range names {
+		names[i] = fmt.Sprintf("counter.metric.%02d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range values {
+			values[j] += int64(j % 7) // small monotone deltas, the common case
+		}
+		if err := w.WriteSample(int64(i+1)*1e6, names, values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistrySnapshot is the other half of a sampler tick: reading
+// every counter, gauge, and histogram quantile out of a populated
+// registry into the reusable column buffers.
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 48; i++ {
+		reg.Counter(fmt.Sprintf("counter.c%02d", i)).Add(int64(i))
+	}
+	for i := 0; i < 8; i++ {
+		reg.Gauge(fmt.Sprintf("gauge.g%d", i)).Set(int64(i))
+	}
+	for i := 0; i < 4; i++ {
+		reg.Histogram(fmt.Sprintf("hist.h%d", i)).Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	var names []string
+	var values []int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		names, values = reg.AppendCaptureSample(names[:0], values[:0])
+	}
+	_ = names
+	_ = values
+}

@@ -1,0 +1,140 @@
+package ftdc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// CaptureOptions tunes StartCapture. The zero value samples at 1 Hz with
+// default writer batching.
+type CaptureOptions struct {
+	// Interval is the sampling period. Zero means one second.
+	Interval time.Duration
+	// Writer tunes chunking and fsync batching.
+	Writer WriterOptions
+}
+
+// Capturer is the always-on sampling loop: a goroutine that snapshots the
+// registry every Interval and appends the row to the capture file. It
+// registers itself as the registry's capture-flush hook, so a
+// flight-recorder AutoDump (rollback, failure, panic, shutdown) takes one
+// extra sample and fsyncs the open chunk at the moment of the incident.
+type Capturer struct {
+	reg *telemetry.Registry
+	w   *Writer
+
+	mu     sync.Mutex
+	names  []string
+	values []int64
+
+	interval  time.Duration
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+
+	samplesTotal int64
+	writeErrs    int64
+	lastErr      error
+}
+
+// StartCapture opens (or continues) the capture file at path and starts
+// sampling reg every opts.Interval. The returned Capturer must be Closed
+// to take the final sample and release the file.
+func StartCapture(reg *telemetry.Registry, path string, opts CaptureOptions) (*Capturer, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("ftdc: capture needs a telemetry registry")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	w, err := NewWriter(path, opts.Writer)
+	if err != nil {
+		return nil, err
+	}
+	c := &Capturer{
+		reg:      reg,
+		w:        w,
+		interval: opts.Interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// First row immediately: a capture that dies young still shows the
+	// starting state.
+	c.sampleOnce()
+	reg.SetCaptureFlush(c.flush)
+	go c.loop()
+	return c, nil
+}
+
+func (c *Capturer) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.sampleOnce()
+		}
+	}
+}
+
+// sampleOnce takes one sample row and appends it to the file. Errors are
+// retained, not propagated: the capture must never take the node down.
+func (c *Capturer) sampleOnce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.names, c.values = c.reg.AppendCaptureSample(c.names[:0], c.values[:0])
+	c.samplesTotal++
+	if err := c.w.WriteSample(time.Now().UnixNano(), c.names, c.values); err != nil {
+		c.writeErrs++
+		c.lastErr = err
+	}
+}
+
+// flush is the registry capture-flush hook: one extra sample plus fsync,
+// invoked on flight-recorder auto-dumps so the capture file is current
+// and durable at the incident.
+func (c *Capturer) flush(string) {
+	c.sampleOnce()
+	_ = c.w.Sync()
+	c.reg.Counter("ftdc.flushes").Inc()
+}
+
+// Samples reports how many rows the capturer has recorded (including
+// failed writes).
+func (c *Capturer) Samples() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.samplesTotal
+}
+
+// Err returns the most recent write error, if any.
+func (c *Capturer) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Close stops the sampling loop, takes a final row, fsyncs, and closes
+// the capture file. Idempotent; only the first call does the work.
+func (c *Capturer) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.reg.SetCaptureFlush(nil)
+		close(c.stop)
+		<-c.done
+		c.sampleOnce()
+		err = c.w.Close()
+		c.mu.Lock()
+		if err == nil && c.lastErr != nil {
+			err = c.lastErr
+		}
+		c.mu.Unlock()
+	})
+	return err
+}

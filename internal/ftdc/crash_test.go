@@ -1,0 +1,342 @@
+package ftdc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frameOffsets scans a well-formed capture byte stream and returns the
+// byte offset at the end of each frame (ascending). The stream is assumed
+// valid — it was produced by the writer under test.
+func frameOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			t.Fatalf("trailing %d bytes are not a frame", len(data)-off)
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += 8 + n
+		if off > len(data) {
+			t.Fatalf("frame overruns file")
+		}
+		offs = append(offs, off)
+	}
+	return offs
+}
+
+// samplesInPrefix counts the decodable samples in data[:cut] and checks
+// that they are a strict prefix of the full capture's samples.
+func checkPrefixDecode(t *testing.T, full *Capture, data []byte, cut int) int {
+	t.Helper()
+	capt := Decode(data[:cut])
+	if got, torn := capt.NumSamples(), capt.TornBytes; int64(cut) < torn {
+		t.Fatalf("cut=%d: torn %d exceeds prefix (%d samples)", cut, torn, got)
+	}
+	// Every recovered sample must byte-match the corresponding sample of
+	// the untruncated capture, in order.
+	var fullRows, gotRows []Sample
+	for _, ch := range full.Chunks {
+		fullRows = append(fullRows, ch.Samples...)
+	}
+	for _, ch := range capt.Chunks {
+		gotRows = append(gotRows, ch.Samples...)
+	}
+	if len(gotRows) > len(fullRows) {
+		t.Fatalf("cut=%d: recovered %d samples, more than the %d written", cut, len(gotRows), len(fullRows))
+	}
+	for i, s := range gotRows {
+		want := fullRows[i]
+		if s.AtUnixNanos != want.AtUnixNanos {
+			t.Fatalf("cut=%d sample %d: at=%d want %d", cut, i, s.AtUnixNanos, want.AtUnixNanos)
+		}
+		for j := range s.Values {
+			if s.Values[j] != want.Values[j] {
+				t.Fatalf("cut=%d sample %d col %d: %d want %d", cut, i, j, s.Values[j], want.Values[j])
+			}
+		}
+	}
+	return len(gotRows)
+}
+
+// TestTornTailAtEveryBoundary mirrors the journal torn-tail tests:
+// truncate the capture at every frame boundary AND at every byte inside
+// the final frame after each boundary; the reader must recover exactly
+// the samples whose frames are complete and report the rest as torn.
+func TestTornTailAtEveryBoundary(t *testing.T) {
+	names := []string{"counter.a", "gauge.b", "hist.c.p99_ns"}
+	var rows [][]int64
+	for i := 0; i < 40; i++ {
+		rows = append(rows, []int64{int64(i * 3), int64(50 - i), int64(i * 1000)})
+	}
+	path := writeTestCapture(t, names, rows, WriterOptions{MaxChunkSamples: 8})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Decode(data)
+	if full.NumSamples() != 40 || full.TornBytes != 0 {
+		t.Fatalf("baseline decode: %d samples, %d torn", full.NumSamples(), full.TornBytes)
+	}
+
+	offs := frameOffsets(t, data)
+	recoveredAtBoundary := -1
+	for _, cut := range offs {
+		n := checkPrefixDecode(t, full, data, cut)
+		if n < recoveredAtBoundary {
+			t.Fatalf("recovered samples decreased: %d then %d", recoveredAtBoundary, n)
+		}
+		recoveredAtBoundary = n
+
+		// Now tear INSIDE the next frame: every cut strictly between this
+		// boundary and the next must recover exactly the same samples as
+		// the clean boundary, with the remainder reported torn.
+		next := len(data)
+		for _, o := range offs {
+			if o > cut {
+				next = o
+				break
+			}
+		}
+		for inner := cut + 1; inner < next; inner++ {
+			capt := Decode(data[:inner])
+			if got := capt.NumSamples(); got != n {
+				t.Fatalf("cut mid-frame at %d: %d samples, want %d", inner, got, n)
+			}
+			if capt.TornBytes != int64(inner-cut) {
+				t.Fatalf("cut mid-frame at %d: torn=%d want %d", inner, capt.TornBytes, inner-cut)
+			}
+		}
+	}
+	if recoveredAtBoundary != 40 {
+		t.Fatalf("full boundary decode = %d samples", recoveredAtBoundary)
+	}
+}
+
+// TestCorruptionAtEveryFrame flips a byte inside each frame body in turn;
+// the reader must keep every sample before the corrupt frame and discard
+// the corrupt frame and everything after it (the WAL discipline: nothing
+// after a bad record can be trusted, because delta decoding depends on
+// every predecessor).
+func TestCorruptionAtEveryFrame(t *testing.T) {
+	names := []string{"counter.a", "counter.b"}
+	var rows [][]int64
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []int64{int64(i), int64(i * i)})
+	}
+	path := writeTestCapture(t, names, rows, WriterOptions{MaxChunkSamples: 6})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Decode(data)
+	offs := frameOffsets(t, data)
+
+	prevEnd := 0
+	for frameIdx, end := range offs {
+		// Samples decodable up to (excluding) this frame:
+		want := Decode(data[:prevEnd]).NumSamples()
+		corrupted := append([]byte(nil), data...)
+		corrupted[prevEnd+8] ^= 0xFF // first body byte of this frame
+		capt := Decode(corrupted)
+		if got := capt.NumSamples(); got != want {
+			t.Fatalf("corrupt frame %d: recovered %d samples, want %d", frameIdx, got, want)
+		}
+		if capt.TornBytes != int64(len(data)-prevEnd) {
+			t.Fatalf("corrupt frame %d: torn=%d want %d", frameIdx, capt.TornBytes, len(data)-prevEnd)
+		}
+		prevEnd = end
+	}
+	if full.NumSamples() != 20 {
+		t.Fatalf("baseline = %d samples", full.NumSamples())
+	}
+}
+
+// TestWriterRecoversFromTornTail crashes "mid-write" by truncating the
+// file to a non-boundary offset, then reopens with NewWriter: the torn
+// tail must be trimmed, the old samples preserved, and new samples append
+// cleanly — all decodable by one ReadFile pass.
+func TestWriterRecoversFromTornTail(t *testing.T) {
+	names := []string{"counter.x"}
+	path := filepath.Join(t.TempDir(), "crash.ftdc")
+	w, err := NewWriter(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.WriteSample(int64(i), names, []int64{int64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := frameOffsets(t, data)
+	// Tear mid-way through the last frame.
+	cut := offs[len(offs)-2] + (offs[len(offs)-1]-offs[len(offs)-2])/2
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := NewWriter(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Torn() == 0 {
+		t.Fatal("reopen did not detect the torn tail")
+	}
+	if err := w2.WriteSample(100, names, []int64{999}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capt.TornBytes != 0 {
+		t.Fatalf("post-recovery decode still torn: %d bytes", capt.TornBytes)
+	}
+	_, vals := capt.Series("counter.x")
+	// 9 complete pre-crash samples (the 10th was torn) + 1 post-recovery.
+	if len(vals) != 10 || vals[len(vals)-1] != 999 || vals[8] != 80 {
+		t.Fatalf("recovered series = %v", vals)
+	}
+}
+
+// FuzzFTDCRoundTrip drives arbitrary metric shapes and values through the
+// encoder and asserts lossless decoding, then re-decodes every prefix to
+// assert the reader never panics or invents samples on torn input.
+func FuzzFTDCRoundTrip(f *testing.F) {
+	f.Add(3, 5, int64(7), []byte("ab\x00cd"))
+	f.Add(1, 1, int64(-1), []byte{})
+	f.Add(8, 40, int64(1<<40), []byte("metric"))
+	f.Fuzz(func(t *testing.T, metrics, samples int, seed int64, nameSeed []byte) {
+		if metrics <= 0 || metrics > 24 || samples <= 0 || samples > 64 {
+			t.Skip()
+		}
+		names := make([]string, metrics)
+		for i := range names {
+			suffix := ""
+			if len(nameSeed) > 0 {
+				suffix = string(nameSeed[i%len(nameSeed)])
+			}
+			names[i] = "m" + string(rune('a'+i%26)) + suffix
+		}
+		// Names must be distinct for Series comparisons; dedupe by index.
+		seen := map[string]bool{}
+		for i, n := range names {
+			for seen[n] {
+				n += "x"
+			}
+			seen[n] = true
+			names[i] = n
+		}
+
+		var buf bytes.Buffer
+		rng := seed
+		next := func() int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return rng >> 16
+		}
+		wrote := make([][]int64, 0, samples)
+		var body, frame []byte
+		var prev []int64
+		var prevAt int64
+		for s := 0; s < samples; s++ {
+			row := make([]int64, metrics)
+			for i := range row {
+				row[i] = next()
+			}
+			at := int64(s)*1_000_000 + next()%1000
+			if s == 0 {
+				body = appendSchemaBody(body[:0], names)
+				frame = appendFrame(frame[:0], body)
+				buf.Write(frame)
+				body = appendRowBody(body[:0], recSample, at, row, 0, nil)
+			} else {
+				body = appendRowBody(body[:0], recDelta, at, row, prevAt, prev)
+			}
+			frame = appendFrame(frame[:0], body)
+			buf.Write(frame)
+			prev = row
+			prevAt = at
+			wrote = append(wrote, append([]int64{at}, row...))
+		}
+
+		data := buf.Bytes()
+		capt := Decode(data)
+		if capt.TornBytes != 0 {
+			t.Fatalf("clean stream decoded with torn=%d", capt.TornBytes)
+		}
+		if capt.NumSamples() != samples {
+			t.Fatalf("decoded %d samples, wrote %d", capt.NumSamples(), samples)
+		}
+		i := 0
+		for _, ch := range capt.Chunks {
+			for _, got := range ch.Samples {
+				want := wrote[i]
+				if got.AtUnixNanos != want[0] {
+					t.Fatalf("sample %d at=%d want %d", i, got.AtUnixNanos, want[0])
+				}
+				for j, v := range got.Values {
+					if v != want[j+1] {
+						t.Fatalf("sample %d col %d = %d want %d", i, j, v, want[j+1])
+					}
+				}
+				i++
+			}
+		}
+
+		// Torn-prefix sweep (sampled for speed): decoding any prefix must
+		// neither panic nor yield a sample that the full stream lacks.
+		step := len(data)/97 + 1
+		for cut := 0; cut <= len(data); cut += step {
+			sub := Decode(data[:cut])
+			if sub.NumSamples() > samples {
+				t.Fatalf("prefix %d decoded %d samples > %d written", cut, sub.NumSamples(), samples)
+			}
+		}
+	})
+}
+
+// TestDecodeRejectsStructurallyInvalidFrames covers the malformed-body
+// paths: a frame whose checksum is fine but whose body violates the
+// format must start the torn tail, not corrupt the decode.
+func TestDecodeRejectsStructurallyInvalidFrames(t *testing.T) {
+	mk := func(body []byte) []byte { return appendFrame(nil, body) }
+	cases := map[string][]byte{
+		"empty body":         mk(nil),
+		"unknown tag":        mk([]byte{0x7f, 1, 2}),
+		"delta before chunk": mk(append([]byte{recDelta}, binary.AppendVarint(nil, 1)...)),
+		"row before schema":  mk(append([]byte{recSample}, binary.AppendVarint(nil, 1)...)),
+		"huge schema arity":  mk(append([]byte{recSchema}, binary.AppendUvarint(nil, 1<<40)...)),
+		"truncated schema":   mk(append([]byte{recSchema}, binary.AppendUvarint(nil, 3)...)),
+	}
+	for name, data := range cases {
+		capt := Decode(data)
+		if capt.NumSamples() != 0 {
+			t.Fatalf("%s: decoded %d samples", name, capt.NumSamples())
+		}
+		if capt.TornBytes != int64(len(data)) {
+			t.Fatalf("%s: torn=%d want %d", name, capt.TornBytes, len(data))
+		}
+	}
+	// Sanity: the frame plumbing itself is fine — a valid schema+row pair
+	// framed the same way decodes.
+	valid := appendFrame(nil, appendSchemaBody(nil, []string{"m"}))
+	valid = append(valid, appendFrame(nil, appendRowBody(nil, recSample, 42, []int64{7}, 0, nil))...)
+	if c := Decode(valid); c.NumSamples() != 1 || c.TornBytes != 0 {
+		t.Fatalf("valid pair: samples=%d torn=%d", c.NumSamples(), c.TornBytes)
+	}
+}

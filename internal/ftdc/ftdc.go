@@ -1,0 +1,270 @@
+// Package ftdc implements full-time data capture: an always-on, compact,
+// crash-tolerant recording of the telemetry registry, in the spirit of
+// MongoDB's and viam-rdk's FTDC subsystems. A deployment that runs with
+// capture enabled continuously writes every counter, gauge, histogram
+// quantile and flight-recorder depth to disk at a fixed sampling rate —
+// cheaply enough (see BenchmarkFTDCCapture) that there is never a reason
+// to turn it off. When something goes wrong, the capture file answers
+// "what did the metrics look like around the failure", and
+// `safeadaptctl postmortem` splices that picture under the causal
+// timeline reconstructed from the flight-recorder bundles.
+//
+// # File format
+//
+// A capture file is a sequence of checksummed frames, the same WAL
+// discipline as internal/journal: a frame is in the capture iff it reads
+// back complete and its checksum verifies, so a crash mid-write costs at
+// most the torn tail, never an earlier sample.
+//
+//	frame   := [4-byte BE body length][4-byte CRC32-IEEE of body][body]
+//	body    := schema | sample | delta
+//	schema  := 0x01 varint(numMetrics) { varint(len) name-bytes }*
+//	sample  := 0x02 varint(zigzag atUnixNanos) { varint(zigzag value) }*
+//	delta   := 0x03 varint(zigzag Δat)         { varint(zigzag Δvalue) }*
+//
+// A schema frame opens a chunk and fixes the metric-name column order for
+// the samples that follow. The first row of a chunk is absolute (0x02);
+// every later row is the element-wise difference from the previous row
+// (0x03). Metric values in a steady system change slowly, so the deltas
+// are small and the varints short: a row of ~60 metrics costs tens of
+// bytes, not the kilobytes of a JSON snapshot. The writer starts a new
+// chunk when the metric set changes (a new counter appeared) or after
+// MaxChunkSamples rows, which bounds how much context a reader needs to
+// decode any suffix of the file that begins at a schema frame.
+//
+// The package is stdlib-only. Encoding and decoding are exposed on
+// in-memory byte slices (used by FuzzFTDCRoundTrip) beneath the
+// file-backed Writer/ReadFile pair.
+package ftdc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Frame body type tags.
+const (
+	recSchema byte = 0x01
+	recSample byte = 0x02
+	recDelta  byte = 0x03
+)
+
+// maxFrameBody bounds a frame body; longer lengths are treated as
+// corruption (torn tail) by the reader, mirroring internal/journal.
+const maxFrameBody = 1 << 24
+
+// maxSchemaMetrics bounds the column count a schema frame may declare, so
+// a corrupt-but-checksummed frame cannot make the decoder allocate
+// unboundedly.
+const maxSchemaMetrics = 1 << 16
+
+// Sample is one decoded row: the capture timestamp and one value per
+// metric of the owning chunk's schema, in schema order.
+type Sample struct {
+	// AtUnixNanos is the wall-clock sampling instant.
+	AtUnixNanos int64
+	// Values holds one value per schema column.
+	Values []int64
+}
+
+// Chunk is one schema-prefixed run of samples.
+type Chunk struct {
+	// Schema names the metric columns, in column order.
+	Schema []string
+	// Samples are the decoded rows, oldest first.
+	Samples []Sample
+}
+
+// Capture is a fully decoded capture stream.
+type Capture struct {
+	// Chunks are the schema-delimited runs, oldest first.
+	Chunks []Chunk
+	// TornBytes is the length of the trailing byte run that did not form
+	// a complete, checksummed frame — the residue of a crash mid-write.
+	TornBytes int64
+}
+
+// NumSamples counts the rows across all chunks.
+func (c *Capture) NumSamples() int {
+	n := 0
+	for _, ch := range c.Chunks {
+		n += len(ch.Samples)
+	}
+	return n
+}
+
+// MetricNames returns the union of every chunk's schema, sorted.
+func (c *Capture) MetricNames() []string {
+	seen := make(map[string]bool)
+	for _, ch := range c.Chunks {
+		for _, name := range ch.Schema {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// appendFrame appends one checksummed frame containing body to dst.
+func appendFrame(dst, body []byte) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// appendSchemaBody appends a schema frame body for the given column names.
+func appendSchemaBody(dst []byte, names []string) []byte {
+	dst = append(dst, recSchema)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, name := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+	}
+	return dst
+}
+
+// appendRowBody appends a sample (absolute) or delta row body. prev and
+// prevAt are the previous row for delta encoding; ignored for absolute.
+func appendRowBody(dst []byte, tag byte, at int64, values []int64, prevAt int64, prev []int64) []byte {
+	dst = append(dst, tag)
+	if tag == recSample {
+		dst = binary.AppendVarint(dst, at)
+		for _, v := range values {
+			dst = binary.AppendVarint(dst, v)
+		}
+		return dst
+	}
+	dst = binary.AppendVarint(dst, at-prevAt)
+	for i, v := range values {
+		dst = binary.AppendVarint(dst, v-prev[i])
+	}
+	return dst
+}
+
+// decodeState carries the chunk context a sequential decoder needs.
+type decodeState struct {
+	schema []string
+	prevAt int64
+	prev   []int64
+	rows   int // rows decoded in the current chunk
+}
+
+// errFrame marks a structurally invalid frame body. The reader treats it
+// as the start of the torn tail, exactly like a checksum failure.
+type errFrame struct{ msg string }
+
+func (e errFrame) Error() string { return "ftdc: " + e.msg }
+
+// decodeBody interprets one frame body against st, appending to cap.
+func decodeBody(capt *Capture, st *decodeState, body []byte) error {
+	if len(body) == 0 {
+		return errFrame{"empty frame body"}
+	}
+	tag, rest := body[0], body[1:]
+	switch tag {
+	case recSchema:
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || n > maxSchemaMetrics {
+			return errFrame{"bad schema arity"}
+		}
+		rest = rest[k:]
+		names := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			l, k := binary.Uvarint(rest)
+			if k <= 0 || uint64(len(rest[k:])) < l {
+				return errFrame{"bad schema name"}
+			}
+			rest = rest[k:]
+			names = append(names, string(rest[:l]))
+			rest = rest[l:]
+		}
+		if len(rest) != 0 {
+			return errFrame{"trailing bytes in schema frame"}
+		}
+		capt.Chunks = append(capt.Chunks, Chunk{Schema: names})
+		st.schema = names
+		st.prev = nil
+		st.rows = 0
+		return nil
+	case recSample, recDelta:
+		if st.schema == nil {
+			return errFrame{"row frame before any schema"}
+		}
+		if tag == recSample && st.rows != 0 {
+			return errFrame{"absolute row mid-chunk"}
+		}
+		if tag == recDelta && st.rows == 0 {
+			return errFrame{"delta row opens chunk"}
+		}
+		at, k := binary.Varint(rest)
+		if k <= 0 {
+			return errFrame{"bad row timestamp"}
+		}
+		rest = rest[k:]
+		values := make([]int64, len(st.schema))
+		for i := range values {
+			v, k := binary.Varint(rest)
+			if k <= 0 {
+				return errFrame{"bad row value"}
+			}
+			rest = rest[k:]
+			values[i] = v
+		}
+		if len(rest) != 0 {
+			return errFrame{"trailing bytes in row frame"}
+		}
+		if tag == recDelta {
+			at += st.prevAt
+			for i := range values {
+				values[i] += st.prev[i]
+			}
+		}
+		st.prevAt = at
+		st.prev = values
+		st.rows++
+		last := &capt.Chunks[len(capt.Chunks)-1]
+		last.Samples = append(last.Samples, Sample{AtUnixNanos: at, Values: values})
+		return nil
+	default:
+		return errFrame{fmt.Sprintf("unknown frame tag 0x%02x", tag)}
+	}
+}
+
+// Decode decodes an in-memory capture stream. Decoding stops at the first
+// incomplete or corrupt frame; everything before it is returned and the
+// remainder is reported as the torn tail. Decode never fails: a capture
+// truncated at an arbitrary byte is still a valid capture of every sample
+// that was durably framed before the cut.
+func Decode(data []byte) *Capture {
+	capt := &Capture{}
+	var st decodeState
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			break
+		}
+		n := binary.BigEndian.Uint32(data[off : off+4])
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxFrameBody || len(data)-off-8 < int(n) {
+			break
+		}
+		body := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(body) != sum {
+			break
+		}
+		if err := decodeBody(capt, &st, body); err != nil {
+			break
+		}
+		off += 8 + int(n)
+	}
+	capt.TornBytes = int64(len(data) - off)
+	return capt
+}

@@ -1,0 +1,366 @@
+package ftdc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// writeTestCapture writes rows (one []int64 per sample, fixed schema) and
+// returns the file path.
+func writeTestCapture(t *testing.T, names []string, rows [][]int64, opts WriterOptions) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.ftdc")
+	w, err := NewWriter(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if err := w.WriteSample(int64(1000+i*7), names, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTripSingleChunk(t *testing.T) {
+	names := []string{"counter.a", "counter.b", "gauge.c"}
+	rows := [][]int64{
+		{0, 100, -5},
+		{3, 100, -5},
+		{7, 250, 12},
+		{7, 250, 12},
+		{9, 251, -1 << 40},
+	}
+	path := writeTestCapture(t, names, rows, WriterOptions{})
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capt.TornBytes != 0 {
+		t.Fatalf("torn bytes = %d, want 0", capt.TornBytes)
+	}
+	if len(capt.Chunks) != 1 {
+		t.Fatalf("chunks = %d, want 1", len(capt.Chunks))
+	}
+	ch := capt.Chunks[0]
+	if len(ch.Schema) != 3 || ch.Schema[0] != "counter.a" {
+		t.Fatalf("schema = %v", ch.Schema)
+	}
+	if len(ch.Samples) != len(rows) {
+		t.Fatalf("samples = %d, want %d", len(ch.Samples), len(rows))
+	}
+	for i, s := range ch.Samples {
+		if s.AtUnixNanos != int64(1000+i*7) {
+			t.Fatalf("sample %d at = %d", i, s.AtUnixNanos)
+		}
+		for j, v := range s.Values {
+			if v != rows[i][j] {
+				t.Fatalf("sample %d col %d = %d, want %d", i, j, v, rows[i][j])
+			}
+		}
+	}
+}
+
+func TestChunkRotationOnLimit(t *testing.T) {
+	names := []string{"m"}
+	var rows [][]int64
+	for i := 0; i < 25; i++ {
+		rows = append(rows, []int64{int64(i * i)})
+	}
+	path := writeTestCapture(t, names, rows, WriterOptions{MaxChunkSamples: 10})
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capt.Chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3 (10+10+5)", len(capt.Chunks))
+	}
+	if got := capt.NumSamples(); got != 25 {
+		t.Fatalf("samples = %d, want 25", got)
+	}
+	_, vals := capt.Series("m")
+	for i, v := range vals {
+		if v != int64(i*i) {
+			t.Fatalf("series[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestChunkRotationOnSchemaChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.ftdc")
+	w, err := NewWriter(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSample(1, []string{"a"}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSample(2, []string{"a"}, []int64{2}); err != nil {
+		t.Fatal(err)
+	}
+	// A new metric appears: the writer must open a new chunk.
+	if err := w.WriteSample(3, []string{"a", "b"}, []int64{3, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capt.Chunks) != 2 {
+		t.Fatalf("chunks = %d, want 2", len(capt.Chunks))
+	}
+	if got := capt.MetricNames(); len(got) != 2 {
+		t.Fatalf("metric names = %v", got)
+	}
+	atB, valsB := capt.Series("b")
+	if len(valsB) != 1 || valsB[0] != 30 || atB[0] != 3 {
+		t.Fatalf("series b = %v %v", atB, valsB)
+	}
+}
+
+func TestWriterReopenContinuesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reopen.ftdc")
+	w, err := NewWriter(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSample(1, []string{"a"}, []int64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWriter(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Torn() != 0 {
+		t.Fatalf("torn on clean reopen = %d", w2.Torn())
+	}
+	if err := w2.WriteSample(2, []string{"a"}, []int64{20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := capt.NumSamples(); got != 2 {
+		t.Fatalf("samples after reopen = %d, want 2", got)
+	}
+	if len(capt.Chunks) != 2 {
+		t.Fatalf("chunks = %d, want 2 (reopen starts a fresh chunk)", len(capt.Chunks))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	names := []string{"counter.x", "gauge.y"}
+	rows := [][]int64{{0, 5}, {10, -2}, {30, 7}}
+	path := writeTestCapture(t, names, rows, WriterOptions{})
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := capt.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	x := sums[0]
+	if x.Name != "counter.x" || x.First != 0 || x.Last != 30 || x.Min != 0 || x.Max != 30 || x.Samples != 3 {
+		t.Fatalf("summary x = %+v", x)
+	}
+	// Timestamps step by 7 ns per row (writeTestCapture), so rate is
+	// 30 units over 14 ns.
+	if x.RatePerSec <= 0 {
+		t.Fatalf("rate = %v, want > 0", x.RatePerSec)
+	}
+	y := sums[1]
+	if y.Min != -2 || y.Max != 7 || y.Last != 7 {
+		t.Fatalf("summary y = %+v", y)
+	}
+}
+
+func TestCapturerRecordsRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("packets").Add(41)
+	reg.Gauge("depth").Set(-3)
+	reg.Histogram("lat").Observe(time.Millisecond)
+
+	path := filepath.Join(t.TempDir(), "cap.ftdc")
+	c, err := StartCapture(reg, path, CaptureOptions{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		reg.Counter("packets").Add(10)
+		time.Sleep(7 * time.Millisecond)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples() < 3 {
+		t.Fatalf("samples = %d, want >= 3", c.Samples())
+	}
+
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capt.TornBytes != 0 {
+		t.Fatalf("torn = %d", capt.TornBytes)
+	}
+	_, vals := capt.Series("counter.packets")
+	if len(vals) == 0 {
+		t.Fatal("no counter.packets series")
+	}
+	if first, last := vals[0], vals[len(vals)-1]; first > last || last != 91 {
+		t.Fatalf("packets series %v, want non-decreasing ending at 91", vals)
+	}
+	if _, v := capt.Series("gauge.depth"); len(v) == 0 || v[0] != -3 {
+		t.Fatalf("gauge.depth series = %v", v)
+	}
+	if _, v := capt.Series("hist.lat.p50_ns"); len(v) == 0 || v[len(v)-1] != int64(time.Millisecond) {
+		t.Fatalf("hist.lat.p50_ns series = %v", v)
+	}
+}
+
+func TestCapturerFlushOnAutoDump(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	fr := telemetry.NewFlightRecorder("node", 16)
+	reg.AttachFlight(fr)
+
+	path := filepath.Join(t.TempDir(), "flush.ftdc")
+	// A long interval: without the flush hook the capture would hold only
+	// the initial sample.
+	c, err := StartCapture(reg, path, CaptureOptions{Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter("incidents").Inc()
+	fr.AutoDump("rollback") // no dump dir armed; must still flush the capture
+	if got := c.Samples(); got != 2 {
+		t.Fatalf("samples after AutoDump = %d, want 2 (initial + flush)", got)
+	}
+	// The flushed rows must already be durable and decodable WITHOUT
+	// closing the capturer — that is the crash-tolerance contract.
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capt.NumSamples() != 2 {
+		t.Fatalf("decoded samples = %d, want 2", capt.NumSamples())
+	}
+	// The counter first existed at the flush sample, so it appears only in
+	// the second (schema-rotated) chunk.
+	_, vals := capt.Series("counter.incidents")
+	if len(vals) != 1 || vals[0] != 1 {
+		t.Fatalf("incidents series = %v", vals)
+	}
+	if _, vals := capt.Series("flight.depth"); len(vals) != 2 {
+		t.Fatalf("flight.depth series = %v (flight recorder attached, depth must be captured)", vals)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaptureSampleStableOrder(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("b").Inc()
+	reg.Counter("a").Inc()
+	reg.Gauge("z").Set(1)
+	reg.Histogram("h").Observe(1)
+	n1, _ := reg.CaptureSample()
+	n2, _ := reg.CaptureSample()
+	if len(n1) != len(n2) {
+		t.Fatalf("unstable arity: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("unstable order at %d: %q vs %q", i, n1[i], n2[i])
+		}
+		if i > 0 && n1[i-1] >= n1[i] {
+			t.Fatalf("not sorted: %q before %q", n1[i-1], n1[i])
+		}
+	}
+}
+
+func TestDecodeEmptyAndGarbage(t *testing.T) {
+	if c := Decode(nil); c.NumSamples() != 0 || c.TornBytes != 0 {
+		t.Fatalf("nil decode = %+v", c)
+	}
+	junk := []byte("this is not an ftdc capture, just some bytes")
+	c := Decode(junk)
+	if c.NumSamples() != 0 || c.TornBytes != int64(len(junk)) {
+		t.Fatalf("junk decode = samples %d torn %d", c.NumSamples(), c.TornBytes)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.ftdc")); err == nil {
+		t.Fatal("ReadFile on a missing path must error")
+	}
+}
+
+func TestWriterRejectsMismatchedRow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ftdc")
+	w, err := NewWriter(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.WriteSample(1, []string{"a", "b"}, []int64{1}); err == nil {
+		t.Fatal("mismatched names/values must be rejected")
+	}
+}
+
+func TestFileSizeStaysCompact(t *testing.T) {
+	// 60 metrics, 500 samples with small deltas: the whole capture must
+	// land in a handful of bytes per metric per sample, not JSON-scale.
+	names := make([]string, 60)
+	for i := range names {
+		names[i] = "counter.metric." + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	row := make([]int64, len(names))
+	path := filepath.Join(t.TempDir(), "compact.ftdc")
+	w, err := NewWriter(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 500; s++ {
+		for i := range row {
+			row[i] += int64(i % 3)
+		}
+		if err := w.WriteSample(int64(s)*1e9, names, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSample := float64(fi.Size()) / 500
+	perCell := perSample / float64(len(names))
+	if perCell > 3 {
+		t.Fatalf("capture costs %.1f bytes/metric/sample (file %d bytes), want <= 3", perCell, fi.Size())
+	}
+	capt, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capt.NumSamples() != 500 {
+		t.Fatalf("samples = %d", capt.NumSamples())
+	}
+}

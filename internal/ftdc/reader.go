@@ -1,0 +1,123 @@
+package ftdc
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// ReadFile decodes the capture at path, tolerating a torn tail. Every
+// complete, checksummed sample is recovered; Capture.TornBytes reports
+// how many trailing bytes were discarded.
+func ReadFile(path string) (*Capture, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ftdc: read: %w", err)
+	}
+	return Decode(data), nil
+}
+
+// MetricSummary condenses one metric's trajectory across a capture.
+type MetricSummary struct {
+	Name string `json:"name"`
+	// Samples is how many rows carried this metric.
+	Samples int `json:"samples"`
+	// First and Last are the metric's values at the window edges.
+	First int64 `json:"first"`
+	Last  int64 `json:"last"`
+	// Min and Max bound the values observed.
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// RatePerSec is (Last-First) divided by the metric's observed time
+	// window in seconds — the average growth rate, meaningful for
+	// counters. Zero when the window is empty or instantaneous.
+	RatePerSec float64 `json:"ratePerSec"`
+}
+
+// Summarize reduces the capture to per-metric summaries, sorted by name.
+// Metrics are matched across chunks by name, so a schema change (new
+// counters appearing mid-run) still yields one row per metric.
+func (c *Capture) Summarize() []MetricSummary {
+	type acc struct {
+		sum     MetricSummary
+		firstAt int64
+		lastAt  int64
+	}
+	byName := make(map[string]*acc)
+	for _, ch := range c.Chunks {
+		for col, name := range ch.Schema {
+			for _, s := range ch.Samples {
+				v := s.Values[col]
+				a := byName[name]
+				if a == nil {
+					a = &acc{
+						sum:     MetricSummary{Name: name, First: v, Min: v, Max: v},
+						firstAt: s.AtUnixNanos,
+					}
+					byName[name] = a
+				}
+				if v < a.sum.Min {
+					a.sum.Min = v
+				}
+				if v > a.sum.Max {
+					a.sum.Max = v
+				}
+				a.sum.Last = v
+				a.lastAt = s.AtUnixNanos
+				a.sum.Samples++
+			}
+		}
+	}
+	out := make([]MetricSummary, 0, len(byName))
+	for _, a := range byName {
+		if window := a.lastAt - a.firstAt; window > 0 {
+			rate := float64(a.sum.Last-a.sum.First) / (float64(window) / 1e9)
+			if !math.IsInf(rate, 0) && !math.IsNaN(rate) {
+				a.sum.RatePerSec = rate
+			}
+		}
+		out = append(out, a.sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Series extracts one metric's (AtUnixNanos, value) trajectory across all
+// chunks, in capture order. Rows from chunks whose schema lacks the
+// metric are skipped.
+func (c *Capture) Series(name string) (at []int64, values []int64) {
+	for _, ch := range c.Chunks {
+		col := -1
+		for i, n := range ch.Schema {
+			if n == name {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			continue
+		}
+		for _, s := range ch.Samples {
+			at = append(at, s.AtUnixNanos)
+			values = append(values, s.Values[col])
+		}
+	}
+	return at, values
+}
+
+// TimeRange returns the first and last sample timestamps (zeroes when the
+// capture is empty).
+func (c *Capture) TimeRange() (first, last int64) {
+	for _, ch := range c.Chunks {
+		for _, s := range ch.Samples {
+			if first == 0 || s.AtUnixNanos < first {
+				first = s.AtUnixNanos
+			}
+			if s.AtUnixNanos > last {
+				last = s.AtUnixNanos
+			}
+		}
+	}
+	return first, last
+}

@@ -1,0 +1,192 @@
+package ftdc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// WriterOptions tunes the capture writer. The zero value is ready to use.
+type WriterOptions struct {
+	// MaxChunkSamples caps the rows per chunk before the writer re-emits
+	// the schema and an absolute row. Bounding the chunk bounds both the
+	// delta context a reader needs and the damage radius of a corrupt
+	// frame. Zero means 300 (5 minutes at the default 1 Hz).
+	MaxChunkSamples int
+	// SyncEverySamples batches fsyncs: the file is synced after this many
+	// rows rather than after every one, so the capture's durability lag is
+	// bounded without paying an fsync per sample. Zero means 10. Sync and
+	// Close always flush.
+	SyncEverySamples int
+}
+
+func (o *WriterOptions) withDefaults() WriterOptions {
+	out := *o
+	if out.MaxChunkSamples <= 0 {
+		out.MaxChunkSamples = 300
+	}
+	if out.SyncEverySamples <= 0 {
+		out.SyncEverySamples = 10
+	}
+	return out
+}
+
+// Writer appends capture frames to a file. It is safe for concurrent use,
+// though captures normally have a single sampling goroutine.
+//
+// Like the journal, the writer trims a torn tail when it opens an
+// existing file, and always begins with a fresh schema frame, so a
+// process restart continues the same capture file cleanly: the reader
+// sees the pre-crash samples, then a new chunk.
+type Writer struct {
+	mu   sync.Mutex
+	f    *os.File
+	opts WriterOptions
+
+	schema    []string
+	prevAt    int64
+	prev      []int64
+	chunkRows int
+	unsynced  int
+	torn      int64
+
+	buf  []byte // frame scratch, reused across rows
+	body []byte // body scratch, reused across rows
+}
+
+// NewWriter opens (or creates) the capture file at path, trims any torn
+// tail left by a crash, and positions for append.
+func NewWriter(path string, opts WriterOptions) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ftdc: open: %w", err)
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("ftdc: seek: %w", err)
+	}
+	w := &Writer{f: f, opts: opts.withDefaults()}
+	if end > 0 {
+		// Find where the valid prefix ends; everything after it is a torn
+		// tail to trim, exactly as internal/journal does on reopen.
+		data := make([]byte, end)
+		if _, err := f.ReadAt(data, 0); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("ftdc: read: %w", err)
+		}
+		capt := Decode(data)
+		good := end - capt.TornBytes
+		w.torn = capt.TornBytes
+		if capt.TornBytes > 0 {
+			if err := f.Truncate(good); err != nil {
+				_ = f.Close()
+				return nil, fmt.Errorf("ftdc: truncate torn tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("ftdc: seek: %w", err)
+		}
+	}
+	return w, nil
+}
+
+// Torn reports how many trailing bytes were discarded when the file was
+// opened.
+func (w *Writer) Torn() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.torn
+}
+
+// sameSchema reports whether names matches the writer's current schema.
+func sameSchema(schema, names []string) bool {
+	if len(schema) != len(names) {
+		return false
+	}
+	for i := range schema {
+		if schema[i] != names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteSample appends one row. names and values are parallel slices in a
+// caller-chosen stable order (telemetry.CaptureSample returns them
+// sorted); when the name set differs from the previous row's, the writer
+// opens a new chunk. The slices are not retained past the call, except
+// that the writer copies names into its schema when a chunk opens.
+func (w *Writer) WriteSample(atUnixNanos int64, names []string, values []int64) error {
+	if len(names) != len(values) {
+		return fmt.Errorf("ftdc: %d names vs %d values", len(names), len(values))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("ftdc: writer closed")
+	}
+
+	newChunk := w.schema == nil || w.chunkRows >= w.opts.MaxChunkSamples || !sameSchema(w.schema, names)
+	w.buf = w.buf[:0]
+	if newChunk {
+		w.schema = append([]string(nil), names...)
+		w.body = appendSchemaBody(w.body[:0], w.schema)
+		w.buf = appendFrame(w.buf, w.body)
+		w.body = appendRowBody(w.body[:0], recSample, atUnixNanos, values, 0, nil)
+		w.buf = appendFrame(w.buf, w.body)
+		w.chunkRows = 0
+	} else {
+		w.body = appendRowBody(w.body[:0], recDelta, atUnixNanos, values, w.prevAt, w.prev)
+		w.buf = appendFrame(w.buf, w.body)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("ftdc: write: %w", err)
+	}
+	w.prevAt = atUnixNanos
+	w.prev = append(w.prev[:0], values...)
+	w.chunkRows++
+	w.unsynced++
+	if w.unsynced >= w.opts.SyncEverySamples {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *Writer) syncLocked() error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ftdc: fsync: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// Sync makes every written row durable.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("ftdc: writer closed")
+	}
+	return w.syncLocked()
+}
+
+// Close flushes and releases the file. Close is idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

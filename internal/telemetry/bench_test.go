@@ -43,7 +43,9 @@ func BenchmarkLiveHistogram(b *testing.B) {
 	}
 }
 
-// BenchmarkLiveSpan measures a start/end span pair.
+// BenchmarkLiveSpan measures a start/end span pair. Spans are pooled,
+// so the steady state is 0 allocs/op (down from 1 alloc/176 B before
+// pooling); TestSpanSteadyStateZeroAlloc enforces it.
 func BenchmarkLiveSpan(b *testing.B) {
 	r := NewRegistry()
 	b.ReportAllocs()

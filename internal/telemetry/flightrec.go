@@ -163,6 +163,18 @@ func (fr *FlightRecorder) Record(ev FlightEvent) {
 	fr.mu.Unlock()
 }
 
+// Depth returns how many events the ring currently retains (0 on nil).
+// The FTDC capture records it so a post-mortem can tell whether the black
+// box had wrapped (depth pinned at capacity) around an incident.
+func (fr *FlightRecorder) Depth() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.events.n
+}
+
 // Events returns the retained events, oldest first (nil on nil).
 func (fr *FlightRecorder) Events() []FlightEvent {
 	if fr == nil {
@@ -250,6 +262,10 @@ func (fr *FlightRecorder) AutoDump(reason string) {
 	dir := fr.dumpDir
 	reg := fr.reg
 	fr.mu.Unlock()
+	// Finalize the always-on capture first (nil-safe): a final sample and
+	// fsync, so the capture file carries the metrics right up to the
+	// incident even if the process dies during the dump below.
+	reg.captureFlushNow(reason)
 	if dir == "" {
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -60,7 +61,10 @@ type EventRecord struct {
 
 // Span is an in-progress traced operation. Create with
 // Registry.StartSpan or Span.Child; finish with End, which records the
-// span in the registry. All methods are nil-safe.
+// span in the registry and recycles the Span. A span must not be
+// touched after End (End itself stays idempotent for a handle that is
+// not reused, but any other use-after-End may observe a recycled
+// object). All methods are nil-safe.
 type Span struct {
 	reg        *Registry
 	id         uint64
@@ -76,6 +80,15 @@ type Span struct {
 	ended      bool
 }
 
+// spanPool recycles Span objects so the live tracing hot path — a
+// StartSpan/End pair fires around every protocol message — allocates
+// nothing in steady state (see BenchmarkLiveSpan). Spans are reset at
+// Get time, not Put time, so a pooled span keeps its ended flag until
+// it is actually reused: a second End through a stale handle stays a
+// no-op as long as the handle's owner has not started new spans in
+// between, which is the only double-End shape the codebase has.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
 // StartSpan begins a root span. Returns nil on a nil registry. The span
 // captures the registry's causal context (active trace, Lamport time) at
 // start.
@@ -83,7 +96,8 @@ func (r *Registry) StartSpan(name string, attrs ...Attr) *Span {
 	if r == nil {
 		return nil
 	}
-	return &Span{
+	s := spanPool.Get().(*Span)
+	*s = Span{
 		reg:     r,
 		id:      r.nextSpanID.Add(1),
 		name:    name,
@@ -92,6 +106,7 @@ func (r *Registry) StartSpan(name string, attrs ...Attr) *Span {
 		traceID: r.ActiveTrace(),
 		lamport: r.lamport.Load(),
 	}
+	return s
 }
 
 // Child begins a span nested under s. Returns nil on a nil span. The
@@ -159,8 +174,9 @@ func (s *Span) SetErrorText(text string) {
 	s.errText = text
 }
 
-// End finishes the span and records it in the registry. End is
-// idempotent; only the first call records.
+// End finishes the span, records it in the registry, and returns the
+// Span object to the pool. End is idempotent; only the first call
+// records. The span must not otherwise be used after End.
 func (s *Span) End() {
 	if s == nil || s.ended {
 		return
@@ -186,6 +202,11 @@ func (s *Span) End() {
 	s.reg.traceMu.Lock()
 	s.reg.spans.push(rec)
 	s.reg.traceMu.Unlock()
+	// Recycle. The record owns s.attrs now; StartSpan overwrites every
+	// field (replacing, never truncating, the attrs slice) before the
+	// object is handed out again, so the array is never written through
+	// this span after the handoff.
+	spanPool.Put(s)
 }
 
 // ID returns the span's identifier (0 on nil).

@@ -57,9 +57,48 @@ func TestSpanEndIdempotent(t *testing.T) {
 	r := NewRegistry()
 	s := r.StartSpan("once")
 	s.End()
+	// A second End through the same (now stale, pooled) handle is a
+	// no-op: spans are reset at reuse, not at recycle, so the ended flag
+	// still guards until the object is handed out again.
 	s.End()
 	if got := len(r.Spans()); got != 1 {
 		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestSpanPoolReuseDoesNotCorruptRecords(t *testing.T) {
+	// The SpanRecord hands off the span's attrs backing array; a reused
+	// span must never write through it. Run enough start/end cycles with
+	// attrs that pool reuse certainly happens, then check every retained
+	// record still carries its own values.
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		s := r.StartSpan("op", String("k", "v"))
+		s.SetAttr("i", string(rune('a'+i%26)))
+		s.End()
+	}
+	spans := r.Spans()
+	if len(spans) != 100 {
+		t.Fatalf("recorded %d spans, want 100", len(spans))
+	}
+	for i, rec := range spans {
+		if len(rec.Attrs) != 2 || rec.Attrs[0].Value != "v" {
+			t.Fatalf("span %d attrs corrupted: %+v", i, rec.Attrs)
+		}
+		if want := string(rune('a' + i%26)); rec.Attrs[1].Value != want {
+			t.Fatalf("span %d attr i = %q, want %q", i, rec.Attrs[1].Value, want)
+		}
+	}
+}
+
+func TestSpanSteadyStateZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	r.StartSpan("warm").End() // prime the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.StartSpan("op").End()
+	})
+	if allocs > 0 {
+		t.Fatalf("StartSpan/End allocates %.1f per op in steady state, want 0", allocs)
 	}
 }
 

@@ -53,6 +53,11 @@ type Registry struct {
 
 	// flight is the optional black-box recorder (see flightrec.go).
 	flight atomic.Pointer[FlightRecorder]
+
+	// captureFlush is the optional FTDC finalization hook (see capture.go):
+	// invoked on flight-recorder auto-dumps so an always-on capture can
+	// sync its open chunk at failure points.
+	captureFlush atomic.Pointer[func(string)]
 }
 
 // Capacity bounds for the span and event ring buffers.
