@@ -18,6 +18,7 @@ import (
 func check(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
 	file := fs.String("f", "", "system description JSON (default: built-in case study with its full packet model)")
+	fleetMode := fs.Bool("fleet", false, "model-check the hierarchical fleet plane: 1 root, 2 coordinators, 4 agents, with coordinator crashes in the -crash sweep")
 	depth := fs.Int("depth", 8, "DFS bound: alternatives are explored at the first N choice points")
 	faults := fs.Int("faults", 1, "failure-injection budget per execution (-1 disables)")
 	packets := fs.Int("packets", 1, "application packet budget per execution (-1 disables)")
@@ -32,7 +33,16 @@ func check(args []string, out io.Writer) error {
 
 	var m *explore.Model
 	var label string
-	if *file == "" {
+	if *fleetMode {
+		if *file != "" {
+			return fmt.Errorf("check: -fleet uses the built-in fleet model; drop -f")
+		}
+		fm, err := explore.FleetModel()
+		if err != nil {
+			return err
+		}
+		m, label = fm, "built-in fleet plane (1 root, 2 coordinators, 4 agents)"
+	} else if *file == "" {
 		pm, err := explore.PaperModel()
 		if err != nil {
 			return err
@@ -88,6 +98,9 @@ func check(args []string, out io.Writer) error {
 		}
 		printReport(out, crep, time.Since(start))
 		fmt.Fprintf(out, "  manager crashes:    %d (all recovered)\n", crep.Crashes)
+		if crep.CoordCrashes > 0 {
+			fmt.Fprintf(out, "  coordinator crashes: %d (all restarted stateless)\n", crep.CoordCrashes)
+		}
 		rep.Violations = append(rep.Violations, crep.Violations...)
 	}
 

@@ -50,6 +50,19 @@ func TestCheckReplay(t *testing.T) {
 	}
 }
 
+func TestCheckFleet(t *testing.T) {
+	out := runCmd(t, "check", "-fleet", "-depth", "3", "-crash", "0")
+	for _, want := range []string{
+		"built-in fleet plane (1 root, 2 coordinators, 4 agents)",
+		"coordinator crashes:",
+		"no safety violations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check -fleet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCheckBadFlags(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"check", "-replay", "1,x"}, &sb); err == nil {

@@ -14,6 +14,7 @@
 //	safeadaptctl trace [-f sys.json]         # run the adaptation and print its span tree + metrics
 //	safeadaptctl check [-depth N] [-fuzz N]  # model-check the protocol across interleavings and failures
 //	safeadaptctl check -crash N              # also kill the manager at every journal record boundary
+//	safeadaptctl check -fleet [-crash N]     # model-check the hierarchical fleet plane, incl. coordinator crashes
 //	safeadaptctl journal <file.journal>      # inspect a manager write-ahead log and its recovery state
 //	safeadaptctl postmortem -dir <dir>       # merge per-node flight-recorder bundles into a causal timeline
 //	safeadaptctl ftdc info <file.ftdc>       # inspect an always-on metrics capture

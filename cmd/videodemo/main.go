@@ -12,10 +12,18 @@
 // with no human in the loop. Combine with -ftdc to keep an always-on
 // metrics capture of the whole episode.
 //
+// The -fleet mode swaps the three video processes for a whole fleet: N
+// agents under a hierarchical control plane (manager → coordinator tree,
+// every hop a multiplexed TCP connection), the 5-step demo adaptation
+// executed across all of them with batched waves and aggregated acks,
+// followed by a flat-versus-tree latency comparison on the deterministic
+// fleet simulator.
+//
 // Usage:
 //
 //	videodemo [-frames N] [-interval D] [-strategy safe|unsafe|quiesce|compound|monitor]
 //	videodemo -strategy monitor [-ftdc capture.ftdc] [-ftdc-interval D]
+//	videodemo -fleet [-fleet-agents N] [-fleet-fanout F]
 package main
 
 import (
@@ -53,7 +61,14 @@ func run() error {
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/adaptation on this address (empty = disabled)")
 	ftdcPath := flag.String("ftdc", "", "write an always-on FTDC metrics capture to this file (empty = $SAFEADAPT_FTDC_DIR/videodemo.ftdc, unset = disabled; safe and monitor strategies)")
 	ftdcInterval := flag.Duration("ftdc-interval", 250*time.Millisecond, "FTDC sampling period")
+	fleetMode := flag.Bool("fleet", false, "run the fleet-scale demo: a hierarchical control plane over loopback TCP instead of the video case study")
+	fleetAgents := flag.Int("fleet-agents", 24, "fleet size for -fleet")
+	fleetFanout := flag.Int("fleet-fanout", 4, "coordinator fan-out for -fleet")
 	flag.Parse()
+
+	if *fleetMode {
+		return runFleet(*fleetAgents, *fleetFanout)
+	}
 
 	var tel *telemetry.Registry
 	if *metricsAddr != "" {

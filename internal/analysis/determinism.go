@@ -28,6 +28,7 @@ var DeterminismAnalyzer = &Analyzer{
 		"time and randomness must come from the injected Clock/PRNG",
 	Packages: []string{
 		"repro/internal/explore",
+		"repro/internal/fleet",
 		"repro/internal/netsim",
 		"repro/internal/manager",
 		"repro/internal/agent",

@@ -27,7 +27,11 @@ var JournalSendAnalyzer = &Analyzer{
 	Name: "journalsend",
 	Doc: "require a committed journal record (KindPoNR for resume, KindRollback " +
 		"for rollback) to dominate every transport send of that wave",
-	Packages: []string{"repro/internal/manager"},
+	// The fleet coordinator is in scope to prove a negative: it relays
+	// wave messages it receives but must never originate a MsgResume or
+	// MsgRollback literal of its own — the journal-before-send decision
+	// belongs to the root manager alone.
+	Packages: []string{"repro/internal/manager", "repro/internal/fleet"},
 	Run:      runJournalSend,
 }
 

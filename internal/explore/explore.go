@@ -13,6 +13,14 @@
 // checks that the successor's recovery preserves every safety property.
 // Any schedule — found by any driver — replays exactly via Replay.
 //
+// Models with FleetFanout set run the same protocol through the
+// hierarchical fleet control plane (internal/fleet): commands fan out as
+// batched envelopes through coordinators, acks aggregate on the way up,
+// every relay hop is its own scheduling choice, and CrashSweep
+// additionally kills each coordinator at every journal record boundary
+// to check that its stateless restart preserves safety. FleetModel is
+// the canonical 1-root, 2-coordinator, 4-agent instance.
+//
 // At every explored state the safety properties of the paper are
 // checked:
 //
@@ -67,6 +75,15 @@ type Model struct {
 	// ResetPhases is the step reset-phase policy handed to the manager
 	// (the global safe condition). Nil means one simultaneous phase.
 	ResetPhases func(a action.Action, participants []string) [][]string
+	// FleetFanout, when positive, interposes the hierarchical fleet
+	// control plane between the manager and the agents: the processes
+	// become the leaves of a fleet.Topology with this fan-out, wave
+	// commands travel as batched envelopes through the coordinators, and
+	// the manager sees their aggregated acks. Every coordinator hop is a
+	// scheduling choice, and CrashSweep additionally kills each
+	// coordinator at every journal record boundary. Zero keeps the
+	// classic flat deployment.
+	FleetFanout int
 }
 
 // PaperModel returns the paper's DES-64 → DES-128 video multicast case
@@ -161,6 +178,10 @@ type Report struct {
 	// Crashes is the number of manager deaths injected (and recovered
 	// from) across all executions; nonzero only for CrashSweep runs.
 	Crashes int
+	// CoordCrashes is the number of fleet coordinator deaths injected
+	// (each instantly replaced by a stateless successor); nonzero only
+	// for CrashSweep runs over a fleet model.
+	CoordCrashes int
 	// Violations are the safety violations found.
 	Violations []Violation
 	// Truncated reports that MaxSchedules or MaxViolations cut the run
@@ -271,13 +292,16 @@ func (x *Explorer) Fuzz(seed int64, n int) (*Report, error) {
 	return rep, nil
 }
 
-// crashPlan configures manager-death injection for one execution: the
-// manager process dies at the after-th journal record boundary (its next
-// append fails), or — with midSync — during the fsync that follows that
+// crashPlan configures crash injection for one execution: the manager
+// process dies at the after-th journal record boundary (its next append
+// fails), or — with midSync — during the fsync that follows that
 // boundary, so the unsynced tail is lost as if it never hit the disk.
+// With coord set, the named fleet coordinator dies at that boundary
+// instead (and restarts stateless), while the manager lives on.
 type crashPlan struct {
 	after   int
 	midSync bool
+	coord   string
 }
 
 // CrashSweep model-checks manager-crash recovery. It first measures how
@@ -312,6 +336,16 @@ func (x *Explorer) CrashSweep(seed int64, perPoint int) (*Report, error) {
 		return rep, nil
 	}
 	boundaries := probe.journal.Appends()
+	// In fleet mode the coordinators die too: each one, at every boundary,
+	// on the happy path and under perPoint fuzzed schedules. Their
+	// stateless restart must preserve every safety property with the
+	// checks fully armed — surviving coordinator loss is the design claim.
+	var coordNames []string
+	if probe.topo != nil {
+		for _, c := range probe.topo.Coords {
+			coordNames = append(coordNames, c.Name)
+		}
+	}
 	for k := 1; k <= boundaries; k++ {
 		if err := x.runCrash(&replayChooser{}, rep, &crashPlan{after: k}); err != nil {
 			return rep, err
@@ -323,6 +357,17 @@ func (x *Explorer) CrashSweep(seed int64, perPoint int) (*Report, error) {
 			ch := &randChooser{rng: rand.New(rand.NewSource(seed + int64(k)*1009 + int64(i)))}
 			if err := x.runCrash(ch, rep, &crashPlan{after: k}); err != nil {
 				return rep, err
+			}
+		}
+		for ci, cn := range coordNames {
+			if err := x.runCrash(&replayChooser{}, rep, &crashPlan{after: k, coord: cn}); err != nil {
+				return rep, err
+			}
+			for i := 0; i < perPoint; i++ {
+				ch := &randChooser{rng: rand.New(rand.NewSource(seed + int64(k)*1009 + int64(ci+1)*1000003 + int64(i)))}
+				if err := x.runCrash(ch, rep, &crashPlan{after: k, coord: cn}); err != nil {
+					return rep, err
+				}
 			}
 		}
 		if len(rep.Violations) >= x.opts.MaxViolations || rep.Schedules >= x.opts.MaxSchedules {
@@ -373,6 +418,7 @@ func (x *Explorer) runCrash(ch chooser, rep *Report, cp *crashPlan) error {
 	rep.Schedules++
 	rep.States += len(ch.taken())
 	rep.Crashes += e.mgrCrashes
+	rep.CoordCrashes += e.coordCrashes
 	rep.Violations = append(rep.Violations, e.violations...)
 	x.tel.Counter("explore.schedules").Inc()
 	x.tel.Counter("explore.states").Add(int64(len(ch.taken())))

@@ -1,0 +1,179 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func mustFleetExplorer(t *testing.T, opts Options) *Explorer {
+	t.Helper()
+	m, err := FleetModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestFleetTreeShape: the fleet model really runs through a 2-level
+// plane — one root manager, two coordinators, four agents — and its
+// happy path both completes and actually aggregates acks (the plane must
+// not degenerate to raw forwarding).
+func TestFleetTreeShape(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	x := mustFleetExplorer(t, Options{Telemetry: tel})
+	e, err := newExecution(x, &replayChooser{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.topo == nil || len(e.topo.Agents) != 4 || len(e.topo.Coords) != 2 || e.topo.Depth() != 1 {
+		t.Fatalf("unexpected topology: %+v", e.topo)
+	}
+	if len(e.coords) != 2 {
+		t.Fatalf("expected 2 live coordinators, got %d", len(e.coords))
+	}
+	e.run()
+	if len(e.violations) != 0 {
+		t.Fatalf("fleet happy path violated safety: %v", e.violations[0])
+	}
+	if got := tel.Counter("fleet.acks.aggregated").Value(); got == 0 {
+		t.Fatal("no acks aggregated: the plane degenerated to forwarding")
+	}
+	if gt := e.reg.BitVector(e.groundTruth()); gt != e.reg.BitVector(e.m.Target) {
+		t.Fatalf("ground truth %s never reached target %s", gt, e.reg.BitVector(e.m.Target))
+	}
+}
+
+// TestFleetHappyPathNoViolations: the all-zeros schedule through the
+// hierarchical plane satisfies every safety property.
+func TestFleetHappyPathNoViolations(t *testing.T) {
+	x := mustFleetExplorer(t, Options{})
+	rep, err := x.Replay(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("fleet happy path produced violations: %v", rep.Violations)
+	}
+}
+
+// TestFleetReplayIsDeterministic: coordinator hops are scheduling
+// choices like any other, so the same schedule must yield the same
+// trace.
+func TestFleetReplayIsDeterministic(t *testing.T) {
+	x := mustFleetExplorer(t, Options{})
+	tr1, err := x.ReplayTrace([]int{2, 0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := x.ReplayTrace([]int{2, 0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("same schedule, different traces:\n%v\nvs\n%v", tr1, tr2)
+	}
+	if len(tr1) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestFleetExhaustiveBoundedExploration: DFS over the fleet plane —
+// envelope losses, coordinator-hop reorderings, timeouts, agent crashes
+// — finds no safety violation.
+func TestFleetExhaustiveBoundedExploration(t *testing.T) {
+	depth := 4
+	if testing.Short() {
+		depth = 3
+	}
+	x := mustFleetExplorer(t, Options{Depth: depth, MaxFaults: 1, MaxPackets: 1})
+	rep, err := x.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("fleet exploration found violations: %v", rep.Violations[0])
+	}
+	if rep.Schedules < 10 {
+		t.Fatalf("suspiciously few schedules explored: %+v", rep)
+	}
+	t.Logf("explored %d states across %d schedules", rep.States, rep.Schedules)
+}
+
+// TestFleetFuzzSeedsAreReplayable: random schedules through the plane
+// stay safe, and the same seed explores exactly the same schedules.
+func TestFleetFuzzSeedsAreReplayable(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	x := mustFleetExplorer(t, Options{MaxFaults: 2, MaxPackets: 1})
+	rep1, err := x.Fuzz(23, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := x.Fuzz(23, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.States != rep2.States || rep1.Schedules != rep2.Schedules {
+		t.Fatalf("same seed, different exploration: %+v vs %+v", rep1, rep2)
+	}
+	if len(rep1.Violations) != 0 {
+		t.Fatalf("fleet fuzzing found violations: %v", rep1.Violations[0])
+	}
+}
+
+// TestFleetCrashSweepKillsCoordinatorsEverywhere is the fleet-plane
+// crash-torture check: the manager dies at every journal record boundary
+// (as in the flat sweep) AND each of the two coordinators dies at every
+// boundary, restarting stateless — with every safety property armed
+// throughout. The sweep must report zero violations.
+func TestFleetCrashSweepKillsCoordinatorsEverywhere(t *testing.T) {
+	perPoint := 1
+	if testing.Short() {
+		perPoint = 0
+	}
+	x := mustFleetExplorer(t, Options{MaxFaults: 1, MaxPackets: 1})
+	rep, err := x.CrashSweep(13, perPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("fleet crash sweep found %d violations, first: %v", len(rep.Violations), rep.Violations[0])
+	}
+	if rep.Truncated {
+		t.Fatalf("fleet crash sweep truncated: %+v", rep)
+	}
+	if rep.Crashes < 10 {
+		t.Fatalf("suspiciously few manager crashes injected: %d (report %+v)", rep.Crashes, rep)
+	}
+	if rep.CoordCrashes < 20 {
+		t.Fatalf("suspiciously few coordinator crashes injected: %d (report %+v)", rep.CoordCrashes, rep)
+	}
+	t.Logf("swept %d schedules: %d manager crashes, %d coordinator crashes, %d states",
+		rep.Schedules, rep.Crashes, rep.CoordCrashes, rep.States)
+}
+
+// TestFleetCrashSweepDeterministic: the fleet sweep is still a model
+// check — the same seed must visit exactly the same executions.
+func TestFleetCrashSweepDeterministic(t *testing.T) {
+	x := mustFleetExplorer(t, Options{MaxFaults: 1, MaxPackets: 1})
+	rep1, err := x.CrashSweep(17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := x.CrashSweep(17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Schedules != rep2.Schedules || rep1.States != rep2.States ||
+		rep1.Crashes != rep2.Crashes || rep1.CoordCrashes != rep2.CoordCrashes {
+		t.Fatalf("same seed, different sweeps: %+v vs %+v", rep1, rep2)
+	}
+}

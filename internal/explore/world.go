@@ -10,6 +10,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/audit"
 	"repro/internal/ccs"
+	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/manager"
 	"repro/internal/model"
@@ -40,10 +41,22 @@ type packet struct {
 	key string
 }
 
+// wire is one in-flight protocol message on one virtual link. from/to are
+// the link's endpoints — the hop the message currently rides, which in a
+// fleet deployment differs from the message's own From/To: an agent's ack
+// addressed to the manager first rides the agent→leaf-coordinator link,
+// and a coordinator forwards it (or an aggregate) on its own uplink. In a
+// flat deployment hop and address coincide.
+type wire struct {
+	msg      protocol.Message
+	from, to string
+}
+
 type choiceKind int
 
 const (
-	chMgrRecv choiceKind = iota // deliver an agent reply to the manager
+	chMgrRecv choiceKind = iota // deliver an upward message to the manager
+	chCoordRecv                 // deliver a message to a fleet coordinator
 	chAgentRecv                 // deliver a manager command to an agent
 	chAppDeliver                // deliver the oldest packet on a flow
 	chEmit                      // a sender emits one packet per outgoing flow
@@ -56,7 +69,7 @@ const (
 // choice is one enumerated scheduling alternative.
 type choice struct {
 	kind     choiceKind
-	from, to string // protocol queue key (chMgrRecv/chAgentRecv/chDrop)
+	from, to string // virtual link key (deliveries and chDrop)
 	flow     int    // flow index (chAppDeliver)
 	sender   string // emitting process (chEmit)
 }
@@ -76,8 +89,15 @@ type execution struct {
 	agents    map[string]*agent.Agent
 	mgr       *manager.Manager
 
-	pending     []protocol.Message // in-flight protocol messages, send order
-	flows       [][]packet         // in-flight packets per model flow
+	// topo and coords are set in fleet mode (Model.FleetFanout > 0): the
+	// hierarchical control plane interposed between manager and agents,
+	// with every coordinator driven synchronously from the scheduler.
+	topo         *fleet.Topology
+	coords       map[string]*fleet.Coordinator
+	coordCrashes int
+
+	pending     []wire     // in-flight protocol messages, send order
+	flows       [][]packet // in-flight packets per model flow
 	nextCID     ccs.CID
 	packetsLeft int
 	faultsLeft  int
@@ -156,6 +176,19 @@ func newExecution(x *Explorer, ch chooser) (*execution, error) {
 		}
 		e.agents[pn] = ag
 	}
+	if x.m.FleetFanout > 0 {
+		topo, terr := fleet.NewTopology(append([]string(nil), e.procNames...), x.m.FleetFanout)
+		if terr != nil {
+			return nil, terr
+		}
+		e.topo = topo
+		e.coords = make(map[string]*fleet.Coordinator, len(topo.Coords))
+		for _, c := range topo.Coords {
+			if cerr := e.startCoord(c.Name); cerr != nil {
+				return nil, cerr
+			}
+		}
+	}
 	e.mgr, err = e.newManager()
 	if err != nil {
 		return nil, err
@@ -163,12 +196,40 @@ func newExecution(x *Explorer, ch chooser) (*execution, error) {
 	return e, nil
 }
 
+// startCoord builds — or, after an injected crash, replaces — the named
+// coordinator as a fresh stateless instance over the virtual links.
+func (e *execution) startCoord(name string) error {
+	c, ok := e.topo.Coord(name)
+	if !ok {
+		return fmt.Errorf("explore: unknown coordinator %q", name)
+	}
+	k, err := fleet.NewCoordinator(fleet.Options{
+		Name:      c.Name,
+		Parent:    c.Parent,
+		Up:        &coordUplink{e: e, name: c.Name, parent: c.Parent},
+		Down:      &coordDownlink{e: e, name: c.Name},
+		Telemetry: e.x.tel,
+	})
+	if err != nil {
+		return err
+	}
+	e.coords[name] = k
+	return nil
+}
+
 // newManager builds one manager incarnation over the execution's shared
 // journal and virtual transport. The first incarnation is built here by
 // newExecution; after an injected crash, recoverManager builds successors
 // with the same call, and the shared journal hands each the next epoch.
 func (e *execution) newManager() (*manager.Manager, error) {
-	return manager.New(&mgrEndpoint{e: e}, e.x.plan, manager.Options{
+	var ep transport.Endpoint = &mgrEndpoint{e: e}
+	if e.topo != nil {
+		// The fleet endpoint additionally implements transport.BatchSender,
+		// so the manager's sendWave leaves as one envelope per top-level
+		// coordinator link — the batched fan-out under model checking.
+		ep = &fleetMgrEndpoint{mgrEndpoint{e: e}}
+	}
+	return manager.New(ep, e.x.plan, manager.Options{
 		StepTimeout:   e.x.opts.StepTimeout,
 		ResumeRetries: e.x.opts.ResumeRetries,
 		ResetPhases:   e.m.ResetPhases,
@@ -183,10 +244,21 @@ func (e *execution) newManager() (*manager.Manager, error) {
 	})
 }
 
-// armCrash arms the manager-death fault: the manager process dies at the
-// cp.after-th journal record boundary — or, with cp.midSync, during the
-// fsync following that boundary, losing the whole unsynced tail.
+// armCrash arms the crash fault for this execution. With cp.coord set, the
+// named fleet coordinator dies (and is instantly replaced by a fresh
+// stateless instance) at the cp.after-th manager journal record boundary.
+// Otherwise the manager process itself dies at that boundary — or, with
+// cp.midSync, during the fsync following it, losing the unsynced tail.
 func (e *execution) armCrash(cp crashPlan) {
+	if cp.coord != "" {
+		e.journal.AppendHook = func(journal.Record) error {
+			if e.journal.Appends() == cp.after {
+				e.crashCoord(cp.coord)
+			}
+			return nil
+		}
+		return
+	}
 	if cp.midSync {
 		e.journal.AppendHook = func(journal.Record) error {
 			if e.journal.Appends() == cp.after {
@@ -197,6 +269,33 @@ func (e *execution) armCrash(cp crashPlan) {
 		return
 	}
 	e.journal.CrashAfterAppends(cp.after)
+}
+
+// crashCoord kills the named coordinator and instantly replaces it with a
+// fresh stateless instance — the fleet design's recovery story. Frames in
+// flight on its links die with its connections, its aggregation buckets
+// and learned fencing epoch are gone, and the manager's timeout ladder
+// must re-drive whatever wave was in progress. Unlike agent crashes,
+// every safety property stays fully armed: surviving coordinator loss is
+// exactly what the stateless design claims.
+func (e *execution) crashCoord(name string) {
+	if e.coords[name] == nil {
+		return
+	}
+	e.coordCrashes++
+	e.logf("fault: coordinator %s crashes and restarts stateless (%d journal records appended)", name, e.journal.Appends())
+	kept := e.pending[:0]
+	for _, w := range e.pending {
+		if w.from == name || w.to == name {
+			continue
+		}
+		kept = append(kept, w)
+	}
+	e.pending = kept
+	if err := e.startCoord(name); err != nil {
+		// Construction already succeeded once in newExecution; unreachable.
+		panic(fmt.Sprintf("explore: restart coordinator %s: %v", name, err))
+	}
 }
 
 // run executes the adaptation to its terminal state — recovering from
@@ -291,22 +390,16 @@ func (ep *mgrEndpoint) Name() string { return protocol.ManagerName }
 func (ep *mgrEndpoint) Send(msg protocol.Message) error {
 	e := ep.e
 	msg.From = protocol.ManagerName
-	key := [2]int{msg.Step.PathIndex, msg.Step.Attempt}
-	switch msg.Type {
-	case protocol.MsgResume:
-		e.ponr[key] = true
-	case protocol.MsgRollback:
-		if e.ponr[key] {
-			e.violate("rollback-after-resume", fmt.Sprintf(
-				"rollback for step %s (path %d attempt %d) sent after that attempt's first resume",
-				msg.Step.ActionID, msg.Step.PathIndex, msg.Step.Attempt))
-		}
-	}
+	e.noteCommand(msg)
 	if e.crashed[msg.To] {
 		e.logf("send %s -> %s: receiver crashed, dropped", msg.Type, msg.To)
 		return nil
 	}
-	e.pending = append(e.pending, msg)
+	if e.topo != nil {
+		e.pushDownFromManager([]protocol.Message{msg})
+		return nil
+	}
+	e.push(msg, protocol.ManagerName, msg.To)
 	return nil
 }
 
@@ -318,7 +411,81 @@ func (ep *mgrEndpoint) Recv(ctx context.Context, deadline time.Time) (protocol.M
 	return ep.e.schedule(ctx, deadline)
 }
 
-// agentEndpoint carries agent replies back into the virtual network.
+// fleetMgrEndpoint is the manager's endpoint in fleet mode. It adds
+// transport.BatchSender, so a whole wave leaves the manager as one
+// MsgBatch envelope per top-level coordinator link — the same shape the
+// root mux hub puts on real connections.
+type fleetMgrEndpoint struct {
+	mgrEndpoint
+}
+
+func (ep *fleetMgrEndpoint) SendBatch(msgs []protocol.Message) error {
+	e := ep.e
+	kept := make([]protocol.Message, 0, len(msgs))
+	for _, msg := range msgs {
+		msg.From = protocol.ManagerName
+		e.noteCommand(msg)
+		if e.crashed[msg.To] {
+			e.logf("send %s -> %s: receiver crashed, dropped", msg.Type, msg.To)
+			continue
+		}
+		kept = append(kept, msg)
+	}
+	e.pushDownFromManager(kept)
+	return nil
+}
+
+// noteCommand tracks the point of no return per step attempt and flags
+// rollbacks sent after it — before the command is (possibly) wrapped into
+// a fleet envelope, so the check sees every inner message.
+func (e *execution) noteCommand(msg protocol.Message) {
+	key := [2]int{msg.Step.PathIndex, msg.Step.Attempt}
+	switch msg.Type {
+	case protocol.MsgResume:
+		e.ponr[key] = true
+	case protocol.MsgRollback:
+		if e.ponr[key] {
+			e.violate("rollback-after-resume", fmt.Sprintf(
+				"rollback for step %s (path %d attempt %d) sent after that attempt's first resume",
+				msg.Step.ActionID, msg.Step.PathIndex, msg.Step.Attempt))
+		}
+	}
+}
+
+// push queues one message on the from→to virtual link.
+func (e *execution) push(msg protocol.Message, from, to string) {
+	e.pending = append(e.pending, wire{msg: msg, from: from, to: to})
+}
+
+// pushDownFromManager fans manager commands into the fleet plane: one
+// MsgBatch envelope per top-level coordinator link, grouped in first-seen
+// order for determinism. Dropping such a wire later (chDrop) models the
+// loss of a whole batched frame.
+func (e *execution) pushDownFromManager(msgs []protocol.Message) {
+	var order []string
+	groups := make(map[string][]protocol.Message)
+	for _, msg := range msgs {
+		top, ok := e.topo.TopOf(msg.To)
+		if !ok {
+			// Not a fleet agent; deliver on a direct virtual link.
+			e.push(msg, protocol.ManagerName, msg.To)
+			continue
+		}
+		if _, seen := groups[top]; !seen {
+			order = append(order, top)
+		}
+		groups[top] = append(groups[top], msg)
+	}
+	for _, top := range order {
+		env := protocol.PackBatch(top, groups[top])
+		env.From = protocol.ManagerName
+		e.push(env, protocol.ManagerName, top)
+	}
+}
+
+// agentEndpoint carries agent replies back into the virtual network — in
+// fleet mode onto the agent's leaf-coordinator link, since the agent's
+// only physical connection is its uplink, whatever the message's To says.
 type agentEndpoint struct {
 	e    *execution
 	name string
@@ -327,14 +494,93 @@ type agentEndpoint struct {
 func (ep *agentEndpoint) Name() string { return ep.name }
 
 func (ep *agentEndpoint) Send(msg protocol.Message) error {
+	e := ep.e
 	msg.From = ep.name
-	ep.e.pending = append(ep.e.pending, msg)
+	to := msg.To
+	if e.topo != nil {
+		if leaf, ok := e.topo.LeafOf(ep.name); ok {
+			to = leaf
+		}
+	}
+	e.push(msg, ep.name, to)
 	return nil
 }
 
 func (ep *agentEndpoint) Inbox() <-chan protocol.Message { return nil }
 
 func (ep *agentEndpoint) Close() error { return nil }
+
+// coordUplink carries one coordinator's upward traffic a single hop
+// toward its parent: aggregated acks (From set by the coordinator) and
+// raw forwarded messages (original From preserved), exactly like the real
+// multiplexed uplink connection.
+type coordUplink struct {
+	e            *execution
+	name, parent string
+}
+
+func (ep *coordUplink) Name() string { return ep.name }
+
+func (ep *coordUplink) Send(msg protocol.Message) error {
+	if msg.From == "" {
+		msg.From = ep.name
+	}
+	ep.e.push(msg, ep.name, ep.parent)
+	return nil
+}
+
+func (ep *coordUplink) Inbox() <-chan protocol.Message { return nil }
+
+func (ep *coordUplink) Close() error { return nil }
+
+// coordDownlink relays agent-addressed commands one hop down the tree:
+// straight to the agent from its leaf coordinator, or to the child
+// coordinator whose subtree covers the target above the leaf level.
+type coordDownlink struct {
+	e    *execution
+	name string
+}
+
+func (ep *coordDownlink) Name() string { return ep.name }
+
+func (ep *coordDownlink) Send(msg protocol.Message) error {
+	e := ep.e
+	if e.crashed[msg.To] {
+		e.logf("relay %s -> %s: receiver crashed, dropped", msg.Type, msg.To)
+		return nil
+	}
+	e.push(msg, ep.name, e.nextHopDown(ep.name, msg.To))
+	return nil
+}
+
+func (ep *coordDownlink) Inbox() <-chan protocol.Message { return nil }
+
+func (ep *coordDownlink) Close() error { return nil }
+
+// nextHopDown returns the link a downward message to the named agent
+// takes from the named coordinator: the agent itself when it is a direct
+// child, else the child coordinator covering it.
+func (e *execution) nextHopDown(coord, agent string) string {
+	c, ok := e.topo.Coord(coord)
+	if !ok {
+		return agent
+	}
+	for _, child := range c.Children {
+		if child == agent {
+			return agent
+		}
+		cc, isCoord := e.topo.Coord(child)
+		if !isCoord {
+			continue
+		}
+		for _, covered := range cc.Covers {
+			if covered == agent {
+				return child
+			}
+		}
+	}
+	return agent
+}
 
 // schedule is the scheduler loop, entered whenever the manager blocks in
 // a protocol wait. It applies chosen events until one resolves the wait:
@@ -364,13 +610,23 @@ func (e *execution) schedule(ctx context.Context, deadline time.Time) (protocol.
 		e.clock.advance(time.Millisecond)
 		switch c.kind {
 		case chMgrRecv:
-			msg := e.takePending(c.from, protocol.ManagerName)
-			e.logf("deliver %q %s -> manager", msg.Type.String(), c.from)
-			return msg, transport.RecvOK
+			w := e.takePending(c.from, protocol.ManagerName)
+			e.logf("deliver %q %s -> manager", w.msg.Type.String(), c.from)
+			return w.msg, transport.RecvOK
+		case chCoordRecv:
+			w := e.takePending(c.from, c.to)
+			k := e.coords[c.to]
+			if cd, ok := e.topo.Coord(c.to); ok && c.from == cd.Parent {
+				e.logf("deliver %q %s -> %s (down)", w.msg.Type.String(), c.from, c.to)
+				k.DeliverFromParent(w.msg)
+			} else {
+				e.logf("deliver %q %s -> %s (up)", w.msg.Type.String(), c.from, c.to)
+				k.DeliverFromChild(w.msg)
+			}
 		case chAgentRecv:
-			msg := e.takePending(protocol.ManagerName, c.to)
-			e.logf("deliver %q -> %s", msg.Type.String(), c.to)
-			e.agents[c.to].Deliver(msg)
+			w := e.takePending(c.from, c.to)
+			e.logf("deliver %q -> %s", w.msg.Type.String(), c.to)
+			e.agents[c.to].Deliver(w.msg)
 		case chAppDeliver:
 			pk := e.flows[c.flow][0]
 			e.flows[c.flow] = e.flows[c.flow][1:]
@@ -383,58 +639,62 @@ func (e *execution) schedule(ctx context.Context, deadline time.Time) (protocol.
 			e.logf("fault: manager wait times out")
 			return protocol.Message{}, transport.RecvTimeout
 		case chDrop:
-			msg := e.takePending(c.from, c.to)
+			w := e.takePending(c.from, c.to)
 			e.faultsLeft--
-			e.logf("fault: drop %q %s -> %s", msg.Type.String(), c.from, c.to)
+			e.logf("fault: drop %q %s -> %s", w.msg.Type.String(), c.from, c.to)
 		case chFailReset:
-			msg := e.takePending(protocol.ManagerName, c.to)
+			w := e.takePending(c.from, c.to)
 			e.faultsLeft--
 			e.procs[c.to].failNextReset = true
 			e.logf("fault: %s fails to reset", c.to)
-			e.agents[c.to].Deliver(msg)
+			e.agents[c.to].Deliver(w.msg)
 		case chCrash:
-			msg := e.takePending(protocol.ManagerName, c.to)
+			w := e.takePending(c.from, c.to)
 			e.faultsLeft--
 			e.crashed[c.to] = true
 			e.anyCrash = true
 			e.purgePendingTo(c.to)
-			e.logf("fault: %s crashes on receipt of %q", c.to, msg.Type.String())
+			e.logf("fault: %s crashes on receipt of %q", c.to, w.msg.Type.String())
 		}
 		e.checkRunningState()
 	}
 }
 
 // choicesNow enumerates the scheduling alternatives in canonical order:
-// protocol deliveries to the manager, protocol deliveries to agents,
-// application deliveries, emission, then faults. Alternative 0 is
-// therefore always a fault-free choice.
+// protocol deliveries to the manager, deliveries to fleet coordinators,
+// deliveries to agents, application deliveries, emission, then faults.
+// Alternative 0 is therefore always a fault-free choice.
 func (e *execution) choicesNow() []choice {
 	var cs []choice
 
-	// Head-of-queue protocol message per (from, to) pair — the virtual
-	// network is FIFO per pair, like the real transports.
+	// Head-of-queue protocol message per virtual link — the network is
+	// FIFO per link, like the real transports' per-connection streams.
 	type pair struct{ from, to string }
 	seen := make(map[pair]bool)
-	var mgrHeads, agHeads []choice
+	var mgrHeads, coordHeads, agHeads []choice
 	var dropHeads, failHeads, crashHeads []choice
-	for _, msg := range e.pending {
-		p := pair{msg.From, msg.To}
+	for _, w := range e.pending {
+		p := pair{w.from, w.to}
 		if seen[p] {
 			continue
 		}
 		seen[p] = true
-		if msg.To == protocol.ManagerName {
-			mgrHeads = append(mgrHeads, choice{kind: chMgrRecv, from: msg.From, to: msg.To})
-		} else {
-			agHeads = append(agHeads, choice{kind: chAgentRecv, from: msg.From, to: msg.To})
-			if msg.Type == protocol.MsgReset {
-				failHeads = append(failHeads, choice{kind: chFailReset, to: msg.To})
+		switch {
+		case w.to == protocol.ManagerName:
+			mgrHeads = append(mgrHeads, choice{kind: chMgrRecv, from: w.from, to: w.to})
+		case e.coords[w.to] != nil:
+			coordHeads = append(coordHeads, choice{kind: chCoordRecv, from: w.from, to: w.to})
+		default:
+			agHeads = append(agHeads, choice{kind: chAgentRecv, from: w.from, to: w.to})
+			if w.msg.Type == protocol.MsgReset {
+				failHeads = append(failHeads, choice{kind: chFailReset, from: w.from, to: w.to})
 			}
-			crashHeads = append(crashHeads, choice{kind: chCrash, to: msg.To})
+			crashHeads = append(crashHeads, choice{kind: chCrash, from: w.from, to: w.to})
 		}
-		dropHeads = append(dropHeads, choice{kind: chDrop, from: msg.From, to: msg.To})
+		dropHeads = append(dropHeads, choice{kind: chDrop, from: w.from, to: w.to})
 	}
 	cs = append(cs, mgrHeads...)
+	cs = append(cs, coordHeads...)
 	cs = append(cs, agHeads...)
 
 	for i, f := range e.m.Flows {
@@ -478,23 +738,26 @@ func (e *execution) choicesNow() []choice {
 	return cs
 }
 
-// takePending removes and returns the oldest pending message from→to.
-func (e *execution) takePending(from, to string) protocol.Message {
-	for i, msg := range e.pending {
-		if msg.From == from && msg.To == to {
+// takePending removes and returns the oldest pending message on the
+// from→to link.
+func (e *execution) takePending(from, to string) wire {
+	for i, w := range e.pending {
+		if w.from == from && w.to == to {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
-			return msg
+			return w
 		}
 	}
 	// Unreachable while enumeration and application agree.
 	panic(fmt.Sprintf("explore: no pending message %s -> %s", from, to))
 }
 
+// purgePendingTo drops every wire riding a link into the named endpoint —
+// what dies with that endpoint's sockets.
 func (e *execution) purgePendingTo(to string) {
 	kept := e.pending[:0]
-	for _, msg := range e.pending {
-		if msg.To != to {
-			kept = append(kept, msg)
+	for _, w := range e.pending {
+		if w.to != to {
+			kept = append(kept, w)
 		}
 	}
 	e.pending = kept

@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFleetWaveLatency sweeps the paper's 5-step adaptation across
+// fleet sizes on the discrete-event network simulator, flat versus
+// hierarchical. The wall time per op is the simulator's own cost; the
+// interesting outputs are the reported metrics: p99 wave latency in
+// simulated nanoseconds (the barrier cost the manager actually waits
+// out) and the number of frames the root link carries per run. Flat
+// serializes O(n) frames through the root egress port; the tree pays two
+// extra relay hops but fans out in parallel, so its p99 stays near-flat
+// as n grows — the tentpole's O(log n) coordination-depth claim.
+func BenchmarkFleetWaveLatency(b *testing.B) {
+	cases := []struct {
+		agents, fanout int
+	}{
+		{16, 0}, {16, 4},
+		{256, 0}, {256, 16},
+		{4096, 0}, {4096, 64},
+	}
+	for _, c := range cases {
+		shape := "flat"
+		if c.fanout > 0 {
+			shape = fmt.Sprintf("hier-f%d", c.fanout)
+		}
+		b.Run(fmt.Sprintf("%s/agents-%d", shape, c.agents), func(b *testing.B) {
+			var res *SimResult
+			for i := 0; i < b.N; i++ {
+				r, err := RunSim(SimConfig{Agents: c.agents, Fanout: c.fanout, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Completed {
+					b.Fatalf("simulated adaptation did not complete: %+v", r)
+				}
+				res = r
+			}
+			b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-wave-ns")
+			b.ReportMetric(float64(res.P50.Nanoseconds()), "p50-wave-ns")
+			b.ReportMetric(float64(res.RootFrames), "root-frames")
+		})
+	}
+}

@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// Coordinator is one sub-manager in the fleet tree. It is deliberately
+// stateless with respect to the protocol: it holds no journal and makes
+// no decisions. It does exactly three things:
+//
+//   - relay wave commands from its parent to its children, as one batched
+//     frame per child link when the downstream transport can batch;
+//   - aggregate its subtree's ack waves (reset-done, adapt-done,
+//     resume-done, rollback-done) into a single upstream ack listing the
+//     covered agents, so the root manager receives O(fan-out) messages per
+//     wave instead of O(n);
+//   - enforce epoch fencing on the way down (commands from a dead manager
+//     incarnation stop at the first coordinator) while forwarding
+//     everything it cannot aggregate — failures, probe acks, hellos,
+//     stale acks — upward untouched, preserving From, Epoch and Trace.
+//
+// Because it keeps no durable state, a crashed coordinator is replaced by
+// a fresh instance: in-flight aggregation buckets are lost, which the
+// protocol already tolerates as message loss (the manager's resume retry
+// and recovery ladder re-drive the wave), and the fencing epoch is
+// re-learned from the next command that passes through.
+type Coordinator struct {
+	name   string
+	parent string
+	up     transport.Endpoint
+	down   transport.Endpoint
+	tel    *telemetry.Registry
+
+	maxBuckets int
+	epoch      uint64
+	buckets    []*bucket
+
+	done chan struct{}
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Name is the coordinator's own endpoint name (Topology Coord.Name).
+	Name string
+	// Parent is the upstream endpoint aggregated acks are addressed to —
+	// protocol.ManagerName or a higher coordinator.
+	Parent string
+	// Up is the transport link toward the parent.
+	Up transport.Endpoint
+	// Down is the transport link toward the children. The coordinator
+	// performs no routing of its own: the downstream endpoint (a mux hub,
+	// a bus, or a simulated link) delivers each relayed message to its To.
+	Down transport.Endpoint
+	// Telemetry receives the coordinator's counters; nil disables.
+	Telemetry *telemetry.Registry
+	// MaxBuckets caps concurrently tracked ack waves (default 64). The
+	// oldest bucket is dropped past the cap — equivalent to losing that
+	// wave's acks, which the protocol tolerates.
+	MaxBuckets int
+}
+
+// bucket tracks one pending ack wave: which acknowledgement type is being
+// collected for which step, from which agents.
+type bucket struct {
+	pathIndex int
+	attempt   int
+	step      protocol.Step
+	want      protocol.MsgType
+	expect    []string        // command targets, in relay order
+	got       map[string]bool // credited agents
+	epoch     uint64          // highest epoch seen among credited acks
+	traceID   string          // trace of the command that opened the wave
+}
+
+func (b *bucket) complete() bool {
+	for _, a := range b.expect {
+		if !b.got[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewCoordinator builds a coordinator over the given links. Call Run to
+// pump it, or drive DeliverFromParent/DeliverFromChild directly (the
+// Deliver methods are not safe for concurrent use).
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if opts.Name == "" {
+		return nil, fmt.Errorf("fleet: coordinator needs a name")
+	}
+	if opts.Parent == "" {
+		return nil, fmt.Errorf("fleet: coordinator %q needs a parent", opts.Name)
+	}
+	if opts.Up == nil || opts.Down == nil {
+		return nil, fmt.Errorf("fleet: coordinator %q needs both an up and a down link", opts.Name)
+	}
+	if opts.MaxBuckets <= 0 {
+		opts.MaxBuckets = 64
+	}
+	return &Coordinator{
+		name:       opts.Name,
+		parent:     opts.Parent,
+		up:         opts.Up,
+		down:       opts.Down,
+		tel:        opts.Telemetry,
+		maxBuckets: opts.MaxBuckets,
+		done:       make(chan struct{}),
+	}, nil
+}
+
+// Name returns the coordinator's endpoint name.
+func (c *Coordinator) Name() string { return c.name }
+
+// Epoch returns the highest manager epoch the coordinator has admitted.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// Run pumps both links until Close. All delivery happens on this one
+// goroutine, so the coordinator needs no locks.
+func (c *Coordinator) Run() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case msg, ok := <-c.up.Inbox():
+			if !ok {
+				return
+			}
+			c.DeliverFromParent(msg)
+		case msg, ok := <-c.down.Inbox():
+			if !ok {
+				return
+			}
+			c.DeliverFromChild(msg)
+		}
+	}
+}
+
+// Close stops Run. It does not close the transport links (the rig that
+// dialed them owns them).
+func (c *Coordinator) Close() {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}
+
+// DeliverFromParent handles one downward message: fence it, open
+// aggregation buckets for the command wave it carries, and relay the
+// inner commands to the children. Not safe for concurrent use with
+// DeliverFromChild.
+func (c *Coordinator) DeliverFromParent(env protocol.Message) {
+	// Epoch fencing at the relay hop: commands from a superseded manager
+	// incarnation die here instead of fanning out to the whole shard.
+	// Epoch 0 (journalless manager) is always admitted, mirroring agents.
+	if env.Epoch != 0 && c.epoch != 0 && env.Epoch < c.epoch {
+		c.tel.Counter("fleet.fenced_drops").Inc()
+		return
+	}
+	if env.Epoch > c.epoch {
+		c.epoch = env.Epoch
+	}
+	c.tel.LamportMerge(env.Trace.Lamport)
+
+	msgs := protocol.UnpackBatch(env)
+	for _, msg := range msgs {
+		switch msg.Type {
+		case protocol.MsgReset:
+			// A reset opens two ack waves at once: the reset barrier and
+			// the adapt-done barrier that follows it without another
+			// downward command.
+			c.openBucket(protocol.MsgResetDone, msg)
+			c.openBucket(protocol.MsgAdaptDone, msg)
+		case protocol.MsgResume:
+			c.openBucket(protocol.MsgResumeDone, msg)
+		case protocol.MsgRollback:
+			c.openBucket(protocol.MsgRollbackDone, msg)
+		}
+	}
+	c.relayDown(msgs)
+}
+
+// relayDown hands the command wave to the downstream transport — one
+// batched frame per child link when it can batch, pipelined singles
+// otherwise. Send errors are message loss; the manager's ladder re-drives.
+func (c *Coordinator) relayDown(msgs []protocol.Message) {
+	c.tel.Counter("fleet.relay.down_msgs").Add(int64(len(msgs)))
+	if bs, ok := c.down.(transport.BatchSender); ok {
+		if err := bs.SendBatch(msgs); err != nil {
+			c.tel.Counter("fleet.relay.errors").Inc()
+		}
+		return
+	}
+	for _, msg := range msgs {
+		if err := c.down.Send(msg); err != nil {
+			c.tel.Counter("fleet.relay.errors").Inc()
+		}
+	}
+}
+
+// openBucket starts (or extends) the aggregation bucket for one ack type
+// of the step the command belongs to.
+func (c *Coordinator) openBucket(want protocol.MsgType, cmd protocol.Message) {
+	for _, b := range c.buckets {
+		if b.want == want && b.pathIndex == cmd.Step.PathIndex && b.attempt == cmd.Step.Attempt {
+			b.expect = append(b.expect, cmd.To)
+			return
+		}
+	}
+	// A new wave supersedes buckets from earlier path positions and
+	// earlier attempts of the same position: their acks can never
+	// complete a barrier the manager still cares about.
+	kept := c.buckets[:0]
+	for _, b := range c.buckets {
+		stale := b.pathIndex < cmd.Step.PathIndex ||
+			(b.pathIndex == cmd.Step.PathIndex && b.attempt < cmd.Step.Attempt)
+		if stale {
+			c.tel.Counter("fleet.buckets.dropped").Inc()
+			continue
+		}
+		kept = append(kept, b)
+	}
+	c.buckets = kept
+	if len(c.buckets) >= c.maxBuckets {
+		c.tel.Counter("fleet.buckets.dropped").Inc()
+		c.buckets = c.buckets[1:]
+	}
+	c.buckets = append(c.buckets, &bucket{
+		pathIndex: cmd.Step.PathIndex,
+		attempt:   cmd.Step.Attempt,
+		step:      cmd.Step,
+		want:      want,
+		expect:    []string{cmd.To},
+		got:       make(map[string]bool),
+		epoch:     cmd.Epoch,
+		traceID:   cmd.Trace.TraceID,
+	})
+	c.tel.Counter("fleet.buckets.opened").Inc()
+}
+
+// DeliverFromChild handles one upward message: credit it against the
+// oldest matching aggregation bucket, emit the aggregated ack if that
+// completed the wave, and forward everything else raw. Not safe for
+// concurrent use with DeliverFromParent.
+func (c *Coordinator) DeliverFromChild(msg protocol.Message) {
+	c.tel.LamportMerge(msg.Trace.Lamport)
+	switch msg.Type {
+	case protocol.MsgResetDone, protocol.MsgAdaptDone, protocol.MsgResumeDone, protocol.MsgRollbackDone:
+		if c.credit(msg) {
+			return
+		}
+	}
+	// Not aggregatable here — failures, probe acks, hellos, acks for
+	// waves this (possibly freshly restarted) coordinator is not
+	// tracking. Forward untouched: From, Epoch and Trace survive the
+	// hop, so the manager sees the original sender.
+	c.tel.Counter("fleet.acks.forwarded").Inc()
+	if err := c.up.Send(msg); err != nil {
+		c.tel.Counter("fleet.relay.errors").Inc()
+	}
+}
+
+// credit applies an ack to the oldest matching bucket. An ack from a
+// child coordinator lists its covered agents in Agents; an agent's own
+// ack credits just its From. Returns false when no tracked wave matched
+// (the caller forwards the ack raw instead — losing aggregation, never
+// the ack itself).
+func (c *Coordinator) credit(msg protocol.Message) bool {
+	for _, b := range c.buckets {
+		if b.want != msg.Type || b.pathIndex != msg.Step.PathIndex || b.attempt != msg.Step.Attempt {
+			continue
+		}
+		names := msg.Agents
+		if len(names) == 0 {
+			names = []string{msg.From}
+		}
+		hit := false
+		for _, a := range names {
+			for _, want := range b.expect {
+				if a == want {
+					b.got[a] = true
+					hit = true
+					break
+				}
+			}
+		}
+		if !hit {
+			continue
+		}
+		if msg.Epoch > b.epoch {
+			b.epoch = msg.Epoch
+		}
+		if b.complete() {
+			c.finish(b)
+		}
+		return true
+	}
+	return false
+}
+
+// finish emits the aggregated upstream ack for a completed wave and
+// retires its bucket.
+func (c *Coordinator) finish(b *bucket) {
+	ack := protocol.Message{
+		Type:   b.want,
+		From:   c.name,
+		To:     c.parent,
+		Step:   b.step,
+		Agents: b.expect,
+		Epoch:  b.epoch,
+		Trace: protocol.TraceContext{
+			TraceID: b.traceID,
+			Origin:  c.name,
+			Lamport: c.tel.LamportTick(),
+		},
+	}
+	c.tel.Counter("fleet.acks.aggregated").Inc()
+	if err := c.up.Send(ack); err != nil {
+		c.tel.Counter("fleet.relay.errors").Inc()
+	}
+	for i, have := range c.buckets {
+		if have == b {
+			c.buckets = append(c.buckets[:i], c.buckets[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package fleet
+
+import (
+	"repro/internal/model"
+	"repro/internal/planner"
+)
+
+// DemoScenario returns the synthetic fleet adaptation used by the
+// simulator, the rig test and `videodemo -fleet`: five component pairs
+// on one host process, a oneof invariant per pair, and a 5-step MAP from
+// all-A to all-B. The manager's reset-phase policy then conscripts every
+// agent in the fleet into every step, so each wave genuinely spans the
+// whole tree.
+func DemoScenario() (*model.Registry, *planner.Planner, model.Config, model.Config, error) {
+	return simScenario()
+}
+
+// DemoProcessOf returns the component→process resolver for DemoScenario,
+// in the shape agent.Options.ProcessOf expects (unknown components map to
+// "").
+func DemoProcessOf(reg *model.Registry) func(string) string {
+	return func(component string) string {
+		p, err := componentProcess(reg, component)
+		if err != nil {
+			return ""
+		}
+		return p
+	}
+}

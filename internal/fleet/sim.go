@@ -1,0 +1,675 @@
+package fleet
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/agent"
+	"repro/internal/invariant"
+	"repro/internal/journal"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// The fleet simulator: a deterministic discrete-event network under a
+// REAL manager, REAL agents and REAL coordinators, on virtual time. It
+// exists to measure the thing the hierarchy is for — wave latency versus
+// fleet size — without needing 10k sockets or a wall clock. The network
+// model charges every frame serialization time at both the sender's
+// egress and the receiver's ingress (each endpoint is a serial port:
+// frames queue behind each other), plus propagation latency and seeded
+// jitter. Under that model a flat manager pays O(n) serialized frame
+// costs per wave on its single egress; a hierarchical plane pays
+// O(fan-out) at the root and parallelizes the rest across coordinators —
+// which is exactly the effect the benchmark curves show.
+//
+// The adaptation itself is a synthetic 5-step plan (five component pairs
+// with oneof invariants on one host process); every other agent in the
+// fleet is conscripted into each step via the manager's reset-phase
+// policy, so all n agents genuinely participate in every wave: reset,
+// adapt-done, resume, with per-agent acks, epoch fencing and journaling
+// all live (the manager runs with a real in-memory journal, epoch 1).
+
+// SimConfig parameterizes one simulated fleet adaptation.
+type SimConfig struct {
+	// Agents is the fleet size.
+	Agents int
+	// Fanout enables the hierarchical plane with the given fan-out
+	// factor; 0 runs flat (manager talks to every agent directly).
+	Fanout int
+	// Seed seeds the jitter PRNG. Same seed, same config → identical run.
+	Seed int64
+
+	// Network model. Zero values take the defaults (200µs latency, 40µs
+	// jitter ceiling, 40µs per-frame overhead, 2µs per serialized
+	// message).
+	LinkLatency   time.Duration
+	Jitter        time.Duration
+	FrameOverhead time.Duration
+	PerMsg        time.Duration
+}
+
+// WaveSample is one measured wave: from the root sending the wave's
+// first command to the root holding acknowledgements covering the whole
+// fleet.
+type WaveSample struct {
+	Step    string        // "pathIndex.attempt"
+	Wave    string        // "reset", "adapt", "resume"
+	Latency time.Duration // virtual time
+}
+
+// SimResult summarizes one simulated adaptation.
+type SimResult struct {
+	Completed bool
+	Steps     int
+	Depth     int // coordinator levels (0 = flat)
+	Coords    int
+	// RootFrames counts frames the root manager's egress serialized;
+	// RootRecv counts messages delivered to the root. The hierarchy's
+	// point is shrinking both from O(n·steps) to O(fan-out·steps).
+	RootFrames int
+	RootRecv   int
+	Samples    []WaveSample
+	P50, P99   time.Duration
+	Elapsed    time.Duration // virtual end-to-end adaptation time
+}
+
+type simEvent struct {
+	at   time.Time
+	seq  int
+	to   string
+	down bool // true when sent parent→child (relative to the receiver)
+	msg  protocol.Message
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)    { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any      { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (h eventHeap) peek() simEvent { return h[0] }
+func (h eventHeap) empty() bool    { return len(h) == 0 }
+
+// port models one endpoint's serial attachment to the network.
+type port struct {
+	egressFree  time.Time
+	ingressFree time.Time
+}
+
+type sim struct {
+	cfg   SimConfig
+	now   time.Time
+	seq   int
+	queue eventHeap
+	rng   *rand.Rand
+
+	topo   *Topology // nil when flat
+	agents map[string]*agent.Agent
+	coords map[string]*Coordinator
+	// childOf[coord][agent] = the coord child the agent's traffic
+	// descends through (the agent itself at level 0).
+	childOf map[string]map[string]string
+	upOf    map[string]string // agent → its uplink entity
+	ports   map[string]*port
+	names   []string // all agent names, sorted
+
+	waveStart map[string]time.Time
+	credited  map[string]map[string]bool
+	sampled   map[string]bool
+	samples   []WaveSample
+
+	rootFrames int
+	rootRecv   int
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func (s *sim) port(name string) *port {
+	p := s.ports[name]
+	if p == nil {
+		p = &port{}
+		s.ports[name] = p
+	}
+	return p
+}
+
+// transmit schedules one frame carrying `units` serialized messages from
+// one entity to another: the frame occupies the sender's egress, crosses
+// the link (latency + jitter), then occupies the receiver's ingress.
+func (s *sim) transmit(from, to string, msg protocol.Message, units int, down bool) {
+	cost := s.cfg.FrameOverhead + time.Duration(units)*s.cfg.PerMsg
+	fp := s.port(from)
+	dep := maxTime(s.now, fp.egressFree)
+	fp.egressFree = dep.Add(cost)
+	jit := time.Duration(0)
+	if s.cfg.Jitter > 0 {
+		jit = time.Duration(s.rng.Int63n(int64(s.cfg.Jitter)))
+	}
+	tp := s.port(to)
+	arr := maxTime(dep.Add(cost+s.cfg.LinkLatency+jit), tp.ingressFree).Add(cost)
+	tp.ingressFree = arr
+	if from == protocol.ManagerName {
+		s.rootFrames++
+	}
+	s.seq++
+	heap.Push(&s.queue, simEvent{at: arr, seq: s.seq, to: to, down: down, msg: msg})
+}
+
+// markWaveStart records the instant the root fires the first command of a
+// wave. A reset command starts both the reset wave and the adapt barrier
+// that follows it without another downward send.
+func (s *sim) markWaveStart(msg protocol.Message) {
+	switch msg.Type {
+	case protocol.MsgReset:
+		s.startIfAbsent(waveKeyOf(msg.Step, "reset"))
+		s.startIfAbsent(waveKeyOf(msg.Step, "adapt"))
+	case protocol.MsgResume:
+		s.startIfAbsent(waveKeyOf(msg.Step, "resume"))
+	}
+}
+
+func (s *sim) startIfAbsent(key string) {
+	if _, ok := s.waveStart[key]; !ok {
+		s.waveStart[key] = s.now
+	}
+}
+
+func waveKeyOf(step protocol.Step, wave string) string {
+	return fmt.Sprintf("%d.%d/%s", step.PathIndex, step.Attempt, wave)
+}
+
+// credit accounts one root-bound acknowledgement toward its wave's
+// fleet-wide completion and samples the wave latency when the last agent
+// is covered.
+func (s *sim) credit(msg protocol.Message) {
+	var wave string
+	switch msg.Type {
+	case protocol.MsgResetDone:
+		wave = "reset"
+	case protocol.MsgAdaptDone:
+		wave = "adapt"
+	case protocol.MsgResumeDone:
+		wave = "resume"
+	default:
+		return
+	}
+	key := waveKeyOf(msg.Step, wave)
+	if s.sampled[key] {
+		return
+	}
+	set := s.credited[key]
+	if set == nil {
+		set = make(map[string]bool, len(s.names))
+		s.credited[key] = set
+	}
+	if len(msg.Agents) > 0 {
+		for _, a := range msg.Agents {
+			set[a] = true
+		}
+	} else if msg.From != "" {
+		set[msg.From] = true
+	}
+	if len(set) >= len(s.names) {
+		s.sampled[key] = true
+		if start, ok := s.waveStart[key]; ok {
+			s.samples = append(s.samples, WaveSample{
+				Step:    fmt.Sprintf("%d.%d", msg.Step.PathIndex, msg.Step.Attempt),
+				Wave:    wave,
+				Latency: s.now.Sub(start),
+			})
+		}
+	}
+}
+
+// pump advances the event loop until a root-bound message is due (returned)
+// or the virtual deadline passes.
+func (s *sim) pump(deadline time.Time) (protocol.Message, transport.RecvStatus) {
+	for {
+		if s.queue.empty() || s.queue.peek().at.After(deadline) {
+			s.now = maxTime(s.now, deadline)
+			return protocol.Message{}, transport.RecvTimeout
+		}
+		ev := heap.Pop(&s.queue).(simEvent)
+		s.now = maxTime(s.now, ev.at)
+		if ev.to == protocol.ManagerName {
+			s.rootRecv++
+			s.credit(ev.msg)
+			return ev.msg, transport.RecvOK
+		}
+		if c := s.coords[ev.to]; c != nil {
+			if ev.down {
+				c.DeliverFromParent(ev.msg)
+			} else {
+				c.DeliverFromChild(ev.msg)
+			}
+			continue
+		}
+		if ag := s.agents[ev.to]; ag != nil {
+			ag.Deliver(ev.msg)
+		}
+	}
+}
+
+// --- root endpoints ---------------------------------------------------
+
+// flatRoot is the manager's endpoint in a flat deployment: every command
+// is its own frame on the manager's single egress (no SendBatch — the
+// O(n) serial cost is the baseline being measured).
+type flatRoot struct{ s *sim }
+
+func (r *flatRoot) Name() string                   { return protocol.ManagerName }
+func (r *flatRoot) Inbox() <-chan protocol.Message { return nil }
+func (r *flatRoot) Close() error                   { return nil }
+func (r *flatRoot) Send(msg protocol.Message) error {
+	r.s.markWaveStart(msg)
+	r.s.transmit(protocol.ManagerName, msg.To, msg, 1, true)
+	return nil
+}
+func (r *flatRoot) Recv(ctx context.Context, deadline time.Time) (protocol.Message, transport.RecvStatus) {
+	if ctx.Err() != nil {
+		return protocol.Message{}, transport.RecvAborted
+	}
+	return r.s.pump(deadline)
+}
+
+// hierRoot is the manager's endpoint over the coordinator tree: a wave
+// leaves as one batched frame per top-level coordinator.
+type hierRoot struct{ s *sim }
+
+func (r *hierRoot) Name() string                   { return protocol.ManagerName }
+func (r *hierRoot) Inbox() <-chan protocol.Message { return nil }
+func (r *hierRoot) Close() error                   { return nil }
+func (r *hierRoot) Send(msg protocol.Message) error {
+	r.s.markWaveStart(msg)
+	top, ok := r.s.topo.TopOf(msg.To)
+	if !ok {
+		return fmt.Errorf("fleet sim: no coordinator covers %q", msg.To)
+	}
+	r.s.transmit(protocol.ManagerName, top, msg, 1, true)
+	return nil
+}
+func (r *hierRoot) SendBatch(msgs []protocol.Message) error {
+	groups := make(map[string][]protocol.Message)
+	var order []string
+	for _, msg := range msgs {
+		r.s.markWaveStart(msg)
+		top, ok := r.s.topo.TopOf(msg.To)
+		if !ok {
+			return fmt.Errorf("fleet sim: no coordinator covers %q", msg.To)
+		}
+		if _, seen := groups[top]; !seen {
+			order = append(order, top)
+		}
+		groups[top] = append(groups[top], msg)
+	}
+	for _, top := range order {
+		group := groups[top]
+		env := protocol.PackBatch(top, group)
+		r.s.transmit(protocol.ManagerName, top, env, len(group), true)
+	}
+	return nil
+}
+func (r *hierRoot) Recv(ctx context.Context, deadline time.Time) (protocol.Message, transport.RecvStatus) {
+	if ctx.Err() != nil {
+		return protocol.Message{}, transport.RecvAborted
+	}
+	return r.s.pump(deadline)
+}
+
+// --- coordinator and agent endpoints ----------------------------------
+
+// coordUp carries a coordinator's upward traffic to its parent.
+type coordUp struct {
+	s *sim
+	c Coord
+}
+
+func (e *coordUp) Name() string                   { return e.c.Name }
+func (e *coordUp) Inbox() <-chan protocol.Message { return nil }
+func (e *coordUp) Close() error                   { return nil }
+func (e *coordUp) Send(msg protocol.Message) error {
+	if msg.From == "" {
+		msg.From = e.c.Name
+	}
+	e.s.transmit(e.c.Name, e.c.Parent, msg, 1, false)
+	return nil
+}
+
+// coordDown carries a coordinator's downward traffic: per-agent frames at
+// a leaf, re-batched envelopes per child coordinator above.
+type coordDown struct {
+	s *sim
+	c Coord
+}
+
+func (e *coordDown) Name() string                   { return e.c.Name }
+func (e *coordDown) Inbox() <-chan protocol.Message { return nil }
+func (e *coordDown) Close() error                   { return nil }
+func (e *coordDown) next(to string) (string, error) {
+	if e.c.Level == 0 {
+		return to, nil
+	}
+	child := e.s.childOf[e.c.Name][to]
+	if child == "" {
+		return "", fmt.Errorf("fleet sim: %s has no child covering %q", e.c.Name, to)
+	}
+	return child, nil
+}
+func (e *coordDown) Send(msg protocol.Message) error {
+	hop, err := e.next(msg.To)
+	if err != nil {
+		return err
+	}
+	e.s.transmit(e.c.Name, hop, msg, 1, true)
+	return nil
+}
+func (e *coordDown) SendBatch(msgs []protocol.Message) error {
+	if e.c.Level == 0 {
+		for _, msg := range msgs {
+			e.s.transmit(e.c.Name, msg.To, msg, 1, true)
+		}
+		return nil
+	}
+	groups := make(map[string][]protocol.Message)
+	var order []string
+	for _, msg := range msgs {
+		hop, err := e.next(msg.To)
+		if err != nil {
+			return err
+		}
+		if _, seen := groups[hop]; !seen {
+			order = append(order, hop)
+		}
+		groups[hop] = append(groups[hop], msg)
+	}
+	for _, hop := range order {
+		group := groups[hop]
+		env := protocol.PackBatch(hop, group)
+		e.s.transmit(e.c.Name, hop, env, len(group), true)
+	}
+	return nil
+}
+
+// agentUp carries one agent's replies to its uplink (leaf coordinator, or
+// the manager when flat).
+type agentUp struct {
+	s    *sim
+	name string
+}
+
+func (e *agentUp) Name() string                   { return e.name }
+func (e *agentUp) Inbox() <-chan protocol.Message { return nil }
+func (e *agentUp) Close() error                   { return nil }
+func (e *agentUp) Send(msg protocol.Message) error {
+	if msg.From == "" {
+		msg.From = e.name
+	}
+	e.s.transmit(e.name, e.s.upOf[e.name], msg, 1, false)
+	return nil
+}
+
+// simClock reads the simulator's virtual time.
+type simClock struct{ s *sim }
+
+func (c simClock) Now() time.Time { return c.s.now }
+
+// --- scenario ---------------------------------------------------------
+
+// simScenario builds the synthetic 5-step adaptation: five component
+// pairs (Ai, Bi) on one host process, a oneof invariant per pair, and
+// five replace actions — a 5-step MAP from all-A to all-B. Every step's
+// participants are then extended to the whole fleet by conscription.
+func simScenario() (*model.Registry, *planner.Planner, model.Config, model.Config, error) {
+	const host = "node-00000"
+	var comps []model.Component
+	var invs []invariant.Invariant
+	var acts []action.Action
+	var src, dst []string
+	for i := 0; i < 5; i++ {
+		a, b := fmt.Sprintf("A%d", i), fmt.Sprintf("B%d", i)
+		comps = append(comps,
+			model.Component{Name: a, Process: host},
+			model.Component{Name: b, Process: host})
+		inv, err := invariant.NewStructural(
+			fmt.Sprintf("pair%d", i), fmt.Sprintf("oneof(%s, %s)", a, b))
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		invs = append(invs, inv)
+		act, err := action.New(fmt.Sprintf("S%d", i), fmt.Sprintf("%s -> %s", a, b),
+			10*time.Millisecond, fmt.Sprintf("replace %s with %s", a, b))
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		acts = append(acts, act)
+		src, dst = append(src, a), append(dst, b)
+	}
+	reg, err := model.NewRegistry(comps...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	set, err := invariant.NewSet(reg, invs...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	pl, err := planner.New(set, acts)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	source, err := reg.ConfigOf(src...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	target, err := reg.ConfigOf(dst...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return reg, pl, source, target, nil
+}
+
+// RunSim executes one full adaptation over the simulated fleet and
+// returns the measured wave-latency samples.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	if cfg.Agents <= 0 {
+		return nil, fmt.Errorf("fleet sim: need at least one agent")
+	}
+	if cfg.LinkLatency <= 0 {
+		cfg.LinkLatency = 200 * time.Microsecond
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	} else if cfg.Jitter == 0 {
+		cfg.Jitter = 40 * time.Microsecond
+	}
+	if cfg.FrameOverhead <= 0 {
+		cfg.FrameOverhead = 40 * time.Microsecond
+	}
+	if cfg.PerMsg <= 0 {
+		cfg.PerMsg = 2 * time.Microsecond
+	}
+
+	s := &sim{
+		cfg:       cfg,
+		now:       time.Unix(0, 0),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		agents:    make(map[string]*agent.Agent),
+		coords:    make(map[string]*Coordinator),
+		childOf:   make(map[string]map[string]string),
+		upOf:      make(map[string]string),
+		ports:     make(map[string]*port),
+		waveStart: make(map[string]time.Time),
+		credited:  make(map[string]map[string]bool),
+		sampled:   make(map[string]bool),
+	}
+	for i := 0; i < cfg.Agents; i++ {
+		s.names = append(s.names, fmt.Sprintf("node-%05d", i))
+	}
+	sort.Strings(s.names)
+
+	reg, pl, source, target, err := simScenario()
+	if err != nil {
+		return nil, err
+	}
+	processOf := func(component string) string {
+		if c, cerr := componentProcess(reg, component); cerr == nil {
+			return c
+		}
+		return ""
+	}
+
+	clock := simClock{s}
+	for _, name := range s.names {
+		ag, aerr := agent.New(name, &agentUp{s: s, name: name}, NopProcess{}, agent.Options{
+			ResetTimeout: time.Hour, // virtual-time run; never fires
+			ProcessOf:    processOf,
+			Clock:        clock,
+		})
+		if aerr != nil {
+			return nil, aerr
+		}
+		s.agents[name] = ag
+	}
+
+	res := &SimResult{}
+	var root transport.Endpoint
+	maxStash := cfg.Agents + 64
+	if cfg.Fanout > 0 {
+		topo, terr := NewTopology(s.names, cfg.Fanout)
+		if terr != nil {
+			return nil, terr
+		}
+		s.topo = topo
+		res.Depth = topo.Depth()
+		res.Coords = len(topo.Coords)
+		for _, c := range topo.Coords {
+			coord, cerr := NewCoordinator(Options{
+				Name:   c.Name,
+				Parent: c.Parent,
+				Up:     &coordUp{s: s, c: c},
+				Down:   &coordDown{s: s, c: c},
+				// Track every concurrently open wave of the shard.
+				MaxBuckets: 3 * (len(c.Covers) + 2),
+			})
+			if cerr != nil {
+				return nil, cerr
+			}
+			s.coords[c.Name] = coord
+			if c.Level > 0 {
+				m := make(map[string]string)
+				for _, child := range c.Children {
+					cc, _ := topo.Coord(child)
+					for _, a := range cc.Covers {
+						m[a] = child
+					}
+				}
+				s.childOf[c.Name] = m
+			}
+		}
+		for _, name := range s.names {
+			leaf, _ := topo.LeafOf(name)
+			s.upOf[name] = leaf
+		}
+		root = &hierRoot{s: s}
+		// The root only ever sees O(fan-out) aggregated acks in flight,
+		// so the default out-of-order stash would do; size it to the
+		// root links for clarity.
+		maxStash = len(topo.Roots) + 64
+	} else {
+		for _, name := range s.names {
+			s.upOf[name] = protocol.ManagerName
+		}
+		root = &flatRoot{s: s}
+		// Flat mode genuinely needs an O(n) stash: all n agents send
+		// "adapt done" on the heels of "reset done", and the manager is
+		// still collecting the reset wave when they land.
+	}
+
+	allPhases := [][]string{s.names}
+	mgr, merr := manager.New(root, pl, manager.Options{
+		StepTimeout: 30 * time.Second, // virtual
+		Clock:       clock,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			s.now = s.now.Add(d)
+			return ctx.Err()
+		},
+		Journal:     journal.NewMem(),
+		ResetPhases: func(action.Action, []string) [][]string { return allPhases },
+		MaxStash:    maxStash,
+	})
+	if merr != nil {
+		return nil, merr
+	}
+
+	result, rerr := mgr.Execute(source, target)
+	if rerr != nil {
+		return nil, fmt.Errorf("fleet sim (%d agents, fanout %d): %w", cfg.Agents, cfg.Fanout, rerr)
+	}
+	res.Completed = result.Completed
+	res.Steps = len(result.Steps)
+	res.RootFrames = s.rootFrames
+	res.RootRecv = s.rootRecv
+	res.Samples = s.samples
+	res.Elapsed = s.now.Sub(time.Unix(0, 0))
+	res.P50, res.P99 = percentiles(s.samples)
+	return res, nil
+}
+
+func componentProcess(reg *model.Registry, name string) (string, error) {
+	i, err := reg.Index(name)
+	if err != nil {
+		return "", err
+	}
+	c, err := reg.Component(i)
+	if err != nil {
+		return "", err
+	}
+	return c.Process, nil
+}
+
+func percentiles(samples []WaveSample) (p50, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	lat := make([]time.Duration, len(samples))
+	for i, w := range samples {
+		lat[i] = w.Latency
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// NopProcess is a no-op agent LocalProcess for fleets whose agents host
+// no application: the simulator, the rig test and `videodemo -fleet` all
+// measure coordination latency, not application work.
+type NopProcess struct{}
+
+func (NopProcess) PreAction(protocol.Step, []action.Op) error      { return nil }
+func (NopProcess) Reset(context.Context, protocol.Step) error      { return nil }
+func (NopProcess) InAction(protocol.Step, []action.Op) error       { return nil }
+func (NopProcess) Resume(protocol.Step) error                      { return nil }
+func (NopProcess) PostAction(protocol.Step, []action.Op) error     { return nil }
+func (NopProcess) Rollback(protocol.Step, []action.Op, bool) error { return nil }

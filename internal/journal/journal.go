@@ -69,6 +69,11 @@ type Record struct {
 	Wave string `json:"wave,omitempty"`
 	// Process is the acknowledging process on KindAck.
 	Process string `json:"process,omitempty"`
+	// Agents, on a KindAck written for an aggregated fleet acknowledgement,
+	// lists the agents the coordinator's single upstream ack covered
+	// (Process is then the coordinator). Replay credits every listed agent,
+	// so recovery is oblivious to whether an ack arrived flat or batched.
+	Agents []string `json:"agents,omitempty"`
 	// Source and Target are configuration bit vectors on KindAdaptBegin.
 	Source string `json:"source,omitempty"`
 	Target string `json:"target,omitempty"`
@@ -89,6 +94,9 @@ func (r Record) String() string {
 	}
 	if r.Process != "" {
 		s += " proc=" + r.Process
+	}
+	if len(r.Agents) > 0 {
+		s += fmt.Sprintf(" agents=%v", r.Agents)
 	}
 	if r.Source != "" || r.Target != "" {
 		s += " " + r.Source + "->" + r.Target
@@ -195,7 +203,14 @@ func Replay(recs []Record) State {
 				if st.Acked[r.Wave] == nil {
 					st.Acked[r.Wave] = make(map[string]bool)
 				}
-				st.Acked[r.Wave][r.Process] = true
+				if len(r.Agents) > 0 {
+					// Aggregated coordinator ack: credit the covered shard.
+					for _, a := range r.Agents {
+						st.Acked[r.Wave][a] = true
+					}
+				} else {
+					st.Acked[r.Wave][r.Process] = true
+				}
 			}
 		case KindPoNR:
 			if st.Step != nil && sameStep(r.Step, *st.Step) {

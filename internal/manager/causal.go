@@ -3,6 +3,7 @@ package manager
 import (
 	"repro/internal/protocol"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // Causal-tracing glue: the manager stamps every outgoing command with the
@@ -20,11 +21,11 @@ func (m *Manager) nodeName() string {
 	return protocol.ManagerName
 }
 
-// send stamps msg with the causal trace context — cause is the span whose
-// work the message carries out; agents parent their spans under it — and
-// records the send in the flight recorder before handing it to the
-// transport.
-func (m *Manager) send(msg protocol.Message, cause *telemetry.Span) error {
+// stamp applies the manager's send-side discipline to one outgoing
+// message — fencing epoch, causal trace context (cause is the span whose
+// work the message carries out; agents parent their spans under it), and
+// a flight-recorder send event — and returns the stamped message.
+func (m *Manager) stamp(msg protocol.Message, cause *telemetry.Span) protocol.Message {
 	// Every outgoing message carries this incarnation's fencing epoch (0
 	// when journalless, which agents always admit).
 	msg.Epoch = m.epoch
@@ -48,7 +49,40 @@ func (m *Manager) send(msg protocol.Message, cause *telemetry.Span) error {
 			})
 		}
 	}
-	return m.ep.Send(msg)
+	return msg
+}
+
+// send stamps msg and hands it to the transport.
+func (m *Manager) send(msg protocol.Message, cause *telemetry.Span) error {
+	return m.ep.Send(m.stamp(msg, cause))
+}
+
+// sendWave stamps every message of one wave in slice order and fires the
+// wave as a unit: when the transport can batch (transport.BatchSender —
+// the mux hub and the fleet plane), the whole wave leaves as one frame
+// per child link; otherwise the sends are pipelined back-to-back without
+// awaiting anything in between. Either way no ack is read until the whole
+// wave is in flight, which is what turns the old send→await-per-agent
+// O(n) serial round into one fan-out. Per-message failures are treated as
+// message loss (the protocol's ladder recovers); the first error is
+// returned after every message has been attempted.
+func (m *Manager) sendWave(msgs []protocol.Message, cause *telemetry.Span) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	for i := range msgs {
+		msgs[i] = m.stamp(msgs[i], cause)
+	}
+	if bs, ok := m.ep.(transport.BatchSender); ok {
+		return bs.SendBatch(msgs)
+	}
+	var firstErr error
+	for _, msg := range msgs {
+		if err := m.ep.Send(msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // noteRecv merges a received reply's Lamport stamp into the local clock

@@ -189,6 +189,14 @@ type Options struct {
 	// ProbeRetries bounds how many probe rounds Recover sends before
 	// giving up on an unreachable agent. Zero means 3.
 	ProbeRetries int
+	// MaxStash bounds the out-of-order reply buffer (agents report
+	// asynchronously, so a fast agent's "adapt done" arrives while slower
+	// agents' "reset done" is still being collected). Zero means 64 —
+	// ample for hierarchical fleets, where the manager only ever sees
+	// O(fan-out) aggregated acks per wave; a FLAT deployment needs this
+	// raised to O(participants), which is itself an argument for the
+	// hierarchy.
+	MaxStash int
 }
 
 // Manager is the adaptation manager. It is not safe for concurrent
@@ -213,6 +221,11 @@ type Manager struct {
 	// stash buffers out-of-order agent replies for the current step; see
 	// await in step.go. Accessed only from the Execute goroutine.
 	stash []protocol.Message
+
+	// ackGroups records the aggregated fleet-coordinator acks the current
+	// await consumed, for journalAcks to write as shard-crediting records.
+	// Accessed only from the Execute goroutine.
+	ackGroups []ackGroup
 
 	// jr mirrors opts.Journal; epoch is this incarnation's fencing epoch
 	// (0 when journalless), fixed at New and stamped on every send.
@@ -258,6 +271,9 @@ func New(ep transport.Endpoint, plan *planner.Planner, opts Options) (*Manager, 
 	}
 	if opts.ProbeRetries <= 0 {
 		opts.ProbeRetries = 3
+	}
+	if opts.MaxStash <= 0 {
+		opts.MaxStash = maxStash
 	}
 	seed := opts.BackoffSeed
 	if seed == 0 {

@@ -214,14 +214,16 @@ func (m *Manager) recoverResume(span *telemetry.Span, step protocol.Step) error 
 			_ = m.backoff(context.Background(), retry)
 		}
 		names := make([]string, 0, len(pending))
+		wave := make([]protocol.Message, 0, len(pending))
 		for _, p := range step.Participants {
 			if !pending[p] {
 				continue
 			}
 			names = append(names, p)
 			//safeadaptvet:allow journalsend -- re-drives a resume wave whose KindPoNR record was committed by the crashed predecessor; Recover gates this path on st.PastPoNR, which is read back from that committed record
-			_ = m.send(protocol.Message{Type: protocol.MsgResume, To: p, Step: step}, resumeSpan)
+			wave = append(wave, protocol.Message{Type: protocol.MsgResume, To: p, Step: step})
 		}
+		_ = m.sendWave(wave, resumeSpan)
 		got, _ := m.await(context.Background(), names, step, protocol.MsgResumeDone, 0, m.opts.StepTimeout)
 		for p := range got {
 			delete(pending, p)

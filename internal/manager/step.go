@@ -160,12 +160,17 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	}
 	resetSpan := stepSpan.Child("reset", telemetry.String("phases", strconv.Itoa(len(phases))))
 	for _, phase := range phases {
+		// Pipelined fan-out: the whole phase's resets are fired as one wave
+		// (one frame per child link on a batching transport) before any ack
+		// is awaited, instead of the old send-per-agent serial round.
+		wave := make([]protocol.Message, 0, len(phase))
 		for _, p := range phase {
-			if err := m.send(protocol.Message{Type: protocol.MsgReset, To: p, Step: pstep}, resetSpan); err != nil {
-				resetSpan.SetErrorText("send failed")
-				resetSpan.End()
-				return fail(fmt.Sprintf("send reset to %s: %v", p, err))
-			}
+			wave = append(wave, protocol.Message{Type: protocol.MsgReset, To: p, Step: pstep})
+		}
+		if err := m.sendWave(wave, resetSpan); err != nil {
+			resetSpan.SetErrorText("send failed")
+			resetSpan.End()
+			return fail(fmt.Sprintf("send reset wave: %v", err))
 		}
 		got, bad := m.await(ctx, phase, pstep, protocol.MsgResetDone, protocol.MsgResetFailed, m.opts.StepTimeout)
 		if bad != "" {
@@ -253,17 +258,17 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 		// Iterate the sorted participants slice, not the pending map:
 		// send order must be deterministic for replayable exploration.
 		names := make([]string, 0, len(pending))
+		wave := make([]protocol.Message, 0, len(pending))
 		for _, p := range participants {
 			if !pending[p] {
 				continue
 			}
 			names = append(names, p)
-			if err := m.send(protocol.Message{Type: protocol.MsgResume, To: p, Step: pstep}, resumeSpan); err != nil {
-				// Connection-level failure: keep retrying; the agent may
-				// reconnect. Treat like a lost message.
-				continue
-			}
+			wave = append(wave, protocol.Message{Type: protocol.MsgResume, To: p, Step: pstep})
 		}
+		// Connection-level send failures are tolerated like message loss:
+		// the retry loop re-drives whoever never acked.
+		_ = m.sendWave(wave, resumeSpan)
 		// Past the point of no return: resume waits ignore cancellation
 		// (context.Background) so the step runs to completion.
 		got, _ := m.await(context.Background(), names, pstep, protocol.MsgResumeDone, 0, m.opts.StepTimeout)
@@ -296,11 +301,33 @@ func (m *Manager) executeStep(ctx context.Context, parent *telemetry.Span, step 
 	return rep, &errPastNoReturn{why: rep.Err}
 }
 
-// journalAcks records one ack per acknowledged process, iterating `order`
-// (not the map) so the journal is deterministic under replayed schedules.
+// ackGroup records one aggregated coordinator ack consumed by await, so
+// journalAcks can write a single record crediting the whole shard.
+type ackGroup struct {
+	from   string
+	agents []string
+}
+
+// journalAcks records the acknowledgements of one await: first one record
+// per aggregated coordinator ack (crediting every agent the shard ack
+// covered — Replay credits them back individually, so Recover is
+// oblivious to aggregation), then one record per remaining individually
+// acknowledged process. Aggregated groups are written in arrival order
+// and individuals iterate `order` (not the map), so the journal is
+// deterministic under replayed schedules.
 func (m *Manager) journalAcks(wave string, order []string, got map[string]bool, step protocol.Step) error {
+	covered := make(map[string]bool)
+	for _, g := range m.ackGroups {
+		if err := m.journal(journal.Record{Kind: journal.KindAck, Wave: wave, Process: g.from, Agents: g.agents, Step: step}, false); err != nil {
+			return err
+		}
+		for _, a := range g.agents {
+			covered[a] = true
+		}
+	}
+	m.ackGroups = m.ackGroups[:0]
 	for _, p := range order {
-		if !got[p] {
+		if !got[p] || covered[p] {
 			continue
 		}
 		if err := m.journal(journal.Record{Kind: journal.KindAck, Wave: wave, Process: p, Step: step}, false); err != nil {
@@ -332,9 +359,11 @@ func (m *Manager) startHeartbeats(participants []string, step protocol.Step) fun
 			case <-stop:
 				return
 			case <-t.C:
+				hb := make([]protocol.Message, 0, len(participants))
 				for _, p := range participants {
-					_ = m.send(protocol.Message{Type: protocol.MsgHeartbeat, To: p, Step: step}, nil)
+					hb = append(hb, protocol.Message{Type: protocol.MsgHeartbeat, To: p, Step: step})
 				}
+				_ = m.sendWave(hb, nil)
 			}
 		}
 	}()
@@ -360,6 +389,11 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 		wanted[p] = true
 	}
 	got := make(map[string]bool, len(from))
+	// Aggregated coordinator acks consumed by this await are grouped here
+	// and journaled by the paired journalAcks call; groups a caller never
+	// journals (best-effort rollback waits) are discarded by the next
+	// await's reset.
+	m.ackGroups = m.ackGroups[:0]
 
 	// classify inspects one message; it returns a failure description or
 	// "" and reports whether the message was consumed.
@@ -368,6 +402,21 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 			return "", true // stale reply from an earlier attempt
 		}
 		switch {
+		case msg.Type == want && len(msg.Agents) > 0:
+			// Aggregated ack from a fleet coordinator: one message credits
+			// every covered agent (the coordinator heard each of them ack
+			// individually before aggregating).
+			hit := make([]string, 0, len(msg.Agents))
+			for _, a := range msg.Agents {
+				if wanted[a] && !got[a] {
+					got[a] = true
+					hit = append(hit, a)
+				}
+			}
+			if len(hit) > 0 {
+				m.ackGroups = append(m.ackGroups, ackGroup{from: msg.From, agents: hit})
+			}
+			return "", true
 		case msg.Type == want && wanted[msg.From]:
 			got[msg.From] = true
 			return "", true
@@ -420,7 +469,7 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 			if fail != "" {
 				return got, fail
 			}
-			if !consumed && len(m.stash) < maxStash {
+			if !consumed && len(m.stash) < m.opts.MaxStash {
 				m.stash = append(m.stash, msg)
 			}
 		}
@@ -440,7 +489,7 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 			if fail != "" {
 				return got, fail
 			}
-			if !consumed && len(m.stash) < maxStash {
+			if !consumed && len(m.stash) < m.opts.MaxStash {
 				m.stash = append(m.stash, msg)
 			}
 		case <-ctx.Done():
@@ -452,7 +501,8 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 	return got, ""
 }
 
-// maxStash bounds the out-of-order reply buffer.
+// maxStash is the default bound of the out-of-order reply buffer
+// (Options.MaxStash overrides).
 const maxStash = 64
 
 // rollbackAll commands every participant to roll the step back and waits
@@ -460,9 +510,11 @@ const maxStash = 64
 // best effort suffices: an agent that never received reset acknowledges
 // trivially.
 func (m *Manager) rollbackAll(span *telemetry.Span, participants []string, step protocol.Step) {
+	wave := make([]protocol.Message, 0, len(participants))
 	for _, p := range participants {
-		_ = m.send(protocol.Message{Type: protocol.MsgRollback, To: p, Step: step}, span)
+		wave = append(wave, protocol.Message{Type: protocol.MsgRollback, To: p, Step: step})
 	}
+	_ = m.sendWave(wave, span)
 	// Rollback acknowledgements are awaited even during an abort: the
 	// whole point of cancelling cleanly is leaving the system safe.
 	m.await(context.Background(), participants, step, protocol.MsgRollbackDone, 0, m.opts.StepTimeout)

@@ -55,6 +55,13 @@ const (
 	MsgProbe
 	// MsgProbeAck answers a probe; Probe carries the agent's report.
 	MsgProbeAck
+	// MsgBatch is a transport-level envelope: one length-prefixed frame
+	// carrying a slice of per-agent messages for one child link, the unit
+	// of the fleet plane's batched wave fan-out. It is opened by the
+	// receiving hop (a fleet coordinator or mux endpoint) and its contents
+	// delivered individually; it never reaches the manager or agent state
+	// machines themselves.
+	MsgBatch
 )
 
 // String returns the paper's name for the message type.
@@ -86,6 +93,8 @@ func (t MsgType) String() string {
 		return "probe"
 	case MsgProbeAck:
 		return "probe ack"
+	case MsgBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -167,6 +176,77 @@ type Message struct {
 	Trace TraceContext `json:"trace"`
 	// Probe is the agent state report on MsgProbeAck.
 	Probe *ProbeInfo `json:"probe,omitempty"`
+	// Batch carries the enclosed per-agent messages on MsgBatch. When the
+	// envelope's Step is set, enclosed messages with a zero Step share it
+	// (PackBatch hoists a common step out of the batch so a 4096-agent wave
+	// frame does not repeat the participant list 4096 times).
+	Batch []Message `json:"batch,omitempty"`
+	// Agents, on an acknowledgement sent by a fleet coordinator, lists the
+	// agents the ack aggregates: one upstream "reset done" with Agents
+	// {a,b,c} credits all three, which is what makes the hierarchical
+	// plane O(fan-out) per hop instead of O(n) at the root. Sorted, so the
+	// message is deterministic for replay.
+	Agents []string `json:"agents,omitempty"`
+}
+
+// PackBatch wraps msgs (all addressed to agents reachable via one child
+// link) into a single MsgBatch envelope addressed to that link. When every
+// enclosed message carries the same step, the step is hoisted onto the
+// envelope and cleared from the enclosed messages, keeping wave frames
+// O(participants) instead of O(participants²) on the wire; UnpackBatch
+// reverses the hoist. The envelope carries the first message's epoch and
+// trace so fencing and causality survive the relay hop intact.
+func PackBatch(to string, msgs []Message) Message {
+	env := Message{Type: MsgBatch, To: to, Batch: msgs}
+	if len(msgs) == 0 {
+		return env
+	}
+	env.Epoch = msgs[0].Epoch
+	env.Trace = msgs[0].Trace
+	shared := msgs[0].Step
+	if shared.ActionID == "" {
+		return env
+	}
+	for _, m := range msgs[1:] {
+		if !stepEqual(m.Step, shared) {
+			return env
+		}
+	}
+	env.Step = shared
+	hoisted := make([]Message, len(msgs))
+	for i, m := range msgs {
+		m.Step = Step{}
+		hoisted[i] = m
+	}
+	env.Batch = hoisted
+	return env
+}
+
+// UnpackBatch returns the messages enclosed in a MsgBatch envelope,
+// re-attaching a hoisted step to enclosed messages that carry none. For a
+// non-batch message it returns a one-element slice, so relay loops can
+// treat both shapes uniformly.
+func UnpackBatch(env Message) []Message {
+	if env.Type != MsgBatch {
+		return []Message{env}
+	}
+	out := make([]Message, len(env.Batch))
+	for i, m := range env.Batch {
+		if m.Step.ActionID == "" && env.Step.ActionID != "" {
+			m.Step = env.Step
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// stepEqual compares steps by identity and shape without comparing the
+// (unexported-to-JSON, slice-typed) op and participant lists element-wise;
+// two steps from the same wave share backing slices, so identity fields
+// are the discriminator that matters for hoisting.
+func stepEqual(a, b Step) bool {
+	return a.PathIndex == b.PathIndex && a.Attempt == b.Attempt && a.ActionID == b.ActionID &&
+		a.FromVector == b.FromVector && a.ToVector == b.ToVector
 }
 
 // ProbeInfo is an agent's answer to MsgProbe: enough of its local state

@@ -1,0 +1,706 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// This file is the fleet plane's wire layer: connection multiplexing and
+// batched wave fan-out. A MuxManager is a hub that serves many logical
+// endpoints over few TCP connections — a MuxClient dials once and
+// registers any number of named endpoints on the same conn (hello frames,
+// like tcp.go), and a fleet coordinator registers itself plus the agent
+// names it covers, so the hub routes per-agent traffic to the right link
+// without a topology in the transport. One frame can carry a whole wave
+// for a link (protocol.MsgBatch), which is what turns the manager's O(n)
+// frames per wave into O(links).
+//
+// Ordering: a hub serializes frame writes per process (sendMu), and a
+// client demultiplexes with a single read loop, so messages of one
+// logical stream (one From→To pair) are delivered in send order even when
+// many endpoints share the conn.
+
+// MuxManager is the hub side of the multiplexed transport. It implements
+// Endpoint (inbox of every frame received from any registered name) and
+// BatchSender (one MsgBatch frame per child link per wave).
+type MuxManager struct {
+	name  string
+	ln    net.Listener
+	inbox chan protocol.Message
+	tel   atomic.Pointer[telemetry.Registry]
+
+	mu       sync.Mutex
+	routes   map[string]*muxRoute // registered name (direct or covered) → route
+	closed   bool
+	regPulse chan struct{} // closed (and replaced) on every registration change
+	wg       sync.WaitGroup
+
+	// sendMu serializes frame writes: heartbeats, wave batches and
+	// recovery probes are sent concurrently, and interleaved partial
+	// writes would corrupt the framing.
+	sendMu sync.Mutex
+}
+
+// muxRoute is where frames for one registered name go: the connection,
+// the endpoint that declared the route (the name itself for a direct
+// registration, the covering relay endpoint otherwise), and whether the
+// route goes through a relay — frames for covered names are wrapped in
+// MsgBatch envelopes addressed to the owner, so the relay sees them on
+// its own logical endpoint.
+type muxRoute struct {
+	conn  net.Conn
+	owner string
+	relay bool
+}
+
+// SetTelemetry installs the telemetry registry the endpoint counts frame
+// traffic on. Nil disables instrumentation.
+func (m *MuxManager) SetTelemetry(tel *telemetry.Registry) { m.tel.Store(tel) }
+
+// ListenMux starts a hub endpoint named name on addr (e.g. "127.0.0.1:0").
+// The root manager's hub is named protocol.ManagerName; a coordinator's
+// downward hub is named after the coordinator.
+func ListenMux(name, addr string) (*MuxManager, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	m := &MuxManager{
+		name:     name,
+		ln:       ln,
+		inbox:    make(chan protocol.Message, 256),
+		routes:   make(map[string]*muxRoute),
+		regPulse: make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the listening address, for clients to dial.
+func (m *MuxManager) Addr() string { return m.ln.Addr().String() }
+
+// Name implements Endpoint.
+func (m *MuxManager) Name() string { return m.name }
+
+// Inbox implements Endpoint.
+func (m *MuxManager) Inbox() <-chan protocol.Message { return m.inbox }
+
+// Send implements Endpoint: it writes the message to the link serving
+// msg.To. A message for a covered (relayed) name is wrapped in a MsgBatch
+// envelope addressed to the relay, so the relay's demultiplexer hands it
+// to the relay process rather than dropping an unknown stream.
+func (m *MuxManager) Send(msg protocol.Message) error {
+	if msg.From == "" {
+		msg.From = m.name
+	}
+	m.mu.Lock()
+	rt, ok := m.routes[msg.To]
+	m.mu.Unlock()
+	if !ok {
+		tel := m.tel.Load()
+		tel.Counter("transport.mux.send_errors").Inc()
+		noteDrop(tel, msg, "no route")
+		return fmt.Errorf("transport: no route to %q", msg.To)
+	}
+	out := msg
+	if rt.relay && msg.To != rt.owner {
+		out = protocol.PackBatch(rt.owner, []protocol.Message{msg})
+		out.From = msg.From
+	}
+	m.tel.Load().Counter("transport.mux.frames_sent").Inc()
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	//safeadaptvet:allow locksend -- sendMu is a dedicated frame-write serializer guarding no protocol state; the route was copied out from under the state lock m.mu above
+	return protocol.WriteFrame(rt.conn, out)
+}
+
+// SendBatch implements BatchSender: messages are grouped by link in
+// first-seen order (deterministic for a deterministically ordered wave)
+// and each group leaves as a single MsgBatch frame, preserving in-group
+// order. Groups for dead or unknown links are counted as loss; the first
+// error is returned after every group has been attempted.
+func (m *MuxManager) SendBatch(msgs []protocol.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	// Messages share a frame only when they share both the connection and
+	// the delivery discipline: one envelope per relay endpoint (addressed
+	// to it), one anonymous envelope per conn for directly registered
+	// streams (the client demultiplexes those by each enclosed To).
+	type gkey struct {
+		conn  net.Conn
+		owner string // "" for direct streams
+	}
+	type group struct {
+		key  gkey
+		msgs []protocol.Message
+	}
+	var groups []*group
+	index := make(map[gkey]*group)
+	var firstErr error
+	m.mu.Lock()
+	for _, msg := range msgs {
+		if msg.From == "" {
+			msg.From = m.name
+		}
+		rt, ok := m.routes[msg.To]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: no route to %q", msg.To)
+			}
+			m.tel.Load().Counter("transport.mux.send_errors").Inc()
+			continue
+		}
+		key := gkey{conn: rt.conn}
+		if rt.relay {
+			key.owner = rt.owner
+		}
+		g := index[key]
+		if g == nil {
+			g = &group{key: key}
+			index[key] = g
+			groups = append(groups, g)
+		}
+		g.msgs = append(g.msgs, msg)
+	}
+	m.mu.Unlock()
+
+	tel := m.tel.Load()
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	for _, g := range groups {
+		out := protocol.PackBatch(g.key.owner, g.msgs)
+		out.From = m.name
+		tel.Counter("transport.mux.frames_sent").Inc()
+		tel.Counter("transport.mux.batched_msgs").Add(int64(len(g.msgs)))
+		//safeadaptvet:allow locksend -- sendMu is a dedicated frame-write serializer guarding no protocol state; routes were copied out from under the state lock m.mu above
+		if err := protocol.WriteFrame(g.key.conn, out); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// WaitForAgents blocks until every named endpoint is routable (directly
+// registered or covered by a relay), the hub closes, or the timeout
+// elapses. It consumes no inbox messages.
+func (m *MuxManager) WaitForAgents(timeout time.Duration, names ...string) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return ErrClosed
+		}
+		missing := ""
+		for _, n := range names {
+			if _, ok := m.routes[n]; !ok {
+				missing = n
+				break
+			}
+		}
+		pulse := m.regPulse
+		m.mu.Unlock()
+		if missing == "" {
+			return nil
+		}
+		select {
+		case <-pulse: // a registration (or close) happened; re-check
+		case <-timer.C:
+			return fmt.Errorf("transport: endpoint %q did not register within %v", missing, timeout)
+		}
+	}
+}
+
+// pulseLocked wakes every WaitForAgents waiter. Callers hold m.mu.
+func (m *MuxManager) pulseLocked() {
+	close(m.regPulse)
+	m.regPulse = make(chan struct{})
+}
+
+// Close implements Endpoint.
+func (m *MuxManager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.pulseLocked()
+	seen := make(map[net.Conn]bool)
+	conns := make([]net.Conn, 0, len(m.routes))
+	for _, rt := range m.routes {
+		if !seen[rt.conn] {
+			seen[rt.conn] = true
+			conns = append(conns, rt.conn)
+		}
+	}
+	m.mu.Unlock()
+
+	_ = m.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	m.wg.Wait()
+	close(m.inbox)
+	return nil
+}
+
+func (m *MuxManager) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go m.serveConn(conn)
+	}
+}
+
+// register binds name (and the coverage it declares) to conn. A name
+// moving to a new conn (a redialed client) simply re-routes; the old conn
+// is not torn down — its other streams may still be live.
+func (m *MuxManager) register(conn net.Conn, name string, covers []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.routes[name] = &muxRoute{conn: conn, owner: name, relay: len(covers) > 0}
+	for _, c := range covers {
+		m.routes[c] = &muxRoute{conn: conn, owner: name, relay: true}
+	}
+	m.pulseLocked()
+}
+
+func (m *MuxManager) serveConn(conn net.Conn) {
+	defer m.wg.Done()
+	hello, err := protocol.ReadFrame(conn)
+	if err != nil || hello.Type != protocol.MsgHello || hello.From == "" {
+		_ = conn.Close()
+		return
+	}
+	allowed := map[string]bool{hello.From: true}
+	for _, c := range hello.Agents {
+		allowed[c] = true
+	}
+	m.register(conn, hello.From, hello.Agents)
+
+	// deliver pushes one attributed message to the hub inbox.
+	deliver := func(msg protocol.Message) {
+		if !allowed[msg.From] {
+			// Trust the connection: only streams the conn registered (or
+			// declared coverage for) may speak. Anything else is dropped,
+			// not misattributed.
+			tel := m.tel.Load()
+			tel.Counter("transport.mux.unattributed_drops").Inc()
+			noteDrop(tel, msg, "unregistered stream")
+			return
+		}
+		m.tel.Load().Counter("transport.mux.frames_received").Inc()
+		select {
+		case m.inbox <- msg:
+		default:
+			// Overflow behaves like loss; the protocol tolerates it.
+			m.tel.Load().Counter("transport.messages.overflowed").Inc()
+			noteDrop(m.tel.Load(), msg, "inbox overflow")
+		}
+	}
+
+	for {
+		msg, err := protocol.ReadFrame(conn)
+		if err != nil {
+			break
+		}
+		if msg.Type == protocol.MsgHello && msg.From != "" {
+			// Incremental registration: another logical endpoint (or an
+			// updated coverage set) joins the same conn.
+			allowed[msg.From] = true
+			for _, c := range msg.Agents {
+				allowed[c] = true
+			}
+			m.register(conn, msg.From, msg.Agents)
+			continue
+		}
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			break
+		}
+		if msg.Type == protocol.MsgBatch && (msg.To == "" || msg.To == m.name) {
+			// An upward wave batched into one frame: unbundle here so
+			// inbox consumers only ever see protocol messages. Each inner
+			// message is attributed on its own.
+			for _, inner := range protocol.UnpackBatch(msg) {
+				deliver(inner)
+			}
+			continue
+		}
+		deliver(msg)
+	}
+
+	m.mu.Lock()
+	for name, rt := range m.routes {
+		if rt.conn == conn {
+			delete(m.routes, name)
+		}
+	}
+	m.mu.Unlock()
+	_ = conn.Close()
+}
+
+// MuxClient multiplexes many logical endpoints over one reconnecting TCP
+// connection to a hub. Each Endpoint call registers a named stream with a
+// hello frame; when the connection dies the client redials (polling the
+// address function, like ReconnectingAgent) and re-registers every
+// endpoint, so a whole shard of agents reattaches with one dial.
+type MuxClient struct {
+	addr   func() string
+	redial time.Duration
+	tel    atomic.Pointer[telemetry.Registry]
+
+	mu     sync.Mutex
+	conn   net.Conn // nil while disconnected
+	eps    map[string]*MuxEndpoint
+	order  []string // registration order, for deterministic re-hello
+	covers map[string][]string
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// sendMu serializes frame writes so concurrent Sends from different
+	// logical endpoints cannot interleave bytes; never held with mu.
+	sendMu sync.Mutex
+}
+
+// SetTelemetry installs the telemetry registry the client counts frame
+// traffic on. Nil disables instrumentation.
+func (c *MuxClient) SetTelemetry(tel *telemetry.Registry) { c.tel.Store(tel) }
+
+// DialMux connects to the hub address returned by addr and keeps
+// reconnecting (polling addr each time) when the connection drops. The
+// first dial is synchronous so connectivity errors surface immediately.
+// redialDelay <= 0 means 50ms.
+func DialMux(addr func() string, redialDelay time.Duration) (*MuxClient, error) {
+	if redialDelay <= 0 {
+		redialDelay = 50 * time.Millisecond
+	}
+	conn, err := net.Dial("tcp", addr())
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	c := &MuxClient{
+		addr:   addr,
+		redial: redialDelay,
+		conn:   conn,
+		eps:    make(map[string]*MuxEndpoint),
+		covers: make(map[string][]string),
+		stop:   make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.run(conn)
+	return c, nil
+}
+
+// Endpoint registers a logical endpoint on the shared connection and
+// returns it. covers, if given, declares names this endpoint relays on
+// behalf of (a fleet coordinator lists its subtree's agents): the hub
+// will accept forwarded frames From those names on this conn and route
+// frames addressed To them down this conn.
+func (c *MuxClient) Endpoint(name string, covers ...string) (*MuxEndpoint, error) {
+	if name == "" {
+		return nil, fmt.Errorf("transport: empty endpoint name")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := c.eps[name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: endpoint %q already registered", name)
+	}
+	ep := &MuxEndpoint{
+		c:     c,
+		name:  name,
+		inbox: make(chan protocol.Message, 64),
+	}
+	c.eps[name] = ep
+	c.order = append(c.order, name)
+	c.covers[name] = covers
+	conn := c.conn
+	c.mu.Unlock()
+
+	if conn != nil {
+		// Registration failure here is indistinguishable from the conn
+		// dying right after a successful hello; the redial loop re-hellos.
+		_ = c.writeFrame(conn, helloFrame(name, covers))
+	}
+	return ep, nil
+}
+
+// helloFrame builds the registration frame for name with the given
+// coverage declaration.
+func helloFrame(name string, covers []string) protocol.Message {
+	hello := protocol.Message{Type: protocol.MsgHello, From: name, Agents: covers}
+	return hello
+}
+
+// writeFrame writes one frame under the send serializer.
+func (c *MuxClient) writeFrame(conn net.Conn, msg protocol.Message) error {
+	c.tel.Load().Counter("transport.mux.frames_sent").Inc()
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	//safeadaptvet:allow locksend -- sendMu is a dedicated frame-write serializer guarding no protocol state; conn was copied out from under the state lock c.mu by the caller
+	return protocol.WriteFrame(conn, msg)
+}
+
+// Close shuts the client and every logical endpoint down.
+func (c *MuxClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	eps := make([]*MuxEndpoint, 0, len(c.eps))
+	for _, name := range c.order {
+		if ep := c.eps[name]; ep != nil {
+			eps = append(eps, ep)
+		}
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	if conn != nil {
+		_ = conn.Close()
+	}
+	c.wg.Wait()
+	for _, ep := range eps {
+		ep.closeInbox()
+	}
+	return nil
+}
+
+// run is the shared read/redial loop: one reader demultiplexes frames to
+// the per-endpoint inboxes; on connection death it redials, re-registers
+// every endpoint in registration order, and carries on. The logical
+// inboxes survive the transfer — agents on top never notice, and epoch
+// fencing sorts out which manager incarnation's messages still matter.
+func (c *MuxClient) run(conn net.Conn) {
+	defer c.wg.Done()
+	for {
+		if conn == nil {
+			select {
+			case <-c.stop:
+				return
+			case <-time.After(c.redial):
+			}
+			nc, err := net.Dial("tcp", c.addr())
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				_ = nc.Close()
+				return
+			}
+			c.conn = nc
+			names := append([]string(nil), c.order...)
+			covers := make(map[string][]string, len(names))
+			for _, n := range names {
+				covers[n] = c.covers[n]
+			}
+			c.mu.Unlock()
+			ok := true
+			for _, n := range names {
+				if err := c.writeFrame(nc, helloFrame(n, covers[n])); err != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				_ = nc.Close()
+				c.mu.Lock()
+				if c.conn == nc {
+					c.conn = nil
+				}
+				c.mu.Unlock()
+				continue
+			}
+			conn = nc
+			c.tel.Load().Counter("transport.mux.reconnects").Inc()
+		}
+		msg, err := protocol.ReadFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			c.mu.Lock()
+			if c.conn == conn {
+				c.conn = nil
+			}
+			closed := c.closed
+			c.mu.Unlock()
+			conn = nil
+			if closed {
+				return
+			}
+			continue
+		}
+		c.tel.Load().Counter("transport.mux.frames_received").Inc()
+		c.route(msg)
+	}
+}
+
+// route delivers one received frame: to the named endpoint when the To is
+// registered here (a relay receives whole MsgBatch envelopes addressed to
+// it), otherwise — for batch envelopes — each enclosed message to its own
+// endpoint. Messages for unknown streams are counted as loss.
+func (c *MuxClient) route(msg protocol.Message) {
+	c.mu.Lock()
+	ep := c.eps[msg.To]
+	c.mu.Unlock()
+	if ep != nil {
+		c.push(ep, msg)
+		return
+	}
+	if msg.Type == protocol.MsgBatch {
+		for _, inner := range protocol.UnpackBatch(msg) {
+			c.mu.Lock()
+			ep := c.eps[inner.To]
+			c.mu.Unlock()
+			if ep == nil {
+				tel := c.tel.Load()
+				tel.Counter("transport.mux.unrouted_drops").Inc()
+				noteDrop(tel, inner, "no local endpoint")
+				continue
+			}
+			c.push(ep, inner)
+		}
+		return
+	}
+	tel := c.tel.Load()
+	tel.Counter("transport.mux.unrouted_drops").Inc()
+	noteDrop(tel, msg, "no local endpoint")
+}
+
+func (c *MuxClient) push(ep *MuxEndpoint, msg protocol.Message) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	select {
+	case ep.inbox <- msg:
+	default:
+		c.tel.Load().Counter("transport.messages.overflowed").Inc()
+		noteDrop(c.tel.Load(), msg, "inbox overflow")
+	}
+}
+
+// MuxEndpoint is one logical endpoint on a shared MuxClient connection.
+type MuxEndpoint struct {
+	c    *MuxClient
+	name string
+
+	mu     sync.Mutex
+	inbox  chan protocol.Message
+	closed bool
+}
+
+// Name implements Endpoint.
+func (e *MuxEndpoint) Name() string { return e.name }
+
+// Inbox implements Endpoint.
+func (e *MuxEndpoint) Inbox() <-chan protocol.Message { return e.inbox }
+
+// Send implements Endpoint. A caller-set From is preserved, so a relay
+// can forward messages on behalf of its subtree (the hub admits only
+// Froms within the conn's declared coverage); otherwise From is the
+// endpoint's own name. While disconnected, sends fail — the protocol
+// treats that as message loss and recovers through its own ladder.
+func (e *MuxEndpoint) Send(msg protocol.Message) error {
+	if msg.From == "" {
+		msg.From = e.name
+	}
+	e.c.mu.Lock()
+	conn := e.c.conn
+	e.c.mu.Unlock()
+	if conn == nil {
+		e.c.tel.Load().Counter("transport.mux.send_errors").Inc()
+		return fmt.Errorf("transport: endpoint %q disconnected from hub", e.name)
+	}
+	// If the redial loop swaps the connection after the copy, the write
+	// fails on the stale conn — indistinguishable from message loss.
+	return e.c.writeFrame(conn, msg)
+}
+
+// SendBatch implements BatchSender: the messages leave as one MsgBatch
+// frame on the shared connection, preserving order. The envelope is
+// addressed by the hub's routing (each enclosed To), so it is sent
+// unaddressed.
+func (e *MuxEndpoint) SendBatch(msgs []protocol.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	for i := range msgs {
+		if msgs[i].From == "" {
+			msgs[i].From = e.name
+		}
+	}
+	e.c.mu.Lock()
+	conn := e.c.conn
+	e.c.mu.Unlock()
+	if conn == nil {
+		e.c.tel.Load().Counter("transport.mux.send_errors").Inc()
+		return fmt.Errorf("transport: endpoint %q disconnected from hub", e.name)
+	}
+	env := protocol.PackBatch("", msgs)
+	env.From = e.name
+	e.c.tel.Load().Counter("transport.mux.batched_msgs").Add(int64(len(msgs)))
+	return e.c.writeFrame(conn, env)
+}
+
+func (e *MuxEndpoint) closeInbox() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.inbox)
+}
+
+// Close implements Endpoint: the logical endpoint deregisters locally
+// (the shared connection stays up for its siblings).
+func (e *MuxEndpoint) Close() error {
+	e.c.mu.Lock()
+	delete(e.c.eps, e.name)
+	for i, n := range e.c.order {
+		if n == e.name {
+			e.c.order = append(e.c.order[:i], e.c.order[i+1:]...)
+			break
+		}
+	}
+	delete(e.c.covers, e.name)
+	e.c.mu.Unlock()
+	e.closeInbox()
+	return nil
+}
+
+var (
+	_ Endpoint    = (*MuxManager)(nil)
+	_ Endpoint    = (*MuxEndpoint)(nil)
+	_ BatchSender = (*MuxManager)(nil)
+	_ BatchSender = (*MuxEndpoint)(nil)
+)

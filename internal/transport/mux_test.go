@@ -1,0 +1,361 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func muxPair(t *testing.T) (*MuxManager, *MuxClient) {
+	t.Helper()
+	hub, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hub.Close() })
+	addr := hub.Addr()
+	client, err := DialMux(func() string { return addr }, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return hub, client
+}
+
+func recvHub(t *testing.T, hub *MuxManager, timeout time.Duration) protocol.Message {
+	t.Helper()
+	select {
+	case msg := <-hub.Inbox():
+		return msg
+	case <-time.After(timeout):
+		t.Fatal("timeout waiting for hub message")
+		return protocol.Message{}
+	}
+}
+
+// TestMuxRoundTrip: many logical endpoints over one conn, both directions.
+func TestMuxRoundTrip(t *testing.T) {
+	hub, client := muxPair(t)
+	a1, err := client.Endpoint("a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := client.Endpoint("a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.WaitForAgents(2*time.Second, "a1", "a2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Down: hub routes by To across the shared conn.
+	if err := hub.Send(protocol.Message{Type: protocol.MsgReset, To: "a2"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-a2.Inbox():
+		if msg.Type != protocol.MsgReset {
+			t.Fatalf("a2 got %v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("a2 never received")
+	}
+	select {
+	case msg := <-a1.Inbox():
+		t.Fatalf("a1 stole a2's message: %+v", msg)
+	default:
+	}
+
+	// Up: each endpoint speaks under its own From.
+	if err := a1.Send(protocol.Message{Type: protocol.MsgResetDone, To: "manager"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvHub(t, hub, 2*time.Second); got.From != "a1" {
+		t.Fatalf("From = %q, want a1", got.From)
+	}
+}
+
+// TestMuxPerStreamOrderingUnderConcurrentSends: two endpoints send
+// concurrently over the shared conn; each stream's own sequence must
+// arrive in order (the write lock serializes whole frames, never
+// interleaving bytes).
+func TestMuxPerStreamOrderingUnderConcurrentSends(t *testing.T) {
+	hub, client := muxPair(t)
+	// 3×80 = 240 messages fit the hub's 256-slot inbox: no overflow, so
+	// every message must arrive, each stream's in its exact send order.
+	const perStream = 80
+	streams := []string{"s0", "s1", "s2"}
+	eps := make([]*MuxEndpoint, len(streams))
+	for i, name := range streams {
+		ep, err := client.Endpoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	if err := hub.WaitForAgents(2*time.Second, streams...); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep *MuxEndpoint) {
+			defer wg.Done()
+			for i := 0; i < perStream; i++ {
+				if err := ep.Send(protocol.Message{
+					Type:  protocol.MsgHeartbeat,
+					To:    "manager",
+					Error: fmt.Sprintf("%d", i), // sequence tag
+				}); err != nil {
+					t.Errorf("%s send %d: %v", ep.Name(), i, err)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+
+	next := map[string]int{}
+	for n := 0; n < perStream*len(streams); n++ {
+		msg := recvHub(t, hub, 5*time.Second)
+		want := fmt.Sprintf("%d", next[msg.From])
+		if msg.Error != want {
+			t.Fatalf("stream %s out of order: got seq %s, want %s", msg.From, msg.Error, want)
+		}
+		next[msg.From]++
+	}
+	for _, name := range streams {
+		if next[name] != perStream {
+			t.Fatalf("stream %s delivered %d of %d", name, next[name], perStream)
+		}
+	}
+}
+
+// TestMuxBatchedFrameCarriesWave: SendBatch from the hub reaches each
+// endpoint individually; SendBatch from an endpoint lands as individual
+// messages at the hub.
+func TestMuxBatchedFrameCarriesWave(t *testing.T) {
+	hub, client := muxPair(t)
+	names := []string{"b0", "b1", "b2", "b3"}
+	eps := map[string]*MuxEndpoint{}
+	for _, n := range names {
+		ep, err := client.Endpoint(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[n] = ep
+	}
+	if err := hub.WaitForAgents(2*time.Second, names...); err != nil {
+		t.Fatal(err)
+	}
+
+	var wave []protocol.Message
+	for _, n := range names {
+		wave = append(wave, protocol.Message{Type: protocol.MsgReset, To: n, Step: protocol.Step{Attempt: 1}})
+	}
+	if err := hub.SendBatch(wave); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		select {
+		case msg := <-eps[n].Inbox():
+			if msg.Type != protocol.MsgReset || msg.To != n || msg.Step.Attempt != 1 {
+				t.Fatalf("%s got %+v", n, msg)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s never received its wave command", n)
+		}
+	}
+
+	up := []protocol.Message{
+		{Type: protocol.MsgResetDone, To: "manager", Step: protocol.Step{Attempt: 1}},
+		{Type: protocol.MsgAdaptDone, To: "manager", Step: protocol.Step{Attempt: 1}},
+	}
+	if err := eps["b0"].SendBatch(up); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []protocol.MsgType{protocol.MsgResetDone, protocol.MsgAdaptDone} {
+		msg := recvHub(t, hub, 2*time.Second)
+		if msg.Type != want || msg.From != "b0" {
+			t.Fatalf("got %+v, want %v from b0", msg, want)
+		}
+	}
+}
+
+// TestMuxTornFrameDropsConnNotState: a raw conn that sends a valid hello,
+// then half a frame, then dies must not poison the hub — and a fresh
+// client under the same name reattaches and works.
+func TestMuxTornFrameDropsConnNotState(t *testing.T) {
+	hub, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(conn, protocol.Message{Type: protocol.MsgHello, From: "torn"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.WaitForAgents(2*time.Second, "torn"); err != nil {
+		t.Fatal(err)
+	}
+	// A length prefix promising a frame that never arrives: the classic
+	// torn write. The hub's read loop must treat it as conn death.
+	if _, err := conn.Write([]byte{0x00, 0x00, 0x10, 0x00, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	// The name must become reattachable by a fresh client.
+	addr := hub.Addr()
+	client, err := DialMux(func() string { return addr }, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ep, err := client.Endpoint("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := hub.Send(protocol.Message{Type: protocol.MsgProbe, To: "torn"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("name never reattached after torn conn died")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case msg := <-ep.Inbox():
+		if msg.Type != protocol.MsgProbe {
+			t.Fatalf("got %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reattached endpoint never received")
+	}
+}
+
+// TestMuxRedialReattachesAllStreams mirrors the reconnecting-TCP test:
+// when the hub dies and a new one takes over the address, the client
+// redials once and re-hellos every registered stream, including relay
+// coverage.
+func TestMuxRedialReattachesAllStreams(t *testing.T) {
+	hub, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := hub.Addr()
+
+	var mu sync.Mutex
+	cur := addr
+	client, err := DialMux(func() string { mu.Lock(); defer mu.Unlock(); return cur }, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	a, err := client.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := client.Endpoint("relay", "r1", "r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.WaitForAgents(2*time.Second, "a", "relay", "r1", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	hub.Close()
+
+	hub2, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	mu.Lock()
+	cur = hub2.Addr()
+	mu.Unlock()
+
+	// The client must re-register every stream on the new hub by itself.
+	if err := hub2.WaitForAgents(5*time.Second, "a", "relay", "r1", "r2"); err != nil {
+		t.Fatalf("streams not re-registered after redial: %v", err)
+	}
+
+	// Traffic to a directly registered stream flows again.
+	if err := hub2.Send(protocol.Message{Type: protocol.MsgProbe, To: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-a.Inbox():
+		if msg.Type != protocol.MsgProbe {
+			t.Fatalf("got %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("a never received after redial")
+	}
+
+	// Traffic to a covered name arrives at the relay endpoint, wrapped
+	// whole for the relay to demultiplex.
+	if err := hub2.Send(protocol.Message{Type: protocol.MsgReset, To: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-relay.Inbox():
+		inner := protocol.UnpackBatch(msg)
+		if len(inner) != 1 || inner[0].To != "r1" || inner[0].Type != protocol.MsgReset {
+			t.Fatalf("relay got %+v -> %+v", msg, inner)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("relay never received covered-name traffic after redial")
+	}
+}
+
+// TestMuxUnregisteredFromDropped: a conn may only speak for streams it
+// registered or declared coverage for; anything else is dropped, not
+// misattributed.
+func TestMuxUnregisteredFromDropped(t *testing.T) {
+	hub, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := protocol.WriteFrame(conn, protocol.Message{Type: protocol.MsgHello, From: "honest"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.WaitForAgents(2*time.Second, "honest"); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a frame under a name this conn never registered.
+	if err := protocol.WriteFrame(conn, protocol.Message{Type: protocol.MsgResetDone, From: "victim", To: "manager"}); err != nil {
+		t.Fatal(err)
+	}
+	// An honest frame after the forged one still flows (the conn is not
+	// killed, the forged frame is just dropped).
+	if err := protocol.WriteFrame(conn, protocol.Message{Type: protocol.MsgResetDone, From: "honest", To: "manager"}); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvHub(t, hub, 2*time.Second)
+	if msg.From != "honest" {
+		t.Fatalf("hub delivered forged traffic: %+v", msg)
+	}
+	select {
+	case msg := <-hub.Inbox():
+		t.Fatalf("unexpected second delivery: %+v", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

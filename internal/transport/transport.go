@@ -35,6 +35,19 @@ type Endpoint interface {
 	Close() error
 }
 
+// BatchSender is implemented by endpoints that can hand a whole wave of
+// messages to the transport at once. The manager uses it to pipeline wave
+// fan-out: all commands of a wave are stamped and fired as one unit —
+// ideally one length-prefixed frame per child link — before any ack is
+// awaited. SendBatch is best-effort per message: it attempts every
+// message (a dead link loses only that link's share, which the protocol
+// already treats as message loss) and returns the first error seen.
+// Implementations must preserve the slice's order within each link so the
+// deterministic sorted send order survives batching.
+type BatchSender interface {
+	SendBatch(msgs []protocol.Message) error
+}
+
 // FaultFunc inspects a message about to be delivered and returns the fault
 // to apply. Returning (false, 0) delivers normally; (true, _) drops the
 // message; (false, d>0) delays delivery by d.
