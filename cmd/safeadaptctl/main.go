@@ -21,6 +21,7 @@
 //	safeadaptctl ftdc decode [-csv] <file>   # dump every recovered capture sample as JSON or CSV
 //	safeadaptctl ftdc summary [-json] <file> # per-metric min/max/first/last/rate across the capture
 //	safeadaptctl vet [-run names] [pkgs]     # run the safeadaptvet protocol-invariant analyzers
+//	safeadaptctl watch [-url U] [-once]      # live fleet view from a manager's observability endpoint
 //	safeadaptctl template                    # emit the case study as JSON (a spec template)
 //
 // Without -f, every command analyzes the built-in DSN 2004 case study.
@@ -48,7 +49,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|journal|postmortem|ftdc|vet|template> [flags]")
+		return fmt.Errorf("usage: safeadaptctl <tables|safe-configs|sag|plan|sets|validate|simulate|trace|check|journal|postmortem|ftdc|vet|watch|template> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -71,6 +72,10 @@ func run(args []string, out io.Writer) error {
 	if cmd == "vet" {
 		// vet has its own flag set (analyzer selection, package patterns).
 		return vetCmd(rest, out)
+	}
+	if cmd == "watch" {
+		// watch has its own flag set (endpoint URL, poll cadence).
+		return watchCmd(rest, out)
 	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/ftdc"
@@ -54,10 +55,11 @@ func postmortem(args []string, out io.Writer) error {
 		}
 		for _, c := range captures {
 			doc.Captures = append(doc.Captures, captureDoc{
-				File:      filepath.Base(c.path),
-				Samples:   c.capt.NumSamples(),
-				TornBytes: c.capt.TornBytes,
-				Metrics:   c.capt.Summarize(),
+				File:        filepath.Base(c.path),
+				Samples:     c.capt.NumSamples(),
+				TornBytes:   c.capt.TornBytes,
+				Metrics:     c.capt.Summarize(),
+				FleetShards: fleetFrontiers(c.capt),
 			})
 		}
 		if err := writeJSON(out, doc); err != nil {
@@ -79,6 +81,7 @@ func postmortem(args []string, out io.Writer) error {
 
 	for _, c := range captures {
 		renderCapture(out, c)
+		renderFleetFrontiers(out, fleetFrontiers(c.capt))
 	}
 
 	if !*noTree {
@@ -99,10 +102,92 @@ func postmortem(args []string, out io.Writer) error {
 
 // captureDoc is the JSON shape of one spliced capture file.
 type captureDoc struct {
-	File      string               `json:"file"`
-	Samples   int                  `json:"samples"`
-	TornBytes int64                `json:"tornBytes,omitempty"`
-	Metrics   []ftdc.MetricSummary `json:"metrics"`
+	File        string               `json:"file"`
+	Samples     int                  `json:"samples"`
+	TornBytes   int64                `json:"tornBytes,omitempty"`
+	Metrics     []ftdc.MetricSummary `json:"metrics"`
+	FleetShards []shardFrontier      `json:"fleetShards,omitempty"`
+}
+
+// shardFrontier is one shard's wave progression recovered from a fleet
+// capture: when its agents first showed as pending after a wave send,
+// when the shard's aggregated acknowledgements covered them all, and
+// whether the capture ends with the shard still in flight.
+type shardFrontier struct {
+	Shard      string        `json:"shard"`
+	MaxPending int64         `json:"maxPending"`
+	MaxAcked   int64         `json:"maxAcked"`
+	FirstAt    int64         `json:"firstPendingUnixNanos"`
+	DoneAt     int64         `json:"fullyAckedUnixNanos,omitempty"`
+	InFlight   time.Duration `json:"inFlightNanos"`
+	Unfinished bool          `json:"unfinished,omitempty"`
+}
+
+// fleetFrontiers recovers the per-shard wave frontier from a capture's
+// fleetobs series, sorted by shard name. Captures without the fleet
+// observability plane yield nil.
+func fleetFrontiers(capt *ftdc.Capture) []shardFrontier {
+	const prefix, suffix = "gauge.fleetobs.shard.", ".wave_pending"
+	var shards []string
+	for _, name := range capt.MetricNames() {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+			shards = append(shards, strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix))
+		}
+	}
+	sort.Strings(shards)
+	var out []shardFrontier
+	for _, shard := range shards {
+		at, pending := capt.Series(prefix + shard + suffix)
+		_, acked := capt.Series(prefix + shard + ".wave_acked")
+		f := shardFrontier{Shard: shard, FirstAt: -1, DoneAt: -1}
+		for i := range pending {
+			if pending[i] > f.MaxPending {
+				f.MaxPending = pending[i]
+			}
+			if i < len(acked) && acked[i] > f.MaxAcked {
+				f.MaxAcked = acked[i]
+			}
+			if f.FirstAt == -1 && pending[i] > 0 {
+				f.FirstAt = at[i]
+			}
+			// The shard's slice of the wave is complete when the frontier
+			// drains back to zero after having been open.
+			if f.FirstAt != -1 && f.DoneAt == -1 && pending[i] == 0 {
+				f.DoneAt = at[i]
+			}
+		}
+		if f.FirstAt == -1 {
+			continue // shard never participated in a captured wave
+		}
+		if f.DoneAt >= 0 {
+			f.InFlight = time.Duration(f.DoneAt - f.FirstAt)
+		} else {
+			f.Unfinished = true
+			if n := len(at); n > 0 {
+				f.InFlight = time.Duration(at[n-1] - f.FirstAt)
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// renderFleetFrontiers prints the shard-level wave progression — what
+// happened between the manager's wave send and each coordinator's
+// aggregated ack, as the rollup stream recorded it.
+func renderFleetFrontiers(out io.Writer, fronts []shardFrontier) {
+	if len(fronts) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "\n== fleet wave frontier (per shard, from the rollup capture) ==")
+	for _, f := range fronts {
+		status := fmt.Sprintf("fully acked after %v", f.InFlight.Round(time.Microsecond))
+		if f.Unfinished {
+			status = fmt.Sprintf("STILL IN FLIGHT at capture end (+%v)", f.InFlight.Round(time.Microsecond))
+		}
+		fmt.Fprintf(out, "  %-24s peak %d pending -> %d acked, %s\n",
+			f.Shard, f.MaxPending, f.MaxAcked, status)
+	}
 }
 
 // loadedCapture pairs a decoded capture with its file path.

@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/telemetry"
 )
 
@@ -121,5 +123,64 @@ func TestPostmortemBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"postmortem", "-dir", t.TempDir()}, &sb); err == nil {
 		t.Error("empty bundle dir should fail")
+	}
+}
+
+// TestPostmortemFleetFrontierSplice: a fleet rollup capture sitting next
+// to the flight-recorder bundles gets its per-shard wave frontier spliced
+// into the post-mortem — shard-level progress between the wave send and
+// the aggregated ack.
+func TestPostmortemFleetFrontierSplice(t *testing.T) {
+	dir := writeBundles(t)
+	res, err := fleet.RunSim(fleet.SimConfig{
+		Agents:      32,
+		Fanout:      4,
+		Seed:        5,
+		Rollup:      true,
+		ReportEvery: 500 * time.Microsecond,
+		CapturePath: filepath.Join(dir, "fleet.ftdc"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("simulated adaptation did not complete: %+v", res)
+	}
+
+	out := runCmd(t, "postmortem", "-dir", dir)
+	for _, want := range []string{
+		"== metrics capture fleet.ftdc",
+		"== fleet wave frontier (per shard, from the rollup capture) ==",
+		"fleet-c1-0",
+		"fleet-c1-1",
+		"fully acked after",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("postmortem output missing %q:\n%s", want, out)
+		}
+	}
+
+	jsonOut := runCmd(t, "postmortem", "-dir", dir, "-json")
+	var doc struct {
+		Captures []struct {
+			File        string `json:"file"`
+			FleetShards []struct {
+				Shard      string `json:"shard"`
+				MaxPending int64  `json:"maxPending"`
+				MaxAcked   int64  `json:"maxAcked"`
+				Unfinished bool   `json:"unfinished"`
+			} `json:"fleetShards"`
+		} `json:"captures"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Captures) != 1 || len(doc.Captures[0].FleetShards) != 2 {
+		t.Fatalf("expected one capture with two shard frontiers: %+v", doc.Captures)
+	}
+	for _, f := range doc.Captures[0].FleetShards {
+		if f.MaxPending == 0 || f.MaxAcked != 16 || f.Unfinished {
+			t.Fatalf("shard %s frontier incomplete: %+v", f.Shard, f)
+		}
 	}
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/fleetobs"
+)
+
+// watchCmd polls a manager's fleet observability endpoint and renders
+// the live fleet view: per-shard health and report freshness, open wave
+// frontiers with stragglers, and the fleet-wide slowest agents. One
+// rollup report per root link per interval feeds the whole display —
+// the hierarchical plane's point is that this view costs the root
+// O(fan-out), not O(fleet).
+func watchCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:9180", "base URL of the manager's fleet observability listener")
+	interval := fs.Duration("interval", 2*time.Second, "poll period")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	asJSON := fs.Bool("json", false, "emit the raw fleet view JSON instead of the rendered table")
+	count := fs.Int("n", 0, "stop after N snapshots (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("watch takes no positional arguments")
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for polled := 0; ; {
+		if err := watchOnce(client, *url, *asJSON, out); err != nil {
+			return err
+		}
+		polled++
+		if *once || (*count > 0 && polled >= *count) {
+			return nil
+		}
+		fmt.Fprintln(out)
+		time.Sleep(*interval)
+	}
+}
+
+// watchOnce fetches one fleet view and writes it to out.
+func watchOnce(client *http.Client, base string, asJSON bool, out io.Writer) error {
+	resp, err := client.Get(base + "/fleet")
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch: %s returned %s", base+"/fleet", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("watch: read: %w", err)
+	}
+	if asJSON {
+		_, err = out.Write(append(body, '\n'))
+		return err
+	}
+	var view fleetobs.FleetView
+	if err := json.Unmarshal(body, &view); err != nil {
+		return fmt.Errorf("watch: decode fleet view: %w", err)
+	}
+	fleetobs.RenderText(out, view)
+	return nil
+}

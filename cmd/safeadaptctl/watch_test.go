@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fleetobs"
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// watchFixture serves a live fleet view with one reporting shard and one
+// open wave, the way a manager's observability listener would.
+func watchFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	fs, err := fleetobs.NewFleetState(fleetobs.StateOptions{
+		Clock: transport.SystemClock,
+		Shards: map[string][]string{
+			"fleet-c1-0": {"web", "db"},
+			"fleet-c1-1": {"cache", "idx"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Absorb(protocol.Message{
+		Type: protocol.MsgMetricReport,
+		From: "fleet-c1-0",
+		To:   protocol.ManagerName,
+		Report: &protocol.MetricReport{
+			Interval: 3,
+			Agents:   []string{"db", "web"},
+			Slowest:  []protocol.AgentLatency{{Agent: "db", Nanos: 1800000}},
+			Digest:   telemetry.Digest{Nodes: 2, Counters: map[string]int64{"agent.frames": 41}},
+		},
+	})
+	fs.WaveSent(protocol.Step{ActionID: "a4"}, protocol.MsgReset, []string{"web", "db", "cache", "idx"})
+	fs.WaveAcked(protocol.Step{ActionID: "a4"}, protocol.MsgResetDone, "fleet-c1-0", []string{"web", "db"})
+	srv := httptest.NewServer(fs.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestWatchOnceRendersFleetView(t *testing.T) {
+	srv := watchFixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"watch", "-once", "-url", srv.URL}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fleet-c1-0", "healthy",
+		"fleet-c1-1", "pending",
+		"phase=reset", "2 pending",
+		"slowest agents", "db",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchJSONRoundTrips(t *testing.T) {
+	srv := watchFixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"watch", "-once", "-json", "-url", srv.URL}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var view fleetobs.FleetView
+	if err := json.Unmarshal(buf.Bytes(), &view); err != nil {
+		t.Fatalf("watch -json emitted invalid view: %v\n%s", err, buf.String())
+	}
+	if view.AgentsReporting != 2 || view.AgentsTotal != 4 {
+		t.Fatalf("view coverage wrong: %+v", view)
+	}
+	// One reset command opens both barrier frontiers: reset-done and
+	// adapt-done.
+	if len(view.Waves) != 2 || view.Waves[0].Phase != "reset" || view.Waves[0].Pending != 2 {
+		t.Fatalf("view wave frontier wrong: %+v", view.Waves)
+	}
+}
+
+func TestWatchRejectsPositionalArgs(t *testing.T) {
+	if err := run([]string{"watch", "stray"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for positional argument")
+	}
+}

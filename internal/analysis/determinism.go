@@ -29,6 +29,7 @@ var DeterminismAnalyzer = &Analyzer{
 	Packages: []string{
 		"repro/internal/explore",
 		"repro/internal/fleet",
+		"repro/internal/fleetobs",
 		"repro/internal/netsim",
 		"repro/internal/manager",
 		"repro/internal/agent",

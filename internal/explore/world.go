@@ -11,6 +11,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/ccs"
 	"repro/internal/fleet"
+	"repro/internal/fleetobs"
 	"repro/internal/journal"
 	"repro/internal/manager"
 	"repro/internal/model"
@@ -55,15 +56,15 @@ type wire struct {
 type choiceKind int
 
 const (
-	chMgrRecv choiceKind = iota // deliver an upward message to the manager
-	chCoordRecv                 // deliver a message to a fleet coordinator
-	chAgentRecv                 // deliver a manager command to an agent
-	chAppDeliver                // deliver the oldest packet on a flow
-	chEmit                      // a sender emits one packet per outgoing flow
-	chTimeout                   // fault: the manager's current wait times out
-	chDrop                      // fault: drop a pending protocol message
-	chFailReset                 // fault: deliver a reset that fails to quiesce
-	chCrash                     // fault: crash an agent instead of delivering
+	chMgrRecv    choiceKind = iota // deliver an upward message to the manager
+	chCoordRecv                    // deliver a message to a fleet coordinator
+	chAgentRecv                    // deliver a manager command to an agent
+	chAppDeliver                   // deliver the oldest packet on a flow
+	chEmit                         // a sender emits one packet per outgoing flow
+	chTimeout                      // fault: the manager's current wait times out
+	chDrop                         // fault: drop a pending protocol message
+	chFailReset                    // fault: deliver a reset that fails to quiesce
+	chCrash                        // fault: crash an agent instead of delivering
 )
 
 // choice is one enumerated scheduling alternative.
@@ -209,6 +210,15 @@ func (e *execution) startCoord(name string) error {
 		Up:        &coordUplink{e: e, name: c.Name, parent: c.Parent},
 		Down:      &coordDownlink{e: e, name: c.Name},
 		Telemetry: e.x.tel,
+		// Fold any observability-plane reports the schedule delivers
+		// instead of relaying them raw; a crash-replaced coordinator
+		// restarts with empty fold state, like its ack buckets.
+		Rollup: fleetobs.NewShardRollup(fleetobs.RollupOptions{
+			Name:      c.Name,
+			Parent:    c.Parent,
+			Children:  append([]string(nil), c.Children...),
+			Telemetry: e.x.tel,
+		}),
 	})
 	if err != nil {
 		return err

@@ -45,3 +45,47 @@ func BenchmarkFleetWaveLatency(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetRollup measures the observability plane's root cost:
+// every agent emits a telemetry digest each report interval, and the
+// metrics compare what the root must ingest to refresh its fleet view.
+// Flat scraping delivers one frame per agent per interval; the tree's
+// shard rollups fold each subtree into one frame per root link, so
+// report fan-in drops from O(n) to O(fan-out) — the same shape the
+// command plane's aggregated acks bought for waves. report-frames/int
+// is the root's per-interval report fan-in; report-bytes/int the
+// marshaled volume behind it.
+func BenchmarkFleetRollup(b *testing.B) {
+	cases := []struct {
+		agents, fanout int
+	}{
+		{256, 0}, {256, 16},
+		{4096, 0}, {4096, 64},
+	}
+	for _, c := range cases {
+		shape := "flat"
+		if c.fanout > 0 {
+			shape = fmt.Sprintf("hier-f%d", c.fanout)
+		}
+		b.Run(fmt.Sprintf("%s/agents-%d", shape, c.agents), func(b *testing.B) {
+			var res *SimResult
+			for i := 0; i < b.N; i++ {
+				r, err := RunSim(SimConfig{Agents: c.agents, Fanout: c.fanout, Seed: 1, Rollup: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Completed {
+					b.Fatalf("simulated adaptation did not complete: %+v", r)
+				}
+				if r.ReportIntervals == 0 {
+					b.Fatalf("no emission rounds completed: %+v", r)
+				}
+				res = r
+			}
+			intervals := float64(res.ReportIntervals)
+			b.ReportMetric(float64(res.ReportFrames)/intervals, "report-frames/int")
+			b.ReportMetric(float64(res.ReportBytes)/intervals, "report-bytes/int")
+			b.ReportMetric(intervals, "intervals")
+		})
+	}
+}

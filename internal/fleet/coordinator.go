@@ -34,6 +34,7 @@ type Coordinator struct {
 	up     transport.Endpoint
 	down   transport.Endpoint
 	tel    *telemetry.Registry
+	rollup Rollup
 
 	maxBuckets int
 	epoch      uint64
@@ -61,6 +62,20 @@ type Options struct {
 	// oldest bucket is dropped past the cap — equivalent to losing that
 	// wave's acks, which the protocol tolerates.
 	MaxBuckets int
+	// Rollup, when set, folds the children's metric reports into one
+	// upstream report per interval (fleetobs.ShardRollup) — the
+	// telemetry twin of ack aggregation. Nil forwards reports raw.
+	Rollup Rollup
+}
+
+// Rollup folds child metric reports into upstream shard reports. It is
+// satisfied by fleetobs.ShardRollup; the indirection keeps the fleet
+// package free of a dependency on the observability plane. Absorb
+// returns the upstream reports that became ready and whether the message
+// was consumed; an unconsumed message is forwarded raw like any other
+// non-aggregatable upward traffic.
+type Rollup interface {
+	Absorb(msg protocol.Message) ([]protocol.Message, bool)
 }
 
 // bucket tracks one pending ack wave: which acknowledgement type is being
@@ -107,6 +122,7 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		up:         opts.Up,
 		down:       opts.Down,
 		tel:        opts.Telemetry,
+		rollup:     opts.Rollup,
 		maxBuckets: opts.MaxBuckets,
 		done:       make(chan struct{}),
 	}, nil
@@ -252,6 +268,17 @@ func (c *Coordinator) DeliverFromChild(msg protocol.Message) {
 	case protocol.MsgResetDone, protocol.MsgAdaptDone, protocol.MsgResumeDone, protocol.MsgRollbackDone:
 		if c.credit(msg) {
 			return
+		}
+	case protocol.MsgMetricReport:
+		if c.rollup != nil {
+			if out, ok := c.rollup.Absorb(msg); ok {
+				for _, up := range out {
+					if err := c.up.Send(up); err != nil {
+						c.tel.Counter("fleet.relay.errors").Inc()
+					}
+				}
+				return
+			}
 		}
 	}
 	// Not aggregatable here — failures, probe acks, hellos, acks for

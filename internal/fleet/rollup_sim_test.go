@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ftdc"
+)
+
+// TestFleetRollupFanIn pins the tentpole claim at unit-test scale: with
+// rollups riding the coordinator tree, the root receives a small constant
+// number of report frames per emission interval, versus one frame per
+// agent per interval under flat scraping.
+func TestFleetRollupFanIn(t *testing.T) {
+	const agents, fanout = 256, 8
+
+	flat, err := RunSim(SimConfig{Agents: agents, Fanout: 0, Seed: 7, Rollup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := RunSim(SimConfig{Agents: agents, Fanout: fanout, Seed: 7, Rollup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Completed || !tree.Completed {
+		t.Fatalf("adaptations must complete: flat=%v tree=%v", flat.Completed, tree.Completed)
+	}
+	if flat.ReportIntervals == 0 || tree.ReportIntervals == 0 {
+		t.Fatalf("no emission rounds ran: flat=%d tree=%d", flat.ReportIntervals, tree.ReportIntervals)
+	}
+
+	flatPer := float64(flat.ReportFrames) / float64(flat.ReportIntervals)
+	treePer := float64(tree.ReportFrames) / float64(tree.ReportIntervals)
+	t.Logf("flat: %d frames / %d intervals = %.1f per interval (%d bytes)",
+		flat.ReportFrames, flat.ReportIntervals, flatPer, flat.ReportBytes)
+	t.Logf("tree: %d frames / %d intervals = %.1f per interval (%d bytes)",
+		tree.ReportFrames, tree.ReportIntervals, treePer, tree.ReportBytes)
+
+	// Flat scraping costs ~one frame per agent per interval.
+	if flatPer < float64(agents)/2 {
+		t.Fatalf("flat fan-in %.1f implausibly low for %d agents", flatPer, agents)
+	}
+	if treePer == 0 {
+		t.Fatal("tree rollup delivered no reports to the root")
+	}
+	if ratio := flatPer / treePer; ratio < 20 {
+		t.Fatalf("tree fan-in reduction = %.1fx, want >= 20x (flat %.1f vs tree %.1f per interval)",
+			ratio, flatPer, treePer)
+	}
+}
+
+// TestFleetRollupFanInLarge is the acceptance-scale run: 4096 agents,
+// fan-out 64, >= 20x fewer root report frames per interval than flat.
+func TestFleetRollupFanInLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-agent sim skipped in -short mode")
+	}
+	flat, err := RunSim(SimConfig{Agents: 4096, Fanout: 0, Seed: 11, Rollup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := RunSim(SimConfig{Agents: 4096, Fanout: 64, Seed: 11, Rollup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatPer := float64(flat.ReportFrames) / float64(flat.ReportIntervals)
+	treePer := float64(tree.ReportFrames) / float64(tree.ReportIntervals)
+	t.Logf("flat %.1f vs tree %.1f report frames per interval (%.0fx)", flatPer, treePer, flatPer/treePer)
+	if ratio := flatPer / treePer; ratio < 20 {
+		t.Fatalf("tree fan-in reduction = %.1fx at 4096 agents, want >= 20x", ratio)
+	}
+}
+
+// TestFleetRollupClosedLoopCapture is the closed-loop integration test of
+// the observability plane: a full adaptation over the simulated tree with
+// rollups on, the FleetState wired as the manager's wave observer, and
+// the fleet series captured to FTDC on virtual timestamps. The decoded
+// capture must show, per shard, the wave frontier going pending → acked.
+func TestFleetRollupClosedLoopCapture(t *testing.T) {
+	// On CI, SAFEADAPT_FTDC_DIR persists the capture for artifact upload
+	// when the run fails (same convention as the videonode captures).
+	dir := t.TempDir()
+	if base := os.Getenv("SAFEADAPT_FTDC_DIR"); base != "" {
+		dir = filepath.Join(base, "fleet")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "fleet.ftdc")
+	res, err := RunSim(SimConfig{
+		Agents:      32,
+		Fanout:      4,
+		Seed:        3,
+		Rollup:      true,
+		ReportEvery: 500 * time.Microsecond,
+		CapturePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("adaptation did not complete")
+	}
+	if res.FleetReports == 0 {
+		t.Fatal("fleet state absorbed no reports")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt := ftdc.Decode(data)
+	if capt.TornBytes != 0 {
+		t.Fatalf("capture has %d torn bytes", capt.TornBytes)
+	}
+	if capt.NumSamples() == 0 {
+		t.Fatal("capture is empty")
+	}
+
+	// 32 agents at fan-out 4 yield two root shards of 16 agents each.
+	shards := []string{"fleet-c1-0", "fleet-c1-1"}
+	for _, shard := range shards {
+		_, pending := capt.Series("gauge.fleetobs.shard." + shard + ".wave_pending")
+		_, acked := capt.Series("gauge.fleetobs.shard." + shard + ".wave_acked")
+		if len(pending) == 0 || len(acked) == 0 {
+			t.Fatalf("shard %s: frontier series missing from capture (columns: %v)",
+				shard, capt.MetricNames())
+		}
+		firstPending, ackedFull := -1, -1
+		for i := range pending {
+			if firstPending == -1 && pending[i] > 0 {
+				firstPending = i
+			}
+			if ackedFull == -1 && acked[i] == 16 && pending[i] == 0 {
+				ackedFull = i
+			}
+		}
+		if firstPending == -1 {
+			t.Fatalf("shard %s: frontier never showed pending agents", shard)
+		}
+		if ackedFull == -1 {
+			t.Fatalf("shard %s: frontier never reached 16 acked / 0 pending", shard)
+		}
+		if ackedFull <= firstPending {
+			t.Fatalf("shard %s: full-ack sample %d does not follow first pending sample %d",
+				shard, ackedFull, firstPending)
+		}
+	}
+
+	// The rolled-up agent series made it into the capture too.
+	_, frames := capt.Series("counter.fleetobs.agent.app_frames")
+	if len(frames) == 0 || frames[len(frames)-1] == 0 {
+		t.Fatal("rolled-up agent counters missing from capture")
+	}
+	_, reporting := capt.Series("gauge.fleetobs.nodes.reporting")
+	max := int64(0)
+	for _, v := range reporting {
+		if v > max {
+			max = v
+		}
+	}
+	if max != 32 {
+		t.Fatalf("nodes.reporting peaked at %d, want full coverage 32", max)
+	}
+}
+
+// TestFleetRollupDeterministic: same seed and config, byte-identical
+// accounting — the property the explorer and the benchmarks lean on.
+func TestFleetRollupDeterministic(t *testing.T) {
+	run := func() *SimResult {
+		res, err := RunSim(SimConfig{Agents: 64, Fanout: 8, Seed: 21, Rollup: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ReportFrames != b.ReportFrames || a.ReportBytes != b.ReportBytes ||
+		a.ReportIntervals != b.ReportIntervals || a.RootFrames != b.RootFrames ||
+		a.Elapsed != b.Elapsed {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}

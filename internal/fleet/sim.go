@@ -3,6 +3,7 @@ package fleet
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -10,12 +11,15 @@ import (
 
 	"repro/internal/action"
 	"repro/internal/agent"
+	"repro/internal/fleetobs"
+	"repro/internal/ftdc"
 	"repro/internal/invariant"
 	"repro/internal/journal"
 	"repro/internal/manager"
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -55,6 +59,24 @@ type SimConfig struct {
 	Jitter        time.Duration
 	FrameOverhead time.Duration
 	PerMsg        time.Duration
+
+	// Rollup enables the observability plane: one fleetobs.Emitter per
+	// agent publishing a synthetic-but-deterministic digest every
+	// ReportEvery of virtual time, a fleetobs.ShardRollup on every
+	// coordinator folding them, and root-side accounting of the report
+	// frames and bytes that actually reach the manager.
+	Rollup bool
+	// ReportEvery is the virtual emission period. Defaults to 2ms,
+	// raised as needed so report frames can't saturate the busiest
+	// serial ingress (the manager's when flat, a leaf coordinator's in
+	// a tree).
+	ReportEvery time.Duration
+	// CapturePath, when non-empty (requires Rollup), additionally
+	// attaches a fleetobs.FleetState as the manager's wave observer and
+	// writes its mirrored fleet series to an FTDC capture file on
+	// virtual timestamps — one row per absorbed report and per wave
+	// frontier transition.
+	CapturePath string
 }
 
 // WaveSample is one measured wave: from the root sending the wave's
@@ -80,6 +102,19 @@ type SimResult struct {
 	Samples    []WaveSample
 	P50, P99   time.Duration
 	Elapsed    time.Duration // virtual end-to-end adaptation time
+
+	// Rollup accounting (Config.Rollup only). ReportFrames counts the
+	// MsgMetricReport frames delivered to the root and ReportBytes their
+	// marshaled sizes; ReportIntervals counts completed emission rounds.
+	// ReportFrames/ReportIntervals is the root's report fan-in per
+	// interval — the quantity the tree shrinks from O(n) to O(root
+	// links).
+	ReportFrames    int
+	ReportBytes     int64
+	ReportIntervals int
+	// FleetReports counts reports absorbed by the FleetState observer
+	// (CapturePath runs only).
+	FleetReports int64
 }
 
 type simEvent struct {
@@ -135,6 +170,35 @@ type sim struct {
 
 	rootFrames int
 	rootRecv   int
+
+	// Observability plane (cfg.Rollup).
+	emitters        []*fleetobs.Emitter // s.names order
+	nextEmit        time.Time
+	reportFrames    int
+	reportBytes     int64
+	reportIntervals int
+	fleetState      *fleetobs.FleetState
+	capW            *ftdc.Writer
+	capNames        []string
+	capVals         []int64
+}
+
+// emitRound closes one report interval: every agent emits its digest
+// delta, in sorted name order, as ordinary simulated frames.
+func (s *sim) emitRound() {
+	s.reportIntervals++
+	for _, em := range s.emitters {
+		_ = em.EmitNow()
+	}
+}
+
+// sampleCapture cuts one FTDC row of the fleet series at virtual now.
+func (s *sim) sampleCapture() {
+	if s.capW == nil {
+		return
+	}
+	s.capNames, s.capVals = s.fleetState.Registry().AppendCaptureSample(s.capNames[:0], s.capVals[:0])
+	_ = s.capW.WriteSample(s.now.UnixNano(), s.capNames, s.capVals)
 }
 
 func maxTime(a, b time.Time) time.Time {
@@ -242,9 +306,20 @@ func (s *sim) credit(msg protocol.Message) {
 }
 
 // pump advances the event loop until a root-bound message is due (returned)
-// or the virtual deadline passes.
+// or the virtual deadline passes. Report emission rounds interleave with
+// network events in strict virtual-time order.
 func (s *sim) pump(deadline time.Time) (protocol.Message, transport.RecvStatus) {
 	for {
+		if s.cfg.Rollup {
+			// Fire every emission round due before the next network event
+			// (or the deadline, when the queue is quiet).
+			for !s.nextEmit.After(deadline) &&
+				(s.queue.empty() || !s.nextEmit.After(s.queue.peek().at)) {
+				s.now = maxTime(s.now, s.nextEmit)
+				s.emitRound()
+				s.nextEmit = s.nextEmit.Add(s.cfg.ReportEvery)
+			}
+		}
 		if s.queue.empty() || s.queue.peek().at.After(deadline) {
 			s.now = maxTime(s.now, deadline)
 			return protocol.Message{}, transport.RecvTimeout
@@ -253,6 +328,20 @@ func (s *sim) pump(deadline time.Time) (protocol.Message, transport.RecvStatus) 
 		s.now = maxTime(s.now, ev.at)
 		if ev.to == protocol.ManagerName {
 			s.rootRecv++
+			if ev.msg.Type == protocol.MsgMetricReport {
+				// Observability-plane traffic: account for it at the root
+				// boundary and absorb it into the fleet model without ever
+				// surfacing it at the manager's protocol Recv.
+				s.reportFrames++
+				if b, err := json.Marshal(ev.msg); err == nil {
+					s.reportBytes += int64(len(b))
+				}
+				if s.fleetState != nil {
+					s.fleetState.Absorb(ev.msg)
+					s.sampleCapture()
+				}
+				continue
+			}
 			s.credit(ev.msg)
 			return ev.msg, transport.RecvOK
 		}
@@ -507,6 +596,25 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if cfg.PerMsg <= 0 {
 		cfg.PerMsg = 2 * time.Microsecond
 	}
+	if cfg.ReportEvery <= 0 {
+		// Default to 2ms, but never oversubscribe the busiest serial
+		// ingress with report frames: the manager receives one frame per
+		// agent per interval in a flat plane, a leaf coordinator one per
+		// child in a tree. An interval below that port's drain time makes
+		// the backlog diverge and head-of-line blocks the protocol acks
+		// behind telemetry — the sim would never converge.
+		width := cfg.Agents
+		if cfg.Fanout > 0 {
+			width = cfg.Fanout
+		}
+		cfg.ReportEvery = 2 * time.Millisecond
+		if floor := time.Duration(width) * (cfg.FrameOverhead + cfg.PerMsg) * 2; floor > cfg.ReportEvery {
+			cfg.ReportEvery = floor
+		}
+	}
+	if cfg.CapturePath != "" && !cfg.Rollup {
+		return nil, fmt.Errorf("fleet sim: CapturePath requires Rollup")
+	}
 
 	s := &sim{
 		cfg:       cfg,
@@ -562,6 +670,14 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		res.Depth = topo.Depth()
 		res.Coords = len(topo.Coords)
 		for _, c := range topo.Coords {
+			var ru Rollup
+			if cfg.Rollup {
+				ru = fleetobs.NewShardRollup(fleetobs.RollupOptions{
+					Name:     c.Name,
+					Parent:   c.Parent,
+					Children: c.Children,
+				})
+			}
 			coord, cerr := NewCoordinator(Options{
 				Name:   c.Name,
 				Parent: c.Parent,
@@ -569,6 +685,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 				Down:   &coordDown{s: s, c: c},
 				// Track every concurrently open wave of the shard.
 				MaxBuckets: 3 * (len(c.Covers) + 2),
+				Rollup:     ru,
 			})
 			if cerr != nil {
 				return nil, cerr
@@ -604,6 +721,58 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		// still collecting the reset wave when they land.
 	}
 
+	var observer manager.WaveObserver
+	if cfg.Rollup {
+		for i, name := range s.names {
+			src := &synthSource{idx: i, lat: &telemetry.Sketch{}}
+			em, eerr := fleetobs.NewEmitter(&agentUp{s: s, name: name}, fleetobs.EmitterOptions{
+				Node:          name,
+				To:            s.upOf[name],
+				Epoch:         s.agents[name].Epoch,
+				Source:        src.digest,
+				LatencyMetric: "agent.ack_ns",
+			})
+			if eerr != nil {
+				return nil, eerr
+			}
+			s.emitters = append(s.emitters, em)
+		}
+		s.nextEmit = s.now.Add(cfg.ReportEvery)
+
+		if cfg.CapturePath != "" {
+			// Shards at the granularity the root actually sees: its direct
+			// children (top coordinators, or the agents themselves when flat).
+			shards := make(map[string][]string)
+			if s.topo != nil {
+				for _, r := range s.topo.Roots {
+					c, _ := s.topo.Coord(r)
+					shards[r] = c.Covers
+				}
+			} else {
+				for _, name := range s.names {
+					shards[name] = []string{name}
+				}
+			}
+			fs, ferr := fleetobs.NewFleetState(fleetobs.StateOptions{
+				Clock:          clock,
+				Shards:         shards,
+				ReportInterval: cfg.ReportEvery,
+				OnWave:         s.sampleCapture,
+			})
+			if ferr != nil {
+				return nil, ferr
+			}
+			s.fleetState = fs
+			observer = fs
+			w, werr := ftdc.NewWriter(cfg.CapturePath, ftdc.WriterOptions{})
+			if werr != nil {
+				return nil, werr
+			}
+			s.capW = w
+			defer func() { _ = w.Close() }()
+		}
+	}
+
 	allPhases := [][]string{s.names}
 	mgr, merr := manager.New(root, pl, manager.Options{
 		StepTimeout: 30 * time.Second, // virtual
@@ -615,6 +784,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		Journal:     journal.NewMem(),
 		ResetPhases: func(action.Action, []string) [][]string { return allPhases },
 		MaxStash:    maxStash,
+		Observer:    observer,
 	})
 	if merr != nil {
 		return nil, merr
@@ -624,14 +794,59 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if rerr != nil {
 		return nil, fmt.Errorf("fleet sim (%d agents, fanout %d): %w", cfg.Agents, cfg.Fanout, rerr)
 	}
+	if cfg.Rollup {
+		// Drain the reports still in flight when the adaptation finished,
+		// so per-interval accounting covers every completed emission round.
+		// Emission stops first, or the drain would never converge.
+		s.nextEmit = s.now.Add(365 * 24 * time.Hour)
+		for !s.queue.empty() {
+			s.pump(s.queue.peek().at)
+		}
+		if s.fleetState != nil {
+			res.FleetReports = s.fleetState.Registry().Snapshot().Counters["fleetobs.reports"]
+			s.sampleCapture()
+			if s.capW != nil {
+				if cerr := s.capW.Close(); cerr != nil {
+					return nil, cerr
+				}
+			}
+		}
+	}
 	res.Completed = result.Completed
 	res.Steps = len(result.Steps)
 	res.RootFrames = s.rootFrames
 	res.RootRecv = s.rootRecv
+	res.ReportFrames = s.reportFrames
+	res.ReportBytes = s.reportBytes
+	res.ReportIntervals = s.reportIntervals
 	res.Samples = s.samples
 	res.Elapsed = s.now.Sub(time.Unix(0, 0))
 	res.P50, res.P99 = percentiles(s.samples)
 	return res, nil
+}
+
+// synthSource produces one simulated agent's cumulative digest. The
+// values are synthetic but deterministic in (agent index, emission
+// round): a per-agent telemetry Registry would be faithful, but its
+// eagerly allocated span/event rings are dead weight at 4096 agents, and
+// the rollup plane only needs a mergeable digest stream to fold.
+type synthSource struct {
+	idx    int
+	rounds int64
+	lat    *telemetry.Sketch
+}
+
+func (ss *synthSource) digest() telemetry.Digest {
+	ss.rounds++
+	// Stable, index-skewed ack latency so the fleet's top-k slowest list
+	// is deterministic and non-degenerate.
+	ss.lat.Observe(time.Duration(ss.idx%97+1) * 50 * time.Microsecond)
+	return telemetry.Digest{
+		Nodes:    1,
+		Counters: map[string]int64{"agent.app_frames": ss.rounds * int64(ss.idx%7+1)},
+		Gauges:   map[string]int64{"agent.queue_depth": int64(ss.idx%5) + 1},
+		Sketches: map[string]*telemetry.Sketch{"agent.ack_ns": ss.lat.Clone()},
+	}
 }
 
 func componentProcess(reg *model.Registry, name string) (string, error) {

@@ -1,0 +1,149 @@
+// Package fleetobs is the fleet-wide observability plane: hierarchical
+// metric rollups and live adaptation progress over the coordinator tree
+// of internal/fleet.
+//
+// The per-node observability stack (telemetry registry, flight recorder,
+// FTDC capture) answers questions about ONE process. At fleet scale the
+// operator's questions are different — "how far along is this wave,
+// which shard is the straggler, is any shard unhealthy?" — and scraping
+// thousands of per-node endpoints to answer them costs exactly the O(n)
+// root traffic the coordinator tree exists to avoid. This package makes
+// telemetry ride the same tree as the waves:
+//
+//   - an Emitter on each agent periodically sends a compact mergeable
+//     digest (counter deltas, gauges, histogram sketches — see
+//     telemetry.Digest) one hop up, as a protocol.MsgMetricReport;
+//   - a ShardRollup on each coordinator folds its children's reports
+//     into ONE upstream report per interval, mirroring the aggregated
+//     acks, so the root receives O(fan-out) report frames instead of
+//     O(n);
+//   - a FleetState at the root absorbs the folded reports and the
+//     manager's wave callbacks into a live fleet model: per-shard
+//     health (healthy / degraded / parked, report freshness acting as
+//     the shard's liveness lease), per-wave frontier (acked / pending /
+//     late agents per shard, stragglers judged against the shard's own
+//     p99 ack-latency baseline), and fleet-level metric totals mirrored
+//     into a plain telemetry Registry so the existing FTDC capture
+//     records the fleet series crash-tolerantly.
+//
+// Everything is deterministic under an injected clock: emission is
+// caller-driven (EmitNow), folds are commutative (telemetry.Digest.Merge),
+// and all iteration feeding sends is sorted — so the explorer can
+// schedule report deliveries like any other message and replays stay
+// byte-identical.
+package fleetobs
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// EmitterOptions configures an agent-side report emitter.
+type EmitterOptions struct {
+	// Node is the agent name reports are attributed to.
+	Node string
+	// To is the uplink target: the agent's leaf coordinator, or the
+	// manager in a flat deployment.
+	To string
+	// Epoch supplies the agent's current fencing epoch at emission time
+	// (agent.Epoch); nil emits epoch 0 (unfenced).
+	Epoch func() uint64
+	// Source supplies the node's CUMULATIVE digest; the emitter turns
+	// consecutive samples into interval deltas itself. Nil uses
+	// Telemetry.DigestSample.
+	Source func() telemetry.Digest
+	// Telemetry is the node's registry: the default Source, and the
+	// Lamport clock / active trace reports are stamped with. Nil is
+	// allowed (untraced reports).
+	Telemetry *telemetry.Registry
+	// LatencyMetric names the digest sketch whose p99 becomes this
+	// node's entry in the report's top-k slowest list. Empty disables
+	// the entry.
+	LatencyMetric string
+}
+
+// Emitter periodically publishes one agent's mergeable telemetry digest
+// up the fleet tree. It has no goroutine and no timer of its own: the
+// caller decides when an interval ends and calls EmitNow — a wall-clock
+// loop on a real node, the virtual clock in the simulator, the scheduler
+// in the explorer. Not safe for concurrent use.
+type Emitter struct {
+	ep   transport.Endpoint
+	opts EmitterOptions
+
+	interval uint64
+	prev     telemetry.Digest
+}
+
+// NewEmitter builds an emitter that sends reports on ep.
+func NewEmitter(ep transport.Endpoint, opts EmitterOptions) (*Emitter, error) {
+	if ep == nil {
+		return nil, fmt.Errorf("fleetobs: emitter needs an endpoint")
+	}
+	if opts.Node == "" {
+		return nil, fmt.Errorf("fleetobs: emitter needs a node name")
+	}
+	if opts.To == "" {
+		opts.To = protocol.ManagerName
+	}
+	opts.normalize()
+	return &Emitter{ep: ep, opts: opts}, nil
+}
+
+// Interval returns the sequence number the NEXT emission will carry.
+func (e *Emitter) Interval() uint64 { return e.interval }
+
+// EmitNow closes the current interval: it samples the cumulative digest,
+// sends the delta since the previous emission as one MsgMetricReport,
+// and advances the interval sequence. Send failures are message loss —
+// the fleet health model degrades the silent shard; nothing retries.
+func (e *Emitter) EmitNow() error {
+	cur := e.opts.Source()
+	delta := cur.Delta(e.prev)
+	e.prev = cur
+
+	report := &protocol.MetricReport{
+		Interval: e.interval,
+		Agents:   []string{e.opts.Node},
+		Digest:   delta,
+	}
+	if e.opts.LatencyMetric != "" {
+		// The slowest-list entry reflects the cumulative baseline, not the
+		// interval window: straggler ranking wants stable per-agent
+		// latency, not one noisy interval.
+		if sk := cur.Sketches[e.opts.LatencyMetric]; sk.Count() > 0 {
+			report.Slowest = []protocol.AgentLatency{{Agent: e.opts.Node, Nanos: int64(sk.Quantile(0.99))}}
+		}
+	}
+	var epoch uint64
+	if e.opts.Epoch != nil {
+		epoch = e.opts.Epoch()
+	}
+	tel := e.opts.Telemetry
+	e.interval++
+	tel.Counter("fleetobs.emitter.reports").Inc()
+	return e.ep.Send(protocol.Message{
+		Type:   protocol.MsgMetricReport,
+		From:   e.opts.Node,
+		To:     e.opts.To,
+		Epoch:  epoch,
+		Report: report,
+		Trace: protocol.TraceContext{
+			TraceID: tel.ActiveTrace(),
+			Origin:  e.opts.Node,
+			Lamport: tel.LamportTick(),
+		},
+	})
+}
+
+// normalize resolves the nil-Source default (the registry's own
+// cumulative digest) once, at construction time.
+func (opts *EmitterOptions) normalize() {
+	if opts.Source == nil {
+		reg := opts.Telemetry
+		opts.Source = func() telemetry.Digest { return reg.DigestSample() }
+	}
+}

@@ -1,0 +1,32 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the fleet model:
+//
+//	GET /fleet              — the FleetView as JSON (what
+//	                          `safeadaptctl watch` polls)
+//	GET /fleet?format=text  — the same view rendered for humans
+//
+// Mount it next to the manager registry's own Handler; it works on a
+// nil FleetState (serving an empty view), so callers can wire it
+// unconditionally.
+func (s *FleetState) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
+		v := s.View()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			RenderText(w, v)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	return mux
+}

@@ -1,0 +1,185 @@
+package fleetobs
+
+import (
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// defaultMaxPending bounds how many report intervals a rollup tracks
+// concurrently before it force-flushes the oldest partial fold. Small on
+// purpose: a shard whose children drift more than a few intervals apart
+// is better reported partially (the root sees the shrunken coverage and
+// degrades the shard) than buffered indefinitely.
+const defaultMaxPending = 4
+
+// RollupOptions configures a coordinator-side shard rollup.
+type RollupOptions struct {
+	// Name is the owning coordinator; folded reports carry it as From.
+	Name string
+	// Parent is the upstream hop folded reports are addressed to — the
+	// parent coordinator, or the manager at the top of the tree.
+	Parent string
+	// Children are the direct child names (agents for a leaf
+	// coordinator, coordinators above): the coverage set a fold is
+	// complete against. A sorted copy is taken.
+	Children []string
+	// Telemetry stamps outgoing folds and counts rollup activity. Nil is
+	// allowed.
+	Telemetry *telemetry.Registry
+	// MaxPending caps concurrently tracked intervals; 0 means
+	// defaultMaxPending.
+	MaxPending int
+}
+
+// fold accumulates one interval's reports.
+type fold struct {
+	digest  telemetry.Digest
+	agents  map[string]struct{}
+	slowest []protocol.AgentLatency
+	got     map[string]struct{}
+	epoch   uint64
+	traceID string
+}
+
+// ShardRollup folds the metric reports of one coordinator's children
+// into a single upstream report per interval. It is the telemetry twin
+// of the coordinator's ack buckets: where DeliverFromChild folds N
+// adapt-done acks into one aggregated ack, Absorb folds N child digests
+// into one shard digest, so report traffic — like ack traffic — costs
+// the root O(fan-out) instead of O(n).
+//
+// A fold flushes as soon as every child has reported the interval. Folds
+// that never complete (a crashed or partitioned child) flush partially
+// when the pending window overflows; the upstream report's Agents list
+// then covers fewer nodes than the shard owns, which is exactly the
+// signal the root-side health model reads as degradation.
+//
+// Like the Coordinator that hosts it, a ShardRollup is single-goroutine:
+// the coordinator calls Absorb from its own delivery path.
+type ShardRollup struct {
+	opts     RollupOptions
+	children map[string]struct{}
+	pending  map[uint64]*fold
+}
+
+// NewShardRollup builds a rollup for one coordinator's children.
+func NewShardRollup(opts RollupOptions) *ShardRollup {
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = defaultMaxPending
+	}
+	opts.Children = append([]string(nil), opts.Children...)
+	sort.Strings(opts.Children)
+	children := make(map[string]struct{}, len(opts.Children))
+	for _, c := range opts.Children {
+		children[c] = struct{}{}
+	}
+	if opts.Parent == "" {
+		opts.Parent = protocol.ManagerName
+	}
+	return &ShardRollup{
+		opts:     opts,
+		children: children,
+		pending:  make(map[uint64]*fold),
+	}
+}
+
+// Absorb folds one child metric report and returns any upstream reports
+// that became ready: the absorbed interval once all children have
+// contributed, plus any older partial folds evicted by the pending
+// window. Non-report messages and reports from unknown children are
+// ignored (nil, false).
+func (r *ShardRollup) Absorb(msg protocol.Message) ([]protocol.Message, bool) {
+	if r == nil || msg.Type != protocol.MsgMetricReport || msg.Report == nil {
+		return nil, false
+	}
+	tel := r.opts.Telemetry
+	tel.LamportMerge(msg.Trace.Lamport)
+	if _, ok := r.children[msg.From]; !ok {
+		// A report routed through the wrong coordinator (stale topology)
+		// is dropped rather than folded: crediting it would let one shard
+		// report another shard's agents.
+		tel.Counter("fleetobs.rollup.misrouted").Inc()
+		return nil, true
+	}
+	tel.Counter("fleetobs.rollup.absorbed").Inc()
+
+	interval := msg.Report.Interval
+	f := r.pending[interval]
+	if f == nil {
+		f = &fold{
+			agents:  make(map[string]struct{}),
+			got:     make(map[string]struct{}),
+			traceID: msg.Trace.TraceID,
+		}
+		r.pending[interval] = f
+	}
+	f.got[msg.From] = struct{}{}
+	f.digest.Merge(msg.Report.Digest)
+	for _, a := range msg.Report.Agents {
+		f.agents[a] = struct{}{}
+	}
+	f.slowest = protocol.MergeSlowest(f.slowest, msg.Report.Slowest)
+	if msg.Epoch > f.epoch {
+		f.epoch = msg.Epoch
+	}
+
+	var out []protocol.Message
+	if len(f.got) == len(r.children) {
+		out = append(out, r.flush(interval))
+	}
+	// Evict oldest partials beyond the window, oldest first so upstream
+	// sees intervals in order.
+	for len(r.pending) > r.opts.MaxPending {
+		oldest := uint64(0)
+		first := true
+		for i := range r.pending {
+			if first || i < oldest {
+				oldest, first = i, false
+			}
+		}
+		tel.Counter("fleetobs.rollup.partial_flush").Inc()
+		out = append(out, r.flush(oldest))
+	}
+	return out, true
+}
+
+// Pending reports how many intervals are currently mid-fold.
+func (r *ShardRollup) Pending() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.pending)
+}
+
+// flush finalizes one interval's fold into an upstream report message.
+func (r *ShardRollup) flush(interval uint64) protocol.Message {
+	f := r.pending[interval]
+	delete(r.pending, interval)
+
+	agents := make([]string, 0, len(f.agents))
+	for a := range f.agents {
+		agents = append(agents, a)
+	}
+	sort.Strings(agents)
+	tel := r.opts.Telemetry
+	tel.Counter("fleetobs.rollup.flushed").Inc()
+	return protocol.Message{
+		Type:  protocol.MsgMetricReport,
+		From:  r.opts.Name,
+		To:    r.opts.Parent,
+		Epoch: f.epoch,
+		Report: &protocol.MetricReport{
+			Interval: interval,
+			Agents:   agents,
+			Slowest:  f.slowest,
+			Digest:   f.digest,
+		},
+		Trace: protocol.TraceContext{
+			TraceID: f.traceID,
+			Origin:  r.opts.Name,
+			Lamport: tel.LamportTick(),
+		},
+	}
+}

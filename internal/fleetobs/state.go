@@ -1,0 +1,441 @@
+package fleetobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// Health classifies a shard by the freshness of its rollup reports. The
+// report stream doubles as the shard's liveness lease, the fleet-scale
+// analog of the agent heartbeat lease: a shard that stops reporting is
+// first degraded, then parked — the same posture an agent takes when its
+// manager lease lapses.
+type Health string
+
+const (
+	// HealthPending: no report received yet (fleet still booting).
+	HealthPending Health = "pending"
+	// HealthHealthy: fresh reports covering every agent in the shard.
+	HealthHealthy Health = "healthy"
+	// HealthDegraded: reports are stale or cover only part of the shard.
+	HealthDegraded Health = "degraded"
+	// HealthParked: no report for ParkedAfter — the shard is presumed
+	// partitioned or down and its nodes parked on their lease machinery.
+	HealthParked Health = "parked"
+)
+
+// StateOptions configures the root-side fleet model.
+type StateOptions struct {
+	// Clock is the time source for report ages and wave latencies.
+	// Injected so the model is deterministic under the simulator and the
+	// explorer; use transport.SystemClock{} on a real deployment.
+	Clock transport.Clock
+	// Telemetry receives the mirrored "fleetobs."-prefixed fleet series,
+	// which is what splices the rollup stream into the manager's FTDC
+	// capture. Nil creates a private registry (reachable via Registry).
+	Telemetry *telemetry.Registry
+	// Shards maps each top-level reporter (a root coordinator, or an
+	// agent itself in a flat deployment) to the agents it covers.
+	Shards map[string][]string
+	// ReportInterval is the expected emission period; health thresholds
+	// and the bootstrap straggler baseline derive from it. Default 1s.
+	ReportInterval time.Duration
+	// DegradedAfter / ParkedAfter override the report-freshness
+	// thresholds (defaults 3× and 10× ReportInterval).
+	DegradedAfter time.Duration
+	ParkedAfter   time.Duration
+	// TopK bounds the fleet-wide slowest-agents list in views (default
+	// 5, capped at protocol.SlowestCap).
+	TopK int
+	// OnReport, when set, runs after each absorbed report (outside the
+	// state lock). The simulator uses it to cut an FTDC sample at every
+	// rollup arrival.
+	OnReport func()
+	// OnWave, when set, runs after each wave frontier transition
+	// (WaveSent / WaveAcked), outside the state lock — so a capture
+	// records every pending→acked movement, not just report arrivals.
+	OnWave func()
+}
+
+// shardState is the live record for one top-level shard.
+type shardState struct {
+	name    string
+	agents  []string
+	gauges  map[string]int64
+	slowest []protocol.AgentLatency
+	ackLat  *telemetry.Sketch
+
+	reports      int64
+	lastAt       time.Time
+	lastInterval uint64
+	lastCover    int
+}
+
+// waveShard is one shard's slice of a wave frontier.
+type waveShard struct {
+	pending int
+	acked   int
+}
+
+// waveState is the frontier of one ack wave: which agents have
+// acknowledged, which are still pending, per shard.
+type waveState struct {
+	step    protocol.Step
+	ack     protocol.MsgType
+	started time.Time
+	pending map[string]bool
+	total   int
+	acked   int
+	shards  map[string]*waveShard
+	done    bool
+}
+
+// maxWaveHistory bounds retained wave frontiers (active + recent).
+const maxWaveHistory = 16
+
+// FleetState is the root of the observability plane: it absorbs the
+// folded metric reports arriving at the manager and the manager's own
+// wave callbacks, and maintains the live fleet model — per-shard health,
+// per-wave frontiers with straggler detection, fleet metric totals, and
+// a top-k slowest-agents list. All fleet series are mirrored into a
+// telemetry Registry under the "fleetobs." prefix so the ordinary FTDC
+// capturer persists them. Safe for concurrent use.
+type FleetState struct {
+	mu   sync.Mutex
+	opts StateOptions
+	tel  *telemetry.Registry
+
+	shardNames []string
+	shards     map[string]*shardState
+	agentShard map[string]string
+
+	epoch   uint64
+	reports int64
+	totals  telemetry.Digest
+	waves   []*waveState
+}
+
+// NewFleetState builds the fleet model for the given shard map.
+func NewFleetState(opts StateOptions) (*FleetState, error) {
+	if opts.Clock == nil {
+		return nil, fmt.Errorf("fleetobs: FleetState needs an injected clock")
+	}
+	if opts.ReportInterval <= 0 {
+		opts.ReportInterval = time.Second
+	}
+	if opts.DegradedAfter <= 0 {
+		opts.DegradedAfter = 3 * opts.ReportInterval
+	}
+	if opts.ParkedAfter <= 0 {
+		opts.ParkedAfter = 10 * opts.ReportInterval
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 5
+	}
+	if opts.TopK > protocol.SlowestCap {
+		opts.TopK = protocol.SlowestCap
+	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	s := &FleetState{
+		opts:       opts,
+		tel:        tel,
+		shards:     make(map[string]*shardState, len(opts.Shards)),
+		agentShard: make(map[string]string),
+	}
+	for name, agents := range opts.Shards {
+		sorted := append([]string(nil), agents...)
+		sort.Strings(sorted)
+		s.shards[name] = &shardState{
+			name:   name,
+			agents: sorted,
+			ackLat: &telemetry.Sketch{},
+		}
+		s.shardNames = append(s.shardNames, name)
+		for _, a := range sorted {
+			s.agentShard[a] = name
+		}
+	}
+	sort.Strings(s.shardNames)
+	return s, nil
+}
+
+// Registry returns the registry holding the mirrored fleet series —
+// hand it to an ftdc.Capturer to persist the rollup stream.
+func (s *FleetState) Registry() *telemetry.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.tel
+}
+
+// Absorb consumes one metric report arriving at the root. Reports fenced
+// by a stale epoch are dropped (mirroring agent/coordinator fencing);
+// everything else folds into the fleet totals and the owning shard's
+// freshness record. Returns false only for non-report messages.
+func (s *FleetState) Absorb(msg protocol.Message) bool {
+	if s == nil || msg.Type != protocol.MsgMetricReport || msg.Report == nil {
+		return false
+	}
+	s.mu.Lock()
+	s.tel.LamportMerge(msg.Trace.Lamport)
+	if msg.Epoch != 0 && s.epoch != 0 && msg.Epoch < s.epoch {
+		s.tel.Counter("fleetobs.state.fenced_drops").Inc()
+		s.mu.Unlock()
+		return true
+	}
+	if msg.Epoch > s.epoch {
+		s.epoch = msg.Epoch
+	}
+
+	s.reports++
+	s.totals.Merge(msg.Report.Digest)
+	sh := s.shards[msg.From]
+	if sh == nil {
+		if owner, ok := s.agentShard[msg.From]; ok {
+			sh = s.shards[owner]
+		}
+	}
+	if sh != nil {
+		sh.reports++
+		sh.lastAt = s.opts.Clock.Now()
+		sh.lastInterval = msg.Report.Interval
+		sh.lastCover = len(msg.Report.Agents)
+		sh.gauges = msg.Report.Digest.Gauges
+		sh.slowest = msg.Report.Slowest
+	} else {
+		s.tel.Counter("fleetobs.state.unattributed").Inc()
+	}
+	s.mirrorLocked(msg.Report, sh)
+	s.mu.Unlock()
+	if s.opts.OnReport != nil {
+		s.opts.OnReport()
+	}
+	return true
+}
+
+// Report implements the manager's WaveObserver report hand-off by
+// absorbing the message into the fleet model.
+func (s *FleetState) Report(msg protocol.Message) { s.Absorb(msg) }
+
+// mirrorLocked projects the fleet model into plain telemetry series so
+// the standard FTDC capture records them. Counter deltas accumulate,
+// gauges are summed across each shard's latest report, sketch quantiles
+// surface as gauges.
+func (s *FleetState) mirrorLocked(report *protocol.MetricReport, sh *shardState) {
+	s.tel.Counter("fleetobs.reports").Inc()
+	for _, name := range report.Digest.SortedCounterNames() {
+		s.tel.Counter("fleetobs." + name).Add(report.Digest.Counters[name])
+	}
+	// Gauges are instantaneous per shard; the fleet value is the sum of
+	// each shard's most recent report.
+	gaugeNames := map[string]struct{}{}
+	for _, n := range s.shardNames {
+		for g := range s.shards[n].gauges {
+			gaugeNames[g] = struct{}{}
+		}
+	}
+	for _, g := range sortedKeys(gaugeNames) {
+		var sum int64
+		for _, n := range s.shardNames {
+			sum += s.shards[n].gauges[g]
+		}
+		s.tel.Gauge("fleetobs." + g).Set(sum)
+	}
+	for _, name := range s.totals.SortedSketchNames() {
+		sk := s.totals.Sketches[name]
+		s.tel.Gauge("fleetobs." + name + ".p50_ns").Set(int64(sk.Quantile(0.5)))
+		s.tel.Gauge("fleetobs." + name + ".p99_ns").Set(int64(sk.Quantile(0.99)))
+	}
+	if sh != nil {
+		s.tel.Gauge("fleetobs.shard." + sh.name + ".reporting").Set(int64(sh.lastCover))
+	}
+	var reporting int64
+	for _, n := range s.shardNames {
+		reporting += int64(s.shards[n].lastCover)
+	}
+	s.tel.Gauge("fleetobs.nodes.reporting").Set(reporting)
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ackFor maps a wave command to the acknowledgement waves it opens —
+// the same mapping Coordinator.DeliverFromParent uses for its buckets.
+func ackFor(cmd protocol.MsgType) []protocol.MsgType {
+	switch cmd {
+	case protocol.MsgReset:
+		return []protocol.MsgType{protocol.MsgResetDone, protocol.MsgAdaptDone}
+	case protocol.MsgResume:
+		return []protocol.MsgType{protocol.MsgResumeDone}
+	case protocol.MsgRollback:
+		return []protocol.MsgType{protocol.MsgRollbackDone}
+	}
+	return nil
+}
+
+// WaveSent records the start of a command wave: one frontier per
+// acknowledgement type the command opens. Implements manager.WaveObserver.
+func (s *FleetState) WaveSent(step protocol.Step, cmd protocol.MsgType, targets []string) {
+	if s == nil {
+		return
+	}
+	acks := ackFor(cmd)
+	if len(acks) == 0 {
+		return
+	}
+	s.mu.Lock()
+	now := s.opts.Clock.Now()
+	for _, ack := range acks {
+		w := s.findWaveLocked(step, ack)
+		if w == nil {
+			w = &waveState{
+				step:    step,
+				ack:     ack,
+				started: now,
+				pending: make(map[string]bool, len(targets)),
+				shards:  make(map[string]*waveShard),
+			}
+			if len(s.waves) >= maxWaveHistory {
+				s.waves = s.waves[1:]
+			}
+			s.waves = append(s.waves, w)
+			s.tel.Counter("fleetobs.waves.opened").Inc()
+		}
+		for _, a := range targets {
+			if w.pending[a] {
+				continue // retry of an already-pending target extends nothing
+			}
+			w.pending[a] = true
+			w.total++
+			ws := w.shards[s.shardOf(a)]
+			if ws == nil {
+				ws = &waveShard{}
+				w.shards[s.shardOf(a)] = ws
+			}
+			ws.pending++
+		}
+	}
+	s.mirrorWavesLocked()
+	s.mu.Unlock()
+	if s.opts.OnWave != nil {
+		s.opts.OnWave()
+	}
+}
+
+// WaveAcked credits an acknowledgement against its wave frontier: an
+// aggregated ack credits every agent it lists, an individual ack credits
+// its sender. Implements manager.WaveObserver.
+func (s *FleetState) WaveAcked(step protocol.Step, ack protocol.MsgType, from string, agents []string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	w := s.findWaveLocked(step, ack)
+	if w == nil {
+		s.mu.Unlock()
+		return
+	}
+	names := agents
+	if len(names) == 0 {
+		names = []string{from}
+	}
+	now := s.opts.Clock.Now()
+	for _, a := range names {
+		if !w.pending[a] {
+			continue
+		}
+		delete(w.pending, a)
+		w.acked++
+		ws := w.shards[s.shardOf(a)]
+		if ws == nil {
+			continue
+		}
+		ws.pending--
+		ws.acked++
+		if ws.pending == 0 {
+			// The shard's slice of the wave just completed: feed the
+			// observed latency into its straggler baseline.
+			if sh := s.shards[s.shardOf(a)]; sh != nil {
+				sh.ackLat.Observe(now.Sub(w.started))
+			}
+		}
+	}
+	if len(w.pending) == 0 && !w.done {
+		w.done = true
+		s.tel.Counter("fleetobs.waves.completed").Inc()
+	}
+	s.mirrorWavesLocked()
+	s.mu.Unlock()
+	if s.opts.OnWave != nil {
+		s.opts.OnWave()
+	}
+}
+
+func (s *FleetState) shardOf(agent string) string {
+	if owner, ok := s.agentShard[agent]; ok {
+		return owner
+	}
+	if _, ok := s.shards[agent]; ok {
+		return agent
+	}
+	return ""
+}
+
+func (s *FleetState) findWaveLocked(step protocol.Step, ack protocol.MsgType) *waveState {
+	for i := len(s.waves) - 1; i >= 0; i-- {
+		w := s.waves[i]
+		if w.ack == ack && w.step.PathIndex == step.PathIndex && w.step.Attempt == step.Attempt {
+			return w
+		}
+	}
+	return nil
+}
+
+// mirrorWavesLocked projects the newest live frontier into gauges: the
+// FTDC trace of gauge.fleetobs.shard.<name>.wave_pending draining into
+// .wave_acked is the shard-level progress record between the wave-send
+// and aggregated-ack flight events.
+func (s *FleetState) mirrorWavesLocked() {
+	w := s.newestOpenWaveLocked()
+	if w == nil {
+		if len(s.waves) == 0 {
+			return
+		}
+		w = s.waves[len(s.waves)-1]
+	}
+	s.tel.Gauge("fleetobs.wave.pending").Set(int64(len(w.pending)))
+	s.tel.Gauge("fleetobs.wave.acked").Set(int64(w.acked))
+	for _, n := range s.shardNames {
+		ws := w.shards[n]
+		var pending, acked int64
+		if ws != nil {
+			pending, acked = int64(ws.pending), int64(ws.acked)
+		}
+		s.tel.Gauge("fleetobs.shard." + n + ".wave_pending").Set(pending)
+		s.tel.Gauge("fleetobs.shard." + n + ".wave_acked").Set(acked)
+	}
+}
+
+func (s *FleetState) newestOpenWaveLocked() *waveState {
+	for i := len(s.waves) - 1; i >= 0; i-- {
+		if !s.waves[i].done {
+			return s.waves[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package fleetobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// FleetView is one consistent snapshot of the fleet model — the payload
+// of the manager's /fleet endpoint and the unit `safeadaptctl watch`
+// renders.
+type FleetView struct {
+	// At is the snapshot time on the model's injected clock.
+	At time.Time `json:"at"`
+	// Epoch is the highest manager epoch seen in absorbed reports.
+	Epoch uint64 `json:"epoch"`
+	// Reports counts absorbed rollup reports since boot.
+	Reports int64 `json:"reports"`
+	// AgentsReporting sums the coverage of each shard's latest report.
+	AgentsReporting int `json:"agentsReporting"`
+	// AgentsTotal is the fleet size implied by the shard map.
+	AgentsTotal int `json:"agentsTotal"`
+	// Shards, sorted by name.
+	Shards []ShardView `json:"shards"`
+	// Waves holds the retained wave frontiers, oldest first.
+	Waves []WaveView `json:"waves,omitempty"`
+	// Slowest is the fleet-wide top-k slowest agents, folded from the
+	// shards' latest reports.
+	Slowest []protocol.AgentLatency `json:"slowest,omitempty"`
+	// Counters are the cumulative fleet counter totals.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// ShardView is one shard's health row.
+type ShardView struct {
+	Name         string        `json:"name"`
+	Agents       int           `json:"agents"`
+	Reporting    int           `json:"reporting"`
+	Health       Health        `json:"health"`
+	Reports      int64         `json:"reports"`
+	LastInterval uint64        `json:"lastInterval"`
+	ReportAge    time.Duration `json:"reportAgeNanos"`
+	AckP99       time.Duration `json:"ackP99Nanos"`
+}
+
+// WaveView is one wave frontier.
+type WaveView struct {
+	PathIndex int             `json:"pathIndex"`
+	Attempt   int             `json:"attempt"`
+	ActionID  string          `json:"actionID,omitempty"`
+	Phase     string          `json:"phase"`
+	Acked     int             `json:"acked"`
+	Pending   int             `json:"pending"`
+	Total     int             `json:"total"`
+	Age       time.Duration   `json:"ageNanos"`
+	Done      bool            `json:"done"`
+	Shards    []WaveShardView `json:"shards,omitempty"`
+}
+
+// WaveShardView is one shard's slice of a wave frontier.
+type WaveShardView struct {
+	Name    string `json:"name"`
+	Acked   int    `json:"acked"`
+	Pending int    `json:"pending"`
+	// Late marks a straggler: the shard still has pending agents and the
+	// wave has outlived the shard's own p99 ack-latency baseline.
+	Late bool `json:"late,omitempty"`
+}
+
+// phaseOf names the protocol phase an ack wave belongs to.
+func phaseOf(ack protocol.MsgType) string {
+	switch ack {
+	case protocol.MsgResetDone:
+		return "reset"
+	case protocol.MsgAdaptDone:
+		return "adapt"
+	case protocol.MsgResumeDone:
+		return "resume"
+	case protocol.MsgRollbackDone:
+		return "rollback"
+	}
+	return ack.String()
+}
+
+// View snapshots the fleet model.
+func (s *FleetState) View() FleetView {
+	if s == nil {
+		return FleetView{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.Clock.Now()
+
+	v := FleetView{
+		At:      now,
+		Epoch:   s.epoch,
+		Reports: s.reports,
+	}
+	var slowest []protocol.AgentLatency
+	for _, name := range s.shardNames {
+		sh := s.shards[name]
+		v.AgentsTotal += len(sh.agents)
+		v.AgentsReporting += sh.lastCover
+		row := ShardView{
+			Name:         name,
+			Agents:       len(sh.agents),
+			Reporting:    sh.lastCover,
+			Reports:      sh.reports,
+			LastInterval: sh.lastInterval,
+			AckP99:       sh.ackLat.Quantile(0.99),
+		}
+		switch {
+		case sh.reports == 0:
+			row.Health = HealthPending
+		case now.Sub(sh.lastAt) > s.opts.ParkedAfter:
+			row.Health, row.ReportAge = HealthParked, now.Sub(sh.lastAt)
+		case now.Sub(sh.lastAt) > s.opts.DegradedAfter || sh.lastCover < len(sh.agents):
+			row.Health, row.ReportAge = HealthDegraded, now.Sub(sh.lastAt)
+		default:
+			row.Health, row.ReportAge = HealthHealthy, now.Sub(sh.lastAt)
+		}
+		v.Shards = append(v.Shards, row)
+		slowest = protocol.MergeSlowest(slowest, sh.slowest)
+	}
+	if len(slowest) > s.opts.TopK {
+		slowest = slowest[:s.opts.TopK]
+	}
+	v.Slowest = slowest
+
+	for _, w := range s.waves {
+		wv := WaveView{
+			PathIndex: w.step.PathIndex,
+			Attempt:   w.step.Attempt,
+			ActionID:  w.step.ActionID,
+			Phase:     phaseOf(w.ack),
+			Acked:     w.acked,
+			Pending:   len(w.pending),
+			Total:     w.total,
+			Age:       now.Sub(w.started),
+			Done:      w.done,
+		}
+		baseline := func(shard string) time.Duration {
+			if sh := s.shards[shard]; sh != nil {
+				return sh.ackLat.Quantile(0.99)
+			}
+			return 0
+		}
+		names := make([]string, 0, len(w.shards))
+		for n := range w.shards {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ws := w.shards[n]
+			base := baseline(n)
+			wv.Shards = append(wv.Shards, WaveShardView{
+				Name:    n,
+				Acked:   ws.acked,
+				Pending: ws.pending,
+				Late:    !w.done && ws.pending > 0 && base > 0 && now.Sub(w.started) > base,
+			})
+		}
+		v.Waves = append(v.Waves, wv)
+	}
+
+	if len(s.totals.Counters) > 0 {
+		v.Counters = make(map[string]int64, len(s.totals.Counters))
+		for k, c := range s.totals.Counters {
+			v.Counters[k] = c
+		}
+	}
+	return v
+}
+
+// RenderText writes the human layout of a FleetView — the body of
+// `safeadaptctl watch`.
+func RenderText(w io.Writer, v FleetView) {
+	fmt.Fprintf(w, "fleet  epoch=%d  reports=%d  agents=%d/%d reporting\n",
+		v.Epoch, v.Reports, v.AgentsReporting, v.AgentsTotal)
+	fmt.Fprintf(w, "%-18s %-9s %9s %9s %12s %12s\n",
+		"SHARD", "HEALTH", "REPORTING", "REPORTS", "AGE", "ACK-P99")
+	for _, sh := range v.Shards {
+		fmt.Fprintf(w, "%-18s %-9s %5d/%-3d %9d %12s %12s\n",
+			sh.Name, sh.Health, sh.Reporting, sh.Agents, sh.Reports,
+			sh.ReportAge.Truncate(time.Millisecond), sh.AckP99.Truncate(time.Microsecond))
+	}
+	for _, wave := range v.Waves {
+		if wave.Done {
+			continue
+		}
+		fmt.Fprintf(w, "wave step=%d attempt=%d action=%s phase=%s  %d/%d acked, %d pending, age %s\n",
+			wave.PathIndex, wave.Attempt, wave.ActionID, wave.Phase,
+			wave.Acked, wave.Total, wave.Pending, wave.Age.Truncate(time.Millisecond))
+		for _, ws := range wave.Shards {
+			late := ""
+			if ws.Late {
+				late = "  LATE"
+			}
+			fmt.Fprintf(w, "  %-16s %d acked, %d pending%s\n", ws.Name, ws.Acked, ws.Pending, late)
+		}
+	}
+	if len(v.Slowest) > 0 {
+		fmt.Fprintf(w, "slowest agents (p99):")
+		for _, sl := range v.Slowest {
+			fmt.Fprintf(w, "  %s=%s", sl.Agent, time.Duration(sl.Nanos).Truncate(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -73,6 +73,7 @@ func (m *Manager) sendWave(msgs []protocol.Message, cause *telemetry.Span) error
 	for i := range msgs {
 		msgs[i] = m.stamp(msgs[i], cause)
 	}
+	m.observeWave(msgs)
 	if bs, ok := m.ep.(transport.BatchSender); ok {
 		return bs.SendBatch(msgs)
 	}
@@ -83,6 +84,33 @@ func (m *Manager) sendWave(msgs []protocol.Message, cause *telemetry.Span) error
 		}
 	}
 	return firstErr
+}
+
+// observeWave notifies the wave observer of one outgoing command wave.
+// Only adaptation commands open ack frontiers — heartbeats, probes and
+// other traffic are invisible to the fleet model.
+func (m *Manager) observeWave(msgs []protocol.Message) {
+	obs := m.opts.Observer
+	if obs == nil || len(msgs) == 0 {
+		return
+	}
+	switch msgs[0].Type {
+	case protocol.MsgReset, protocol.MsgResume, protocol.MsgRollback:
+	default:
+		return
+	}
+	targets := make([]string, len(msgs))
+	for i, msg := range msgs {
+		targets[i] = msg.To
+	}
+	obs.WaveSent(msgs[0].Step, msgs[0].Type, targets)
+}
+
+// observeAck notifies the wave observer of one consumed acknowledgement.
+func (m *Manager) observeAck(step protocol.Step, ack protocol.MsgType, from string, agents []string) {
+	if m.opts.Observer != nil {
+		m.opts.Observer.WaveAcked(step, ack, from, agents)
+	}
 }
 
 // noteRecv merges a received reply's Lamport stamp into the local clock

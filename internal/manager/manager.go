@@ -197,6 +197,30 @@ type Options struct {
 	// raised to O(participants), which is itself an argument for the
 	// hierarchy.
 	MaxStash int
+	// Observer, when non-nil, receives wave lifecycle callbacks (wave
+	// sent, ack consumed) and the fleet metric reports that arrive on the
+	// manager's endpoint — the hook the fleetobs.FleetState plugs into.
+	// Callbacks run synchronously on the Execute goroutine; implementations
+	// must be fast and must not call back into the Manager.
+	Observer WaveObserver
+}
+
+// WaveObserver watches the manager's wave traffic from the outside. It
+// exists for the fleet observability plane: WaveSent/WaveAcked drive the
+// live wave-frontier model, and Report hands over the MsgMetricReport
+// rollups that share the manager's uplink, which the manager itself
+// never consumes.
+type WaveObserver interface {
+	// WaveSent reports one outgoing command wave (reset, resume,
+	// rollback — never heartbeats or probes) and its target agents.
+	WaveSent(step protocol.Step, cmd protocol.MsgType, targets []string)
+	// WaveAcked reports one consumed acknowledgement. For an aggregated
+	// fleet ack, agents lists the covered agents; for an individual ack
+	// it is nil and from is the acknowledging agent.
+	WaveAcked(step protocol.Step, ack protocol.MsgType, from string, agents []string)
+	// Report hands over a metric report received on the manager's
+	// endpoint.
+	Report(msg protocol.Message)
 }
 
 // Manager is the adaptation manager. It is not safe for concurrent

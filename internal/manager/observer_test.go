@@ -1,0 +1,133 @@
+package manager_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/manager"
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// recordingObserver records every WaveObserver callback and, on each
+// wave send, injects a MsgMetricReport onto the manager's inbox so the
+// report lands mid-await — the exact window where a mis-classified
+// report could be stashed or mistaken for a protocol reply.
+type recordingObserver struct {
+	mu      sync.Mutex
+	sent    []protocol.MsgType
+	acked   []protocol.MsgType
+	reports []protocol.Message
+	inject  func()
+}
+
+func (o *recordingObserver) WaveSent(step protocol.Step, cmd protocol.MsgType, targets []string) {
+	o.mu.Lock()
+	o.sent = append(o.sent, cmd)
+	o.mu.Unlock()
+	if o.inject != nil {
+		o.inject()
+	}
+}
+
+func (o *recordingObserver) WaveAcked(step protocol.Step, ack protocol.MsgType, from string, agents []string) {
+	o.mu.Lock()
+	o.acked = append(o.acked, ack)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) Report(msg protocol.Message) {
+	o.mu.Lock()
+	o.reports = append(o.reports, msg)
+	o.mu.Unlock()
+}
+
+// TestObserverReportPath: metric reports arriving on the manager's
+// uplink during an adaptation are handed to the wave observer and never
+// disturb the protocol — the run completes, every wave is observed, and
+// every injected report is delivered.
+func TestObserverReportPath(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	obs := &recordingObserver{}
+	tel := telemetry.NewRegistry()
+	s := newStack(t, plan, manager.Options{Telemetry: tel, Observer: obs})
+
+	// A telemetry node that shares the manager's bus, as a fleet
+	// coordinator's rollup uplink would.
+	emitEP, err := s.bus.Endpoint("fleet-rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := uint64(0)
+	obs.inject = func() {
+		interval++
+		_ = emitEP.Send(protocol.Message{
+			Type: protocol.MsgMetricReport,
+			From: "fleet-rollup",
+			To:   protocol.ManagerName,
+			Report: &protocol.MetricReport{
+				Interval: interval,
+				Agents:   []string{"fleet-rollup"},
+				Digest:   telemetry.Digest{Nodes: 1, Counters: map[string]int64{"agent.frames": 3}},
+			},
+		})
+	}
+
+	res, err := s.mgr.Execute(src, tgt)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("adaptation did not complete: %+v", res)
+	}
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.sent) == 0 {
+		t.Fatal("observer saw no wave sends")
+	}
+	if len(obs.acked) == 0 {
+		t.Fatal("observer saw no wave acks")
+	}
+	for _, cmd := range obs.sent {
+		switch cmd {
+		case protocol.MsgReset, protocol.MsgResume, protocol.MsgRollback:
+		default:
+			t.Fatalf("WaveSent called for non-wave command %v", cmd)
+		}
+	}
+	if len(obs.reports) == 0 {
+		t.Fatal("no injected metric report reached the observer")
+	}
+	for _, msg := range obs.reports {
+		if msg.Report == nil || msg.From != "fleet-rollup" {
+			t.Fatalf("mangled report delivery: %+v", msg)
+		}
+	}
+}
+
+// TestObserverNilIsSafe: the observer is optional; reports on the uplink
+// are consumed silently without one.
+func TestObserverNilIsSafe(t *testing.T) {
+	plan, src, tgt := paperPlanner(t)
+	s := newStack(t, plan, manager.Options{})
+
+	emitEP, err := s.bus.Endpoint("fleet-rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = emitEP.Send(protocol.Message{
+		Type:   protocol.MsgMetricReport,
+		From:   "fleet-rollup",
+		To:     protocol.ManagerName,
+		Report: &protocol.MetricReport{Interval: 1},
+	})
+
+	res, err := s.mgr.Execute(src, tgt)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("adaptation did not complete: %+v", res)
+	}
+}

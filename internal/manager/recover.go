@@ -275,6 +275,14 @@ func (m *Manager) probeAll(span *telemetry.Span, step protocol.Step) (map[string
 func (m *Manager) collectProbes(step protocol.Step, infos map[string]*protocol.ProbeInfo, want int) {
 	accept := func(msg protocol.Message) {
 		m.noteRecv(msg)
+		if msg.Type == protocol.MsgMetricReport {
+			// Rollup reports keep flowing during recovery; route them to the
+			// observability plane instead of dropping them.
+			if m.opts.Observer != nil {
+				m.opts.Observer.Report(msg)
+			}
+			return
+		}
 		if msg.Type != protocol.MsgProbeAck || msg.Probe == nil {
 			return // straggler addressed to the crashed predecessor
 		}

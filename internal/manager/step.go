@@ -398,6 +398,15 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 	// classify inspects one message; it returns a failure description or
 	// "" and reports whether the message was consumed.
 	classify := func(msg protocol.Message) (failure string, consumed bool) {
+		if msg.Type == protocol.MsgMetricReport {
+			// Fleet rollup reports share the manager's uplink but belong to
+			// the observability plane, not the protocol: hand them to the
+			// observer and never let them near the stash.
+			if m.opts.Observer != nil {
+				m.opts.Observer.Report(msg)
+			}
+			return "", true
+		}
 		if msg.Step.PathIndex != step.PathIndex || msg.Step.Attempt != step.Attempt {
 			return "", true // stale reply from an earlier attempt
 		}
@@ -415,10 +424,12 @@ func (m *Manager) await(ctx context.Context, from []string, step protocol.Step, 
 			}
 			if len(hit) > 0 {
 				m.ackGroups = append(m.ackGroups, ackGroup{from: msg.From, agents: hit})
+				m.observeAck(step, want, msg.From, hit)
 			}
 			return "", true
 		case msg.Type == want && wanted[msg.From]:
 			got[msg.From] = true
+			m.observeAck(step, want, msg.From, nil)
 			return "", true
 		case failType != 0 && msg.Type == failType:
 			return fmt.Sprintf("%s from %s: %s", msg.Type, msg.From, msg.Error), true

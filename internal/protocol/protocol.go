@@ -8,8 +8,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/action"
+	"repro/internal/telemetry"
 )
 
 // MsgType enumerates the protocol messages. The Courier-font names in the
@@ -62,6 +64,13 @@ const (
 	// delivered individually; it never reaches the manager or agent state
 	// machines themselves.
 	MsgBatch
+	// MsgMetricReport carries one interval's mergeable telemetry digest
+	// upward through the fleet tree: an agent emits its own deltas, each
+	// coordinator folds its shard's reports into one (mirroring the
+	// aggregated acks), and the root receives O(fan-out) reports per
+	// interval instead of O(n). Like every protocol message it carries the
+	// sender's fencing epoch and causal trace context.
+	MsgMetricReport
 )
 
 // String returns the paper's name for the message type.
@@ -95,6 +104,8 @@ func (t MsgType) String() string {
 		return "probe ack"
 	case MsgBatch:
 		return "batch"
+	case MsgMetricReport:
+		return "metric report"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(t))
 	}
@@ -187,6 +198,8 @@ type Message struct {
 	// plane O(fan-out) per hop instead of O(n) at the root. Sorted, so the
 	// message is deterministic for replay.
 	Agents []string `json:"agents,omitempty"`
+	// Report is the rollup payload on MsgMetricReport.
+	Report *MetricReport `json:"report,omitempty"`
 }
 
 // PackBatch wraps msgs (all addressed to agents reachable via one child
@@ -247,6 +260,59 @@ func UnpackBatch(env Message) []Message {
 func stepEqual(a, b Step) bool {
 	return a.PathIndex == b.PathIndex && a.Attempt == b.Attempt && a.ActionID == b.ActionID &&
 		a.FromVector == b.FromVector && a.ToVector == b.ToVector
+}
+
+// MetricReport is the payload of one MsgMetricReport: the mergeable
+// telemetry digest of one node (an agent's own interval deltas) or of a
+// whole shard (a coordinator's fold of its children's reports for one
+// interval). Everything in it is deterministic for replay: Agents is
+// sorted, Slowest is sorted by descending latency with name tie-breaks,
+// and the digest's JSON encoding is canonical.
+type MetricReport struct {
+	// Interval is the emission interval sequence number. Coordinators fold
+	// reports interval by interval, so skew between shards never mixes two
+	// intervals into one upstream report.
+	Interval uint64 `json:"interval"`
+	// Agents lists the agents the digest covers, sorted. A leaf emitter
+	// reports just itself; each fold unions its children's coverage, so
+	// the root can tell a full shard report from a straggling partial one.
+	Agents []string `json:"agents,omitempty"`
+	// Slowest is the shard's top-k slowest agents by their reported ack
+	// latency (descending, ties broken by name, capped at SlowestCap).
+	// Top-k lists are mergeable: concatenate, re-sort, truncate.
+	Slowest []AgentLatency `json:"slowest,omitempty"`
+	// Digest is the mergeable metric payload: counter deltas over the
+	// interval, instantaneous gauges, histogram sketches.
+	Digest telemetry.Digest `json:"digest"`
+}
+
+// SlowestCap bounds the Slowest list at every fold level, keeping report
+// frames O(fan-out + k) regardless of shard size.
+const SlowestCap = 8
+
+// AgentLatency is one entry of a report's top-k slowest list.
+type AgentLatency struct {
+	Agent string `json:"agent"`
+	Nanos int64  `json:"nanos"`
+}
+
+// MergeSlowest folds two top-k lists: concatenate, sort by descending
+// latency (names ascending on ties, so equal inputs fold identically in
+// any order), truncate to SlowestCap.
+func MergeSlowest(a, b []AgentLatency) []AgentLatency {
+	out := make([]AgentLatency, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		return out[i].Agent < out[j].Agent
+	})
+	if len(out) > SlowestCap {
+		out = out[:SlowestCap]
+	}
+	return out
 }
 
 // ProbeInfo is an agent's answer to MsgProbe: enough of its local state

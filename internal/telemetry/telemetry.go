@@ -212,6 +212,10 @@ type Histogram struct {
 	max     time.Duration
 	samples []time.Duration
 	next    int // overwrite cursor once samples is full
+	// sketch mirrors every observation into mergeable log-linear buckets
+	// (see digest.go), so the rollup plane can fold this histogram with
+	// its peers on other nodes. Unlike samples it is never windowed.
+	sketch Sketch
 }
 
 // Observe records one duration.
@@ -229,6 +233,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.count++
 	h.sum += d
+	h.sketch.Observe(d)
 	if len(h.samples) < maxHistogramSamples {
 		h.samples = append(h.samples, d)
 		return
@@ -262,6 +267,18 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Unlock()
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	return quantileSorted(sorted, q)
+}
+
+// Sketch returns a mergeable copy of the histogram's log-linear bucket
+// sketch (see digest.go). Unlike Quantile it covers every observation
+// ever made, not just the retained sample window. Nil on a nil histogram.
+func (h *Histogram) Sketch() *Sketch {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sketch.Clone()
 }
 
 // Summary returns the histogram's summary statistics.

@@ -370,13 +370,18 @@ type MuxClient struct {
 	tel    atomic.Pointer[telemetry.Registry]
 
 	mu     sync.Mutex
-	conn   net.Conn // nil while disconnected
+	conn   net.Conn // nil while disconnected or mid-reattach
 	eps    map[string]*MuxEndpoint
 	order  []string // registration order, for deterministic re-hello
 	covers map[string][]string
-	closed bool
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	// pending buffers frames sent while conn is nil (bounded by
+	// maxMuxPending). The redial loop flushes it after re-registering
+	// every endpoint and before publishing the new conn, so a frame can
+	// never reach the hub ahead of the hello that authorizes its stream.
+	pending []protocol.Message
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
 
 	// sendMu serializes frame writes so concurrent Sends from different
 	// logical endpoints cannot interleave bytes; never held with mu.
@@ -449,6 +454,24 @@ func (c *MuxClient) Endpoint(name string, covers ...string) (*MuxEndpoint, error
 	return ep, nil
 }
 
+// maxMuxPending bounds the frames a client buffers across a redial
+// window. Overflow behaves like message loss — the protocol's retry
+// ladder owns recovery beyond that, exactly as for a dead link.
+const maxMuxPending = 128
+
+// enqueuePending buffers one frame for the post-redial flush. It
+// returns false (counted as loss) when the client is closed or the
+// buffer is full.
+func (c *MuxClient) enqueuePending(msg protocol.Message) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.pending) >= maxMuxPending {
+		return false
+	}
+	c.pending = append(c.pending, msg)
+	return true
+}
+
 // helloFrame builds the registration frame for name with the given
 // coverage declaration.
 func helloFrame(name string, covers []string) protocol.Message {
@@ -516,7 +539,6 @@ func (c *MuxClient) run(conn net.Conn) {
 				_ = nc.Close()
 				return
 			}
-			c.conn = nc
 			names := append([]string(nil), c.order...)
 			covers := make(map[string][]string, len(names))
 			for _, n := range names {
@@ -530,13 +552,38 @@ func (c *MuxClient) run(conn net.Conn) {
 					break
 				}
 			}
+			// Flush the frames buffered while disconnected, then publish
+			// the conn. Sends keep buffering until c.conn is visible, so
+			// draining until a pass finds the buffer empty guarantees
+			// every buffered frame leaves after the hellos and before any
+			// direct write — the hub never sees a frame on a stream it
+			// has not readmitted yet.
+			for ok {
+				c.mu.Lock()
+				if len(c.pending) == 0 {
+					c.conn = nc
+					c.mu.Unlock()
+					break
+				}
+				batch := c.pending
+				c.pending = nil
+				c.mu.Unlock()
+				for i, msg := range batch {
+					if err := c.writeFrame(nc, msg); err != nil {
+						// The unflushed tail is loss, like any dead link.
+						ok = false
+						tel := c.tel.Load()
+						for _, lost := range batch[i:] {
+							tel.Counter("transport.mux.send_errors").Inc()
+							noteDrop(tel, lost, "redial flush failed")
+						}
+						break
+					}
+					c.tel.Load().Counter("transport.mux.redial_flushed").Inc()
+				}
+			}
 			if !ok {
 				_ = nc.Close()
-				c.mu.Lock()
-				if c.conn == nc {
-					c.conn = nil
-				}
-				c.mu.Unlock()
 				continue
 			}
 			conn = nc
@@ -627,8 +674,9 @@ func (e *MuxEndpoint) Inbox() <-chan protocol.Message { return e.inbox }
 // Send implements Endpoint. A caller-set From is preserved, so a relay
 // can forward messages on behalf of its subtree (the hub admits only
 // Froms within the conn's declared coverage); otherwise From is the
-// endpoint's own name. While disconnected, sends fail — the protocol
-// treats that as message loss and recovers through its own ladder.
+// endpoint's own name. Across a redial window the frame is buffered
+// (bounded) and flushed after the client re-registers on the new
+// connection; only a full buffer or a closed client is loss.
 func (e *MuxEndpoint) Send(msg protocol.Message) error {
 	if msg.From == "" {
 		msg.From = e.name
@@ -637,6 +685,10 @@ func (e *MuxEndpoint) Send(msg protocol.Message) error {
 	conn := e.c.conn
 	e.c.mu.Unlock()
 	if conn == nil {
+		if e.c.enqueuePending(msg) {
+			e.c.tel.Load().Counter("transport.mux.redial_buffered").Inc()
+			return nil
+		}
 		e.c.tel.Load().Counter("transport.mux.send_errors").Inc()
 		return fmt.Errorf("transport: endpoint %q disconnected from hub", e.name)
 	}
@@ -658,15 +710,21 @@ func (e *MuxEndpoint) SendBatch(msgs []protocol.Message) error {
 			msgs[i].From = e.name
 		}
 	}
+	env := protocol.PackBatch("", msgs)
+	env.From = e.name
 	e.c.mu.Lock()
 	conn := e.c.conn
 	e.c.mu.Unlock()
 	if conn == nil {
+		// The whole wave batch rides the redial buffer as one frame.
+		if e.c.enqueuePending(env) {
+			e.c.tel.Load().Counter("transport.mux.redial_buffered").Inc()
+			e.c.tel.Load().Counter("transport.mux.batched_msgs").Add(int64(len(msgs)))
+			return nil
+		}
 		e.c.tel.Load().Counter("transport.mux.send_errors").Inc()
 		return fmt.Errorf("transport: endpoint %q disconnected from hub", e.name)
 	}
-	env := protocol.PackBatch("", msgs)
-	env.From = e.name
 	e.c.tel.Load().Counter("transport.mux.batched_msgs").Add(int64(len(msgs)))
 	return e.c.writeFrame(conn, env)
 }

@@ -359,3 +359,148 @@ func TestMuxUnregisteredFromDropped(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 }
+
+// TestMuxRedialBuffersFramesAcrossWindow: frames sent while the client
+// is between connections are not lost — they are buffered and flushed
+// after the client re-registers on the new hub, behind the hellos that
+// readmit their streams. Before the fix, every send in the window
+// errored, and a send racing the reattach could reach the hub ahead of
+// its stream's hello and be dropped as unattributed.
+func TestMuxRedialBuffersFramesAcrossWindow(t *testing.T) {
+	hub, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := hub.Addr()
+
+	var mu sync.Mutex
+	cur := "" // parked: redials fail until a new hub address is published
+	client, err := DialMux(func() string { mu.Lock(); defer mu.Unlock(); return cur }, 5*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected first dial against parked address to fail")
+	}
+	mu.Lock()
+	cur = addr
+	mu.Unlock()
+	client, err = DialMux(func() string { mu.Lock(); defer mu.Unlock(); return cur }, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	a, err := client.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.WaitForAgents(2*time.Second, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the first hub and park the redial target so the disconnection
+	// window stays open while we send.
+	mu.Lock()
+	cur = "127.0.0.1:1" // nothing listens there
+	mu.Unlock()
+	hub.Close()
+
+	// Wait until the client has noticed the dead conn.
+	deadlineAt := time.Now().Add(2 * time.Second)
+	for {
+		client.mu.Lock()
+		down := client.conn == nil
+		client.mu.Unlock()
+		if down {
+			break
+		}
+		if time.Now().After(deadlineAt) {
+			t.Fatal("client never noticed the dead connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Sends in the window must be accepted (buffered), not errored.
+	for i := 0; i < 3; i++ {
+		if err := a.Send(protocol.Message{Type: protocol.MsgProbeAck, To: "manager", Step: protocol.Step{PathIndex: i}}); err != nil {
+			t.Fatalf("send %d during redial window: %v", i, err)
+		}
+	}
+	if err := a.SendBatch([]protocol.Message{
+		{Type: protocol.MsgProbeAck, To: "manager", Step: protocol.Step{PathIndex: 3}},
+		{Type: protocol.MsgProbeAck, To: "manager", Step: protocol.Step{PathIndex: 4}},
+	}); err != nil {
+		t.Fatalf("batch send during redial window: %v", err)
+	}
+
+	// Bring a new hub up and point the client at it.
+	hub2, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	mu.Lock()
+	cur = hub2.Addr()
+	mu.Unlock()
+
+	// Every buffered frame arrives on the new hub, in send order, after
+	// the stream re-registered (no unattributed drops).
+	for want := 0; want < 5; want++ {
+		msg := recvHub(t, hub2, 5*time.Second)
+		if msg.Type != protocol.MsgProbeAck || msg.From != "a" || msg.Step.PathIndex != want {
+			t.Fatalf("frame %d: got %+v", want, msg)
+		}
+	}
+	hub2.mu.Lock()
+	_, registered := hub2.routes["a"]
+	hub2.mu.Unlock()
+	if !registered {
+		t.Fatal("stream a not registered on the new hub")
+	}
+}
+
+// TestMuxRedialBufferBounded: the redial buffer is finite; overflow
+// behaves like loss (send errors), not unbounded memory growth.
+func TestMuxRedialBufferBounded(t *testing.T) {
+	hub, err := ListenMux("manager", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := hub.Addr()
+	var mu sync.Mutex
+	cur := addr
+	client, err := DialMux(func() string { mu.Lock(); defer mu.Unlock(); return cur }, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	a, err := client.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.WaitForAgents(2*time.Second, "a"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	cur = "127.0.0.1:1"
+	mu.Unlock()
+	hub.Close()
+	deadlineAt := time.Now().Add(2 * time.Second)
+	for {
+		client.mu.Lock()
+		down := client.conn == nil
+		client.mu.Unlock()
+		if down {
+			break
+		}
+		if time.Now().After(deadlineAt) {
+			t.Fatal("client never noticed the dead connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < maxMuxPending; i++ {
+		if err := a.Send(protocol.Message{Type: protocol.MsgProbeAck, To: "manager"}); err != nil {
+			t.Fatalf("send %d should have been buffered: %v", i, err)
+		}
+	}
+	if err := a.Send(protocol.Message{Type: protocol.MsgProbeAck, To: "manager"}); err == nil {
+		t.Fatal("send past the buffer bound should fail")
+	}
+}
