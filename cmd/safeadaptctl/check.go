@@ -24,6 +24,7 @@ func check(args []string, out io.Writer) error {
 	packets := fs.Int("packets", 1, "application packet budget per execution (-1 disables)")
 	fuzzN := fs.Int("fuzz", 0, "additionally run N random schedules")
 	crashN := fs.Int("crash", -1, "crash sweep: kill the manager at every journal record boundary (and mid-fsync), with N extra fuzzed schedules per boundary; -1 disables")
+	churnN := fs.Int("churn", -1, "leader-churn sweep: replicate the journal to two hot standbys, kill the leader at every record boundary and race takeover candidates (single, fenced-loser and stale-re-drive doubles), with N extra fuzzed schedules per boundary; -1 disables")
 	seed := fs.Int64("seed", 1, "fuzz seed; a seed reproduces its schedules exactly")
 	selftest := fs.Bool("selftest", false, "mutation self-test: disable the global-safe-condition drain and demand a violation")
 	replay := fs.String("replay", "", "replay one schedule (comma-separated choice indices) and print its trace")
@@ -102,6 +103,22 @@ func check(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  coordinator crashes: %d (all restarted stateless)\n", crep.CoordCrashes)
 		}
 		rep.Violations = append(rep.Violations, crep.Violations...)
+	}
+
+	if *churnN >= 0 {
+		if *fleetMode {
+			return fmt.Errorf("check: -churn models a single-manager replication plane; drop -fleet")
+		}
+		fmt.Fprintf(out, "churn sweep: leader killed at every journal record boundary with hot-standby takeover races (+%d fuzzed schedules per boundary, seed %d)\n", *churnN, *seed)
+		start = time.Now()
+		chrep, err := x.ChurnSweep(*seed, *churnN)
+		if err != nil {
+			return err
+		}
+		printReport(out, chrep, time.Since(start))
+		fmt.Fprintf(out, "  leader crashes:     %d\n", chrep.Crashes)
+		fmt.Fprintf(out, "  standby takeovers:  %d (incl. fenced losers and stale re-drives)\n", chrep.Takeovers)
+		rep.Violations = append(rep.Violations, chrep.Violations...)
 	}
 
 	if len(rep.Violations) > 0 {

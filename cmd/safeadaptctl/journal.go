@@ -4,8 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/journal"
 )
@@ -18,13 +20,22 @@ func journalCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("journal", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "machine-readable JSON output")
 	quiet := fs.Bool("summary", false, "print only the replayed recovery state, not every record")
+	follow := fs.Bool("follow", false, "tail a live journal: print each record as the manager appends it (Ctrl-C to stop)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval in -follow mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: safeadaptctl journal [-json] [-summary] <file.journal>")
+		return fmt.Errorf("usage: safeadaptctl journal [-json] [-summary] [-follow] <file.journal>")
 	}
 	path := fs.Arg(0)
+
+	if *follow {
+		if *asJSON || *quiet {
+			return fmt.Errorf("journal: -follow streams records; drop -json/-summary")
+		}
+		return followJournal(path, out, *poll, nil)
+	}
 
 	recs, torn, err := journal.ReadFile(path)
 	if err != nil {
@@ -79,6 +90,49 @@ func journalCmd(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "  before the point of no return: recovery rolls the step back safely")
 	}
 	return nil
+}
+
+// followJournal tails a live journal file: it prints every durable record
+// already in the log, then keeps re-scanning from the last good byte
+// offset, printing records as the writer appends them. Any decode failure
+// — clean EOF, a frame still being written, a torn tail — just means "the
+// valid log ends here for now"; the tailer re-seeks and retries after the
+// poll interval, exactly the WAL read discipline recovery uses. A nil stop
+// channel follows until the process is interrupted; tests pass a channel
+// and get a closing summary folded live via State.Apply.
+func followJournal(path string, out io.Writer, poll time.Duration, stop <-chan struct{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: open: %w", err)
+	}
+	defer f.Close()
+
+	var st journal.State
+	var off int64
+	count := 0
+	for {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return fmt.Errorf("journal: seek: %w", err)
+		}
+		for {
+			rec, n, err := journal.DecodeFrame(f)
+			if err != nil {
+				break
+			}
+			off += n
+			count++
+			st.Apply(rec)
+			fmt.Fprintf(out, "%s\n", rec)
+		}
+		select {
+		case <-stop:
+			fmt.Fprintf(out, "followed %d records (%d valid bytes); last epoch %d, in-flight adaptation: %v\n",
+				count, off, st.LastEpoch, st.InFlight)
+			return nil
+		default:
+		}
+		time.Sleep(poll)
+	}
 }
 
 func ackWaves(st journal.State) []string {

@@ -4,7 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/journal"
 	"repro/internal/protocol"
@@ -111,6 +113,105 @@ func TestJournalCommandErrors(t *testing.T) {
 	}
 	if err := run([]string{"journal", filepath.Join(t.TempDir(), "missing.journal")}, &sb); err == nil {
 		t.Error("journal on a missing file should fail")
+	}
+}
+
+// syncBuffer is a goroutine-safe strings.Builder for the follow test: the
+// tailer writes from its own goroutine while the test polls the contents.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func waitContains(t *testing.T, buf *syncBuffer, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("follow output never contained %q:\n%s", want, buf.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJournalFollow tails a live journal: the follower must print the
+// existing records, pick up records appended while it watches, ignore a
+// torn tail, and summarize the folded state when stopped.
+func TestJournalFollow(t *testing.T) {
+	path := writeTestJournal(t)
+
+	buf := &syncBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- followJournal(path, buf, 2*time.Millisecond, stop) }()
+	waitContains(t, buf, "ponr")
+
+	// Append a live record plus a torn half-frame; the follower must print
+	// the record and treat the garbage as "log ends here for now".
+	j, err := journal.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := protocol.Step{ActionID: "A1", PathIndex: 0, Attempt: 1, FromVector: "1100", ToVector: "0110"}
+	if err := j.Append(journal.Record{Epoch: 1, Kind: journal.KindStepEnd, Step: step, Outcome: "completed"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x00, 0x30, 0xde}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitContains(t, buf, "completed")
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("followJournal: %v", err)
+	}
+	if !strings.Contains(buf.String(), "followed 8 records") {
+		t.Errorf("follow summary missing record count:\n%s", buf.String())
+	}
+}
+
+func TestJournalFollowFlagConflicts(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"journal", "-follow", "-json", writeTestJournal(t)}, &sb); err == nil {
+		t.Error("journal -follow -json should fail")
+	}
+}
+
+func TestCheckChurnSweep(t *testing.T) {
+	out := runCmd(t, "check", "-depth", "2", "-churn", "0")
+	if !strings.Contains(out, "churn sweep: leader killed at every journal record boundary") {
+		t.Errorf("check -churn output missing sweep header:\n%s", out)
+	}
+	if !strings.Contains(out, "standby takeovers:") {
+		t.Errorf("check -churn output missing takeover count:\n%s", out)
+	}
+	if !strings.Contains(out, "no safety violations") {
+		t.Errorf("check -churn found violations:\n%s", out)
 	}
 }
 

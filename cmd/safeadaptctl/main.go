@@ -15,7 +15,9 @@
 //	safeadaptctl check [-depth N] [-fuzz N]  # model-check the protocol across interleavings and failures
 //	safeadaptctl check -crash N              # also kill the manager at every journal record boundary
 //	safeadaptctl check -fleet [-crash N]     # model-check the hierarchical fleet plane, incl. coordinator crashes
+//	safeadaptctl check -churn N              # kill the leader at every boundary and race hot-standby takeovers
 //	safeadaptctl journal <file.journal>      # inspect a manager write-ahead log and its recovery state
+//	safeadaptctl journal -follow <file>      # tail a live journal as the manager appends records
 //	safeadaptctl postmortem -dir <dir>       # merge per-node flight-recorder bundles into a causal timeline
 //	safeadaptctl ftdc info <file.ftdc>       # inspect an always-on metrics capture
 //	safeadaptctl ftdc decode [-csv] <file>   # dump every recovered capture sample as JSON or CSV

@@ -79,7 +79,7 @@ func main() {
 func run() error {
 	role := flag.String("role", "", "manager | server | handheld | laptop")
 	listen := flag.String("listen", "127.0.0.1:0", "manager TCP listen address")
-	managerAddr := flag.String("manager", "", "manager TCP address (agents)")
+	managerAddr := flag.String("manager", "", "manager TCP address, or comma-separated leader,standby,... candidates (agents)")
 	peers := flag.String("peers", "", "comma-separated client UDP addresses (server)")
 	frames := flag.Int("frames", 200, "frames to stream (server)")
 	duration := flag.Duration("duration", 3*time.Second, "how long to serve (clients)")
@@ -331,9 +331,14 @@ func runClient(role, managerAddr string, duration time.Duration, tel *telemetry.
 }
 
 // startAgent dials the manager and runs the adaptation agent in the
-// background, returning a closer.
+// background, returning a closer. -manager may list several
+// comma-separated candidate addresses (the leader first, hot standbys
+// after); the agent keeps a reconnecting session that rotates through
+// the ring on every redial, so it chases a promoted standby without any
+// out-of-band announcement.
 func startAgent(name, managerAddr string, proc agent.LocalProcess, tel *telemetry.Registry) (*agent.Agent, func(), error) {
-	ep, err := transport.DialTCP(name, managerAddr)
+	ring := transport.NewAddrRing(strings.Split(managerAddr, ",")...)
+	ep, err := transport.DialReconnectingTCP(name, ring.Next, 250*time.Millisecond)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -32,6 +32,7 @@ var DeterminismAnalyzer = &Analyzer{
 		"repro/internal/fleetobs",
 		"repro/internal/netsim",
 		"repro/internal/manager",
+		"repro/internal/replica",
 		"repro/internal/agent",
 		"repro/internal/tlogic",
 		"repro/internal/planner",

@@ -27,11 +27,13 @@ var JournalSendAnalyzer = &Analyzer{
 	Name: "journalsend",
 	Doc: "require a committed journal record (KindPoNR for resume, KindRollback " +
 		"for rollback) to dominate every transport send of that wave",
-	// The fleet coordinator is in scope to prove a negative: it relays
-	// wave messages it receives but must never originate a MsgResume or
-	// MsgRollback literal of its own — the journal-before-send decision
-	// belongs to the root manager alone.
-	Packages: []string{"repro/internal/manager", "repro/internal/fleet"},
+	// The fleet coordinator and the replication plane are in scope to
+	// prove a negative: both relay or replicate decisions they receive
+	// but must never originate a MsgResume or MsgRollback literal of
+	// their own — the journal-before-send decision belongs to the root
+	// manager alone (a promoted standby sends its waves through
+	// manager.RecoverState, which is already covered).
+	Packages: []string{"repro/internal/manager", "repro/internal/fleet", "repro/internal/replica"},
 	Run:      runJournalSend,
 }
 

@@ -1,0 +1,181 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// TestChurnSweepTakesOverEverywhere is the leader-churn model check of
+// the hot-standby design: killing the leader at EVERY journal record
+// boundary of the paper's adaptation — mid-fsync too, with double
+// takeovers (a fenced lower-epoch loser and a stale higher-epoch
+// re-drive) at every boundary, and fuzzed schedules layered over the
+// churn — never violates a safety property, never diverges a standby
+// from the durable log, and never lets a fenced candidate finish.
+func TestChurnSweepTakesOverEverywhere(t *testing.T) {
+	perPoint := 2
+	if testing.Short() {
+		perPoint = 0
+	}
+	x := mustExplorer(t, Options{MaxFaults: 1, MaxPackets: 1})
+	rep, err := x.ChurnSweep(7, perPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("churn sweep found %d violations, first: %v", len(rep.Violations), rep.Violations[0])
+	}
+	if rep.Truncated {
+		t.Fatalf("churn sweep truncated: %+v", rep)
+	}
+	// Every boundary runs at least one single and two double takeovers.
+	if rep.Takeovers < 40 {
+		t.Fatalf("suspiciously few standby takeovers: %d (report %+v)", rep.Takeovers, rep)
+	}
+	t.Logf("swept %d schedules, %d leader crashes, %d standby takeovers, %d states",
+		rep.Schedules, rep.Crashes, rep.Takeovers, rep.States)
+}
+
+// TestChurnSweepDeterministic: same seed, same sweep — the churn driver
+// is a model check, not a stress test.
+func TestChurnSweepDeterministic(t *testing.T) {
+	x := mustExplorer(t, Options{MaxFaults: 1, MaxPackets: 1})
+	rep1, err := x.ChurnSweep(11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := x.ChurnSweep(11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Schedules != rep2.Schedules || rep1.States != rep2.States ||
+		rep1.Crashes != rep2.Crashes || rep1.Takeovers != rep2.Takeovers {
+		t.Fatalf("same seed, different sweeps: %+v vs %+v", rep1, rep2)
+	}
+}
+
+// TestChurnSingleTakeoverHot kills the leader mid-adaptation and checks
+// the rank-1 standby completes the work from its streamed state: epoch 2
+// (LastEpoch 1 + rank 1), target reached, and the standby's own journal
+// carries the whole history so a later cold recovery replays takeover
+// included.
+func TestChurnSingleTakeoverHot(t *testing.T) {
+	x := mustExplorer(t, Options{})
+	e, err := newExecutionChurn(x, &replayChooser{}, &churnPlan{after: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.run()
+	if e.takeovers != 1 {
+		t.Fatalf("expected exactly one takeover, got %d", e.takeovers)
+	}
+	if len(e.violations) != 0 {
+		t.Fatalf("hot takeover violated safety: %v", e.violations[0])
+	}
+	if got := e.mgr.Epoch(); got != 2 {
+		t.Fatalf("promoted standby epoch = %d, want 2", got)
+	}
+	if gt := e.reg.BitVector(e.groundTruth()); gt != e.reg.BitVector(e.m.Target) {
+		t.Fatalf("ground truth %s never reached target %s", gt, e.reg.BitVector(e.m.Target))
+	}
+	// The promoted standby journaled the rest of the adaptation into its
+	// own log, continuing the leader's: a cold replay of it must show the
+	// new epoch and no in-flight work.
+	recs, err := e.standbys[0].jrn.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := journal.Replay(recs)
+	if st.InFlight {
+		t.Fatalf("standby journal still shows in-flight work after completion: %+v", st)
+	}
+	if st.LastEpoch != 2 {
+		t.Fatalf("standby journal LastEpoch = %d, want 2", st.LastEpoch)
+	}
+}
+
+// TestChurnMidSyncTakeover tears the fsync at a boundary: the lost tail
+// must exist nowhere — not on the leader's disk, not in any standby —
+// and the takeover must still finish the adaptation.
+func TestChurnMidSyncTakeover(t *testing.T) {
+	x := mustExplorer(t, Options{})
+	e, err := newExecutionChurn(x, &replayChooser{}, &churnPlan{after: 5, midSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.run()
+	if e.takeovers != 1 {
+		t.Fatalf("expected exactly one takeover, got %d", e.takeovers)
+	}
+	if len(e.violations) != 0 {
+		t.Fatalf("mid-fsync takeover violated safety: %v", e.violations[0])
+	}
+	if gt := e.reg.BitVector(e.groundTruth()); gt != e.reg.BitVector(e.m.Target) {
+		t.Fatalf("ground truth %s never reached target %s", gt, e.reg.BitVector(e.m.Target))
+	}
+}
+
+// TestChurnDoubleTakeoverFencedLoser races two candidates: the rank-2
+// standby wins under epoch 3, then the rank-1 candidate attempts its own
+// takeover under epoch 2 and must be fenced into total failure by the
+// agents — without disturbing the completed adaptation.
+func TestChurnDoubleTakeoverFencedLoser(t *testing.T) {
+	x := mustExplorer(t, Options{})
+	e, err := newExecutionChurn(x, &replayChooser{}, &churnPlan{after: 5, double: doubleFencedLoser})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.run()
+	if e.takeovers != 2 {
+		t.Fatalf("expected two takeovers, got %d", e.takeovers)
+	}
+	if len(e.violations) != 0 {
+		t.Fatalf("double takeover violated safety: %v", e.violations[0])
+	}
+	if got := e.mgr.Epoch(); got != 3 {
+		t.Fatalf("winning candidate epoch = %d, want 3 (rank 2)", got)
+	}
+	fenced := 0
+	for _, pn := range e.procNames {
+		fenced += e.agents[pn].Fenced()
+	}
+	if fenced == 0 {
+		t.Fatal("no agent fenced a message; the losing candidate was never actually challenged")
+	}
+	if gt := e.reg.BitVector(e.groundTruth()); gt != e.reg.BitVector(e.m.Target) {
+		t.Fatalf("ground truth %s never reached target %s", gt, e.reg.BitVector(e.m.Target))
+	}
+}
+
+// TestChurnDoubleTakeoverStaleRedrive: the rank-1 candidate finishes the
+// recovery, then the rank-2 candidate — whose streamed cut froze at the
+// original crash — attempts its own takeover under the higher epoch 3.
+// Fencing cannot stop it (its epoch wins), so the recovery staleness
+// check must: its probes see agent work on attempts its cut never
+// journaled, and it stands down without re-driving a single step.
+func TestChurnDoubleTakeoverStaleRedrive(t *testing.T) {
+	x := mustExplorer(t, Options{})
+	e, err := newExecutionChurn(x, &replayChooser{}, &churnPlan{after: 6, double: doubleStaleRedrive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.run()
+	if e.takeovers != 2 {
+		t.Fatalf("expected two takeovers, got %d", e.takeovers)
+	}
+	if len(e.violations) != 0 {
+		t.Fatalf("stale re-drive violated safety: %v", e.violations[0])
+	}
+	// The rank-1 winner (epoch 2) stays authoritative; the epoch-3
+	// candidate detected its stale cut, stood down, and was retired.
+	if got := e.mgr.Epoch(); got != 2 {
+		t.Fatalf("authoritative manager epoch = %d, want 2 (the stale epoch-3 candidate must stand down)", got)
+	}
+	if n := len(e.deadMgrs); n == 0 || e.deadMgrs[n-1].Epoch() != 3 {
+		t.Fatalf("stood-down candidate (epoch 3) not retired into deadMgrs")
+	}
+	if gt := e.reg.BitVector(e.groundTruth()); gt != e.reg.BitVector(e.m.Target) {
+		t.Fatalf("ground truth %s never reached target %s", gt, e.reg.BitVector(e.m.Target))
+	}
+}

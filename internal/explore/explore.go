@@ -5,13 +5,18 @@
 // failures (message loss, manager timeouts, fail-to-reset, agent
 // crashes) as explicit choice points.
 //
-// Three drivers walk the choice tree. Explore performs exhaustive
+// Four drivers walk the choice tree. Explore performs exhaustive
 // bounded DFS: every alternative within the first Depth choice points is
 // tried, and choices beyond the bound follow the deterministic happy
 // path. Fuzz samples random schedules from a seed. CrashSweep kills the
 // manager process at every journal record boundary (and mid-fsync) and
-// checks that the successor's recovery preserves every safety property.
-// Any schedule — found by any driver — replays exactly via Replay.
+// checks that the successor's cold recovery preserves every safety
+// property. ChurnSweep runs the leader through the hot-standby
+// replication plane (internal/replica) instead and kills it at every
+// boundary while one — or two racing — standbys take over via
+// RecoverState, checking the same properties plus replica divergence and
+// epoch fencing. Any schedule — found by any driver — replays exactly
+// via Replay.
 //
 // Models with FleetFanout set run the same protocol through the
 // hierarchical fleet control plane (internal/fleet): commands fan out as
@@ -153,7 +158,10 @@ type Options struct {
 type Violation struct {
 	// Kind classifies the violated property: "invariant", "ccs",
 	// "rollback-after-resume", "deadlock", "belief", "audit",
-	// "livelock".
+	// "livelock", "replica-divergence" (a hot standby's streamed state
+	// differs from a replay of the leader's durable log), "fencing" (a
+	// lower-epoch takeover candidate completed work past the agents'
+	// fence).
 	Kind string
 	// Detail describes the violation.
 	Detail string
@@ -176,8 +184,12 @@ type Report struct {
 	// Schedules is the number of distinct executions run.
 	Schedules int
 	// Crashes is the number of manager deaths injected (and recovered
-	// from) across all executions; nonzero only for CrashSweep runs.
+	// from) across all executions; nonzero only for CrashSweep and
+	// ChurnSweep runs.
 	Crashes int
+	// Takeovers is the number of hot standby promotions performed across
+	// all executions; nonzero only for ChurnSweep runs.
+	Takeovers int
 	// CoordCrashes is the number of fleet coordinator deaths injected
 	// (each instantly replaced by a stateless successor); nonzero only
 	// for CrashSweep runs over a fleet model.

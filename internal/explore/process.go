@@ -65,6 +65,7 @@ func (p *vproc) InAction(step protocol.Step, ops []action.Op) error {
 
 func (p *vproc) Resume(step protocol.Step) error {
 	p.blocked = false
+	p.e.resumed[stepKey{path: step.PathIndex, attempt: step.Attempt, action: step.ActionID}] = true
 	p.e.logf("%s resumes after %s", p.name, step.ActionID)
 	return nil
 }
@@ -73,6 +74,16 @@ func (p *vproc) PostAction(protocol.Step, []action.Op) error { return nil }
 
 func (p *vproc) Rollback(step protocol.Step, ops []action.Op, inActionApplied bool) error {
 	if inActionApplied {
+		// The ground-truth form of the paper's central forbidden transition:
+		// undoing an in-action for a step attempt some process already
+		// resumed on. Checked at the execution level (not per incarnation),
+		// so a stale takeover candidate whose rollback slips past fencing is
+		// caught even when its own journal justified the decision.
+		if p.e.resumed[stepKey{path: step.PathIndex, attempt: step.Attempt, action: step.ActionID}] {
+			p.e.violate("rollback-after-resume", fmt.Sprintf(
+				"%s undoes in-action %s (path %d attempt %d) after some process resumed on that attempt",
+				p.name, step.ActionID, step.PathIndex, step.Attempt))
+		}
 		p.applyInverse(ops)
 	}
 	p.blocked = false

@@ -16,6 +16,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/model"
 	"repro/internal/protocol"
+	"repro/internal/replica"
 	"repro/internal/transport"
 )
 
@@ -107,9 +108,17 @@ type execution struct {
 
 	crashed  map[string]bool
 	anyCrash bool
-	// ponr marks (pathIndex, attempt) step attempts whose first resume
-	// was sent — the point of no return.
-	ponr map[[2]int]bool
+	// ponr marks step attempts whose first resume was sent — the point of
+	// no return. Keyed per sending epoch: each manager incarnation's own
+	// send ordering must respect its committed decisions, while a fenced
+	// straggler racing a higher-epoch successor is the agents' problem
+	// (the execution-level `resumed` ledger below checks the ground truth).
+	ponr map[waveKey]bool
+	// resumed marks step attempts some process actually executed a resume
+	// for. A later rollback that undoes that attempt's in-action at any
+	// process is the paper's central forbidden transition, checked at the
+	// ground truth regardless of which manager incarnation sent what.
+	resumed map[stepKey]bool
 
 	// journal is the manager's write-ahead log; every incarnation of the
 	// manager in this execution appends to it. Manager crashes are injected
@@ -121,6 +130,15 @@ type execution struct {
 	mgrCrashes int
 	deadMgrs   []*manager.Manager
 
+	// churn, when non-nil, replaces cold crash recovery with hot standby
+	// takeover: the manager journals through a replica.Tee whose sinks are
+	// the in-process standbys below, and a manager death promotes one (or,
+	// for double-takeover plans, two racing) standbys via RecoverState.
+	churn     *churnPlan
+	tee       *replica.Tee
+	standbys  []*simStandby
+	takeovers int
+
 	checker   *ccs.Checker
 	ccsExempt map[ccs.CID]bool
 
@@ -128,7 +146,31 @@ type execution struct {
 	trace      []string
 }
 
+// waveKey identifies one manager incarnation's wave for one step attempt.
+type waveKey struct {
+	epoch   uint64
+	path    int
+	attempt int
+	action  string
+}
+
+// stepKey identifies a step attempt across incarnations (epochs differ
+// between a dead leader and its successors, but the work is the same).
+type stepKey struct {
+	path    int
+	attempt int
+	action  string
+}
+
 func newExecution(x *Explorer, ch chooser) (*execution, error) {
+	return newExecutionChurn(x, ch, nil)
+}
+
+// newExecutionChurn builds an execution; a non-nil churn plan interposes
+// the hot-standby replication plane (and arms its leader crash) before the
+// first manager incarnation is created, so the leader journals through
+// the replica tee from its very first record.
+func newExecutionChurn(x *Explorer, ch chooser, cp *churnPlan) (*execution, error) {
 	reg := x.m.Invariants.Registry()
 	e := &execution{
 		x:           x,
@@ -143,7 +185,8 @@ func newExecution(x *Explorer, ch chooser) (*execution, error) {
 		packetsLeft: x.opts.MaxPackets,
 		faultsLeft:  x.opts.MaxFaults,
 		crashed:     make(map[string]bool),
-		ponr:        make(map[[2]int]bool),
+		ponr:        make(map[waveKey]bool),
+		resumed:     make(map[stepKey]bool),
 		ccsExempt:   make(map[ccs.CID]bool),
 		journal:     journal.NewMem(),
 	}
@@ -190,6 +233,11 @@ func newExecution(x *Explorer, ch chooser) (*execution, error) {
 			}
 		}
 	}
+	if cp != nil {
+		if err := e.setupChurn(cp); err != nil {
+			return nil, err
+		}
+	}
 	e.mgr, err = e.newManager()
 	if err != nil {
 		return nil, err
@@ -232,26 +280,13 @@ func (e *execution) startCoord(name string) error {
 // newExecution; after an injected crash, recoverManager builds successors
 // with the same call, and the shared journal hands each the next epoch.
 func (e *execution) newManager() (*manager.Manager, error) {
-	var ep transport.Endpoint = &mgrEndpoint{e: e}
-	if e.topo != nil {
-		// The fleet endpoint additionally implements transport.BatchSender,
-		// so the manager's sendWave leaves as one envelope per top-level
-		// coordinator link — the batched fan-out under model checking.
-		ep = &fleetMgrEndpoint{mgrEndpoint{e: e}}
+	var jrn journal.Journal = e.journal
+	if e.tee != nil {
+		// Churn mode: the leader journals through the replica tee, so every
+		// committed record reaches the in-process standbys synchronously.
+		jrn = e.tee
 	}
-	return manager.New(ep, e.x.plan, manager.Options{
-		StepTimeout:   e.x.opts.StepTimeout,
-		ResumeRetries: e.x.opts.ResumeRetries,
-		ResetPhases:   e.m.ResetPhases,
-		Clock:         e.clock,
-		Journal:       e.journal,
-		// Retry backoff advances the logical clock instead of sleeping, so
-		// fault schedules with retries stay fast and deterministic.
-		Sleep: func(_ context.Context, d time.Duration) error {
-			e.clock.advance(d)
-			return nil
-		},
-	})
+	return e.newManagerOver(jrn, 0)
 }
 
 // armCrash arms the crash fault for this execution. With cp.coord set, the
@@ -320,6 +355,10 @@ func (e *execution) run() {
 			e.violate("livelock", "manager crashed more than 3 times in one execution")
 			break
 		}
+		if e.churn != nil {
+			res, err = e.takeover()
+			continue
+		}
 		res, err = e.recoverManager()
 	}
 	e.finish(res, err)
@@ -340,19 +379,7 @@ func (e *execution) recoverManager() (manager.Result, error) {
 	// own in-flight commands stay in the network as stragglers the agents
 	// must handle (and, across the epoch bump, fence).
 	e.purgePendingTo(protocol.ManagerName)
-	// Each agent holding a step may see its liveness lease lapse before
-	// the successor shows up — a scheduling choice, so the sweep covers
-	// both self-recovery and probe-finds-agent-mid-step interleavings.
-	for _, pn := range e.procNames {
-		if e.crashed[pn] || e.agents[pn].State() == agent.StateRunning {
-			continue
-		}
-		if e.ch.choose(2) == 1 {
-			e.logf("fault: %s's manager lease expires", pn)
-			e.agents[pn].ExpireLease()
-			e.checkRunningState()
-		}
-	}
+	e.expireLeaseChoices()
 	e.journal.Reopen()
 	mgr, err := e.newManager()
 	if err != nil {
@@ -368,6 +395,23 @@ func (e *execution) recoverManager() (manager.Result, error) {
 		res, err = e.mgr.Execute(e.m.Source, e.m.Target)
 	}
 	return res, err
+}
+
+// expireLeaseChoices lets each agent holding a step see its liveness
+// lease lapse before a successor manager shows up — a scheduling choice
+// per agent, so sweeps cover both self-recovery and
+// probe-finds-agent-mid-step interleavings.
+func (e *execution) expireLeaseChoices() {
+	for _, pn := range e.procNames {
+		if e.crashed[pn] || e.agents[pn].State() == agent.StateRunning {
+			continue
+		}
+		if e.ch.choose(2) == 1 {
+			e.logf("fault: %s's manager lease expires", pn)
+			e.agents[pn].ExpireLease()
+			e.checkRunningState()
+		}
+	}
 }
 
 func (e *execution) logf(format string, args ...any) {
@@ -447,17 +491,22 @@ func (ep *fleetMgrEndpoint) SendBatch(msgs []protocol.Message) error {
 
 // noteCommand tracks the point of no return per step attempt and flags
 // rollbacks sent after it — before the command is (possibly) wrapped into
-// a fleet envelope, so the check sees every inner message.
+// a fleet envelope, so the check sees every inner message. The ledger is
+// keyed by sending epoch: within one incarnation the send ordering is the
+// journal discipline itself, while across incarnations (racing takeover
+// candidates re-deriving the same deterministic plan re-use attempt
+// numbers by design) only the ground truth matters — vproc.Rollback
+// checks that against the execution-wide `resumed` ledger.
 func (e *execution) noteCommand(msg protocol.Message) {
-	key := [2]int{msg.Step.PathIndex, msg.Step.Attempt}
+	key := waveKey{epoch: msg.Epoch, path: msg.Step.PathIndex, attempt: msg.Step.Attempt, action: msg.Step.ActionID}
 	switch msg.Type {
 	case protocol.MsgResume:
 		e.ponr[key] = true
 	case protocol.MsgRollback:
 		if e.ponr[key] {
 			e.violate("rollback-after-resume", fmt.Sprintf(
-				"rollback for step %s (path %d attempt %d) sent after that attempt's first resume",
-				msg.Step.ActionID, msg.Step.PathIndex, msg.Step.Attempt))
+				"rollback for step %s (path %d attempt %d) sent after that attempt's first resume under epoch %d",
+				msg.Step.ActionID, msg.Step.PathIndex, msg.Step.Attempt, msg.Epoch))
 		}
 	}
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/telemetry"
@@ -40,6 +41,14 @@ type Coordinator struct {
 	epoch      uint64
 	buckets    []*bucket
 
+	// Root-lease watchdog (zero leaseTimeout disables): the coordinator
+	// tracks when it last heard anything from its parent and parks its
+	// shard once that silence exceeds the lease horizon.
+	clock      transport.Clock
+	leaseLimit time.Duration
+	lastParent time.Time
+	parked     bool
+
 	done chan struct{}
 }
 
@@ -66,6 +75,16 @@ type Options struct {
 	// upstream report per interval (fleetobs.ShardRollup) — the
 	// telemetry twin of ack aggregation. Nil forwards reports raw.
 	Rollup Rollup
+	// LeaseTimeout arms the root-lease watchdog: if the parent stays
+	// silent longer than this, the coordinator parks its shard — pending
+	// aggregation buckets are dropped (a dead root can never complete
+	// their barriers, and a successor re-drives its waves under a fresh
+	// epoch anyway) and the parked state is visible to the rig. The next
+	// parent message un-parks. Zero disables the watchdog.
+	LeaseTimeout time.Duration
+	// Clock drives the watchdog; defaults to transport.SystemClock. Tests
+	// and the fleet sim inject a virtual clock for determinism.
+	Clock transport.Clock
 }
 
 // Rollup folds child metric reports into upstream shard reports. It is
@@ -116,7 +135,10 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if opts.MaxBuckets <= 0 {
 		opts.MaxBuckets = 64
 	}
-	return &Coordinator{
+	if opts.Clock == nil {
+		opts.Clock = transport.SystemClock
+	}
+	c := &Coordinator{
 		name:       opts.Name,
 		parent:     opts.Parent,
 		up:         opts.Up,
@@ -124,8 +146,12 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		tel:        opts.Telemetry,
 		rollup:     opts.Rollup,
 		maxBuckets: opts.MaxBuckets,
+		clock:      opts.Clock,
+		leaseLimit: opts.LeaseTimeout,
 		done:       make(chan struct{}),
-	}, nil
+	}
+	c.lastParent = c.clock.Now()
+	return c, nil
 }
 
 // Name returns the coordinator's endpoint name.
@@ -135,8 +161,15 @@ func (c *Coordinator) Name() string { return c.name }
 func (c *Coordinator) Epoch() uint64 { return c.epoch }
 
 // Run pumps both links until Close. All delivery happens on this one
-// goroutine, so the coordinator needs no locks.
+// goroutine, so the coordinator needs no locks. With a LeaseTimeout the
+// loop also wakes periodically to check the root lease.
 func (c *Coordinator) Run() {
+	var tick <-chan time.Time
+	if c.leaseLimit > 0 {
+		t := time.NewTicker(c.leaseLimit / 4)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case <-c.done:
@@ -151,9 +184,36 @@ func (c *Coordinator) Run() {
 				return
 			}
 			c.DeliverFromChild(msg)
+		case <-tick:
+			c.CheckLease()
 		}
 	}
 }
+
+// CheckLease applies the root-lease watchdog rule: if the parent has been
+// silent past the lease horizon, the shard parks — every pending
+// aggregation bucket is dropped, because a dead root can never complete
+// those barriers and a successor manager re-drives its waves under a
+// fresh epoch. Upward forwarding keeps working while parked (a recovering
+// manager's probes must still find the agents). Reports whether the shard
+// is parked. Runs on the delivery goroutine (Run's ticker) or under the
+// same single-threaded discipline as the Deliver methods.
+func (c *Coordinator) CheckLease() bool {
+	if c.leaseLimit <= 0 || c.parked {
+		return c.parked
+	}
+	if c.clock.Now().Sub(c.lastParent) < c.leaseLimit {
+		return false
+	}
+	c.parked = true
+	c.tel.Counter("fleet.lease.parked").Inc()
+	c.tel.Counter("fleet.buckets.dropped").Add(int64(len(c.buckets)))
+	c.buckets = nil
+	return true
+}
+
+// Parked reports whether the root-lease watchdog has parked this shard.
+func (c *Coordinator) Parked() bool { return c.parked }
 
 // Close stops Run. It does not close the transport links (the rig that
 // dialed them owns them).
@@ -179,6 +239,13 @@ func (c *Coordinator) DeliverFromParent(env protocol.Message) {
 	}
 	if env.Epoch > c.epoch {
 		c.epoch = env.Epoch
+	}
+	// Any admitted parent message renews the root lease and un-parks the
+	// shard: a live (or successor) manager is talking to us again.
+	c.lastParent = c.clock.Now()
+	if c.parked {
+		c.parked = false
+		c.tel.Counter("fleet.lease.unparked").Inc()
 	}
 	c.tel.LamportMerge(env.Trace.Lamport)
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/protocol"
 )
@@ -121,6 +122,69 @@ func newTestCoordinator(t *testing.T) (*Coordinator, *stubEP, *stubEP) {
 		t.Fatal(err)
 	}
 	return c, up, down
+}
+
+// fakeClock is a settable transport.Clock for the watchdog tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+// TestCoordinatorRootLeaseWatchdog: a coordinator whose parent goes
+// silent past the lease horizon parks its shard — pending aggregation
+// buckets are dropped so late acks forward raw instead of completing a
+// dead root's barriers — and the next parent message (a successor's
+// probe, say) un-parks it.
+func TestCoordinatorRootLeaseWatchdog(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(100, 0)}
+	up := &stubEP{name: "c0"}
+	down := &stubEP{name: "c0"}
+	c, err := NewCoordinator(Options{
+		Name: "c0", Parent: protocol.ManagerName, Up: up, Down: down,
+		LeaseTimeout: 500 * time.Millisecond, Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A reset wave opens aggregation buckets and renews the lease.
+	c.DeliverFromParent(protocol.Message{Type: protocol.MsgReset, To: "a1", Step: step01(), Epoch: 2})
+	if len(c.buckets) == 0 {
+		t.Fatal("reset wave opened no buckets")
+	}
+
+	// Inside the horizon: not parked.
+	clk.now = clk.now.Add(400 * time.Millisecond)
+	if c.CheckLease() || c.Parked() {
+		t.Fatal("parked before the lease horizon")
+	}
+
+	// Past the horizon: parked, buckets gone.
+	clk.now = clk.now.Add(200 * time.Millisecond)
+	if !c.CheckLease() || !c.Parked() {
+		t.Fatal("lease horizon passed but the shard did not park")
+	}
+	if len(c.buckets) != 0 {
+		t.Fatalf("parked shard still tracks %d buckets", len(c.buckets))
+	}
+
+	// A late ack for the dead root's wave forwards raw (never completes a
+	// barrier), so the successor still sees it.
+	c.DeliverFromChild(protocol.Message{Type: protocol.MsgResetDone, From: "a1", Step: step01(), Epoch: 2})
+	if len(up.sent) != 1 || up.sent[0].From != "a1" {
+		t.Fatalf("parked shard swallowed the ack: %+v", up.sent)
+	}
+
+	// The successor manager's first message un-parks the shard.
+	c.DeliverFromParent(protocol.Message{Type: protocol.MsgProbe, To: "a1", Epoch: 3})
+	if c.Parked() {
+		t.Fatal("parent traffic did not un-park the shard")
+	}
+
+	// And the lease is renewed from that message, not the old timestamp.
+	clk.now = clk.now.Add(400 * time.Millisecond)
+	if c.CheckLease() {
+		t.Fatal("renewed lease expired too early")
+	}
 }
 
 func TestCoordinatorRelaysAndAggregates(t *testing.T) {

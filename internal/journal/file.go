@@ -59,6 +59,52 @@ func OpenFile(path string) (*File, error) {
 	return j, nil
 }
 
+// DecodeFrame reads one framed record from r. It returns the record and
+// the number of bytes its frame occupies. Any failure — clean EOF, a torn
+// header or body, a corrupt length, a checksum mismatch — returns a
+// non-nil error and must be treated as "the valid log ends here"; a tailer
+// that expects more data can re-seek to the last good offset and retry
+// once the writer has appended the rest of the frame.
+func DecodeFrame(r io.Reader) (Record, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Record{}, 0, err // clean EOF or torn header
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if n == 0 || n > 1<<24 {
+		return Record{}, 0, fmt.Errorf("journal: corrupt frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, 0, fmt.Errorf("journal: torn body: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return Record{}, 0, fmt.Errorf("journal: checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return Record{}, 0, fmt.Errorf("journal: decode: %w", err)
+	}
+	return rec, 8 + int64(n), nil
+}
+
+// DecodeStream decodes every complete, checksummed record from the head
+// of r and returns them together with the byte offset where the valid log
+// ends. It is total: arbitrary garbage after (or instead of) the valid
+// prefix simply ends the decode — the WAL discipline that a record is in
+// the log iff its frame reads back complete and its checksum verifies.
+func DecodeStream(r io.Reader) (recs []Record, good int64) {
+	for {
+		rec, n, err := DecodeFrame(r)
+		if err != nil {
+			return recs, good
+		}
+		recs = append(recs, rec)
+		good += n
+	}
+}
+
 // scan reads every complete, checksummed record from r and returns the
 // byte offset where the valid log ends, the number of trailing bytes that
 // did not form a valid record, and the records.
@@ -73,32 +119,8 @@ func scan(r io.ReadSeeker) (good int64, torn int64, recs []Record, err error) {
 	if _, err = r.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, nil, fmt.Errorf("journal: seek: %w", err)
 	}
-	var off int64
-	var hdr [8]byte
-	for {
-		if _, rerr := io.ReadFull(r, hdr[:]); rerr != nil {
-			break // clean EOF or torn header
-		}
-		n := binary.BigEndian.Uint32(hdr[0:4])
-		sum := binary.BigEndian.Uint32(hdr[4:8])
-		if n == 0 || n > 1<<24 {
-			break // corrupt length: treat as torn from here
-		}
-		body := make([]byte, n)
-		if _, rerr := io.ReadFull(r, body); rerr != nil {
-			break // torn body
-		}
-		if crc32.ChecksumIEEE(body) != sum {
-			break // torn or bit-rotted record
-		}
-		var rec Record
-		if jerr := json.Unmarshal(body, &rec); jerr != nil {
-			break
-		}
-		recs = append(recs, rec)
-		off += 8 + int64(n)
-	}
-	return off, end - off, recs, nil
+	recs, good = DecodeStream(r)
+	return good, end - good, recs, nil
 }
 
 // ReadFile loads the records of the journal at path without opening it

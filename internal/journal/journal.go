@@ -152,6 +152,12 @@ type State struct {
 	Current string
 	// Step is the in-flight step (begun, not ended), if any.
 	Step *protocol.Step
+	// LastStep is the most recent step ever begun, kept after the step
+	// ends. Recovery probes its participants as a freshness check: if any
+	// of them reports work on a later attempt than LastAttempt, a rival
+	// manager incarnation has already driven past this log and the
+	// candidate must stand down instead of re-driving stale steps.
+	LastStep *protocol.Step
 	// LastAttempt is the highest step attempt number journaled. A
 	// recovering manager continues numbering above it, so step attempts
 	// stay unique across manager incarnations of one adaptation.
@@ -168,80 +174,116 @@ type State struct {
 	Acked map[string]map[string]bool
 }
 
+// Apply folds one record into the state. Replay is a left fold of Apply
+// over the log, which makes the state prefix-monotone by construction: a
+// hot standby applying records as they stream in holds, at every record
+// boundary, exactly the state a cold Replay of that prefix would produce —
+// the property that lets takeover skip file replay entirely.
+func (st *State) Apply(r Record) {
+	if st.Acked == nil {
+		st.Acked = make(map[string]map[string]bool)
+	}
+	if r.Epoch > st.LastEpoch {
+		st.LastEpoch = r.Epoch
+	}
+	if r.Step.Attempt > st.LastAttempt {
+		st.LastAttempt = r.Step.Attempt
+	}
+	switch r.Kind {
+	case KindAdaptBegin:
+		st.InFlight = true
+		st.Source, st.Target = r.Source, r.Target
+		st.Current = r.Source
+		st.Step = nil
+		st.PastPoNR = false
+		st.RollbackDecided = false
+		st.Plan = ""
+		st.Acked = make(map[string]map[string]bool)
+	case KindPlan:
+		st.Plan = r.Detail
+	case KindStepBegin:
+		step := r.Step
+		st.Step = &step
+		st.LastStep = &step
+		st.PastPoNR = false
+		st.RollbackDecided = false
+		st.Acked = make(map[string]map[string]bool)
+	case KindAck:
+		if st.Step != nil && sameStep(r.Step, *st.Step) {
+			if st.Acked[r.Wave] == nil {
+				st.Acked[r.Wave] = make(map[string]bool)
+			}
+			if len(r.Agents) > 0 {
+				// Aggregated coordinator ack: credit the covered shard.
+				for _, a := range r.Agents {
+					st.Acked[r.Wave][a] = true
+				}
+			} else {
+				st.Acked[r.Wave][r.Process] = true
+			}
+		}
+	case KindPoNR:
+		if st.Step != nil && sameStep(r.Step, *st.Step) {
+			st.PastPoNR = true
+		}
+	case KindRollback:
+		if st.Step != nil && sameStep(r.Step, *st.Step) {
+			st.RollbackDecided = true
+		}
+	case KindStepEnd:
+		if st.Step != nil && sameStep(r.Step, *st.Step) {
+			switch r.Outcome {
+			case "rolled back":
+				// The rollback guarantee restores the step's source.
+				st.Current = st.Step.FromVector
+			default:
+				// completed — or "failed" past the point of no return,
+				// where every in-action was applied (the adapt-done
+				// barrier passed) and the structure is at the target.
+				st.Current = st.Step.ToVector
+			}
+			st.Step = nil
+			st.PastPoNR = false
+			st.RollbackDecided = false
+		}
+	case KindAdaptEnd:
+		st.InFlight = false
+		st.Step = nil
+		st.PastPoNR = false
+		st.RollbackDecided = false
+	}
+}
+
+// Clone returns a deep copy of the state, so a takeover candidate can fork
+// a standby's live state without racing its stream-applier.
+func (st State) Clone() State {
+	out := st
+	if st.Step != nil {
+		step := *st.Step
+		out.Step = &step
+	}
+	if st.LastStep != nil {
+		step := *st.LastStep
+		out.LastStep = &step
+	}
+	out.Acked = make(map[string]map[string]bool, len(st.Acked))
+	for wave, procs := range st.Acked {
+		m := make(map[string]bool, len(procs))
+		for p, ok := range procs {
+			m[p] = ok
+		}
+		out.Acked[wave] = m
+	}
+	return out
+}
+
 // Replay folds a record sequence into the recovery State. It is total: any
 // prefix of a valid log (which is exactly what a crash leaves) replays
 // without error.
 func Replay(recs []Record) State {
 	st := State{Acked: make(map[string]map[string]bool)}
 	for _, r := range recs {
-		if r.Epoch > st.LastEpoch {
-			st.LastEpoch = r.Epoch
-		}
-		if r.Step.Attempt > st.LastAttempt {
-			st.LastAttempt = r.Step.Attempt
-		}
-		switch r.Kind {
-		case KindAdaptBegin:
-			st.InFlight = true
-			st.Source, st.Target = r.Source, r.Target
-			st.Current = r.Source
-			st.Step = nil
-			st.PastPoNR = false
-			st.RollbackDecided = false
-			st.Plan = ""
-			st.Acked = make(map[string]map[string]bool)
-		case KindPlan:
-			st.Plan = r.Detail
-		case KindStepBegin:
-			step := r.Step
-			st.Step = &step
-			st.PastPoNR = false
-			st.RollbackDecided = false
-			st.Acked = make(map[string]map[string]bool)
-		case KindAck:
-			if st.Step != nil && sameStep(r.Step, *st.Step) {
-				if st.Acked[r.Wave] == nil {
-					st.Acked[r.Wave] = make(map[string]bool)
-				}
-				if len(r.Agents) > 0 {
-					// Aggregated coordinator ack: credit the covered shard.
-					for _, a := range r.Agents {
-						st.Acked[r.Wave][a] = true
-					}
-				} else {
-					st.Acked[r.Wave][r.Process] = true
-				}
-			}
-		case KindPoNR:
-			if st.Step != nil && sameStep(r.Step, *st.Step) {
-				st.PastPoNR = true
-			}
-		case KindRollback:
-			if st.Step != nil && sameStep(r.Step, *st.Step) {
-				st.RollbackDecided = true
-			}
-		case KindStepEnd:
-			if st.Step != nil && sameStep(r.Step, *st.Step) {
-				switch r.Outcome {
-				case "rolled back":
-					// The rollback guarantee restores the step's source.
-					st.Current = st.Step.FromVector
-				default:
-					// completed — or "failed" past the point of no return,
-					// where every in-action was applied (the adapt-done
-					// barrier passed) and the structure is at the target.
-					st.Current = st.Step.ToVector
-				}
-				st.Step = nil
-				st.PastPoNR = false
-				st.RollbackDecided = false
-			}
-		case KindAdaptEnd:
-			st.InFlight = false
-			st.Step = nil
-			st.PastPoNR = false
-			st.RollbackDecided = false
-		}
+		st.Apply(r)
 	}
 	return st
 }

@@ -189,6 +189,13 @@ type Options struct {
 	// ProbeRetries bounds how many probe rounds Recover sends before
 	// giving up on an unreachable agent. Zero means 3.
 	ProbeRetries int
+	// Epoch, when non-zero, is adopted as this manager's fencing epoch
+	// instead of deriving it from a journal replay. A hot-standby taking
+	// over supplies the epoch it won the election with (its replicated
+	// LastEpoch + its candidate rank), so takeover skips the snapshot
+	// replay entirely and rival candidates — whose ranks are distinct —
+	// can never commit the same epoch. Ignored without a Journal.
+	Epoch uint64
 	// MaxStash bounds the out-of-order reply buffer (agents report
 	// asynchronously, so a fast agent's "adapt done" arrives while slower
 	// agents' "reset done" is still being collected). Zero means 64 —
@@ -315,12 +322,17 @@ func New(ep transport.Endpoint, plan *planner.Planner, opts Options) (*Manager, 
 	if m.jr != nil {
 		// Adopt the next epoch after everything already in the log — this
 		// is what fences a crashed predecessor's in-flight messages — and
-		// commit it before any message can carry it.
-		recs, err := m.jr.Snapshot()
-		if err != nil {
-			return nil, fmt.Errorf("manager: journal snapshot: %w", err)
+		// commit it before any message can carry it. A takeover candidate
+		// supplies its election epoch explicitly and skips the replay.
+		if opts.Epoch > 0 {
+			m.epoch = opts.Epoch
+		} else {
+			recs, err := m.jr.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("manager: journal snapshot: %w", err)
+			}
+			m.epoch = journal.Replay(recs).LastEpoch + 1
 		}
-		m.epoch = journal.Replay(recs).LastEpoch + 1
 		if err := m.journal(journal.Record{Kind: journal.KindEpoch}, true); err != nil {
 			return nil, err
 		}

@@ -38,7 +38,20 @@ func (m *Manager) Recover(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("manager: recover: journal snapshot: %w", err)
 	}
-	st := journal.Replay(recs)
+	return m.RecoverState(ctx, journal.Replay(recs))
+}
+
+// RecoverState is Recover starting from an already-replayed recovery
+// state. It is the hot-takeover entry point: a standby that has been
+// applying the leader's streamed records holds this state continuously,
+// so the successor manager skips the snapshot replay — the cold path's
+// dominant cost — and goes straight to probing and resolution. The state
+// must summarize the same log this manager's journal continues (Recover
+// passes its own journal's replay; a standby passes its applier's state).
+func (m *Manager) RecoverState(ctx context.Context, st journal.State) (Result, error) {
+	if m.jr == nil {
+		return Result{}, fmt.Errorf("manager: recover: no journal configured")
+	}
 	if !st.InFlight {
 		// Even with nothing to recover, continue attempt numbering above
 		// the log's history so a re-submitted request can't reuse a spent
@@ -126,10 +139,30 @@ func (m *Manager) Recover(ctx context.Context) (Result, error) {
 // afterwards ("" means st.Current is already right). The caller holds the
 // busy flag.
 func (m *Manager) resolveInFlightStep(span *telemetry.Span, st journal.State) (string, error) {
-	if st.Step == nil {
-		return "", nil // crashed between steps; nothing to settle
+	probeStep := st.Step
+	if probeStep == nil {
+		// Crashed between steps: nothing to settle, but if any step ever
+		// began, probe its participants anyway — the freshness check below
+		// is what stops a stale takeover candidate from re-driving steps a
+		// rival already completed, and the probe round fences the old epoch
+		// in the same trip.
+		probeStep = st.LastStep
 	}
-	step := *st.Step
+	if probeStep == nil {
+		// An adaptation began but no step ever started, so the log names no
+		// participants. Blind re-driving is still unsafe — a rival
+		// incarnation may have run the whole adaptation from this same cut —
+		// so probe the entire process roster with a synthetic step. A fenced
+		// candidate gets no answers; a stale one sees attempts it never
+		// journaled; a genuinely fresh recovery pays one extra round trip
+		// and fences every agent before its first wave.
+		roster := m.plan.Registry().Processes()
+		if len(roster) == 0 {
+			return "", nil
+		}
+		probeStep = &protocol.Step{Participants: roster}
+	}
+	step := *probeStep
 	m.stash = m.stash[:0]
 
 	// Probe for ground truth — and to fence the old epoch everywhere.
@@ -149,7 +182,50 @@ func (m *Manager) resolveInFlightStep(span *telemetry.Span, st journal.State) (s
 		m.logf("recovery: probe %s: state=%s adaptDone=%v", p, info.State, info.AdaptDone)
 	}
 
-	if st.PastPoNR && !st.RollbackDecided {
+	// Freshness check. Every attempt ever driven is journaled before its
+	// reset wave is sent, so a log that is a true prefix of history can
+	// never trail its own agents: an agent reporting work on a LATER
+	// attempt than this state's LastAttempt proves a rival incarnation
+	// already recovered past this cut. Re-driving from here would re-apply
+	// in-actions over a configuration that has moved on — the candidate
+	// must stand down instead.
+	if who, attempt := staleEvidence(step, probes, st.LastAttempt); who != "" {
+		m.tel.Counter("manager.recovery.stale_aborts").Inc()
+		m.logf("recovery: state is stale (%s reports attempt %d > journaled last attempt %d); standing down", who, attempt, st.LastAttempt)
+		m.transition(StatePreparing, "recovery: probing participants")
+		m.transition(StateRunning, "[failure] (stale recovery state)")
+		cur, _ := m.plan.Registry().ParseBitVector(st.Current)
+		return "", &ErrUserIntervention{
+			Current: cur,
+			Vector:  st.Current,
+			Reason: fmt.Sprintf("recovery: stale state: %s reports step attempt %d past this log's last attempt %d; a rival incarnation already drove on",
+				who, attempt, st.LastAttempt),
+		}
+	}
+
+	if st.Step == nil {
+		return "", nil // between steps and the log is fresh; nothing to settle
+	}
+
+	forward := st.PastPoNR && !st.RollbackDecided
+	if !forward && !st.RollbackDecided && resumeEvidence(probes, step) {
+		// The recovery state says "no point of no return committed", but an
+		// agent's ground truth says it already received (or finished) a
+		// resume for this step — the state is a stale cut of the leader's
+		// log (a takeover from a standby whose stream lagged the PoNR
+		// record). Rolling back now would undo an in-action some process
+		// has already resumed on, so the decision flips forward. Sound
+		// because probeAll fenced every participant to this epoch before we
+		// read the evidence: no old-epoch straggler can add resumes later.
+		m.tel.Counter("manager.recovery.probe_evidence_forward").Inc()
+		m.logf("recovery: probe evidence shows a resume was delivered; driving step %s forward", step.Key())
+		if jerr := m.journal(journal.Record{Kind: journal.KindPoNR, Step: step, Detail: "decided by recovery from probe evidence"}, true); jerr != nil {
+			return "", jerr
+		}
+		forward = true
+	}
+
+	if forward {
 		// The committed point of no return means the predecessor verified
 		// every adapt-done, so each participant is either still safely
 		// blocked in adapted (self-recovery never rolls back past
@@ -196,6 +272,52 @@ func (m *Manager) resolveInFlightStep(span *telemetry.Span, st journal.State) (s
 		return "", jerr
 	}
 	return step.FromVector, nil
+}
+
+// staleEvidence reports the first participant (in step order, for
+// determinism) whose probe shows work on a step attempt later than the
+// recovery state's LastAttempt — either the step it currently holds or the
+// last step it completed — along with that attempt number. Attempt numbers
+// are unique across manager incarnations of one adaptation, so this can
+// only happen when the recovery state is a stale cut a rival incarnation
+// has already driven past.
+func staleEvidence(step protocol.Step, probes map[string]*protocol.ProbeInfo, lastAttempt int) (string, int) {
+	for _, p := range step.Participants {
+		info := probes[p]
+		if info == nil {
+			continue
+		}
+		if s := info.Step; s != nil && s.Attempt > lastAttempt {
+			return p, s.Attempt
+		}
+		if d := info.LastDone; d != nil && d.Attempt > lastAttempt {
+			return p, d.Attempt
+		}
+	}
+	return "", 0
+}
+
+// resumeEvidence reports whether any probe proves a resume for step
+// reached some participant: the agent is mid-resume, or its last completed
+// step IS this step (it resumed and went back to running). Either can only
+// follow a committed point of no return on the dead leader's own log, even
+// when the recovery state — replayed from a lagging standby's cut — does
+// not contain that record.
+func resumeEvidence(probes map[string]*protocol.ProbeInfo, step protocol.Step) bool {
+	for _, info := range probes {
+		if info == nil {
+			continue
+		}
+		if info.State == "resuming" {
+			if info.Step != nil && info.Step.PathIndex == step.PathIndex && info.Step.ActionID == step.ActionID {
+				return true
+			}
+		}
+		if d := info.LastDone; d != nil && d.PathIndex == step.PathIndex && d.ActionID == step.ActionID {
+			return true
+		}
+	}
+	return false
 }
 
 // recoverResume re-drives the resume wave of a step whose point of no

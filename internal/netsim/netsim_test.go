@@ -228,8 +228,11 @@ func runSeededTrace(t *testing.T, seed int64, tel *telemetry.Registry) map[strin
 		"laptop":   {Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, LossRate: 0.1},
 	}
 	subs := make(map[string]*Subscription)
-	for name, p := range profiles {
-		s, err := g.Subscribe(name, p, 512)
+	// Subscribe in fixed order: the subscription order determines the PRNG
+	// draw order in Send, so ranging over the profiles map here would make
+	// "identical" runs diverge.
+	for _, name := range []string{"handheld", "laptop"} {
+		s, err := g.Subscribe(name, profiles[name], 512)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,335 @@
+package replica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// The replication stream reuses the journal's wire discipline: each frame
+// is [4-byte big-endian length][4-byte CRC32-IEEE of body][JSON body]. A
+// frame is in the stream iff its checksum verifies, so a torn TCP tail is
+// indistinguishable from a torn file tail and handled the same way —
+// truncated, never interpreted.
+
+// frameType tags a replication frame.
+type frameType string
+
+const (
+	// frameHello is the standby's registration (name + election rank).
+	frameHello frameType = "hello"
+	// frameSnapshot carries the leader's full durable log on attach.
+	frameSnapshot frameType = "snapshot"
+	// frameRecords carries one committed batch; the standby must apply it
+	// durably and answer with a frameAck echoing Batch.
+	frameRecords frameType = "records"
+	// frameAck acknowledges a records batch (standby → leader).
+	frameAck frameType = "ack"
+	// frameLease renews the leader's lease; TTLMillis announces the
+	// horizon after which a standby that heard nothing may take over.
+	frameLease frameType = "lease"
+	// frameDetach tells the standby it was dropped (or the leader is
+	// closing cleanly); a detached standby must not take over.
+	frameDetach frameType = "detach"
+)
+
+// frame is one replication-stream message.
+type frame struct {
+	Type      frameType        `json:"type"`
+	Name      string           `json:"name,omitempty"`
+	Rank      int              `json:"rank,omitempty"`
+	Recs      []journal.Record `json:"recs,omitempty"`
+	Batch     uint64           `json:"batch,omitempty"`
+	TTLMillis int64            `json:"ttlMillis,omitempty"`
+	Reason    string           `json:"reason,omitempty"`
+}
+
+// writeFrame writes one length+CRC32+JSON frame.
+func writeFrame(w io.Writer, f frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("replica: encode: %w", err)
+	}
+	if len(body) > 1<<24 {
+		return fmt.Errorf("replica: frame too large (%d bytes)", len(body))
+	}
+	buf := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	copy(buf[8:], body)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("replica: write: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame, verifying length and checksum.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if n == 0 || n > 1<<24 {
+		return frame{}, fmt.Errorf("replica: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, fmt.Errorf("replica: read body: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return frame{}, fmt.Errorf("replica: frame checksum mismatch")
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return frame{}, fmt.Errorf("replica: decode: %w", err)
+	}
+	return f, nil
+}
+
+// LeaderOptions configures the leader's replication listener.
+type LeaderOptions struct {
+	// LeaseTTL is the takeover horizon: a standby that receives no frame
+	// for this long treats the leader as dead. Lease frames are sent at a
+	// third of it. Zero means 1s.
+	LeaseTTL time.Duration
+	// AckTimeout bounds how long one commit waits for one standby's ack
+	// before detaching it. Zero means 2s.
+	AckTimeout time.Duration
+	// Clock supplies timestamps (telemetry only). Nil means the wall clock.
+	Clock transport.Clock
+	// Telemetry receives the replication metrics. Nil disables.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Leader serves the replication stream: it accepts standby connections
+// on a TCP listener, attaches each to the Tee (snapshot + live batches),
+// and renews its lease on every connection at a third of the TTL.
+type Leader struct {
+	tee  *Tee
+	ln   net.Listener
+	opts LeaderOptions
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a replication listener on addr (e.g. "127.0.0.1:0") fed by
+// tee. Standbys dial the address returned by Addr.
+func Serve(tee *Tee, addr string, opts LeaderOptions) (*Leader, error) {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = time.Second
+	}
+	if opts.AckTimeout <= 0 {
+		opts.AckTimeout = 2 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = transport.SystemClock
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("replica: listen: %w", err)
+	}
+	l := &Leader{tee: tee, ln: ln, opts: opts, conns: make(map[net.Conn]bool)}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the replication listener's address.
+func (l *Leader) Addr() string { return l.ln.Addr().String() }
+
+func (l *Leader) logf(format string, args ...any) {
+	if l.opts.Logf != nil {
+		l.opts.Logf(format, args...)
+	}
+}
+
+// Close stops accepting, sends a clean detach to every standby (a clean
+// shutdown is not a takeover trigger), and tears the connections down.
+func (l *Leader) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for c := range l.conns {
+		_ = c.Close()
+	}
+	l.mu.Unlock()
+	_ = l.ln.Close()
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Leader) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		l.conns[conn] = true
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+// serveConn runs one standby's stream: hello, atomic snapshot+attach,
+// then the read loop feeding acks to the sink while a ticker renews the
+// lease. The connection dying detaches the sink implicitly (its next
+// Commit write fails).
+func (l *Leader) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	hello, err := readFrame(conn)
+	if err != nil || hello.Type != frameHello {
+		return
+	}
+	l.logf("replica: standby %q (rank %d) attaching", hello.Name, hello.Rank)
+
+	sink := &tcpSink{
+		conn:    conn,
+		name:    hello.Name,
+		timeout: l.opts.AckTimeout,
+		ttl:     l.opts.LeaseTTL,
+		acks:    make(chan frame, 16),
+		tel:     l.opts.Telemetry,
+		clock:   l.opts.Clock,
+	}
+	// Attach delivers the snapshot under the Tee's lock, so no committed
+	// batch can race ahead of (or slip between) snapshot and attachment.
+	err = l.tee.Attach(sink, func(snap []journal.Record) error {
+		return sink.write(frame{Type: frameSnapshot, Recs: snap, TTLMillis: l.opts.LeaseTTL.Milliseconds()})
+	})
+	if err != nil {
+		l.logf("replica: standby %q attach failed: %v", hello.Name, err)
+		return
+	}
+	l.opts.Telemetry.Counter("replica.attaches").Inc()
+
+	// Lease renewal at a third of the horizon, so two consecutive losses
+	// still leave slack before a standby declares the leader dead.
+	leaseStop := make(chan struct{})
+	var leaseWG sync.WaitGroup
+	leaseWG.Add(1)
+	go func() {
+		defer leaseWG.Done()
+		tick := time.NewTicker(l.opts.LeaseTTL / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-leaseStop:
+				return
+			case <-tick.C:
+				if sink.write(frame{Type: frameLease, TTLMillis: l.opts.LeaseTTL.Milliseconds()}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(leaseStop)
+		leaseWG.Wait()
+	}()
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return // standby gone; next Commit write fails and detaches it
+		}
+		if f.Type != frameAck {
+			continue
+		}
+		select {
+		case sink.acks <- f:
+		default: // stale ack nobody is waiting for
+		}
+	}
+}
+
+// tcpSink is the leader's handle on one connected standby.
+type tcpSink struct {
+	conn    net.Conn
+	name    string
+	timeout time.Duration
+	ttl     time.Duration
+	acks    chan frame
+	tel     *telemetry.Registry
+	clock   transport.Clock
+
+	writeMu sync.Mutex // serializes records/lease/detach frames
+	batch   uint64
+}
+
+// write sends one frame under the write serializer.
+func (s *tcpSink) write(f frame) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return writeFrame(s.conn, f)
+}
+
+// Commit implements Sink: send the batch, wait for its ack. The observed
+// byte size feeds the lag gauge while the ack is outstanding.
+func (s *tcpSink) Commit(recs []journal.Record) error {
+	s.batch++
+	f := frame{Type: frameRecords, Recs: recs, Batch: s.batch, TTLMillis: s.ttl.Milliseconds()}
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("replica: encode batch: %w", err)
+	}
+	s.tel.Gauge("replica.lag_bytes").Set(int64(len(body)))
+	start := s.clock.Now()
+	if err := s.write(f); err != nil {
+		return fmt.Errorf("replica: standby %q: %w", s.name, err)
+	}
+	deadline := time.NewTimer(s.timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case ack := <-s.acks:
+			if ack.Batch != s.batch {
+				continue // ack for an older batch; keep waiting
+			}
+			s.tel.Gauge("replica.lag_bytes").Set(0)
+			s.tel.Histogram("replica.commit.latency").Observe(s.clock.Now().Sub(start))
+			return nil
+		case <-deadline.C:
+			return fmt.Errorf("replica: standby %q missed ack deadline %v", s.name, s.timeout)
+		}
+	}
+}
+
+// Detach implements Sink: best-effort detach notice, then drop the conn.
+func (s *tcpSink) Detach(reason string) {
+	_ = s.write(frame{Type: frameDetach, Reason: reason})
+	_ = s.conn.Close()
+}
