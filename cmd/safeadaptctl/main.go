@@ -22,7 +22,8 @@
 //	safeadaptctl ftdc info <file.ftdc>       # inspect an always-on metrics capture
 //	safeadaptctl ftdc decode [-csv] <file>   # dump every recovered capture sample as JSON or CSV
 //	safeadaptctl ftdc summary [-json] <file> # per-metric min/max/first/last/rate across the capture
-//	safeadaptctl vet [-run names] [pkgs]     # run the safeadaptvet protocol-invariant analyzers
+//	safeadaptctl vet [-run names] [-json] [pkgs] # run the safeadaptvet protocol-invariant analyzers
+//	                                         # exit 0 clean, 1 findings, 2 load/usage error
 //	safeadaptctl watch [-url U] [-once]      # live fleet view from a manager's observability endpoint
 //	safeadaptctl template                    # emit the case study as JSON (a spec template)
 //
@@ -31,6 +32,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +47,10 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "safeadaptctl:", err)
+		var ec *exitCodeError
+		if errors.As(err, &ec) {
+			os.Exit(ec.code)
+		}
 		os.Exit(1)
 	}
 }

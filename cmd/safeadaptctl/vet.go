@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -8,6 +9,63 @@ import (
 
 	"repro/internal/analysis"
 )
+
+// Exit codes of `safeadaptctl vet`, distinguished so CI and scripts can
+// tell "the tree is dirty" from "the run itself failed":
+//
+//	0 — all packages clean (suppressed findings do not dirty the tree)
+//	1 — one or more live findings
+//	2 — the run failed: unknown analyzer, package load error, bad flags
+const (
+	vetExitClean    = 0
+	vetExitFindings = 1
+	vetExitError    = 2
+)
+
+// exitCodeError carries a specific process exit code through run() to
+// main(); plain errors keep exiting 1.
+type exitCodeError struct {
+	code int
+	err  error
+}
+
+func (e *exitCodeError) Error() string { return e.err.Error() }
+func (e *exitCodeError) Unwrap() error { return e.err }
+
+// vetJSONDiag is one diagnostic in `vet -json` output.
+type vetJSONDiag struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	AllowReason string `json:"allowReason,omitempty"`
+}
+
+// vetJSONReport is the `vet -json` document: the live findings that set
+// the exit code, plus the suppressed-findings ledger (every diagnostic an
+// allow/ignore-msg directive silenced, with its recorded justification) so
+// dashboards can audit what the tree is allowed to get away with.
+type vetJSONReport struct {
+	Packages   int           `json:"packages"`
+	Findings   []vetJSONDiag `json:"findings"`
+	Suppressed []vetJSONDiag `json:"suppressed"`
+}
+
+func vetJSON(diags []analysis.Diagnostic) []vetJSONDiag {
+	out := make([]vetJSONDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, vetJSONDiag{
+			File:        d.Pos.Filename,
+			Line:        d.Pos.Line,
+			Col:         d.Pos.Column,
+			Analyzer:    d.Analyzer,
+			Message:     d.Message,
+			AllowReason: d.AllowReason,
+		})
+	}
+	return out
+}
 
 // vetCmd runs the safeadaptvet protocol-invariant suite in-process: the
 // same analyzers as cmd/safeadaptvet (and the CI `go vet -vettool` step),
@@ -17,8 +75,9 @@ func vetCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit machine-readable diagnostics (live and suppressed) instead of text")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return &exitCodeError{vetExitError, err}
 	}
 	analyzers := analysis.All()
 	if *list {
@@ -32,30 +91,49 @@ func vetCmd(args []string, out io.Writer) error {
 		for _, name := range strings.Split(*only, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
-				return fmt.Errorf("vet: unknown analyzer %q", name)
+				return &exitCodeError{vetExitError, fmt.Errorf("vet: unknown analyzer %q", name)}
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 	pkgs, err := analysis.Load("", fs.Args()...)
 	if err != nil {
-		return err
+		return &exitCodeError{vetExitError, err}
 	}
-	var diags []analysis.Diagnostic
+	var live []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, analysis.MalformedDirectives(pkg)...)
+		live = append(live, analysis.MalformedDirectives(pkg)...)
 	}
-	runDiags, err := analysis.RunAll(analyzers, pkgs)
+	runLive, suppressed, err := analysis.RunAllDetailed(analyzers, pkgs)
 	if err != nil {
-		return err
+		return &exitCodeError{vetExitError, err}
 	}
-	diags = append(diags, runDiags...)
-	for _, d := range diags {
+	live = append(live, runLive...)
+
+	if *asJSON {
+		report := vetJSONReport{
+			Packages:   len(pkgs),
+			Findings:   vetJSON(live),
+			Suppressed: vetJSON(suppressed),
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return &exitCodeError{vetExitError, err}
+		}
+		if len(live) > 0 {
+			return &exitCodeError{vetExitFindings, fmt.Errorf("vet: %d finding(s)", len(live))}
+		}
+		return nil
+	}
+
+	for _, d := range live {
 		fmt.Fprintln(out, d)
 	}
-	if len(diags) > 0 {
-		return fmt.Errorf("vet: %d finding(s)", len(diags))
+	if len(live) > 0 {
+		return &exitCodeError{vetExitFindings, fmt.Errorf("vet: %d finding(s)", len(live))}
 	}
-	fmt.Fprintf(out, "vet: %d package(s) clean\n", len(pkgs))
+	fmt.Fprintf(out, "vet: %d package(s) clean (%d finding(s) suppressed by allow directives)\n",
+		len(pkgs), len(suppressed))
 	return nil
 }

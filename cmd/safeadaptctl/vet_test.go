@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestVetJSONCleanTree runs the full suite over a package that is clean
+// but carries allow directives (the pooled metasocket hot path), and
+// checks the -json document: no live findings, a populated suppressed
+// ledger with recorded justifications.
+func TestVetJSONCleanTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := vetCmd([]string{"-json", "../../internal/metasocket"}, &buf); err != nil {
+		t.Fatalf("vet -json on a clean package: %v\n%s", err, buf.String())
+	}
+	var report vetJSONReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if report.Packages != 1 {
+		t.Errorf("packages = %d, want 1", report.Packages)
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("live findings on a clean package: %+v", report.Findings)
+	}
+	if len(report.Suppressed) == 0 {
+		t.Fatal("suppressed ledger empty; the metasocket hot path carries allow directives")
+	}
+	for _, d := range report.Suppressed {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("suppressed diagnostic missing fields: %+v", d)
+		}
+		if d.AllowReason == "" {
+			t.Errorf("suppressed diagnostic without its allow reason: %+v", d)
+		}
+	}
+}
+
+// TestVetExitCodes pins the documented exit-code contract: 2 for usage
+// and load errors (so CI can tell a broken run from a dirty tree).
+func TestVetExitCodes(t *testing.T) {
+	var buf bytes.Buffer
+	err := vetCmd([]string{"-run", "nosuchanalyzer"}, &buf)
+	var ec *exitCodeError
+	if !errors.As(err, &ec) || ec.code != vetExitError {
+		t.Errorf("unknown analyzer: err = %v, want exit code %d", err, vetExitError)
+	}
+	err = vetCmd([]string{"-nosuchflag"}, &buf)
+	if !errors.As(err, &ec) || ec.code != vetExitError {
+		t.Errorf("bad flag: err = %v, want exit code %d", err, vetExitError)
+	}
+}
+
+// TestVetTextReportsSuppressedCount checks the clean-tree text summary
+// mentions the suppressed-findings ledger.
+func TestVetTextReportsSuppressedCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := vetCmd([]string{"../../internal/metasocket"}, &buf); err != nil {
+		t.Fatalf("vet: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "suppressed by allow directives") {
+		t.Errorf("clean summary does not mention the suppressed ledger: %s", buf.String())
+	}
+}

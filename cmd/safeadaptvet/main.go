@@ -11,6 +11,18 @@
 //	telemetrynil  telemetry's exported methods tolerate a nil receiver
 //	              (the zero-overhead disabled path)
 //	locksend      no transport/journal I/O while holding a mutex
+//	lockorder     the fleet-wide lock-acquisition graph is cycle-free: no
+//	              two code paths acquire the same pair of locks in
+//	              opposite orders (interprocedural, whole-program)
+//	msgexhaustive every protocol-kind dispatch switch handles — or
+//	              explicitly ignores, with a reason — every message kind;
+//	              a default: clause does not count as handling
+//	fencegate     handlers reachable from a protocol message must check
+//	              the fencing epoch (or call Fenced()) before mutating
+//	              journaled or protocol-visible state
+//	hotpath       functions annotated //safeadaptvet:hotpath (the
+//	              per-packet MetaSocket path) and their package-local
+//	              callees must be allocation-free
 //
 // Usage:
 //
@@ -19,9 +31,17 @@
 //	go vet -vettool=$(which safeadaptvet) ./...
 //
 // Justified exceptions are annotated in the source as
-// `//safeadaptvet:allow <analyzer> -- reason`; an annotation without a
+// `//safeadaptvet:allow <analyzer> -- reason`; dispatch switches use
+// `//safeadaptvet:ignore-msg <kinds> -- reason`. An annotation without a
 // reason is itself reported. Exit status is 0 when clean, 1 on findings
 // or usage errors (2 in vettool mode, matching go vet's convention).
+// `safeadaptctl vet -json` emits the same diagnostics machine-readably,
+// including the suppressed-findings ledger.
+//
+// The whole-program analyzers (lockorder) see the full package set in
+// standalone mode; under `go vet -vettool` each package is analyzed in
+// isolation, so cross-package cycles degrade to the per-package
+// projection — CI runs the standalone binary for the complete view.
 package main
 
 import (

@@ -371,6 +371,7 @@ func (a *Agent) handle(msg protocol.Message) bool {
 		a.mu.Unlock()
 	}
 	a.noteRecv(msg)
+	//safeadaptvet:ignore-msg MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResumeDone MsgRollbackDone MsgProbeAck MsgHello MsgBatch MsgMetricReport -- replies, registrations and telemetry all travel agent-to-manager; an agent dispatches only the command kinds, and batch envelopes are unpacked by the transport before delivery
 	switch msg.Type {
 	case protocol.MsgReset:
 		a.handleReset(msg.Step, msg.Trace)

@@ -20,17 +20,35 @@ import (
 // mandatory: an exception without a recorded justification is itself a
 // violation, reported by the framework.
 
+// A third form scopes to message-kind exhaustiveness (the msgexhaustive
+// analyzer): a dispatcher switch that deliberately does not handle some
+// protocol message kinds names them, with the same mandatory reason:
+//
+//	//safeadaptvet:ignore-msg MsgHello MsgProbeAck -- replies; agents only dispatch commands
+//
+// placed inside the switch body or on the line above the switch.
+
 const (
 	allowPrefix     = "//safeadaptvet:allow "
 	allowFilePrefix = "//safeadaptvet:allow-file "
+	ignoreMsgPrefix = "//safeadaptvet:ignore-msg "
 )
+
+// ignoreMsgDirective is one parsed //safeadaptvet:ignore-msg comment.
+type ignoreMsgDirective struct {
+	line  int
+	kinds []string
+}
 
 // allowIndex records which (analyzer, file, line) triples are suppressed.
 type allowIndex struct {
-	// line maps "analyzer\x00file" to the set of allowed lines.
-	line map[string]map[int]bool
-	// file maps "analyzer\x00file" to a file-wide allowance.
-	file map[string]bool
+	// line maps "analyzer\x00file" to allowed lines and their recorded
+	// justification.
+	line map[string]map[int]string
+	// file maps "analyzer\x00file" to a file-wide allowance's reason.
+	file map[string]string
+	// ignoreMsg maps a filename to its ignore-msg directives.
+	ignoreMsg map[string][]ignoreMsgDirective
 	// missing collects directives lacking a "-- reason"; they surface as
 	// framework diagnostics instead of silently suppressing.
 	missing []Diagnostic
@@ -39,19 +57,27 @@ type allowIndex struct {
 func key(analyzer, filename string) string { return analyzer + "\x00" + filename }
 
 func newAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
-	idx := &allowIndex{line: map[string]map[int]bool{}, file: map[string]bool{}}
+	idx := &allowIndex{
+		line:      map[string]map[int]string{},
+		file:      map[string]string{},
+		ignoreMsg: map[string][]ignoreMsgDirective{},
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
 				var names string
 				fileWide := false
+				isIgnoreMsg := false
 				switch {
 				case strings.HasPrefix(text, allowFilePrefix):
 					names = strings.TrimPrefix(text, allowFilePrefix)
 					fileWide = true
 				case strings.HasPrefix(text, allowPrefix):
 					names = strings.TrimPrefix(text, allowPrefix)
+				case strings.HasPrefix(text, ignoreMsgPrefix):
+					names = strings.TrimPrefix(text, ignoreMsgPrefix)
+					isIgnoreMsg = true
 				default:
 					continue
 				}
@@ -62,26 +88,37 @@ func newAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 					names = names[:i]
 				}
 				if reason == "" {
+					what := "allow"
+					if isIgnoreMsg {
+						what = "ignore-msg"
+					}
 					idx.missing = append(idx.missing, Diagnostic{
 						Pos:      pos,
 						Analyzer: "safeadaptvet",
-						Message:  "allow directive without a `-- reason`: every suppression must record its justification",
+						Message:  what + " directive without a `-- reason`: every suppression must record its justification",
+					})
+					continue
+				}
+				if isIgnoreMsg {
+					idx.ignoreMsg[pos.Filename] = append(idx.ignoreMsg[pos.Filename], ignoreMsgDirective{
+						line:  pos.Line,
+						kinds: strings.Fields(names),
 					})
 					continue
 				}
 				for _, name := range strings.Fields(names) {
 					k := key(name, pos.Filename)
 					if fileWide {
-						idx.file[k] = true
+						idx.file[k] = reason
 						continue
 					}
 					if idx.line[k] == nil {
-						idx.line[k] = map[int]bool{}
+						idx.line[k] = map[int]string{}
 					}
 					// The directive covers its own line (trailing comment)
 					// and the line below it (comment-above form).
-					idx.line[k][pos.Line] = true
-					idx.line[k][pos.Line+1] = true
+					idx.line[k][pos.Line] = reason
+					idx.line[k][pos.Line+1] = reason
 				}
 			}
 		}
@@ -89,14 +126,43 @@ func newAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 	return idx
 }
 
-func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
-	for _, name := range []string{analyzer, "all"} {
-		k := key(name, pos.Filename)
-		if idx.file[k] || idx.line[k][pos.Line] {
-			return true
+// ignoredMsgKinds returns the message kinds justified ignore-msg
+// directives declare for a span of lines in a file (a dispatcher switch
+// plus the line immediately above it).
+func (idx *allowIndex) ignoredMsgKinds(filename string, fromLine, toLine int) map[string]bool {
+	var out map[string]bool
+	for _, d := range idx.ignoreMsg[filename] {
+		if d.line < fromLine-1 || d.line > toLine {
+			continue
+		}
+		if out == nil {
+			out = map[string]bool{}
+		}
+		for _, k := range d.kinds {
+			out[k] = true
 		}
 	}
-	return false
+	return out
+}
+
+func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
+	_, ok := idx.reason(analyzer, pos)
+	return ok
+}
+
+// reason returns the recorded justification of the allow directive
+// covering (analyzer, pos), if any.
+func (idx *allowIndex) reason(analyzer string, pos token.Position) (string, bool) {
+	for _, name := range []string{analyzer, "all"} {
+		k := key(name, pos.Filename)
+		if r, ok := idx.file[k]; ok {
+			return r, true
+		}
+		if r, ok := idx.line[k][pos.Line]; ok {
+			return r, true
+		}
+	}
+	return "", false
 }
 
 // MalformedDirectives returns framework diagnostics for allow directives

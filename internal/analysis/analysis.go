@@ -44,7 +44,21 @@ type Analyzer struct {
 	// exercise an analyzer regardless of their import path.
 	Packages []string
 	// Run performs the check, reporting findings via pass.Reportf.
+	// Exactly one of Run and RunProgram is set.
 	Run func(pass *Pass) error
+	// RunProgram, when set, marks a whole-program analyzer: the driver
+	// hands it one Pass per applicable package in a single invocation so
+	// it can reason across package boundaries (the lock-order graph
+	// spans manager/agent/transport/replica/fleet). Under `go vet
+	// -vettool` — which invokes the tool once per package — a program
+	// analyzer degrades gracefully to its per-package projection.
+	RunProgram func(prog *Program) error
+}
+
+// Program is a whole-program analyzer's view: one Pass per analyzed
+// package, all sharing findings collection through their own Reportf.
+type Program struct {
+	Passes []*Pass
 }
 
 // AppliesTo reports whether the driver should run the analyzer on the
@@ -73,6 +87,10 @@ type Pass struct {
 	allow *allowIndex
 	// diags collects the pass's findings.
 	diags []Diagnostic
+	// suppressed collects findings an allow directive silenced, each
+	// carrying the directive's recorded reason; drivers expose them in
+	// machine-readable output so the exception ledger stays auditable.
+	suppressed []Diagnostic
 }
 
 // Diagnostic is one finding.
@@ -80,6 +98,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// AllowReason is the justification of the allow directive that
+	// suppressed this finding; empty on live findings.
+	AllowReason string `json:",omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -92,8 +113,16 @@ func (d Diagnostic) String() string {
 // finding's line, the line above it, or a file-scoped directive.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.allow != nil && p.allow.allows(p.Analyzer.Name, position) {
-		return
+	if p.allow != nil {
+		if reason, ok := p.allow.reason(p.Analyzer.Name, position); ok {
+			p.suppressed = append(p.suppressed, Diagnostic{
+				Pos:         position,
+				Analyzer:    p.Analyzer.Name,
+				Message:     fmt.Sprintf(format, args...),
+				AllowReason: reason,
+			})
+			return
+		}
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      position,
@@ -109,6 +138,19 @@ func (p *Pass) allowedAt(pos token.Pos) bool {
 	return p.allow != nil && p.allow.allows(p.Analyzer.Name, p.Fset.Position(pos))
 }
 
+// ignoredMsgKinds returns the message kinds that justified
+// //safeadaptvet:ignore-msg directives declare for the source span
+// [from, to] (plus the line immediately above it) — the msgexhaustive
+// analyzer's per-switch suppression scope.
+func (p *Pass) ignoredMsgKinds(from, to token.Pos) map[string]bool {
+	if p.allow == nil {
+		return nil
+	}
+	start := p.Fset.Position(from)
+	end := p.Fset.Position(to)
+	return p.allow.ignoredMsgKinds(start.Filename, start.Line, end.Line)
+}
+
 // Inspect walks every file's AST in source order.
 func (p *Pass) Inspect(fn func(ast.Node) bool) {
 	for _, f := range p.Files {
@@ -116,10 +158,8 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 	}
 }
 
-// Run executes one analyzer over one loaded package and returns its
-// findings sorted by position.
-func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	pass := &Pass{
+func newPass(a *Analyzer, pkg *Package) *Pass {
+	return &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
@@ -127,7 +167,20 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		TypesInfo: pkg.Info,
 		allow:     newAllowIndex(pkg.Fset, pkg.Files),
 	}
-	if err := a.Run(pass); err != nil {
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// findings sorted by position. A whole-program analyzer runs over the
+// single-package program (its per-package projection).
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := newPass(a, pkg)
+	var err error
+	if a.RunProgram != nil {
+		err = a.RunProgram(&Program{Passes: []*Pass{pass}})
+	} else {
+		err = a.Run(pass)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
 	sortDiagnostics(pass.diags)
@@ -135,12 +188,34 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 }
 
 // RunAll executes every applicable analyzer over every package and
-// returns the combined findings sorted by position.
+// returns the combined findings sorted by position. Per-package
+// analyzers run once per package; whole-program analyzers run once over
+// all their applicable packages together.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		var passes []*Pass
+		for _, pkg := range pkgs {
+			if a.AppliesTo(pkg.Path) {
+				passes = append(passes, newPass(a, pkg))
+			}
+		}
+		if len(passes) == 0 {
+			continue
+		}
+		if err := a.RunProgram(&Program{Passes: passes}); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, p := range passes {
+			out = append(out, p.diags...)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if !a.AppliesTo(pkg.Path) {
+			if a.RunProgram != nil || !a.AppliesTo(pkg.Path) {
 				continue
 			}
 			diags, err := Run(a, pkg)
@@ -152,6 +227,43 @@ func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	}
 	sortDiagnostics(out)
 	return out, nil
+}
+
+// RunAllDetailed is RunAll plus the suppressed-findings ledger: every
+// finding an allow directive silenced, carrying the directive's recorded
+// reason. Machine consumers (safeadaptctl vet -json, editors, CI audits)
+// use it to keep the exception inventory visible.
+func RunAllDetailed(analyzers []*Analyzer, pkgs []*Package) (live, suppressed []Diagnostic, err error) {
+	for _, a := range analyzers {
+		var passes []*Pass
+		for _, pkg := range pkgs {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			passes = append(passes, newPass(a, pkg))
+		}
+		if len(passes) == 0 {
+			continue
+		}
+		if a.RunProgram != nil {
+			if err := a.RunProgram(&Program{Passes: passes}); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		} else {
+			for _, p := range passes {
+				if err := a.Run(p); err != nil {
+					return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, p.Pkg.Path(), err)
+				}
+			}
+		}
+		for _, p := range passes {
+			live = append(live, p.diags...)
+			suppressed = append(suppressed, p.suppressed...)
+		}
+	}
+	sortDiagnostics(live)
+	sortDiagnostics(suppressed)
+	return live, suppressed, nil
 }
 
 func sortDiagnostics(ds []Diagnostic) {
@@ -178,6 +290,10 @@ func All() []*Analyzer {
 		StampedSendAnalyzer,
 		TelemetryNilAnalyzer,
 		LockSendAnalyzer,
+		LockOrderAnalyzer,
+		MsgExhaustiveAnalyzer,
+		FenceGateAnalyzer,
+		HotPathAnalyzer,
 	}
 }
 

@@ -39,6 +39,22 @@ func TestLockSendFixture(t *testing.T) {
 	checkFixture(t, "locksend", analysis.LockSendAnalyzer)
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", analysis.LockOrderAnalyzer)
+}
+
+func TestMsgExhaustiveFixture(t *testing.T) {
+	checkFixture(t, "msgexhaustive", analysis.MsgExhaustiveAnalyzer)
+}
+
+func TestFenceGateFixture(t *testing.T) {
+	checkFixture(t, "fencegate", analysis.FenceGateAnalyzer)
+}
+
+func TestHotPathFixture(t *testing.T) {
+	checkFixture(t, "hotpath", analysis.HotPathAnalyzer)
+}
+
 // TestMapIterationBugRegression replays the shape of the historical
 // manager.step bug (nondeterministic resume-wave send order from map
 // iteration) against the determinism analyzer.
@@ -50,6 +66,33 @@ func TestMapIterationBugRegression(t *testing.T) {
 // wave (pre-journal manager) against the journalsend analyzer.
 func TestUnjournaledRollbackRegression(t *testing.T) {
 	checkFixture(t, "unjournaledrollback", analysis.JournalSendAnalyzer)
+}
+
+// TestMuxRedialRegression replays the PR 8 mux redial deadlock shape
+// (send path holds sendMu and redials under connMu; the reader holds
+// connMu and re-drives frames under sendMu) against lockorder.
+func TestMuxRedialRegression(t *testing.T) {
+	checkFixture(t, "muxredial", analysis.LockOrderAnalyzer)
+}
+
+// TestStaleRedriveRegression replays the PR 9 stale-candidate hole (one
+// dispatcher path reaching the state mutation without the epoch fence the
+// other paths shared) against fencegate.
+func TestStaleRedriveRegression(t *testing.T) {
+	checkFixture(t, "staleredrive", analysis.FenceGateAnalyzer)
+}
+
+// TestNewKindFallthroughRegression replays the silent new-kind drop (a
+// dispatcher written before MsgMetricReport existed whose default clause
+// swallowed it) against msgexhaustive.
+func TestNewKindFallthroughRegression(t *testing.T) {
+	checkFixture(t, "newkindfallthrough", analysis.MsgExhaustiveAnalyzer)
+}
+
+// TestAllocPacketRegression replays the pre-pooling per-packet marshal
+// shape (fresh buffer + chain copy per datagram) against hotpath.
+func TestAllocPacketRegression(t *testing.T) {
+	checkFixture(t, "allocpacket", analysis.HotPathAnalyzer)
 }
 
 // TestAllowDirectiveRequiresReason checks both halves of the mandatory
@@ -67,6 +110,25 @@ func TestAllowDirectiveRequiresReason(t *testing.T) {
 		t.Fatalf("got %d malformed-directive diagnostics, want 1: %v", len(diags), diags)
 	}
 	if !strings.Contains(diags[0].Message, "without a `-- reason`") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestIgnoreMsgDirectiveRequiresReason is the ignore-msg mirror of the
+// bare-allow rule: the directive without a reason is itself a framework
+// diagnostic, and the ignore it attempted does not take effect.
+func TestIgnoreMsgDirectiveRequiresReason(t *testing.T) {
+	checkFixture(t, "badignoremsg", analysis.MsgExhaustiveAnalyzer)
+
+	pkg, err := analysis.LoadDir(filepath.Join("testdata", "src", "badignoremsg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.MalformedDirectives(pkg)
+	if len(diags) != 1 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "ignore-msg directive without a `-- reason`") {
 		t.Errorf("unexpected message: %s", diags[0].Message)
 	}
 }

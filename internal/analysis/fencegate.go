@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FenceGateAnalyzer generalizes the PR 9 stale-candidate hole into a
+// compile-time rule: a message handler may only mutate journaled or
+// protocol state after an epoch fence. The bug shape it encodes — a
+// promoted standby re-driving a wave from a message stamped with a dead
+// incarnation's epoch — happened because one dispatcher path reached the
+// state mutation without passing the `msg.Epoch < current` /
+// a.Fenced() check the other paths shared.
+//
+// The proof is taint-style and lexical, mirroring journalsend: inside
+// each function, mutations of package-named state (field/element
+// assignments, ++/--, journal Append/Sync) are "unsatisfied" until a
+// fence event — any comparison mentioning an Epoch/epoch operand, or a
+// call to a method named Fenced — precedes them in source order.
+// Unsatisfied mutation taint flows through package-local calls to a
+// fixpoint, and is reported at handler roots: functions taking a
+// protocol.Message (by value, pointer, or slice) that are exported or
+// called by nothing in the package — i.e. the dispatcher entry points
+// messages actually arrive through. A fence anywhere before the
+// offending mutation or call discharges it; an allow directive at the
+// precise mutation cuts the taint at its source (annotate deep, where
+// the human argument lives — e.g. "manager owns the highest epoch").
+var FenceGateAnalyzer = &Analyzer{
+	Name: "fencegate",
+	Doc: "require every message-handler path that mutates journaled or protocol " +
+		"state to be dominated by an epoch fence (Fenced()/epoch comparison); a " +
+		"stale incarnation's message must never re-drive state",
+	Packages: []string{
+		"repro/internal/manager",
+		"repro/internal/agent",
+		"repro/internal/fleet",
+		"repro/internal/replica",
+		"repro/internal/fleetobs",
+	},
+	Run: runFenceGate,
+}
+
+// fgEvent is one ordered occurrence inside a function body.
+type fgEvent struct {
+	pos token.Pos
+	// fence marks an epoch check; mutate names the mutated state
+	// expression; call the package-local callee.
+	fence  bool
+	mutate string
+	call   string
+}
+
+func runFenceGate(pass *Pass) error {
+	type funcInfo struct {
+		name   string
+		isRoot bool // takes a protocol.Message parameter
+		events []fgEvent
+		decl   *ast.FuncDecl
+	}
+	var funcs []*funcInfo
+
+	pass.eachFuncBody(func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		fi := &funcInfo{name: localFuncKey(fn), decl: decl, isRoot: hasMessageParam(pass, decl)}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op.IsOperator() && isComparison(n.Op) && (mentionsEpoch(n.X) || mentionsEpoch(n.Y)) {
+					fi.events = append(fi.events, fgEvent{pos: n.Pos(), fence: true})
+				}
+			case *ast.CallExpr:
+				if fn := pass.callee(n); fn != nil {
+					if fn.Name() == "Fenced" {
+						fi.events = append(fi.events, fgEvent{pos: n.Pos(), fence: true})
+						return true
+					}
+					if typePkgPath(receiverOf(fn)) == "repro/internal/journal" &&
+						(fn.Name() == "Append" || fn.Name() == "Sync") {
+						fi.events = append(fi.events, fgEvent{pos: n.Pos(), mutate: "the journal (" + fn.Name() + ")"})
+						return true
+					}
+					if fn.Pkg() == pass.Pkg {
+						fi.events = append(fi.events, fgEvent{pos: n.Pos(), call: localFuncKey(fn)})
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if what := mutatedState(pass, lhs); what != "" {
+						fi.events = append(fi.events, fgEvent{pos: n.Pos(), mutate: what})
+					}
+				}
+			case *ast.IncDecStmt:
+				if what := mutatedState(pass, n.X); what != "" {
+					fi.events = append(fi.events, fgEvent{pos: n.Pos(), mutate: what})
+				}
+			}
+			return true
+		})
+		funcs = append(funcs, fi)
+	})
+
+	// Taint fixpoint: a function is tainted when it (or a package-local
+	// callee, transitively) mutates state with no fence preceding the
+	// mutation (or the call) in its own body.
+	tainted := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			if tainted[fi.name] {
+				continue
+			}
+			if len(unfenced(pass, fi.events, tainted)) > 0 {
+				tainted[fi.name] = true
+				changed = true
+			}
+		}
+	}
+
+	called := map[string]bool{}
+	for _, fi := range funcs {
+		for _, ev := range fi.events {
+			if ev.call != "" {
+				called[ev.call] = true
+			}
+		}
+	}
+
+	for _, fi := range funcs {
+		if !fi.isRoot {
+			continue
+		}
+		// Only dispatcher entry points are judged: exported handlers, or
+		// handlers nothing in the package calls (driven by a goroutine /
+		// another package). Internal helpers discharge through their
+		// callers' fences.
+		if !fi.decl.Name.IsExported() && called[fi.name] {
+			continue
+		}
+		for _, uf := range unfenced(pass, fi.events, tainted) {
+			if uf.callee != "" {
+				pass.Reportf(uf.pos,
+					"handler call to %s mutates journaled/protocol state with no epoch fence on this path; check Fenced()/msg.Epoch before acting (a stale incarnation's message must not re-drive state)",
+					uf.callee)
+			} else {
+				pass.Reportf(uf.pos,
+					"handler mutates %s with no epoch fence on this path; check Fenced()/msg.Epoch before acting (a stale incarnation's message must not re-drive state)",
+					uf.what)
+			}
+		}
+	}
+	return nil
+}
+
+type unfencedMut struct {
+	pos    token.Pos
+	what   string
+	callee string
+}
+
+// unfenced returns the mutations (direct, or via calls to tainted
+// package-local functions) not preceded by a fence event. Allow-annotated
+// sites are treated as fenced.
+func unfenced(pass *Pass, events []fgEvent, tainted map[string]bool) []unfencedMut {
+	var out []unfencedMut
+	fenced := false
+	for _, ev := range events {
+		switch {
+		case ev.fence:
+			fenced = true
+		case ev.mutate != "":
+			if !fenced && !pass.allowedAt(ev.pos) {
+				out = append(out, unfencedMut{pos: ev.pos, what: ev.mutate})
+			}
+		case ev.call != "":
+			if !fenced && tainted[ev.call] && !pass.allowedAt(ev.pos) {
+				out = append(out, unfencedMut{pos: ev.pos, callee: ev.call})
+			}
+		}
+	}
+	return out
+}
+
+// localFuncKey qualifies a package-local function by its receiver type
+// ("FleetState.Absorb") so taint from one type's method cannot bleed into
+// a same-named method of another type.
+func localFuncKey(fn *types.Func) string {
+	if n := namedType(receiverOf(fn)); n != nil {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// mentionsEpoch reports whether an expression references an epoch value:
+// a selector or identifier named Epoch/epoch (msg.Epoch, a.epoch,
+// lease.Epoch).
+func mentionsEpoch(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Epoch" || n.Sel.Name == "epoch" {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "Epoch" || n.Name == "epoch" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasMessageParam reports whether the function takes a protocol.Message
+// (by value, pointer, or slice) — the signature shape of a dispatcher.
+func hasMessageParam(pass *Pass, decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, f := range decl.Type.Params.List {
+		t := pass.typeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			t = sl.Elem()
+		}
+		if isNamed(t, "repro/internal/protocol", "Message") {
+			return true
+		}
+	}
+	return false
+}
+
+// mutatedState renders a mutated journaled/protocol-state lvalue: a
+// selector or index chain rooted in a value of a package-named type
+// (receiver fields, struct state), as opposed to plain locals.
+func mutatedState(pass *Pass, lvalue ast.Expr) string {
+	e := ast.Unparen(lvalue)
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			if typePkgPath(pass.typeOf(v.X)) == pass.Pkg.Path() {
+				return exprString(pass.Fset, lvalue)
+			}
+			e = ast.Unparen(v.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(v.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(v.X)
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds an interprocedural lock-acquisition graph over
+// the concurrency-heavy protocol packages and reports lock-order
+// inversions: cycles A → B → … → A where some code path acquires B while
+// holding A and another acquires A while holding B. Two goroutines
+// entering such paths concurrently deadlock — and unlike the locksend
+// rule (no blocking I/O under a mutex), an inversion is invisible inside
+// any single function: each side looks locally innocent.
+//
+// Locks are identified at the type level — "pkg.Type.field" for a mutex
+// field, "pkg.var" for a package-level mutex — because a deadlock only
+// needs two goroutines somewhere in the fleet to disagree on order, and
+// instances of the same field are interchangeable for that argument. The
+// same coarseness means an edge between two *different* instances of one
+// type is indistinguishable from re-entry, so self-edges (A while A) are
+// reported only when the rendered receiver expression is identical
+// (provable re-entrant acquisition); cycles require length ≥ 2.
+//
+// Edges come from two sources: a direct nested acquisition, and a call
+// made while holding a lock to a function whose transitive acquisition
+// set (computed to a fixpoint across every analyzed package at once —
+// this is a whole-program analyzer) contains another lock. Calls through
+// interfaces and function values are not resolved; the graph
+// under-approximates, which is the sound direction for a deadlock
+// *detector* (no false cycles from imagined edges).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "build the interprocedural lock-acquisition graph across the protocol " +
+		"packages and report lock-order-inversion cycles and provably re-entrant " +
+		"acquisitions (deadlocks no single function's source reveals)",
+	Packages: []string{
+		"repro/internal/manager",
+		"repro/internal/agent",
+		"repro/internal/transport",
+		"repro/internal/replica",
+		"repro/internal/fleet",
+		"repro/internal/fleetobs",
+	},
+	RunProgram: runLockOrder,
+}
+
+// loLock is one type-level lock identity with the receiver expression it
+// was rendered from at a particular site.
+type loLock struct {
+	id   string // "pkg.Type.field" or "pkg.var"
+	expr string // rendered source expression ("m.mu")
+}
+
+// loEdge is one held→acquired pair with the site that created it.
+type loEdge struct {
+	from, to string
+	pos      token.Pos
+	pass     *Pass
+	// via names the callee whose transitive acquisition created the
+	// edge; empty for a direct nested acquisition.
+	via string
+}
+
+// loFunc is the per-function summary the fixpoint runs over.
+type loFunc struct {
+	pass *Pass
+	// acquires are the locks the body acquires directly.
+	acquires []loLock
+	// calls are the statically resolved invocations with the lock set
+	// held at the call site.
+	calls []loCall
+}
+
+type loCall struct {
+	callee string // types.Func FullName, stable across packages
+	held   []loLock
+	pos    token.Pos
+}
+
+func runLockOrder(prog *Program) error {
+	funcs := map[string]*loFunc{}
+	var edges []loEdge
+
+	for _, pass := range prog.Passes {
+		pass.eachFuncBody(func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+			if fn == nil {
+				return
+			}
+			lf := &loFunc{pass: pass}
+			scanLockOrderBlock(pass, lf, &edges, body, map[string]loLock{})
+			funcs[fn.FullName()] = lf
+		})
+	}
+
+	// Transitive acquisition sets, to a fixpoint across the whole
+	// program: acq(f) = direct(f) ∪ ⋃ acq(g) for every resolved callee g.
+	acq := map[string]map[string]bool{}
+	for name, lf := range funcs {
+		set := map[string]bool{}
+		for _, l := range lf.acquires {
+			set[l.id] = true
+		}
+		acq[name] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, lf := range funcs {
+			set := acq[name]
+			for _, c := range lf.calls {
+				for id := range acq[c.callee] {
+					if !set[id] {
+						set[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Call-induced edges: holding H, calling a function that transitively
+	// acquires L, puts H→L in the graph. Same-identity call edges are
+	// skipped (type-level identity cannot distinguish re-entry from a
+	// sibling instance; see the analyzer doc).
+	for _, lf := range funcs {
+		for _, c := range lf.calls {
+			if pass := lf.pass; pass.allowedAt(c.pos) {
+				continue
+			}
+			for id := range acq[c.callee] {
+				for _, h := range c.held {
+					if h.id == id {
+						continue
+					}
+					edges = append(edges, loEdge{
+						from: h.id, to: id, pos: c.pos, pass: lf.pass,
+						via: shortCallee(c.callee),
+					})
+				}
+			}
+		}
+	}
+
+	reportLockCycles(edges)
+	return nil
+}
+
+// shortCallee trims a types.Func FullName down to Type.Method or
+// pkg.Func for diagnostics.
+func shortCallee(full string) string {
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		full = full[i+1:]
+	}
+	full = strings.TrimPrefix(full, "(")
+	full = strings.ReplaceAll(full, ")", "")
+	full = strings.TrimPrefix(full, "*")
+	return full
+}
+
+// reportLockCycles finds the strongly connected components of the edge
+// graph and reports every edge participating in a component of two or
+// more locks — each such edge is one half of an inversion.
+func reportLockCycles(edges []loEdge) {
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	comp := sccOf(adj)
+
+	reported := map[string]bool{}
+	for _, e := range edges {
+		cf, ok1 := comp[e.from]
+		ct, ok2 := comp[e.to]
+		if !ok1 || !ok2 || cf != ct {
+			continue
+		}
+		// Deduplicate per (site, edge): transitive sets can yield the
+		// same edge several times from one call site.
+		k := fmt.Sprintf("%d\x00%s\x00%s", e.pos, e.from, e.to)
+		if reported[k] {
+			continue
+		}
+		reported[k] = true
+		if e.via != "" {
+			e.pass.Reportf(e.pos,
+				"lock-order inversion: call to %s acquires %s while %s is held, closing a cycle with the opposite order elsewhere; release %s first or fix one side's order",
+				e.via, e.to, e.from, e.from)
+		} else {
+			e.pass.Reportf(e.pos,
+				"lock-order inversion: %s acquired while holding %s, closing a cycle with the opposite order elsewhere; release %s first or fix one side's order",
+				e.to, e.from, e.from)
+		}
+	}
+}
+
+// sccOf computes strongly connected components (iterative Tarjan) and
+// returns a component id per node, keeping only components that can
+// sustain a cycle (size ≥ 2; type-level self-loops are filtered before
+// edges are built).
+func sccOf(adj map[string]map[string]bool) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for n, outs := range adj {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for m := range outs {
+			if !seen[m] {
+				seen[m] = true
+				nodes = append(nodes, m)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		outs := make([]string, 0, len(adj[v]))
+		for w := range adj[v] {
+			outs = append(outs, w)
+		}
+		sort.Strings(outs)
+		for _, w := range outs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) >= 2 {
+				for _, m := range members {
+					comp[m] = ncomp
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return comp
+}
+
+// scanLockOrderBlock walks one block linearly, mirroring locksend's
+// held-set tracking (branch bodies see a copy; defer Unlock pins the lock
+// to function end; goroutine bodies start clean), but records
+// acquisitions, direct nested-acquisition edges, re-entrant same-expr
+// acquisitions, and calls with their held context.
+func scanLockOrderBlock(pass *Pass, lf *loFunc, edges *[]loEdge, block *ast.BlockStmt, held map[string]loLock) {
+	for _, st := range block.List {
+		scanLockOrderStmt(pass, lf, edges, st, held)
+	}
+}
+
+func scanLockOrderStmt(pass *Pass, lf *loFunc, edges *[]loEdge, st ast.Stmt, held map[string]loLock) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, op := mutexOp(pass, call); recv != "" {
+				switch op {
+				case "Lock", "RLock":
+					noteLockAcquire(pass, lf, edges, call, recv, held)
+				case "Unlock", "RUnlock":
+					delete(held, lockIdentity(pass, call, recv).id)
+				}
+				return
+			}
+		}
+		scanLockOrderExpr(pass, lf, st.X, held)
+	case *ast.DeferStmt:
+		if recv, op := mutexOp(pass, st.Call); recv != "" && (op == "Unlock" || op == "RUnlock") {
+			l := lockIdentity(pass, st.Call, recv)
+			held[l.id] = l
+			return
+		}
+		scanLockOrderExpr(pass, lf, st.Call, held)
+	case *ast.GoStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			scanLockOrderBlock(pass, lf, edges, lit.Body, map[string]loLock{})
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			scanLockOrderExpr(pass, lf, rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			scanLockOrderExpr(pass, lf, r, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			scanLockOrderStmt(pass, lf, edges, st.Init, held)
+		}
+		scanLockOrderExpr(pass, lf, st.Cond, held)
+		scanLockOrderBlock(pass, lf, edges, st.Body, copyLockSet(held))
+		if st.Else != nil {
+			scanLockOrderStmt(pass, lf, edges, st.Else, copyLockSet(held))
+		}
+	case *ast.BlockStmt:
+		scanLockOrderBlock(pass, lf, edges, st, held)
+	case *ast.ForStmt:
+		scanLockOrderBlock(pass, lf, edges, st.Body, copyLockSet(held))
+	case *ast.RangeStmt:
+		scanLockOrderBlock(pass, lf, edges, st.Body, copyLockSet(held))
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyLockSet(held)
+				for _, s := range cc.Body {
+					scanLockOrderStmt(pass, lf, edges, s, h)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyLockSet(held)
+				for _, s := range cc.Body {
+					scanLockOrderStmt(pass, lf, edges, s, h)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				h := copyLockSet(held)
+				for _, s := range cc.Body {
+					scanLockOrderStmt(pass, lf, edges, s, h)
+				}
+			}
+		}
+	}
+}
+
+// noteLockAcquire records a Lock/RLock: the direct edges it closes with
+// every currently held lock, the provable re-entrancy case, the direct
+// acquisition for the fixpoint, and the new held entry.
+func noteLockAcquire(pass *Pass, lf *loFunc, edges *[]loEdge, call *ast.CallExpr, recv string, held map[string]loLock) {
+	l := lockIdentity(pass, call, recv)
+	if prev, ok := held[l.id]; ok && prev.expr == l.expr && !pass.allowedAt(call.Pos()) {
+		pass.Reportf(call.Pos(),
+			"re-entrant acquisition of %s (already held at this point): sync mutexes are not recursive, this deadlocks unconditionally", l.expr)
+	}
+	if !pass.allowedAt(call.Pos()) {
+		for _, h := range held {
+			if h.id == l.id {
+				continue
+			}
+			*edges = append(*edges, loEdge{from: h.id, to: l.id, pos: call.Pos(), pass: pass})
+		}
+	}
+	lf.acquires = append(lf.acquires, l)
+	held[l.id] = l
+}
+
+// scanLockOrderExpr records statically resolved calls made inside an
+// expression with the current held set. Function literals are skipped
+// (they run later, on their own schedule).
+func scanLockOrderExpr(pass *Pass, lf *loFunc, e ast.Expr, held map[string]loLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.callee(call)
+		if fn == nil {
+			return true
+		}
+		hs := make([]loLock, 0, len(held))
+		for _, h := range held {
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i].id < hs[j].id })
+		lf.calls = append(lf.calls, loCall{callee: fn.FullName(), held: hs, pos: call.Pos()})
+		return true
+	})
+}
+
+// lockIdentity renders the type-level identity of the mutex a
+// Lock/Unlock-family call operates on: pkg.Type.field for a field
+// selector, pkg.var for a package-level mutex, and a function-scoped
+// fallback for locals.
+func lockIdentity(pass *Pass, call *ast.CallExpr, renderedRecv string) loLock {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return loLock{id: renderedRecv, expr: renderedRecv}
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// base.field — identify by the base expression's named type.
+		if pkg := typePkgPath(pass.typeOf(x.X)); pkg != "" {
+			if n := namedType(pass.typeOf(x.X)); n != nil {
+				return loLock{
+					id:   shortPkg(pkg) + "." + n.Obj().Name() + "." + x.Sel.Name,
+					expr: renderedRecv,
+				}
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				// Package-level mutex variable.
+				return loLock{id: shortPkg(obj.Pkg().Path()) + "." + x.Name, expr: renderedRecv}
+			}
+			// Local or receiver-named mutex (`mu := &sync.Mutex{}`,
+			// embedded promotion `b.cond.L`): fall back to the named type
+			// of the identifier when it has one.
+			if n := namedType(obj.Type()); n != nil && n.Obj().Pkg() != nil {
+				return loLock{
+					id:   shortPkg(n.Obj().Pkg().Path()) + "." + n.Obj().Name() + ".(self)",
+					expr: renderedRecv,
+				}
+			}
+		}
+	}
+	return loLock{id: renderedRecv, expr: renderedRecv}
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func copyLockSet(held map[string]loLock) map[string]loLock {
+	out := make(map[string]loLock, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// typeOf is a nil-tolerant TypesInfo.Types lookup.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The mutation self-tests prove each new analyzer actually detects the
+// violation it exists for, not merely that its fixtures are annotated
+// consistently: a fixture under testdata/src/mutate_<name> is clean as
+// written (zero findings), and lines carrying a //MUTATE marker are
+// rewritten to their marked replacement to seed the violation. The
+// analyzer must report nothing before the mutation and at least one
+// finding after it — an analyzer that goes blind (or a fixture that was
+// never clean) fails either half.
+
+// applyMutations returns src with every //MUTATE-marked line replaced by
+// its marked text (indentation preserved), and the count of lines
+// rewritten.
+func applyMutations(src string) (string, int) {
+	lines := strings.Split(src, "\n")
+	n := 0
+	for i, line := range lines {
+		idx := strings.Index(line, "//MUTATE ")
+		if idx < 0 || strings.HasPrefix(strings.TrimSpace(line), "//") {
+			// Markers anchor to code lines; prose mentioning the marker
+			// (the fixture's own doc comment) is left alone.
+			continue
+		}
+		indent := line[:len(line)-len(strings.TrimLeft(line, " \t"))]
+		lines[i] = indent + strings.TrimSpace(line[idx+len("//MUTATE "):])
+		n++
+	}
+	return strings.Join(lines, "\n"), n
+}
+
+func runMutationTest(t *testing.T, a *analysis.Analyzer, name string) {
+	t.Helper()
+	srcFile := filepath.Join("testdata", "src", "mutate_"+name, "mutate_"+name+".go")
+	src, err := os.ReadFile(srcFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean, err := analysis.LoadDir(filepath.Dir(srcFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(a, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("fixture must be clean before mutation, got: %v", diags)
+	}
+
+	mutated, n := applyMutations(string(src))
+	if n == 0 {
+		t.Fatalf("%s has no //MUTATE markers", srcFile)
+	}
+
+	// The mutant package must live inside the module so LoadDir's go list
+	// resolves imports; t.TempDir would fall outside it.
+	dir, err := os.MkdirTemp("testdata", "mutant-"+name+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "mutant.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mutant, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("mutant must still compile: %v", err)
+	}
+	diags, err = analysis.Run(a, mutant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("analyzer %s did not detect the seeded violation:\n%s", a.Name, mutated)
+	}
+	for _, d := range diags {
+		if d.Analyzer != a.Name {
+			t.Errorf("finding from unexpected analyzer: %v", d)
+		}
+	}
+}
+
+func TestLockOrderMutation(t *testing.T) {
+	runMutationTest(t, analysis.LockOrderAnalyzer, "lockorder")
+}
+
+func TestMsgExhaustiveMutation(t *testing.T) {
+	runMutationTest(t, analysis.MsgExhaustiveAnalyzer, "msgexhaustive")
+}
+
+func TestFenceGateMutation(t *testing.T) {
+	runMutationTest(t, analysis.FenceGateAnalyzer, "fencegate")
+}
+
+func TestHotPathMutation(t *testing.T) {
+	runMutationTest(t, analysis.HotPathAnalyzer, "hotpath")
+}

@@ -1,0 +1,60 @@
+// Package fixture replays the pre-pooling per-packet marshal shape
+// against the hotpath analyzer: the original MetaSocket send path built a
+// fresh buffer, re-sliced the filter chain, and boxed the packet into the
+// error format on every datagram — a steady per-packet GC tax on the very
+// path ROADMAP item 5 wants zero-copy.
+package fixture
+
+type packet struct {
+	seq     uint64
+	payload []byte
+}
+
+type filter interface {
+	process(p packet) (packet, bool)
+}
+
+type socket struct {
+	chain   []filter
+	scratch []byte
+}
+
+// sendOld is the historical allocating shape.
+//
+//safeadaptvet:hotpath
+func (s *socket) sendOld(p packet, transmit func([]byte) error) error {
+	chain := make([]filter, len(s.chain)) // want "make \\(allocates\\)"
+	copy(chain, s.chain)
+	for _, f := range chain {
+		next, ok := f.process(p)
+		if !ok {
+			return nil
+		}
+		p = next
+	}
+	buf := make([]byte, 0, 8+len(p.payload)) // want "make \\(allocates\\)"
+	buf = append(buf, byte(p.seq))           // want "append \\(can grow and allocate\\)"
+	buf = append(buf, p.payload...)          // want "append \\(can grow and allocate\\)"
+	return transmit(buf)
+}
+
+// sendPooled is the fixed shape: the per-socket scratch absorbs the
+// marshal and the chain is walked in place — allocation-free.
+//
+//safeadaptvet:hotpath
+func (s *socket) sendPooled(p packet, transmit func([]byte) error) error {
+	for _, f := range s.chain {
+		next, ok := f.process(p)
+		if !ok {
+			return nil
+		}
+		p = next
+	}
+	buf := s.scratch[:0]
+	if cap(buf) >= 8+len(p.payload) {
+		buf = buf[:1+len(p.payload)]
+		buf[0] = byte(p.seq)
+		copy(buf[1:], p.payload)
+	}
+	return transmit(buf)
+}

@@ -1,0 +1,21 @@
+// Package fixture holds an ignore-msg directive without a justification:
+// the framework reports the bare directive itself, and the ignore does
+// not take effect, so the switch's missing kind is still reported.
+package fixture
+
+type frameType string
+
+const (
+	frameData  frameType = "data"
+	frameClose frameType = "close"
+)
+
+var sink string
+
+func decode(f frameType) {
+	//safeadaptvet:ignore-msg frameClose
+	switch f { // want "does not handle frameClose"
+	case frameData:
+		sink = "data"
+	}
+}

@@ -1,0 +1,84 @@
+// Package fixture exercises the fencegate analyzer: every message-handler
+// path that mutates journaled or protocol state must be dominated by an
+// epoch fence (a Fenced() call or an epoch comparison), directly or
+// through the package-local call chain.
+package fixture
+
+import (
+	"repro/internal/journal"
+	"repro/internal/protocol"
+)
+
+type node struct {
+	epoch uint64
+	state map[string]string
+	drops int
+}
+
+// Fenced mirrors the agent's fence helper.
+func (nd *node) Fenced(e uint64) bool { return e >= nd.epoch }
+
+// HandleFenced compares epochs before touching state: silent.
+func (nd *node) HandleFenced(msg protocol.Message) {
+	if msg.Epoch < nd.epoch {
+		return
+	}
+	nd.state[msg.From] = msg.Error
+}
+
+// HandleUnfenced mutates immediately — the PR 9 stale-candidate shape: a
+// message stamped by a dead incarnation re-drives state.
+func (nd *node) HandleUnfenced(msg protocol.Message) {
+	nd.drops++ // want "handler mutates nd\\.drops with no epoch fence"
+}
+
+// apply is an internal helper; its unfenced mutation taints callers.
+func (nd *node) apply(msg protocol.Message) {
+	nd.state[msg.From] = msg.Error
+}
+
+// HandleViaHelper discharges the helper's obligation with a fence before
+// the call: silent.
+func (nd *node) HandleViaHelper(msg protocol.Message) {
+	if !nd.Fenced(msg.Epoch) {
+		return
+	}
+	nd.apply(msg)
+}
+
+// HandleNoFence drives the helper with no check; the taint surfaces here,
+// at the dispatcher entry point.
+func (nd *node) HandleNoFence(msg protocol.Message) {
+	nd.apply(msg) // want "handler call to node\\.apply mutates journaled/protocol state with no epoch fence"
+}
+
+// bumpStat's mutation is sanctioned at its source; the annotation cuts
+// the taint before it reaches any caller.
+func (nd *node) bumpStat(msg protocol.Message) {
+	//safeadaptvet:allow fencegate -- fixture: counter is local telemetry, not protocol state
+	nd.drops++
+}
+
+// HandleStat inherits no taint from the annotated helper: silent.
+func (nd *node) HandleStat(msg protocol.Message) {
+	nd.bumpStat(msg)
+}
+
+// HandleJournal appends a journal record with no fence: a stale
+// incarnation must never reach the log.
+func (nd *node) HandleJournal(j journal.Journal, msg protocol.Message) {
+	_ = j.Append(journal.Record{Kind: journal.KindPoNR}) // want "handler mutates the journal \\(Append\\)"
+}
+
+// HandleLocals mutates only function-local state: silent.
+func (nd *node) HandleLocals(msg protocol.Message) {
+	count := 0
+	count++
+	_ = count
+}
+
+// notAHandler takes no message; fencegate does not judge it even though
+// it mutates freely (internal state machinery fences at the boundary).
+func (nd *node) notAHandler() {
+	nd.drops++
+}

@@ -1,0 +1,118 @@
+// Package fixture exercises the lockorder analyzer: opposite-order
+// acquisitions of the same pair of (type-level) locks form a cycle, and
+// every edge of the cycle is reported — including edges closed through a
+// call to a function that acquires transitively.
+package fixture
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+type sys struct {
+	a alpha
+	b beta
+}
+
+// abOrder acquires alpha then beta — one half of the inversion.
+func (s *sys) abOrder() {
+	s.a.mu.Lock()
+	s.b.mu.Lock() // want "lock-order inversion"
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+// baOrder acquires the same pair in the opposite order, closing the cycle.
+func (s *sys) baOrder() {
+	s.b.mu.Lock()
+	s.a.mu.Lock() // want "lock-order inversion"
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+// deferHeld holds alpha to function end via the deferred unlock; the
+// nested beta acquisition is another edge of the established cycle.
+func (s *sys) deferHeld() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock() // want "lock-order inversion"
+	s.b.mu.Unlock()
+}
+
+// reenter takes the same mutex expression twice: sync mutexes are not
+// recursive, this deadlocks unconditionally.
+func (s *sys) reenter() {
+	s.a.mu.Lock()
+	s.a.mu.Lock() // want "re-entrant acquisition"
+	s.a.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+
+type tree struct {
+	c gamma
+	d delta
+}
+
+// lockD acquires delta on behalf of its callers; on its own it is clean.
+func (t *tree) lockD() {
+	t.d.mu.Lock()
+	t.d.mu.Unlock()
+}
+
+// cThenCallD holds gamma across a call that transitively acquires delta —
+// the interprocedural edge locksend-style local analysis cannot see.
+func (t *tree) cThenCallD() {
+	t.c.mu.Lock()
+	t.lockD() // want "lock-order inversion: call to"
+	t.c.mu.Unlock()
+}
+
+// dThenC is the opposite order, closing the interprocedural cycle.
+func (t *tree) dThenC() {
+	t.d.mu.Lock()
+	t.c.mu.Lock() // want "lock-order inversion"
+	t.c.mu.Unlock()
+	t.d.mu.Unlock()
+}
+
+type eps struct{ mu sync.Mutex }
+type zeta struct{ mu sync.Mutex }
+
+// consistentNesting always acquires eps before zeta and never the
+// reverse: a hierarchy, not a cycle — silent.
+func consistentNesting(e *eps, z *zeta) {
+	e.mu.Lock()
+	z.mu.Lock()
+	z.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func consistentAgain(e *eps, z *zeta) {
+	e.mu.Lock()
+	z.mu.Lock()
+	z.mu.Unlock()
+	e.mu.Unlock()
+}
+
+type eta struct{ mu sync.Mutex }
+type theta struct{ mu sync.Mutex }
+
+func etaFirst(e *eta, t *theta) {
+	e.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// thetaFirst inverts the order deliberately; the annotation at the inner
+// acquisition keeps its edge out of the graph, so neither side reports.
+func thetaFirst(e *eta, t *theta) {
+	t.mu.Lock()
+	//safeadaptvet:allow lockorder -- fixture: inner side is a try-lock drained by a watchdog, inversion cannot block
+	e.mu.Lock()
+	e.mu.Unlock()
+	t.mu.Unlock()
+}

@@ -1,0 +1,104 @@
+// Package fixture exercises the msgexhaustive analyzer: every dispatcher
+// switch over a message-kind enum must handle or explicitly ignore every
+// declared kind; default clauses do not discharge the obligation.
+package fixture
+
+import "repro/internal/protocol"
+
+// cmdType is a package-local kind enum (the replica stream's frameType
+// follows this naming convention).
+type cmdType string
+
+const (
+	cmdStart cmdType = "start"
+	cmdStop  cmdType = "stop"
+	cmdPause cmdType = "pause"
+)
+
+var sink string
+
+// handleAll covers every kind: silent.
+func handleAll(c cmdType) {
+	switch c {
+	case cmdStart:
+		sink = "start"
+	case cmdStop:
+		sink = "stop"
+	case cmdPause:
+		sink = "pause"
+	}
+}
+
+// handleMissing drops cmdPause on the floor.
+func handleMissing(c cmdType) {
+	switch c { // want "does not handle cmdPause"
+	case cmdStart:
+		sink = "start"
+	case cmdStop:
+		sink = "stop"
+	}
+}
+
+// handleDefault has a default clause — which is exactly how a new kind
+// silently falls through a hop, so it does not count.
+func handleDefault(c cmdType) {
+	switch c { // want "does not handle cmdPause, cmdStop"
+	case cmdStart:
+		sink = "start"
+	default:
+		sink = "?"
+	}
+}
+
+// handleIgnored declares the unhandled kind with a justified directive
+// above the switch: silent.
+func handleIgnored(c cmdType) {
+	//safeadaptvet:ignore-msg cmdPause -- fixture: pause is consumed by the upstream filter
+	switch c {
+	case cmdStart:
+		sink = "start"
+	case cmdStop:
+		sink = "stop"
+	}
+}
+
+// handleIgnoredInside places the directive inside the switch body, the
+// other accepted position: silent.
+func handleIgnoredInside(c cmdType) {
+	switch c {
+	case cmdStart:
+		sink = "start"
+	case cmdStop:
+		sink = "stop"
+		//safeadaptvet:ignore-msg cmdPause -- fixture: pause arrives only in drain mode, handled by the drainer
+	}
+}
+
+// dispatch switches on the real protocol enum; the reply kinds this hop
+// never sees are declared, the one genuinely missing command reports.
+func dispatch(msg protocol.Message) {
+	//safeadaptvet:ignore-msg MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResumeDone MsgRollbackDone MsgHello MsgHeartbeat MsgProbe MsgProbeAck MsgBatch MsgMetricReport -- fixture: replies and envelopes, this hop dispatches commands only
+	switch msg.Type { // want "does not handle MsgReset"
+	case protocol.MsgResume:
+		sink = "resume"
+	case protocol.MsgRollback:
+		sink = "rollback"
+	}
+}
+
+// notAnEnumSwitch dispatches on a plain int: outside the rule, silent.
+func notAnEnumSwitch(n int) {
+	switch n {
+	case 1:
+		sink = "one"
+	}
+}
+
+// untaggedClassify is the manager's classify shape — an untagged switch
+// cannot be statically enumerated and is a documented limitation: silent.
+func untaggedClassify(msg protocol.Message) {
+	switch {
+	case msg.Type == protocol.MsgResume:
+		sink = "resume"
+	}
+}

@@ -1,0 +1,19 @@
+// Package fixture is the fencegate mutation self-test subject: as
+// written, the handler's epoch fence dominates the mutation (zero
+// findings). The //MUTATE marker deletes the fence condition, reopening
+// the PR 9 stale re-drive hole the analyzer must then detect.
+package fixture
+
+import "repro/internal/protocol"
+
+type standby struct {
+	epoch     uint64
+	candidate string
+}
+
+func (s *standby) Accept(msg protocol.Message) {
+	if msg.Epoch < s.epoch { //MUTATE if false {
+		return
+	}
+	s.candidate = msg.From
+}

@@ -1,0 +1,15 @@
+// Package fixture is the hotpath mutation self-test subject: as written,
+// the annotated put writes into the fixed ring buffer without allocating
+// (zero findings). The //MUTATE marker swaps the copy for an append — the
+// innocent-refactor allocation the analyzer exists to catch.
+package fixture
+
+type ring struct {
+	buf []byte
+}
+
+//safeadaptvet:hotpath
+func (r *ring) put(p []byte) int {
+	n := copy(r.buf, p) //MUTATE r.buf = append(r.buf, p...); n := len(p)
+	return n
+}

@@ -1,0 +1,29 @@
+// Package fixture is the lockorder mutation self-test subject: as
+// written, every function acquires alpha before beta (a consistent
+// hierarchy, zero findings). The //MUTATE markers swap one function's
+// order, closing the cycle the analyzer must then detect.
+package fixture
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+type sys struct {
+	a alpha
+	b beta
+}
+
+func (s *sys) left() {
+	s.a.mu.Lock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func (s *sys) right() {
+	s.a.mu.Lock() //MUTATE s.b.mu.Lock()
+	s.b.mu.Lock() //MUTATE s.a.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}

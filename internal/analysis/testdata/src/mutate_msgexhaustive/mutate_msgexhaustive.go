@@ -1,0 +1,26 @@
+// Package fixture is the msgexhaustive mutation self-test subject: as
+// written, the dispatcher handles every kind (zero findings). The
+// //MUTATE marker degrades one case into a default clause — the exact
+// new-kind-fallthrough shape the analyzer exists to catch.
+package fixture
+
+type cmdType string
+
+const (
+	cmdStart cmdType = "start"
+	cmdStop  cmdType = "stop"
+	cmdPause cmdType = "pause"
+)
+
+var sink string
+
+func dispatch(c cmdType) {
+	switch c {
+	case cmdStart:
+		sink = "start"
+	case cmdStop:
+		sink = "stop"
+	case cmdPause: //MUTATE default:
+		sink = "pause"
+	}
+}

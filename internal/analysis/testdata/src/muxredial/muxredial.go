@@ -1,0 +1,42 @@
+// Package fixture replays the PR 8 mux redial bug shape against the
+// lockorder analyzer. The historical bug: the mux endpoint's send path
+// held sendMu while triggering a redial that took connMu, while the
+// reader goroutine's reconnect path held connMu and re-sent buffered
+// frames under sendMu. Each side is locally innocent — locksend sees no
+// blocking I/O directly under either lock — but the two orders form a
+// cycle, and under a flapping link the writer and the reader deadlocked
+// each holding the lock the other wanted (frames sat in the buffer and
+// were dropped on teardown).
+package fixture
+
+import "sync"
+
+type mux struct {
+	sendMu sync.Mutex
+	connMu sync.Mutex
+	buf    [][]byte
+}
+
+// send holds sendMu and, on a broken conn, redials under connMu.
+func (m *mux) send(frame []byte) {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	m.buf = append(m.buf, frame)
+	m.redial() // want "lock-order inversion: call to"
+}
+
+// redial swaps the connection under connMu.
+func (m *mux) redial() {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+}
+
+// readLoop is the opposite side: it owns connMu across the reconnect and
+// re-drives the buffered frames through the send lock.
+func (m *mux) readLoop() {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	m.sendMu.Lock() // want "lock-order inversion"
+	m.buf = m.buf[:0]
+	m.sendMu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Package fixture replays the new-kind fallthrough shape against the
+// msgexhaustive analyzer: a dispatcher written before MsgMetricReport
+// existed whose default clause silently drops the new kind at one hop of
+// the coordinator tree. No test fails — the metrics just never arrive —
+// which is exactly why default clauses do not discharge exhaustiveness.
+package fixture
+
+import "repro/internal/protocol"
+
+type relay struct {
+	forwarded int
+	dropped   int
+}
+
+// route predates MsgMetricReport; the default clause swallowed it.
+func (r *relay) route(msg protocol.Message) {
+	//safeadaptvet:ignore-msg MsgReset MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResume MsgResumeDone MsgRollback MsgRollbackDone MsgHello MsgHeartbeat MsgProbe MsgProbeAck -- fixture: command/reply kinds relayed by an earlier stage
+	switch msg.Type { // want "does not handle MsgMetricReport"
+	case protocol.MsgBatch:
+		r.forwarded++
+	default:
+		r.dropped++
+	}
+}

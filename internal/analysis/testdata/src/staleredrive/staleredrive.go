@@ -1,0 +1,31 @@
+// Package fixture replays the PR 9 stale re-drive bug shape against the
+// fencegate analyzer. The historical bug: a promoted standby accepted a
+// candidate decision carried by a message stamped with the dead
+// predecessor's epoch — one dispatcher path reached the state mutation
+// without the `msg.Epoch < current` check the other paths shared — and
+// re-drove a wave the fleet had already rolled back.
+package fixture
+
+import "repro/internal/protocol"
+
+type standby struct {
+	epoch     uint64
+	candidate string
+	applied   int
+}
+
+// AcceptCandidate is the fixed shape: the fence dominates the mutation.
+func (s *standby) AcceptCandidate(msg protocol.Message) {
+	if msg.Epoch < s.epoch {
+		return
+	}
+	s.candidate = msg.From
+	s.applied++
+}
+
+// AcceptStale is the bug: the candidate path skips the fence entirely, so
+// a message from a dead incarnation re-drives state.
+func (s *standby) AcceptStale(msg protocol.Message) {
+	s.candidate = msg.From // want "handler mutates s\\.candidate with no epoch fence"
+	s.applied++            // want "handler mutates s\\.applied with no epoch fence"
+}

@@ -499,6 +499,7 @@ func (ep *fleetMgrEndpoint) SendBatch(msgs []protocol.Message) error {
 // checks that against the execution-wide `resumed` ledger.
 func (e *execution) noteCommand(msg protocol.Message) {
 	key := waveKey{epoch: msg.Epoch, path: msg.Step.PathIndex, attempt: msg.Step.Attempt, action: msg.Step.ActionID}
+	//safeadaptvet:ignore-msg MsgReset MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResumeDone MsgRollbackDone MsgProbe MsgProbeAck MsgHello MsgHeartbeat MsgBatch MsgMetricReport -- the rollback-after-resume invariant ledger tracks only the two kinds that define the point of no return; every other kind is irrelevant to this safety property and is delivered by the explorer regardless
 	switch msg.Type {
 	case protocol.MsgResume:
 		e.ponr[key] = true

@@ -251,6 +251,7 @@ func (c *Coordinator) DeliverFromParent(env protocol.Message) {
 
 	msgs := protocol.UnpackBatch(env)
 	for _, msg := range msgs {
+		//safeadaptvet:ignore-msg MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResumeDone MsgRollbackDone MsgProbeAck MsgHello MsgHeartbeat MsgBatch MsgProbe MsgMetricReport -- this switch only decides which ack buckets a downward command opens; every message, matched or not, is relayed verbatim by relayDown below, so nothing is dropped here
 		switch msg.Type {
 		case protocol.MsgReset:
 			// A reset opens two ack waves at once: the reset barrier and
@@ -331,8 +332,10 @@ func (c *Coordinator) openBucket(want protocol.MsgType, cmd protocol.Message) {
 // concurrent use with DeliverFromParent.
 func (c *Coordinator) DeliverFromChild(msg protocol.Message) {
 	c.tel.LamportMerge(msg.Trace.Lamport)
+	//safeadaptvet:ignore-msg MsgReset MsgResume MsgRollback MsgResetFailed MsgAdaptFailed MsgProbe MsgProbeAck MsgHello MsgHeartbeat MsgBatch -- this switch only decides what aggregates; failures, probes, registrations and anything unmatched fall through to the raw upward forward below, so nothing is dropped here
 	switch msg.Type {
 	case protocol.MsgResetDone, protocol.MsgAdaptDone, protocol.MsgResumeDone, protocol.MsgRollbackDone:
+		//safeadaptvet:allow fencegate -- acks are credited against buckets keyed by (ack kind, step, attempt) and stamped with the epoch of the fenced parent command that opened them; a stale incarnation's ack cannot match a live bucket's step/attempt, and unmatched acks are forwarded to the manager, which fences
 		if c.credit(msg) {
 			return
 		}

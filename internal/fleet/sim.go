@@ -1,5 +1,7 @@
 package fleet
 
+//safeadaptvet:allow-file fencegate -- the sim IS the wire: its mutations are virtual-clock and port bookkeeping for the simulated network, not protocol state; epoch fencing is enforced by the real manager, coordinators and agents running on top of it
+
 import (
 	"container/heap"
 	"context"
@@ -243,6 +245,7 @@ func (s *sim) transmit(from, to string, msg protocol.Message, units int, down bo
 // wave. A reset command starts both the reset wave and the adapt barrier
 // that follows it without another downward send.
 func (s *sim) markWaveStart(msg protocol.Message) {
+	//safeadaptvet:ignore-msg MsgRollback MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResumeDone MsgRollbackDone MsgProbe MsgProbeAck MsgHello MsgHeartbeat MsgBatch MsgMetricReport -- wave-latency bookkeeping: only reset (which also opens the adapt barrier) and resume are sampled waves; rollback latency is not an experiment metric and replies never start a wave
 	switch msg.Type {
 	case protocol.MsgReset:
 		s.startIfAbsent(waveKeyOf(msg.Step, "reset"))
@@ -267,6 +270,7 @@ func waveKeyOf(step protocol.Step, wave string) string {
 // is covered.
 func (s *sim) credit(msg protocol.Message) {
 	var wave string
+	//safeadaptvet:ignore-msg MsgReset MsgResume MsgRollback MsgResetFailed MsgAdaptFailed MsgRollbackDone MsgProbe MsgProbeAck MsgHello MsgHeartbeat MsgBatch MsgMetricReport -- latency sampling credits the three measured ack waves against their start marks; rollback and failure paths are not timed experiments and commands never credit
 	switch msg.Type {
 	case protocol.MsgResetDone:
 		wave = "reset"

@@ -62,6 +62,10 @@ type ShardRollup struct {
 	opts     RollupOptions
 	children map[string]struct{}
 	pending  map[uint64]*fold
+	// epoch is the highest incarnation seen on an absorbed report; reports
+	// stamped by an older (dead) incarnation are fenced out rather than
+	// folded, mirroring the agent/coordinator/root fencing discipline.
+	epoch uint64
 }
 
 // NewShardRollup builds a rollup for one coordinator's children.
@@ -102,6 +106,17 @@ func (r *ShardRollup) Absorb(msg protocol.Message) ([]protocol.Message, bool) {
 		// report another shard's agents.
 		tel.Counter("fleetobs.rollup.misrouted").Inc()
 		return nil, true
+	}
+	// Epoch fence, mirroring FleetState.Absorb: a report stamped by a dead
+	// incarnation must not fold into a live interval's digest (it would
+	// resurrect that incarnation's counters in the shard totals). Unstamped
+	// reports (epoch 0) pass — transports below the epoch plane don't stamp.
+	if msg.Epoch != 0 && r.epoch != 0 && msg.Epoch < r.epoch {
+		tel.Counter("fleetobs.rollup.fenced_drops").Inc()
+		return nil, true
+	}
+	if msg.Epoch > r.epoch {
+		r.epoch = msg.Epoch
 	}
 	tel.Counter("fleetobs.rollup.absorbed").Inc()
 

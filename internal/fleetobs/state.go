@@ -277,6 +277,7 @@ func sortedKeys(m map[string]struct{}) []string {
 // ackFor maps a wave command to the acknowledgement waves it opens —
 // the same mapping Coordinator.DeliverFromParent uses for its buckets.
 func ackFor(cmd protocol.MsgType) []protocol.MsgType {
+	//safeadaptvet:ignore-msg MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResumeDone MsgRollbackDone MsgProbe MsgProbeAck MsgHello MsgHeartbeat MsgBatch MsgMetricReport -- maps the three wave-opening commands to the ack frontiers they open; everything else opens no frontier by protocol definition (same mapping as Coordinator.DeliverFromParent's buckets)
 	switch cmd {
 	case protocol.MsgReset:
 		return []protocol.MsgType{protocol.MsgResetDone, protocol.MsgAdaptDone}

@@ -72,6 +72,7 @@ type WaveShardView struct {
 
 // phaseOf names the protocol phase an ack wave belongs to.
 func phaseOf(ack protocol.MsgType) string {
+	//safeadaptvet:ignore-msg MsgReset MsgResume MsgRollback MsgResetFailed MsgAdaptFailed MsgProbe MsgProbeAck MsgHello MsgHeartbeat MsgBatch MsgMetricReport -- display-name mapping for the four ack phases a frontier can wait on; any other kind renders through its own String() on the fallthrough, nothing is dispatched here
 	switch ack {
 	case protocol.MsgResetDone:
 		return "reset"

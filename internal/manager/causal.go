@@ -94,6 +94,7 @@ func (m *Manager) observeWave(msgs []protocol.Message) {
 	if obs == nil || len(msgs) == 0 {
 		return
 	}
+	//safeadaptvet:ignore-msg MsgResetDone MsgResetFailed MsgAdaptDone MsgAdaptFailed MsgResumeDone MsgRollbackDone MsgProbe MsgProbeAck MsgHello MsgHeartbeat MsgBatch MsgMetricReport -- only the three adaptation commands open ack frontiers in the fleet model; heartbeats, probes and replies are deliberately invisible to the wave observer
 	switch msgs[0].Type {
 	case protocol.MsgReset, protocol.MsgResume, protocol.MsgRollback:
 	default:

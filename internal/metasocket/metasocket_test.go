@@ -306,7 +306,9 @@ func TestFECValidation(t *testing.T) {
 func TestSendSocketChainAndSeq(t *testing.T) {
 	var sent [][]byte
 	sock, err := NewSendSocket(func(d []byte) error {
-		sent = append(sent, d)
+		// The datagram is the socket's pooled buffer; retaining it
+		// across packets requires a copy (see TransmitFunc).
+		sent = append(sent, append([]byte(nil), d...))
 		return nil
 	}, NewEncoder("E1", cipherkit.MustDefault64()))
 	if err != nil {

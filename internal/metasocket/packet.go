@@ -60,40 +60,57 @@ func (p Packet) PopEnc(payload []byte) Packet {
 	return p
 }
 
-// Marshal encodes the packet for network transmission.
-func (p Packet) Marshal() []byte {
+// Marshal encodes the packet for network transmission into a fresh
+// buffer. The per-packet send path uses MarshalInto with a pooled buffer
+// instead; Marshal remains for callers that keep the datagram.
+func (p Packet) Marshal() []byte { return p.MarshalInto(nil) }
+
+// MarshalInto encodes the packet into dst's backing array when it is
+// large enough, growing it otherwise, and returns the encoded slice. The
+// send socket passes its per-socket scratch buffer so the steady-state
+// marshal is allocation-free; the returned slice is only valid until the
+// next MarshalInto on the same buffer.
+func (p Packet) MarshalInto(dst []byte) []byte {
 	size := 8 + 4 + 2 + 2 + 1
 	for _, t := range p.Enc {
 		size += 1 + len(t)
 	}
 	size += 4 + len(p.Payload)
-	buf := make([]byte, 0, size)
-
-	var scratch [8]byte
-	binary.BigEndian.PutUint64(scratch[:], p.Seq)
-	buf = append(buf, scratch[:8]...)
-	binary.BigEndian.PutUint32(scratch[:4], p.Frame)
-	buf = append(buf, scratch[:4]...)
-	binary.BigEndian.PutUint16(scratch[:2], p.Index)
-	buf = append(buf, scratch[:2]...)
-	binary.BigEndian.PutUint16(scratch[:2], p.Count)
-	buf = append(buf, scratch[:2]...)
-
-	buf = append(buf, byte(len(p.Enc)))
-	for _, t := range p.Enc {
-		buf = append(buf, byte(len(t)))
-		buf = append(buf, t...)
+	if cap(dst) < size {
+		//safeadaptvet:allow hotpath -- pooled buffer grows only while a packet outgrows every prior one; the steady state reuses dst
+		dst = make([]byte, size)
 	}
-	binary.BigEndian.PutUint32(scratch[:4], uint32(len(p.Payload)))
-	buf = append(buf, scratch[:4]...)
-	buf = append(buf, p.Payload...)
-	return buf
+	dst = dst[:size]
+
+	binary.BigEndian.PutUint64(dst[0:8], p.Seq)
+	binary.BigEndian.PutUint32(dst[8:12], p.Frame)
+	binary.BigEndian.PutUint16(dst[12:14], p.Index)
+	binary.BigEndian.PutUint16(dst[14:16], p.Count)
+	dst[16] = byte(len(p.Enc))
+	off := 17
+	for _, t := range p.Enc {
+		dst[off] = byte(len(t))
+		off++
+		off += copy(dst[off:], t)
+	}
+	binary.BigEndian.PutUint32(dst[off:off+4], uint32(len(p.Payload)))
+	off += 4
+	copy(dst[off:], p.Payload)
+	return dst
 }
 
 // Unmarshal decodes a packet from its wire form.
-func Unmarshal(data []byte) (Packet, error) {
+func Unmarshal(data []byte) (Packet, error) { return unmarshalIntern(data, nil) }
+
+// unmarshalIntern is Unmarshal with an optional encoding-tag intern
+// table. A receive socket sees the same handful of codec tags on every
+// datagram; interning makes the per-tag string allocation a first-sight
+// cost instead of a per-packet one. The map is owned by a single socket
+// goroutine — no locking.
+func unmarshalIntern(data []byte, intern map[string]string) (Packet, error) {
 	var p Packet
 	if len(data) < 17 {
+		//safeadaptvet:allow hotpath -- error path: the datagram was already malformed, the boxing happens after the hot path failed
 		return p, fmt.Errorf("metasocket: packet too short (%d bytes)", len(data))
 	}
 	p.Seq = binary.BigEndian.Uint64(data[0:8])
@@ -103,6 +120,7 @@ func Unmarshal(data []byte) (Packet, error) {
 	n := int(data[16])
 	off := 17
 	if n > 0 {
+		//safeadaptvet:allow hotpath -- ownership of the decoded packet (and its Enc slice) transfers to the sink, which may retain it
 		p.Enc = make([]string, 0, n)
 	}
 	for i := 0; i < n; i++ {
@@ -112,9 +130,22 @@ func Unmarshal(data []byte) (Packet, error) {
 		tl := int(data[off])
 		off++
 		if off+tl > len(data) {
+			//safeadaptvet:allow hotpath -- error path: malformed datagram, boxing happens after the hot path failed
 			return p, fmt.Errorf("metasocket: truncated encoding tag %d", i)
 		}
-		p.Enc = append(p.Enc, string(data[off:off+tl]))
+		var tag string
+		//safeadaptvet:allow hotpath -- map index with a string(b) key is compiler-elided, no copy
+		if s, ok := intern[string(data[off:off+tl])]; ok {
+			tag = s
+		} else {
+			//safeadaptvet:allow hotpath -- first sight of a tag; every later packet carrying it hits the intern table above
+			tag = string(data[off : off+tl])
+			if intern != nil {
+				intern[tag] = tag
+			}
+		}
+		//safeadaptvet:allow hotpath -- append into the packet's own Enc slice, sized by the make above; never grows
+		p.Enc = append(p.Enc, tag)
 		off += tl
 	}
 	if off+4 > len(data) {
@@ -123,8 +154,10 @@ func Unmarshal(data []byte) (Packet, error) {
 	pl := int(binary.BigEndian.Uint32(data[off : off+4]))
 	off += 4
 	if off+pl != len(data) {
+		//safeadaptvet:allow hotpath -- error path: malformed datagram, boxing happens after the hot path failed
 		return p, fmt.Errorf("metasocket: payload length %d does not match remaining %d bytes", pl, len(data)-off)
 	}
+	//safeadaptvet:allow hotpath -- defensive copy: the datagram may be shared across multicast subscribers; ownership of the copy transfers to the sink
 	p.Payload = make([]byte, pl)
 	copy(p.Payload, data[off:])
 	return p, nil

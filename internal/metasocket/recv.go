@@ -36,6 +36,12 @@ type RecvSocket struct {
 	// observeDelivery, when set, sees every packet emitted to the sink.
 	observeDelivery func(Packet)
 
+	// encIntern dedups encoding-tag strings across datagrams: the same
+	// handful of codec tags arrives on every packet, so each tag string
+	// is allocated once at first sight instead of once per packet. Owned
+	// by the single delivery goroutine — no locking.
+	encIntern map[string]string
+
 	wg      sync.WaitGroup
 	started bool
 }
@@ -46,7 +52,7 @@ func NewRecvSocket(sink SinkFunc, filters ...Filter) (*RecvSocket, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("metasocket: nil sink function")
 	}
-	r := &RecvSocket{blocker: newBlocker(), sink: sink}
+	r := &RecvSocket{blocker: newBlocker(), sink: sink, encIntern: make(map[string]string, 8)}
 	for _, f := range filters {
 		if err := r.chain.insert(f, -1); err != nil {
 			return nil, err
@@ -99,6 +105,8 @@ func (r *RecvSocket) Wait() {
 }
 
 // deliver runs one datagram through the decoder chain.
+//
+//safeadaptvet:hotpath
 func (r *RecvSocket) deliver(datagram []byte) {
 	if !r.enter() {
 		return
@@ -106,7 +114,7 @@ func (r *RecvSocket) deliver(datagram []byte) {
 	defer r.exit()
 	defer r.processed.Add(1)
 
-	p, err := Unmarshal(datagram)
+	p, err := unmarshalIntern(datagram, r.encIntern)
 	if err != nil {
 		r.decodeErr.Add(1)
 		r.tel.Load().Counter("metasocket.recv.decode_errors").Inc()

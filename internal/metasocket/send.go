@@ -12,6 +12,12 @@ import (
 // TransmitFunc delivers one marshalled packet to the network; the video
 // server wires it to a netsim multicast group, tests to whatever they
 // need.
+//
+// The datagram slice is the socket's pooled marshal buffer, reused for
+// the next packet as soon as the call returns: implementations that need
+// to retain it must copy. (Both real sinks already do — netsim's
+// Group.Send copies into its own payload buffer, and a UDP write copies
+// into the kernel.)
 type TransmitFunc func(datagram []byte) error
 
 // SendSocket is the sending half of a MetaSocket: application packets
@@ -26,6 +32,12 @@ type SendSocket struct {
 	nextSeq atomic.Uint64
 	sent    atomic.Uint64
 	tel     atomic.Pointer[telemetry.Registry]
+
+	// mbuf is the pooled marshal buffer: sendLocked encodes every
+	// outgoing packet into it and hands it to transmit, which must not
+	// retain it (see TransmitFunc). Safe without locking because the
+	// blocker admits one packet (or batch) at a time.
+	mbuf []byte
 
 	// observe, when set, sees every packet after chain processing, just
 	// before transmission; the CCS instrumentation hooks in here.
@@ -57,6 +69,8 @@ func (s *SendSocket) SetObserver(fn func(Packet)) { s.observe = fn }
 // Send pushes one packet through the filter chain and transmits the
 // results. It blocks while the socket is held in its safe state and
 // returns an error when the socket closed.
+//
+//safeadaptvet:hotpath
 func (s *SendSocket) Send(p Packet) error {
 	if !s.enter() {
 		return fmt.Errorf("metasocket: send socket closed")
@@ -72,6 +86,8 @@ func (s *SendSocket) Send(p Packet) error {
 // application-unit boundaries — e.g. a video server sending each frame's
 // fragments as a batch guarantees adaptations never split a frame, which
 // frame-granular safe-state specifications (internal/tlogic) rely on.
+//
+//safeadaptvet:hotpath
 func (s *SendSocket) SendBatch(ps []Packet) error {
 	if len(ps) == 0 {
 		return nil
@@ -89,7 +105,8 @@ func (s *SendSocket) SendBatch(ps []Packet) error {
 }
 
 // sendLocked runs one packet through the chain and transmits it; the
-// caller holds the processing section.
+// caller holds the processing section (which is also what makes the
+// pooled chain scratch and marshal buffer single-owner).
 func (s *SendSocket) sendLocked(p Packet) error {
 	outs, err := s.chain.run(p)
 	if err != nil {
@@ -100,7 +117,8 @@ func (s *SendSocket) sendLocked(p Packet) error {
 		if s.observe != nil {
 			s.observe(out)
 		}
-		if err := s.transmit(out.Marshal()); err != nil {
+		s.mbuf = out.MarshalInto(s.mbuf)
+		if err := s.transmit(s.mbuf); err != nil {
 			s.tel.Load().Counter("metasocket.send.transmit_errors").Inc()
 			return fmt.Errorf("metasocket: transmit: %w", err)
 		}

@@ -117,14 +117,23 @@ func (b *blocker) close() {
 type chain struct {
 	mu      sync.Mutex
 	filters []Filter
+	// snap is the immutable snapshot run iterates: rebuilt (as a fresh
+	// slice, so an in-flight run holding the old one is unaffected) on
+	// every mutation instead of copied on every packet.
+	snap []Filter
+	// runIn and runOut are run's ping-pong scratch slices. The blocker
+	// serializes packet processing (one run at a time per socket), so the
+	// scratch needs no locking of its own; it is read and stored back
+	// under mu only to stay clean under the race detector when the
+	// Unsafe* mutation paths are exercised.
+	runIn, runOut []Packet
 }
 
-func (c *chain) snapshot() []Filter {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]Filter, len(c.filters))
-	copy(out, c.filters)
-	return out
+// rebuildLocked refreshes the run snapshot; callers hold c.mu.
+func (c *chain) rebuildLocked() {
+	snap := make([]Filter, len(c.filters))
+	copy(snap, c.filters)
+	c.snap = snap
 }
 
 func (c *chain) names() []string {
@@ -158,6 +167,7 @@ func (c *chain) insert(f Filter, at int) error {
 	c.filters = append(c.filters, nil)
 	copy(c.filters[at+1:], c.filters[at:])
 	c.filters[at] = f
+	c.rebuildLocked()
 	return nil
 }
 
@@ -169,6 +179,7 @@ func (c *chain) remove(name string) error {
 		return fmt.Errorf("metasocket: filter %q not in chain", name)
 	}
 	c.filters = append(c.filters[:i], c.filters[i+1:]...)
+	c.rebuildLocked()
 	return nil
 }
 
@@ -183,26 +194,41 @@ func (c *chain) replace(oldName string, f Filter) error {
 		return fmt.Errorf("metasocket: filter %q already in chain", f.Name())
 	}
 	c.filters[i] = f
+	c.rebuildLocked()
 	return nil
 }
 
-// run pushes one packet through the chain.
+// run pushes one packet through the chain. The returned slice is the
+// chain's scratch: valid until the next run, so callers must finish with
+// it (or copy) before processing another packet — the blocker's
+// one-packet-at-a-time discipline guarantees exactly that.
 func (c *chain) run(p Packet) ([]Packet, error) {
-	filters := c.snapshot()
-	in := []Packet{p}
+	c.mu.Lock()
+	filters := c.snap
+	in, out := c.runIn[:0], c.runOut[:0]
+	c.mu.Unlock()
+	//safeadaptvet:allow hotpath -- append into per-chain scratch; capacity stabilizes after the first packets and is reused forever after
+	in = append(in, p)
 	for _, f := range filters {
-		var out []Packet
+		out = out[:0]
 		for _, q := range in {
 			res, err := f.Process(q)
 			if err != nil {
 				return nil, err
 			}
+			//safeadaptvet:allow hotpath -- append into per-chain scratch; capacity stabilizes after the first packets and is reused forever after
 			out = append(out, res...)
 		}
-		in = out
+		in, out = out, in
 		if len(in) == 0 {
-			return nil, nil
+			break
 		}
+	}
+	c.mu.Lock()
+	c.runIn, c.runOut = in, out
+	c.mu.Unlock()
+	if len(in) == 0 {
+		return nil, nil
 	}
 	return in, nil
 }

@@ -170,6 +170,7 @@ func (s *Standby) run() {
 			s.ttl = time.Duration(ms) * time.Millisecond
 		}
 		s.mu.Unlock()
+		//safeadaptvet:ignore-msg frameHello frameSnapshot frameAck frameLease -- hello and snapshot are consumed by the attach handshake before this loop starts; ack flows standby-to-leader only; lease renewal acts through TTLMillis, which is read off every frame above this switch
 		switch f.Type {
 		case frameRecords:
 			if err := s.absorb(f.Recs); err != nil {
